@@ -1,0 +1,92 @@
+// Ablation: hash-tree shape knobs the paper fixes by formula.
+//
+// (a) Leaf threshold T and the adaptive fan-out rule (Section 3.1.1):
+//     sweep T with adaptive H on/off and report tree size, balance, and
+//     counting work.
+// (b) Hash scheme occupancy: the Theorem 1 balance claim measured on real
+//     candidate sets rather than the all-itemsets idealization.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace smpmine;
+using namespace smpmine::bench;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  add_common_flags(cli);
+  cli.add_flag("support", "minimum support (fraction)", "0.005");
+  if (!cli.parse(argc, argv)) return 1;
+  const BenchEnv env = parse_env(cli, {"T10.I4.D100K"}, {1});
+  const double support = cli.get_double("support", 0.005);
+
+  print_header("Ablation: hash-tree shape",
+               "Section 3.1.1 adaptive sizing + Section 4.1 balance, "
+               "measured end-to-end",
+               env);
+
+  for (const std::string& name : env.datasets) {
+    const Database db = make_dataset(name, env);
+
+    std::puts("-- leaf threshold sweep (adaptive fan-out) --");
+    TextTable sweep({"T", "adaptive", "peak fanout", "peak nodes",
+                     "peak tree MB", "count work (checks)", "time_s"});
+    for (const std::uint32_t threshold : {2u, 4u, 8u, 16u, 64u}) {
+      // The fixed-fanout counterpoint is run once (it is orders of
+      // magnitude slower — that asymmetry is the result).
+      std::vector<bool> modes{true};
+      if (threshold == 8u) modes.push_back(false);
+      for (const bool adaptive : modes) {
+        MinerOptions opts;
+        opts.min_support = support;
+        opts.leaf_threshold = threshold;
+        opts.adaptive_fanout = adaptive;
+        opts.fixed_fanout = 32;
+        const MiningResult r = run_miner(db, opts);
+        std::uint32_t peak_fanout = 0;
+        std::uint64_t peak_nodes = 0, peak_bytes = 0, checks = 0;
+        for (const auto& it : r.iterations) {
+          peak_fanout = std::max(peak_fanout, it.fanout);
+          peak_nodes = std::max(peak_nodes, it.tree_nodes);
+          peak_bytes = std::max(peak_bytes, it.tree_bytes);
+          checks += it.containment_checks;
+        }
+        sweep.add_row({std::to_string(threshold), adaptive ? "yes" : "no(32)",
+                       std::to_string(peak_fanout),
+                       std::to_string(peak_nodes),
+                       TextTable::num(static_cast<double>(peak_bytes) / 1e6, 2),
+                       std::to_string(checks),
+                       TextTable::num(r.total_seconds, 3)});
+      }
+    }
+    std::fputs(sweep.render().c_str(), stdout);
+
+    std::puts("\n-- hash scheme occupancy balance (real candidate sets) --");
+    TextTable balance({"scheme", "k", "mean occ", "max occ", "stddev",
+                       "max/mean"});
+    for (const HashScheme scheme :
+         {HashScheme::Interleaved, HashScheme::Bitonic,
+          HashScheme::Indirection}) {
+      MinerOptions opts;
+      opts.min_support = support;
+      opts.hash_scheme = scheme;
+      const MiningResult r = run_miner(db, opts);
+      for (const auto& it : r.iterations) {
+        if (it.k > 4) break;  // the early, big trees are the story
+        balance.add_row(
+            {to_string(scheme), std::to_string(it.k),
+             TextTable::num(it.mean_leaf_occupancy, 2),
+             TextTable::num(it.max_leaf_occupancy, 0),
+             TextTable::num(it.leaf_occupancy_stddev, 2),
+             TextTable::num(it.max_leaf_occupancy /
+                                std::max(1.0, it.mean_leaf_occupancy),
+                            2)});
+      }
+    }
+    std::fputs(balance.render().c_str(), stdout);
+    std::puts("\nExpect: adaptive fan-out keeps peak occupancy near T across "
+              "iterations; bitonic/indirection occupancy spread is tighter "
+              "than interleaved (smaller stddev and max/mean).");
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace smpmine::bench {
+
+const std::vector<std::string>& table2_datasets() {
+  static const std::vector<std::string> names{
+      "T5.I2.D100K",  "T10.I4.D100K",  "T15.I4.D100K",  "T20.I6.D100K",
+      "T10.I6.D400K", "T10.I6.D800K",  "T10.I6.D1600K", "T10.I6.D3200K",
+  };
+  return names;
+}
+
+void add_common_flags(CliParser& cli) {
+  cli.add_flag("scale", "fraction of the paper's D to generate", "0.1");
+  cli.add_flag("full", "run the paper's full dataset sizes (scale=1)");
+  cli.add_flag("datasets", "comma-separated Table 2 dataset names");
+  cli.add_flag("threads", "comma-separated thread counts", "1,2,4,8");
+  cli.add_flag("seed", "generator seed", "1996");
+  cli.add_flag("repeat", "timing repetitions (min-of-N)", "2");
+}
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchEnv parse_env(const CliParser& cli,
+                   std::vector<std::string> default_datasets,
+                   std::vector<std::uint32_t> default_threads) {
+  BenchEnv env;
+  env.scale = cli.get_double("scale", 0.1);
+  if (cli.get_bool("full", false)) env.scale = 1.0;
+  env.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1996));
+  env.datasets = cli.has("datasets") ? split_csv(cli.get("datasets", ""))
+                                     : std::move(default_datasets);
+  if (cli.has("threads")) {
+    env.thread_counts.clear();
+    for (const std::string& t : split_csv(cli.get("threads", ""))) {
+      env.thread_counts.push_back(
+          static_cast<std::uint32_t>(std::stoul(t)));
+    }
+  } else {
+    env.thread_counts = std::move(default_threads);
+  }
+  env.repeat = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(cli.get_int("repeat", 2)));
+  return env;
+}
+
+Database make_dataset(const std::string& name, const BenchEnv& env) {
+  auto params = QuestParams::from_name(name);
+  if (!params.has_value()) {
+    throw std::invalid_argument("unknown dataset name: " + name);
+  }
+  params->seed = env.seed;
+  const QuestParams p = scaled(*params, env.scale);
+  WallTimer timer;
+  Database db = generate_quest(p);
+  std::fprintf(stderr, "[gen] %s -> %s (%zu txns, %.1f MB) in %.1fs\n",
+               name.c_str(), p.name().c_str(), db.size(),
+               static_cast<double>(db.storage_bytes()) / 1e6,
+               timer.seconds());
+  return db;
+}
+
+std::string scaled_name(const std::string& name, const BenchEnv& env) {
+  auto params = QuestParams::from_name(name);
+  if (!params.has_value()) return name;
+  return scaled(*params, env.scale).name();
+}
+
+double pct_improvement(double base, double optimized) {
+  return base > 0.0 ? (base - optimized) / base * 100.0 : 0.0;
+}
+
+MiningResult run_miner(const Database& db, const MinerOptions& opts) {
+  return mine(db, opts);
+}
+
+MiningResult run_miner(const Database& db, const MinerOptions& opts,
+                       const BenchEnv& env) {
+  MiningResult best = mine(db, opts);
+  for (std::uint32_t r = 1; r < env.repeat; ++r) {
+    MiningResult next = mine(db, opts);
+    if (next.modeled_total_seconds() < best.modeled_total_seconds()) {
+      best = std::move(next);
+    }
+  }
+  return best;
+}
+
+void print_header(const std::string& title, const std::string& paper_ref,
+                  const BenchEnv& env) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("scale: %.3g of paper D (use --full for paper sizes)\n\n",
+              env.scale);
+}
+
+}  // namespace smpmine::bench

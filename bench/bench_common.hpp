@@ -1,0 +1,70 @@
+// Shared infrastructure for the figure/table reproduction benches.
+//
+// Every bench regenerates one table or figure of the paper's evaluation:
+// same datasets (Table 2 names), same configurations, same rows/series.
+// Datasets are scaled by --scale (default 0.1: D100K -> 10K) so the default
+// run finishes on a laptop; --full restores paper sizes. Relative support
+// is held constant under scaling, which preserves which itemsets are
+// frequent (the Quest patterns are scale-invariant in frequency).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/miner.hpp"
+#include "core/options.hpp"
+#include "data/quest_gen.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace smpmine::bench {
+
+/// The paper's Table 2 dataset names in order.
+const std::vector<std::string>& table2_datasets();
+
+/// Registers the flags every bench shares (--scale, --full, --datasets,
+/// --threads, --seed).
+void add_common_flags(CliParser& cli);
+
+struct BenchEnv {
+  double scale = 0.1;
+  std::uint64_t seed = 1996;
+  /// Dataset names chosen via --datasets (comma separated) or the bench's
+  /// default list.
+  std::vector<std::string> datasets;
+  /// Thread counts for parallel sweeps (--threads, comma separated).
+  std::vector<std::uint32_t> thread_counts;
+  /// Timing repetitions; the run with the smallest modeled time is kept
+  /// (min-of-N rejects scheduler noise on a shared host).
+  std::uint32_t repeat = 2;
+};
+
+/// Parses the common flags. `default_datasets` is used when --datasets is
+/// absent; `default_threads` likewise.
+BenchEnv parse_env(const CliParser& cli,
+                   std::vector<std::string> default_datasets,
+                   std::vector<std::uint32_t> default_threads = {1, 2, 4, 8});
+
+/// Generates a dataset by paper name, scaled. Prints a one-line progress
+/// note to stderr (generation of full-size sets takes a while).
+Database make_dataset(const std::string& name, const BenchEnv& env);
+
+/// Effective dataset label including the scaled D, e.g. "T10.I4.D10K".
+std::string scaled_name(const std::string& name, const BenchEnv& env);
+
+/// % improvement of `optimized` over `base` (positive = optimized faster).
+double pct_improvement(double base, double optimized);
+
+/// Runs the miner `env.repeat` times and returns the run with the smallest
+/// modeled computation time (results are identical across runs; only the
+/// timings differ).
+MiningResult run_miner(const Database& db, const MinerOptions& opts,
+                       const BenchEnv& env);
+/// Single run (for benches that aggregate work counters, not times).
+MiningResult run_miner(const Database& db, const MinerOptions& opts);
+
+/// Prints the standard bench header (paper reference + configuration).
+void print_header(const std::string& title, const std::string& paper_ref,
+                  const BenchEnv& env);
+
+}  // namespace smpmine::bench

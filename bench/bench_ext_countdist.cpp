@@ -1,0 +1,68 @@
+// Extension bench: CCPD vs Count Distribution (Agrawal & Shafer '96).
+//
+// The paper's Section 7 argument for SMPs, made measurable: Count
+// Distribution — the best of the shared-nothing parallelizations — pays
+// per-iteration all-reduces of |C(k)| counters and duplicates the whole
+// candidate tree on every node. CCPD on shared memory exchanges nothing
+// and keeps one tree. The simulated cluster meters actual copied bytes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "distmem/count_distribution.hpp"
+
+using namespace smpmine;
+using namespace smpmine::bench;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  add_common_flags(cli);
+  cli.add_flag("support", "minimum support (fraction)", "0.005");
+  if (!cli.parse(argc, argv)) return 1;
+  const BenchEnv env =
+      parse_env(cli, {"T5.I2.D100K", "T10.I4.D100K"}, {1, 2, 4, 8});
+  const double support = cli.get_double("support", 0.005);
+
+  print_header("Extension: CCPD vs Count Distribution",
+               "Section 7.1.2 comparison on a metered message-passing "
+               "simulation",
+               env);
+
+  TextTable table({"Database", "P", "algo", "comm MB", "messages",
+                   "aggregate tree MB", "counters exchanged"});
+  for (const std::string& name : env.datasets) {
+    const Database db = make_dataset(name, env);
+    for (const std::uint32_t threads : env.thread_counts) {
+      MinerOptions opts;
+      opts.min_support = support;
+      opts.threads = threads;
+      const MiningResult ccpd = run_miner(db, opts);
+      double ccpd_tree_mb = 0.0;
+      for (const auto& it : ccpd.iterations) {
+        ccpd_tree_mb = std::max(
+            ccpd_tree_mb, static_cast<double>(it.tree_bytes) / 1e6);
+      }
+      table.add_row({scaled_name(name, env), std::to_string(threads), "CCPD",
+                     "0.00", "0", TextTable::num(ccpd_tree_mb, 2), "0"});
+
+      const CountDistributionResult cd =
+          mine_count_distribution(db, opts, threads);
+      double cd_tree_mb = 0.0;
+      for (const auto& it : cd.mining.iterations) {
+        cd_tree_mb = std::max(cd_tree_mb,
+                              static_cast<double>(it.tree_bytes) / 1e6);
+      }
+      table.add_row(
+          {scaled_name(name, env), std::to_string(threads), "CountDist",
+           TextTable::num(static_cast<double>(cd.comm.bytes) / 1e6, 2),
+           std::to_string(cd.comm.messages),
+           TextTable::num(cd_tree_mb * threads, 2),
+           std::to_string(cd.counters_exchanged)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nExpect: identical frequent itemsets (tested in ctest) while "
+            "Count Distribution's communication grows with P x |C(k)| and "
+            "its aggregate tree memory with P; CCPD holds both at zero/1x — "
+            "the paper's case for shared-memory mining.");
+  return 0;
+}

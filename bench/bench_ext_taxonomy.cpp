@@ -1,0 +1,84 @@
+// Extension bench: generalized (multi-level) association mining.
+//
+// Reproduces the Basic-vs-Cumulate comparison of Srikant & Agrawal (VLDB'95)
+// on a Quest dataset with a synthetic taxonomy: Cumulate's item+ancestor
+// candidate pruning shrinks the candidate sets and the counting work while
+// producing the identical non-redundant frequent itemsets.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "taxonomy/generalized.hpp"
+
+using namespace smpmine;
+using namespace smpmine::bench;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  add_common_flags(cli);
+  cli.add_flag("support", "minimum support (fraction)", "0.01");
+  cli.add_flag("roots", "taxonomy roots", "25");
+  cli.add_flag("levels", "taxonomy levels", "3");
+  if (!cli.parse(argc, argv)) return 1;
+  const BenchEnv env = parse_env(cli, {"T5.I2.D100K", "T10.I4.D100K"}, {1, 4});
+  const double support = cli.get_double("support", 0.01);
+
+  print_header("Extension: generalized associations (Basic vs Cumulate)",
+               "Srikant & Agrawal VLDB'95, via the paper's Section 8 claim",
+               env);
+
+  TextTable table({"Database", "P", "algo", "candidates", "pruned",
+                   "frequent", "checks", "modeled_s"});
+  for (const std::string& name : env.datasets) {
+    const Database db = make_dataset(name, env);
+    TaxonomyParams tp;
+    tp.universe = db.item_universe() +
+                  static_cast<item_t>(cli.get_int("roots", 25)) * 2;
+    tp.roots = static_cast<item_t>(cli.get_int("roots", 25));
+    tp.levels = static_cast<std::uint32_t>(cli.get_int("levels", 3));
+    // Parent categories live above the leaf universe: remap so leaves are
+    // the Quest items and categories come after.
+    Taxonomy tax(tp.universe);
+    {
+      // Two category levels above the Quest items.
+      Rng rng(env.seed);
+      const item_t cat1_begin = db.item_universe();
+      const item_t cat1_count = tp.roots;
+      const item_t cat2_begin = cat1_begin + cat1_count;
+      const item_t cat2_count = std::max<item_t>(1, tp.roots / 4);
+      for (item_t leaf = 0; leaf < db.item_universe(); ++leaf) {
+        tax.add_edge(leaf,
+                     cat1_begin + static_cast<item_t>(rng.uniform(cat1_count)));
+      }
+      for (item_t mid = 0; mid < cat1_count; ++mid) {
+        tax.add_edge(cat1_begin + mid,
+                     cat2_begin + static_cast<item_t>(rng.uniform(cat2_count)));
+      }
+      tax.freeze();
+    }
+
+    for (const std::uint32_t threads : env.thread_counts) {
+      for (const GeneralizedAlgorithm algo :
+           {GeneralizedAlgorithm::Basic, GeneralizedAlgorithm::Cumulate}) {
+        MinerOptions opts;
+        opts.min_support = support;
+        opts.threads = threads;
+        const MiningResult r = mine_generalized(db, tax, opts, algo);
+        std::uint64_t checks = 0;
+        for (const auto& it : r.iterations) checks += it.containment_checks;
+        std::uint64_t pruned = 0;
+        for (const auto& it : r.iterations) pruned += it.pruned;
+        table.add_row({scaled_name(name, env), std::to_string(threads),
+                       to_string(algo), std::to_string(r.total_candidates()),
+                       std::to_string(pruned),
+                       std::to_string(r.total_frequent()),
+                       std::to_string(checks),
+                       TextTable::num(r.modeled_total_seconds(), 3)});
+      }
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nExpect: Cumulate generates strictly fewer candidates and "
+            "containment checks; its 'frequent' count is lower only by the "
+            "redundant item+ancestor itemsets Basic wastes time counting.");
+  return 0;
+}

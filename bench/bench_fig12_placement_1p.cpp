@@ -1,0 +1,94 @@
+// Figure 12: memory placement policies, one processor.
+//
+// The paper normalizes uniprocessor execution time of SPP / LPP / GPP to
+// the malloc-based CCPD baseline, at 0.5% and 0.1% support: SPP alone is
+// worth 40-55%, GPP wins on the larger datasets / lower supports where
+// counting dominates and the remap cost amortizes.
+//
+// Besides wall time (meaningful single-threaded), the bench reports the
+// deterministic locality proxies of the counting-order address trace —
+// same-cache-line rate and mean stride — which show the mechanism even
+// when the host's wall clock is noisy.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace smpmine;
+using namespace smpmine::bench;
+
+namespace {
+
+constexpr PlacementPolicy kPolicies[] = {
+    PlacementPolicy::Malloc, PlacementPolicy::SPP, PlacementPolicy::LPP,
+    PlacementPolicy::GPP};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  add_common_flags(cli);
+  cli.add_flag("supports", "comma-separated support fractions", "0.005,0.001");
+  if (!cli.parse(argc, argv)) return 1;
+  const BenchEnv env = parse_env(
+      cli, {"T5.I2.D100K", "T10.I4.D100K", "T10.I6.D400K", "T10.I6.D800K"},
+      {1});
+  std::vector<double> supports;
+  {
+    std::string csv = cli.get("supports", "0.005,0.001");
+    std::size_t pos = 0;
+    while (pos < csv.size()) {
+      std::size_t next = csv.find(',', pos);
+      if (next == std::string::npos) next = csv.size();
+      supports.push_back(std::stod(csv.substr(pos, next - pos)));
+      pos = next + 1;
+    }
+  }
+
+  print_header("Figure 12: placement policies, one processor",
+               "Fig. 12 (normalized execution time of SPP/LPP/GPP vs CCPD, "
+               "P=1, 0.5% and 0.1% support)",
+               env);
+
+  TextTable table({"Database", "supp%", "policy", "wall_s", "normalized",
+                   "same-line rate", "mean stride B", "remap_s"});
+  for (const std::string& name : env.datasets) {
+    const Database db = make_dataset(name, env);
+    for (const double support : supports) {
+      double base_wall = 0.0;
+      for (const PlacementPolicy policy : kPolicies) {
+        MinerOptions opts;
+        opts.min_support = support;
+        opts.placement = policy;
+        opts.collect_locality = true;
+        const MiningResult r = run_miner(db, opts, env);
+        if (policy == PlacementPolicy::Malloc) base_wall = r.total_seconds;
+
+        // Aggregate locality over iterations, weighted by trace size.
+        double same_line = 0.0, stride = 0.0, weight = 0.0;
+        for (const auto& it : r.iterations) {
+          const auto w = static_cast<double>(it.locality_distinct_lines);
+          same_line += it.locality_same_line_rate * w;
+          stride += it.locality_mean_stride * w;
+          weight += w;
+        }
+        if (weight > 0) {
+          same_line /= weight;
+          stride /= weight;
+        }
+        table.add_row(
+            {scaled_name(name, env), TextTable::num(support * 100, 2),
+             to_string(policy), TextTable::num(r.total_seconds, 3),
+             TextTable::num(base_wall > 0 ? r.total_seconds / base_wall : 1.0,
+                            3),
+             TextTable::num(same_line, 3), TextTable::num(stride, 0),
+             TextTable::num(r.phase_total(&IterationStats::remap_seconds), 3)});
+      }
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nShape to check against the paper: SPP well under 1.0 "
+            "(contiguous placement), GPP best on the larger datasets where "
+            "counting dominates; the same-line rate and stride columns show "
+            "why (tighter traces under region placement and DFS remap).");
+  return 0;
+}

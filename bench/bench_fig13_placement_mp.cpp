@@ -1,0 +1,93 @@
+// Figure 13: memory placement policies on multiple processors.
+//
+// All seven policies (CCPD, SPP, L-SPP, L-LPP, GPP, L-GPP, LCA-GPP) at
+// P in {4, 8} and supports 0.5% / 0.1%, normalized to CCPD. On this
+// single-core host the multiprocessor cache-coherence effects (false
+// sharing, invalidation traffic) do not appear in wall time, so alongside
+// the modeled computation time the bench reports the *mechanism* metrics:
+//   - counter/itemset cache-line sharing (the false-sharing hazard;
+//     0 under the L-* and LCA policies),
+//   - counting-trace same-line rate and stride (locality), and
+//   - LCA's reduction cost (the price it pays for zero synchronization).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace smpmine;
+using namespace smpmine::bench;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  add_common_flags(cli);
+  cli.add_flag("supports", "comma-separated support fractions", "0.005,0.001");
+  if (!cli.parse(argc, argv)) return 1;
+  const BenchEnv env = parse_env(
+      cli, {"T5.I2.D100K", "T10.I4.D100K", "T10.I6.D800K"}, {4, 8});
+  std::vector<double> supports;
+  {
+    std::string csv = cli.get("supports", "0.005,0.001");
+    std::size_t pos = 0;
+    while (pos < csv.size()) {
+      std::size_t next = csv.find(',', pos);
+      if (next == std::string::npos) next = csv.size();
+      supports.push_back(std::stod(csv.substr(pos, next - pos)));
+      pos = next + 1;
+    }
+  }
+
+  print_header(
+      "Figure 13: placement policies, multiple processors",
+      "Fig. 13 (normalized execution time, 7 policies, P=4 and 8, both "
+      "supports)",
+      env);
+
+  TextTable table({"Database", "supp%", "P", "policy", "modeled_s",
+                   "normalized", "ctr/itemset line sharing", "same-line rate",
+                   "reduce_s"});
+  for (const std::string& name : env.datasets) {
+    const Database db = make_dataset(name, env);
+    for (const double support : supports) {
+      for (const std::uint32_t threads : env.thread_counts) {
+        double base_time = 0.0;
+        for (const PlacementPolicy policy : kAllPolicies) {
+          MinerOptions opts;
+          opts.min_support = support;
+          opts.threads = threads;
+          opts.placement = policy;
+          opts.collect_locality = true;
+          const MiningResult r = run_miner(db, opts, env);
+          const double modeled = r.modeled_total_seconds();
+          if (policy == PlacementPolicy::Malloc) base_time = modeled;
+
+          double same_line = 0.0, sharing = 0.0, weight = 0.0;
+          for (const auto& it : r.iterations) {
+            const auto w = static_cast<double>(it.candidates);
+            same_line += it.locality_same_line_rate * w;
+            sharing += it.counter_itemset_line_sharing * w;
+            weight += w;
+          }
+          if (weight > 0) {
+            same_line /= weight;
+            sharing /= weight;
+          }
+          table.add_row(
+              {scaled_name(name, env), TextTable::num(support * 100, 2),
+               std::to_string(threads), to_string(policy),
+               TextTable::num(modeled, 3),
+               TextTable::num(base_time > 0 ? modeled / base_time : 1.0, 3),
+               TextTable::pct(sharing, 0), TextTable::num(same_line, 3),
+               TextTable::num(r.phase_total(&IterationStats::reduce_seconds),
+                              4)});
+        }
+      }
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nShape to check against the paper: every region policy beats "
+            "CCPD; the L-* policies zero the counter/itemset line sharing "
+            "at a small locality cost; LCA-GPP eliminates synchronization "
+            "entirely and pays a visible reduce_s. On a multi-core host the "
+            "sharing column translates into the paper's false-sharing "
+            "slowdowns.");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Microbenchmarks for the hash tree: bucket functions, insertion
+// throughput per placement policy, and counting traversal per subset-check
+// strategy.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "alloc/placement.hpp"
+#include "hashtree/hash_tree.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+void BM_HashBucket(benchmark::State& state) {
+  const auto scheme = static_cast<HashScheme>(state.range(0));
+  std::vector<item_t> f1(1000);
+  for (item_t i = 0; i < 1000; ++i) f1[i] = i;
+  const HashPolicy policy =
+      scheme == HashScheme::Indirection
+          ? HashPolicy(64, f1, 1000)
+          : HashPolicy(scheme, 64);
+  item_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.bucket(i));
+    i = (i + 1) % 1000;
+  }
+}
+BENCHMARK(BM_HashBucket)
+    ->Arg(static_cast<int>(HashScheme::Interleaved))
+    ->Arg(static_cast<int>(HashScheme::Bitonic))
+    ->Arg(static_cast<int>(HashScheme::Indirection));
+
+std::vector<std::vector<item_t>> combos(item_t universe, std::size_t k) {
+  std::vector<item_t> base(universe);
+  for (item_t i = 0; i < universe; ++i) base[i] = i;
+  return k_subsets(base, k);
+}
+
+void BM_TreeInsert(benchmark::State& state) {
+  const auto placement = static_cast<PlacementPolicy>(state.range(0));
+  const auto candidates = combos(26, 3);  // 2600 candidates
+  const HashPolicy policy(HashScheme::Bitonic, 8);
+  for (auto _ : state) {
+    PlacementArenas arenas(placement);
+    HashTree tree({.k = 3, .fanout = 8, .leaf_threshold = 8}, policy, arenas);
+    for (const auto& c : candidates) tree.insert(c);
+    benchmark::DoNotOptimize(tree.num_candidates());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(candidates.size()));
+}
+BENCHMARK(BM_TreeInsert)
+    ->Arg(static_cast<int>(PlacementPolicy::Malloc))
+    ->Arg(static_cast<int>(PlacementPolicy::SPP))
+    ->Arg(static_cast<int>(PlacementPolicy::LPP));
+
+void BM_TreeCount(benchmark::State& state) {
+  const auto check = static_cast<SubsetCheck>(state.range(0));
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  const HashPolicy policy(HashScheme::Bitonic, 4);
+  HashTree tree({.k = 3, .fanout = 4, .leaf_threshold = 8}, policy, arenas);
+  for (const auto& c : combos(26, 3)) tree.insert(c);
+
+  // A long transaction maximizes duplicate hash paths — the short-circuit
+  // strategies' home turf.
+  std::vector<item_t> txn(20);
+  for (item_t i = 0; i < 20; ++i) txn[i] = i;
+
+  CountContext ctx = tree.make_context(check);
+  for (auto _ : state) {
+    tree.count_transaction(txn, ctx);
+  }
+  state.counters["internal_visits_per_txn"] = benchmark::Counter(
+      static_cast<double>(ctx.internal_visits) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_TreeCount)
+    ->Arg(static_cast<int>(SubsetCheck::LeafVisited))
+    ->Arg(static_cast<int>(SubsetCheck::VisitedFlags))
+    ->Arg(static_cast<int>(SubsetCheck::FrameLocal));
+
+void BM_TreeRemap(benchmark::State& state) {
+  const auto candidates = combos(26, 3);
+  const HashPolicy policy(HashScheme::Bitonic, 8);
+  for (auto _ : state) {
+    state.PauseTiming();
+    PlacementArenas arenas(PlacementPolicy::GPP);
+    HashTree tree({.k = 3, .fanout = 8, .leaf_threshold = 8}, policy, arenas);
+    for (const auto& c : candidates) tree.insert(c);
+    state.ResumeTiming();
+    tree.remap_depth_first();
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+}
+BENCHMARK(BM_TreeRemap);
+
+void BM_SubsetContainment(benchmark::State& state) {
+  std::vector<item_t> txn(30);
+  for (item_t i = 0; i < 30; ++i) txn[i] = i * 3;
+  const std::vector<item_t> yes{0, 27, 60};
+  const std::vector<item_t> no{0, 28, 60};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_subset_sorted(yes, txn));
+    benchmark::DoNotOptimize(is_subset_sorted(no, txn));
+  }
+}
+BENCHMARK(BM_SubsetContainment);
+
+}  // namespace
+}  // namespace smpmine
+
+BENCHMARK_MAIN();

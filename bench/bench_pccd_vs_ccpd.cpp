@@ -1,0 +1,63 @@
+// Section 6 statement: "We do not present any results for the PCCD
+// approach since it performs very poorly, and results in a speed-down on
+// more than one processor."
+//
+// This bench measures why: PCCD makes every thread scan the entire
+// database, so its total traversal work grows ~linearly with P while
+// CCPD's stays constant. The modeled computation time and the
+// machine-independent work counters both show the speed-down.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace smpmine;
+using namespace smpmine::bench;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  add_common_flags(cli);
+  cli.add_flag("support", "minimum support (fraction)", "0.005");
+  if (!cli.parse(argc, argv)) return 1;
+  const BenchEnv env =
+      parse_env(cli, {"T5.I2.D100K", "T10.I4.D100K"}, {1, 2, 4, 8});
+  const double support = cli.get_double("support", 0.005);
+
+  print_header("PCCD vs CCPD",
+               "Section 6 (PCCD speed-down; why the paper only evaluates "
+               "CCPD)",
+               env);
+
+  TextTable table({"Database", "P", "algo", "modeled_s", "work (checks)",
+                   "work vs CCPD P=1"});
+  for (const std::string& name : env.datasets) {
+    const Database db = make_dataset(name, env);
+    std::uint64_t ccpd_base_work = 0;
+    for (const std::uint32_t threads : env.thread_counts) {
+      for (const Algorithm algo : {Algorithm::CCPD, Algorithm::PCCD}) {
+        MinerOptions opts;
+        opts.min_support = support;
+        opts.threads = threads;
+        opts.algorithm = algo;
+        const MiningResult r = run_miner(db, opts);
+        const std::uint64_t work = r.traversal_work();
+        if (algo == Algorithm::CCPD && threads == env.thread_counts.front()) {
+          ccpd_base_work = work;
+        }
+        table.add_row(
+            {scaled_name(name, env), std::to_string(threads),
+             to_string(algo), TextTable::num(r.modeled_total_seconds(), 3),
+             std::to_string(work),
+             TextTable::num(ccpd_base_work > 0
+                                ? static_cast<double>(work) /
+                                      static_cast<double>(ccpd_base_work)
+                                : 1.0,
+                            2) + "x"});
+      }
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nExpect: CCPD's total work is ~constant in P; PCCD's grows "
+            "toward Px (every thread re-reads the whole database), the "
+            "paper's speed-down.");
+  return 0;
+}

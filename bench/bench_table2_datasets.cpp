@@ -1,0 +1,52 @@
+// Table 2: database properties.
+//
+// Paper values (full size): T5.I2.D100K 2.6MB ... T10.I6.D3200K 136.9MB.
+// This bench generates each dataset (scaled by default) and prints the
+// measured T, I, D and total size next to the paper's full-size figures.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace smpmine;
+using namespace smpmine::bench;
+
+namespace {
+
+// Paper Table 2 "Total size" column, MB, in table2_datasets() order.
+constexpr double kPaperSizesMb[] = {2.6, 4.3, 6.2, 7.9, 17.1, 34.6, 69.8, 136.9};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const BenchEnv env = parse_env(cli, table2_datasets());
+
+  print_header("Table 2: database properties",
+               "Table 2 (T, I, D, total size per benchmark database)", env);
+
+  TextTable table({"Database", "T(meas)", "I(param)", "D", "size MB",
+                   "paper MB (full)", "scaled paper MB"});
+  for (std::size_t i = 0; i < env.datasets.size(); ++i) {
+    const std::string& name = env.datasets[i];
+    const Database db = make_dataset(name, env);
+    const auto params = QuestParams::from_name(name);
+    const double paper_mb =
+        i < std::size(kPaperSizesMb) && env.datasets == table2_datasets()
+            ? kPaperSizesMb[i]
+            : 0.0;
+    table.add_row({scaled_name(name, env),
+                   TextTable::num(db.avg_transaction_size(), 2),
+                   TextTable::num(params ? params->avg_pattern_len : 0.0, 0),
+                   std::to_string(db.size()),
+                   TextTable::num(static_cast<double>(db.storage_bytes()) / 1e6, 2),
+                   paper_mb > 0 ? TextTable::num(paper_mb, 1) : "-",
+                   paper_mb > 0 ? TextTable::num(paper_mb * env.scale, 2) : "-"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nNote: 'size MB' counts item + offset storage; the paper's "
+            "column is its on-disk format, so compare growth shape, not "
+            "absolute bytes.");
+  return 0;
+}

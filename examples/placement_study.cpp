@@ -1,0 +1,76 @@
+// Placement study — using the library's memory-placement machinery the way
+// Section 5 of the paper does, as a standalone investigation.
+//
+//   $ ./placement_study [--support 0.005] [--threads 4] [--scale 0.2]
+//
+// Mines one dataset under every placement policy and prints a side-by-side
+// of time, locality proxies, and the false-sharing hazard metric, then
+// explains what each policy changed. A template for tuning placement on
+// your own workload.
+#include <cstdio>
+
+#include "core/miner.hpp"
+#include "data/quest_gen.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace smpmine;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("support", "minimum support (fraction)", "0.005");
+  cli.add_flag("threads", "mining threads", "4");
+  cli.add_flag("scale", "fraction of T10.I4.D100K to generate", "0.2");
+  if (!cli.parse(argc, argv)) return 1;
+
+  QuestParams gen = *QuestParams::from_name("T10.I4.D100K");
+  gen = scaled(gen, cli.get_double("scale", 0.2));
+  std::printf("dataset: %s\n", gen.name().c_str());
+  const Database db = generate_quest(gen);
+
+  TextTable table({"policy", "wall_s", "modeled_s", "same-line rate",
+                   "stride KB", "ctr/itemset sharing", "tree MB (peak)"});
+  for (const PlacementPolicy policy : kAllPolicies) {
+    MinerOptions options;
+    options.min_support = cli.get_double("support", 0.005);
+    options.threads = static_cast<std::uint32_t>(cli.get_int("threads", 4));
+    options.placement = policy;
+    options.collect_locality = true;
+    const MiningResult r = mine(db, options);
+
+    double same_line = 0.0, stride = 0.0, sharing = 0.0, weight = 0.0;
+    std::uint64_t peak_bytes = 0;
+    for (const auto& it : r.iterations) {
+      const auto w = static_cast<double>(it.candidates);
+      same_line += it.locality_same_line_rate * w;
+      stride += it.locality_mean_stride * w;
+      sharing += it.counter_itemset_line_sharing * w;
+      weight += w;
+      peak_bytes = std::max(peak_bytes, it.tree_bytes);
+    }
+    if (weight > 0) {
+      same_line /= weight;
+      stride /= weight;
+      sharing /= weight;
+    }
+    table.add_row({to_string(policy), TextTable::num(r.total_seconds, 3),
+                   TextTable::num(r.modeled_total_seconds(), 3),
+                   TextTable::num(same_line, 3),
+                   TextTable::num(stride / 1024.0, 0),
+                   TextTable::pct(sharing, 0),
+                   TextTable::num(static_cast<double>(peak_bytes) / 1e6, 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts(
+      "\nhow to read this:\n"
+      "  CCPD     malloc everywhere: scattered blocks, counters inline.\n"
+      "  SPP      one bump region in creation order: stride collapses.\n"
+      "  L-SPP    + counters in their own region: sharing drops to 0%.\n"
+      "  L-LPP    + (list node, itemset) co-reserved pairs.\n"
+      "  GPP      + depth-first remap: trace order == memory order.\n"
+      "  L-GPP    GPP with segregated counters.\n"
+      "  LCA-GPP  per-thread counter arrays + reduction: no locks, no\n"
+      "           false sharing; the reduce step is the price.");
+  return 0;
+}

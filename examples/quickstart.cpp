@@ -1,0 +1,48 @@
+// Quickstart: mine association rules from a tiny hand-written basket
+// database — the paper's own worked example (Section 2.1.3).
+//
+//   $ ./quickstart
+//
+// Walks the full pipeline: build a Database, mine frequent itemsets with
+// the sequential miner, and generate rules with confidence and lift.
+#include <cstdio>
+
+#include "core/miner.hpp"
+#include "core/rules.hpp"
+#include "itemset/itemset.hpp"
+
+using namespace smpmine;
+
+int main() {
+  // Four shopping baskets over items {1..5}.
+  Database db;
+  db.add_transaction(std::vector<item_t>{1, 4, 5});
+  db.add_transaction(std::vector<item_t>{1, 2});
+  db.add_transaction(std::vector<item_t>{3, 4, 5});
+  db.add_transaction(std::vector<item_t>{1, 2, 4, 5});
+
+  MinerOptions options;
+  options.min_support = 0.5;     // an itemset must appear in half the baskets
+  options.min_confidence = 0.7;  // rule strength threshold
+
+  const MiningResult result = mine_sequential(db, options);
+
+  std::puts("frequent itemsets (support count):");
+  for (const FrequentSet& level : result.levels) {
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      std::printf("  %s  x%u\n", format_itemset(level.itemset(i)).c_str(),
+                  level.count(i));
+    }
+  }
+
+  std::puts("\nassociation rules:");
+  for (const Rule& rule :
+       generate_rules(result, options.min_confidence, db.size())) {
+    std::printf("  %s\n", rule.to_string().c_str());
+  }
+
+  std::printf("\nmined %llu itemsets over %zu iterations in %.4fs\n",
+              static_cast<unsigned long long>(result.total_frequent()),
+              result.iterations.size(), result.total_seconds);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Retail basket analysis — the paper's motivating scenario.
+//
+//   $ ./retail_basket [--customers 50000] [--support 0.005] [--threads 4]
+//
+// Generates a synthetic retail workload with the Quest generator (the same
+// process behind the paper's benchmark databases), mines it in parallel
+// with CCPD, and prints the strongest rules plus a per-iteration mining
+// profile — what a merchandising analyst would actually look at.
+#include <cstdio>
+
+#include "core/miner.hpp"
+#include "core/rules.hpp"
+#include "data/quest_gen.hpp"
+#include "itemset/itemset.hpp"
+#include "util/cli.hpp"
+
+using namespace smpmine;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("customers", "number of baskets to generate", "50000");
+  cli.add_flag("support", "minimum support (fraction)", "0.005");
+  cli.add_flag("confidence", "minimum rule confidence", "0.8");
+  cli.add_flag("threads", "mining threads", "4");
+  cli.add_flag("top", "rules to print", "15");
+  if (!cli.parse(argc, argv)) return 1;
+
+  QuestParams gen;
+  gen.num_transactions =
+      static_cast<std::uint32_t>(cli.get_int("customers", 50'000));
+  gen.avg_transaction_len = 10;  // items per basket
+  gen.avg_pattern_len = 4;       // co-purchase pattern size
+  gen.num_items = 1000;          // catalogue size (paper's N)
+  gen.num_patterns = 2000;       // latent co-purchase patterns (paper's L)
+  gen.seed = 42;
+
+  std::printf("generating %s (%u baskets over %u products)...\n",
+              gen.name().c_str(), gen.num_transactions, gen.num_items);
+  const Database db = generate_quest(gen);
+
+  MinerOptions options;
+  options.min_support = cli.get_double("support", 0.005);
+  options.min_confidence = cli.get_double("confidence", 0.8);
+  options.threads = static_cast<std::uint32_t>(cli.get_int("threads", 4));
+  options.placement = PlacementPolicy::LcaGpp;  // the paper's best scheme
+
+  std::printf("mining at %.2f%% support on %u threads (%s placement)...\n",
+              options.min_support * 100.0, options.threads,
+              to_string(options.placement).c_str());
+  const MiningResult result = mine(db, options);
+  std::fputs(result.report().c_str(), stdout);
+
+  const auto rules =
+      generate_rules(result, options.min_confidence, db.size());
+  const auto top = static_cast<std::size_t>(cli.get_int("top", 15));
+  std::printf("\n%zu rules at confidence >= %.0f%%; top %zu by confidence:\n",
+              rules.size(), options.min_confidence * 100.0,
+              std::min(top, rules.size()));
+  for (std::size_t i = 0; i < rules.size() && i < top; ++i) {
+    std::printf("  %2zu. %s\n", i + 1, rules[i].to_string().c_str());
+  }
+  if (!rules.empty()) {
+    std::puts("\nreading: customers who buy the left-hand products also buy "
+              "the right-hand ones; lift > 1 means the association beats "
+              "chance.");
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure reproduction and the test evidence.
+#
+#   scripts/run_experiments.sh [--full]
+#
+# --full runs the paper's dataset sizes (hours); default is the 0.1 scale
+# (minutes). Outputs land in test_output.txt and bench_output.txt at the
+# repository root, matching what EXPERIMENTS.md cites.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EXTRA=()
+if [[ "${1:-}" == "--full" ]]; then
+  EXTRA+=(--full)
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [[ -f "$b" && -x "$b" ]] || continue
+  echo "=== $b ===" | tee -a bench_output.txt
+  "$b" "${EXTRA[@]}" 2>&1 | tee -a bench_output.txt
+done

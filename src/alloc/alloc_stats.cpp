@@ -1,0 +1,43 @@
+#include "alloc/alloc_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace smpmine {
+
+LocalityReport analyze_trace(const std::vector<std::uintptr_t>& trace) {
+  LocalityReport report;
+  report.touches = trace.size();
+  if (trace.empty()) return report;
+
+  std::unordered_set<std::uintptr_t> lines;
+  std::unordered_set<std::uintptr_t> pages;
+  lines.reserve(trace.size());
+  pages.reserve(trace.size() / 8 + 1);
+
+  double stride_sum = 0.0;
+  std::uint64_t same_line = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    lines.insert(trace[i] / kCacheLine);
+    pages.insert(trace[i] / 4096);
+    if (i > 0) {
+      const auto a = trace[i - 1];
+      const auto b = trace[i];
+      stride_sum += static_cast<double>(a > b ? a - b : b - a);
+      if (a / kCacheLine == b / kCacheLine) ++same_line;
+    }
+  }
+  report.distinct_lines = lines.size();
+  report.distinct_pages = pages.size();
+  if (trace.size() > 1) {
+    report.mean_stride = stride_sum / static_cast<double>(trace.size() - 1);
+    report.same_line_rate =
+        static_cast<double>(same_line) / static_cast<double>(trace.size() - 1);
+  }
+  report.line_reuse = static_cast<double>(report.touches) /
+                      static_cast<double>(report.distinct_lines);
+  return report;
+}
+
+}  // namespace smpmine

@@ -1,0 +1,31 @@
+// Locality diagnostics over a recorded access trace.
+//
+// Wall-clock locality effects are noisy on a shared 1-core container, so the
+// benches also report deterministic proxies: given the sequence of addresses
+// a traversal touches, how many distinct cache lines / pages does it span,
+// and how far apart are consecutive touches? A placement policy that works
+// shrinks all three.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace smpmine {
+
+struct LocalityReport {
+  std::uint64_t touches = 0;          ///< recorded accesses
+  std::uint64_t distinct_lines = 0;   ///< distinct 64B cache lines
+  std::uint64_t distinct_pages = 0;   ///< distinct 4KiB pages
+  double mean_stride = 0.0;           ///< mean |addr[i+1]-addr[i]| in bytes
+  double line_reuse = 0.0;            ///< touches per distinct line
+  /// Fraction of consecutive touch pairs that land on the same cache line —
+  /// the direct payoff of grouping related blocks.
+  double same_line_rate = 0.0;
+};
+
+/// Computes the report for an address trace (order matters).
+LocalityReport analyze_trace(const std::vector<std::uintptr_t>& trace);
+
+}  // namespace smpmine

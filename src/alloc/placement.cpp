@@ -1,0 +1,135 @@
+#include "alloc/placement.hpp"
+
+namespace smpmine {
+
+bool policy_uses_region(PlacementPolicy p) {
+  return p != PlacementPolicy::Malloc;
+}
+
+bool policy_localized(PlacementPolicy p) {
+  return p == PlacementPolicy::LPP || p == PlacementPolicy::LLPP;
+}
+
+bool policy_remaps(PlacementPolicy p) {
+  return p == PlacementPolicy::GPP || p == PlacementPolicy::LGPP ||
+         p == PlacementPolicy::LcaGpp;
+}
+
+bool policy_segregates_counters(PlacementPolicy p) {
+  return p == PlacementPolicy::LSPP || p == PlacementPolicy::LLPP ||
+         p == PlacementPolicy::LGPP;
+}
+
+bool policy_local_counters(PlacementPolicy p) {
+  return p == PlacementPolicy::LcaGpp;
+}
+
+std::string to_string(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::Malloc: return "CCPD";
+    case PlacementPolicy::SPP: return "SPP";
+    case PlacementPolicy::LPP: return "LPP";
+    case PlacementPolicy::GPP: return "GPP";
+    case PlacementPolicy::LSPP: return "L-SPP";
+    case PlacementPolicy::LLPP: return "L-LPP";
+    case PlacementPolicy::LGPP: return "L-GPP";
+    case PlacementPolicy::LcaGpp: return "LCA-GPP";
+  }
+  return "?";
+}
+
+std::optional<PlacementPolicy> placement_from_string(const std::string& name) {
+  if (name == "CCPD" || name == "malloc") return PlacementPolicy::Malloc;
+  if (name == "SPP" || name == "spp") return PlacementPolicy::SPP;
+  if (name == "LPP" || name == "lpp") return PlacementPolicy::LPP;
+  if (name == "GPP" || name == "gpp") return PlacementPolicy::GPP;
+  if (name == "L-SPP" || name == "lspp") return PlacementPolicy::LSPP;
+  if (name == "L-LPP" || name == "llpp") return PlacementPolicy::LLPP;
+  if (name == "L-GPP" || name == "lgpp") return PlacementPolicy::LGPP;
+  if (name == "LCA-GPP" || name == "lca" || name == "lcagpp") {
+    return PlacementPolicy::LcaGpp;
+  }
+  return std::nullopt;
+}
+
+const char* to_string(SppVariant v) {
+  switch (v) {
+    case SppVariant::Common: return "common";
+    case SppVariant::Individual: return "individual";
+    case SppVariant::Grouped: return "grouped";
+  }
+  return "?";
+}
+
+PlacementArenas::PlacementArenas(PlacementPolicy policy, SppVariant variant)
+    : policy_(policy), variant_(variant) {
+  if (policy_uses_region(policy_)) {
+    tree_ = std::make_unique<Region>();
+  } else {
+    tree_ = std::make_unique<MallocArena>();
+    variant_ = SppVariant::Common;  // variants are region-policy features
+  }
+  if (policy_segregates_counters(policy_) || policy_local_counters(policy_)) {
+    // LCA also keeps its (never-contended) global counter array out of the
+    // read-only tree region.
+    counters_ = std::make_unique<Region>();
+  }
+  switch (variant_) {
+    case SppVariant::Common:
+      break;  // kind_arena_ stays null => everything from tree_
+    case SppVariant::Individual:
+      // One region per block kind; tree_ serves kind Node.
+      kind_arena_[static_cast<std::size_t>(BlockKind::Node)] = tree_.get();
+      for (const BlockKind kind :
+           {BlockKind::HashTable, BlockKind::ListHeader, BlockKind::ListNode,
+            BlockKind::Itemset}) {
+        extra_.push_back(std::make_unique<Region>());
+        kind_arena_[static_cast<std::size_t>(kind)] = extra_.back().get();
+      }
+      break;
+    case SppVariant::Grouped: {
+      // Tree skeleton (HTN, HTNP, ILH) from tree_; leaf contents (LN,
+      // itemsets) from one shared second region.
+      extra_.push_back(std::make_unique<Region>());
+      Region* leaf_region = extra_.back().get();
+      kind_arena_[static_cast<std::size_t>(BlockKind::Node)] = tree_.get();
+      kind_arena_[static_cast<std::size_t>(BlockKind::HashTable)] =
+          tree_.get();
+      kind_arena_[static_cast<std::size_t>(BlockKind::ListHeader)] =
+          tree_.get();
+      kind_arena_[static_cast<std::size_t>(BlockKind::ListNode)] = leaf_region;
+      kind_arena_[static_cast<std::size_t>(BlockKind::Itemset)] = leaf_region;
+      break;
+    }
+  }
+}
+
+AllocStats PlacementArenas::tree_stats() const {
+  AllocStats total = tree_->stats();
+  for (const auto& region : extra_) {
+    const AllocStats s = region->stats();
+    total.allocations += s.allocations;
+    total.bytes_requested += s.bytes_requested;
+    total.bytes_reserved += s.bytes_reserved;
+    total.chunks += s.chunks;
+  }
+  return total;
+}
+
+Region& PlacementArenas::remap_target() {
+  if (!remap_) remap_ = std::make_unique<Region>();
+  return *remap_;
+}
+
+void PlacementArenas::reset() {
+  if (policy_uses_region(policy_)) {
+    static_cast<Region*>(tree_.get())->reset();
+  } else {
+    static_cast<MallocArena*>(tree_.get())->release();
+  }
+  for (auto& region : extra_) region->reset();
+  if (counters_) static_cast<Region*>(counters_.get())->reset();
+  if (remap_) remap_->reset();
+}
+
+}  // namespace smpmine

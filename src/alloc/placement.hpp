@@ -1,0 +1,123 @@
+// Placement policies for the hash tree (paper Section 5, Figure 5).
+//
+// Each policy names a combination of three orthogonal mechanisms:
+//   1. where tree blocks come from  — scattered malloc vs one bump region,
+//   2. whether the built tree is *remapped* depth-first (GPP),
+//   3. where read-write state (locks + support counters) lives —
+//      interleaved with tree data, a segregated region (L-*), or
+//      per-thread private arrays with a final reduction (LCA).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/region.hpp"
+
+namespace smpmine {
+
+enum class PlacementPolicy {
+  Malloc,  ///< CCPD baseline: standard allocator, counters inline
+  SPP,     ///< simple placement: one common region, creation order
+  LPP,     ///< localized placement: reservation groups (LN,itemset),(HTN,ILH)
+  GPP,     ///< global placement: SPP build + depth-first remap
+  LSPP,    ///< SPP + segregated lock/counter region
+  LLPP,    ///< LPP + segregated lock/counter region
+  LGPP,    ///< GPP + segregated lock/counter region
+  LcaGpp,  ///< GPP + per-thread local counter arrays (privatize & reduce)
+};
+
+/// True when tree blocks are served by a bump Region (everything but Malloc).
+bool policy_uses_region(PlacementPolicy p);
+
+/// True when (ListNode, itemset) and (HTN, list header) pairs are
+/// co-reserved (LPP family).
+bool policy_localized(PlacementPolicy p);
+
+/// True when the tree is remapped depth-first after the build (GPP family).
+bool policy_remaps(PlacementPolicy p);
+
+/// True when locks + counters are segregated from read-only tree data.
+bool policy_segregates_counters(PlacementPolicy p);
+
+/// True when support counters are privatized per thread (LCA-GPP).
+bool policy_local_counters(PlacementPolicy p);
+
+std::string to_string(PlacementPolicy p);
+std::optional<PlacementPolicy> placement_from_string(const std::string& name);
+
+/// The hash tree's block kinds (paper Figure 3); placement variants route
+/// each kind to a region.
+enum class BlockKind {
+  Node,        ///< HTN
+  HashTable,   ///< HTNP pointer array
+  ListHeader,  ///< ILH
+  ListNode,    ///< LN
+  Itemset,     ///< the candidate record
+};
+inline constexpr std::size_t kNumBlockKinds = 5;
+
+/// Section 5.1's three SPP variations: where region-based policies draw
+/// their tree blocks from.
+enum class SppVariant {
+  Common,      ///< all block kinds share one region (the paper's SPP)
+  Individual,  ///< one region per block kind
+  Grouped,     ///< program-semantics groups: tree skeleton (HTN, HTNP, ILH)
+               ///< vs leaf contents (LN, itemsets)
+};
+
+const char* to_string(SppVariant v);
+
+/// All policies in the order the paper's Figure 13 charts them.
+inline constexpr PlacementPolicy kAllPolicies[] = {
+    PlacementPolicy::Malloc, PlacementPolicy::SPP,  PlacementPolicy::LSPP,
+    PlacementPolicy::LLPP,   PlacementPolicy::GPP,  PlacementPolicy::LGPP,
+    PlacementPolicy::LcaGpp,
+};
+
+/// The bundle of arenas one hash tree draws from under a given policy.
+/// Owns the backing memory; destroying it frees the whole tree at once
+/// (the paper's "faster memory freeing option").
+class PlacementArenas {
+ public:
+  explicit PlacementArenas(PlacementPolicy policy,
+                           SppVariant variant = SppVariant::Common);
+
+  PlacementPolicy policy() const { return policy_; }
+  SppVariant variant() const { return variant_; }
+
+  /// Arena for tree structure blocks. With the Common variant (or the
+  /// Malloc policy) every kind maps to one arena; Individual/Grouped route
+  /// kinds to their own regions.
+  Arena& tree(BlockKind kind = BlockKind::Node) {
+    Arena* a = kind_arena_[static_cast<std::size_t>(kind)];
+    return a != nullptr ? *a : *tree_;
+  }
+
+  /// Arena for read-write blocks (locks + counters). Identical to tree()
+  /// unless the policy segregates them.
+  Arena& counters() { return counters_ ? *counters_ : *tree_; }
+
+  /// Fresh region the depth-first remap copies into (GPP family only).
+  Region& remap_target();
+
+  /// Recycles every arena for the next iteration's tree.
+  void reset();
+
+  /// Aggregate over every tree arena (one or several under the
+  /// Individual/Grouped variants).
+  AllocStats tree_stats() const;
+
+ private:
+  PlacementPolicy policy_;
+  SppVariant variant_ = SppVariant::Common;
+  std::unique_ptr<Arena> tree_;
+  std::unique_ptr<Arena> counters_;  // null when not segregated
+  std::unique_ptr<Region> remap_;    // lazily created
+  /// Extra regions for the Individual/Grouped variants; entries may alias.
+  std::vector<std::unique_ptr<Region>> extra_;
+  Arena* kind_arena_[kNumBlockKinds] = {};
+};
+
+}  // namespace smpmine

@@ -1,0 +1,116 @@
+#include "alloc/region.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <new>
+
+namespace smpmine {
+namespace {
+
+std::size_t align_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Region::Region(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {}
+
+Region::~Region() = default;
+
+Region::Chunk& Region::grow(std::size_t min_bytes) {
+  const std::size_t size = std::max(chunk_bytes_, min_bytes);
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  chunks_.push_back(std::move(chunk));
+  stats_.chunks = chunks_.size();
+  stats_.bytes_reserved += size;
+  return chunks_.back();
+}
+
+void* Region::alloc(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  std::lock_guard<SpinLock> guard(mu_);
+  Chunk* chunk = chunks_.empty() ? nullptr : &chunks_.back();
+  std::size_t offset = 0;
+  if (chunk != nullptr) {
+    offset = align_up(
+        reinterpret_cast<std::uintptr_t>(chunk->data.get()) + chunk->offset,
+        align) -
+        reinterpret_cast<std::uintptr_t>(chunk->data.get());
+  }
+  if (chunk == nullptr || offset + bytes > chunk->size) {
+    // New chunks from make_unique are max_align_t-aligned; over-reserve so
+    // any alignment request fits.
+    chunk = &grow(bytes + align);
+    offset = align_up(reinterpret_cast<std::uintptr_t>(chunk->data.get()),
+                      align) -
+             reinterpret_cast<std::uintptr_t>(chunk->data.get());
+  }
+  void* result = chunk->data.get() + offset;
+  chunk->offset = offset + bytes;
+  used_ += bytes;
+  ++stats_.allocations;
+  stats_.bytes_requested += bytes;
+  return result;
+}
+
+AllocStats Region::stats() const { return stats_; }
+
+void Region::reset() {
+  if (chunks_.size() > 1) {
+    chunks_.erase(chunks_.begin() + 1, chunks_.end());
+  }
+  if (!chunks_.empty()) {
+    chunks_.front().offset = 0;
+    stats_.bytes_reserved = chunks_.front().size;
+  } else {
+    stats_.bytes_reserved = 0;
+  }
+  stats_.chunks = chunks_.size();
+  used_ = 0;
+}
+
+void Region::release() {
+  chunks_.clear();
+  stats_.chunks = 0;
+  stats_.bytes_reserved = 0;
+  used_ = 0;
+}
+
+MallocArena::~MallocArena() { release(); }
+
+void* MallocArena::alloc(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  void* ptr = nullptr;
+  if (align > alignof(std::max_align_t)) {
+    ptr = ::operator new(bytes, std::align_val_t(align));
+  } else {
+    ptr = ::operator new(bytes);
+    align = 0;  // remember which delete to use
+  }
+  std::lock_guard<SpinLock> guard(mu_);
+  blocks_.push_back(Block{ptr, align});
+  ++stats_.allocations;
+  stats_.bytes_requested += bytes;
+  stats_.bytes_reserved += bytes;
+  stats_.chunks = blocks_.size();  // every block is its own "chunk"
+  return ptr;
+}
+
+AllocStats MallocArena::stats() const { return stats_; }
+
+void MallocArena::release() {
+  for (const Block& b : blocks_) {
+    if (b.align != 0) {
+      ::operator delete(b.ptr, std::align_val_t(b.align));
+    } else {
+      ::operator delete(b.ptr);
+    }
+  }
+  blocks_.clear();
+  stats_.chunks = 0;
+  stats_.bytes_reserved = 0;
+}
+
+}  // namespace smpmine

@@ -1,0 +1,18 @@
+// The sequential association algorithm of paper Section 2.
+//
+// CCPD at P=1 *is* Apriori with the hash-tree optimizations: the partition
+// schemes degenerate to the identity, the per-leaf locks are uncontended,
+// and the database "partition" is the whole database. This wrapper pins the
+// configuration accordingly so callers get the textbook algorithm without
+// threading setup.
+#include "core/miner.hpp"
+
+namespace smpmine {
+
+MiningResult mine_sequential(const Database& db, MinerOptions options) {
+  options.threads = 1;
+  options.algorithm = Algorithm::CCPD;
+  return mine_ccpd(db, options);
+}
+
+}  // namespace smpmine

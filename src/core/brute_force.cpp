@@ -1,0 +1,94 @@
+#include "core/brute_force.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "core/candidate_gen.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+
+std::vector<FrequentSet> brute_force_frequent(const Database& db,
+                                              double min_support,
+                                              std::size_t max_len) {
+  const count_t min_count = absolute_support(min_support, db.size());
+
+  // Frequent single items first; longer itemsets can only use them, which
+  // keeps the per-transaction subset enumeration tractable.
+  std::map<item_t, count_t> item_counts;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    for (const item_t item : db.transaction(t)) ++item_counts[item];
+  }
+  std::vector<item_t> frequent_items;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= min_count) frequent_items.push_back(item);
+  }
+
+  std::size_t longest = 0;
+  std::vector<std::vector<item_t>> filtered(db.size());
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    const auto txn = db.transaction(t);
+    auto& ft = filtered[t];
+    std::set_intersection(txn.begin(), txn.end(), frequent_items.begin(),
+                          frequent_items.end(), std::back_inserter(ft));
+    longest = std::max(longest, ft.size());
+  }
+  if (max_len == 0 || max_len > longest) max_len = longest;
+
+  std::vector<FrequentSet> levels;
+  for (std::size_t k = 1; k <= max_len; ++k) {
+    std::map<std::vector<item_t>, count_t> counts;  // ordered => sorted F(k)
+    for (const auto& txn : filtered) {
+      for (auto& subset : k_subsets(txn, k)) ++counts[std::move(subset)];
+    }
+    std::vector<item_t> flat;
+    std::vector<count_t> counted;
+    for (const auto& [itemset, count] : counts) {
+      if (count < min_count) continue;
+      flat.insert(flat.end(), itemset.begin(), itemset.end());
+      counted.push_back(count);
+    }
+    if (counted.empty()) break;
+    levels.emplace_back(k, std::move(flat), std::move(counted));
+  }
+  return levels;
+}
+
+bool levels_equal(const std::vector<FrequentSet>& a,
+                  const std::vector<FrequentSet>& b, std::string* diagnostic) {
+  auto describe = [&](const std::string& what) {
+    if (diagnostic != nullptr) *diagnostic = what;
+    return false;
+  };
+  if (a.size() != b.size()) {
+    std::ostringstream os;
+    os << "level count differs: " << a.size() << " vs " << b.size();
+    return describe(os.str());
+  }
+  for (std::size_t level = 0; level < a.size(); ++level) {
+    const FrequentSet& fa = a[level];
+    const FrequentSet& fb = b[level];
+    if (fa.k() != fb.k() || fa.size() != fb.size()) {
+      std::ostringstream os;
+      os << "level " << level + 1 << " shape differs: k=" << fa.k() << "/"
+         << fb.k() << " size=" << fa.size() << "/" << fb.size();
+      return describe(os.str());
+    }
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+      if (compare_itemsets(fa.itemset(i), fb.itemset(i)) != 0 ||
+          fa.count(i) != fb.count(i)) {
+        std::ostringstream os;
+        os << "level " << level + 1 << " record " << i << " differs: "
+           << format_itemset(fa.itemset(i)) << " count " << fa.count(i)
+           << " vs " << format_itemset(fb.itemset(i)) << " count "
+           << fb.count(i);
+        return describe(os.str());
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace smpmine

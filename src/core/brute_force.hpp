@@ -1,0 +1,28 @@
+// Brute-force reference miner for correctness testing.
+//
+// Deliberately shares no machinery with the real miners: supports are
+// gathered by enumerating every k-subset of every transaction into a plain
+// hash map. Exact but exponential in transaction length — use on small
+// databases only (the integration tests do).
+#pragma once
+
+#include "core/stats.hpp"
+#include "data/database.hpp"
+
+namespace smpmine {
+
+/// All frequent itemsets of `db` at fractional `min_support`, as levels
+/// F1..Fmax (same shape as MiningResult::levels). `max_len` caps the
+/// enumeration (0 = no cap beyond transaction lengths).
+std::vector<FrequentSet> brute_force_frequent(const Database& db,
+                                              double min_support,
+                                              std::size_t max_len = 0);
+
+/// True when two level vectors contain exactly the same itemsets with the
+/// same support counts; on mismatch, `diagnostic` (if non-null) receives a
+/// description of the first difference.
+bool levels_equal(const std::vector<FrequentSet>& a,
+                  const std::vector<FrequentSet>& b,
+                  std::string* diagnostic = nullptr);
+
+}  // namespace smpmine

@@ -1,0 +1,120 @@
+#include "core/candidate_gen.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace smpmine {
+
+CandGenCounters generate_candidates_emit(
+    const FrequentSet& f, std::span<const EqClass> classes,
+    std::span<const GenUnit> units,
+    const std::function<void(std::span<const item_t>)>& sink) {
+  CandGenCounters counters;
+  const std::size_t k = f.k() + 1;
+  std::vector<item_t> candidate(k);
+  std::vector<item_t> subset(k - 1);
+
+  for (const GenUnit& unit : units) {
+    const EqClass& cls = classes[unit.cls];
+    const std::uint32_t a_idx = cls.begin + unit.member;
+    const std::span<const item_t> a = f.itemset(a_idx);
+    // x = A's items plus B's last item; A and B share the k-2 prefix and
+    // A[k-2] < B[k-2] because the class is sorted.
+    std::copy(a.begin(), a.end(), candidate.begin());
+
+    for (std::uint32_t b_idx = a_idx + 1; b_idx < cls.end; ++b_idx) {
+      candidate[k - 1] = f.itemset(b_idx)[k - 2];
+
+      // Prune: the k-1 subsets obtained by dropping one *prefix* item; the
+      // two generator subsets (drop x[k-2] -> B, drop x[k-1] -> A) are
+      // frequent by construction.
+      bool prune = false;
+      if (k > 2) {
+        for (std::size_t drop = 0; drop + 2 < k && !prune; ++drop) {
+          std::size_t out = 0;
+          for (std::size_t i = 0; i < k; ++i) {
+            if (i != drop) subset[out++] = candidate[i];
+          }
+          prune = !f.contains(std::span<const item_t>(subset.data(), k - 1));
+        }
+      }
+      if (prune) {
+        ++counters.pruned;
+      } else {
+        sink(candidate);
+        ++counters.generated;
+      }
+    }
+  }
+  return counters;
+}
+
+CandGenCounters generate_candidates(
+    const FrequentSet& f, std::span<const EqClass> classes,
+    std::span<const GenUnit> units, HashTree& tree,
+    const std::function<bool(std::span<const item_t>)>& veto) {
+  if (!veto) {
+    return generate_candidates_emit(
+        f, classes, units,
+        [&tree](std::span<const item_t> cand) { tree.insert(cand); });
+  }
+  std::uint64_t vetoed = 0;
+  CandGenCounters counters = generate_candidates_emit(
+      f, classes, units, [&](std::span<const item_t> cand) {
+        if (veto(cand)) {
+          ++vetoed;
+        } else {
+          tree.insert(cand);
+        }
+      });
+  counters.generated -= vetoed;
+  counters.pruned += vetoed;
+  return counters;
+}
+
+void count_items_range(const Database& db, std::uint64_t begin,
+                       std::uint64_t end, std::span<count_t> counts) {
+  for (std::uint64_t t = begin; t < end; ++t) {
+    for (const item_t item : db.transaction(t)) {
+      ++counts[item];
+    }
+  }
+}
+
+FrequentSet compute_f1(const Database& db, count_t min_count,
+                       ThreadPool& pool) {
+  const item_t universe = db.item_universe();
+  if (universe == 0) return FrequentSet(1);
+
+  const std::uint32_t threads = pool.size();
+  std::vector<std::vector<count_t>> partial(
+      threads, std::vector<count_t>(universe, 0));
+  pool.parallel_for_blocked(
+      db.size(), [&](std::size_t begin, std::size_t end, std::uint32_t tid) {
+        count_items_range(db, begin, end, partial[tid]);
+      });
+
+  std::vector<count_t> total(universe, 0);
+  for (const auto& part : partial) {
+    for (item_t i = 0; i < universe; ++i) total[i] += part[i];
+  }
+
+  std::vector<item_t> flat;
+  std::vector<count_t> counts;
+  for (item_t i = 0; i < universe; ++i) {
+    if (total[i] >= min_count) {
+      flat.push_back(i);
+      counts.push_back(total[i]);
+    }
+  }
+  if (flat.empty()) return FrequentSet(1);
+  return FrequentSet(1, std::move(flat), std::move(counts));
+}
+
+count_t absolute_support(double min_support, std::size_t num_transactions) {
+  const double raw = min_support * static_cast<double>(num_transactions);
+  const auto count = static_cast<count_t>(std::ceil(raw));
+  return count > 0 ? count : 1;
+}
+
+}  // namespace smpmine

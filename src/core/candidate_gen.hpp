@@ -1,0 +1,62 @@
+// Candidate generation (paper Section 3.1.1): equivalence-class self-join
+// of F(k-1) with subset pruning, shared by the sequential and parallel
+// miners. Also computes F1 from raw transaction scans.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "data/database.hpp"
+#include "hashtree/hash_tree.hpp"
+#include "itemset/eqclass.hpp"
+#include "itemset/frequent_set.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace smpmine {
+
+struct CandGenCounters {
+  std::uint64_t generated = 0;  ///< candidates inserted into the tree
+  std::uint64_t pruned = 0;     ///< join pairs rejected by subset pruning
+
+  CandGenCounters& operator+=(const CandGenCounters& other) {
+    generated += other.generated;
+    pruned += other.pruned;
+    return *this;
+  }
+};
+
+/// Processes one batch of generation units: joins each unit's member with
+/// every later member of its class, prunes (all k-1 subsets frequent —
+/// only the k-2 non-generator subsets are actually probed), and hands each
+/// surviving candidate to `sink`. Thread-safe when called concurrently on
+/// disjoint unit batches with a thread-safe sink.
+CandGenCounters generate_candidates_emit(
+    const FrequentSet& fk_minus_1, std::span<const EqClass> classes,
+    std::span<const GenUnit> units,
+    const std::function<void(std::span<const item_t>)>& sink);
+
+/// Convenience: survivors are inserted into `tree` (locked insert, so
+/// concurrent batches are safe). A non-null `veto` drops candidates it
+/// returns true for (counted as pruned) — the MinerOptions::candidate_veto
+/// domain-constraint hook.
+CandGenCounters generate_candidates(
+    const FrequentSet& fk_minus_1, std::span<const EqClass> classes,
+    std::span<const GenUnit> units, HashTree& tree,
+    const std::function<bool(std::span<const item_t>)>& veto = nullptr);
+
+/// Counts item frequencies over db[range) into `counts` (size = universe).
+void count_items_range(const Database& db, std::uint64_t begin,
+                       std::uint64_t end, std::span<count_t> counts);
+
+/// F1: frequent single items with their supports, counted with `pool`
+/// (per-thread arrays + reduction). `min_count` is the absolute support
+/// threshold.
+FrequentSet compute_f1(const Database& db, count_t min_count,
+                       ThreadPool& pool);
+
+/// Absolute support threshold for a fractional min-support: an itemset is
+/// frequent when count >= ceil(min_support * |D|), with a floor of 1.
+count_t absolute_support(double min_support, std::size_t num_transactions);
+
+}  // namespace smpmine

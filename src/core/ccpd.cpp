@@ -1,0 +1,255 @@
+// CCPD: Common Candidate tree, Partitioned Database (paper Section 3.3).
+//
+// Iteration k (bulk-synchronous over P threads):
+//   1. candidate generation — equivalence-class join of F(k-1), balanced
+//      over threads (COMP), inserted into one shared hash tree under
+//      per-leaf locks; sequential below the adaptive-parallelism threshold.
+//   2. optional GPP remap of the tree (depth-first, master thread).
+//   3. support counting — each thread scans its database partition and
+//      traverses the shared tree (subset-check strategy per options).
+//   4. LCA reduction when counters are privatized.
+//   5. selection — candidates meeting min-support become F(k).
+#include <algorithm>
+#include <numeric>
+
+#include "alloc/alloc_stats.hpp"
+#include "core/candidate_gen.hpp"
+#include "core/miner.hpp"
+#include "util/timer.hpp"
+
+namespace smpmine {
+
+namespace {
+
+/// Sorts the surviving candidates lexicographically and packs them into
+/// F(k).
+FrequentSet select_frequent(const HashTree& tree, count_t min_count) {
+  const std::size_t k = tree.k();
+  std::vector<const Candidate*> survivors;
+  tree.for_each_candidate([&](const Candidate& cand) {
+    if (*cand.count >= min_count) survivors.push_back(&cand);
+  });
+  std::sort(survivors.begin(), survivors.end(),
+            [k](const Candidate* a, const Candidate* b) {
+              return compare_itemsets(a->view(k), b->view(k)) < 0;
+            });
+  if (survivors.empty()) return FrequentSet(k);
+
+  std::vector<item_t> flat;
+  flat.reserve(survivors.size() * k);
+  std::vector<count_t> counts;
+  counts.reserve(survivors.size());
+  for (const Candidate* cand : survivors) {
+    const auto view = cand->view(k);
+    flat.insert(flat.end(), view.begin(), view.end());
+    counts.push_back(*cand->count);
+  }
+  return FrequentSet(k, std::move(flat), std::move(counts));
+}
+
+}  // namespace
+
+MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
+  MinerOptions opts = options;
+  opts.validate();
+
+  WallTimer total_timer;
+  ThreadPool pool(opts.threads);
+  const std::uint32_t threads = pool.size();
+  MiningResult result;
+  const count_t min_count = absolute_support(opts.min_support, db.size());
+
+  {
+    WallTimer f1_timer;
+    result.levels.push_back(compute_f1(db, min_count, pool));
+    result.f1_seconds = f1_timer.seconds();
+  }
+
+  // One arena bundle reused (reset) across iterations — the custom
+  // library's pre-allocated-memory reuse.
+  PlacementArenas arenas(opts.placement, opts.spp_variant);
+  DbRanges ranges = partition_database(db, threads, opts.db_partition);
+
+  for (std::uint32_t k = 2; k <= opts.max_iterations; ++k) {
+    const FrequentSet& prev = result.levels.back();
+    if (prev.size() < 2) break;
+
+    IterationStats it;
+    it.k = k;
+
+    // ---- candidate generation -------------------------------------------
+    WallTimer candgen_timer;
+    const std::vector<EqClass> classes = build_equivalence_classes(prev);
+    const std::vector<GenUnit> units = generation_units(classes, k);
+    if (units.empty()) break;
+
+    const std::uint32_t fanout =
+        opts.adaptive_fanout
+            ? adaptive_fanout(total_join_pairs(classes), k,
+                              opts.leaf_threshold, opts.min_fanout,
+                              opts.max_fanout)
+            : opts.fixed_fanout;
+    it.fanout = fanout;
+
+    const HashPolicy policy = make_hash_policy(
+        opts.hash_scheme, fanout, result.levels.front(), db.item_universe());
+    arenas.reset();
+    const HashTreeConfig tree_config{k, fanout, opts.leaf_threshold,
+                                     opts.counter_mode};
+    HashTree tree(tree_config, policy, arenas);
+
+    CandGenCounters gen;
+    const bool parallel_gen =
+        threads > 1 && prev.size() >= opts.parallel_candgen_threshold;
+    if (parallel_gen) {
+      const auto batches = balance_generation(units, threads, opts.balance);
+      double max_weight = 0.0, sum_weight = 0.0;
+      for (const auto& batch : batches) {
+        double w = 0.0;
+        for (const GenUnit& u : batch) w += u.weight;
+        max_weight = std::max(max_weight, w);
+        sum_weight += w;
+      }
+      it.candgen_imbalance = sum_weight > 0.0
+                                 ? max_weight * threads / sum_weight
+                                 : 1.0;
+      std::vector<CandGenCounters> per_thread(threads);
+      std::vector<double> gen_busy(threads, 0.0);
+      pool.run_spmd([&](std::uint32_t tid) {
+        ThreadCpuTimer cpu;
+        per_thread[tid] = generate_candidates(prev, classes, batches[tid],
+                                              tree, opts.candidate_veto);
+        gen_busy[tid] = cpu.seconds();
+      });
+      for (const auto& c : per_thread) gen += c;
+      it.candgen_busy_sum =
+          std::accumulate(gen_busy.begin(), gen_busy.end(), 0.0);
+      it.candgen_busy_max =
+          *std::max_element(gen_busy.begin(), gen_busy.end());
+    } else {
+      ThreadCpuTimer cpu;
+      gen = generate_candidates(prev, classes, units, tree,
+                                opts.candidate_veto);
+      it.candgen_busy_sum = it.candgen_busy_max = cpu.seconds();
+    }
+    it.candgen_seconds = candgen_timer.seconds();
+    it.candidates = tree.num_candidates();
+    it.pruned = gen.pruned;
+    if (it.candidates == 0) {
+      result.iterations.push_back(it);
+      break;
+    }
+
+    // ---- GPP remap --------------------------------------------------------
+    {
+      WallTimer remap_timer;
+      if (policy_remaps(opts.placement)) tree.remap_depth_first();
+      it.remap_seconds = remap_timer.seconds();
+    }
+    if (opts.counter_mode == CounterMode::PerThread) {
+      tree.candidate_index();  // built single-threaded before parallel use
+    }
+    {
+      const TreeStats ts = tree.stats();
+      it.tree_nodes = ts.nodes;
+      it.tree_bytes = ts.bytes_used;
+      it.mean_leaf_occupancy = ts.mean_leaf_occupancy;
+      it.max_leaf_occupancy = ts.max_leaf_occupancy;
+      it.leaf_occupancy_stddev = ts.leaf_occupancy_stddev;
+    }
+    if (opts.collect_locality) {
+      // Counting-order address trace over a transaction sample (master
+      // thread, before counting starts).
+      std::vector<std::uintptr_t> trace;
+      const std::uint64_t sample =
+          std::min<std::uint64_t>(db.size(), opts.locality_sample);
+      const std::uint64_t stride = sample > 0 ? db.size() / sample : 1;
+      for (std::uint64_t s = 0; s < sample; ++s) {
+        tree.access_trace(db.transaction(s * stride), trace);
+      }
+      const LocalityReport report = analyze_trace(trace);
+      it.locality_same_line_rate = report.same_line_rate;
+      it.locality_mean_stride = report.mean_stride;
+      it.locality_distinct_lines = report.distinct_lines;
+      it.locality_distinct_pages = report.distinct_pages;
+
+      std::uint64_t shared = 0, total = 0;
+      tree.for_each_candidate([&](const Candidate& cand) {
+        ++total;
+        const auto counter_line =
+            reinterpret_cast<std::uintptr_t>(cand.count) / kCacheLine;
+        const auto first_line =
+            reinterpret_cast<std::uintptr_t>(cand.items()) / kCacheLine;
+        const auto last_line = reinterpret_cast<std::uintptr_t>(
+                                   cand.items() + k) / kCacheLine;
+        if (opts.counter_mode != CounterMode::PerThread &&
+            (counter_line == first_line || counter_line == last_line)) {
+          ++shared;
+        }
+      });
+      it.counter_itemset_line_sharing =
+          total > 0 ? static_cast<double>(shared) / static_cast<double>(total)
+                    : 0.0;
+    }
+
+    // ---- support counting -------------------------------------------------
+    if (opts.db_partition == DbPartition::Adaptive) {
+      // Re-cut for this iteration's C(l_t, k) workload; contiguous cuts
+      // only move boundary transactions between threads.
+      ranges = partition_database_for_iteration(db, threads, k);
+    }
+    WallTimer count_timer;
+    std::vector<CountContext> contexts(threads);
+    std::vector<double> busy(threads, 0.0);
+    pool.run_spmd([&](std::uint32_t tid) {
+      ThreadCpuTimer busy_timer;
+      CountContext ctx = tree.make_context(opts.subset_check);
+      for (std::uint64_t t = ranges.begin(tid); t < ranges.end(tid); ++t) {
+        tree.count_transaction(db.transaction(t), ctx);
+      }
+      busy[tid] = busy_timer.seconds();
+      contexts[tid] = std::move(ctx);
+    });
+    it.count_seconds = count_timer.seconds();
+    it.count_busy_sum = std::accumulate(busy.begin(), busy.end(), 0.0);
+    it.count_busy_max = *std::max_element(busy.begin(), busy.end());
+    for (const CountContext& ctx : contexts) {
+      it.internal_visits += ctx.internal_visits;
+      it.leaf_visits += ctx.leaf_visits;
+      it.containment_checks += ctx.containment_checks;
+      it.hits += ctx.hits;
+    }
+
+    // ---- LCA reduction ------------------------------------------------------
+    {
+      WallTimer reduce_timer;
+      if (opts.counter_mode == CounterMode::PerThread) {
+        const std::uint32_t n = tree.num_candidates();
+        const std::uint32_t per = (n + threads - 1) / threads;
+        pool.run_spmd([&](std::uint32_t tid) {
+          const std::uint32_t begin = std::min(n, tid * per);
+          const std::uint32_t end = std::min(n, begin + per);
+          for (const CountContext& ctx : contexts) {
+            tree.reduce_into_shared(ctx, begin, end);
+          }
+        });
+      }
+      it.reduce_seconds = reduce_timer.seconds();
+    }
+
+    // ---- selection ----------------------------------------------------------
+    WallTimer select_timer;
+    FrequentSet fk = select_frequent(tree, min_count);
+    it.select_seconds = select_timer.seconds();
+    it.frequent = fk.size();
+    const bool done = fk.empty();
+    if (!done) result.levels.push_back(std::move(fk));
+    result.iterations.push_back(it);
+    if (done) break;
+  }
+
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace smpmine

@@ -1,0 +1,21 @@
+#include "core/miner.hpp"
+
+namespace smpmine {
+
+HashPolicy make_hash_policy(HashScheme scheme, std::uint32_t fanout,
+                            const FrequentSet& f1, item_t universe) {
+  if (scheme == HashScheme::Indirection) {
+    return HashPolicy(fanout, f1.flat(), universe);
+  }
+  return HashPolicy(scheme, fanout);
+}
+
+MiningResult mine(const Database& db, const MinerOptions& options) {
+  switch (options.algorithm) {
+    case Algorithm::PCCD: return mine_pccd(db, options);
+    case Algorithm::CCPD: break;
+  }
+  return mine_ccpd(db, options);
+}
+
+}  // namespace smpmine

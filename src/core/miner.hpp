@@ -1,0 +1,34 @@
+// Public mining facade.
+//
+// `mine()` runs the full frequent-itemset discovery (step 1 of the mining
+// task) under the configured algorithm; `generate_rules()` (rules.hpp) is
+// step 2. Everything the paper's figures measure is returned in
+// MiningResult.
+#pragma once
+
+#include "core/options.hpp"
+#include "core/stats.hpp"
+#include "data/database.hpp"
+
+namespace smpmine {
+
+/// Mines all frequent itemsets of `db` per `options` (CCPD or PCCD).
+/// Throws std::invalid_argument on bad options.
+MiningResult mine(const Database& db, const MinerOptions& options);
+
+/// CCPD: common candidate hash tree, partitioned database (Section 3.3).
+MiningResult mine_ccpd(const Database& db, const MinerOptions& options);
+
+/// PCCD: per-thread candidate trees, common database (Section 3.3).
+MiningResult mine_pccd(const Database& db, const MinerOptions& options);
+
+/// Sequential reference: the Section 2 algorithm (CCPD degenerates to it at
+/// P=1; this wrapper pins threads=1 regardless of `options.threads`).
+MiningResult mine_sequential(const Database& db, MinerOptions options);
+
+/// Builds the iteration hash policy: Indirection derives the bitonic
+/// indirection vector from F1; the closed-form schemes ignore it.
+HashPolicy make_hash_policy(HashScheme scheme, std::uint32_t fanout,
+                            const FrequentSet& f1, item_t universe);
+
+}  // namespace smpmine

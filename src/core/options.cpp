@@ -1,0 +1,52 @@
+#include "core/options.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace smpmine {
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::CCPD: return "CCPD";
+    case Algorithm::PCCD: return "PCCD";
+  }
+  return "?";
+}
+
+void MinerOptions::validate() {
+  if (min_support <= 0.0 || min_support > 1.0) {
+    throw std::invalid_argument("min_support must be in (0, 1]");
+  }
+  if (min_confidence < 0.0 || min_confidence > 1.0) {
+    throw std::invalid_argument("min_confidence must be in [0, 1]");
+  }
+  if (threads == 0) threads = 1;
+  if (leaf_threshold == 0) leaf_threshold = 1;
+  if (min_fanout < 1) min_fanout = 1;
+  if (max_fanout < min_fanout) max_fanout = min_fanout;
+  if (fixed_fanout < min_fanout) fixed_fanout = min_fanout;
+  if (fixed_fanout > max_fanout) fixed_fanout = max_fanout;
+  if (max_iterations < 1) max_iterations = 1;
+  if (policy_local_counters(placement)) {
+    counter_mode = CounterMode::PerThread;
+  } else if (counter_mode == CounterMode::PerThread) {
+    // Privatized counters without LCA's placement make no sense as a named
+    // configuration; keep the combination but it is only reachable
+    // explicitly.
+    counter_mode = CounterMode::PerThread;
+  }
+}
+
+std::string MinerOptions::summary() const {
+  std::ostringstream os;
+  os << to_string(algorithm) << " P=" << threads
+     << " supp=" << min_support * 100.0 << "%"
+     << " balance=" << to_string(balance)
+     << " hash=" << to_string(hash_scheme)
+     << " check=" << to_string(subset_check)
+     << " place=" << to_string(placement)
+     << " counters=" << to_string(counter_mode);
+  return os.str();
+}
+
+}  // namespace smpmine

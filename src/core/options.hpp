@@ -1,0 +1,92 @@
+// Miner configuration: every optimization the paper evaluates is a switch
+// here, so each figure's bench is "same dataset, toggle one knob".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "alloc/placement.hpp"
+#include "data/db_partition.hpp"
+#include "hashtree/hash_policy.hpp"
+#include "hashtree/hash_tree.hpp"
+#include "parallel/partition.hpp"
+
+namespace smpmine {
+
+enum class Algorithm {
+  CCPD,  ///< common candidate tree, partitioned database (the paper's pick)
+  PCCD,  ///< partitioned candidate trees, common database (the baseline
+         ///< shown to speed *down*)
+};
+
+const char* to_string(Algorithm a);
+
+struct MinerOptions {
+  /// Minimum support as a fraction of |D| (paper uses 0.5% and 0.1%).
+  double min_support = 0.005;
+  /// Minimum confidence for rule generation.
+  double min_confidence = 0.5;
+
+  std::uint32_t threads = 1;
+  Algorithm algorithm = Algorithm::CCPD;
+
+  // --- Section 3/4 optimizations -----------------------------------------
+  /// COMP: candidate-generation balancing. Block is the unbalanced
+  /// baseline; Bitonic is the optimized greedy scheme.
+  PartitionScheme balance = PartitionScheme::Bitonic;
+  /// TREE: hash-tree balancing. Interleaved (mod H) is the baseline;
+  /// Indirection is the bitonic-partitioned hash function of Section 4.1.
+  HashScheme hash_scheme = HashScheme::Indirection;
+  /// Short-circuited subset checking. LeafVisited is the baseline.
+  SubsetCheck subset_check = SubsetCheck::FrameLocal;
+  /// Adaptive parallelism (Section 3.1.3): candidate generation runs
+  /// sequentially when |F(k-1)| is below this threshold.
+  std::uint32_t parallel_candgen_threshold = 64;
+
+  // --- Section 5 placement ------------------------------------------------
+  PlacementPolicy placement = PlacementPolicy::SPP;
+  /// Section 5.1's SPP variation: common / individual / grouped regions.
+  /// Ignored by the Malloc policy.
+  SppVariant spp_variant = SppVariant::Common;
+  /// Counter update discipline; forced to PerThread by LCA-GPP.
+  CounterMode counter_mode = CounterMode::Atomic;
+
+  // --- tree shape ----------------------------------------------------------
+  std::uint32_t leaf_threshold = 8;  ///< paper's T
+  bool adaptive_fanout = true;       ///< Section 3.1.1 sizing rule
+  std::uint32_t fixed_fanout = 8;    ///< used when !adaptive_fanout
+  std::uint32_t min_fanout = 2;
+  std::uint32_t max_fanout = 512;
+
+  // --- database -----------------------------------------------------------
+  DbPartition db_partition = DbPartition::Block;
+
+  /// Safety valve against runaway supports.
+  std::uint32_t max_iterations = 32;
+
+  /// Optional domain constraint: a candidate for which this returns true is
+  /// dropped (counted as pruned) before insertion into the hash tree. Used
+  /// by the generalized (taxonomy) miner to drop itemsets containing an
+  /// item together with its ancestor; available to applications for any
+  /// anti-monotone constraint. Must be thread-safe.
+  std::function<bool(std::span<const item_t>)> candidate_veto;
+
+  /// When set, the master thread samples counting-traversal address traces
+  /// after each tree build and records locality metrics in IterationStats
+  /// (used by the Fig 12/13 placement benches). Adds a small, measured
+  /// overhead; off by default.
+  bool collect_locality = false;
+  /// Number of transactions sampled per iteration for the locality trace.
+  std::uint32_t locality_sample = 32;
+
+  /// Normalizes dependent fields (LCA-GPP implies PerThread counters) and
+  /// throws std::invalid_argument on nonsensical settings.
+  void validate();
+
+  /// One-line summary for bench headers.
+  std::string summary() const;
+};
+
+}  // namespace smpmine

@@ -1,0 +1,184 @@
+// PCCD: Partitioned Candidate trees, Common Database (paper Section 3.3).
+//
+// Candidates are split across threads; every thread owns a private hash
+// tree over its share and scans the *entire* database each iteration. The
+// paper implements it as the natural alternative to CCPD and finds it
+// speeds *down* (every processor re-reads all of D); we keep it as that
+// baseline. Since each tree is private there is no counter contention; the
+// selection step merges the per-tree survivors.
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "core/candidate_gen.hpp"
+#include "core/miner.hpp"
+#include "util/timer.hpp"
+
+namespace smpmine {
+namespace {
+
+struct Survivor {
+  const Candidate* cand;
+  std::size_t k;
+};
+
+}  // namespace
+
+MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
+  MinerOptions opts = options;
+  opts.validate();
+  // Private trees never contend, and LCA's privatization is meaningless
+  // without a shared tree.
+  if (opts.counter_mode == CounterMode::PerThread) {
+    opts.counter_mode = CounterMode::Atomic;
+  }
+
+  WallTimer total_timer;
+  ThreadPool pool(opts.threads);
+  const std::uint32_t threads = pool.size();
+  MiningResult result;
+  const count_t min_count = absolute_support(opts.min_support, db.size());
+
+  {
+    WallTimer f1_timer;
+    result.levels.push_back(compute_f1(db, min_count, pool));
+    result.f1_seconds = f1_timer.seconds();
+  }
+
+  std::vector<std::unique_ptr<PlacementArenas>> arenas;
+  arenas.reserve(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    arenas.push_back(
+        std::make_unique<PlacementArenas>(opts.placement, opts.spp_variant));
+  }
+
+  for (std::uint32_t k = 2; k <= opts.max_iterations; ++k) {
+    const FrequentSet& prev = result.levels.back();
+    if (prev.size() < 2) break;
+
+    IterationStats it;
+    it.k = k;
+
+    // ---- candidate generation (sequential; the split is the point) -------
+    WallTimer candgen_timer;
+    const std::vector<EqClass> classes = build_equivalence_classes(prev);
+    const std::vector<GenUnit> units = generation_units(classes, k);
+    if (units.empty()) break;
+
+    ThreadCpuTimer gen_cpu;
+    std::vector<item_t> flat;  // all candidates, k items each
+    std::uint64_t vetoed = 0;
+    CandGenCounters gen = generate_candidates_emit(
+        prev, classes, units, [&](std::span<const item_t> cand) {
+          if (opts.candidate_veto && opts.candidate_veto(cand)) {
+            ++vetoed;
+            return;
+          }
+          flat.insert(flat.end(), cand.begin(), cand.end());
+        });
+    gen.generated -= vetoed;
+    gen.pruned += vetoed;
+    const double gen_cpu_seconds = gen_cpu.seconds();
+    it.pruned = gen.pruned;
+    it.candidates = gen.generated;
+    if (it.candidates == 0) {
+      result.iterations.push_back(it);
+      break;
+    }
+
+    const std::uint32_t fanout =
+        opts.adaptive_fanout
+            ? adaptive_fanout(total_join_pairs(classes), k,
+                              opts.leaf_threshold, opts.min_fanout,
+                              opts.max_fanout)
+            : opts.fixed_fanout;
+    it.fanout = fanout;
+    const HashPolicy policy = make_hash_policy(
+        opts.hash_scheme, fanout, result.levels.front(), db.item_universe());
+    const HashTreeConfig tree_config{k, fanout, opts.leaf_threshold,
+                                     opts.counter_mode};
+
+    // ---- local tree build (parallel: each thread its own share) ----------
+    std::vector<std::unique_ptr<HashTree>> trees(threads);
+    std::vector<double> build_busy(threads, 0.0);
+    const std::size_t num_candidates = it.candidates;
+    pool.run_spmd([&](std::uint32_t tid) {
+      ThreadCpuTimer cpu;
+      arenas[tid]->reset();
+      trees[tid] =
+          std::make_unique<HashTree>(tree_config, policy, *arenas[tid]);
+      for (std::size_t c = tid; c < num_candidates; c += threads) {
+        trees[tid]->insert(
+            std::span<const item_t>(flat.data() + c * k, k));
+      }
+      if (policy_remaps(opts.placement)) trees[tid]->remap_depth_first();
+      build_busy[tid] = cpu.seconds();
+    });
+    it.candgen_seconds = candgen_timer.seconds();
+    it.candgen_busy_sum = gen_cpu_seconds + std::accumulate(
+        build_busy.begin(), build_busy.end(), 0.0);
+    it.candgen_busy_max = gen_cpu_seconds + *std::max_element(
+        build_busy.begin(), build_busy.end());
+    for (const auto& tree : trees) {
+      const TreeStats ts = tree->stats();
+      it.tree_nodes += ts.nodes;
+      it.tree_bytes += ts.bytes_used;
+    }
+
+    // ---- support counting: every thread scans the whole database ---------
+    WallTimer count_timer;
+    std::vector<CountContext> contexts(threads);
+    std::vector<double> busy(threads, 0.0);
+    pool.run_spmd([&](std::uint32_t tid) {
+      ThreadCpuTimer busy_timer;
+      CountContext ctx = trees[tid]->make_context(opts.subset_check);
+      for (std::uint64_t t = 0; t < db.size(); ++t) {
+        trees[tid]->count_transaction(db.transaction(t), ctx);
+      }
+      busy[tid] = busy_timer.seconds();
+      contexts[tid] = std::move(ctx);
+    });
+    it.count_seconds = count_timer.seconds();
+    it.count_busy_sum = std::accumulate(busy.begin(), busy.end(), 0.0);
+    it.count_busy_max = *std::max_element(busy.begin(), busy.end());
+    for (const CountContext& ctx : contexts) {
+      it.internal_visits += ctx.internal_visits;
+      it.leaf_visits += ctx.leaf_visits;
+      it.containment_checks += ctx.containment_checks;
+      it.hits += ctx.hits;
+    }
+
+    // ---- selection: master merges per-tree survivors ----------------------
+    WallTimer select_timer;
+    std::vector<Survivor> survivors;
+    for (const auto& tree : trees) {
+      tree->for_each_candidate([&](const Candidate& cand) {
+        if (*cand.count >= min_count) survivors.push_back({&cand, k});
+      });
+    }
+    std::sort(survivors.begin(), survivors.end(),
+              [k](const Survivor& a, const Survivor& b) {
+                return compare_itemsets(a.cand->view(k), b.cand->view(k)) < 0;
+              });
+    std::vector<item_t> fk_flat;
+    std::vector<count_t> fk_counts;
+    for (const Survivor& s : survivors) {
+      const auto view = s.cand->view(k);
+      fk_flat.insert(fk_flat.end(), view.begin(), view.end());
+      fk_counts.push_back(*s.cand->count);
+    }
+    it.select_seconds = select_timer.seconds();
+    it.frequent = fk_counts.size();
+    const bool done = fk_counts.empty();
+    if (!done) {
+      result.levels.emplace_back(k, std::move(fk_flat), std::move(fk_counts));
+    }
+    result.iterations.push_back(it);
+    if (done) break;
+  }
+
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace smpmine

@@ -1,0 +1,119 @@
+#include "core/results_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what);
+}
+
+}  // namespace
+
+void save_frequent_itemsets(const std::vector<FrequentSet>& levels,
+                            std::ostream& os) {
+  for (const FrequentSet& level : levels) {
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      const auto items = level.itemset(i);
+      for (const item_t item : items) os << item << ' ';
+      os << level.count(i) << '\n';
+    }
+  }
+  if (!os) fail("save_frequent_itemsets: write failure");
+}
+
+void save_frequent_itemsets(const std::vector<FrequentSet>& levels,
+                            const std::string& path) {
+  std::ofstream os(path);
+  if (!os) fail("save_frequent_itemsets: cannot open " + path);
+  save_frequent_itemsets(levels, os);
+}
+
+std::vector<FrequentSet> load_frequent_itemsets(std::istream& is) {
+  // Gather records per level, then sort and pack.
+  std::map<std::size_t, std::vector<std::pair<std::vector<item_t>, count_t>>>
+      by_level;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::vector<std::uint64_t> fields;
+    std::uint64_t v = 0;
+    while (ls >> v) fields.push_back(v);
+    if (!ls.eof() || fields.size() < 2) {
+      fail("load_frequent_itemsets: malformed line " + std::to_string(lineno));
+    }
+    const auto count = static_cast<count_t>(fields.back());
+    std::vector<item_t> items(fields.begin(), fields.end() - 1);
+    if (!std::is_sorted(items.begin(), items.end()) ||
+        std::adjacent_find(items.begin(), items.end()) != items.end()) {
+      fail("load_frequent_itemsets: itemset not strictly sorted at line " +
+           std::to_string(lineno));
+    }
+    by_level[items.size()].emplace_back(std::move(items), count);
+  }
+
+  std::vector<FrequentSet> levels;
+  if (by_level.empty()) return levels;
+  const std::size_t max_k = by_level.rbegin()->first;
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    auto it = by_level.find(k);
+    if (it == by_level.end()) {
+      fail("load_frequent_itemsets: missing level " + std::to_string(k));
+    }
+    auto& records = it->second;
+    std::sort(records.begin(), records.end(),
+              [](const auto& a, const auto& b) {
+                return compare_itemsets(a.first, b.first) < 0;
+              });
+    std::vector<item_t> flat;
+    std::vector<count_t> counts;
+    for (const auto& [items, count] : records) {
+      flat.insert(flat.end(), items.begin(), items.end());
+      counts.push_back(count);
+    }
+    levels.emplace_back(k, std::move(flat), std::move(counts));
+  }
+  return levels;
+}
+
+std::vector<FrequentSet> load_frequent_itemsets(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) fail("load_frequent_itemsets: cannot open " + path);
+  return load_frequent_itemsets(is);
+}
+
+void save_rules_csv(const std::vector<Rule>& rules, std::ostream& os) {
+  os << "antecedent,consequent,support,confidence,lift,support_count\n";
+  auto emit_items = [&os](const std::vector<item_t>& items) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i) os << ' ';
+      os << items[i];
+    }
+  };
+  for (const Rule& rule : rules) {
+    emit_items(rule.antecedent);
+    os << ',';
+    emit_items(rule.consequent);
+    os << ',' << rule.support << ',' << rule.confidence << ',' << rule.lift
+       << ',' << rule.support_count << '\n';
+  }
+  if (!os) fail("save_rules_csv: write failure");
+}
+
+void save_rules_csv(const std::vector<Rule>& rules, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) fail("save_rules_csv: cannot open " + path);
+  save_rules_csv(rules, os);
+}
+
+}  // namespace smpmine

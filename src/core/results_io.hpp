@@ -1,0 +1,35 @@
+// Serialization of mining outputs.
+//
+// Frequent itemsets round-trip through a plain text format (one itemset per
+// line: the items then the support count), so results can be diffed,
+// post-processed, or reloaded for rule generation without re-mining.
+// Rules export to CSV for spreadsheet/BI consumption.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/rules.hpp"
+#include "core/stats.hpp"
+
+namespace smpmine {
+
+/// Writes all levels: lines of "item item ... item <count>". Levels are
+/// implied by line arity; within the file itemsets keep mining order.
+void save_frequent_itemsets(const std::vector<FrequentSet>& levels,
+                            std::ostream& os);
+void save_frequent_itemsets(const std::vector<FrequentSet>& levels,
+                            const std::string& path);
+
+/// Parses the text format back into levels (sorted per level, as the miner
+/// produces them). Throws std::runtime_error on malformed input.
+std::vector<FrequentSet> load_frequent_itemsets(std::istream& is);
+std::vector<FrequentSet> load_frequent_itemsets(const std::string& path);
+
+/// CSV with header: antecedent;consequent (space-separated ids inside),
+/// support, confidence, lift, support_count.
+void save_rules_csv(const std::vector<Rule>& rules, std::ostream& os);
+void save_rules_csv(const std::vector<Rule>& rules, const std::string& path);
+
+}  // namespace smpmine

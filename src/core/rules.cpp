@@ -1,0 +1,163 @@
+#include "core/rules.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "itemset/itemset.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace smpmine {
+namespace {
+
+const count_t* support_of(const MiningResult& result,
+                          std::span<const item_t> items) {
+  const std::size_t k = items.size();
+  if (k == 0 || k > result.levels.size()) return nullptr;
+  return result.levels[k - 1].find_count(items);
+}
+
+/// X minus Y for sorted itemsets (Y ⊆ X).
+std::vector<item_t> difference(std::span<const item_t> x,
+                               std::span<const item_t> y) {
+  std::vector<item_t> out;
+  out.reserve(x.size() - y.size());
+  std::set_difference(x.begin(), x.end(), y.begin(), y.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+/// Apriori-style join over same-length consequents sharing an m-1 prefix.
+std::vector<std::vector<item_t>> join_consequents(
+    const std::vector<std::vector<item_t>>& hs) {
+  std::vector<std::vector<item_t>> next;
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    for (std::size_t j = i + 1; j < hs.size(); ++j) {
+      const auto& a = hs[i];
+      const auto& b = hs[j];
+      if (!std::equal(a.begin(), a.end() - 1, b.begin())) break;
+      std::vector<item_t> merged(a);
+      merged.push_back(b.back());
+      next.push_back(std::move(merged));
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+std::string Rule::to_string() const {
+  std::ostringstream os;
+  os << format_itemset(antecedent) << " => " << format_itemset(consequent)
+     << "  [sup=" << support << ", conf=" << confidence << ", lift=" << lift
+     << "]";
+  return os.str();
+}
+
+namespace {
+
+/// ap-genrules expansion for one frequent itemset: 1-item consequents
+/// first, survivors grown one item at a time (confidence is anti-monotone
+/// in the consequent, so failed consequents prune their supersets).
+void expand_itemset(const MiningResult& result, const FrequentSet& fk,
+                    std::size_t x, double min_confidence, double d,
+                    std::vector<Rule>& rules) {
+  const std::size_t k = fk.k();
+  const std::span<const item_t> items = fk.itemset(x);
+  const count_t sup_x = fk.count(x);
+
+  auto try_consequent = [&](const std::vector<item_t>& y) -> bool {
+    const std::vector<item_t> ante = difference(items, y);
+    const count_t* sup_ante = support_of(result, ante);
+    if (sup_ante == nullptr || *sup_ante == 0) return false;
+    const double conf =
+        static_cast<double>(sup_x) / static_cast<double>(*sup_ante);
+    if (conf < min_confidence) return false;
+    const count_t* sup_y = support_of(result, y);
+    Rule rule;
+    rule.antecedent = ante;
+    rule.consequent = y;
+    rule.support_count = sup_x;
+    rule.support = static_cast<double>(sup_x) / d;
+    rule.confidence = conf;
+    rule.lift = sup_y != nullptr && *sup_y > 0
+                    ? conf * d / static_cast<double>(*sup_y)
+                    : 0.0;
+    rules.push_back(std::move(rule));
+    return true;
+  };
+
+  std::vector<std::vector<item_t>> hs;
+  for (const item_t item : items) {
+    std::vector<item_t> y{item};
+    if (try_consequent(y)) hs.push_back(std::move(y));
+  }
+  while (!hs.empty() && hs.front().size() + 1 < k) {
+    std::vector<std::vector<item_t>> next;
+    for (auto& y : join_consequents(hs)) {
+      if (try_consequent(y)) next.push_back(std::move(y));
+    }
+    hs = std::move(next);
+  }
+}
+
+void sort_rules(std::vector<Rule>& rules) {
+  std::sort(rules.begin(), rules.end(), [](const Rule& a, const Rule& b) {
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    if (a.support != b.support) return a.support > b.support;
+    const int c = compare_itemsets(a.antecedent, b.antecedent);
+    if (c != 0) return c < 0;
+    return compare_itemsets(a.consequent, b.consequent) < 0;
+  });
+}
+
+}  // namespace
+
+std::vector<Rule> generate_rules(const MiningResult& result,
+                                 double min_confidence,
+                                 std::size_t num_transactions) {
+  std::vector<Rule> rules;
+  const double d = static_cast<double>(num_transactions);
+  for (std::size_t level = 1; level < result.levels.size(); ++level) {
+    const FrequentSet& fk = result.levels[level];
+    for (std::size_t x = 0; x < fk.size(); ++x) {
+      expand_itemset(result, fk, x, min_confidence, d, rules);
+    }
+  }
+  sort_rules(rules);
+  return rules;
+}
+
+std::vector<Rule> generate_rules_parallel(const MiningResult& result,
+                                          double min_confidence,
+                                          std::size_t num_transactions,
+                                          std::uint32_t threads) {
+  // Flatten (level, index) sources so the interleaved split spreads the
+  // expensive long itemsets (which cluster in later levels) over threads.
+  std::vector<std::pair<std::size_t, std::size_t>> sources;
+  for (std::size_t level = 1; level < result.levels.size(); ++level) {
+    for (std::size_t x = 0; x < result.levels[level].size(); ++x) {
+      sources.emplace_back(level, x);
+    }
+  }
+
+  ThreadPool pool(threads);
+  const double d = static_cast<double>(num_transactions);
+  std::vector<std::vector<Rule>> partial(pool.size());
+  pool.run_spmd([&](std::uint32_t tid) {
+    for (std::size_t i = tid; i < sources.size(); i += pool.size()) {
+      const auto [level, x] = sources[i];
+      expand_itemset(result, result.levels[level], x, min_confidence, d,
+                     partial[tid]);
+    }
+  });
+
+  std::vector<Rule> rules;
+  for (auto& p : partial) {
+    rules.insert(rules.end(), std::make_move_iterator(p.begin()),
+                 std::make_move_iterator(p.end()));
+  }
+  sort_rules(rules);
+  return rules;
+}
+
+}  // namespace smpmine

@@ -1,0 +1,44 @@
+// Rule generation — step 2 of the mining task (paper Section 2).
+//
+// For every frequent itemset X, rules X-Y => Y are emitted when
+// confidence = support(X) / support(X-Y) meets the threshold. Uses the
+// ap-genrules expansion: consequents grow one item at a time, and a
+// consequent that fails confidence prunes all of its supersets (confidence
+// is anti-monotone in the consequent).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "util/types.hpp"
+
+namespace smpmine {
+
+struct Rule {
+  std::vector<item_t> antecedent;
+  std::vector<item_t> consequent;
+  count_t support_count = 0;  ///< support count of antecedent ∪ consequent
+  double support = 0.0;       ///< fraction of transactions
+  double confidence = 0.0;
+  double lift = 0.0;          ///< confidence / support(consequent)
+
+  std::string to_string() const;
+};
+
+/// Generates all rules meeting `min_confidence` from the mined levels.
+/// `num_transactions` converts counts to fractions. Rules are ordered by
+/// descending confidence, ties by descending support.
+std::vector<Rule> generate_rules(const MiningResult& result,
+                                 double min_confidence,
+                                 std::size_t num_transactions);
+
+/// Parallel rule generation: frequent itemsets are independent rule
+/// sources, so they are distributed over `threads` workers and the outputs
+/// merged. Identical result (same rules, same order) as generate_rules.
+std::vector<Rule> generate_rules_parallel(const MiningResult& result,
+                                          double min_confidence,
+                                          std::size_t num_transactions,
+                                          std::uint32_t threads);
+
+}  // namespace smpmine

@@ -1,0 +1,29 @@
+#include "core/stats.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace smpmine {
+
+std::string MiningResult::report() const {
+  std::ostringstream os;
+  TextTable table({"k", "candidates", "pruned", "frequent", "fanout",
+                   "tree_nodes", "tree_KB", "leaf_occ(mean/max)", "time_s"});
+  for (const auto& it : iterations) {
+    table.add_row({std::to_string(it.k), std::to_string(it.candidates),
+                   std::to_string(it.pruned), std::to_string(it.frequent),
+                   std::to_string(it.fanout), std::to_string(it.tree_nodes),
+                   TextTable::num(static_cast<double>(it.tree_bytes) / 1024.0, 1),
+                   TextTable::num(it.mean_leaf_occupancy, 2) + "/" +
+                       TextTable::num(it.max_leaf_occupancy, 0),
+                   TextTable::num(it.total_seconds(), 4)});
+  }
+  os << table.render();
+  os << "total frequent itemsets: " << total_frequent()
+     << "  total time: " << total_seconds << " s"
+     << "  work-speedup bound: " << work_speedup() << "\n";
+  return os.str();
+}
+
+}  // namespace smpmine

@@ -1,0 +1,137 @@
+// Per-iteration and per-run mining statistics.
+//
+// The paper's evaluation reads off exactly these series: candidates and
+// frequent itemsets per iteration (Fig 7), intermediate hash-tree size
+// (Fig 6), computation-time improvements (Figs 8-10), speedup (Fig 11),
+// and normalized execution times under placement policies (Figs 12-13).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "itemset/frequent_set.hpp"
+#include "util/timer.hpp"
+
+namespace smpmine {
+
+struct IterationStats {
+  std::uint32_t k = 0;
+  std::uint64_t candidates = 0;
+  std::uint64_t pruned = 0;    ///< join pairs rejected by subset pruning
+  std::uint64_t frequent = 0;
+
+  // Tree shape (Fig 6 and the Theorem 1 balance study).
+  std::uint32_t fanout = 0;
+  std::uint64_t tree_nodes = 0;
+  std::uint64_t tree_bytes = 0;
+  double mean_leaf_occupancy = 0.0;
+  double max_leaf_occupancy = 0.0;
+  double leaf_occupancy_stddev = 0.0;
+
+  // Phase wall times (seconds, master-observed).
+  double candgen_seconds = 0.0;
+  double remap_seconds = 0.0;
+  double count_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  double select_seconds = 0.0;
+
+  // Work model: per-thread CPU time in the parallel phases. On a machine
+  // with fewer cores than threads, wall time measures scheduling rather
+  // than work; CPU-time sum/max still measures balance, and the modeled
+  // parallel time (max over threads per phase) is what the paper's
+  // computation-balance improvements are about.
+  double count_busy_sum = 0.0;
+  double count_busy_max = 0.0;
+  double candgen_busy_sum = 0.0;
+  double candgen_busy_max = 0.0;
+
+  /// Imbalance of the candidate-generation partition (max/mean weight).
+  double candgen_imbalance = 1.0;
+
+  // Deterministic traversal work counters, summed over threads.
+  std::uint64_t internal_visits = 0;
+  std::uint64_t leaf_visits = 0;
+  std::uint64_t containment_checks = 0;
+  std::uint64_t hits = 0;
+
+  // Locality diagnostics (populated when MinerOptions::collect_locality):
+  // metrics of the counting-order address trace over a transaction sample.
+  // A placement policy that works raises same-line rate and shrinks stride.
+  double locality_same_line_rate = 0.0;
+  double locality_mean_stride = 0.0;
+  std::uint64_t locality_distinct_lines = 0;
+  std::uint64_t locality_distinct_pages = 0;
+  /// Fraction of candidates whose support counter shares a cache line with
+  /// the candidate's read-only items — the false-sharing hazard the L-*
+  /// policies eliminate (0 when counters are segregated or privatized).
+  double counter_itemset_line_sharing = 0.0;
+
+  double total_seconds() const {
+    return candgen_seconds + remap_seconds + count_seconds + reduce_seconds +
+           select_seconds;
+  }
+
+  /// Modeled parallel computation time of this iteration: critical path of
+  /// the parallel phases (max per-thread CPU time) plus the serial phases.
+  double modeled_parallel_seconds() const {
+    return candgen_busy_max + remap_seconds + count_busy_max +
+           reduce_seconds + select_seconds;
+  }
+};
+
+struct MiningResult {
+  /// levels[i] is F(i+1).
+  std::vector<FrequentSet> levels;
+  std::vector<IterationStats> iterations;
+  double f1_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  std::uint64_t total_frequent() const {
+    std::uint64_t n = 0;
+    for (const auto& level : levels) n += level.size();
+    return n;
+  }
+  std::uint64_t total_candidates() const {
+    std::uint64_t n = 0;
+    for (const auto& it : iterations) n += it.candidates;
+    return n;
+  }
+  /// Sum over iterations of per-phase times.
+  double phase_total(double IterationStats::*field) const {
+    double sum = 0.0;
+    for (const auto& it : iterations) sum += it.*field;
+    return sum;
+  }
+  /// Work-model speedup bound: total counting work / critical path.
+  double work_speedup() const {
+    double sum = 0.0, crit = 0.0;
+    for (const auto& it : iterations) {
+      sum += it.count_busy_sum;
+      crit += it.count_busy_max;
+    }
+    return crit > 0.0 ? sum / crit : 1.0;
+  }
+
+  /// Modeled parallel computation time over all iterations (see
+  /// IterationStats::modeled_parallel_seconds). The figure benches compare
+  /// configurations on this quantity.
+  double modeled_total_seconds() const {
+    double sum = 0.0;
+    for (const auto& it : iterations) sum += it.modeled_parallel_seconds();
+    return sum;
+  }
+  /// Sum of traversal work counters, a machine-independent cost proxy.
+  std::uint64_t traversal_work() const {
+    std::uint64_t n = 0;
+    for (const auto& it : iterations) {
+      n += it.internal_visits + it.leaf_visits + it.containment_checks;
+    }
+    return n;
+  }
+
+  /// Multi-line human-readable report.
+  std::string report() const;
+};
+
+}  // namespace smpmine

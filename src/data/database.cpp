@@ -1,0 +1,31 @@
+#include "data/database.hpp"
+
+#include <algorithm>
+
+namespace smpmine {
+
+void Database::add_transaction(std::span<const item_t> items) {
+  const std::size_t start = items_.size();
+  items_.insert(items_.end(), items.begin(), items.end());
+  auto begin = items_.begin() + static_cast<std::ptrdiff_t>(start);
+  std::sort(begin, items_.end());
+  items_.erase(std::unique(begin, items_.end()), items_.end());
+  if (items_.size() > start) {
+    const item_t largest = items_.back();
+    if (!max_item_seen_ || largest > *max_item_seen_) max_item_seen_ = largest;
+  }
+  offsets_.push_back(items_.size());
+}
+
+void Database::reserve(std::size_t transactions, std::size_t items) {
+  offsets_.reserve(transactions + 1);
+  items_.reserve(items);
+}
+
+void Database::clear() {
+  items_.clear();
+  offsets_.assign(1, 0);
+  max_item_seen_.reset();
+}
+
+}  // namespace smpmine

@@ -1,0 +1,69 @@
+// In-memory transaction database.
+//
+// Transactions are stored back-to-back in one flat item array with an
+// offset table — the layout a sequential disk scan would stream, and the
+// unit the CCPD database partitioning divides. Items within a transaction
+// are kept sorted and de-duplicated because subset enumeration and the
+// hash-tree descent both assume lexicographic order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace smpmine {
+
+class Database {
+ public:
+  Database() { offsets_.push_back(0); }
+
+  /// Appends one transaction. The items are copied, sorted, and
+  /// de-duplicated. Empty transactions are stored (they simply never match).
+  void add_transaction(std::span<const item_t> items);
+
+  /// Number of transactions (the paper's D).
+  std::size_t size() const { return offsets_.size() - 1; }
+
+  bool empty() const { return size() == 0; }
+
+  /// Read-only view of transaction t's sorted items.
+  std::span<const item_t> transaction(std::size_t t) const {
+    return {items_.data() + offsets_[t], items_.data() + offsets_[t + 1]};
+  }
+
+  std::size_t transaction_size(std::size_t t) const {
+    return offsets_[t + 1] - offsets_[t];
+  }
+
+  /// Total item occurrences across all transactions.
+  std::size_t total_items() const { return items_.size(); }
+
+  double avg_transaction_size() const {
+    return empty() ? 0.0
+                   : static_cast<double>(total_items()) /
+                         static_cast<double>(size());
+  }
+
+  /// Largest item id seen plus one (0 when empty) — the live item universe.
+  item_t item_universe() const { return max_item_seen_ ? *max_item_seen_ + 1 : 0; }
+
+  /// Raw storage footprint in bytes (items + offsets), the paper's
+  /// "Total size" column of Table 2.
+  std::size_t storage_bytes() const {
+    return items_.size() * sizeof(item_t) +
+           offsets_.size() * sizeof(std::uint64_t);
+  }
+
+  void reserve(std::size_t transactions, std::size_t items);
+  void clear();
+
+ private:
+  std::vector<item_t> items_;
+  std::vector<std::uint64_t> offsets_;
+  std::optional<item_t> max_item_seen_;
+};
+
+}  // namespace smpmine

@@ -1,0 +1,112 @@
+#include "data/db_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace smpmine {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x534D504D494E4531ULL;  // "SMPMINE1"
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what);
+}
+
+}  // namespace
+
+void save_ascii(const Database& db, std::ostream& os) {
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    const auto txn = db.transaction(t);
+    for (std::size_t i = 0; i < txn.size(); ++i) {
+      if (i) os << ' ';
+      os << txn[i];
+    }
+    os << '\n';
+  }
+  if (!os) fail("save_ascii: write failure");
+}
+
+void save_ascii(const Database& db, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) fail("save_ascii: cannot open " + path);
+  save_ascii(db, os);
+}
+
+Database load_ascii(std::istream& is) {
+  Database db;
+  std::string line;
+  std::vector<item_t> txn;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    txn.clear();
+    std::istringstream ls(line);
+    std::int64_t value = 0;
+    while (ls >> value) {
+      if (value < 0) {
+        fail("load_ascii: negative item id on line " + std::to_string(lineno));
+      }
+      txn.push_back(static_cast<item_t>(value));
+    }
+    if (!ls.eof()) {
+      fail("load_ascii: malformed token on line " + std::to_string(lineno));
+    }
+    db.add_transaction(txn);
+  }
+  return db;
+}
+
+Database load_ascii(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) fail("load_ascii: cannot open " + path);
+  return load_ascii(is);
+}
+
+void save_binary(const Database& db, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) fail("save_binary: cannot open " + path);
+  auto put_u64 = [&](std::uint64_t v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  put_u64(kMagic);
+  put_u64(db.size());
+  put_u64(db.total_items());
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    const auto txn = db.transaction(t);
+    put_u64(txn.size());
+    os.write(reinterpret_cast<const char*>(txn.data()),
+             static_cast<std::streamsize>(txn.size_bytes()));
+  }
+  if (!os) fail("save_binary: write failure");
+}
+
+Database load_binary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail("load_binary: cannot open " + path);
+  auto get_u64 = [&]() {
+    std::uint64_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof v);
+    if (!is) fail("load_binary: truncated file " + path);
+    return v;
+  };
+  if (get_u64() != kMagic) fail("load_binary: bad magic in " + path);
+  const std::uint64_t transactions = get_u64();
+  const std::uint64_t total_items = get_u64();
+  Database db;
+  db.reserve(transactions, total_items);
+  std::vector<item_t> txn;
+  for (std::uint64_t t = 0; t < transactions; ++t) {
+    const std::uint64_t len = get_u64();
+    txn.resize(len);
+    is.read(reinterpret_cast<char*>(txn.data()),
+            static_cast<std::streamsize>(len * sizeof(item_t)));
+    if (!is) fail("load_binary: truncated transaction in " + path);
+    db.add_transaction(txn);
+  }
+  return db;
+}
+
+}  // namespace smpmine

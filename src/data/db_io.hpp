@@ -1,0 +1,32 @@
+// Database serialization.
+//
+// Two formats:
+//  - ASCII: one transaction per line, space-separated item ids — the
+//    interchange format common to association-mining tools (FIMI style).
+//  - Binary: a magic-tagged flat dump of the offset and item arrays, for
+//    fast reload of the large Table 2 datasets between bench runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/database.hpp"
+
+namespace smpmine {
+
+/// Writes one transaction per line ("1 4 5\n"). Throws std::runtime_error
+/// on I/O failure.
+void save_ascii(const Database& db, const std::string& path);
+void save_ascii(const Database& db, std::ostream& os);
+
+/// Parses the ASCII format; blank lines become empty transactions,
+/// malformed tokens throw std::runtime_error with the line number.
+Database load_ascii(const std::string& path);
+Database load_ascii(std::istream& is);
+
+/// Binary round trip. The format is versioned; loading a mismatched
+/// version or truncated file throws std::runtime_error.
+void save_binary(const Database& db, const std::string& path);
+Database load_binary(const std::string& path);
+
+}  // namespace smpmine

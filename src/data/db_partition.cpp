@@ -1,0 +1,112 @@
+#include "data/db_partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace smpmine {
+
+const char* to_string(DbPartition p) {
+  switch (p) {
+    case DbPartition::Block: return "block";
+    case DbPartition::Balanced: return "balanced";
+    case DbPartition::Adaptive: return "adaptive";
+  }
+  return "?";
+}
+
+double transaction_workload_at(std::size_t len, std::uint32_t k) {
+  if (k == 0 || k > len) return 0.0;
+  // C(len, k) computed incrementally, capped to keep the heuristic finite
+  // for pathological transaction lengths.
+  double binom = 1.0;
+  const std::size_t kk = std::min<std::size_t>(k, len - k);
+  for (std::size_t j = 0; j < kk; ++j) {
+    binom *= static_cast<double>(len - j) / static_cast<double>(j + 1);
+    if (binom > 1e15) return 1e15;
+  }
+  return binom;
+}
+
+double transaction_workload(std::size_t len, std::uint32_t horizon) {
+  if (len == 0) return 0.0;
+  double sum = 0.0;
+  for (std::uint32_t k = 1; k <= horizon; ++k) {
+    sum += transaction_workload_at(len, k);
+  }
+  return sum / static_cast<double>(horizon);
+}
+
+namespace {
+
+/// Cuts the prefix sum of per-transaction weights into `threads` equal
+/// contiguous slices.
+DbRanges cut_by_weight(const Database& db, std::uint32_t threads,
+                       const std::function<double(std::size_t)>& weight) {
+  DbRanges ranges;
+  ranges.bounds.assign(threads + 1, 0);
+  const std::uint64_t n = db.size();
+  double total = 0.0;
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::uint64_t t = 0; t < n; ++t) {
+    total += weight(db.transaction_size(t));
+    prefix[t + 1] = total;
+  }
+  std::uint64_t cursor = 0;
+  for (std::uint32_t t = 1; t < threads; ++t) {
+    const double want =
+        total * static_cast<double>(t) / static_cast<double>(threads);
+    while (cursor < n && prefix[cursor] < want) ++cursor;
+    ranges.bounds[t] = cursor;
+  }
+  ranges.bounds[threads] = n;
+  return ranges;
+}
+
+}  // namespace
+
+DbRanges partition_database(const Database& db, std::uint32_t threads,
+                            DbPartition how, std::uint32_t horizon) {
+  const std::uint64_t n = db.size();
+  if (how == DbPartition::Block) {
+    DbRanges ranges;
+    ranges.bounds.assign(threads + 1, 0);
+    const std::uint64_t per = (n + threads - 1) / threads;
+    for (std::uint32_t t = 0; t <= threads; ++t) {
+      ranges.bounds[t] = std::min<std::uint64_t>(n, t * per);
+    }
+    return ranges;
+  }
+  // Balanced and (as a static starting point) Adaptive: cut by the
+  // horizon-mean workload estimate.
+  return cut_by_weight(db, threads, [horizon](std::size_t len) {
+    return transaction_workload(len, horizon);
+  });
+}
+
+DbRanges partition_database_for_iteration(const Database& db,
+                                          std::uint32_t threads,
+                                          std::uint32_t k) {
+  return cut_by_weight(db, threads, [k](std::size_t len) {
+    return transaction_workload_at(len, k);
+  });
+}
+
+double ranges_imbalance(const Database& db, const DbRanges& ranges,
+                        std::uint32_t horizon) {
+  const std::uint32_t threads = ranges.threads();
+  double max_load = 0.0;
+  double sum = 0.0;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    double load = 0.0;
+    for (std::uint64_t i = ranges.begin(t); i < ranges.end(t); ++i) {
+      load += transaction_workload(db.transaction_size(i), horizon);
+    }
+    max_load = std::max(max_load, load);
+    sum += load;
+  }
+  const double mean = sum / static_cast<double>(threads);
+  return mean > 0.0 ? max_load / mean : 1.0;
+}
+
+}  // namespace smpmine

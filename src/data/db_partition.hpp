@@ -1,0 +1,65 @@
+// Database partitioning for CCPD support counting (paper Section 3.2.2).
+//
+// The database is split into contiguous per-thread ranges (contiguity keeps
+// each thread's scan sequential, as the paper's blocked partitioning does).
+// Two cut rules:
+//   - Block: equal transaction counts — the paper's implementation.
+//   - Balanced: equal *estimated workload*, where a transaction of length l
+//     costs mean_k C(l, k) over the first `horizon` iterations — the static
+//     heuristic the paper proposes for the skew caused by variable-length
+//     transactions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/database.hpp"
+
+namespace smpmine {
+
+enum class DbPartition {
+  Block,     ///< equal transaction counts (the paper's implementation)
+  Balanced,  ///< equal estimated mean workload over a fixed horizon
+  Adaptive,  ///< re-cut each iteration k by the C(l_t, k) workload of that
+             ///< iteration — the paper's proposed future-work scheme;
+             ///< contiguous cuts move only boundary transactions, which is
+             ///< its "respect the locality of the partition" requirement
+};
+
+const char* to_string(DbPartition p);
+
+/// Half-open transaction ranges, one per thread; ranges tile [0, db.size()).
+struct DbRanges {
+  std::vector<std::uint64_t> bounds;  ///< size threads+1, bounds[0]=0
+
+  std::uint64_t begin(std::uint32_t tid) const { return bounds[tid]; }
+  std::uint64_t end(std::uint32_t tid) const { return bounds[tid + 1]; }
+  std::uint32_t threads() const {
+    return static_cast<std::uint32_t>(bounds.size() - 1);
+  }
+};
+
+/// Estimated counting workload of one transaction of length `len`:
+/// mean over k in [1, horizon] of C(len, min(k, len-k)) — the paper's
+/// (sum_k C(l_t, k)) / T heuristic, computed in floating point with a cap
+/// so long transactions don't overflow.
+double transaction_workload(std::size_t len, std::uint32_t horizon);
+
+/// Workload of one transaction in iteration k alone: C(len, k), capped.
+double transaction_workload_at(std::size_t len, std::uint32_t k);
+
+DbRanges partition_database(const Database& db, std::uint32_t threads,
+                            DbPartition how, std::uint32_t horizon = 6);
+
+/// The Adaptive re-cut for iteration k: contiguous ranges equalizing the
+/// C(l_t, k) workload of this iteration.
+DbRanges partition_database_for_iteration(const Database& db,
+                                          std::uint32_t threads,
+                                          std::uint32_t k);
+
+/// Max/mean of per-range estimated workload — lets benches report how much
+/// skew each cut rule leaves.
+double ranges_imbalance(const Database& db, const DbRanges& ranges,
+                        std::uint32_t horizon = 6);
+
+}  // namespace smpmine

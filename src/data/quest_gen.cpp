@@ -1,0 +1,195 @@
+#include "data/quest_gen.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+namespace smpmine {
+namespace {
+
+/// One maximal potentially-frequent itemset with its sampling weight and
+/// corruption level.
+struct Pattern {
+  std::vector<item_t> items;
+  double weight = 0.0;
+  double corruption = 0.0;
+};
+
+std::vector<Pattern> make_patterns(const QuestParams& p, Rng& rng) {
+  std::vector<Pattern> patterns(p.num_patterns);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    Pattern& pat = patterns[i];
+    // Sizes clustered around I with a few long patterns (Poisson, min 1).
+    const std::uint32_t len =
+        std::max<std::uint32_t>(1, rng.poisson(p.avg_pattern_len));
+
+    std::vector<item_t> items;
+    items.reserve(len);
+    if (i > 0) {
+      // Correlated reuse from the previous pattern: an exponentially
+      // distributed fraction (mean = correlation) of this pattern's items.
+      const auto& prev = patterns[i - 1].items;
+      const double frac = std::min(1.0, rng.exponential(p.correlation));
+      auto reuse = static_cast<std::size_t>(frac * static_cast<double>(len));
+      reuse = std::min(reuse, prev.size());
+      // Sample `reuse` distinct positions from prev (partial shuffle).
+      std::vector<item_t> pool(prev);
+      for (std::size_t j = 0; j < reuse; ++j) {
+        const std::size_t pick =
+            j + static_cast<std::size_t>(rng.uniform(pool.size() - j));
+        std::swap(pool[j], pool[pick]);
+        items.push_back(pool[j]);
+      }
+    }
+    while (items.size() < len) {
+      items.push_back(static_cast<item_t>(rng.uniform(p.num_items)));
+    }
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    pat.items = std::move(items);
+
+    pat.weight = rng.exponential(1.0);
+    weight_sum += pat.weight;
+    pat.corruption =
+        std::clamp(rng.normal(p.corruption_mean, p.corruption_sd), 0.0, 1.0);
+  }
+  for (Pattern& pat : patterns) pat.weight /= weight_sum;
+  return patterns;
+}
+
+/// Cumulative-weight index for O(log L) weighted pattern picks.
+class WeightedPicker {
+ public:
+  explicit WeightedPicker(const std::vector<Pattern>& patterns) {
+    cumulative_.reserve(patterns.size());
+    double run = 0.0;
+    for (const Pattern& pat : patterns) {
+      run += pat.weight;
+      cumulative_.push_back(run);
+    }
+    if (!cumulative_.empty()) cumulative_.back() = 1.0;
+  }
+
+  std::size_t pick(Rng& rng) const {
+    const double u = rng.uniform01();
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                                 static_cast<std::ptrdiff_t>(cumulative_.size()) - 1));
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Drops items from a pattern instance per Quest's corruption rule: while a
+/// uniform draw is below the corruption level, remove one random item.
+void corrupt(std::vector<item_t>& items, double corruption, Rng& rng) {
+  while (!items.empty() && rng.uniform01() < corruption) {
+    const std::size_t victim =
+        static_cast<std::size_t>(rng.uniform(items.size()));
+    items[victim] = items.back();
+    items.pop_back();
+  }
+}
+
+}  // namespace
+
+Database generate_quest(const QuestParams& p) {
+  Rng rng(p.seed);
+  Rng pattern_rng = rng.split();
+  Rng txn_rng = rng.split();
+
+  const std::vector<Pattern> patterns = make_patterns(p, pattern_rng);
+  const WeightedPicker picker(patterns);
+
+  Database db;
+  db.reserve(p.num_transactions,
+             static_cast<std::size_t>(static_cast<double>(p.num_transactions) *
+                                      p.avg_transaction_len));
+
+  std::vector<item_t> txn;
+  std::vector<item_t> carry;  // itemset deferred to the next transaction
+  for (std::uint32_t t = 0; t < p.num_transactions; ++t) {
+    const std::uint32_t target =
+        std::max<std::uint32_t>(1, txn_rng.poisson(p.avg_transaction_len));
+    txn.clear();
+    if (!carry.empty()) {
+      txn.insert(txn.end(), carry.begin(), carry.end());
+      carry.clear();
+    }
+    while (txn.size() < target) {
+      const Pattern& pat = patterns[picker.pick(txn_rng)];
+      std::vector<item_t> instance = pat.items;
+      corrupt(instance, pat.corruption, txn_rng);
+      if (instance.empty()) continue;
+      if (txn.size() + instance.size() > target && !txn.empty()) {
+        // Overflowing itemset: added anyway half the time, otherwise
+        // carried over to the next transaction (Quest rule).
+        if (txn_rng.uniform01() < 0.5) {
+          txn.insert(txn.end(), instance.begin(), instance.end());
+        } else {
+          carry = std::move(instance);
+        }
+        break;
+      }
+      txn.insert(txn.end(), instance.begin(), instance.end());
+    }
+    db.add_transaction(txn);
+  }
+  return db;
+}
+
+std::optional<QuestParams> QuestParams::from_name(const std::string& name) {
+  // Expected shape: T<int>.I<int>.D<int>[K|M]. Integer fields are parsed
+  // (not %lf) so the '.' separators are unambiguous.
+  unsigned t_len = 0, i_len = 0, d_val = 0;
+  char suffix = '\0';
+  const int matched = std::sscanf(name.c_str(), "T%u.I%u.D%u%c", &t_len,
+                                  &i_len, &d_val, &suffix);
+  if (matched < 3 || t_len == 0 || i_len == 0 || d_val == 0) {
+    return std::nullopt;
+  }
+  double d = d_val;
+  if (matched == 4) {
+    if (suffix == 'K' || suffix == 'k') {
+      d *= 1e3;
+    } else if (suffix == 'M' || suffix == 'm') {
+      d *= 1e6;
+    } else {
+      return std::nullopt;
+    }
+  }
+  QuestParams p;
+  p.avg_transaction_len = t_len;
+  p.avg_pattern_len = i_len;
+  p.num_transactions = static_cast<std::uint32_t>(d);
+  return p;
+}
+
+std::string QuestParams::name() const {
+  char buf[64];
+  const std::uint32_t d = num_transactions;
+  if (d % 1000 == 0) {
+    std::snprintf(buf, sizeof buf, "T%g.I%g.D%uK", avg_transaction_len,
+                  avg_pattern_len, d / 1000);
+  } else {
+    std::snprintf(buf, sizeof buf, "T%g.I%g.D%u", avg_transaction_len,
+                  avg_pattern_len, d);
+  }
+  return buf;
+}
+
+QuestParams scaled(QuestParams params, double factor) {
+  const double d = static_cast<double>(params.num_transactions) * factor;
+  params.num_transactions = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(d + 0.5));
+  return params;
+}
+
+}  // namespace smpmine

@@ -1,0 +1,61 @@
+// IBM Quest synthetic basket-data generator.
+//
+// The paper's benchmark databases (Table 2: T5.I2.D100K ... T10.I6.D3200K)
+// come from the Quest `gen` program described in Agrawal & Srikant, "Fast
+// Algorithms for Mining Association Rules" (VLDB'94) §2.4.3. The original
+// binary is long gone from IBM's site, so this module re-implements the
+// published procedure:
+//
+//   1. Draw L maximal potentially-frequent itemsets. Sizes are Poisson with
+//      mean I. Items of the first pattern are uniform over the N items;
+//      each later pattern reuses an exponentially-distributed fraction
+//      (mean = correlation) of the previous pattern's items and draws the
+//      rest uniformly. Each pattern gets an exponential weight (normalized
+//      to sum 1) and a corruption level ~ N(0.5, 0.1) clamped to [0, 1].
+//   2. Draw D transactions. Sizes are Poisson with mean T. A transaction is
+//      filled by repeatedly picking a pattern by weight and *corrupting* it
+//      (dropping random items while a uniform draw stays below the pattern's
+//      corruption level). An itemset that overflows the remaining budget is
+//      added anyway half the time; otherwise it carries over to the next
+//      transaction (Quest's "half the time" rule).
+//
+// Everything is driven by the seeded Rng, so a (params, seed) pair names a
+// dataset reproducibly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "data/database.hpp"
+#include "util/rng.hpp"
+
+namespace smpmine {
+
+struct QuestParams {
+  std::uint32_t num_transactions = 100'000;  ///< D
+  double avg_transaction_len = 10.0;         ///< T
+  double avg_pattern_len = 4.0;              ///< I
+  std::uint32_t num_patterns = 2'000;        ///< L (paper: 2000)
+  std::uint32_t num_items = 1'000;           ///< N (paper: 1000)
+  double correlation = 0.25;                 ///< Quest default corr level
+  double corruption_mean = 0.5;
+  double corruption_sd = 0.1;
+  std::uint64_t seed = 1996;
+
+  /// Parses the paper's dataset naming convention, e.g. "T10.I6.D400K"
+  /// (K/M suffixes supported). Returns nullopt on malformed names.
+  static std::optional<QuestParams> from_name(const std::string& name);
+
+  /// Renders the paper-style name, e.g. "T10.I6.D400K".
+  std::string name() const;
+};
+
+/// Generates the database. Deterministic for fixed params (including seed).
+Database generate_quest(const QuestParams& params);
+
+/// Scales only D by `factor` (used by the benches' --scale flag so laptop
+/// runs keep the paper's T/I structure on fewer transactions).
+QuestParams scaled(QuestParams params, double factor);
+
+}  // namespace smpmine

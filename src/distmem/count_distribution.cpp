@@ -1,0 +1,190 @@
+#include "distmem/count_distribution.hpp"
+
+#include <cstring>
+#include <thread>
+
+#include "core/candidate_gen.hpp"
+#include "core/miner.hpp"
+#include "hashtree/hash_tree.hpp"
+#include "util/timer.hpp"
+
+namespace smpmine {
+namespace {
+
+std::vector<std::byte> pack(const std::vector<count_t>& counts) {
+  std::vector<std::byte> bytes(counts.size() * sizeof(count_t));
+  std::memcpy(bytes.data(), counts.data(), bytes.size());
+  return bytes;
+}
+
+std::vector<count_t> unpack(const std::vector<std::byte>& bytes) {
+  std::vector<count_t> counts(bytes.size() / sizeof(count_t));
+  std::memcpy(counts.data(), bytes.data(), bytes.size());
+  return counts;
+}
+
+/// Gather-to-root sum + broadcast. Every node passes its partial vector
+/// and receives the global sum; all payloads are physically copied through
+/// the metered cluster.
+std::vector<count_t> allreduce(Cluster& cluster, std::uint32_t node,
+                               std::uint32_t tag,
+                               std::vector<count_t> local) {
+  if (node != 0) {
+    cluster.send(node, 0, tag, pack(local));
+    return unpack(cluster.receive(node).payload);
+  }
+  for (std::uint32_t peer = 1; peer < cluster.size(); ++peer) {
+    const std::vector<count_t> partial =
+        unpack(cluster.receive(0).payload);
+    for (std::size_t i = 0; i < local.size(); ++i) local[i] += partial[i];
+  }
+  for (std::uint32_t peer = 1; peer < cluster.size(); ++peer) {
+    cluster.send(0, peer, tag + 1, pack(local));
+  }
+  return local;
+}
+
+FrequentSet select_from_counts(const HashTree& tree,
+                               const std::vector<count_t>& counts,
+                               count_t min_count) {
+  const std::size_t k = tree.k();
+  const auto& index = tree.candidate_index();
+  std::vector<std::uint32_t> survivors;
+  for (std::uint32_t id = 0; id < counts.size(); ++id) {
+    if (counts[id] >= min_count) survivors.push_back(id);
+  }
+  std::sort(survivors.begin(), survivors.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return compare_itemsets(index[a]->view(k), index[b]->view(k)) <
+                     0;
+            });
+  if (survivors.empty()) return FrequentSet(k);
+  std::vector<item_t> flat;
+  std::vector<count_t> packed;
+  for (const std::uint32_t id : survivors) {
+    const auto view = index[id]->view(k);
+    flat.insert(flat.end(), view.begin(), view.end());
+    packed.push_back(counts[id]);
+  }
+  return FrequentSet(k, std::move(flat), std::move(packed));
+}
+
+}  // namespace
+
+CountDistributionResult mine_count_distribution(const Database& db,
+                                                const MinerOptions& options,
+                                                std::uint32_t nodes) {
+  MinerOptions opts = options;
+  opts.threads = 1;
+  opts.validate();
+  if (nodes == 0) nodes = 1;
+
+  Cluster cluster(nodes);
+  const count_t min_count = absolute_support(opts.min_support, db.size());
+  const DbRanges ranges = partition_database(db, nodes, DbPartition::Block);
+
+  CountDistributionResult result;
+  std::uint64_t tree_bytes_node0 = 0;
+  std::uint64_t counters_exchanged = 0;
+
+  WallTimer total_timer;
+  auto node_main = [&](std::uint32_t node) {
+    // ---- F1: local item counts + all-reduce --------------------------------
+    const item_t universe = db.item_universe();
+    std::vector<count_t> item_counts(universe, 0);
+    count_items_range(db, ranges.begin(node), ranges.end(node), item_counts);
+    item_counts = allreduce(cluster, node, 0, std::move(item_counts));
+
+    std::vector<item_t> f1_items;
+    std::vector<count_t> f1_counts;
+    for (item_t i = 0; i < universe; ++i) {
+      if (item_counts[i] >= min_count) {
+        f1_items.push_back(i);
+        f1_counts.push_back(item_counts[i]);
+      }
+    }
+    std::vector<FrequentSet> levels;
+    if (!f1_items.empty()) {
+      levels.emplace_back(1, std::move(f1_items), std::move(f1_counts));
+    }
+
+    PlacementArenas arenas(opts.placement, opts.spp_variant);
+    for (std::uint32_t k = 2; !levels.empty() && k <= opts.max_iterations;
+         ++k) {
+      const FrequentSet& prev = levels.back();
+      if (prev.size() < 2) break;
+      IterationStats it;
+      it.k = k;
+
+      // Identical candidate generation on every node (sequential and
+      // deterministic, so candidate ids agree across the cluster).
+      const auto classes = build_equivalence_classes(prev);
+      const auto units = generation_units(classes, k);
+      if (units.empty()) break;
+      const std::uint32_t fanout = adaptive_fanout(
+          total_join_pairs(classes), k, opts.leaf_threshold, opts.min_fanout,
+          opts.max_fanout);
+      const HashPolicy policy = make_hash_policy(
+          opts.hash_scheme, fanout, levels.front(), universe);
+      arenas.reset();
+      HashTree tree({k, fanout, opts.leaf_threshold, CounterMode::Atomic},
+                    policy, arenas);
+      const CandGenCounters gen =
+          generate_candidates(prev, classes, units, tree);
+      it.candidates = tree.num_candidates();
+      it.pruned = gen.pruned;
+      it.fanout = fanout;
+      if (it.candidates == 0) {
+        if (node == 0) result.mining.iterations.push_back(it);
+        break;
+      }
+
+      // Local counting over this node's partition only.
+      ThreadCpuTimer cpu;
+      CountContext ctx = tree.make_context(opts.subset_check);
+      for (std::uint64_t t = ranges.begin(node); t < ranges.end(node); ++t) {
+        tree.count_transaction(db.transaction(t), ctx);
+      }
+      it.count_busy_sum = it.count_busy_max = cpu.seconds();
+      it.internal_visits = ctx.internal_visits;
+      it.leaf_visits = ctx.leaf_visits;
+      it.containment_checks = ctx.containment_checks;
+      it.hits = ctx.hits;
+
+      // The algorithm's defining step: all-reduce |C(k)| partial counts.
+      std::vector<count_t> counts(tree.num_candidates(), 0);
+      tree.for_each_candidate(
+          [&](const Candidate& cand) { counts[cand.id] = *cand.count; });
+      counts = allreduce(cluster, node, 2 * k, std::move(counts));
+
+      FrequentSet fk = select_from_counts(tree, counts, min_count);
+      it.frequent = fk.size();
+      if (node == 0) {
+        const TreeStats ts = tree.stats();
+        it.tree_nodes = ts.nodes;
+        it.tree_bytes = ts.bytes_used;
+        tree_bytes_node0 += ts.bytes_used;
+        counters_exchanged += tree.num_candidates();
+        result.mining.iterations.push_back(it);
+      }
+      if (fk.empty()) break;
+      levels.push_back(std::move(fk));
+    }
+    if (node == 0) result.mining.levels = std::move(levels);
+  };
+
+  std::vector<std::thread> workers;
+  for (std::uint32_t node = 1; node < nodes; ++node) {
+    workers.emplace_back(node_main, node);
+  }
+  node_main(0);
+  for (auto& w : workers) w.join();
+
+  result.mining.total_seconds = total_timer.seconds();
+  result.comm = cluster.stats();
+  result.total_tree_bytes = tree_bytes_node0 * nodes;  // identical trees
+  result.counters_exchanged = counters_exchanged;
+  return result;
+}
+
+}  // namespace smpmine

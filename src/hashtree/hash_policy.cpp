@@ -1,0 +1,61 @@
+#include "hashtree/hash_policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/partition.hpp"
+
+namespace smpmine {
+
+const char* to_string(HashScheme s) {
+  switch (s) {
+    case HashScheme::Interleaved: return "interleaved";
+    case HashScheme::Bitonic: return "bitonic";
+    case HashScheme::Indirection: return "indirection";
+  }
+  return "?";
+}
+
+HashPolicy::HashPolicy(HashScheme scheme, std::uint32_t fanout)
+    : scheme_(scheme), fanout_(fanout) {
+  if (fanout_ < 1) throw std::invalid_argument("HashPolicy: fanout must be >= 1");
+  if (scheme_ == HashScheme::Indirection) {
+    throw std::invalid_argument(
+        "HashPolicy: Indirection requires the F1 constructor");
+  }
+}
+
+HashPolicy::HashPolicy(std::uint32_t fanout,
+                       std::span<const item_t> frequent_items, item_t universe)
+    : scheme_(HashScheme::Indirection), fanout_(fanout) {
+  if (fanout_ < 1) throw std::invalid_argument("HashPolicy: fanout must be >= 1");
+  // Bitonic-partition the F1 labels 0..n-1 with P := H; each partition
+  // group becomes one hash bucket (Section 4.1's equivalence classes).
+  const Assignment a =
+      partition_bitonic(join_workloads(frequent_items.size()), fanout_);
+  const std::vector<std::uint32_t> label_bucket =
+      a.element_to_bin(frequent_items.size());
+
+  table_.assign(universe, 0);
+  for (item_t raw = 0; raw < universe; ++raw) table_[raw] = raw % fanout_;
+  for (std::size_t label = 0; label < frequent_items.size(); ++label) {
+    const item_t raw = frequent_items[label];
+    if (raw < universe) table_[raw] = label_bucket[label];
+  }
+}
+
+std::uint32_t adaptive_fanout(double total_join_pairs, std::uint32_t k,
+                              std::uint32_t leaf_threshold,
+                              std::uint32_t min_fanout,
+                              std::uint32_t max_fanout) {
+  if (total_join_pairs <= 0.0 || k == 0) return min_fanout;
+  const double h = std::pow(
+      total_join_pairs / static_cast<double>(leaf_threshold),
+      1.0 / static_cast<double>(k));
+  auto fanout = static_cast<std::uint32_t>(std::ceil(h));
+  if (fanout < min_fanout) fanout = min_fanout;
+  if (fanout > max_fanout) fanout = max_fanout;
+  return fanout;
+}
+
+}  // namespace smpmine

@@ -1,0 +1,83 @@
+// Item-to-bucket hash policies for the candidate hash tree (Section 4.1).
+//
+// The unoptimized tree hashes with `h(i) = i mod H` (equivalent to the
+// interleaved partitioning of items over buckets). Tree balancing replaces
+// it with the *bitonic* hash function, in two flavors:
+//   - the closed form of Theorem 1:
+//       h(i) = i mod H          when (i mod 2H) <  H
+//            = 2H-1-(i mod 2H)  otherwise,
+//   - the indirection vector built by bitonic-partitioning the F1 labels
+//     with P := H (Table 1) — exact balancing of the realized item
+//     workloads rather than the idealized closed form.
+//
+// A policy maps *raw item ids*; for the indirection flavor, items outside
+// F1 (which can appear in transactions but never in candidates) fall back
+// to mod H — any bucket is correct for them because leaf containment checks
+// decide membership.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace smpmine {
+
+enum class HashScheme {
+  Interleaved,   ///< i mod H (the paper's unoptimized baseline)
+  Bitonic,       ///< closed-form bitonic of Theorem 1
+  Indirection,   ///< bitonic partitioning of F1 labels via indirection vector
+};
+
+const char* to_string(HashScheme s);
+
+class HashPolicy {
+ public:
+  /// Interleaved or closed-form Bitonic policy over raw ids.
+  HashPolicy(HashScheme scheme, std::uint32_t fanout);
+
+  /// Indirection policy: `frequent_items` are the F1 items in lexicographic
+  /// order; their labels 0..n-1 are bitonic-partitioned into `fanout`
+  /// classes and the composition raw id -> label -> class is flattened into
+  /// a lookup table of size `universe`.
+  HashPolicy(std::uint32_t fanout, std::span<const item_t> frequent_items,
+             item_t universe);
+
+  std::uint32_t fanout() const { return fanout_; }
+  HashScheme scheme() const { return scheme_; }
+
+  /// Bucket of an item, in [0, fanout()).
+  std::uint32_t bucket(item_t item) const {
+    switch (scheme_) {
+      case HashScheme::Interleaved:
+        return item % fanout_;
+      case HashScheme::Bitonic: {
+        const std::uint32_t r = item % (2 * fanout_);
+        return r < fanout_ ? r : 2 * fanout_ - 1 - r;
+      }
+      case HashScheme::Indirection:
+        return item < table_.size() ? table_[item] : item % fanout_;
+    }
+    return 0;
+  }
+
+  /// The raw indirection table (empty unless scheme() == Indirection);
+  /// exposed for the Table 1 unit test.
+  const std::vector<std::uint32_t>& indirection_table() const { return table_; }
+
+ private:
+  HashScheme scheme_;
+  std::uint32_t fanout_;
+  std::vector<std::uint32_t> table_;
+};
+
+/// Adaptive fan-out (Section 3.1.1): smallest H with T*H^k > total join
+/// pairs, i.e. H = ceil((pairs / leaf_threshold)^(1/k)), clamped to
+/// [min_fanout, max_fanout].
+std::uint32_t adaptive_fanout(double total_join_pairs, std::uint32_t k,
+                              std::uint32_t leaf_threshold,
+                              std::uint32_t min_fanout = 2,
+                              std::uint32_t max_fanout = 512);
+
+}  // namespace smpmine

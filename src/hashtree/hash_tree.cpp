@@ -1,0 +1,23 @@
+#include "hashtree/hash_tree.hpp"
+
+namespace smpmine {
+
+const char* to_string(CounterMode m) {
+  switch (m) {
+    case CounterMode::Atomic: return "atomic";
+    case CounterMode::Locked: return "locked";
+    case CounterMode::PerThread: return "per-thread";
+  }
+  return "?";
+}
+
+const char* to_string(SubsetCheck s) {
+  switch (s) {
+    case SubsetCheck::LeafVisited: return "leaf-visited";
+    case SubsetCheck::VisitedFlags: return "visited-flags";
+    case SubsetCheck::FrameLocal: return "frame-local";
+  }
+  return "?";
+}
+
+}  // namespace smpmine

@@ -1,0 +1,188 @@
+// The candidate hash tree (paper Section 2.1.1) with parallel build,
+// placement-policy-aware allocation, GPP remapping, and the counting
+// traversals of Section 4.2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "alloc/alloc_stats.hpp"
+#include "alloc/placement.hpp"
+#include "hashtree/hash_policy.hpp"
+#include "hashtree/nodes.hpp"
+#include "util/types.hpp"
+
+namespace smpmine {
+
+/// Subset-checking strategy during support counting (Section 4.2).
+enum class SubsetCheck {
+  LeafVisited,   ///< baseline: only leaves are deduped per transaction;
+                 ///< duplicate hash paths are re-descended
+  VisitedFlags,  ///< paper's VISITED flag on every node (P x nodes stamps)
+  FrameLocal,    ///< reduced k*H*P variant: per-recursion-frame seen set
+};
+
+const char* to_string(SubsetCheck s);
+
+struct HashTreeConfig {
+  std::uint32_t k = 2;               ///< itemset length this tree stores
+  std::uint32_t fanout = 4;          ///< H
+  std::uint32_t leaf_threshold = 8;  ///< paper's T: max itemsets per leaf
+  CounterMode counter_mode = CounterMode::Atomic;
+};
+
+/// Structural statistics, including the per-leaf occupancy distribution the
+/// hash-tree balancing study (Theorem 1) is about.
+struct TreeStats {
+  std::uint64_t nodes = 0;
+  std::uint64_t internal_nodes = 0;
+  std::uint64_t leaves = 0;        ///< all leaves, including empty
+  std::uint64_t occupied_leaves = 0;
+  std::uint64_t candidates = 0;
+  std::uint32_t max_depth = 0;
+  double mean_leaf_occupancy = 0.0;  ///< over occupied leaves
+  double max_leaf_occupancy = 0.0;
+  double leaf_occupancy_stddev = 0.0;
+  /// max leaf occupancy / mean — the balance figure of merit.
+  double occupancy_imbalance() const {
+    return mean_leaf_occupancy > 0.0 ? max_leaf_occupancy / mean_leaf_occupancy
+                                     : 1.0;
+  }
+  std::uint64_t bytes_used = 0;  ///< tree-arena bytes
+};
+
+/// Per-thread counting state. Create via HashTree::make_context after the
+/// tree is fully built (and remapped, if the policy remaps).
+struct CountContext {
+  SubsetCheck mode = SubsetCheck::FrameLocal;
+  /// LCA (CounterMode::PerThread) accumulator, indexed by candidate id.
+  std::vector<count_t> local_counts;
+  /// Per-transaction stamps: leaves (LeafVisited) or all nodes
+  /// (VisitedFlags), indexed by node id; value = current stamp.
+  std::vector<std::uint32_t> node_stamp;
+  /// FrameLocal seen-sets: (k+1) frames x fanout slots, epoch-reset.
+  std::vector<std::uint32_t> frame_seen;
+  std::vector<std::uint32_t> frame_epoch;
+  std::uint32_t stamp = 0;  ///< per-transaction stamp, incremented per txn
+
+  /// Group-level candidate dedup (off when empty): when enabled via
+  /// HashTree::enable_group_dedup, a candidate is counted at most once per
+  /// group even across multiple count_transaction calls — sequence mining's
+  /// litemset phase needs "once per customer" semantics.
+  std::vector<std::uint32_t> cand_group_stamp;
+  std::uint32_t group = 0;
+
+  // Traversal instrumentation (deterministic work proxies for the benches).
+  std::uint64_t internal_visits = 0;
+  std::uint64_t leaf_visits = 0;
+  std::uint64_t containment_checks = 0;
+  std::uint64_t hits = 0;
+};
+
+class HashTree {
+ public:
+  /// The tree allocates every block from `arenas` per its policy; `policy`
+  /// maps items to buckets and must outlive the tree.
+  HashTree(const HashTreeConfig& config, const HashPolicy& policy,
+           PlacementArenas& arenas);
+
+  HashTree(const HashTree&) = delete;
+  HashTree& operator=(const HashTree&) = delete;
+
+  /// Inserts a candidate k-itemset (sorted, exactly k items). Thread-safe;
+  /// multiple builders may insert concurrently. Returns the candidate's
+  /// dense id. Duplicate insertion is the caller's bug (the join never
+  /// produces duplicates) and is not checked.
+  std::uint32_t insert(std::span<const item_t> items);
+
+  std::uint32_t num_candidates() const {
+    return next_candidate_id_.load(std::memory_order_acquire);
+  }
+  std::uint32_t num_nodes() const {
+    return next_node_id_.load(std::memory_order_acquire);
+  }
+  std::uint32_t k() const { return config_.k; }
+  std::uint32_t fanout() const { return policy_->fanout(); }
+  const HashTreeConfig& config() const { return config_; }
+  CounterMode counter_mode() const { return config_.counter_mode; }
+
+  /// Prepares a per-thread counting context sized for the current tree.
+  CountContext make_context(SubsetCheck mode) const;
+
+  /// Switches `ctx` to group-dedup counting: after begin_group(ctx, g) each
+  /// candidate's counter is incremented at most once until the next group
+  /// begins, no matter how many transactions are counted.
+  void enable_group_dedup(CountContext& ctx) const;
+  static void begin_group(CountContext& ctx) { ++ctx.group; }
+
+  /// Counts every candidate subset of one transaction (Section 2.1.2 /
+  /// 4.2). Read-only on the tree structure; counter updates follow the
+  /// counter mode. Call only after the build (and remap) phase completes.
+  void count_transaction(std::span<const item_t> txn, CountContext& ctx) const;
+
+  /// Adds a PerThread context's local counts into the shared counters —
+  /// LCA-GPP's sum-reduction. Single-threaded per candidate range; callers
+  /// split [0, num_candidates) across threads.
+  void reduce_into_shared(const CountContext& ctx, std::uint32_t begin_id,
+                          std::uint32_t end_id) const;
+
+  /// Depth-first remap (GPP): rebuilds every block in counting-traversal
+  /// order inside `arenas.remap_target()`, then swaps the root. Node ids
+  /// are re-assigned in DFS order; existing CountContexts become stale.
+  /// Single-threaded by design (the paper remaps on the master).
+  void remap_depth_first();
+
+  /// Visits every candidate (arbitrary order).
+  void for_each_candidate(
+      const std::function<void(const Candidate&)>& fn) const;
+
+  /// Dense id -> Candidate* index. Built lazily by the first call; callers
+  /// must make that first call single-threaded (the miner does, right after
+  /// the build/remap phase). Invalidated by remap_depth_first.
+  const std::vector<Candidate*>& candidate_index() const;
+
+  TreeStats stats() const;
+
+  /// Addresses touched by a counting traversal of `txn`, in visit order —
+  /// feeds the locality analyzer (alloc_stats.hpp). Uses FrameLocal
+  /// traversal semantics.
+  void access_trace(std::span<const item_t> txn,
+                    std::vector<std::uintptr_t>& out) const;
+
+ private:
+  /// A freshly allocated candidate with its list node, placed per the
+  /// active policy (co-reserved single block under LPP).
+  struct Entry {
+    Candidate* cand;
+    ListNode* ln;
+  };
+
+  HTNode* new_node(std::uint16_t depth);
+  void convert_leaf(HTNode* node);
+  Entry make_entry(std::span<const item_t> items);
+  void init_counter(Candidate* cand, std::byte* inline_tail);
+
+  void count_rec(const HTNode* node, std::span<const item_t> txn,
+                 std::size_t start, CountContext& ctx) const;
+  void process_leaf(const HTNode* node, std::span<const item_t> txn,
+                    CountContext& ctx) const;
+
+  HTNode* remap_rec(const HTNode* node, Region& target,
+                    std::uint32_t& next_id);
+  void trace_rec(const HTNode* node, std::span<const item_t> txn,
+                 std::size_t start, std::vector<std::uintptr_t>& out,
+                 std::vector<std::uint32_t>& seen,
+                 std::vector<std::uint32_t>& epoch) const;
+
+  HashTreeConfig config_;
+  const HashPolicy* policy_;
+  PlacementArenas* arenas_;
+  HTNode* root_ = nullptr;
+  std::atomic<std::uint32_t> next_candidate_id_{0};
+  std::atomic<std::uint32_t> next_node_id_{0};
+  mutable std::vector<Candidate*> cand_index_;
+};
+
+}  // namespace smpmine

@@ -1,0 +1,87 @@
+// Hash-tree building blocks (paper Figures 2, 3 and 5).
+//
+// The paper names five block kinds, and the placement policies are defined
+// in terms of them, so we keep all five as distinct allocations:
+//   HTNode      — hash tree node (HTN)
+//   HTNode*[]   — hash table / pointer array (HTNP), internal nodes only
+//   ListHeader  — itemset list header (ILH)
+//   ListNode    — linked-list node (LN)
+//   Candidate   — the itemset record itself, with its support counter
+//
+// Blocks are allocated raw from an Arena and placement-new'd; the tree never
+// destroys individual blocks (trivially destructible throughout) — the
+// owning arenas release everything at once.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "parallel/spinlock.hpp"
+#include "util/types.hpp"
+
+namespace smpmine {
+
+/// How support counters are updated during counting.
+enum class CounterMode {
+  Atomic,     ///< shared counter, atomic increment (default shared mode)
+  Locked,     ///< shared counter guarded by a per-candidate spinlock —
+              ///< the paper's lock+counter pair, kept for the false-sharing
+              ///< study
+  PerThread,  ///< LCA: per-thread count arrays + final reduction
+};
+
+const char* to_string(CounterMode m);
+
+/// A candidate k-itemset stored in a leaf. The k items follow the header
+/// in the same allocation (`items()`); the counter and optional lock live
+/// wherever the placement policy put them (inline block, segregated
+/// region — see HashTree::insert).
+struct Candidate {
+  std::uint32_t id;       ///< dense id in [0, num_candidates)
+  count_t* count;         ///< shared support counter
+  SpinLock* count_lock;   ///< only non-null under CounterMode::Locked
+
+  item_t* items() { return reinterpret_cast<item_t*>(this + 1); }
+  const item_t* items() const {
+    return reinterpret_cast<const item_t*>(this + 1);
+  }
+  std::span<const item_t> view(std::size_t k) const { return {items(), k}; }
+
+  static std::size_t alloc_size(std::size_t k) {
+    return sizeof(Candidate) + k * sizeof(item_t);
+  }
+};
+static_assert(alignof(Candidate) >= alignof(item_t),
+              "items() placement relies on header alignment");
+
+/// Linked-list node chaining candidates within a leaf (LN).
+struct ListNode {
+  Candidate* cand;
+  ListNode* next;
+};
+
+/// Itemset list header (ILH). Internal nodes keep an empty one, exactly as
+/// the paper's Figure 3 shows.
+struct ListHeader {
+  ListNode* head = nullptr;
+  std::uint32_t size = 0;
+};
+
+/// Hash tree node (HTN). A node is a leaf while `children` is null; the
+/// leaf->internal conversion builds the fully-populated child array and
+/// publishes it with a release store, so readers that observe `children`
+/// non-null can descend without taking the node lock.
+struct HTNode {
+  std::atomic<HTNode**> children{nullptr};  ///< HTNP, fanout entries
+  ListHeader* list = nullptr;               ///< ILH
+  std::uint32_t id = 0;                     ///< dense node id
+  std::uint16_t depth = 0;                  ///< items hashed to reach it
+  SpinLock lock;                            ///< guards leaf insert/convert
+
+  bool is_leaf(std::memory_order order = std::memory_order_acquire) const {
+    return children.load(order) == nullptr;
+  }
+};
+
+}  // namespace smpmine

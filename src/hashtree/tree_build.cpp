@@ -1,0 +1,239 @@
+// Tree construction: parallel locked insert and leaf->internal conversion
+// (paper Section 3.1.4), with block placement per the active policy.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <new>
+
+#include "hashtree/hash_tree.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+/// Counter-with-lock block used when counters are segregated and the
+/// counter mode is Locked.
+struct CounterBlock {
+  count_t count;
+  SpinLock lock;
+};
+
+}  // namespace
+
+HashTree::HashTree(const HashTreeConfig& config, const HashPolicy& policy,
+                   PlacementArenas& arenas)
+    : config_(config), policy_(&policy), arenas_(&arenas) {
+  assert(config_.k >= 1);
+  assert(policy.fanout() == config_.fanout &&
+         "config fanout must match the hash policy");
+  root_ = new_node(0);
+}
+
+HTNode* HashTree::new_node(std::uint16_t depth) {
+  HTNode* node = nullptr;
+  ListHeader* header = nullptr;
+  if (policy_localized(arenas_->policy())) {
+    // LPP reservation: HTN and its ILH in one block so touching the node
+    // brings its list header into the cache with it.
+    void* block = arenas_->tree(BlockKind::Node)
+                      .alloc(sizeof(HTNode) + sizeof(ListHeader),
+                             alignof(HTNode));
+    node = new (block) HTNode();
+    header =
+        new (static_cast<std::byte*>(block) + sizeof(HTNode)) ListHeader();
+  } else {
+    node = new (arenas_->tree(BlockKind::Node)
+                    .alloc(sizeof(HTNode), alignof(HTNode))) HTNode();
+    header = new (arenas_->tree(BlockKind::ListHeader)
+                      .alloc(sizeof(ListHeader), alignof(ListHeader)))
+        ListHeader();
+  }
+  node->list = header;
+  node->depth = depth;
+  node->id = next_node_id_.fetch_add(1, std::memory_order_relaxed);
+  return node;
+}
+
+void HashTree::init_counter(Candidate* cand, std::byte* inline_tail) {
+  const bool locked = config_.counter_mode == CounterMode::Locked;
+  if (inline_tail != nullptr) {
+    // Counter (and lock) right after the items — the read-write data
+    // interleaved with read-only data that Section 5.2 identifies as the
+    // false-sharing source in the non-segregated policies.
+    cand->count = new (inline_tail) count_t(0);
+    cand->count_lock =
+        locked ? new (inline_tail + sizeof(count_t)) SpinLock() : nullptr;
+    return;
+  }
+  if (locked) {
+    auto* block = new (arenas_->counters().alloc(sizeof(CounterBlock),
+                                                 alignof(CounterBlock)))
+        CounterBlock{0, {}};
+    cand->count = &block->count;
+    cand->count_lock = &block->lock;
+  } else {
+    cand->count = new (
+        arenas_->counters().alloc(sizeof(count_t), alignof(count_t)))
+        count_t(0);
+    cand->count_lock = nullptr;
+  }
+}
+
+HashTree::Entry HashTree::make_entry(std::span<const item_t> items) {
+  const std::size_t k = config_.k;
+  const PlacementPolicy policy = arenas_->policy();
+  const bool inline_counter =
+      !policy_segregates_counters(policy) && !policy_local_counters(policy);
+
+  std::size_t cand_bytes = Candidate::alloc_size(k);
+  if (inline_counter) {
+    cand_bytes += sizeof(count_t);
+    if (config_.counter_mode == CounterMode::Locked) {
+      cand_bytes += sizeof(SpinLock);
+    }
+  }
+
+  Candidate* cand = nullptr;
+  ListNode* ln = nullptr;
+  if (policy_localized(policy)) {
+    // LPP reservation: the list node immediately followed by its itemset
+    // block, so walking a leaf list streams LN -> itemset -> LN -> ...
+    auto* block = static_cast<std::byte*>(
+        arenas_->tree(BlockKind::ListNode)
+            .alloc(sizeof(ListNode) + cand_bytes, alignof(ListNode)));
+    ln = new (block) ListNode{nullptr, nullptr};
+    cand = new (block + sizeof(ListNode)) Candidate();
+  } else {
+    // Separate blocks in creation order (SPP/GPP), or scattered (Malloc).
+    ln = new (arenas_->tree(BlockKind::ListNode)
+                  .alloc(sizeof(ListNode), alignof(ListNode)))
+        ListNode{nullptr, nullptr};
+    cand = new (arenas_->tree(BlockKind::Itemset)
+                    .alloc(cand_bytes, alignof(Candidate))) Candidate();
+  }
+  cand->id = next_candidate_id_.fetch_add(1, std::memory_order_relaxed);
+  std::memcpy(cand->items(), items.data(), k * sizeof(item_t));
+  init_counter(cand, inline_counter
+                         ? reinterpret_cast<std::byte*>(cand->items() + k)
+                         : nullptr);
+  ln->cand = cand;
+  return Entry{cand, ln};
+}
+
+std::uint32_t HashTree::insert(std::span<const item_t> items) {
+  assert(items.size() == config_.k);
+  // Allocate outside any lock so the critical section is just the link.
+  const Entry entry = make_entry(items);
+
+  HTNode* node = root_;
+  for (;;) {
+    HTNode** kids = node->children.load(std::memory_order_acquire);
+    if (kids != nullptr) {
+      node = kids[policy_->bucket(items[node->depth])];
+      continue;
+    }
+    std::lock_guard<SpinLock> guard(node->lock);
+    kids = node->children.load(std::memory_order_relaxed);
+    if (kids != nullptr) {
+      continue;  // converted while we waited; resume the descent
+    }
+    entry.ln->next = node->list->head;
+    node->list->head = entry.ln;
+    ++node->list->size;
+    if (node->list->size > config_.leaf_threshold &&
+        node->depth < config_.k) {
+      convert_leaf(node);
+    }
+    return entry.cand->id;
+  }
+}
+
+void HashTree::convert_leaf(HTNode* node) {
+  const std::uint32_t fanout = config_.fanout;
+  auto** kids = static_cast<HTNode**>(
+      arenas_->tree(BlockKind::HashTable)
+          .alloc(fanout * sizeof(HTNode*), alignof(HTNode*)));
+  for (std::uint32_t b = 0; b < fanout; ++b) {
+    kids[b] = new_node(static_cast<std::uint16_t>(node->depth + 1));
+  }
+  // Redistribute the leaf's list nodes by the next item's bucket. The list
+  // nodes move by pointer; no blocks are reallocated.
+  ListNode* ln = node->list->head;
+  while (ln != nullptr) {
+    ListNode* next = ln->next;
+    HTNode* child = kids[policy_->bucket(ln->cand->items()[node->depth])];
+    ln->next = child->list->head;
+    child->list->head = ln;
+    ++child->list->size;
+    ln = next;
+  }
+  node->list->head = nullptr;
+  node->list->size = 0;
+  // Publish last: readers that see `children` non-null may descend without
+  // the lock, so the child lists must be complete first.
+  node->children.store(kids, std::memory_order_release);
+}
+
+void HashTree::for_each_candidate(
+    const std::function<void(const Candidate&)>& fn) const {
+  // Iterative DFS; the tree is quiescent when this is called.
+  std::vector<const HTNode*> stack{root_};
+  while (!stack.empty()) {
+    const HTNode* node = stack.back();
+    stack.pop_back();
+    HTNode* const* kids = node->children.load(std::memory_order_acquire);
+    if (kids != nullptr) {
+      for (std::uint32_t b = config_.fanout; b-- > 0;) {
+        stack.push_back(kids[b]);
+      }
+      continue;
+    }
+    for (const ListNode* ln = node->list->head; ln != nullptr; ln = ln->next) {
+      fn(*ln->cand);
+    }
+  }
+}
+
+TreeStats HashTree::stats() const {
+  TreeStats s;
+  s.candidates = num_candidates();
+  s.bytes_used = arenas_->tree_stats().bytes_requested;
+
+  double occ_sum = 0.0, occ_sq = 0.0;
+  std::vector<std::pair<const HTNode*, std::uint32_t>> stack{{root_, 0u}};
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    ++s.nodes;
+    s.max_depth = std::max(s.max_depth, depth);
+    HTNode* const* kids = node->children.load(std::memory_order_acquire);
+    if (kids != nullptr) {
+      ++s.internal_nodes;
+      for (std::uint32_t b = 0; b < config_.fanout; ++b) {
+        stack.push_back({kids[b], depth + 1});
+      }
+      continue;
+    }
+    ++s.leaves;
+    const std::uint32_t occ = node->list->size;
+    if (occ > 0) {
+      ++s.occupied_leaves;
+      occ_sum += occ;
+      occ_sq += static_cast<double>(occ) * occ;
+      s.max_leaf_occupancy =
+          std::max(s.max_leaf_occupancy, static_cast<double>(occ));
+    }
+  }
+  if (s.occupied_leaves > 0) {
+    const auto n = static_cast<double>(s.occupied_leaves);
+    s.mean_leaf_occupancy = occ_sum / n;
+    const double var =
+        occ_sq / n - s.mean_leaf_occupancy * s.mean_leaf_occupancy;
+    s.leaf_occupancy_stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+  return s;
+}
+
+}  // namespace smpmine

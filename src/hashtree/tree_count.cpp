@@ -1,0 +1,155 @@
+// Support-counting traversals (paper Sections 2.1.2 and 4.2).
+//
+// Three subset-check strategies share one recursion:
+//  - LeafVisited: the base algorithm. Internal levels re-descend duplicate
+//    hash paths (two transaction items with equal buckets); only leaves are
+//    stamped per transaction so no candidate is counted twice.
+//  - VisitedFlags: the paper's short-circuit — every node carries a VISITED
+//    stamp per thread (P x nodes memory) and duplicate arrivals preempt.
+//  - FrameLocal: the reduced k*H*P variant — each recursion frame keeps an
+//    H-slot seen set (epoch-reset), which dedups exactly the same descents
+//    with memory independent of tree size.
+#include <atomic>
+#include <cassert>
+#include <mutex>
+
+#include "hashtree/hash_tree.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+
+CountContext HashTree::make_context(SubsetCheck mode) const {
+  CountContext ctx;
+  ctx.mode = mode;
+  if (config_.counter_mode == CounterMode::PerThread) {
+    ctx.local_counts.assign(num_candidates(), 0);
+  }
+  if (mode == SubsetCheck::LeafVisited || mode == SubsetCheck::VisitedFlags) {
+    ctx.node_stamp.assign(num_nodes(), 0);
+  }
+  if (mode == SubsetCheck::FrameLocal) {
+    ctx.frame_seen.assign(static_cast<std::size_t>(config_.k + 1) *
+                              config_.fanout,
+                          0);
+    ctx.frame_epoch.assign(config_.k + 1, 0);
+  }
+  return ctx;
+}
+
+void HashTree::enable_group_dedup(CountContext& ctx) const {
+  ctx.cand_group_stamp.assign(num_candidates(), 0);
+  ctx.group = 0;
+}
+
+void HashTree::process_leaf(const HTNode* node, std::span<const item_t> txn,
+                            CountContext& ctx) const {
+  if (ctx.mode == SubsetCheck::LeafVisited) {
+    // Base-algorithm dedup: a leaf is processed once per transaction even
+    // though duplicate hash paths reach it repeatedly.
+    if (ctx.node_stamp[node->id] == ctx.stamp) return;
+    ctx.node_stamp[node->id] = ctx.stamp;
+  }
+  const ListNode* ln = node->list->head;
+  if (ln == nullptr) return;
+  ++ctx.leaf_visits;
+  const std::size_t k = config_.k;
+  const bool group_dedup = !ctx.cand_group_stamp.empty();
+  for (; ln != nullptr; ln = ln->next) {
+    const Candidate* cand = ln->cand;
+    ++ctx.containment_checks;
+    if (!is_subset_sorted(cand->view(k), txn)) continue;
+    if (group_dedup) {
+      // Once-per-group counting (sequence mining's per-customer support).
+      if (ctx.cand_group_stamp[cand->id] == ctx.group) continue;
+      ctx.cand_group_stamp[cand->id] = ctx.group;
+    }
+    ++ctx.hits;
+    switch (config_.counter_mode) {
+      case CounterMode::Atomic:
+        std::atomic_ref<count_t>(*cand->count)
+            .fetch_add(1, std::memory_order_relaxed);
+        break;
+      case CounterMode::Locked: {
+        std::lock_guard<SpinLock> guard(*cand->count_lock);
+        ++*cand->count;
+        break;
+      }
+      case CounterMode::PerThread:
+        ++ctx.local_counts[cand->id];
+        break;
+    }
+  }
+}
+
+void HashTree::count_rec(const HTNode* node, std::span<const item_t> txn,
+                         std::size_t start, CountContext& ctx) const {
+  HTNode* const* kids = node->children.load(std::memory_order_relaxed);
+  if (kids == nullptr) {
+    process_leaf(node, txn, ctx);
+    return;
+  }
+  ++ctx.internal_visits;
+  const std::size_t k = config_.k;
+  const std::size_t d = node->depth;
+  // Having chosen d items, a further k-d are needed, so the last viable
+  // position is txn.size() - (k - d)  (0-based, inclusive).
+  const std::size_t last = txn.size() - (k - d);
+
+  switch (ctx.mode) {
+    case SubsetCheck::LeafVisited:
+      for (std::size_t i = start; i <= last; ++i) {
+        count_rec(kids[policy_->bucket(txn[i])], txn, i + 1, ctx);
+      }
+      break;
+    case SubsetCheck::VisitedFlags:
+      for (std::size_t i = start; i <= last; ++i) {
+        const HTNode* child = kids[policy_->bucket(txn[i])];
+        if (ctx.node_stamp[child->id] == ctx.stamp) continue;  // preempt
+        ctx.node_stamp[child->id] = ctx.stamp;
+        count_rec(child, txn, i + 1, ctx);
+      }
+      break;
+    case SubsetCheck::FrameLocal: {
+      const std::uint32_t epoch = ++ctx.frame_epoch[d];
+      std::uint32_t* seen = ctx.frame_seen.data() + d * config_.fanout;
+      for (std::size_t i = start; i <= last; ++i) {
+        const std::uint32_t b = policy_->bucket(txn[i]);
+        if (seen[b] == epoch) continue;  // duplicate bucket at this frame
+        seen[b] = epoch;
+        count_rec(kids[b], txn, i + 1, ctx);
+      }
+      break;
+    }
+  }
+}
+
+void HashTree::count_transaction(std::span<const item_t> txn,
+                                 CountContext& ctx) const {
+  if (txn.size() < config_.k) return;
+  ++ctx.stamp;
+  count_rec(root_, txn, 0, ctx);
+}
+
+const std::vector<Candidate*>& HashTree::candidate_index() const {
+  if (cand_index_.size() != num_candidates()) {
+    cand_index_.assign(num_candidates(), nullptr);
+    for_each_candidate([&](const Candidate& cand) {
+      cand_index_[cand.id] = const_cast<Candidate*>(&cand);
+    });
+  }
+  return cand_index_;
+}
+
+void HashTree::reduce_into_shared(const CountContext& ctx,
+                                  std::uint32_t begin_id,
+                                  std::uint32_t end_id) const {
+  assert(config_.counter_mode == CounterMode::PerThread);
+  // Reducers split the id space, so each shared counter has one writer and
+  // plain additions suffice — this is LCA's synchronization-free property.
+  const std::vector<Candidate*>& index = candidate_index();
+  for (std::uint32_t id = begin_id; id < end_id; ++id) {
+    *index[id]->count += ctx.local_counts[id];
+  }
+}
+
+}  // namespace smpmine

@@ -1,0 +1,144 @@
+// GPP depth-first remapping (paper Section 5.1, Figure 5) and the locality
+// trace used to quantify what remapping buys.
+//
+// The support-counting phase visits the tree in an order that closely
+// approximates depth-first (subsets are generated in lexicographic order).
+// GPP rebuilds every block — HTN, hash table, ILH, LN, itemset — into a
+// fresh region in exactly that order, so consecutive accesses land on
+// consecutive addresses.
+#include <cstring>
+#include <new>
+
+#include "hashtree/hash_tree.hpp"
+
+namespace smpmine {
+
+HTNode* HashTree::remap_rec(const HTNode* node, Region& target,
+                            std::uint32_t& next_id) {
+  const bool localized = policy_localized(arenas_->policy());
+  const bool inline_counter =
+      !policy_segregates_counters(arenas_->policy()) &&
+      !policy_local_counters(arenas_->policy());
+  const bool locked = config_.counter_mode == CounterMode::Locked;
+  const std::size_t k = config_.k;
+
+  // HTN (+ILH) first, matching Figure 5's remap order.
+  HTNode* copy = nullptr;
+  ListHeader* header = nullptr;
+  if (localized) {
+    auto* block = static_cast<std::byte*>(
+        target.alloc(sizeof(HTNode) + sizeof(ListHeader), alignof(HTNode)));
+    copy = new (block) HTNode();
+    header = new (block + sizeof(HTNode)) ListHeader();
+  } else {
+    copy = new (target.alloc(sizeof(HTNode), alignof(HTNode))) HTNode();
+    header = new (target.alloc(sizeof(ListHeader), alignof(ListHeader)))
+        ListHeader();
+  }
+  copy->list = header;
+  copy->depth = node->depth;
+  copy->id = next_id++;
+
+  HTNode* const* kids = node->children.load(std::memory_order_acquire);
+  if (kids != nullptr) {
+    // HTNP directly after its node, then the children depth-first.
+    auto** new_kids = static_cast<HTNode**>(
+        target.alloc(config_.fanout * sizeof(HTNode*), alignof(HTNode*)));
+    for (std::uint32_t b = 0; b < config_.fanout; ++b) {
+      new_kids[b] = remap_rec(kids[b], target, next_id);
+    }
+    copy->children.store(new_kids, std::memory_order_relaxed);
+    return copy;
+  }
+
+  // Leaf: rebuild the (LN, itemset) chain in traversal order. The original
+  // list is walked head-to-tail and the copy preserves that order.
+  ListNode** tail = &header->head;
+  for (const ListNode* ln = node->list->head; ln != nullptr; ln = ln->next) {
+    const Candidate* old_cand = ln->cand;
+    std::size_t cand_bytes = Candidate::alloc_size(k);
+    if (inline_counter) {
+      cand_bytes += sizeof(count_t);
+      if (locked) cand_bytes += sizeof(SpinLock);
+    }
+
+    ListNode* new_ln = nullptr;
+    Candidate* new_cand = nullptr;
+    if (localized) {
+      auto* block = static_cast<std::byte*>(target.alloc(
+          sizeof(ListNode) + cand_bytes, alignof(ListNode)));
+      new_ln = new (block) ListNode{nullptr, nullptr};
+      new_cand = new (block + sizeof(ListNode)) Candidate();
+    } else {
+      new_ln = new (target.alloc(sizeof(ListNode), alignof(ListNode)))
+          ListNode{nullptr, nullptr};
+      new_cand = new (target.alloc(cand_bytes, alignof(Candidate)))
+          Candidate();
+    }
+    new_cand->id = old_cand->id;
+    std::memcpy(new_cand->items(), old_cand->items(), k * sizeof(item_t));
+    if (inline_counter) {
+      auto* cand_tail = reinterpret_cast<std::byte*>(new_cand->items() + k);
+      new_cand->count = new (cand_tail) count_t(*old_cand->count);
+      new_cand->count_lock =
+          locked ? new (cand_tail + sizeof(count_t)) SpinLock() : nullptr;
+    } else {
+      // Segregated counters keep living in the counters region; the remap
+      // re-points at the same blocks (their region is already dense).
+      new_cand->count = old_cand->count;
+      new_cand->count_lock = old_cand->count_lock;
+    }
+    new_ln->cand = new_cand;
+    *tail = new_ln;
+    tail = &new_ln->next;
+    ++header->size;
+  }
+  return copy;
+}
+
+void HashTree::remap_depth_first() {
+  Region& target = arenas_->remap_target();
+  std::uint32_t next_id = 0;
+  HTNode* new_root = remap_rec(root_, target, next_id);
+  root_ = new_root;
+  next_node_id_.store(next_id, std::memory_order_release);
+  cand_index_.clear();  // stale pointers into the old tree
+}
+
+void HashTree::trace_rec(const HTNode* node, std::span<const item_t> txn,
+                         std::size_t start, std::vector<std::uintptr_t>& out,
+                         std::vector<std::uint32_t>& seen,
+                         std::vector<std::uint32_t>& epoch) const {
+  out.push_back(reinterpret_cast<std::uintptr_t>(node));
+  HTNode* const* kids = node->children.load(std::memory_order_relaxed);
+  if (kids == nullptr) {
+    out.push_back(reinterpret_cast<std::uintptr_t>(node->list));
+    for (const ListNode* ln = node->list->head; ln != nullptr; ln = ln->next) {
+      out.push_back(reinterpret_cast<std::uintptr_t>(ln));
+      out.push_back(reinterpret_cast<std::uintptr_t>(ln->cand));
+    }
+    return;
+  }
+  out.push_back(reinterpret_cast<std::uintptr_t>(kids));
+  const std::size_t d = node->depth;
+  const std::size_t last = txn.size() - (config_.k - d);
+  const std::uint32_t e = ++epoch[d];
+  std::uint32_t* frame = seen.data() + d * config_.fanout;
+  for (std::size_t i = start; i <= last; ++i) {
+    const std::uint32_t b = policy_->bucket(txn[i]);
+    if (frame[b] == e) continue;
+    frame[b] = e;
+    trace_rec(kids[b], txn, i + 1, out, seen, epoch);
+  }
+}
+
+void HashTree::access_trace(std::span<const item_t> txn,
+                            std::vector<std::uintptr_t>& out) const {
+  if (txn.size() < config_.k) return;
+  std::vector<std::uint32_t> seen(
+      static_cast<std::size_t>(config_.k + 1) * config_.fanout, 0);
+  std::vector<std::uint32_t> epoch(config_.k + 1, 0);
+  trace_rec(root_, txn, 0, out, seen, epoch);
+}
+
+}  // namespace smpmine

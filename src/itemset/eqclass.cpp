@@ -1,0 +1,80 @@
+#include "itemset/eqclass.hpp"
+
+namespace smpmine {
+
+std::vector<EqClass> build_equivalence_classes(const FrequentSet& f) {
+  std::vector<EqClass> classes;
+  const std::size_t n = f.size();
+  if (n == 0) return classes;
+  const std::size_t prefix = f.k() >= 1 ? f.k() - 1 : 0;
+
+  std::uint32_t begin = 0;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    const bool boundary =
+        i == n || !shares_prefix(f.itemset(begin), f.itemset(i), prefix);
+    if (boundary) {
+      classes.push_back(EqClass{begin, i});
+      begin = i;
+    }
+  }
+  return classes;
+}
+
+std::vector<GenUnit> generation_units(const std::vector<EqClass>& classes,
+                                      std::size_t k) {
+  std::vector<GenUnit> units;
+  // Classes within the last k-2 positions cannot produce a candidate whose
+  // k-2 pruning subsets (all in strictly later classes) are all frequent.
+  const std::size_t skip_tail = k > 2 ? k - 2 : 0;
+  const std::size_t usable =
+      classes.size() > skip_tail ? classes.size() - skip_tail : 0;
+  for (std::uint32_t c = 0; c < usable; ++c) {
+    const std::uint32_t n = classes[c].size();
+    // The last member of a class joins with nothing; skip zero-weight units.
+    for (std::uint32_t m = 0; m + 1 < n; ++m) {
+      units.push_back(GenUnit{c, m, static_cast<double>(n - m - 1)});
+    }
+  }
+  return units;
+}
+
+std::vector<std::vector<GenUnit>> balance_generation(
+    const std::vector<GenUnit>& units, std::uint32_t threads,
+    PartitionScheme scheme) {
+  std::vector<double> weights;
+  weights.reserve(units.size());
+  for (const GenUnit& u : units) weights.push_back(u.weight);
+
+  // The multi-class generalization of bitonic partitioning is the greedy
+  // max-first assignment (Section 3.1.2); block/interleaved apply directly.
+  Assignment a;
+  switch (scheme) {
+    case PartitionScheme::Block:
+      a = partition_block(weights, threads);
+      break;
+    case PartitionScheme::Interleaved:
+      a = partition_interleaved(weights, threads);
+      break;
+    case PartitionScheme::Bitonic:
+      a = partition_greedy(weights, threads);
+      break;
+  }
+
+  std::vector<std::vector<GenUnit>> result(threads);
+  for (std::uint32_t b = 0; b < threads; ++b) {
+    result[b].reserve(a.groups[b].size());
+    for (const std::uint32_t e : a.groups[b]) result[b].push_back(units[e]);
+  }
+  return result;
+}
+
+double total_join_pairs(const std::vector<EqClass>& classes) {
+  double total = 0.0;
+  for (const EqClass& c : classes) {
+    const double n = c.size();
+    total += n * (n - 1.0) / 2.0;
+  }
+  return total;
+}
+
+}  // namespace smpmine

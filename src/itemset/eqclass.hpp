@@ -1,0 +1,56 @@
+// Equivalence classes over F(k-1) (paper Section 3.1.1).
+//
+// Members of F(k-1) sharing their first k-2 items form a class; candidates
+// for C(k) are generated only by joining members *within* a class, and a
+// candidate's non-generator (k-1)-subsets always live in lexicographically
+// *later* classes — which yields the "only the first n-(k-2) classes can
+// generate" pruning and gives computation balancing its work units.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "itemset/frequent_set.hpp"
+#include "parallel/partition.hpp"
+
+namespace smpmine {
+
+/// One equivalence class: the half-open index range [begin, end) of F(k-1)
+/// records sharing a k-2 item prefix.
+struct EqClass {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+
+  std::uint32_t size() const { return end - begin; }
+};
+
+/// Partitions F(k-1) into classes by common k-2 prefix. For k == 2 the
+/// prefix is empty, giving one class spanning all of F1.
+std::vector<EqClass> build_equivalence_classes(const FrequentSet& fk_minus_1);
+
+/// A unit of candidate-generation work: member `member` of class `cls`
+/// joined against every later member of the same class. `weight` is the
+/// paper's w_i = |class| - i - 1 (number of join pairs produced).
+struct GenUnit {
+  std::uint32_t cls = 0;
+  std::uint32_t member = 0;  ///< index within the class (0-based)
+  double weight = 0.0;
+};
+
+/// Enumerates generation units, applying the first-n-(k-2)-classes rule:
+/// classes with fewer than k-2 classes after them cannot yield a candidate
+/// that survives pruning, so their units are dropped (k > 2 only).
+std::vector<GenUnit> generation_units(const std::vector<EqClass>& classes,
+                                      std::size_t k);
+
+/// Assigns generation units to `threads` bins under the chosen scheme
+/// (block / interleaved / bitonic-greedy). Returns per-thread unit lists.
+std::vector<std::vector<GenUnit>> balance_generation(
+    const std::vector<GenUnit>& units, std::uint32_t threads,
+    PartitionScheme scheme);
+
+/// Sum over classes of C(|S_i|, 2) — the candidate-count bound that feeds
+/// the adaptive hash-table sizing (Section 3.1.1).
+double total_join_pairs(const std::vector<EqClass>& classes);
+
+}  // namespace smpmine

@@ -1,0 +1,70 @@
+#include "itemset/frequent_set.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace smpmine {
+namespace {
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void ItemsetHashIndex::build(const item_t* items, std::size_t count,
+                             std::size_t k) {
+  items_ = items;
+  k_ = k;
+  const std::size_t capacity = next_pow2(count * 2 + 1);
+  mask_ = capacity - 1;
+  slots_.assign(capacity, npos);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::size_t slot = hash_itemset(record(i)) & mask_;
+    while (slots_[slot] != npos) {
+      // Records are unique (they come from a set), so no equality probe on
+      // insert; just walk to the next free slot.
+      slot = (slot + 1) & mask_;
+    }
+    slots_[slot] = i;
+  }
+}
+
+std::uint32_t ItemsetHashIndex::find(std::span<const item_t> key) const {
+  if (slots_.empty() || key.size() != k_) return npos;
+  std::size_t slot = hash_itemset(key) & mask_;
+  while (slots_[slot] != npos) {
+    const std::uint32_t idx = slots_[slot];
+    if (compare_itemsets(record(idx), key) == 0) return idx;
+    slot = (slot + 1) & mask_;
+  }
+  return npos;
+}
+
+bool ItemsetHashIndex::contains(std::span<const item_t> key) const {
+  return find(key) != npos;
+}
+
+FrequentSet::FrequentSet(std::size_t k, std::vector<item_t> flat_items,
+                         std::vector<count_t> counts)
+    : k_(k), flat_(std::move(flat_items)), counts_(std::move(counts)) {
+  if (k_ == 0 || flat_.size() != counts_.size() * k_) {
+    throw std::invalid_argument("FrequentSet: inconsistent record shape");
+  }
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < counts_.size(); ++i) {
+    assert(compare_itemsets(itemset(i - 1), itemset(i)) < 0 &&
+           "FrequentSet records must be strictly sorted");
+  }
+#endif
+  index_.build(flat_.data(), counts_.size(), k_);
+}
+
+const count_t* FrequentSet::find_count(std::span<const item_t> itemset) const {
+  const std::uint32_t idx = index_.find(itemset);
+  return idx == ItemsetHashIndex::npos ? nullptr : &counts_[idx];
+}
+
+}  // namespace smpmine

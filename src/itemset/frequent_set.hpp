@@ -1,0 +1,84 @@
+// F(k): the frequent k-itemsets of one iteration.
+//
+// Stored as a flat, lexicographically sorted array of k-item records plus a
+// linear-probing content index. The sorted order is what equivalence-class
+// construction and the join (Section 3.1.1) rely on; the index serves the
+// O(1) "is this (k-1)-subset frequent?" probes of candidate pruning.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "itemset/itemset.hpp"
+#include "util/types.hpp"
+
+namespace smpmine {
+
+/// Open-addressing set of itemset contents. Keys reference external flat
+/// storage; the index never owns item data.
+class ItemsetHashIndex {
+ public:
+  /// `items` is the flat array (count * k items), which must outlive the
+  /// index and not move.
+  ItemsetHashIndex() = default;
+  void build(const item_t* items, std::size_t count, std::size_t k);
+
+  /// True when the k-itemset `key` is present.
+  bool contains(std::span<const item_t> key) const;
+
+  /// Index of `key` in the backing array, or npos.
+  std::uint32_t find(std::span<const item_t> key) const;
+
+  static constexpr std::uint32_t npos = 0xFFFFFFFFu;
+
+ private:
+  std::span<const item_t> record(std::uint32_t idx) const {
+    return {items_ + static_cast<std::size_t>(idx) * k_, k_};
+  }
+
+  const item_t* items_ = nullptr;
+  std::size_t k_ = 0;
+  std::vector<std::uint32_t> slots_;  // npos = empty
+  std::size_t mask_ = 0;
+};
+
+class FrequentSet {
+ public:
+  /// Builds F(k) from parallel arrays of records and counts. Records must
+  /// be presented in lexicographic order (the miner's tree walk guarantees
+  /// it); a debug assertion enforces this.
+  FrequentSet(std::size_t k, std::vector<item_t> flat_items,
+              std::vector<count_t> counts);
+
+  /// Empty F(k).
+  explicit FrequentSet(std::size_t k = 0) : k_(k) {}
+
+  std::size_t k() const { return k_; }
+  std::size_t size() const { return counts_.size(); }
+  bool empty() const { return counts_.empty(); }
+
+  /// The i-th frequent itemset (sorted position).
+  std::span<const item_t> itemset(std::size_t i) const {
+    return {flat_.data() + i * k_, k_};
+  }
+  count_t count(std::size_t i) const { return counts_[i]; }
+
+  /// O(1) expected membership probe (used by pruning).
+  bool contains(std::span<const item_t> itemset) const {
+    return index_.contains(itemset);
+  }
+
+  /// Support count of an itemset, or nullopt-like npos sentinel via found.
+  const count_t* find_count(std::span<const item_t> itemset) const;
+
+  const std::vector<item_t>& flat() const { return flat_; }
+
+ private:
+  std::size_t k_;
+  std::vector<item_t> flat_;
+  std::vector<count_t> counts_;
+  ItemsetHashIndex index_;
+};
+
+}  // namespace smpmine

@@ -1,0 +1,80 @@
+#include "itemset/itemset.hpp"
+
+#include <sstream>
+
+namespace smpmine {
+
+int compare_itemsets(std::span<const item_t> a, std::span<const item_t> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  if (a.size() < b.size()) return -1;
+  if (a.size() > b.size()) return 1;
+  return 0;
+}
+
+bool is_subset_sorted(std::span<const item_t> subset,
+                      std::span<const item_t> superset) {
+  std::size_t j = 0;
+  for (const item_t want : subset) {
+    while (j < superset.size() && superset[j] < want) ++j;
+    if (j == superset.size() || superset[j] != want) return false;
+    ++j;
+  }
+  return true;
+}
+
+bool shares_prefix(std::span<const item_t> a, std::span<const item_t> b,
+                   std::size_t prefix_len) {
+  if (a.size() < prefix_len || b.size() < prefix_len) return false;
+  for (std::size_t i = 0; i < prefix_len; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+std::size_t hash_itemset(std::span<const item_t> items) {
+  std::size_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const item_t item : items) {
+    h ^= item;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::string format_itemset(std::span<const item_t> items) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) os << ", ";
+    os << items[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+std::vector<std::vector<item_t>> k_subsets(std::span<const item_t> items,
+                                           std::size_t k) {
+  std::vector<std::vector<item_t>> result;
+  if (k == 0 || k > items.size()) return result;
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    std::vector<item_t> subset(k);
+    for (std::size_t i = 0; i < k; ++i) subset[i] = items[idx[i]];
+    result.push_back(std::move(subset));
+    // Advance the combination odometer.
+    std::size_t pos = k;
+    while (pos > 0) {
+      --pos;
+      if (idx[pos] != pos + items.size() - k) break;
+      if (pos == 0) return result;
+    }
+    ++idx[pos];
+    for (std::size_t i = pos + 1; i < k; ++i) idx[i] = idx[i - 1] + 1;
+  }
+}
+
+}  // namespace smpmine

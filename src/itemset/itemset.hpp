@@ -1,0 +1,41 @@
+// Itemset primitives.
+//
+// An itemset is a sorted sequence of distinct items. Throughout the library
+// itemsets live in flat arrays (k items back-to-back), so the working
+// currency is `std::span<const item_t>` rather than an owning type.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace smpmine {
+
+/// Lexicographic three-way compare of two sorted itemsets.
+int compare_itemsets(std::span<const item_t> a, std::span<const item_t> b);
+
+/// True when sorted `subset` ⊆ sorted `superset` (two-pointer merge scan).
+bool is_subset_sorted(std::span<const item_t> subset,
+                      std::span<const item_t> superset);
+
+/// True when the two sorted itemsets share the first `prefix_len` items.
+bool shares_prefix(std::span<const item_t> a, std::span<const item_t> b,
+                   std::size_t prefix_len);
+
+/// FNV-1a over the item words; the content hash used by the candidate
+/// pruning index.
+std::size_t hash_itemset(std::span<const item_t> items);
+
+/// "(1, 4, 5)" rendering for diagnostics and examples.
+std::string format_itemset(std::span<const item_t> items);
+
+/// All size-k subsets of a sorted itemset, in lexicographic order
+/// (reference implementation used by the brute-force miner and the tests;
+/// the hash-tree traversal never materializes subsets).
+std::vector<std::vector<item_t>> k_subsets(std::span<const item_t> items,
+                                           std::size_t k);
+
+}  // namespace smpmine

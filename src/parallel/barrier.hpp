@@ -1,0 +1,49 @@
+// Sense-reversing centralized barrier.
+//
+// The CCPD iteration structure is bulk-synchronous: build tree -> barrier ->
+// count support -> barrier -> reduce/select. A sense-reversing barrier is
+// reusable across phases without re-initialization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace smpmine {
+
+class Barrier {
+ public:
+  explicit Barrier(std::uint32_t parties) : parties_(parties) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all parties arrive. Safe to call repeatedly.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      // On an oversubscribed host (more threads than cores) pure spinning
+      // deadlocks progress; yield after a short spin.
+      std::uint32_t spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        if (++spins > 1024) {
+          yield_now();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  std::uint32_t parties() const { return parties_; }
+
+ private:
+  static void yield_now() noexcept;
+
+  const std::uint32_t parties_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace smpmine

@@ -1,0 +1,147 @@
+#include "parallel/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace smpmine {
+
+const char* to_string(PartitionScheme s) {
+  switch (s) {
+    case PartitionScheme::Block: return "block";
+    case PartitionScheme::Interleaved: return "interleaved";
+    case PartitionScheme::Bitonic: return "bitonic";
+  }
+  return "?";
+}
+
+double Assignment::imbalance() const {
+  if (loads.empty()) return 1.0;
+  const double max_load = *std::max_element(loads.begin(), loads.end());
+  const double mean =
+      std::accumulate(loads.begin(), loads.end(), 0.0) /
+      static_cast<double>(loads.size());
+  return mean > 0.0 ? max_load / mean : 1.0;
+}
+
+std::vector<std::uint32_t> Assignment::element_to_bin(std::size_t n) const {
+  std::vector<std::uint32_t> bin_of(n, std::numeric_limits<std::uint32_t>::max());
+  for (std::uint32_t b = 0; b < groups.size(); ++b) {
+    for (std::uint32_t e : groups[b]) bin_of[e] = b;
+  }
+  return bin_of;
+}
+
+std::vector<double> join_workloads(std::size_t n) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = static_cast<double>(n - i - 1);
+  }
+  return w;
+}
+
+namespace {
+
+Assignment make_empty(std::uint32_t bins) {
+  Assignment a;
+  a.groups.resize(bins);
+  a.loads.assign(bins, 0.0);
+  return a;
+}
+
+void assign(Assignment& a, std::uint32_t bin, std::uint32_t element,
+            double weight) {
+  a.groups[bin].push_back(element);
+  a.loads[bin] += weight;
+}
+
+std::uint32_t least_loaded(const Assignment& a) {
+  std::uint32_t best = 0;
+  for (std::uint32_t b = 1; b < a.loads.size(); ++b) {
+    if (a.loads[b] < a.loads[best]) best = b;
+  }
+  return best;
+}
+
+}  // namespace
+
+Assignment partition_block(const std::vector<double>& weights,
+                           std::uint32_t bins) {
+  Assignment a = make_empty(bins);
+  const std::size_t n = weights.size();
+  // floor(n/bins) per bin, remainder to the last — the paper's example
+  // assigns {0,1,2}, {3,4,5}, {6,7,8,9} for n=10, P=3.
+  const std::size_t per = std::max<std::size_t>(1, n / bins);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto bin = static_cast<std::uint32_t>(std::min<std::size_t>(
+        i / per, bins - 1));
+    assign(a, bin, static_cast<std::uint32_t>(i), weights[i]);
+  }
+  return a;
+}
+
+Assignment partition_interleaved(const std::vector<double>& weights,
+                                 std::uint32_t bins) {
+  Assignment a = make_empty(bins);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    assign(a, static_cast<std::uint32_t>(i % bins),
+           static_cast<std::uint32_t>(i), weights[i]);
+  }
+  return a;
+}
+
+Assignment partition_bitonic(const std::vector<double>& weights,
+                             std::uint32_t bins) {
+  Assignment a = make_empty(bins);
+  const std::size_t n = weights.size();
+  const std::size_t group = 2u * bins;
+  const std::size_t full = n / group * group;
+  // Full groups: element j of the group pairs with (group-1-j); pair p of
+  // the group goes to bin p. For the triangular workload w_i = n-i-1 both
+  // pair members sum to the same constant, so every bin gets equal weight.
+  for (std::size_t base = 0; base < full; base += group) {
+    for (std::size_t j = 0; j < bins; ++j) {
+      const auto lo = static_cast<std::uint32_t>(base + j);
+      const auto hi = static_cast<std::uint32_t>(base + group - 1 - j);
+      assign(a, static_cast<std::uint32_t>(j), lo, weights[lo]);
+      assign(a, static_cast<std::uint32_t>(j), hi, weights[hi]);
+    }
+  }
+  // Remainder (n mod 2P != 0): heaviest-first greedy onto least-loaded bins.
+  std::vector<std::uint32_t> rest(n - full);
+  std::iota(rest.begin(), rest.end(), static_cast<std::uint32_t>(full));
+  std::stable_sort(rest.begin(), rest.end(),
+                   [&](std::uint32_t x, std::uint32_t y) {
+                     return weights[x] > weights[y];
+                   });
+  for (std::uint32_t e : rest) assign(a, least_loaded(a), e, weights[e]);
+  for (auto& g : a.groups) std::sort(g.begin(), g.end());
+  return a;
+}
+
+Assignment partition_greedy(const std::vector<double>& weights,
+                            std::uint32_t bins) {
+  Assignment a = make_empty(bins);
+  std::vector<std::uint32_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t x, std::uint32_t y) {
+                     return weights[x] > weights[y];
+                   });
+  for (std::uint32_t e : order) assign(a, least_loaded(a), e, weights[e]);
+  for (auto& g : a.groups) std::sort(g.begin(), g.end());
+  return a;
+}
+
+Assignment partition(PartitionScheme scheme, const std::vector<double>& weights,
+                     std::uint32_t bins) {
+  switch (scheme) {
+    case PartitionScheme::Block: return partition_block(weights, bins);
+    case PartitionScheme::Interleaved:
+      return partition_interleaved(weights, bins);
+    case PartitionScheme::Bitonic: return partition_bitonic(weights, bins);
+  }
+  return make_empty(bins);
+}
+
+}  // namespace smpmine

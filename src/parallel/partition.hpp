@@ -1,0 +1,66 @@
+// Computation-balancing partition schemes (paper Section 3.1.2).
+//
+// Candidate generation assigns each frequent (k-1)-itemset i of an
+// equivalence class of size n the workload w_i = n - i - 1 (the number of
+// join pairs it generates). The paper compares three ways of spreading that
+// triangular workload over P processors — block, interleaved, and bitonic —
+// and generalizes bitonic to multiple classes with a greedy max-first /
+// least-loaded assignment. The same machinery balances the hash tree by
+// substituting the fan-out H for P (Section 4.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace smpmine {
+
+enum class PartitionScheme { Block, Interleaved, Bitonic };
+
+const char* to_string(PartitionScheme s);
+
+/// Result of partitioning weighted elements into `bins` groups.
+struct Assignment {
+  /// groups[b] lists element indices assigned to bin b.
+  std::vector<std::vector<std::uint32_t>> groups;
+  /// loads[b] is the total weight in bin b.
+  std::vector<double> loads;
+
+  /// max load / mean load; 1.0 is perfect balance.
+  double imbalance() const;
+  /// Inverse mapping: element index -> bin. Elements absent from every
+  /// group map to UINT32_MAX.
+  std::vector<std::uint32_t> element_to_bin(std::size_t n) const;
+};
+
+/// w_i = n - i - 1 for i in [0, n): the join workload of the i-th member of
+/// a single equivalence class with n members.
+std::vector<double> join_workloads(std::size_t n);
+
+/// Contiguous blocks of ceil(n/bins) elements (paper example: loads 24/15/6).
+Assignment partition_block(const std::vector<double>& weights,
+                           std::uint32_t bins);
+
+/// Round-robin by index, bin = i mod bins (paper example: 18/15/12).
+Assignment partition_interleaved(const std::vector<double>& weights,
+                                 std::uint32_t bins);
+
+/// Bitonic pairing: within each consecutive group of 2*bins elements, pair
+/// element j with (2*bins-1-j) — for the triangular join workload each pair
+/// carries identical weight. Leftover elements (n mod 2*bins != 0) are
+/// assigned greedily to the least-loaded bin, which reproduces the paper's
+/// worked example A0={0,5,6}, A1={1,4,7}, A2={2,3,8,9} (loads 16/15/14).
+Assignment partition_bitonic(const std::vector<double>& weights,
+                             std::uint32_t bins);
+
+/// Greedy max-first / least-loaded assignment over arbitrary weights — the
+/// multiple-equivalence-class generalization of bitonic partitioning.
+/// Ties go to the lowest-indexed bin so results are deterministic.
+Assignment partition_greedy(const std::vector<double>& weights,
+                            std::uint32_t bins);
+
+/// Dispatch by scheme. Block/Interleaved/Bitonic as above; schemes are
+/// stable for equal inputs so parallel runs are reproducible.
+Assignment partition(PartitionScheme scheme, const std::vector<double>& weights,
+                     std::uint32_t bins);
+
+}  // namespace smpmine

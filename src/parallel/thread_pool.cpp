@@ -1,0 +1,83 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace smpmine {
+
+void Barrier::yield_now() noexcept { std::this_thread::yield(); }
+
+ThreadPool::ThreadPool(std::uint32_t threads)
+    : threads_(std::max<std::uint32_t>(threads, 1)), barrier_(threads_) {
+  workers_.reserve(threads_ - 1);
+  for (std::uint32_t tid = 1; tid < threads_; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::execute_as(std::uint32_t tid) {
+  try {
+    (*job_)(tid);
+  } catch (...) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(std::uint32_t tid) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    execute_as(tid);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (--running_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_spmd(const std::function<void(std::uint32_t)>& body) {
+  if (threads_ == 1) {
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    job_ = &body;
+    running_ = threads_ - 1;
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  execute_as(0);
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return running_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::parallel_for_blocked(
+    std::size_t n, const std::function<void(std::size_t, std::size_t,
+                                            std::uint32_t)>& body) {
+  const std::size_t per = (n + threads_ - 1) / threads_;
+  run_spmd([&](std::uint32_t tid) {
+    const std::size_t begin = std::min(n, tid * per);
+    const std::size_t end = std::min(n, begin + per);
+    if (begin < end) body(begin, end, tid);
+  });
+}
+
+}  // namespace smpmine

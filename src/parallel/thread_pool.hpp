@@ -1,0 +1,64 @@
+// SPMD thread pool.
+//
+// CCPD is an SPMD algorithm: P workers execute the same iteration body over
+// different data, synchronizing at barriers. The pool keeps P-1 persistent
+// workers (the calling thread is worker 0) so repeated phases don't pay
+// thread spawn costs, and exposes both SPMD dispatch and a chunked
+// parallel-for convenience.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/barrier.hpp"
+
+namespace smpmine {
+
+class ThreadPool {
+ public:
+  /// Creates a pool of `threads` workers total (including the caller).
+  explicit ThreadPool(std::uint32_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::uint32_t size() const { return threads_; }
+
+  /// Runs `body(tid)` on every worker, tid in [0, size()). Blocks until all
+  /// complete. The first exception thrown by any worker is rethrown here.
+  void run_spmd(const std::function<void(std::uint32_t)>& body);
+
+  /// Chunked parallel-for over [0, n): each worker gets one contiguous
+  /// block, mirroring the paper's blocked database partitioning.
+  void parallel_for_blocked(std::size_t n,
+                            const std::function<void(std::size_t, std::size_t,
+                                                     std::uint32_t)>& body);
+
+  /// Barrier shared by all workers of the current run_spmd call.
+  Barrier& barrier() { return barrier_; }
+
+ private:
+  void worker_loop(std::uint32_t tid);
+  void execute_as(std::uint32_t tid);
+
+  const std::uint32_t threads_;
+  Barrier barrier_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::uint32_t)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t running_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace smpmine

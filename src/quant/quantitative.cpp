@@ -1,0 +1,170 @@
+#include "quant/quantitative.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace smpmine {
+
+QuantTable::QuantTable(std::vector<AttributeSpec> attributes)
+    : attrs_(std::move(attributes)) {
+  if (attrs_.empty()) {
+    throw std::invalid_argument("QuantTable: need at least one attribute");
+  }
+  for (auto& spec : attrs_) {
+    if (spec.kind == AttrKind::Numeric && spec.intervals == 0) {
+      spec.intervals = 1;
+    }
+  }
+}
+
+void QuantTable::add_row(std::span<const double> values) {
+  if (values.size() != attrs_.size()) {
+    throw std::invalid_argument("QuantTable::add_row: width mismatch");
+  }
+  values_.insert(values_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+QuantMapping discretize(const QuantTable& table, double max_support) {
+  QuantMapping mapping;
+  mapping.by_attribute_.resize(table.num_attributes());
+  const std::size_t rows = table.num_rows();
+
+  for (std::uint32_t a = 0; a < table.num_attributes(); ++a) {
+    const AttributeSpec& spec = table.attribute(a);
+    std::vector<item_t>& attr_items = mapping.by_attribute_[a];
+
+    if (spec.kind == AttrKind::Categorical) {
+      std::map<double, std::size_t> values;  // value -> count
+      for (std::size_t r = 0; r < rows; ++r) ++values[table.value(r, a)];
+      for (const auto& [value, _] : values) {
+        attr_items.push_back(mapping.universe());
+        mapping.items_.push_back(QuantItem{a, value, value, true});
+      }
+      continue;
+    }
+
+    // Numeric: equi-depth base intervals over the sorted values.
+    std::vector<double> sorted(rows);
+    for (std::size_t r = 0; r < rows; ++r) sorted[r] = table.value(r, a);
+    std::sort(sorted.begin(), sorted.end());
+    const std::uint32_t buckets =
+        std::min<std::uint32_t>(spec.intervals,
+                                std::max<std::size_t>(1, rows));
+    struct Base {
+      double lo, hi;
+      std::size_t count;
+    };
+    std::vector<Base> bases;
+    std::size_t begin = 0;
+    for (std::uint32_t b = 0; b < buckets && begin < rows; ++b) {
+      std::size_t end = std::max(begin + 1, rows * (b + 1) / buckets);
+      // Extend over ties so equal values never straddle a boundary; this
+      // keeps base ranges disjoint and the cursor counts exact.
+      while (end < rows && sorted[end] == sorted[end - 1]) ++end;
+      bases.push_back(Base{sorted[begin], sorted[end - 1], end - begin});
+      begin = end;
+    }
+
+    for (const Base& base : bases) {
+      attr_items.push_back(mapping.universe());
+      mapping.items_.push_back(QuantItem{a, base.lo, base.hi, true});
+    }
+    // Merged ranges of consecutive base intervals, support-capped.
+    const auto cap = static_cast<std::size_t>(
+        max_support * static_cast<double>(rows));
+    for (std::size_t lo = 0; lo < bases.size(); ++lo) {
+      std::size_t count = bases[lo].count;
+      for (std::size_t hi = lo + 1; hi < bases.size(); ++hi) {
+        count += bases[hi].count;
+        // Stop extending once the range's support *exceeds* the cap (S&A's
+        // MAXSUP rule; a range that frequent carries no information).
+        if (cap > 0 && count > cap) break;
+        attr_items.push_back(mapping.universe());
+        mapping.items_.push_back(
+            QuantItem{a, bases[lo].lo, bases[hi].hi, false});
+      }
+    }
+  }
+  return mapping;
+}
+
+void QuantMapping::items_for(std::uint32_t attribute, double value,
+                             std::vector<item_t>& out) const {
+  for (const item_t id : by_attribute_[attribute]) {
+    const QuantItem& item = items_[id];
+    if (value >= item.lo && value <= item.hi) out.push_back(id);
+  }
+}
+
+std::string QuantMapping::describe(item_t item,
+                                   const QuantTable& table) const {
+  const QuantItem& def = items_[item];
+  const AttributeSpec& spec = table.attribute(def.attribute);
+  std::ostringstream os;
+  if (spec.kind == AttrKind::Categorical) {
+    os << spec.name << " = " << def.lo;
+  } else if (def.lo == def.hi) {
+    os << spec.name << " = " << def.lo;
+  } else {
+    os << spec.name << " in [" << def.lo << ", " << def.hi << "]";
+  }
+  return os.str();
+}
+
+Database to_boolean(const QuantTable& table, const QuantMapping& mapping) {
+  Database db;
+  std::vector<item_t> txn;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    txn.clear();
+    for (std::uint32_t a = 0; a < table.num_attributes(); ++a) {
+      mapping.items_for(a, table.value(r, a), txn);
+    }
+    db.add_transaction(txn);
+  }
+  return db;
+}
+
+std::vector<QuantRule> mine_quantitative(const QuantTable& table,
+                                         MinerOptions options,
+                                         double max_range_support) {
+  const QuantMapping mapping = discretize(table, max_range_support);
+  const Database db = to_boolean(table, mapping);
+
+  // Two items of one attribute are either nested (redundant) or disjoint
+  // (unsatisfiable by a single row beyond range overlaps) — never useful.
+  options.candidate_veto = [&mapping](std::span<const item_t> cand) {
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      for (std::size_t j = i + 1; j < cand.size(); ++j) {
+        if (mapping.same_attribute(cand[i], cand[j])) return true;
+      }
+    }
+    return false;
+  };
+  const MiningResult result = mine(db, options);
+  const std::vector<Rule> rules =
+      generate_rules(result, options.min_confidence, db.size());
+
+  std::vector<QuantRule> out;
+  out.reserve(rules.size());
+  for (const Rule& rule : rules) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < rule.antecedent.size(); ++i) {
+      if (i) os << " and ";
+      os << mapping.describe(rule.antecedent[i], table);
+    }
+    os << " => ";
+    for (std::size_t i = 0; i < rule.consequent.size(); ++i) {
+      if (i) os << " and ";
+      os << mapping.describe(rule.consequent[i], table);
+    }
+    out.push_back(QuantRule{os.str(), rule.support, rule.confidence,
+                            rule.lift});
+  }
+  return out;
+}
+
+}  // namespace smpmine

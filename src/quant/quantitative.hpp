@@ -1,0 +1,117 @@
+// Quantitative association mining — Srikant & Agrawal, "Mining Quantitative
+// Association Rules in Large Relational Tables" (SIGMOD'96), the third
+// application the paper's conclusion names.
+//
+// A relational table with numeric and categorical attributes is mapped to a
+// boolean basket problem:
+//   - categorical attributes: one item per distinct value,
+//   - numeric attributes: equi-depth partitioning into base intervals, plus
+//     items for *ranges* of consecutive intervals (merged while the range's
+//     support stays below a cap — S&A's partial-completeness device, so
+//     rules aren't lost to arbitrary interval boundaries),
+//   - a candidate veto keeps itemsets from holding two items of the same
+//     attribute (one value can't be in two disjoint values; nested ranges
+//     are redundant).
+// Mining then runs on the full CCPD machinery, and rules are rendered back
+// in attribute terms ("age in [30,39] and married=yes => cars: 2").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/miner.hpp"
+#include "core/rules.hpp"
+
+namespace smpmine {
+
+enum class AttrKind { Categorical, Numeric };
+
+struct AttributeSpec {
+  std::string name;
+  AttrKind kind = AttrKind::Numeric;
+  /// Base intervals for numeric attributes (ignored for categorical).
+  std::uint32_t intervals = 4;
+};
+
+/// A row-major table of doubles; categorical values are coded as exact
+/// doubles (e.g. enum ordinals).
+class QuantTable {
+ public:
+  explicit QuantTable(std::vector<AttributeSpec> attributes);
+
+  void add_row(std::span<const double> values);
+
+  std::size_t num_rows() const { return rows_; }
+  std::size_t num_attributes() const { return attrs_.size(); }
+  const AttributeSpec& attribute(std::size_t a) const { return attrs_[a]; }
+  double value(std::size_t row, std::size_t attr) const {
+    return values_[row * attrs_.size() + attr];
+  }
+
+ private:
+  std::vector<AttributeSpec> attrs_;
+  std::vector<double> values_;
+  std::size_t rows_ = 0;
+};
+
+/// The item vocabulary produced by discretization.
+struct QuantItem {
+  std::uint32_t attribute = 0;
+  /// Closed value range [lo, hi]; categorical items have lo == hi.
+  double lo = 0.0;
+  double hi = 0.0;
+  bool is_base = true;  ///< base interval/value vs merged range
+};
+
+class QuantMapping {
+ public:
+  const std::vector<QuantItem>& items() const { return items_; }
+  item_t universe() const { return static_cast<item_t>(items_.size()); }
+
+  /// Items matching (attribute, value): the base interval plus every merged
+  /// range covering it.
+  void items_for(std::uint32_t attribute, double value,
+                 std::vector<item_t>& out) const;
+
+  /// "age in [30.0, 39.0]" / "married = 1" rendering.
+  std::string describe(item_t item, const QuantTable& table) const;
+
+  /// True when the two items belong to the same attribute (the veto rule).
+  bool same_attribute(item_t a, item_t b) const {
+    return items_[a].attribute == items_[b].attribute;
+  }
+
+ private:
+  friend QuantMapping discretize(const QuantTable&, double);
+  std::vector<QuantItem> items_;
+  /// per attribute: item ids, bases first then ranges.
+  std::vector<std::vector<item_t>> by_attribute_;
+};
+
+/// Builds the vocabulary: equi-depth base intervals per numeric attribute,
+/// distinct values per categorical one, and merged ranges of consecutive
+/// base intervals while the merged support fraction stays < `max_support`
+/// (S&A's cap; ranges at or above it carry no information).
+QuantMapping discretize(const QuantTable& table, double max_support = 0.5);
+
+/// Boolean conversion: row -> the items of each attribute value (base item
+/// + covering ranges).
+Database to_boolean(const QuantTable& table, const QuantMapping& mapping);
+
+/// A rule rendered back into attribute terms.
+struct QuantRule {
+  std::string text;
+  double support = 0.0;
+  double confidence = 0.0;
+  double lift = 0.0;
+};
+
+/// End-to-end: discretize, booleanize, mine with the same-attribute veto,
+/// generate rules, and render them. `options.candidate_veto` is overridden.
+std::vector<QuantRule> mine_quantitative(const QuantTable& table,
+                                         MinerOptions options,
+                                         double max_range_support = 0.5);
+
+}  // namespace smpmine

@@ -1,0 +1,488 @@
+#include "seqpat/apriori_all.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/candidate_gen.hpp"
+#include "hashtree/hash_tree.hpp"
+#include "itemset/eqclass.hpp"
+#include "itemset/itemset.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace smpmine {
+namespace {
+
+using Seq = std::vector<std::uint32_t>;  // litemset ids, time order
+
+struct SeqHash {
+  std::size_t operator()(const Seq& s) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (const std::uint32_t v : s) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+/// One customer's transformed sequence: per (non-empty) transaction, the
+/// sorted ids of litemsets it contains, plus a bitmap of every id present
+/// anywhere in the sequence (a cheap containment prefilter).
+struct TransformedCustomer {
+  std::vector<std::vector<std::uint32_t>> txns;
+  std::vector<std::uint64_t> id_bitmap;
+
+  bool has_id(std::uint32_t id) const {
+    return (id_bitmap[id >> 6] >> (id & 63)) & 1u;
+  }
+  void set_id(std::uint32_t id) {
+    id_bitmap[id >> 6] |= std::uint64_t{1} << (id & 63);
+  }
+};
+
+FrequentSet select_frequent_tree(const HashTree& tree, count_t min_count) {
+  const std::size_t k = tree.k();
+  std::vector<const Candidate*> survivors;
+  tree.for_each_candidate([&](const Candidate& cand) {
+    if (*cand.count >= min_count) survivors.push_back(&cand);
+  });
+  std::sort(survivors.begin(), survivors.end(),
+            [k](const Candidate* a, const Candidate* b) {
+              return compare_itemsets(a->view(k), b->view(k)) < 0;
+            });
+  if (survivors.empty()) return FrequentSet(k);
+  std::vector<item_t> flat;
+  std::vector<count_t> counts;
+  for (const Candidate* cand : survivors) {
+    const auto view = cand->view(k);
+    flat.insert(flat.end(), view.begin(), view.end());
+    counts.push_back(*cand->count);
+  }
+  return FrequentSet(k, std::move(flat), std::move(counts));
+}
+
+/// Phase 1: frequent itemsets with *customer* support. CCPD structure with
+/// group-dedup counting: a candidate is counted once per customer no matter
+/// how many of the customer's transactions contain it.
+std::vector<FrequentSet> litemset_phase(const SequenceDatabase& db,
+                                        count_t min_count,
+                                        const SeqMineOptions& opts,
+                                        ThreadPool& pool) {
+  std::vector<FrequentSet> levels;
+  const item_t universe = db.item_universe();
+  if (universe == 0) return levels;
+  const std::uint32_t threads = pool.size();
+
+  // F1 with per-item customer stamps.
+  std::vector<std::vector<count_t>> partial(threads,
+                                            std::vector<count_t>(universe, 0));
+  pool.parallel_for_blocked(
+      db.num_customers(),
+      [&](std::size_t begin, std::size_t end, std::uint32_t tid) {
+        std::vector<std::uint32_t> stamp(universe, 0);
+        auto& counts = partial[tid];
+        for (std::size_t c = begin; c < end; ++c) {
+          const auto customer_stamp = static_cast<std::uint32_t>(c + 1);
+          for (std::size_t t = 0; t < db.sequence_length(c); ++t) {
+            for (const item_t item : db.transaction(c, t)) {
+              if (stamp[item] != customer_stamp) {
+                stamp[item] = customer_stamp;
+                ++counts[item];
+              }
+            }
+          }
+        }
+      });
+  std::vector<item_t> f1_items;
+  std::vector<count_t> f1_counts;
+  for (item_t i = 0; i < universe; ++i) {
+    count_t total = 0;
+    for (const auto& p : partial) total += p[i];
+    if (total >= min_count) {
+      f1_items.push_back(i);
+      f1_counts.push_back(total);
+    }
+  }
+  if (f1_items.empty()) return levels;
+  levels.emplace_back(1, std::move(f1_items), std::move(f1_counts));
+
+  const MinerOptions& base = opts.itemset_options;
+  PlacementArenas arenas(base.placement);
+  for (std::uint32_t k = 2;; ++k) {
+    const FrequentSet& prev = levels.back();
+    if (prev.size() < 2) break;
+    const std::vector<EqClass> classes = build_equivalence_classes(prev);
+    const std::vector<GenUnit> units = generation_units(classes, k);
+    if (units.empty()) break;
+
+    const std::uint32_t fanout = adaptive_fanout(
+        total_join_pairs(classes), k, base.leaf_threshold, base.min_fanout,
+        base.max_fanout);
+    const HashPolicy policy =
+        base.hash_scheme == HashScheme::Indirection
+            ? HashPolicy(fanout, levels.front().flat(), universe)
+            : HashPolicy(base.hash_scheme, fanout);
+    arenas.reset();
+    HashTree tree({k, fanout, base.leaf_threshold, CounterMode::Atomic},
+                  policy, arenas);
+    generate_candidates(prev, classes, units, tree);
+    if (tree.num_candidates() == 0) break;
+
+    pool.parallel_for_blocked(
+        db.num_customers(),
+        [&](std::size_t begin, std::size_t end, std::uint32_t) {
+          CountContext ctx = tree.make_context(base.subset_check);
+          tree.enable_group_dedup(ctx);
+          for (std::size_t c = begin; c < end; ++c) {
+            HashTree::begin_group(ctx);
+            for (std::size_t t = 0; t < db.sequence_length(c); ++t) {
+              tree.count_transaction(db.transaction(c, t), ctx);
+            }
+          }
+        });
+
+    FrequentSet fk = select_frequent_tree(tree, min_count);
+    if (fk.empty()) break;
+    levels.push_back(std::move(fk));
+  }
+  return levels;
+}
+
+/// Flattened litemset table: id -> (level, index) view.
+struct LitemsetTable {
+  std::vector<std::span<const item_t>> views;
+  std::vector<count_t> customer_counts;
+};
+
+LitemsetTable flatten(const std::vector<FrequentSet>& levels) {
+  LitemsetTable table;
+  for (const FrequentSet& level : levels) {
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      table.views.push_back(level.itemset(i));
+      table.customer_counts.push_back(level.count(i));
+    }
+  }
+  return table;
+}
+
+/// Phase 2: transform each customer into sequences of litemset-id sets.
+std::vector<TransformedCustomer> transform_phase(const SequenceDatabase& db,
+                                                 const LitemsetTable& table,
+                                                 ThreadPool& pool) {
+  std::vector<TransformedCustomer> out(db.num_customers());
+  const std::size_t bitmap_words = (table.views.size() + 63) / 64;
+  pool.parallel_for_blocked(
+      db.num_customers(),
+      [&](std::size_t begin, std::size_t end, std::uint32_t) {
+        for (std::size_t c = begin; c < end; ++c) {
+          TransformedCustomer& seq = out[c];
+          seq.id_bitmap.assign(bitmap_words, 0);
+          for (std::size_t t = 0; t < db.sequence_length(c); ++t) {
+            const auto txn = db.transaction(c, t);
+            std::vector<std::uint32_t> ids;
+            for (std::uint32_t id = 0; id < table.views.size(); ++id) {
+              if (table.views[id].size() <= txn.size() &&
+                  is_subset_sorted(table.views[id], txn)) {
+                ids.push_back(id);
+                seq.set_id(id);
+              }
+            }
+            if (!ids.empty()) seq.txns.push_back(std::move(ids));
+          }
+        }
+      });
+  return out;
+}
+
+/// True when the ordered ids of `cand` appear in order in `customer`
+/// (each id a member of a strictly later transaction's id set). The bitmap
+/// prefilter rejects most candidates before the positional scan.
+bool contains_sequence(const TransformedCustomer& customer, const Seq& cand) {
+  for (const std::uint32_t id : cand) {
+    if (!customer.has_id(id)) return false;
+  }
+  std::size_t pos = 0;
+  for (const std::uint32_t id : cand) {
+    while (pos < customer.txns.size() &&
+           !std::binary_search(customer.txns[pos].begin(),
+                               customer.txns[pos].end(), id)) {
+      ++pos;
+    }
+    if (pos == customer.txns.size()) return false;
+    ++pos;
+  }
+  return true;
+}
+
+/// Specialized length-2 counting: instead of testing |L1|^2 candidates per
+/// customer, enumerate the ordered id pairs the customer actually contains
+/// (deduplicated) into flat per-thread counters — the standard counting
+/// inversion for the quadratic C2.
+std::vector<count_t> count_pairs(
+    const std::vector<TransformedCustomer>& transformed, std::size_t ids,
+    ThreadPool& pool) {
+  std::vector<std::vector<count_t>> partial(
+      pool.size(), std::vector<count_t>(ids * ids, 0));
+  pool.parallel_for_blocked(
+      transformed.size(),
+      [&](std::size_t begin, std::size_t end, std::uint32_t tid) {
+        auto& counts = partial[tid];
+        std::unordered_set<std::uint64_t> seen;
+        for (std::size_t c = begin; c < end; ++c) {
+          const auto& txns = transformed[c].txns;
+          seen.clear();
+          // Suffix id-sets: pair (a, b) is contained iff a occurs at some
+          // position with b anywhere strictly later.
+          for (std::size_t i = 0; i + 1 < txns.size(); ++i) {
+            for (const std::uint32_t a : txns[i]) {
+              for (std::size_t j = i + 1; j < txns.size(); ++j) {
+                for (const std::uint32_t b : txns[j]) {
+                  const std::uint64_t key =
+                      (static_cast<std::uint64_t>(a) << 32) | b;
+                  if (seen.insert(key).second) {
+                    ++counts[a * ids + b];
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+  std::vector<count_t> total(ids * ids, 0);
+  for (const auto& p : partial) {
+    for (std::size_t i = 0; i < total.size(); ++i) total[i] += p[i];
+  }
+  return total;
+}
+
+/// AprioriAll join + subsequence pruning: candidates of length k from the
+/// frequent (k-1)-sequences.
+std::vector<Seq> join_sequences(const std::vector<Seq>& prev) {
+  if (prev.empty()) return {};
+  const std::size_t len = prev.front().size();
+  std::unordered_set<Seq, SeqHash> frequent(prev.begin(), prev.end());
+
+  // Index by the drop-first interior so the join is linear in matches.
+  std::unordered_map<Seq, std::vector<std::uint32_t>, SeqHash> by_tail;
+  for (std::uint32_t i = 0; i < prev.size(); ++i) {
+    by_tail[Seq(prev[i].begin() + 1, prev[i].end())].push_back(i);
+  }
+
+  std::vector<Seq> candidates;
+  Seq head_key;
+  for (const Seq& s2 : prev) {
+    head_key.assign(s2.begin(), s2.end() - 1);
+    const auto it = by_tail.find(head_key);
+    if (it == by_tail.end()) continue;
+    for (const std::uint32_t i : it->second) {
+      Seq cand(prev[i]);
+      cand.push_back(s2.back());
+      // Prune: every (k-1)-subsequence must be frequent. Dropping the
+      // first or last element gives the generators; check the interiors.
+      bool prune = false;
+      for (std::size_t drop = 1; drop + 1 < cand.size() && !prune; ++drop) {
+        Seq sub;
+        sub.reserve(len);
+        for (std::size_t j = 0; j < cand.size(); ++j) {
+          if (j != drop) sub.push_back(cand[j]);
+        }
+        prune = !frequent.count(sub);
+      }
+      if (!prune) candidates.push_back(std::move(cand));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+}  // namespace
+
+std::string SequencePattern::to_string() const {
+  std::ostringstream os;
+  os << '<';
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i) os << ' ';
+    os << format_itemset(elements[i]);
+  }
+  os << "> sup=" << support;
+  return os.str();
+}
+
+bool sequence_contained(const std::vector<std::vector<item_t>>& a,
+                        const std::vector<std::vector<item_t>>& b) {
+  std::size_t pos = 0;
+  for (const auto& element : a) {
+    while (pos < b.size() && !is_subset_sorted(element, b[pos])) ++pos;
+    if (pos == b.size()) return false;
+    ++pos;
+  }
+  return true;
+}
+
+SeqMiningResult mine_sequences(const SequenceDatabase& db,
+                               const SeqMineOptions& options) {
+  SeqMiningResult result;
+  if (db.empty()) return result;
+  const count_t min_count =
+      absolute_support(options.min_support, db.num_customers());
+  ThreadPool pool(options.threads);
+
+  // Phase 1: litemsets.
+  WallTimer phase_timer;
+  result.litemsets = litemset_phase(db, min_count, options, pool);
+  result.litemset_seconds = phase_timer.seconds();
+  if (result.litemsets.empty()) return result;
+  const LitemsetTable table = flatten(result.litemsets);
+
+  // Phase 2: transformation.
+  phase_timer.reset();
+  const std::vector<TransformedCustomer> transformed =
+      transform_phase(db, table, pool);
+  result.transform_seconds = phase_timer.seconds();
+
+  // Phase 3: sequence iterations.
+  phase_timer.reset();
+  struct Found {
+    Seq seq;
+    count_t customers;
+  };
+  std::vector<Found> all_frequent;
+  std::vector<Seq> current;
+  for (std::uint32_t id = 0; id < table.views.size(); ++id) {
+    current.push_back(Seq{id});
+    all_frequent.push_back({Seq{id}, table.customer_counts[id]});
+  }
+
+  const std::size_t num_ids = table.views.size();
+  // The quadratic C2 uses the counting inversion (enumerate contained
+  // pairs per customer) unless the flat pair-counter array would be
+  // unreasonable; beyond that, candidate lists stay small and the direct
+  // subsequence scan with the bitmap prefilter wins.
+  // 2048^2 counters = 16 MB per thread; beyond that the flat array stops
+  // paying for itself and the candidate-scan path takes over.
+  const bool flat_pairs = num_ids > 0 && num_ids <= 2048 &&
+                          options.max_length >= 2;
+  if (flat_pairs) {
+    result.candidate_sequences += num_ids * num_ids;
+    const std::vector<count_t> pair_counts =
+        count_pairs(transformed, num_ids, pool);
+    std::vector<Seq> next;
+    for (std::uint32_t a = 0; a < num_ids; ++a) {
+      for (std::uint32_t b = 0; b < num_ids; ++b) {
+        const count_t total = pair_counts[a * num_ids + b];
+        if (total >= min_count) {
+          next.push_back(Seq{a, b});
+          all_frequent.push_back({Seq{a, b}, total});
+        }
+      }
+    }
+    current = std::move(next);
+  }
+
+  for (std::uint32_t len = flat_pairs ? 3 : 2;
+       len <= options.max_length && !current.empty(); ++len) {
+    const std::vector<Seq> candidates =
+        len == 2 ? [&] {
+          // C2 = all ordered pairs, repetition allowed.
+          std::vector<Seq> pairs;
+          pairs.reserve(current.size() * current.size());
+          for (const Seq& a : current) {
+            for (const Seq& b : current) {
+              pairs.push_back(Seq{a[0], b[0]});
+            }
+          }
+          return pairs;
+        }()
+                 : join_sequences(current);
+    if (candidates.empty()) break;
+    result.candidate_sequences += candidates.size();
+
+    // Count customers containing each candidate (per-thread counters,
+    // customers block-partitioned).
+    std::vector<std::vector<count_t>> partial(
+        pool.size(), std::vector<count_t>(candidates.size(), 0));
+    pool.parallel_for_blocked(
+        transformed.size(),
+        [&](std::size_t begin, std::size_t end, std::uint32_t tid) {
+          auto& counts = partial[tid];
+          for (std::size_t c = begin; c < end; ++c) {
+            for (std::size_t i = 0; i < candidates.size(); ++i) {
+              if (contains_sequence(transformed[c], candidates[i])) {
+                ++counts[i];
+              }
+            }
+          }
+        });
+
+    std::vector<Seq> next;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      count_t total = 0;
+      for (const auto& p : partial) total += p[i];
+      if (total >= min_count) {
+        next.push_back(candidates[i]);
+        all_frequent.push_back({candidates[i], total});
+      }
+    }
+    if (next.empty()) break;
+    current = std::move(next);
+  }
+  result.sequence_seconds = phase_timer.seconds();
+
+  // Materialize patterns (ids -> itemsets).
+  for (const Found& f : all_frequent) {
+    SequencePattern pattern;
+    pattern.customers = f.customers;
+    pattern.support = static_cast<double>(f.customers) /
+                      static_cast<double>(db.num_customers());
+    for (const std::uint32_t id : f.seq) {
+      const auto view = table.views[id];
+      pattern.elements.emplace_back(view.begin(), view.end());
+    }
+    result.patterns.push_back(std::move(pattern));
+  }
+
+  // Phase 4: maximal filter. Order by (length, total items) descending so
+  // a potential container is always examined before anything it contains
+  // (containment implies >= on both keys, with equality only for equal
+  // patterns).
+  if (options.maximal_only) {
+    auto total_items = [](const SequencePattern& p) {
+      std::size_t n = 0;
+      for (const auto& e : p.elements) n += e.size();
+      return n;
+    };
+    std::sort(result.patterns.begin(), result.patterns.end(),
+              [&](const SequencePattern& a, const SequencePattern& b) {
+                if (a.length() != b.length()) return a.length() > b.length();
+                return total_items(a) > total_items(b);
+              });
+    std::vector<SequencePattern> maximal;
+    for (SequencePattern& pattern : result.patterns) {
+      bool contained = false;
+      for (const SequencePattern& keeper : maximal) {
+        if (sequence_contained(pattern.elements, keeper.elements)) {
+          contained = true;
+          break;
+        }
+      }
+      if (!contained) maximal.push_back(std::move(pattern));
+    }
+    result.patterns = std::move(maximal);
+  }
+
+  // Stable presentation order: longer first, then by support.
+  std::sort(result.patterns.begin(), result.patterns.end(),
+            [](const SequencePattern& a, const SequencePattern& b) {
+              if (a.length() != b.length()) return a.length() > b.length();
+              if (a.customers != b.customers) return a.customers > b.customers;
+              return a.elements < b.elements;
+            });
+  return result;
+}
+
+}  // namespace smpmine

@@ -1,0 +1,73 @@
+// Sequential-pattern mining: AprioriAll (Agrawal & Srikant, ICDE'95).
+//
+// Four phases over a customer-sequence database:
+//   1. Litemset phase — frequent itemsets where support counts *customers*
+//      (a customer contributes once however often the itemset recurs in its
+//      transactions). Runs on the full CCPD hash-tree machinery with
+//      group-dedup counting, so every paper optimization applies.
+//   2. Transformation — each customer sequence becomes a sequence of
+//      litemset-id sets (transactions reduced to the litemsets they
+//      contain; empty transactions dropped).
+//   3. Sequence phase — Apriori-style candidate sequences over litemset
+//      ids (join on overlapping k-2 interiors, subsequence pruning),
+//      support = customers whose transformed sequence contains the
+//      candidate in order.
+//   4. Maximal phase — optionally drop patterns contained in a longer
+//      frequent pattern (containment by per-element itemset inclusion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "itemset/frequent_set.hpp"
+#include "seqpat/sequence_db.hpp"
+
+namespace smpmine {
+
+/// A mined sequential pattern: ordered elements, each a sorted itemset.
+struct SequencePattern {
+  std::vector<std::vector<item_t>> elements;
+  count_t customers = 0;  ///< customers containing the pattern
+  double support = 0.0;   ///< customers / |C|
+
+  std::size_t length() const { return elements.size(); }
+  /// "<(1,2) (3)> sup=0.4" rendering.
+  std::string to_string() const;
+};
+
+struct SeqMineOptions {
+  /// Minimum support as a fraction of customers.
+  double min_support = 0.25;
+  std::uint32_t threads = 1;
+  /// Cap on pattern length (elements).
+  std::uint32_t max_length = 16;
+  /// Keep only maximal patterns (phase 4); false returns all frequent ones.
+  bool maximal_only = true;
+  /// Knobs forwarded to the litemset phase's hash tree (hash scheme,
+  /// leaf threshold, subset check, placement).
+  MinerOptions itemset_options;
+};
+
+struct SeqMiningResult {
+  std::vector<SequencePattern> patterns;
+  /// Phase-1 litemsets by size (levels[i] has k = i+1), customer-supports.
+  std::vector<FrequentSet> litemsets;
+  std::uint64_t candidate_sequences = 0;  ///< generated across iterations
+  double litemset_seconds = 0.0;
+  double transform_seconds = 0.0;
+  double sequence_seconds = 0.0;
+};
+
+/// True when sequence `a` is contained in `b`: an order-preserving mapping
+/// of a's elements onto distinct elements of b with per-element itemset
+/// inclusion (the AS'95 containment relation).
+bool sequence_contained(
+    const std::vector<std::vector<item_t>>& a,
+    const std::vector<std::vector<item_t>>& b);
+
+SeqMiningResult mine_sequences(const SequenceDatabase& db,
+                               const SeqMineOptions& options);
+
+}  // namespace smpmine

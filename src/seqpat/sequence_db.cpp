@@ -1,0 +1,96 @@
+#include "seqpat/sequence_db.hpp"
+
+#include <algorithm>
+
+namespace smpmine {
+
+void SequenceDatabase::add_customer(
+    std::span<const std::vector<item_t>> transactions) {
+  for (const auto& txn : transactions) {
+    if (txn.empty()) continue;
+    const std::size_t start = items_.size();
+    items_.insert(items_.end(), txn.begin(), txn.end());
+    auto begin = items_.begin() + static_cast<std::ptrdiff_t>(start);
+    std::sort(begin, items_.end());
+    items_.erase(std::unique(begin, items_.end()), items_.end());
+    universe_ = std::max<item_t>(universe_, items_.back() + 1);
+    txn_offsets_.push_back(items_.size());
+  }
+  customer_offsets_.push_back(txn_offsets_.size() - 1);
+}
+
+SequenceDatabase generate_sequences(const SeqGenParams& p) {
+  Rng rng(p.seed);
+
+  // Pattern pool: each sequence pattern is a short sequence of small
+  // itemsets over the item universe, with an exponential popularity weight.
+  struct SeqPattern {
+    std::vector<std::vector<item_t>> elements;
+    double weight;
+  };
+  std::vector<SeqPattern> patterns(p.num_seq_patterns);
+  double weight_sum = 0.0;
+  for (auto& pat : patterns) {
+    const std::uint32_t elems =
+        std::max<std::uint32_t>(2, rng.poisson(p.avg_pattern_elements));
+    pat.elements.resize(elems);
+    for (auto& element : pat.elements) {
+      const std::uint32_t len =
+          std::max<std::uint32_t>(1, rng.poisson(p.avg_element_len));
+      for (std::uint32_t i = 0; i < len; ++i) {
+        element.push_back(static_cast<item_t>(rng.uniform(p.num_items)));
+      }
+      std::sort(element.begin(), element.end());
+      element.erase(std::unique(element.begin(), element.end()),
+                    element.end());
+    }
+    pat.weight = rng.exponential(1.0);
+    weight_sum += pat.weight;
+  }
+  std::vector<double> cumulative;
+  double run = 0.0;
+  for (const auto& pat : patterns) {
+    run += pat.weight / weight_sum;
+    cumulative.push_back(run);
+  }
+  if (!cumulative.empty()) cumulative.back() = 1.0;
+
+  SequenceDatabase db;
+  std::vector<std::vector<item_t>> sequence;
+  for (std::uint32_t c = 0; c < p.num_customers; ++c) {
+    const std::uint32_t txns =
+        std::max<std::uint32_t>(1, rng.poisson(p.avg_transactions));
+    sequence.assign(txns, {});
+    for (auto& txn : sequence) {
+      const std::uint32_t len =
+          std::max<std::uint32_t>(1, rng.poisson(p.avg_transaction_len));
+      for (std::uint32_t i = 0; i < len; ++i) {
+        txn.push_back(static_cast<item_t>(rng.uniform(p.num_items)));
+      }
+    }
+    // Weave one popular pattern through the sequence (its elements land on
+    // increasing transaction positions).
+    if (!patterns.empty() && rng.uniform01() < p.pattern_rate) {
+      const auto it = std::upper_bound(cumulative.begin(), cumulative.end(),
+                                       rng.uniform01());
+      const SeqPattern& pat = patterns[static_cast<std::size_t>(
+          std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                                   static_cast<std::ptrdiff_t>(patterns.size()) - 1))];
+      if (pat.elements.size() <= sequence.size()) {
+        // Choose increasing positions via a partial selection.
+        std::size_t pos = 0;
+        const std::size_t slack = sequence.size() - pat.elements.size();
+        for (std::size_t e = 0; e < pat.elements.size(); ++e) {
+          pos += rng.uniform(slack / pat.elements.size() + 1);
+          sequence[pos].insert(sequence[pos].end(), pat.elements[e].begin(),
+                               pat.elements[e].end());
+          ++pos;
+        }
+      }
+    }
+    db.add_customer(sequence);
+  }
+  return db;
+}
+
+}  // namespace smpmine

@@ -1,0 +1,77 @@
+// Customer-sequence database for sequential-pattern mining.
+//
+// The paper's conclusion claims its machinery transfers to "sequential
+// patterns (Agrawal and Srikant, 1995)"; this module supplies the data
+// model: each customer owns a time-ordered sequence of transactions
+// (itemsets). Storage is flat (one item array + two offset tables) for the
+// same scan-locality reasons as Database.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace smpmine {
+
+class SequenceDatabase {
+ public:
+  SequenceDatabase() {
+    txn_offsets_.push_back(0);
+    customer_offsets_.push_back(0);
+  }
+
+  /// Appends one customer's transaction sequence, in time order. Each
+  /// transaction is sorted and de-duplicated; empty transactions are
+  /// dropped (they carry no information).
+  void add_customer(std::span<const std::vector<item_t>> transactions);
+
+  std::size_t num_customers() const { return customer_offsets_.size() - 1; }
+  bool empty() const { return num_customers() == 0; }
+
+  /// Number of transactions of customer c.
+  std::size_t sequence_length(std::size_t c) const {
+    return customer_offsets_[c + 1] - customer_offsets_[c];
+  }
+
+  /// The t-th transaction (0-based, time order) of customer c.
+  std::span<const item_t> transaction(std::size_t c, std::size_t t) const {
+    const std::size_t idx = customer_offsets_[c] + t;
+    return {items_.data() + txn_offsets_[idx],
+            items_.data() + txn_offsets_[idx + 1]};
+  }
+
+  std::size_t total_transactions() const { return txn_offsets_.size() - 1; }
+  std::size_t total_items() const { return items_.size(); }
+
+  /// Largest item id seen plus one.
+  item_t item_universe() const { return universe_; }
+
+ private:
+  std::vector<item_t> items_;
+  std::vector<std::uint64_t> txn_offsets_;       // per transaction
+  std::vector<std::uint64_t> customer_offsets_;  // into txn_offsets_ index
+  item_t universe_ = 0;
+};
+
+/// Synthetic customer-sequence generator in the spirit of Agrawal &
+/// Srikant's (ICDE'95) procedure: a pool of potential frequent *sequences*
+/// whose elements are drawn from a pool of potential frequent *itemsets*;
+/// customers interleave pattern occurrences with noise.
+struct SeqGenParams {
+  std::uint32_t num_customers = 10'000;   ///< |C|
+  double avg_transactions = 8.0;          ///< transactions per customer
+  double avg_transaction_len = 3.0;       ///< items per transaction
+  std::uint32_t num_items = 200;          ///< N
+  std::uint32_t num_seq_patterns = 30;    ///< Ns
+  double avg_pattern_elements = 3.0;      ///< elements per seq pattern
+  double avg_element_len = 2.0;           ///< items per pattern element
+  double pattern_rate = 0.6;              ///< P(customer carries a pattern)
+  std::uint64_t seed = 1995;
+};
+
+SequenceDatabase generate_sequences(const SeqGenParams& params);
+
+}  // namespace smpmine

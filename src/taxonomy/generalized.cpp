@@ -1,0 +1,115 @@
+#include "taxonomy/generalized.hpp"
+
+#include <algorithm>
+
+namespace smpmine {
+
+const char* to_string(GeneralizedAlgorithm a) {
+  switch (a) {
+    case GeneralizedAlgorithm::Basic: return "basic";
+    case GeneralizedAlgorithm::Cumulate: return "cumulate";
+  }
+  return "?";
+}
+
+Database extend_database(const Database& db, const Taxonomy& taxonomy) {
+  Database extended;
+  extended.reserve(db.size(), db.total_items() * 2);
+  std::vector<item_t> txn;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    const auto original = db.transaction(t);
+    txn.assign(original.begin(), original.end());
+    for (const item_t item : original) {
+      if (item < taxonomy.universe()) {
+        const auto anc = taxonomy.ancestors(item);
+        txn.insert(txn.end(), anc.begin(), anc.end());
+      }
+    }
+    extended.add_transaction(txn);  // sorts + dedups
+  }
+  return extended;
+}
+
+MiningResult mine_generalized(const Database& db, const Taxonomy& taxonomy,
+                              MinerOptions options,
+                              GeneralizedAlgorithm algorithm) {
+  const Database extended = extend_database(db, taxonomy);
+  if (algorithm == GeneralizedAlgorithm::Cumulate) {
+    // Pre-warm every ancestor set so the veto below only ever *reads* the
+    // taxonomy's memoization cache — the veto runs concurrently from the
+    // candidate-generation threads. (extend_database already warmed every
+    // item that occurs in a transaction; items that never occur cannot
+    // reach a candidate, but warming all of them costs nothing and removes
+    // the reasoning burden.)
+    for (item_t i = 0; i < taxonomy.universe(); ++i) taxonomy.ancestors(i);
+    // Cumulate's pruning: an itemset containing both an item and its
+    // ancestor has exactly the support of the itemset without the ancestor
+    // — pure redundancy, vetoed before it ever enters the hash tree.
+    options.candidate_veto = [&taxonomy](std::span<const item_t> cand) {
+      return taxonomy.has_item_with_ancestor(cand);
+    };
+  }
+  // Support counting happens over the extended transactions; min_support
+  // stays a fraction of |D| (extension does not change |D|).
+  return mine(extended, options);
+}
+
+namespace {
+
+const count_t* item_support(const MiningResult& result, item_t item) {
+  if (result.levels.empty()) return nullptr;
+  const item_t key[1] = {item};
+  return result.levels[0].find_count(std::span<const item_t>(key, 1));
+}
+
+}  // namespace
+
+std::vector<Rule> filter_interesting_rules(std::vector<Rule> rules,
+                                           const Taxonomy& taxonomy,
+                                           const MiningResult& result,
+                                           double min_interest,
+                                           std::size_t num_transactions) {
+  (void)num_transactions;  // supports are compared as raw counts
+  auto predicted_by_ancestor = [&](const Rule& rule) {
+    // One-step generalizations: replace one item by one of its direct
+    // parents; if that generalized itemset is frequent, it predicts this
+    // rule's support as sup(gen) * sup(item)/sup(parent).
+    std::vector<item_t> whole(rule.antecedent);
+    whole.insert(whole.end(), rule.consequent.begin(), rule.consequent.end());
+    std::sort(whole.begin(), whole.end());
+
+    for (std::size_t i = 0; i < whole.size(); ++i) {
+      const item_t item = whole[i];
+      if (item >= taxonomy.universe()) continue;
+      for (const item_t parent : taxonomy.parents(item)) {
+        std::vector<item_t> gen(whole);
+        gen[i] = parent;
+        std::sort(gen.begin(), gen.end());
+        if (std::adjacent_find(gen.begin(), gen.end()) != gen.end()) continue;
+        if (taxonomy.has_item_with_ancestor(gen)) continue;
+        if (gen.size() > result.levels.size()) continue;
+        const count_t* sup_gen =
+            result.levels[gen.size() - 1].find_count(gen);
+        if (sup_gen == nullptr) continue;
+        const count_t* sup_item = item_support(result, item);
+        const count_t* sup_parent = item_support(result, parent);
+        if (sup_item == nullptr || sup_parent == nullptr || *sup_parent == 0) {
+          continue;
+        }
+        const double expected = static_cast<double>(*sup_gen) *
+                                static_cast<double>(*sup_item) /
+                                static_cast<double>(*sup_parent);
+        if (static_cast<double>(rule.support_count) <
+            min_interest * expected) {
+          return true;  // the ancestor rule explains this one
+        }
+      }
+    }
+    return false;
+  };
+
+  std::erase_if(rules, predicted_by_ancestor);
+  return rules;
+}
+
+}  // namespace smpmine

@@ -1,0 +1,52 @@
+// Generalized (multi-level) association mining over a taxonomy —
+// Srikant & Agrawal, "Mining Generalized Association Rules" (VLDB'95),
+// the application the paper's conclusion points at.
+//
+// An itemset may mix items from any taxonomy level; its support counts
+// transactions whose items *or their ancestors* cover it. Two algorithms:
+//   - Basic:    extend every transaction with all ancestors, run Apriori.
+//   - Cumulate: Basic plus its pruning optimizations — drop candidates
+//               containing an item together with its ancestor (their
+//               support is identical to the reduced itemset's, so they are
+//               pure redundancy), implemented through the miner's
+//               candidate-veto hook.
+// Both run on the full parallel CCPD machinery, so every paper
+// optimization (balancing, short-circuiting, placement) applies unchanged.
+#pragma once
+
+#include "core/miner.hpp"
+#include "core/rules.hpp"
+#include "taxonomy/taxonomy.hpp"
+
+namespace smpmine {
+
+enum class GeneralizedAlgorithm { Basic, Cumulate };
+
+const char* to_string(GeneralizedAlgorithm a);
+
+/// The "extended database": every transaction unioned with the ancestors
+/// of its items (sorted, deduplicated). Support of a generalized itemset
+/// over the original database equals its plain support over this one.
+Database extend_database(const Database& db, const Taxonomy& taxonomy);
+
+/// Mines generalized frequent itemsets. `options.candidate_veto` is
+/// overridden internally when `algorithm` is Cumulate.
+MiningResult mine_generalized(const Database& db, const Taxonomy& taxonomy,
+                              MinerOptions options,
+                              GeneralizedAlgorithm algorithm =
+                                  GeneralizedAlgorithm::Cumulate);
+
+/// Generalized rule post-filter (Srikant & Agrawal's R-interest measure,
+/// applied between a rule and its one-step generalizations): a rule is kept
+/// unless some rule in the set with every item replaced by an ancestor
+/// "predicts" its support within factor `min_interest` — i.e. drop
+/// X => Y when a generalization X' => Y' exists with
+///   support(X ∪ Y) < min_interest * E[support], where
+///   E[support] = support(X' ∪ Y') * Π_i sup(x_i)/sup(x'_i).
+/// `levels` supplies the item supports; `num_transactions` scales them.
+std::vector<Rule> filter_interesting_rules(
+    std::vector<Rule> rules, const Taxonomy& taxonomy,
+    const MiningResult& result, double min_interest,
+    std::size_t num_transactions);
+
+}  // namespace smpmine

@@ -1,0 +1,137 @@
+#include "taxonomy/taxonomy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smpmine {
+
+Taxonomy::Taxonomy(item_t universe)
+    : parents_(universe),
+      has_child_(universe, false),
+      ancestor_cache_(universe) {}
+
+bool Taxonomy::reaches(item_t from, item_t target) const {
+  if (from == target) return true;
+  for (const item_t p : parents_[from]) {
+    if (reaches(p, target)) return true;
+  }
+  return false;
+}
+
+void Taxonomy::add_edge(item_t child, item_t parent) {
+  if (child >= universe() || parent >= universe()) {
+    throw std::invalid_argument("Taxonomy::add_edge: item out of range");
+  }
+  if (child == parent) {
+    throw std::invalid_argument("Taxonomy::add_edge: self edge");
+  }
+  // Adding child->parent creates a cycle iff child is already reachable
+  // upward from parent.
+  if (reaches(parent, child)) {
+    throw std::invalid_argument("Taxonomy::add_edge: would create a cycle");
+  }
+  auto& ps = parents_[child];
+  if (std::find(ps.begin(), ps.end(), parent) == ps.end()) {
+    ps.push_back(parent);
+    has_child_[parent] = true;
+    ++edges_;
+    // Any cached ancestor set may now be stale.
+    for (auto& entry : ancestor_cache_) entry.reset();
+  }
+}
+
+std::span<const item_t> Taxonomy::ancestors(item_t item) const {
+  auto& cached = ancestor_cache_[item];
+  if (!cached.has_value()) {
+    std::vector<item_t> out;
+    std::vector<item_t> stack(parents_[item].begin(), parents_[item].end());
+    while (!stack.empty()) {
+      const item_t a = stack.back();
+      stack.pop_back();
+      out.push_back(a);
+      stack.insert(stack.end(), parents_[a].begin(), parents_[a].end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    cached = std::move(out);
+  }
+  return *cached;
+}
+
+void Taxonomy::freeze() {
+  for (item_t i = 0; i < universe(); ++i) ancestors(i);
+}
+
+bool Taxonomy::is_ancestor(item_t a, item_t item) const {
+  const auto anc = ancestors(item);
+  return std::binary_search(anc.begin(), anc.end(), a);
+}
+
+bool Taxonomy::has_item_with_ancestor(std::span<const item_t> itemset) const {
+  // itemset is sorted; ancestor sets are sorted — for each member, check
+  // whether any *other* member is among its ancestors.
+  for (const item_t item : itemset) {
+    const auto anc = ancestors(item);
+    if (anc.empty()) continue;
+    for (const item_t other : itemset) {
+      if (other != item && std::binary_search(anc.begin(), anc.end(), other)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<item_t> Taxonomy::roots() const {
+  std::vector<item_t> out;
+  for (item_t i = 0; i < universe(); ++i) {
+    if (parents_[i].empty() && has_child_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<item_t> Taxonomy::leaves() const {
+  std::vector<item_t> out;
+  for (item_t i = 0; i < universe(); ++i) {
+    if (!has_child_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+Taxonomy make_random_taxonomy(const TaxonomyParams& params) {
+  Taxonomy tax(params.universe);
+  if (params.levels < 2 || params.roots == 0 ||
+      params.roots >= params.universe) {
+    return tax;  // degenerate: flat item space
+  }
+  Rng rng(params.seed);
+  // ids [0, roots) are level 0; the rest are split evenly over levels
+  // 1..levels-1, each item parented one level up.
+  const item_t interior = params.universe - params.roots;
+  const std::uint32_t lower_levels = params.levels - 1;
+  const item_t per_level = std::max<item_t>(1, interior / lower_levels);
+
+  item_t level_begin = 0;          // start of the parent level
+  item_t level_size = params.roots;
+  item_t next = params.roots;
+  for (std::uint32_t level = 1; level < params.levels && next < params.universe;
+       ++level) {
+    const item_t count =
+        level + 1 == params.levels
+            ? params.universe - next  // last level takes the remainder
+            : std::min<item_t>(per_level, params.universe - next);
+    for (item_t i = 0; i < count; ++i) {
+      const item_t child = next + i;
+      const item_t parent =
+          level_begin + static_cast<item_t>(rng.uniform(level_size));
+      tax.add_edge(child, parent);
+    }
+    level_begin = next;
+    level_size = count;
+    next += count;
+  }
+  tax.freeze();
+  return tax;
+}
+
+}  // namespace smpmine

@@ -1,0 +1,89 @@
+// Item taxonomies for multi-level (generalized) association mining.
+//
+// The paper's conclusion claims its techniques apply directly to
+// "multi-level (taxonomies) associations (Srikant and Agrawal, 1995)";
+// this module supplies that application: an is-a hierarchy over items
+// (a DAG, typically a forest — e.g. jacket -> outerwear -> clothes) with
+// transitive-ancestor queries, plus a synthetic taxonomy generator for the
+// benches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace smpmine {
+
+class Taxonomy {
+ public:
+  /// `universe` is the number of item ids the taxonomy may mention
+  /// (0..universe-1); interior category items share the same id space, as
+  /// in Srikant & Agrawal's formulation.
+  explicit Taxonomy(item_t universe);
+
+  /// Declares `child` is-a `parent`. Throws std::invalid_argument on out-of
+  /// -range ids, self-edges, or an edge that would create a cycle.
+  void add_edge(item_t child, item_t parent);
+
+  item_t universe() const { return static_cast<item_t>(parents_.size()); }
+
+  /// Direct parents of an item.
+  std::span<const item_t> parents(item_t item) const {
+    return parents_[item];
+  }
+
+  /// All transitive ancestors of an item, deduplicated, sorted. Memoized;
+  /// the first call for each item does the DFS (not thread-safe until
+  /// freeze() has been called).
+  std::span<const item_t> ancestors(item_t item) const;
+
+  /// Precomputes every ancestor set so later queries are read-only (and
+  /// therefore safe from concurrent miner threads).
+  void freeze();
+
+  /// True when `a` is a (transitive) ancestor of `item`.
+  bool is_ancestor(item_t a, item_t item) const;
+
+  /// True when the sorted itemset contains any item together with one of
+  /// its ancestors — such itemsets are redundant (support equals that of
+  /// the itemset without the ancestor) and Cumulate prunes them.
+  bool has_item_with_ancestor(std::span<const item_t> itemset) const;
+
+  /// Items with no parents.
+  std::vector<item_t> roots() const;
+
+  /// Leaf items (no children) — the items that appear in raw transactions.
+  std::vector<item_t> leaves() const;
+
+  std::size_t num_edges() const { return edges_; }
+
+ private:
+  bool reaches(item_t from, item_t target) const;
+
+  std::vector<std::vector<item_t>> parents_;
+  std::vector<bool> has_child_;
+  mutable std::vector<std::optional<std::vector<item_t>>> ancestor_cache_;
+  std::size_t edges_ = 0;
+};
+
+/// Parameters for the synthetic taxonomy of Srikant & Agrawal's data
+/// generator: `roots` top-level categories over a `universe` of items;
+/// each non-root gets one parent drawn from the previous level, with
+/// `levels` levels in total.
+struct TaxonomyParams {
+  item_t universe = 1000;
+  item_t roots = 30;
+  std::uint32_t levels = 4;
+  std::uint64_t seed = 7;
+};
+
+/// Builds a random forest taxonomy: level 0 = roots, the remaining ids are
+/// spread over levels 1..levels-1, each with a random parent in the level
+/// above. Deterministic per seed.
+Taxonomy make_random_taxonomy(const TaxonomyParams& params);
+
+}  // namespace smpmine

@@ -1,0 +1,88 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace smpmine {
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         const std::string& def) {
+  specs_[name] = FlagSpec{help, def};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(this->help(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    if (!specs_.count(name)) {
+      std::fprintf(stderr, "unknown flag --%s (see --help)\n", name.c_str());
+      return false;
+    }
+    if (!has_value) {
+      // `--flag value` if the next token is not itself a flag, else boolean.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+bool CliParser::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string CliParser::get(const std::string& name,
+                           const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name,
+                                std::int64_t def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliParser::get_bool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string CliParser::help(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.def.empty()) os << " (default: " << spec.def << ")";
+    os << "\n      " << spec.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace smpmine

@@ -1,0 +1,47 @@
+// A small command-line flag parser for the bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, boolean `--flag`, and collects
+// positional arguments. Unknown flags are an error so typos in experiment
+// sweeps fail loudly instead of silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smpmine {
+
+class CliParser {
+ public:
+  /// Registers a flag with a help string; `def` is rendered in --help.
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& def = "");
+
+  /// Parses argv. Returns false (after printing a message) on error or when
+  /// --help was requested.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the registered flag table.
+  std::string help(const std::string& program) const;
+
+ private:
+  struct FlagSpec {
+    std::string help;
+    std::string def;
+  };
+  std::map<std::string, FlagSpec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace smpmine

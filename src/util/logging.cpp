@@ -1,0 +1,43 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace smpmine {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  char buf[1024];
+  int n = std::snprintf(buf, sizeof buf, "[%s] ", level_tag(level));
+  va_list args;
+  va_start(args, fmt);
+  n += std::vsnprintf(buf + n, sizeof buf - static_cast<std::size_t>(n) - 2,
+                      fmt, args);
+  va_end(args);
+  if (n < 0) return;
+  auto len = static_cast<std::size_t>(n);
+  if (len > sizeof buf - 2) len = sizeof buf - 2;
+  buf[len] = '\n';
+  std::fwrite(buf, 1, len + 1, stderr);
+}
+
+}  // namespace smpmine

@@ -1,0 +1,26 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself stays quiet by default (level = Warn); benches and
+// examples raise the level for progress lines on long sweeps.
+#pragma once
+
+#include <string>
+
+namespace smpmine {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. Thread-safe (single write() per message).
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define SMP_LOG_DEBUG(...) ::smpmine::logf(::smpmine::LogLevel::Debug, __VA_ARGS__)
+#define SMP_LOG_INFO(...) ::smpmine::logf(::smpmine::LogLevel::Info, __VA_ARGS__)
+#define SMP_LOG_WARN(...) ::smpmine::logf(::smpmine::LogLevel::Warn, __VA_ARGS__)
+#define SMP_LOG_ERROR(...) ::smpmine::logf(::smpmine::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace smpmine

@@ -1,0 +1,54 @@
+// Deterministic, seedable random-number generation.
+//
+// The Quest data generator and the property tests need a fast generator with
+// reproducible streams that can be split per dataset. xoshiro256** is small,
+// fast, and has well-understood statistical quality; we wrap it with the
+// handful of distributions the paper's generation procedure calls for
+// (uniform, Poisson, exponential, truncated normal).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace smpmine {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  /// Seeds the four 64-bit words from a single seed via SplitMix64, which is
+  /// the recommended seeding procedure for the xoshiro family.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Poisson-distributed value with the given mean. Uses Knuth's product
+  /// method for small means (the generator only needs means <= ~20) and a
+  /// normal approximation beyond that.
+  std::uint32_t poisson(double mean);
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// Normal via Box–Muller (one value per call; no caching to stay
+  /// trivially copyable).
+  double normal(double mean, double stddev);
+
+  /// A new generator whose stream is decorrelated from this one. Used to
+  /// hand independent streams to dataset generation phases.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace smpmine

@@ -1,0 +1,32 @@
+// Fixed-width text table rendering for the benchmark harnesses.
+//
+// Every figure/table bench prints the same rows/series the paper reports;
+// this helper keeps that output aligned and machine-greppable
+// (`column: value` pairs separated by two spaces, one row per line).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smpmine {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Renders with a header rule, columns padded to the widest cell.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smpmine

@@ -1,0 +1,42 @@
+#include "util/timer.hpp"
+
+#include <ctime>
+
+namespace smpmine {
+namespace {
+
+std::uint64_t thread_cpu_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+void ThreadCpuTimer::reset() { start_ns_ = thread_cpu_ns(); }
+
+double ThreadCpuTimer::seconds() const {
+  return static_cast<double>(thread_cpu_ns() - start_ns_) * 1e-9;
+}
+
+void PhaseTimes::add(const std::string& phase, double seconds) {
+  entries_[phase] += seconds;
+}
+
+double PhaseTimes::get(const std::string& phase) const {
+  auto it = entries_.find(phase);
+  return it == entries_.end() ? 0.0 : it->second;
+}
+
+double PhaseTimes::total() const {
+  double sum = 0.0;
+  for (const auto& [_, secs] : entries_) sum += secs;
+  return sum;
+}
+
+void PhaseTimes::merge(const PhaseTimes& other) {
+  for (const auto& [phase, secs] : other.entries_) entries_[phase] += secs;
+}
+
+}  // namespace smpmine

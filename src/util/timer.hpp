@@ -1,0 +1,96 @@
+// Wall-clock and per-phase timing.
+//
+// The paper reports computation-time improvements broken down by phase
+// (candidate generation, support counting, tree remapping, reduction); the
+// benches and the miner's statistics both rely on these accumulators.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace smpmine {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds since construction or the last reset().
+  std::uint64_t nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID).
+///
+/// On an oversubscribed host (more worker threads than cores) wall clocks
+/// measure scheduling, not work: every thread's wall time approaches the
+/// whole phase's elapsed time. CPU time measures the work a thread actually
+/// executed, which is what the paper's computation-balance results are
+/// about — the parallel benches build their work model from this.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { reset(); }
+  void reset();
+  /// CPU seconds consumed by the calling thread since reset().
+  double seconds() const;
+
+ private:
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Accumulates elapsed time under named phases. Not thread-safe by design:
+/// each worker keeps its own accumulator and the miner merges them.
+class PhaseTimes {
+ public:
+  /// Adds `seconds` to the named phase.
+  void add(const std::string& phase, double seconds);
+
+  /// Total accumulated for one phase (0 if never recorded).
+  double get(const std::string& phase) const;
+
+  /// Sum over all phases.
+  double total() const;
+
+  /// Merge another accumulator into this one (used at thread join).
+  void merge(const PhaseTimes& other);
+
+  const std::map<std::string, double>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, double> entries_;
+};
+
+/// RAII helper: times a scope and adds it to a PhaseTimes entry.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimes& sink, std::string phase)
+      : sink_(sink), phase_(std::move(phase)) {}
+  ~ScopedPhase() { sink_.add(phase_, timer_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimes& sink_;
+  std::string phase_;
+  WallTimer timer_;
+};
+
+}  // namespace smpmine

@@ -1,0 +1,24 @@
+// Fundamental scalar types shared across the smpmine library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smpmine {
+
+/// An item identifier. The paper's datasets use N = 1000 distinct items;
+/// 32 bits leaves ample headroom for real catalogues.
+using item_t = std::uint32_t;
+
+/// A transaction identifier.
+using tid_t = std::uint32_t;
+
+/// A support count (number of transactions containing an itemset).
+using count_t = std::uint32_t;
+
+/// Hardware destructive-interference size. The SGI Challenge used 128-byte
+/// secondary-cache lines; 64 is the common x86 line and what false-sharing
+/// padding must respect here.
+inline constexpr std::size_t kCacheLine = 64;
+
+}  // namespace smpmine

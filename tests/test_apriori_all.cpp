@@ -1,0 +1,212 @@
+#include "seqpat/apriori_all.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/candidate_gen.hpp"
+#include "seqpat/sequence_db.hpp"
+
+namespace smpmine {
+namespace {
+
+/// The AS'95 running example (items renumbered 30->0, 40->1, 70->2,
+/// 90->3, 60->4, 10->5, 20->6, 50->7... kept as the paper's ids instead):
+/// customer sequences over items {10,20,30,40,50,60,70,90}:
+///   C1: <(30) (90)>
+///   C2: <(10,20) (30) (40,60,70)>
+///   C3: <(30,50,70)>
+///   C4: <(30) (40,70) (90)>
+///   C5: <(90)>
+/// At 25% support (count 2): litemsets {30},{40},{70},{40,70},{90};
+/// maximal sequences <(30) (90)> and <(30) (40,70)>.
+SequenceDatabase as95() {
+  SequenceDatabase db;
+  db.add_customer(std::vector<std::vector<item_t>>{{30}, {90}});
+  db.add_customer(
+      std::vector<std::vector<item_t>>{{10, 20}, {30}, {40, 60, 70}});
+  db.add_customer(std::vector<std::vector<item_t>>{{30, 50, 70}});
+  db.add_customer(std::vector<std::vector<item_t>>{{30}, {40, 70}, {90}});
+  db.add_customer(std::vector<std::vector<item_t>>{{90}});
+  return db;
+}
+
+std::set<std::vector<std::vector<item_t>>> pattern_set(
+    const SeqMiningResult& result) {
+  std::set<std::vector<std::vector<item_t>>> out;
+  for (const SequencePattern& p : result.patterns) out.insert(p.elements);
+  return out;
+}
+
+TEST(AprioriAll, LitemsetsMatchPaperExample) {
+  SeqMineOptions opts;
+  opts.min_support = 0.25;  // 2 of 5 customers
+  const SeqMiningResult r = mine_sequences(as95(), opts);
+  ASSERT_EQ(r.litemsets.size(), 2u);
+  // Size-1: {30} x4, {40} x2, {70} x3, {90} x3.
+  const FrequentSet& l1 = r.litemsets[0];
+  ASSERT_EQ(l1.size(), 4u);
+  const std::vector<item_t> i30{30}, i40{40}, i70{70}, i90{90};
+  EXPECT_EQ(*l1.find_count(i30), 4u);
+  EXPECT_EQ(*l1.find_count(i40), 2u);
+  EXPECT_EQ(*l1.find_count(i70), 3u);
+  EXPECT_EQ(*l1.find_count(i90), 3u);
+  // Size-2: {40,70} x2 only.
+  const FrequentSet& l2 = r.litemsets[1];
+  ASSERT_EQ(l2.size(), 1u);
+  const std::vector<item_t> i4070{40, 70};
+  EXPECT_EQ(*l2.find_count(i4070), 2u);
+}
+
+TEST(AprioriAll, MaximalSequencesMatchPaperExample) {
+  SeqMineOptions opts;
+  opts.min_support = 0.25;
+  const SeqMiningResult r = mine_sequences(as95(), opts);
+  const auto patterns = pattern_set(r);
+  // The paper's answer: <(30) (90)> and <(30) (40 70)>.
+  EXPECT_TRUE(patterns.count({{30}, {90}}));
+  EXPECT_TRUE(patterns.count({{30}, {40, 70}}));
+  // Subsumed sequences must be gone: <(30)>, <(90)>, <(30) (40)> etc.
+  EXPECT_FALSE(patterns.count({{30}}));
+  EXPECT_FALSE(patterns.count({{90}}));
+  EXPECT_FALSE(patterns.count({{30}, {40}}));
+  EXPECT_FALSE(patterns.count({{40, 70}}));
+}
+
+TEST(AprioriAll, AllFrequentWhenMaximalOff) {
+  SeqMineOptions opts;
+  opts.min_support = 0.25;
+  opts.maximal_only = false;
+  const SeqMiningResult r = mine_sequences(as95(), opts);
+  const auto patterns = pattern_set(r);
+  EXPECT_TRUE(patterns.count({{30}}));
+  EXPECT_TRUE(patterns.count({{40, 70}}));
+  EXPECT_TRUE(patterns.count({{30}, {90}}));
+  EXPECT_TRUE(patterns.count({{30}, {40, 70}}));
+  // Support values verifiable: <(30) (90)> held by C1 and C4.
+  for (const SequencePattern& p : r.patterns) {
+    if (p.elements == std::vector<std::vector<item_t>>{{30}, {90}}) {
+      EXPECT_EQ(p.customers, 2u);
+      EXPECT_DOUBLE_EQ(p.support, 0.4);
+    }
+  }
+}
+
+TEST(AprioriAll, SequenceContainment) {
+  using V = std::vector<std::vector<item_t>>;
+  EXPECT_TRUE(sequence_contained(V{{3}, {4, 5}}, V{{3}, {4, 5}, {8}}));
+  EXPECT_TRUE(sequence_contained(V{{3}}, V{{1, 3}}));
+  EXPECT_TRUE(sequence_contained(V{{3}, {8}}, V{{7}, {3, 8}, {9}, {8}}));
+  EXPECT_FALSE(sequence_contained(V{{3}, {5}}, V{{3, 5}}));  // same txn
+  EXPECT_FALSE(sequence_contained(V{{5}, {3}}, V{{3}, {5}}));  // order
+  EXPECT_TRUE(sequence_contained(V{}, V{{1}}));
+  EXPECT_FALSE(sequence_contained(V{{1}}, V{}));
+}
+
+TEST(AprioriAll, RepeatedElementSequences) {
+  // <(1) (1)> requires item 1 in two distinct transactions.
+  SequenceDatabase db;
+  for (int c = 0; c < 6; ++c) {
+    db.add_customer(std::vector<std::vector<item_t>>{{1}, {1}});
+  }
+  for (int c = 0; c < 4; ++c) {
+    db.add_customer(std::vector<std::vector<item_t>>{{1}});
+  }
+  SeqMineOptions opts;
+  opts.min_support = 0.5;  // count 5
+  const SeqMiningResult r = mine_sequences(db, opts);
+  const auto patterns = pattern_set(r);
+  EXPECT_TRUE(patterns.count({{1}, {1}}));
+  EXPECT_FALSE(patterns.count({{1}, {1}, {1}}));  // only 0 customers
+}
+
+TEST(AprioriAll, ThreadCountDoesNotChangeResults) {
+  SeqGenParams p;
+  p.num_customers = 400;
+  p.num_items = 40;
+  p.avg_transactions = 5.0;
+  p.seed = 21;
+  const SequenceDatabase db = generate_sequences(p);
+  SeqMineOptions one;
+  one.min_support = 0.05;
+  SeqMineOptions four = one;
+  four.threads = 4;
+  const SeqMiningResult a = mine_sequences(db, one);
+  const SeqMiningResult b = mine_sequences(db, four);
+  EXPECT_EQ(pattern_set(a), pattern_set(b));
+  ASSERT_EQ(a.patterns.size(), b.patterns.size());
+}
+
+TEST(AprioriAll, BruteForceCrossCheck) {
+  // Exhaustively verify supports: every mined pattern's customer count must
+  // equal a direct scan, and no frequent 2-sequence may be missing.
+  SeqGenParams p;
+  p.num_customers = 120;
+  p.num_items = 15;
+  p.avg_transactions = 4.0;
+  p.avg_transaction_len = 2.0;
+  p.seed = 23;
+  const SequenceDatabase db = generate_sequences(p);
+  SeqMineOptions opts;
+  opts.min_support = 0.1;
+  opts.maximal_only = false;
+  const SeqMiningResult r = mine_sequences(db, opts);
+  const count_t min_count = absolute_support(opts.min_support,
+                                             db.num_customers());
+
+  auto customers_containing =
+      [&](const std::vector<std::vector<item_t>>& pattern) {
+        count_t n = 0;
+        for (std::size_t c = 0; c < db.num_customers(); ++c) {
+          std::vector<std::vector<item_t>> seq;
+          for (std::size_t t = 0; t < db.sequence_length(c); ++t) {
+            const auto txn = db.transaction(c, t);
+            seq.emplace_back(txn.begin(), txn.end());
+          }
+          if (sequence_contained(pattern, seq)) ++n;
+        }
+        return n;
+      };
+
+  ASSERT_FALSE(r.patterns.empty());
+  for (const SequencePattern& pattern : r.patterns) {
+    EXPECT_EQ(pattern.customers, customers_containing(pattern.elements))
+        << pattern.to_string();
+    EXPECT_GE(pattern.customers, min_count);
+  }
+
+  // Completeness at length 2 over single-item elements.
+  const auto mined = pattern_set(r);
+  for (item_t a = 0; a < 15; ++a) {
+    for (item_t b = 0; b < 15; ++b) {
+      const std::vector<std::vector<item_t>> cand{{a}, {b}};
+      if (customers_containing(cand) >= min_count) {
+        EXPECT_TRUE(mined.count(cand)) << "<(" << a << ") (" << b << ")>";
+      }
+    }
+  }
+}
+
+TEST(AprioriAll, EmptyDatabase) {
+  SequenceDatabase db;
+  SeqMineOptions opts;
+  EXPECT_TRUE(mine_sequences(db, opts).patterns.empty());
+}
+
+TEST(AprioriAll, MaxLengthCap) {
+  SequenceDatabase db;
+  for (int c = 0; c < 4; ++c) {
+    db.add_customer(std::vector<std::vector<item_t>>{{1}, {1}, {1}, {1}});
+  }
+  SeqMineOptions opts;
+  opts.min_support = 1.0;
+  opts.max_length = 2;
+  opts.maximal_only = false;
+  const SeqMiningResult r = mine_sequences(db, opts);
+  for (const SequencePattern& p : r.patterns) {
+    EXPECT_LE(p.length(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,102 @@
+// The paper's worked example (Section 2.1.3):
+//   D = {T1=(1,4,5), T2=(1,2), T3=(3,4,5), T4=(1,2,4,5)}, min support 2/4.
+//   F1 = {(1),(2),(4),(5)}
+//   C2 = all six pairs, F2 = {(1,2),(1,4),(1,5),(4,5)}
+//   C3 = {(1,4,5)} (pruning kills (1,2,4) and (1,2,5)), F3 = {(1,4,5)}.
+#include <gtest/gtest.h>
+
+#include "core/miner.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+Database example_db() {
+  Database db;
+  db.add_transaction(std::vector<item_t>{1, 4, 5});
+  db.add_transaction(std::vector<item_t>{1, 2});
+  db.add_transaction(std::vector<item_t>{3, 4, 5});
+  db.add_transaction(std::vector<item_t>{1, 2, 4, 5});
+  return db;
+}
+
+MinerOptions example_options() {
+  MinerOptions opts;
+  opts.min_support = 0.5;  // absolute count 2 of 4
+  return opts;
+}
+
+void check_example(const MiningResult& result) {
+  ASSERT_EQ(result.levels.size(), 3u);
+
+  const FrequentSet& f1 = result.levels[0];
+  ASSERT_EQ(f1.size(), 4u);
+  EXPECT_EQ(f1.itemset(0)[0], 1u);
+  EXPECT_EQ(f1.itemset(3)[0], 5u);
+
+  const FrequentSet& f2 = result.levels[1];
+  ASSERT_EQ(f2.size(), 4u);
+  EXPECT_EQ(compare_itemsets(f2.itemset(0), std::vector<item_t>{1, 2}), 0);
+  EXPECT_EQ(compare_itemsets(f2.itemset(1), std::vector<item_t>{1, 4}), 0);
+  EXPECT_EQ(compare_itemsets(f2.itemset(2), std::vector<item_t>{1, 5}), 0);
+  EXPECT_EQ(compare_itemsets(f2.itemset(3), std::vector<item_t>{4, 5}), 0);
+  EXPECT_EQ(f2.count(0), 2u);
+  EXPECT_EQ(f2.count(3), 3u);
+
+  const FrequentSet& f3 = result.levels[2];
+  ASSERT_EQ(f3.size(), 1u);
+  EXPECT_EQ(compare_itemsets(f3.itemset(0), std::vector<item_t>{1, 4, 5}), 0);
+  EXPECT_EQ(f3.count(0), 2u);
+}
+
+TEST(AprioriExample, SequentialMatchesPaper) {
+  check_example(mine_sequential(example_db(), example_options()));
+}
+
+TEST(AprioriExample, CandidateCountsMatchPaper) {
+  const MiningResult result =
+      mine_sequential(example_db(), example_options());
+  ASSERT_GE(result.iterations.size(), 2u);
+  EXPECT_EQ(result.iterations[0].k, 2u);
+  EXPECT_EQ(result.iterations[0].candidates, 6u);  // |C2| = 6
+  EXPECT_EQ(result.iterations[1].k, 3u);
+  EXPECT_EQ(result.iterations[1].candidates, 1u);  // |C3| = 1
+  EXPECT_EQ(result.iterations[1].pruned, 2u);      // (1,2,4), (1,2,5)
+}
+
+TEST(AprioriExample, ParallelCcpdMatchesPaper) {
+  MinerOptions opts = example_options();
+  opts.threads = 4;
+  opts.parallel_candgen_threshold = 1;  // force the parallel path
+  check_example(mine_ccpd(example_db(), opts));
+}
+
+TEST(AprioriExample, PccdMatchesPaper) {
+  MinerOptions opts = example_options();
+  opts.threads = 2;
+  opts.algorithm = Algorithm::PCCD;
+  check_example(mine(example_db(), opts));
+}
+
+TEST(AprioriExample, HigherSupportStopsEarlier) {
+  MinerOptions opts = example_options();
+  opts.min_support = 0.75;  // absolute count 3
+  const MiningResult result = mine_sequential(example_db(), opts);
+  // F1 = {1,4,5}, F2 = {(4,5)} only, no F3.
+  ASSERT_EQ(result.levels.size(), 2u);
+  EXPECT_EQ(result.levels[0].size(), 3u);
+  EXPECT_EQ(result.levels[1].size(), 1u);
+  EXPECT_EQ(compare_itemsets(result.levels[1].itemset(0),
+                             std::vector<item_t>{4, 5}),
+            0);
+}
+
+TEST(AprioriExample, SupportAboveEverythingYieldsNothing) {
+  MinerOptions opts = example_options();
+  opts.min_support = 1.0;
+  const MiningResult result = mine_sequential(example_db(), opts);
+  EXPECT_EQ(result.total_frequent(), 0u);
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,133 @@
+#include "core/candidate_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+std::set<std::vector<item_t>> collect(const FrequentSet& f,
+                                      std::size_t k) {
+  const auto classes = build_equivalence_classes(f);
+  const auto units = generation_units(classes, k);
+  std::set<std::vector<item_t>> out;
+  generate_candidates_emit(f, classes, units,
+                           [&](std::span<const item_t> cand) {
+                             out.insert({cand.begin(), cand.end()});
+                           });
+  return out;
+}
+
+TEST(CandidateGen, C2IsAllPairs) {
+  const FrequentSet f1(1, {1, 2, 4, 5}, {3, 2, 3, 3});
+  const auto c2 = collect(f1, 2);
+  const std::set<std::vector<item_t>> expect{{1, 2}, {1, 4}, {1, 5},
+                                             {2, 4}, {2, 5}, {4, 5}};
+  EXPECT_EQ(c2, expect);
+}
+
+TEST(CandidateGen, PaperC3PruningExample) {
+  // F2 = {(1,2),(1,4),(1,5),(4,5)}: the join yields (1,2,4),(1,2,5),(1,4,5)
+  // but (2,4) and (2,5) are infrequent, so only (1,4,5) survives.
+  const FrequentSet f2(2, {1, 2, 1, 4, 1, 5, 4, 5}, {2, 2, 2, 3});
+  const auto classes = build_equivalence_classes(f2);
+  const auto units = generation_units(classes, 3);
+  std::set<std::vector<item_t>> survivors;
+  const CandGenCounters counters = generate_candidates_emit(
+      f2, classes, units, [&](std::span<const item_t> cand) {
+        survivors.insert({cand.begin(), cand.end()});
+      });
+  EXPECT_EQ(counters.generated, 1u);
+  EXPECT_EQ(counters.pruned, 2u);
+  EXPECT_EQ(survivors, (std::set<std::vector<item_t>>{{1, 4, 5}}));
+}
+
+TEST(CandidateGen, NoJoinAcrossClasses) {
+  // F2 = {(1,2),(3,4)}: different prefixes, no candidate.
+  const FrequentSet f2(2, {1, 2, 3, 4}, {5, 5});
+  EXPECT_TRUE(collect(f2, 3).empty());
+}
+
+TEST(CandidateGen, FullyFrequentTriangleJoins) {
+  // All pairs over {1,2,3} frequent -> C3 = {(1,2,3)}.
+  const FrequentSet f2(2, {1, 2, 1, 3, 2, 3}, {5, 5, 5});
+  EXPECT_EQ(collect(f2, 3),
+            (std::set<std::vector<item_t>>{{1, 2, 3}}));
+}
+
+TEST(CandidateGen, CandidatesAreSortedItemsets) {
+  const FrequentSet f1(1, {3, 7, 11, 20}, {9, 9, 9, 9});
+  for (const auto& cand : collect(f1, 2)) {
+    EXPECT_LT(cand[0], cand[1]);
+  }
+}
+
+TEST(CandidateGen, SplitUnitsEqualWholeUnits) {
+  // Generating from partitioned unit batches yields the same set as one
+  // batch — the invariant parallel candgen relies on.
+  std::vector<item_t> flat;
+  std::vector<count_t> counts;
+  for (item_t i = 0; i < 12; ++i) {
+    flat.push_back(i);
+    counts.push_back(100 - i);
+  }
+  const FrequentSet f1(1, std::move(flat), std::move(counts));
+  const auto classes = build_equivalence_classes(f1);
+  const auto units = generation_units(classes, 2);
+
+  std::set<std::vector<item_t>> whole;
+  generate_candidates_emit(f1, classes, units,
+                           [&](std::span<const item_t> cand) {
+                             whole.insert({cand.begin(), cand.end()});
+                           });
+
+  std::set<std::vector<item_t>> split;
+  for (const auto& batch :
+       balance_generation(units, 3, PartitionScheme::Bitonic)) {
+    generate_candidates_emit(f1, classes, batch,
+                             [&](std::span<const item_t> cand) {
+                               auto [_, inserted] = split.insert(
+                                   {cand.begin(), cand.end()});
+                               EXPECT_TRUE(inserted) << "duplicate candidate";
+                             });
+  }
+  EXPECT_EQ(split, whole);
+  EXPECT_EQ(whole.size(), 66u);
+}
+
+TEST(AbsoluteSupport, CeilingSemantics) {
+  EXPECT_EQ(absolute_support(0.005, 1000), 5u);
+  EXPECT_EQ(absolute_support(0.0051, 1000), 6u);  // ceil
+  EXPECT_EQ(absolute_support(0.5, 4), 2u);
+  EXPECT_EQ(absolute_support(0.0001, 10), 1u);  // floor of 1
+}
+
+TEST(ComputeF1, CountsAndThresholds) {
+  Database db;
+  db.add_transaction(std::vector<item_t>{1, 4, 5});
+  db.add_transaction(std::vector<item_t>{1, 2});
+  db.add_transaction(std::vector<item_t>{3, 4, 5});
+  db.add_transaction(std::vector<item_t>{1, 2, 4, 5});
+  ThreadPool pool(2);
+  const FrequentSet f1 = compute_f1(db, 2, pool);
+  ASSERT_EQ(f1.size(), 4u);  // items 1,2,4,5 (3 appears once)
+  EXPECT_EQ(f1.itemset(0)[0], 1u);
+  EXPECT_EQ(f1.count(0), 3u);
+  EXPECT_EQ(f1.itemset(1)[0], 2u);
+  EXPECT_EQ(f1.count(1), 2u);
+  const std::vector<item_t> three{3};
+  EXPECT_FALSE(f1.contains(three));
+}
+
+TEST(ComputeF1, EmptyDatabase) {
+  Database db;
+  ThreadPool pool(2);
+  EXPECT_TRUE(compute_f1(db, 1, pool).empty());
+}
+
+}  // namespace
+}  // namespace smpmine

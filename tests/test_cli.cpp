@@ -1,0 +1,77 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smpmine {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli;
+  cli.add_flag("threads", "worker count", "1");
+  cli.add_flag("support", "min support", "0.005");
+  cli.add_flag("full", "run full sizes");
+  cli.add_flag("name", "dataset name");
+  return cli;
+}
+
+bool parse(CliParser& cli, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return cli.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--threads=8", "--support=0.001"}));
+  EXPECT_EQ(cli.get_int("threads", 1), 8);
+  EXPECT_DOUBLE_EQ(cli.get_double("support", 0.0), 0.001);
+}
+
+TEST(Cli, SpaceForm) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--threads", "4", "--name", "T10.I4.D100K"}));
+  EXPECT_EQ(cli.get_int("threads", 1), 4);
+  EXPECT_EQ(cli.get("name", ""), "T10.I4.D100K");
+}
+
+TEST(Cli, BooleanFlag) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--full"}));
+  EXPECT_TRUE(cli.get_bool("full", false));
+  EXPECT_FALSE(cli.get_bool("missing-but-unregistered", false));
+}
+
+TEST(Cli, BooleanFlagFollowedByFlag) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--full", "--threads=2"}));
+  EXPECT_TRUE(cli.get_bool("full", false));
+  EXPECT_EQ(cli.get_int("threads", 1), 2);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {}));
+  EXPECT_EQ(cli.get_int("threads", 3), 3);
+  EXPECT_FALSE(cli.has("threads"));
+}
+
+TEST(Cli, UnknownFlagFails) {
+  CliParser cli = make_parser();
+  EXPECT_FALSE(parse(cli, {"--bogus=1"}));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli = make_parser();
+  EXPECT_FALSE(parse(cli, {"--help"}));
+  EXPECT_NE(cli.help("prog").find("--threads"), std::string::npos);
+}
+
+TEST(Cli, Positional) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"input.dat", "--threads=2", "more"}));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.dat");
+  EXPECT_EQ(cli.positional()[1], "more");
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,98 @@
+// End-to-end tests of the smpmine CLI binary (subprocess smoke tests).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace smpmine {
+namespace {
+
+#ifndef SMPMINE_CLI_PATH
+#error "SMPMINE_CLI_PATH must be defined by the build"
+#endif
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Runs the CLI, capturing stdout into a file; returns (exit_code, output).
+std::pair<int, std::string> run_cli(const std::string& args) {
+  const std::string out_path = temp_path("smpmine_cli_out.txt");
+  const std::string cmd = std::string(SMPMINE_CLI_PATH) + " " + args + " > " +
+                          out_path + " 2>/dev/null";
+  const int status = std::system(cmd.c_str());
+  std::ifstream is(out_path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  std::remove(out_path.c_str());
+  return {status, ss.str()};
+}
+
+TEST(CliTool, RequiresInputOrGenerate) {
+  const auto [status, _] = run_cli("--support 0.1");
+  EXPECT_NE(status, 0);
+}
+
+TEST(CliTool, MinesAFile) {
+  const std::string db_path = temp_path("smpmine_cli_db.txt");
+  {
+    std::ofstream os(db_path);
+    os << "1 4 5\n1 2\n3 4 5\n1 2 4 5\n";
+  }
+  const auto [status, out] =
+      run_cli("--input " + db_path + " --support 0.5 --confidence 0.9 "
+              "--itemsets --max-rules 0");
+  EXPECT_EQ(status, 0);
+  // The paper example's F3.
+  EXPECT_NE(out.find("(1, 4, 5)"), std::string::npos);
+  EXPECT_NE(out.find("total frequent itemsets: 9"), std::string::npos);
+  std::remove(db_path.c_str());
+}
+
+TEST(CliTool, GeneratesAndSaves) {
+  const std::string fi = temp_path("smpmine_cli_fi.txt");
+  const std::string csv = temp_path("smpmine_cli_rules.csv");
+  const auto [status, out] = run_cli(
+      "--generate T5.I2.D100K --support 0.01 --threads 2 --max-rules 1 "
+      "--save-itemsets " + fi + " --save-rules " + csv);
+  EXPECT_EQ(status, 0);
+  EXPECT_TRUE(std::filesystem::exists(fi));
+  EXPECT_TRUE(std::filesystem::exists(csv));
+  EXPECT_GT(std::filesystem::file_size(fi), 0u);
+  std::remove(fi.c_str());
+  std::remove(csv.c_str());
+}
+
+TEST(CliTool, RejectsBadFlags) {
+  EXPECT_NE(run_cli("--generate T5.I2.D1K --placement bogus").first, 0);
+  EXPECT_NE(run_cli("--generate T5.I2.D1K --algorithm bogus").first, 0);
+  EXPECT_NE(run_cli("--generate NOT_A_NAME").first, 0);
+  EXPECT_NE(run_cli("--input /nonexistent/nope.txt").first, 0);
+  EXPECT_NE(run_cli("--generate T5.I2.D1K --support 0").first, 0);
+}
+
+TEST(CliTool, EveryPlacementRuns) {
+  for (const char* placement :
+       {"CCPD", "SPP", "LPP", "GPP", "L-SPP", "L-LPP", "L-GPP", "LCA-GPP"}) {
+    const auto [status, out] = run_cli(
+        std::string("--generate T5.I2.D1K --support 0.05 --no-rules "
+                    "--placement ") + placement);
+    EXPECT_EQ(status, 0) << placement;
+    EXPECT_NE(out.find("total frequent itemsets"), std::string::npos)
+        << placement;
+  }
+}
+
+TEST(CliTool, PccdRuns) {
+  const auto [status, out] = run_cli(
+      "--generate T5.I2.D1K --support 0.05 --algorithm pccd --threads 2 "
+      "--no-rules");
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(out.find("PCCD"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smpmine

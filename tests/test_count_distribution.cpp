@@ -1,0 +1,116 @@
+#include "distmem/count_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/brute_force.hpp"
+#include "core/miner.hpp"
+#include "data/quest_gen.hpp"
+#include "distmem/channel.hpp"
+
+namespace smpmine {
+namespace {
+
+TEST(Mailbox, FifoDelivery) {
+  Mailbox box;
+  box.send(Message{1, 10, {}});
+  box.send(Message{2, 20, {}});
+  EXPECT_EQ(box.receive().tag, 10u);
+  EXPECT_EQ(box.receive().tag, 20u);
+}
+
+TEST(Mailbox, BlockingReceiveWakesOnSend) {
+  Mailbox box;
+  std::atomic<bool> got{false};
+  std::thread receiver([&] {
+    box.receive();
+    got.store(true);
+  });
+  EXPECT_FALSE(got.load());
+  box.send(Message{0, 1, {}});
+  receiver.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(Cluster, MetersTraffic) {
+  Cluster cluster(2);
+  cluster.send(0, 1, 0, std::vector<std::byte>(100));
+  cluster.send(1, 0, 0, std::vector<std::byte>(50));
+  EXPECT_EQ(cluster.stats().messages, 2u);
+  EXPECT_EQ(cluster.stats().bytes, 150u);
+  EXPECT_EQ(cluster.receive(1).payload.size(), 100u);
+  EXPECT_EQ(cluster.receive(0).payload.size(), 50u);
+}
+
+Database quest_db() {
+  QuestParams p;
+  p.num_transactions = 400;
+  p.avg_transaction_len = 8.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 30;
+  p.num_items = 50;
+  p.seed = 808;
+  return generate_quest(p);
+}
+
+class CountDistTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CountDistTest, MatchesBruteForce) {
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.03;
+  const CountDistributionResult r =
+      mine_count_distribution(db, opts, GetParam());
+  const auto reference = brute_force_frequent(db, opts.min_support);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(r.mining.levels, reference, &diag)) << diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, CountDistTest, ::testing::Values(1, 2, 3, 8),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(CountDist, CommunicationScalesWithNodesAndCandidates) {
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.03;
+  const CountDistributionResult one = mine_count_distribution(db, opts, 1);
+  const CountDistributionResult four = mine_count_distribution(db, opts, 4);
+  // A single node exchanges nothing; four nodes exchange
+  // 2*(nodes-1) messages per all-reduce round.
+  EXPECT_EQ(one.comm.bytes, 0u);
+  EXPECT_GT(four.comm.bytes, 0u);
+  // Volume is bounded below by (nodes-1) x counters x 4 bytes (the gather
+  // half alone).
+  EXPECT_GE(four.comm.bytes,
+            3ull * four.counters_exchanged * sizeof(count_t));
+  EXPECT_EQ(one.counters_exchanged, four.counters_exchanged);
+}
+
+TEST(CountDist, TreeMemoryDuplicatedPerNode) {
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.03;
+  const CountDistributionResult one = mine_count_distribution(db, opts, 1);
+  const CountDistributionResult four = mine_count_distribution(db, opts, 4);
+  EXPECT_GT(one.total_tree_bytes, 0u);
+  EXPECT_EQ(four.total_tree_bytes, one.total_tree_bytes * 4);
+}
+
+TEST(CountDist, CcpdExchangesNothing) {
+  // The shared-memory contrast: identical results, zero messages, one tree.
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.03;
+  opts.threads = 4;
+  const MiningResult ccpd = mine_ccpd(db, opts);
+  const CountDistributionResult cd = mine_count_distribution(db, opts, 4);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(ccpd.levels, cd.mining.levels, &diag)) << diag;
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,91 @@
+#include "data/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smpmine {
+namespace {
+
+Database make_db(std::initializer_list<std::vector<item_t>> txns) {
+  Database db;
+  for (const auto& t : txns) db.add_transaction(t);
+  return db;
+}
+
+TEST(Database, EmptyDatabase) {
+  Database db;
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_EQ(db.total_items(), 0u);
+  EXPECT_EQ(db.item_universe(), 0u);
+  EXPECT_DOUBLE_EQ(db.avg_transaction_size(), 0.0);
+}
+
+TEST(Database, TransactionsAreSorted) {
+  Database db = make_db({{5, 1, 3}});
+  const auto txn = db.transaction(0);
+  EXPECT_EQ(std::vector<item_t>(txn.begin(), txn.end()),
+            (std::vector<item_t>{1, 3, 5}));
+}
+
+TEST(Database, DuplicatesRemoved) {
+  Database db = make_db({{2, 2, 7, 7, 7, 1}});
+  const auto txn = db.transaction(0);
+  EXPECT_EQ(std::vector<item_t>(txn.begin(), txn.end()),
+            (std::vector<item_t>{1, 2, 7}));
+  EXPECT_EQ(db.total_items(), 3u);
+}
+
+TEST(Database, MultipleTransactions) {
+  Database db = make_db({{1, 4, 5}, {1, 2}, {3, 4, 5}, {1, 2, 4, 5}});
+  EXPECT_EQ(db.size(), 4u);
+  EXPECT_EQ(db.transaction_size(1), 2u);
+  EXPECT_EQ(db.transaction(3)[3], 5u);
+  EXPECT_EQ(db.total_items(), 12u);
+  EXPECT_DOUBLE_EQ(db.avg_transaction_size(), 3.0);
+}
+
+TEST(Database, ItemUniverseIsMaxPlusOne) {
+  Database db = make_db({{0, 9}, {4}});
+  EXPECT_EQ(db.item_universe(), 10u);
+}
+
+TEST(Database, EmptyTransactionStored) {
+  Database db = make_db({{}, {1}});
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.transaction_size(0), 0u);
+  EXPECT_TRUE(db.transaction(0).empty());
+}
+
+TEST(Database, ClearResets) {
+  Database db = make_db({{1, 2, 3}});
+  db.clear();
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.item_universe(), 0u);
+  db.add_transaction(std::vector<item_t>{7});
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.item_universe(), 8u);
+}
+
+TEST(Database, StorageBytesGrow) {
+  Database empty;
+  Database db = make_db({{1, 2, 3, 4, 5}});
+  EXPECT_GT(db.storage_bytes(), empty.storage_bytes());
+}
+
+TEST(Database, ReserveDoesNotChangeContents) {
+  Database db;
+  db.reserve(100, 1000);
+  EXPECT_TRUE(db.empty());
+  db.add_transaction(std::vector<item_t>{3, 1});
+  EXPECT_EQ(db.transaction(0)[0], 1u);
+}
+
+TEST(Database, ItemZeroOnlyUniverse) {
+  Database db = make_db({{0}});
+  EXPECT_EQ(db.item_universe(), 1u);
+}
+
+}  // namespace
+}  // namespace smpmine

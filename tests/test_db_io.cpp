@@ -1,0 +1,110 @@
+#include "data/db_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace smpmine {
+namespace {
+
+Database sample_db() {
+  Database db;
+  db.add_transaction(std::vector<item_t>{1, 4, 5});
+  db.add_transaction(std::vector<item_t>{1, 2});
+  db.add_transaction(std::vector<item_t>{});
+  db.add_transaction(std::vector<item_t>{3, 4, 5});
+  return db;
+}
+
+bool same_contents(const Database& a, const Database& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    const auto ta = a.transaction(t);
+    const auto tb = b.transaction(t);
+    if (!std::equal(ta.begin(), ta.end(), tb.begin(), tb.end())) return false;
+  }
+  return true;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(DbIo, AsciiStreamRoundTrip) {
+  const Database db = sample_db();
+  std::ostringstream os;
+  save_ascii(db, os);
+  std::istringstream is(os.str());
+  const Database loaded = load_ascii(is);
+  EXPECT_TRUE(same_contents(db, loaded));
+}
+
+TEST(DbIo, AsciiFormatIsOneLinePerTransaction) {
+  std::ostringstream os;
+  save_ascii(sample_db(), os);
+  EXPECT_EQ(os.str(), "1 4 5\n1 2\n\n3 4 5\n");
+}
+
+TEST(DbIo, AsciiFileRoundTrip) {
+  const std::string path = temp_path("smpmine_ascii_test.txt");
+  const Database db = sample_db();
+  save_ascii(db, path);
+  const Database loaded = load_ascii(path);
+  EXPECT_TRUE(same_contents(db, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, AsciiMalformedTokenThrows) {
+  std::istringstream is("1 2 3\n4 x 5\n");
+  EXPECT_THROW(load_ascii(is), std::runtime_error);
+}
+
+TEST(DbIo, AsciiNegativeItemThrows) {
+  std::istringstream is("1 -2 3\n");
+  EXPECT_THROW(load_ascii(is), std::runtime_error);
+}
+
+TEST(DbIo, AsciiMissingFileThrows) {
+  EXPECT_THROW(load_ascii(std::string("/nonexistent/nope.txt")),
+               std::runtime_error);
+}
+
+TEST(DbIo, BinaryRoundTrip) {
+  const std::string path = temp_path("smpmine_bin_test.bin");
+  const Database db = sample_db();
+  save_binary(db, path);
+  const Database loaded = load_binary(path);
+  EXPECT_TRUE(same_contents(db, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, BinaryBadMagicThrows) {
+  const std::string path = temp_path("smpmine_badmagic.bin");
+  std::ofstream(path, std::ios::binary) << "not a smpmine file at all......";
+  EXPECT_THROW(load_binary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, BinaryTruncatedThrows) {
+  const std::string path = temp_path("smpmine_trunc.bin");
+  save_binary(sample_db(), path);
+  // Chop the file to half its size.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(load_binary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, EmptyDatabaseRoundTrips) {
+  const std::string path = temp_path("smpmine_empty.bin");
+  Database db;
+  save_binary(db, path);
+  EXPECT_EQ(load_binary(path).size(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace smpmine

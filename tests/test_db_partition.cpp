@@ -1,0 +1,126 @@
+#include "data/db_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace smpmine {
+namespace {
+
+Database uniform_db(std::size_t n, std::size_t len) {
+  Database db;
+  std::vector<item_t> txn(len);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t i = 0; i < len; ++i) {
+      txn[i] = static_cast<item_t>(i);
+    }
+    db.add_transaction(txn);
+  }
+  return db;
+}
+
+/// First half tiny transactions, second half huge ones — the skew the
+/// balanced heuristic exists for.
+Database skewed_db() {
+  Database db;
+  for (int t = 0; t < 50; ++t) {
+    db.add_transaction(std::vector<item_t>{1, 2});
+  }
+  for (int t = 0; t < 50; ++t) {
+    std::vector<item_t> big(20);
+    for (item_t i = 0; i < 20; ++i) big[i] = i;
+    db.add_transaction(big);
+  }
+  return db;
+}
+
+TEST(DbPartition, BlockTilesExactly) {
+  const Database db = uniform_db(103, 5);
+  const DbRanges r = partition_database(db, 4, DbPartition::Block);
+  EXPECT_EQ(r.threads(), 4u);
+  EXPECT_EQ(r.begin(0), 0u);
+  EXPECT_EQ(r.end(3), 103u);
+  for (std::uint32_t t = 0; t + 1 < 4; ++t) {
+    EXPECT_EQ(r.end(t), r.begin(t + 1));
+  }
+}
+
+TEST(DbPartition, BlockEqualCounts) {
+  const Database db = uniform_db(100, 5);
+  const DbRanges r = partition_database(db, 4, DbPartition::Block);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(r.end(t) - r.begin(t), 25u);
+  }
+}
+
+TEST(DbPartition, SingleThreadGetsAll) {
+  const Database db = uniform_db(10, 3);
+  for (const auto how : {DbPartition::Block, DbPartition::Balanced}) {
+    const DbRanges r = partition_database(db, 1, how);
+    EXPECT_EQ(r.begin(0), 0u);
+    EXPECT_EQ(r.end(0), 10u);
+  }
+}
+
+TEST(DbPartition, MoreThreadsThanTransactions) {
+  const Database db = uniform_db(3, 2);
+  const DbRanges r = partition_database(db, 8, DbPartition::Block);
+  std::uint64_t covered = 0;
+  for (std::uint32_t t = 0; t < 8; ++t) covered += r.end(t) - r.begin(t);
+  EXPECT_EQ(covered, 3u);
+}
+
+TEST(DbPartition, BalancedTilesExactly) {
+  const Database db = skewed_db();
+  const DbRanges r = partition_database(db, 4, DbPartition::Balanced);
+  EXPECT_EQ(r.begin(0), 0u);
+  EXPECT_EQ(r.end(3), db.size());
+  for (std::uint32_t t = 0; t + 1 < 4; ++t) {
+    EXPECT_EQ(r.end(t), r.begin(t + 1));
+    EXPECT_LE(r.begin(t), r.end(t));
+  }
+}
+
+TEST(DbPartition, BalancedBeatsBlockOnSkew) {
+  const Database db = skewed_db();
+  const double block_imb =
+      ranges_imbalance(db, partition_database(db, 2, DbPartition::Block));
+  const double bal_imb =
+      ranges_imbalance(db, partition_database(db, 2, DbPartition::Balanced));
+  // Block split puts all the heavy transactions in thread 1.
+  EXPECT_GT(block_imb, 1.5);
+  EXPECT_LT(bal_imb, block_imb);
+}
+
+TEST(DbPartition, UniformDbBothSchemesBalanced) {
+  const Database db = uniform_db(100, 8);
+  for (const auto how : {DbPartition::Block, DbPartition::Balanced}) {
+    const double imb =
+        ranges_imbalance(db, partition_database(db, 4, how));
+    EXPECT_NEAR(imb, 1.0, 0.01) << to_string(how);
+  }
+}
+
+TEST(TransactionWorkload, GrowsPolynomially) {
+  // O(min(l^k, l^(l-k))) per the paper: longer transactions cost far more.
+  const double w5 = transaction_workload(5, 6);
+  const double w10 = transaction_workload(10, 6);
+  const double w20 = transaction_workload(20, 6);
+  EXPECT_GT(w10, 2.0 * w5);
+  EXPECT_GT(w20, 4.0 * w10);
+  EXPECT_DOUBLE_EQ(transaction_workload(0, 6), 0.0);
+}
+
+TEST(TransactionWorkload, ShortTransactionCountsOnlyFeasibleK) {
+  // len=2, horizon=6: only C(2,1)+C(2,2) contribute.
+  EXPECT_DOUBLE_EQ(transaction_workload(2, 6), (2.0 + 1.0) / 6.0);
+}
+
+TEST(TransactionWorkload, CapDoesNotOverflow) {
+  const double w = transaction_workload(10000, 6);
+  EXPECT_TRUE(std::isfinite(w));
+  EXPECT_GT(w, 0.0);
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,128 @@
+#include "itemset/eqclass.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smpmine {
+namespace {
+
+TEST(EqClass, F1IsOneClass) {
+  // k=2: the common prefix has length 0, so all of F1 is one class.
+  const FrequentSet f1(1, {1, 2, 4, 5}, {3, 2, 3, 3});
+  const auto classes = build_equivalence_classes(f1);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0].begin, 0u);
+  EXPECT_EQ(classes[0].end, 4u);
+}
+
+TEST(EqClass, SplitsByPrefix) {
+  // F2 = {(1,2),(1,4),(1,5),(4,5)} -> classes {1,*} and {4,*}.
+  const FrequentSet f2(2, {1, 2, 1, 4, 1, 5, 4, 5}, {2, 2, 2, 3});
+  const auto classes = build_equivalence_classes(f2);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].size(), 3u);
+  EXPECT_EQ(classes[1].size(), 1u);
+}
+
+TEST(EqClass, ThreeItemPrefixes) {
+  // F3 with prefixes (1,2), (1,3), (2,3).
+  const FrequentSet f3(3, {1, 2, 3, 1, 2, 4, 1, 3, 4, 2, 3, 4},
+                       {5, 5, 5, 5});
+  const auto classes = build_equivalence_classes(f3);
+  ASSERT_EQ(classes.size(), 3u);
+  EXPECT_EQ(classes[0].size(), 2u);
+  EXPECT_EQ(classes[1].size(), 1u);
+  EXPECT_EQ(classes[2].size(), 1u);
+}
+
+TEST(EqClass, EmptySet) {
+  EXPECT_TRUE(build_equivalence_classes(FrequentSet(2)).empty());
+}
+
+TEST(GenUnits, WeightsAreJoinCounts) {
+  const FrequentSet f1(1, {1, 2, 4, 5}, {3, 2, 3, 3});
+  const auto classes = build_equivalence_classes(f1);
+  const auto units = generation_units(classes, 2);
+  // Class of 4 members: members 0,1,2 generate 3,2,1 pairs; member 3 none.
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_DOUBLE_EQ(units[0].weight, 3.0);
+  EXPECT_DOUBLE_EQ(units[1].weight, 2.0);
+  EXPECT_DOUBLE_EQ(units[2].weight, 1.0);
+}
+
+TEST(GenUnits, TailClassesDroppedForLargeK) {
+  // k=4 -> the last k-2 = 2 classes cannot generate surviving candidates.
+  const FrequentSet f3(3, {1, 2, 3, 1, 2, 4, 1, 3, 4, 2, 3, 4},
+                       {5, 5, 5, 5});
+  const auto classes = build_equivalence_classes(f3);
+  ASSERT_EQ(classes.size(), 3u);
+  const auto units = generation_units(classes, 4);
+  // Only class 0 (prefix (1,2), 2 members) survives; 1 unit of weight 1.
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_EQ(units[0].cls, 0u);
+  EXPECT_DOUBLE_EQ(units[0].weight, 1.0);
+}
+
+TEST(GenUnits, NoTailDropAtK2) {
+  const FrequentSet f1(1, {1, 2, 3}, {9, 9, 9});
+  const auto classes = build_equivalence_classes(f1);
+  EXPECT_EQ(generation_units(classes, 2).size(), 2u);
+}
+
+TEST(GenUnits, SingletonClassesProduceNothing) {
+  const FrequentSet f2(2, {1, 2, 3, 4}, {5, 5});
+  const auto classes = build_equivalence_classes(f2);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_TRUE(generation_units(classes, 3).empty());
+}
+
+TEST(BalanceGeneration, PartitionsAllUnits) {
+  const FrequentSet f1(1, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+                       {9, 9, 9, 9, 9, 9, 9, 9, 9, 9});
+  const auto classes = build_equivalence_classes(f1);
+  const auto units = generation_units(classes, 2);
+  for (const auto scheme :
+       {PartitionScheme::Block, PartitionScheme::Interleaved,
+        PartitionScheme::Bitonic}) {
+    const auto batches = balance_generation(units, 3, scheme);
+    std::size_t total = 0;
+    double weight = 0.0;
+    for (const auto& b : batches) {
+      total += b.size();
+      for (const GenUnit& u : b) weight += u.weight;
+    }
+    EXPECT_EQ(total, units.size()) << to_string(scheme);
+    EXPECT_DOUBLE_EQ(weight, 45.0) << to_string(scheme);
+  }
+}
+
+TEST(BalanceGeneration, BitonicBalancesBest) {
+  const FrequentSet f1(1, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+                       {9, 9, 9, 9, 9, 9, 9, 9, 9, 9});
+  const auto classes = build_equivalence_classes(f1);
+  const auto units = generation_units(classes, 2);
+  auto max_weight = [](const std::vector<std::vector<GenUnit>>& batches) {
+    double worst = 0.0;
+    for (const auto& b : batches) {
+      double w = 0.0;
+      for (const GenUnit& u : b) w += u.weight;
+      worst = std::max(worst, w);
+    }
+    return worst;
+  };
+  const double block =
+      max_weight(balance_generation(units, 3, PartitionScheme::Block));
+  const double bitonic =
+      max_weight(balance_generation(units, 3, PartitionScheme::Bitonic));
+  EXPECT_LT(bitonic, block);
+  EXPECT_NEAR(bitonic, 15.0, 1.0);  // 45 weight over 3 bins
+}
+
+TEST(TotalJoinPairs, SumsBinomials) {
+  const FrequentSet f2(2, {1, 2, 1, 4, 1, 5, 4, 5}, {2, 2, 2, 3});
+  const auto classes = build_equivalence_classes(f2);
+  // C(3,2) + C(1,2) = 3 + 0.
+  EXPECT_DOUBLE_EQ(total_join_pairs(classes), 3.0);
+}
+
+}  // namespace
+}  // namespace smpmine

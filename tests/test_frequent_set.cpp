@@ -1,0 +1,93 @@
+#include "itemset/frequent_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smpmine {
+namespace {
+
+FrequentSet make_f2() {
+  // F2 from the paper's worked example: {(1,2),(1,4),(1,5),(4,5)}.
+  return FrequentSet(2, {1, 2, 1, 4, 1, 5, 4, 5}, {2, 2, 2, 3});
+}
+
+TEST(FrequentSet, BasicAccessors) {
+  const FrequentSet f = make_f2();
+  EXPECT_EQ(f.k(), 2u);
+  EXPECT_EQ(f.size(), 4u);
+  EXPECT_FALSE(f.empty());
+  EXPECT_EQ(f.itemset(1)[1], 4u);
+  EXPECT_EQ(f.count(3), 3u);
+}
+
+TEST(FrequentSet, Contains) {
+  const FrequentSet f = make_f2();
+  const std::vector<item_t> yes{1, 4};
+  const std::vector<item_t> no{2, 4};
+  EXPECT_TRUE(f.contains(yes));
+  EXPECT_FALSE(f.contains(no));
+}
+
+TEST(FrequentSet, ContainsRejectsWrongLength) {
+  const FrequentSet f = make_f2();
+  const std::vector<item_t> one{1};
+  const std::vector<item_t> three{1, 4, 5};
+  EXPECT_FALSE(f.contains(one));
+  EXPECT_FALSE(f.contains(three));
+}
+
+TEST(FrequentSet, FindCount) {
+  const FrequentSet f = make_f2();
+  const std::vector<item_t> key{4, 5};
+  const count_t* count = f.find_count(key);
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(*count, 3u);
+  const std::vector<item_t> missing{2, 5};
+  EXPECT_EQ(f.find_count(missing), nullptr);
+}
+
+TEST(FrequentSet, EmptySet) {
+  const FrequentSet f(3);
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.k(), 3u);
+  const std::vector<item_t> key{1, 2, 3};
+  EXPECT_FALSE(f.contains(key));
+  EXPECT_EQ(f.find_count(key), nullptr);
+}
+
+TEST(FrequentSet, ShapeMismatchThrows) {
+  EXPECT_THROW(FrequentSet(2, {1, 2, 3}, {1}), std::invalid_argument);
+  EXPECT_THROW(FrequentSet(0, {}, {}), std::invalid_argument);
+}
+
+TEST(FrequentSet, LargeIndexAllRecordsFindable) {
+  // Exercise the linear-probing index past a few resizing thresholds.
+  const std::size_t n = 5000;
+  std::vector<item_t> flat;
+  std::vector<count_t> counts;
+  for (std::size_t i = 0; i < n; ++i) {
+    flat.push_back(static_cast<item_t>(i / 70));
+    flat.push_back(static_cast<item_t>(100 + i % 70));
+    counts.push_back(static_cast<count_t>(i + 1));
+  }
+  const FrequentSet f(2, std::move(flat), std::move(counts));
+  for (std::size_t i = 0; i < n; i += 97) {
+    const std::vector<item_t> key{static_cast<item_t>(i / 70),
+                                  static_cast<item_t>(100 + i % 70)};
+    const count_t* c = f.find_count(key);
+    ASSERT_NE(c, nullptr) << i;
+    EXPECT_EQ(*c, i + 1);
+  }
+  const std::vector<item_t> absent{999, 999};
+  EXPECT_FALSE(f.contains(absent));
+}
+
+TEST(FrequentSet, F1Works) {
+  const FrequentSet f1(1, {1, 2, 4, 5}, {3, 2, 3, 3});
+  EXPECT_EQ(f1.size(), 4u);
+  const std::vector<item_t> four{4};
+  ASSERT_NE(f1.find_count(four), nullptr);
+  EXPECT_EQ(*f1.find_count(four), 3u);
+}
+
+}  // namespace
+}  // namespace smpmine

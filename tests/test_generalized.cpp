@@ -1,0 +1,232 @@
+#include "taxonomy/generalized.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "data/quest_gen.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+/// Items: 0 jacket, 1 ski pants, 3 shirts, 5 shoes, 7 hiking boots.
+/// Categories: 2 outerwear (0,1), 4 clothes (2,3), 6 footwear (5,7).
+Taxonomy clothes() {
+  Taxonomy tax(8);
+  tax.add_edge(0, 2);
+  tax.add_edge(1, 2);
+  tax.add_edge(2, 4);
+  tax.add_edge(3, 4);
+  tax.add_edge(5, 6);
+  tax.add_edge(7, 6);
+  tax.freeze();
+  return tax;
+}
+
+/// Srikant & Agrawal's running example database (leaf items only):
+///   T1 {shirts}, T2 {jacket, hiking boots}, T3 {ski pants, hiking boots},
+///   T4 {shoes}, T5 {shoes}, T6 {jacket}.
+Database sa_example() {
+  Database db;
+  db.add_transaction(std::vector<item_t>{3});
+  db.add_transaction(std::vector<item_t>{0, 7});
+  db.add_transaction(std::vector<item_t>{1, 7});
+  db.add_transaction(std::vector<item_t>{5});
+  db.add_transaction(std::vector<item_t>{5});
+  db.add_transaction(std::vector<item_t>{0});
+  return db;
+}
+
+TEST(Generalized, ExtendDatabaseAddsAncestors) {
+  const Database ext = extend_database(sa_example(), clothes());
+  ASSERT_EQ(ext.size(), 6u);
+  // T2 {jacket, hiking boots} -> {0, 2, 4, 6, 7}.
+  const auto t2 = ext.transaction(1);
+  EXPECT_EQ(std::vector<item_t>(t2.begin(), t2.end()),
+            (std::vector<item_t>{0, 2, 4, 6, 7}));
+  // T1 {shirts} -> {3, 4}.
+  const auto t1 = ext.transaction(0);
+  EXPECT_EQ(std::vector<item_t>(t1.begin(), t1.end()),
+            (std::vector<item_t>{3, 4}));
+}
+
+TEST(Generalized, CategorySupportsMatchHandCounts) {
+  // From the S&A example (minsup 30% => count 2):
+  //   sup(outerwear)=3 (T2,T3,T6), sup(clothes)=4, sup(footwear)=4,
+  //   sup({outerwear, hiking boots})=2.
+  MinerOptions opts;
+  opts.min_support = 0.3;
+  const MiningResult r =
+      mine_generalized(sa_example(), clothes(), opts,
+                       GeneralizedAlgorithm::Basic);
+  const std::vector<item_t> outerwear{2};
+  const std::vector<item_t> clothes_cat{4};
+  const std::vector<item_t> footwear{6};
+  ASSERT_GE(r.levels.size(), 2u);
+  ASSERT_NE(r.levels[0].find_count(outerwear), nullptr);
+  EXPECT_EQ(*r.levels[0].find_count(outerwear), 3u);
+  EXPECT_EQ(*r.levels[0].find_count(clothes_cat), 4u);
+  EXPECT_EQ(*r.levels[0].find_count(footwear), 4u);
+  const std::vector<item_t> ow_boots{2, 7};
+  ASSERT_NE(r.levels[1].find_count(ow_boots), nullptr);
+  EXPECT_EQ(*r.levels[1].find_count(ow_boots), 2u);
+}
+
+TEST(Generalized, CumulateDropsRedundantItemsets) {
+  MinerOptions opts;
+  opts.min_support = 0.3;
+  const MiningResult basic = mine_generalized(
+      sa_example(), clothes(), opts, GeneralizedAlgorithm::Basic);
+  const MiningResult cumulate = mine_generalized(
+      sa_example(), clothes(), opts, GeneralizedAlgorithm::Cumulate);
+
+  const Taxonomy tax = clothes();
+  // Basic keeps item+ancestor itemsets like {jacket, outerwear}; Cumulate
+  // must not emit any.
+  bool basic_has_redundant = false;
+  for (std::size_t level = 1; level < basic.levels.size(); ++level) {
+    for (std::size_t i = 0; i < basic.levels[level].size(); ++i) {
+      basic_has_redundant |=
+          tax.has_item_with_ancestor(basic.levels[level].itemset(i));
+    }
+  }
+  EXPECT_TRUE(basic_has_redundant);
+  for (std::size_t level = 1; level < cumulate.levels.size(); ++level) {
+    for (std::size_t i = 0; i < cumulate.levels[level].size(); ++i) {
+      EXPECT_FALSE(tax.has_item_with_ancestor(
+          cumulate.levels[level].itemset(i)))
+          << format_itemset(cumulate.levels[level].itemset(i));
+    }
+  }
+
+  // And Cumulate keeps every non-redundant itemset Basic found.
+  for (std::size_t level = 0; level < cumulate.levels.size(); ++level) {
+    for (std::size_t i = 0; i < basic.levels[level].size(); ++i) {
+      const auto itemset = basic.levels[level].itemset(i);
+      if (tax.has_item_with_ancestor(itemset)) continue;
+      EXPECT_TRUE(cumulate.levels[level].contains(itemset))
+          << format_itemset(itemset);
+    }
+  }
+}
+
+TEST(Generalized, MatchesBruteForceOnExtendedDb) {
+  QuestParams p;
+  p.num_transactions = 300;
+  p.avg_transaction_len = 6.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 20;
+  p.num_items = 40;  // leaf items 0..39; categories 40..55 added below
+  p.seed = 77;
+  const Database db = generate_quest(p);
+
+  Taxonomy tax(56);
+  for (item_t leaf = 0; leaf < 40; ++leaf) {
+    tax.add_edge(leaf, 40 + leaf % 12);         // level-1 categories
+  }
+  for (item_t mid = 40; mid < 52; ++mid) {
+    tax.add_edge(mid, 52 + mid % 4);            // level-2 categories
+  }
+  tax.freeze();
+
+  MinerOptions opts;
+  opts.min_support = 0.05;
+  opts.threads = 3;
+  const MiningResult got =
+      mine_generalized(db, tax, opts, GeneralizedAlgorithm::Basic);
+  const auto reference =
+      brute_force_frequent(extend_database(db, tax), opts.min_support);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(got.levels, reference, &diag)) << diag;
+}
+
+TEST(Generalized, CumulateCountsMatchBasicOnKeptItemsets) {
+  QuestParams p;
+  p.num_transactions = 200;
+  p.avg_transaction_len = 5.0;
+  p.avg_pattern_len = 2.5;
+  p.num_patterns = 15;
+  p.num_items = 30;
+  p.seed = 88;
+  const Database db = generate_quest(p);
+  Taxonomy tax(40);
+  for (item_t leaf = 0; leaf < 30; ++leaf) tax.add_edge(leaf, 30 + leaf % 10);
+  tax.freeze();
+
+  MinerOptions opts;
+  opts.min_support = 0.05;
+  const MiningResult basic =
+      mine_generalized(db, tax, opts, GeneralizedAlgorithm::Basic);
+  const MiningResult cum =
+      mine_generalized(db, tax, opts, GeneralizedAlgorithm::Cumulate);
+  for (std::size_t level = 0; level < cum.levels.size(); ++level) {
+    const FrequentSet& fc = cum.levels[level];
+    for (std::size_t i = 0; i < fc.size(); ++i) {
+      const count_t* basic_count =
+          basic.levels[level].find_count(fc.itemset(i));
+      ASSERT_NE(basic_count, nullptr);
+      EXPECT_EQ(fc.count(i), *basic_count);
+    }
+  }
+}
+
+TEST(Generalized, InterestFilterDropsPredictedRules) {
+  // Construct a case where a specialized rule is fully predicted by its
+  // generalization: children split a parent's support evenly.
+  // parent 2 has children 0 and 1; item 3 co-occurs with both equally.
+  Database db;
+  for (int i = 0; i < 20; ++i) db.add_transaction(std::vector<item_t>{0, 3});
+  for (int i = 0; i < 20; ++i) db.add_transaction(std::vector<item_t>{1, 3});
+  Taxonomy tax(4);
+  tax.add_edge(0, 2);
+  tax.add_edge(1, 2);
+  tax.freeze();
+
+  MinerOptions opts;
+  opts.min_support = 0.2;
+  const MiningResult r =
+      mine_generalized(db, tax, opts, GeneralizedAlgorithm::Cumulate);
+  auto rules = generate_rules(r, 0.5, db.size());
+  ASSERT_FALSE(rules.empty());
+
+  // {0,3} has support exactly sup({2,3}) * sup(0)/sup(2) = 40 * 0.5 = 20:
+  // perfectly predicted, so at min_interest 1.1 it must be dropped while
+  // the generalized rule {2}=>{3} (no ancestors) survives.
+  const auto filtered =
+      filter_interesting_rules(rules, tax, r, 1.1, db.size());
+  bool has_specialized = false, has_general = false;
+  for (const Rule& rule : filtered) {
+    std::vector<item_t> whole(rule.antecedent);
+    whole.insert(whole.end(), rule.consequent.begin(), rule.consequent.end());
+    std::sort(whole.begin(), whole.end());
+    if (whole == std::vector<item_t>{0, 3}) has_specialized = true;
+    if (whole == std::vector<item_t>{2, 3}) has_general = true;
+  }
+  EXPECT_FALSE(has_specialized);
+  EXPECT_TRUE(has_general);
+
+  // With min_interest 0 everything passes.
+  EXPECT_EQ(filter_interesting_rules(rules, tax, r, 0.0, db.size()).size(),
+            rules.size());
+}
+
+TEST(Generalized, FlatTaxonomyIsPlainMining) {
+  QuestParams p;
+  p.num_transactions = 200;
+  p.avg_transaction_len = 5.0;
+  p.avg_pattern_len = 2.5;
+  p.num_patterns = 15;
+  p.num_items = 30;
+  p.seed = 99;
+  const Database db = generate_quest(p);
+  const Taxonomy tax(30);  // no edges
+  MinerOptions opts;
+  opts.min_support = 0.05;
+  const MiningResult generalized = mine_generalized(db, tax, opts);
+  const MiningResult plain = mine(db, opts);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(generalized.levels, plain.levels, &diag)) << diag;
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,102 @@
+#include "hashtree/hash_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace smpmine {
+namespace {
+
+TEST(HashPolicy, InterleavedIsMod) {
+  const HashPolicy p(HashScheme::Interleaved, 4);
+  for (item_t i = 0; i < 32; ++i) EXPECT_EQ(p.bucket(i), i % 4);
+}
+
+TEST(HashPolicy, BitonicClosedForm) {
+  // H=3: pattern 0,1,2,2,1,0 repeating with period 6.
+  const HashPolicy p(HashScheme::Bitonic, 3);
+  const std::vector<std::uint32_t> expect{0, 1, 2, 2, 1, 0};
+  for (item_t i = 0; i < 60; ++i) {
+    EXPECT_EQ(p.bucket(i), expect[i % 6]) << i;
+  }
+}
+
+TEST(HashPolicy, BitonicBucketInRange) {
+  for (std::uint32_t h : {1u, 2u, 5u, 16u, 127u}) {
+    const HashPolicy p(HashScheme::Bitonic, h);
+    for (item_t i = 0; i < 1000; ++i) EXPECT_LT(p.bucket(i), h);
+  }
+}
+
+TEST(HashPolicy, IndirectionMatchesPaperTable1) {
+  // F1 = 10 frequent items, H=3 => hash values 0,1,2,2,1,0,0,1,2,2
+  // (paper Table 1, from the bitonic partitioning A0={0,5,6}, A1={1,4,7},
+  // A2={2,3,8,9}).
+  std::vector<item_t> f1{10, 11, 12, 13, 14, 15, 16, 17, 18, 19};
+  const HashPolicy p(3, f1, 20);
+  const std::vector<std::uint32_t> expect{0, 1, 2, 2, 1, 0, 0, 1, 2, 2};
+  for (std::size_t label = 0; label < 10; ++label) {
+    EXPECT_EQ(p.bucket(f1[label]), expect[label]) << "label " << label;
+  }
+}
+
+TEST(HashPolicy, IndirectionInfrequentFallsBackToMod) {
+  std::vector<item_t> f1{5, 7};
+  const HashPolicy p(3, f1, 10);
+  // Items 0..9 outside {5,7} use mod 3.
+  EXPECT_EQ(p.bucket(4), 4u % 3);
+  EXPECT_EQ(p.bucket(9), 0u);
+  // Items beyond the universe also fall back.
+  EXPECT_EQ(p.bucket(100), 100u % 3);
+}
+
+TEST(HashPolicy, IndirectionBalancesLabelWorkloads) {
+  // With n divisible by 2H the bitonic label partition is perfect: each
+  // bucket holds n/H labels.
+  std::vector<item_t> f1(24);
+  for (item_t i = 0; i < 24; ++i) f1[i] = i;
+  const HashPolicy p(4, f1, 24);
+  std::vector<int> sizes(4, 0);
+  for (item_t i = 0; i < 24; ++i) ++sizes[p.bucket(i)];
+  for (const int s : sizes) EXPECT_EQ(s, 6);
+}
+
+TEST(HashPolicy, IndirectionRequiresF1Constructor) {
+  EXPECT_THROW(HashPolicy(HashScheme::Indirection, 4), std::invalid_argument);
+}
+
+TEST(HashPolicy, ZeroFanoutRejected) {
+  EXPECT_THROW(HashPolicy(HashScheme::Interleaved, 0), std::invalid_argument);
+}
+
+TEST(AdaptiveFanout, MatchesClosedForm) {
+  // H = ceil((pairs/T)^(1/k)), evaluated away from exact integer powers to
+  // dodge floating-point rounding of pow().
+  EXPECT_EQ(adaptive_fanout(1010.0, 2, 10), 11u);  // sqrt(101) = 10.05
+  EXPECT_EQ(adaptive_fanout(950.0, 2, 10), 10u);   // sqrt(95)  = 9.75
+  EXPECT_EQ(adaptive_fanout(7900.0, 3, 1), 20u);   // cbrt(7900) = 19.92
+}
+
+TEST(AdaptiveFanout, Clamps) {
+  EXPECT_EQ(adaptive_fanout(1.0, 2, 100, 4, 64), 4u);    // floor
+  EXPECT_EQ(adaptive_fanout(1e12, 2, 1, 2, 64), 64u);    // ceiling
+  EXPECT_EQ(adaptive_fanout(0.0, 2, 8, 3, 64), 3u);      // degenerate
+}
+
+TEST(AdaptiveFanout, GrowsWithPairsShrinksWithThreshold) {
+  const std::uint32_t a = adaptive_fanout(1e4, 2, 8);
+  const std::uint32_t b = adaptive_fanout(1e6, 2, 8);
+  const std::uint32_t c = adaptive_fanout(1e6, 2, 64);
+  EXPECT_LT(a, b);
+  EXPECT_LT(c, b);
+}
+
+TEST(HashPolicy, SchemeNames) {
+  EXPECT_STREQ(to_string(HashScheme::Interleaved), "interleaved");
+  EXPECT_STREQ(to_string(HashScheme::Bitonic), "bitonic");
+  EXPECT_STREQ(to_string(HashScheme::Indirection), "indirection");
+}
+
+}  // namespace
+}  // namespace smpmine

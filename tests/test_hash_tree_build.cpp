@@ -1,0 +1,156 @@
+#include "hashtree/hash_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+/// All size-k combinations over [0, universe).
+std::vector<std::vector<item_t>> all_combos(item_t universe, std::size_t k) {
+  std::vector<item_t> base(universe);
+  for (item_t i = 0; i < universe; ++i) base[i] = i;
+  return k_subsets(base, k);
+}
+
+std::set<std::vector<item_t>> tree_contents(const HashTree& tree) {
+  std::set<std::vector<item_t>> out;
+  tree.for_each_candidate([&](const Candidate& cand) {
+    const auto view = cand.view(tree.k());
+    out.insert(std::vector<item_t>(view.begin(), view.end()));
+  });
+  return out;
+}
+
+TEST(HashTreeBuild, InsertAndEnumerate) {
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  const HashPolicy policy(HashScheme::Interleaved, 2);
+  HashTree tree({.k = 3, .fanout = 2, .leaf_threshold = 2}, policy, arenas);
+
+  const auto combos = all_combos(6, 3);
+  for (const auto& c : combos) tree.insert(c);
+
+  EXPECT_EQ(tree.num_candidates(), combos.size());
+  const auto contents = tree_contents(tree);
+  EXPECT_EQ(contents.size(), combos.size());
+  for (const auto& c : combos) EXPECT_TRUE(contents.count(c)) << c[0];
+}
+
+TEST(HashTreeBuild, DenseCandidateIds) {
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  const HashPolicy policy(HashScheme::Interleaved, 3);
+  HashTree tree({.k = 2, .fanout = 3, .leaf_threshold = 4}, policy, arenas);
+  for (const auto& c : all_combos(8, 2)) tree.insert(c);
+  std::set<std::uint32_t> ids;
+  tree.for_each_candidate([&](const Candidate& c) { ids.insert(c.id); });
+  EXPECT_EQ(ids.size(), tree.num_candidates());
+  EXPECT_EQ(*ids.begin(), 0u);
+  EXPECT_EQ(*ids.rbegin(), tree.num_candidates() - 1);
+}
+
+TEST(HashTreeBuild, LeafConversionKeepsThresholdWhereConvertible) {
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  const HashPolicy policy(HashScheme::Interleaved, 4);
+  const std::uint32_t threshold = 3;
+  HashTree tree({.k = 2, .fanout = 4, .leaf_threshold = threshold}, policy,
+                arenas);
+  for (const auto& c : all_combos(12, 2)) tree.insert(c);
+
+  const TreeStats stats = tree.stats();
+  EXPECT_GT(stats.internal_nodes, 0u);  // conversions happened
+  EXPECT_LE(stats.max_depth, 2u);       // never deeper than k
+  EXPECT_EQ(stats.candidates, 66u);
+}
+
+TEST(HashTreeBuild, DepthKLeavesMayExceedThreshold) {
+  // All candidates share every bucket: with fanout 1 the tree degenerates
+  // to a depth-k chain whose final leaf holds everything.
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  const HashPolicy policy(HashScheme::Interleaved, 1);
+  HashTree tree({.k = 2, .fanout = 1, .leaf_threshold = 2}, policy, arenas);
+  const auto combos = all_combos(6, 2);
+  for (const auto& c : combos) tree.insert(c);
+  const TreeStats stats = tree.stats();
+  EXPECT_EQ(stats.max_depth, 2u);
+  EXPECT_EQ(stats.candidates, combos.size());
+  EXPECT_DOUBLE_EQ(stats.max_leaf_occupancy,
+                   static_cast<double>(combos.size()));
+}
+
+TEST(HashTreeBuild, StatsCountNodesConsistently) {
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  const HashPolicy policy(HashScheme::Bitonic, 3);
+  HashTree tree({.k = 3, .fanout = 3, .leaf_threshold = 2}, policy, arenas);
+  for (const auto& c : all_combos(9, 3)) tree.insert(c);
+  const TreeStats stats = tree.stats();
+  EXPECT_EQ(stats.nodes, stats.internal_nodes + stats.leaves);
+  EXPECT_EQ(stats.nodes, tree.num_nodes());
+  EXPECT_GE(stats.leaves, stats.occupied_leaves);
+  EXPECT_GT(stats.bytes_used, 0u);
+  EXPECT_GE(stats.max_leaf_occupancy, stats.mean_leaf_occupancy);
+}
+
+TEST(HashTreeBuild, CandidateIndexMapsIds) {
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  const HashPolicy policy(HashScheme::Interleaved, 3);
+  HashTree tree({.k = 2, .fanout = 3, .leaf_threshold = 4}, policy, arenas);
+  for (const auto& c : all_combos(10, 2)) tree.insert(c);
+  const auto& index = tree.candidate_index();
+  ASSERT_EQ(index.size(), tree.num_candidates());
+  for (std::uint32_t id = 0; id < index.size(); ++id) {
+    ASSERT_NE(index[id], nullptr);
+    EXPECT_EQ(index[id]->id, id);
+  }
+}
+
+class ParallelBuildTest : public ::testing::TestWithParam<PlacementPolicy> {};
+
+TEST_P(ParallelBuildTest, ConcurrentInsertsEqualSequential) {
+  const auto combos = all_combos(14, 3);  // 364 candidates, forces splits
+
+  PlacementArenas seq_arenas(GetParam());
+  const HashPolicy policy(HashScheme::Bitonic, 3);
+  HashTree seq_tree({.k = 3, .fanout = 3, .leaf_threshold = 2}, policy,
+                    seq_arenas);
+  for (const auto& c : combos) seq_tree.insert(c);
+
+  PlacementArenas par_arenas(GetParam());
+  HashTree par_tree({.k = 3, .fanout = 3, .leaf_threshold = 2}, policy,
+                    par_arenas);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t i = t; i < combos.size(); i += kThreads) {
+        par_tree.insert(combos[i]);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(par_tree.num_candidates(), seq_tree.num_candidates());
+  EXPECT_EQ(tree_contents(par_tree), tree_contents(seq_tree));
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ParallelBuildTest,
+                         ::testing::Values(PlacementPolicy::Malloc,
+                                           PlacementPolicy::SPP,
+                                           PlacementPolicy::LPP,
+                                           PlacementPolicy::LSPP,
+                                           PlacementPolicy::LLPP),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           name.erase(
+                               std::remove(name.begin(), name.end(), '-'),
+                               name.end());
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,223 @@
+#include "hashtree/hash_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "data/quest_gen.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+Database small_db() {
+  QuestParams p;
+  p.num_transactions = 300;
+  p.avg_transaction_len = 8.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 30;
+  p.num_items = 30;
+  p.seed = 99;
+  return generate_quest(p);
+}
+
+/// Reference supports computed by direct containment over the database.
+std::map<std::vector<item_t>, count_t> reference_counts(
+    const Database& db, const std::vector<std::vector<item_t>>& candidates) {
+  std::map<std::vector<item_t>, count_t> out;
+  for (const auto& cand : candidates) out[cand] = 0;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    const auto txn = db.transaction(t);
+    for (const auto& cand : candidates) {
+      if (is_subset_sorted(cand, txn)) ++out[cand];
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<item_t>> make_candidates(item_t universe,
+                                                 std::size_t k) {
+  std::vector<item_t> base(universe);
+  for (item_t i = 0; i < universe; ++i) base[i] = i;
+  return k_subsets(base, k);
+}
+
+struct CountCase {
+  SubsetCheck check;
+  CounterMode counter;
+  HashScheme scheme;
+  std::uint32_t fanout;
+  std::uint32_t threshold;
+};
+
+class TreeCountTest : public ::testing::TestWithParam<CountCase> {};
+
+TEST_P(TreeCountTest, CountsMatchReference) {
+  const CountCase& tc = GetParam();
+  const Database db = small_db();
+  const std::size_t k = 3;
+  const auto candidates = make_candidates(20, k);
+
+  PlacementArenas arenas(tc.counter == CounterMode::PerThread
+                             ? PlacementPolicy::LcaGpp
+                             : PlacementPolicy::SPP);
+  const HashPolicy policy = [&] {
+    if (tc.scheme == HashScheme::Indirection) {
+      std::vector<item_t> f1(20);
+      for (item_t i = 0; i < 20; ++i) f1[i] = i;
+      return HashPolicy(tc.fanout, f1, db.item_universe());
+    }
+    return HashPolicy(tc.scheme, tc.fanout);
+  }();
+  HashTree tree({.k = static_cast<std::uint32_t>(k),
+                 .fanout = tc.fanout,
+                 .leaf_threshold = tc.threshold,
+                 .counter_mode = tc.counter},
+                policy, arenas);
+  for (const auto& c : candidates) tree.insert(c);
+  if (tc.counter == CounterMode::PerThread) tree.candidate_index();
+
+  CountContext ctx = tree.make_context(tc.check);
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    tree.count_transaction(db.transaction(t), ctx);
+  }
+  if (tc.counter == CounterMode::PerThread) {
+    tree.reduce_into_shared(ctx, 0, tree.num_candidates());
+  }
+
+  const auto expect = reference_counts(db, candidates);
+  std::size_t verified = 0;
+  tree.for_each_candidate([&](const Candidate& cand) {
+    const auto view = cand.view(k);
+    const std::vector<item_t> key(view.begin(), view.end());
+    ASSERT_TRUE(expect.count(key));
+    EXPECT_EQ(*cand.count, expect.at(key)) << format_itemset(key);
+    ++verified;
+  });
+  EXPECT_EQ(verified, candidates.size());
+}
+
+std::string case_name(const ::testing::TestParamInfo<CountCase>& info) {
+  // Built via ostringstream rather than string += to sidestep GCC 12's
+  // -Wrestrict false positive in libstdc++ (PR 105329) under -Werror.
+  const CountCase& tc = info.param;
+  std::ostringstream os;
+  switch (tc.check) {
+    case SubsetCheck::LeafVisited: os << "Leaf"; break;
+    case SubsetCheck::VisitedFlags: os << "Flags"; break;
+    case SubsetCheck::FrameLocal: os << "Frame"; break;
+  }
+  switch (tc.counter) {
+    case CounterMode::Atomic: os << "Atomic"; break;
+    case CounterMode::Locked: os << "Locked"; break;
+    case CounterMode::PerThread: os << "LCA"; break;
+  }
+  switch (tc.scheme) {
+    case HashScheme::Interleaved: os << "Mod"; break;
+    case HashScheme::Bitonic: os << "Bitonic"; break;
+    case HashScheme::Indirection: os << "Indir"; break;
+  }
+  os << 'H' << tc.fanout << 'T' << tc.threshold;
+  return os.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, TreeCountTest,
+    ::testing::Values(
+        // Every subset-check strategy against every counter mode.
+        CountCase{SubsetCheck::LeafVisited, CounterMode::Atomic,
+                  HashScheme::Interleaved, 3, 2},
+        CountCase{SubsetCheck::VisitedFlags, CounterMode::Atomic,
+                  HashScheme::Interleaved, 3, 2},
+        CountCase{SubsetCheck::FrameLocal, CounterMode::Atomic,
+                  HashScheme::Interleaved, 3, 2},
+        CountCase{SubsetCheck::LeafVisited, CounterMode::Locked,
+                  HashScheme::Bitonic, 4, 3},
+        CountCase{SubsetCheck::VisitedFlags, CounterMode::Locked,
+                  HashScheme::Bitonic, 4, 3},
+        CountCase{SubsetCheck::FrameLocal, CounterMode::Locked,
+                  HashScheme::Bitonic, 4, 3},
+        CountCase{SubsetCheck::LeafVisited, CounterMode::PerThread,
+                  HashScheme::Indirection, 3, 2},
+        CountCase{SubsetCheck::VisitedFlags, CounterMode::PerThread,
+                  HashScheme::Indirection, 3, 2},
+        CountCase{SubsetCheck::FrameLocal, CounterMode::PerThread,
+                  HashScheme::Indirection, 3, 2},
+        // Degenerate shapes.
+        CountCase{SubsetCheck::FrameLocal, CounterMode::Atomic,
+                  HashScheme::Interleaved, 1, 1},
+        CountCase{SubsetCheck::LeafVisited, CounterMode::Atomic,
+                  HashScheme::Interleaved, 16, 1},
+        CountCase{SubsetCheck::FrameLocal, CounterMode::Atomic,
+                  HashScheme::Bitonic, 16, 64}),
+    case_name);
+
+TEST(TreeCount, ShortTransactionsSkipped) {
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  const HashPolicy policy(HashScheme::Interleaved, 2);
+  HashTree tree({.k = 3, .fanout = 2, .leaf_threshold = 2}, policy, arenas);
+  tree.insert(std::vector<item_t>{1, 2, 3});
+  CountContext ctx = tree.make_context(SubsetCheck::FrameLocal);
+  tree.count_transaction(std::vector<item_t>{1, 2}, ctx);  // len < k
+  tree.count_transaction(std::vector<item_t>{}, ctx);
+  tree.for_each_candidate(
+      [&](const Candidate& cand) { EXPECT_EQ(*cand.count, 0u); });
+}
+
+TEST(TreeCount, ExactLengthTransaction) {
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  const HashPolicy policy(HashScheme::Interleaved, 2);
+  HashTree tree({.k = 3, .fanout = 2, .leaf_threshold = 2}, policy, arenas);
+  tree.insert(std::vector<item_t>{1, 2, 3});
+  tree.insert(std::vector<item_t>{1, 2, 4});
+  CountContext ctx = tree.make_context(SubsetCheck::FrameLocal);
+  tree.count_transaction(std::vector<item_t>{1, 2, 3}, ctx);
+  std::map<std::vector<item_t>, count_t> got;
+  tree.for_each_candidate([&](const Candidate& cand) {
+    const auto view = cand.view(3);
+    got[std::vector<item_t>(view.begin(), view.end())] = *cand.count;
+  });
+  const std::vector<item_t> abc{1, 2, 3};
+  const std::vector<item_t> abd{1, 2, 4};
+  EXPECT_EQ(got[abc], 1u);
+  EXPECT_EQ(got[abd], 0u);
+}
+
+TEST(TreeCount, EmptyTreeTraversalIsHarmless) {
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  const HashPolicy policy(HashScheme::Interleaved, 2);
+  HashTree tree({.k = 2, .fanout = 2, .leaf_threshold = 2}, policy, arenas);
+  CountContext ctx = tree.make_context(SubsetCheck::FrameLocal);
+  tree.count_transaction(std::vector<item_t>{1, 2, 3}, ctx);
+  EXPECT_EQ(ctx.hits, 0u);
+}
+
+TEST(TreeCount, ShortCircuitDoesLessWorkOnDuplicateBuckets) {
+  // Items 0..9 with fanout 2: every transaction has many duplicate-bucket
+  // item pairs, so the short-circuit strategies must visit fewer internal
+  // nodes than the leaf-only baseline while producing the same hits.
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  const HashPolicy policy(HashScheme::Interleaved, 2);
+  HashTree tree({.k = 3, .fanout = 2, .leaf_threshold = 2}, policy, arenas);
+  for (const auto& c : make_candidates(10, 3)) tree.insert(c);
+
+  const std::vector<item_t> txn{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  CountContext base = tree.make_context(SubsetCheck::LeafVisited);
+  tree.count_transaction(txn, base);
+  CountContext flags = tree.make_context(SubsetCheck::VisitedFlags);
+  tree.count_transaction(txn, flags);
+  CountContext frame = tree.make_context(SubsetCheck::FrameLocal);
+  tree.count_transaction(txn, frame);
+
+  EXPECT_EQ(base.hits, flags.hits);
+  EXPECT_EQ(base.hits, frame.hits);
+  EXPECT_GT(base.internal_visits, flags.internal_visits);
+  // The two short-circuit implementations prune identically.
+  EXPECT_EQ(flags.internal_visits, frame.internal_visits);
+  EXPECT_EQ(flags.leaf_visits, frame.leaf_visits);
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,87 @@
+#include "itemset/itemset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smpmine {
+namespace {
+
+std::vector<item_t> v(std::initializer_list<item_t> items) { return items; }
+
+TEST(Itemset, CompareEqual) {
+  EXPECT_EQ(compare_itemsets(v({1, 2, 3}), v({1, 2, 3})), 0);
+  EXPECT_EQ(compare_itemsets({}, {}), 0);
+}
+
+TEST(Itemset, CompareLexicographic) {
+  EXPECT_LT(compare_itemsets(v({1, 2, 3}), v({1, 2, 4})), 0);
+  EXPECT_GT(compare_itemsets(v({2}), v({1, 9, 9})), 0);
+  EXPECT_LT(compare_itemsets(v({1, 2}), v({1, 2, 0})), 0);  // prefix first
+}
+
+TEST(Itemset, SubsetBasic) {
+  EXPECT_TRUE(is_subset_sorted(v({2, 4}), v({1, 2, 3, 4, 5})));
+  EXPECT_FALSE(is_subset_sorted(v({2, 6}), v({1, 2, 3, 4, 5})));
+  EXPECT_TRUE(is_subset_sorted({}, v({1})));
+  EXPECT_TRUE(is_subset_sorted({}, {}));
+  EXPECT_FALSE(is_subset_sorted(v({1}), {}));
+}
+
+TEST(Itemset, SubsetIdentity) {
+  EXPECT_TRUE(is_subset_sorted(v({1, 2, 3}), v({1, 2, 3})));
+}
+
+TEST(Itemset, SubsetRequiresAllItems) {
+  EXPECT_FALSE(is_subset_sorted(v({1, 2, 3, 4}), v({1, 2, 3})));
+}
+
+TEST(Itemset, SharesPrefix) {
+  EXPECT_TRUE(shares_prefix(v({1, 2, 3}), v({1, 2, 9}), 2));
+  EXPECT_FALSE(shares_prefix(v({1, 2, 3}), v({1, 3, 3}), 2));
+  EXPECT_TRUE(shares_prefix(v({5}), v({9}), 0));  // empty prefix
+  EXPECT_FALSE(shares_prefix(v({1}), v({1, 2}), 2));  // too short
+}
+
+TEST(Itemset, HashDistinguishes) {
+  EXPECT_NE(hash_itemset(v({1, 2})), hash_itemset(v({2, 1})));
+  EXPECT_NE(hash_itemset(v({1})), hash_itemset(v({1, 0})));
+  EXPECT_EQ(hash_itemset(v({3, 7})), hash_itemset(v({3, 7})));
+}
+
+TEST(Itemset, Format) {
+  EXPECT_EQ(format_itemset(v({1, 4, 5})), "(1, 4, 5)");
+  EXPECT_EQ(format_itemset({}), "()");
+}
+
+TEST(KSubsets, CountMatchesBinomial) {
+  const auto items = v({1, 2, 3, 4, 5});
+  EXPECT_EQ(k_subsets(items, 1).size(), 5u);
+  EXPECT_EQ(k_subsets(items, 2).size(), 10u);
+  EXPECT_EQ(k_subsets(items, 3).size(), 10u);
+  EXPECT_EQ(k_subsets(items, 5).size(), 1u);
+  EXPECT_TRUE(k_subsets(items, 6).empty());
+  EXPECT_TRUE(k_subsets(items, 0).empty());
+}
+
+TEST(KSubsets, LexicographicOrder) {
+  // Paper Section 4.2 example: the 3-subsets of {A..E} as {1..5}.
+  const auto subs = k_subsets(v({1, 2, 3, 4, 5}), 3);
+  ASSERT_EQ(subs.size(), 10u);
+  EXPECT_EQ(subs.front(), v({1, 2, 3}));
+  EXPECT_EQ(subs[1], v({1, 2, 4}));
+  EXPECT_EQ(subs.back(), v({3, 4, 5}));
+  for (std::size_t i = 1; i < subs.size(); ++i) {
+    EXPECT_LT(compare_itemsets(subs[i - 1], subs[i]), 0);
+  }
+}
+
+TEST(KSubsets, AllDistinct) {
+  const auto subs = k_subsets(v({0, 1, 2, 3, 4, 5, 6}), 4);
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    for (std::size_t j = i + 1; j < subs.size(); ++j) {
+      EXPECT_NE(compare_itemsets(subs[i], subs[j]), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,59 @@
+#include "alloc/alloc_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smpmine {
+namespace {
+
+TEST(Locality, EmptyTrace) {
+  const LocalityReport r = analyze_trace({});
+  EXPECT_EQ(r.touches, 0u);
+  EXPECT_EQ(r.distinct_lines, 0u);
+}
+
+TEST(Locality, SingleTouch) {
+  const LocalityReport r = analyze_trace({0x1000});
+  EXPECT_EQ(r.touches, 1u);
+  EXPECT_EQ(r.distinct_lines, 1u);
+  EXPECT_EQ(r.distinct_pages, 1u);
+  EXPECT_DOUBLE_EQ(r.line_reuse, 1.0);
+}
+
+TEST(Locality, AllSameLine) {
+  // Four touches inside one 64B line.
+  const LocalityReport r = analyze_trace({0x1000, 0x1008, 0x1010, 0x103F});
+  EXPECT_EQ(r.distinct_lines, 1u);
+  EXPECT_DOUBLE_EQ(r.same_line_rate, 1.0);
+  EXPECT_DOUBLE_EQ(r.line_reuse, 4.0);
+}
+
+TEST(Locality, AlternatingFarLines) {
+  const LocalityReport r =
+      analyze_trace({0x1000, 0x100000, 0x1000, 0x100000});
+  EXPECT_EQ(r.distinct_lines, 2u);
+  EXPECT_EQ(r.distinct_pages, 2u);
+  EXPECT_DOUBLE_EQ(r.same_line_rate, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_stride, static_cast<double>(0x100000 - 0x1000));
+}
+
+TEST(Locality, SequentialScanBeatsRandom) {
+  std::vector<std::uintptr_t> sequential, scattered;
+  for (std::uintptr_t i = 0; i < 256; ++i) {
+    sequential.push_back(0x10000 + i * 16);
+    scattered.push_back(0x10000 + (i * 2654435761u % 4096) * 64);
+  }
+  const LocalityReport seq = analyze_trace(sequential);
+  const LocalityReport rnd = analyze_trace(scattered);
+  EXPECT_LT(seq.distinct_lines, rnd.distinct_lines);
+  EXPECT_GT(seq.same_line_rate, rnd.same_line_rate);
+  EXPECT_LT(seq.mean_stride, rnd.mean_stride);
+}
+
+TEST(Locality, PageCounting) {
+  // 3 touches across exactly 2 pages.
+  const LocalityReport r = analyze_trace({0x0, 0xFFF, 0x1000});
+  EXPECT_EQ(r.distinct_pages, 2u);
+}
+
+}  // namespace
+}  // namespace smpmine

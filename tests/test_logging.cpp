@@ -1,0 +1,35 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smpmine {
+namespace {
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(original);
+}
+
+TEST(Logging, SuppressedBelowThresholdDoesNotCrash) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Error);
+  SMP_LOG_DEBUG("dropped %d", 1);
+  SMP_LOG_INFO("dropped %s", "too");
+  SMP_LOG_ERROR("emitted %d", 2);
+  set_log_level(original);
+}
+
+TEST(Logging, LongMessageIsTruncatedSafely) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Error);
+  const std::string big(4000, 'x');
+  SMP_LOG_ERROR("%s", big.c_str());
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,181 @@
+// Edge-case and regression tests for the miners that the main integration
+// suite doesn't cover: iteration caps, adaptive-parallelism thresholds,
+// locality instrumentation, and statistics population.
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/miner.hpp"
+#include "data/quest_gen.hpp"
+
+namespace smpmine {
+namespace {
+
+Database quest_db() {
+  QuestParams p;
+  p.num_transactions = 400;
+  p.avg_transaction_len = 8.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 40;
+  p.num_items = 60;
+  p.seed = 31337;
+  return generate_quest(p);
+}
+
+TEST(MinerEdge, MaxIterationsCapsDepth) {
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.02;
+  opts.max_iterations = 3;
+  const MiningResult r = mine_sequential(db, opts);
+  EXPECT_LE(r.levels.size(), 3u);
+  for (const auto& it : r.iterations) EXPECT_LE(it.k, 3u);
+}
+
+TEST(MinerEdge, AdaptiveParallelismThresholdDoesNotChangeResults) {
+  // Above the threshold candidate generation runs sequentially even with
+  // multiple counting threads (Section 3.1.3); results must be identical.
+  const Database db = quest_db();
+  MinerOptions parallel_gen;
+  parallel_gen.min_support = 0.02;
+  parallel_gen.threads = 4;
+  parallel_gen.parallel_candgen_threshold = 1;
+  MinerOptions sequential_gen = parallel_gen;
+  sequential_gen.parallel_candgen_threshold = 1'000'000;
+
+  const MiningResult a = mine_ccpd(db, parallel_gen);
+  const MiningResult b = mine_ccpd(db, sequential_gen);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(a.levels, b.levels, &diag)) << diag;
+  // The sequential path reports a perfectly "balanced" generation.
+  for (const auto& it : b.iterations) {
+    EXPECT_DOUBLE_EQ(it.candgen_imbalance, 1.0);
+  }
+}
+
+TEST(MinerEdge, LocalityCollectionDoesNotChangeResults) {
+  const Database db = quest_db();
+  MinerOptions plain;
+  plain.min_support = 0.02;
+  plain.threads = 2;
+  MinerOptions instrumented = plain;
+  instrumented.collect_locality = true;
+  instrumented.placement = PlacementPolicy::GPP;
+
+  const MiningResult a = mine_ccpd(db, plain);
+  const MiningResult b = mine_ccpd(db, instrumented);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(a.levels, b.levels, &diag)) << diag;
+  // And the instrumentation actually fired.
+  bool any = false;
+  for (const auto& it : b.iterations) {
+    any |= it.locality_distinct_lines > 0;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(MinerEdge, CounterSharingMetricReflectsPolicy) {
+  const Database db = quest_db();
+  auto sharing_of = [&](PlacementPolicy placement) {
+    MinerOptions opts;
+    opts.min_support = 0.02;
+    opts.placement = placement;
+    opts.collect_locality = true;
+    const MiningResult r = mine_ccpd(db, opts);
+    double worst = 0.0;
+    for (const auto& it : r.iterations) {
+      worst = std::max(worst, it.counter_itemset_line_sharing);
+    }
+    return worst;
+  };
+  // Inline counters share lines with itemset data; segregated and
+  // privatized counters never do.
+  EXPECT_GT(sharing_of(PlacementPolicy::SPP), 0.9);
+  EXPECT_DOUBLE_EQ(sharing_of(PlacementPolicy::LSPP), 0.0);
+  EXPECT_DOUBLE_EQ(sharing_of(PlacementPolicy::LcaGpp), 0.0);
+}
+
+TEST(MinerEdge, BusyTimesPopulated) {
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.02;
+  opts.threads = 3;
+  opts.parallel_candgen_threshold = 1;
+  const MiningResult r = mine_ccpd(db, opts);
+  ASSERT_FALSE(r.iterations.empty());
+  for (const auto& it : r.iterations) {
+    EXPECT_GE(it.count_busy_sum, it.count_busy_max);
+    EXPECT_GE(it.candgen_busy_sum, it.candgen_busy_max);
+    EXPECT_GE(it.modeled_parallel_seconds(), 0.0);
+  }
+  EXPECT_GT(r.modeled_total_seconds(), 0.0);
+}
+
+TEST(MinerEdge, SingleTransactionDatabase) {
+  Database db;
+  db.add_transaction(std::vector<item_t>{1, 2, 3});
+  MinerOptions opts;
+  opts.min_support = 0.9;  // absolute count 1
+  const MiningResult r = mine_sequential(db, opts);
+  // Everything in the transaction is frequent: 3 + 3 + 1 itemsets.
+  EXPECT_EQ(r.total_frequent(), 7u);
+}
+
+TEST(MinerEdge, AllIdenticalTransactions) {
+  Database db;
+  for (int i = 0; i < 50; ++i) {
+    db.add_transaction(std::vector<item_t>{2, 4, 6, 8});
+  }
+  MinerOptions opts;
+  opts.min_support = 1.0;
+  const MiningResult r = mine_sequential(db, opts);
+  // All 2^4 - 1 non-empty subsets are frequent with count 50.
+  EXPECT_EQ(r.total_frequent(), 15u);
+  for (const auto& level : r.levels) {
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      EXPECT_EQ(level.count(i), 50u);
+    }
+  }
+}
+
+TEST(MinerEdge, DisjointTransactionsNoPairs) {
+  Database db;
+  for (item_t i = 0; i < 20; ++i) {
+    db.add_transaction(std::vector<item_t>{static_cast<item_t>(2 * i),
+                                           static_cast<item_t>(2 * i + 1)});
+  }
+  MinerOptions opts;
+  opts.min_support = 0.05;  // count 1: every item and pair qualifies
+  const MiningResult r = mine_sequential(db, opts);
+  ASSERT_EQ(r.levels.size(), 2u);
+  EXPECT_EQ(r.levels[0].size(), 40u);
+  EXPECT_EQ(r.levels[1].size(), 20u);  // only the co-occurring pairs
+}
+
+TEST(MinerEdge, LargeLeafThresholdDegeneratesGracefully) {
+  // Threshold larger than any candidate set: the tree stays a single leaf
+  // (linear scan) and must still be exact.
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.05;
+  opts.leaf_threshold = 1'000'000;
+  opts.adaptive_fanout = false;
+  opts.fixed_fanout = 2;
+  const MiningResult got = mine_sequential(db, opts);
+  const auto reference = brute_force_frequent(db, opts.min_support);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(got.levels, reference, &diag)) << diag;
+}
+
+TEST(MinerEdge, TinyLeafThresholdStillExact) {
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.05;
+  opts.leaf_threshold = 1;
+  const MiningResult got = mine_sequential(db, opts);
+  const auto reference = brute_force_frequent(db, opts.min_support);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(got.levels, reference, &diag)) << diag;
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,147 @@
+// End-to-end correctness: the real miners against the brute-force
+// reference on synthetic Quest data, across supports and thread counts.
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/miner.hpp"
+#include "data/quest_gen.hpp"
+
+namespace smpmine {
+namespace {
+
+Database quest_db(std::uint64_t seed = 7) {
+  QuestParams p;
+  p.num_transactions = 400;
+  p.avg_transaction_len = 8.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 40;
+  p.num_items = 60;
+  p.seed = seed;
+  return generate_quest(p);
+}
+
+class SupportSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SupportSweepTest, SequentialMatchesBruteForce) {
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = GetParam();
+  const MiningResult mined = mine_sequential(db, opts);
+  const auto reference = brute_force_frequent(db, GetParam());
+  std::string diag;
+  EXPECT_TRUE(levels_equal(mined.levels, reference, &diag)) << diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(Supports, SupportSweepTest,
+                         ::testing::Values(0.02, 0.05, 0.10, 0.25),
+                         [](const auto& info) {
+                           return "s" + std::to_string(static_cast<int>(
+                                            info.param * 1000));
+                         });
+
+class ThreadSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweepTest, CcpdMatchesSequential) {
+  const Database db = quest_db();
+  MinerOptions seq;
+  seq.min_support = 0.03;
+  const MiningResult expect = mine_sequential(db, seq);
+
+  MinerOptions par = seq;
+  par.threads = static_cast<std::uint32_t>(GetParam());
+  par.parallel_candgen_threshold = 1;
+  const MiningResult got = mine_ccpd(db, par);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(got.levels, expect.levels, &diag)) << diag;
+}
+
+TEST_P(ThreadSweepTest, PccdMatchesSequential) {
+  const Database db = quest_db();
+  MinerOptions seq;
+  seq.min_support = 0.03;
+  const MiningResult expect = mine_sequential(db, seq);
+
+  MinerOptions par = seq;
+  par.threads = static_cast<std::uint32_t>(GetParam());
+  par.algorithm = Algorithm::PCCD;
+  const MiningResult got = mine(db, par);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(got.levels, expect.levels, &diag)) << diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweepTest, ::testing::Values(2, 3, 8),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(MinerIntegration, BalancedDbPartitionMatches) {
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.03;
+  const MiningResult expect = mine_sequential(db, opts);
+  opts.threads = 4;
+  opts.db_partition = DbPartition::Balanced;
+  const MiningResult got = mine_ccpd(db, opts);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(got.levels, expect.levels, &diag)) << diag;
+}
+
+TEST(MinerIntegration, StatsAreInternallyConsistent) {
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.03;
+  const MiningResult result = mine_sequential(db, opts);
+  ASSERT_FALSE(result.iterations.empty());
+
+  std::uint64_t frequent_from_stats = result.levels[0].size();
+  for (const IterationStats& it : result.iterations) {
+    EXPECT_GE(it.candidates, it.frequent);
+    EXPECT_GT(it.fanout, 0u);
+    EXPECT_GT(it.tree_nodes, 0u);
+    EXPECT_GE(it.hits, it.frequent);  // every frequent candidate was hit
+    frequent_from_stats += it.frequent;
+  }
+  EXPECT_EQ(frequent_from_stats, result.total_frequent());
+  EXPECT_GT(result.total_seconds, 0.0);
+  EXPECT_GE(result.work_speedup(), 1.0 - 1e-9);
+}
+
+TEST(MinerIntegration, FixedFanoutMatchesAdaptive) {
+  const Database db = quest_db();
+  MinerOptions a;
+  a.min_support = 0.03;
+  const MiningResult adaptive = mine_sequential(db, a);
+  MinerOptions b = a;
+  b.adaptive_fanout = false;
+  b.fixed_fanout = 5;
+  const MiningResult fixed = mine_sequential(db, b);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(adaptive.levels, fixed.levels, &diag)) << diag;
+}
+
+TEST(MinerIntegration, DifferentSeedsDifferentResults) {
+  MinerOptions opts;
+  opts.min_support = 0.05;
+  const MiningResult a = mine_sequential(quest_db(7), opts);
+  const MiningResult b = mine_sequential(quest_db(8), opts);
+  EXPECT_NE(a.total_frequent(), b.total_frequent());
+}
+
+TEST(MinerIntegration, EmptyDatabase) {
+  Database db;
+  MinerOptions opts;
+  const MiningResult result = mine_sequential(db, opts);
+  EXPECT_EQ(result.total_frequent(), 0u);
+  EXPECT_TRUE(result.iterations.empty());
+}
+
+TEST(MinerIntegration, InvalidOptionsThrow) {
+  MinerOptions opts;
+  opts.min_support = 0.0;
+  EXPECT_THROW(mine_sequential(quest_db(), opts), std::invalid_argument);
+  opts.min_support = 1.5;
+  EXPECT_THROW(mine_sequential(quest_db(), opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smpmine

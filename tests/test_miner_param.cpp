@@ -1,0 +1,146 @@
+// Configuration-space property: every optimization knob and placement
+// policy changes performance, never results. A fixed dataset is mined under
+// each configuration and compared against the plain-baseline output.
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/miner.hpp"
+#include "data/quest_gen.hpp"
+
+namespace smpmine {
+namespace {
+
+const Database& fixture_db() {
+  static const Database db = [] {
+    QuestParams p;
+    p.num_transactions = 500;
+    p.avg_transaction_len = 9.0;
+    p.avg_pattern_len = 3.5;
+    p.num_patterns = 50;
+    p.num_items = 80;
+    p.seed = 2024;
+    return generate_quest(p);
+  }();
+  return db;
+}
+
+const MiningResult& baseline() {
+  static const MiningResult result = [] {
+    MinerOptions opts;
+    opts.min_support = 0.02;
+    opts.balance = PartitionScheme::Block;
+    opts.hash_scheme = HashScheme::Interleaved;
+    opts.subset_check = SubsetCheck::LeafVisited;
+    opts.placement = PlacementPolicy::Malloc;
+    return mine_sequential(fixture_db(), opts);
+  }();
+  return result;
+}
+
+struct Config {
+  const char* name;
+  PlacementPolicy placement;
+  CounterMode counter;
+  SubsetCheck check;
+  HashScheme scheme;
+  PartitionScheme balance;
+  std::uint32_t threads;
+};
+
+class ConfigEquivalenceTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(ConfigEquivalenceTest, SameFrequentItemsets) {
+  const Config& cfg = GetParam();
+  MinerOptions opts;
+  opts.min_support = 0.02;
+  opts.placement = cfg.placement;
+  opts.counter_mode = cfg.counter;
+  opts.subset_check = cfg.check;
+  opts.hash_scheme = cfg.scheme;
+  opts.balance = cfg.balance;
+  opts.threads = cfg.threads;
+  opts.parallel_candgen_threshold = 1;
+  const MiningResult got = mine_ccpd(fixture_db(), opts);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(got.levels, baseline().levels, &diag)) << diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ConfigEquivalenceTest,
+    ::testing::Values(
+        // Every placement policy, sequential.
+        Config{"Malloc1", PlacementPolicy::Malloc, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 1},
+        Config{"SPP1", PlacementPolicy::SPP, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 1},
+        Config{"LPP1", PlacementPolicy::LPP, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 1},
+        Config{"GPP1", PlacementPolicy::GPP, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 1},
+        Config{"LSPP1", PlacementPolicy::LSPP, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 1},
+        Config{"LLPP1", PlacementPolicy::LLPP, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 1},
+        Config{"LGPP1", PlacementPolicy::LGPP, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 1},
+        Config{"LCAGPP1", PlacementPolicy::LcaGpp, CounterMode::PerThread,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 1},
+        // Every placement policy, parallel.
+        Config{"Malloc4", PlacementPolicy::Malloc, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 4},
+        Config{"SPP4", PlacementPolicy::SPP, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 4},
+        Config{"LPP4", PlacementPolicy::LPP, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 4},
+        Config{"GPP4", PlacementPolicy::GPP, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 4},
+        Config{"LGPP4", PlacementPolicy::LGPP, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 4},
+        Config{"LCAGPP4", PlacementPolicy::LcaGpp, CounterMode::PerThread,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 4},
+        // Counter disciplines under contention.
+        Config{"Locked4", PlacementPolicy::SPP, CounterMode::Locked,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 4},
+        Config{"LockedSeg4", PlacementPolicy::LSPP, CounterMode::Locked,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 4},
+        // Subset-check strategies.
+        Config{"LeafVisited4", PlacementPolicy::SPP, CounterMode::Atomic,
+               SubsetCheck::LeafVisited, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 4},
+        Config{"VisitedFlags4", PlacementPolicy::SPP, CounterMode::Atomic,
+               SubsetCheck::VisitedFlags, HashScheme::Indirection,
+               PartitionScheme::Bitonic, 4},
+        // Hash schemes.
+        Config{"ModHash4", PlacementPolicy::SPP, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Interleaved,
+               PartitionScheme::Bitonic, 4},
+        Config{"ClosedBitonic4", PlacementPolicy::SPP, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Bitonic,
+               PartitionScheme::Bitonic, 4},
+        // Generation balancing schemes.
+        Config{"BlockGen4", PlacementPolicy::SPP, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Block, 4},
+        Config{"InterleavedGen4", PlacementPolicy::SPP, CounterMode::Atomic,
+               SubsetCheck::FrameLocal, HashScheme::Indirection,
+               PartitionScheme::Interleaved, 4}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace smpmine

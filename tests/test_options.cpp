@@ -1,0 +1,78 @@
+#include "core/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smpmine {
+namespace {
+
+TEST(Options, DefaultsAreValid) {
+  MinerOptions opts;
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(Options, BadSupportThrows) {
+  MinerOptions opts;
+  opts.min_support = 0.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.min_support = -0.1;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.min_support = 1.01;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(Options, BadConfidenceThrows) {
+  MinerOptions opts;
+  opts.min_confidence = -0.2;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.min_confidence = 1.2;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(Options, LcaForcesPerThreadCounters) {
+  MinerOptions opts;
+  opts.placement = PlacementPolicy::LcaGpp;
+  opts.counter_mode = CounterMode::Atomic;
+  opts.validate();
+  EXPECT_EQ(opts.counter_mode, CounterMode::PerThread);
+}
+
+TEST(Options, ZeroValuesNormalized) {
+  MinerOptions opts;
+  opts.threads = 0;
+  opts.leaf_threshold = 0;
+  opts.max_iterations = 0;
+  opts.validate();
+  EXPECT_EQ(opts.threads, 1u);
+  EXPECT_EQ(opts.leaf_threshold, 1u);
+  EXPECT_EQ(opts.max_iterations, 1u);
+}
+
+TEST(Options, FanoutClamping) {
+  MinerOptions opts;
+  opts.min_fanout = 8;
+  opts.max_fanout = 4;  // inverted
+  opts.fixed_fanout = 100;
+  opts.validate();
+  EXPECT_GE(opts.max_fanout, opts.min_fanout);
+  EXPECT_LE(opts.fixed_fanout, opts.max_fanout);
+  EXPECT_GE(opts.fixed_fanout, opts.min_fanout);
+}
+
+TEST(Options, SummaryMentionsKeyKnobs) {
+  MinerOptions opts;
+  opts.threads = 8;
+  opts.placement = PlacementPolicy::LGPP;
+  opts.validate();
+  const std::string s = opts.summary();
+  EXPECT_NE(s.find("P=8"), std::string::npos);
+  EXPECT_NE(s.find("L-GPP"), std::string::npos);
+  EXPECT_NE(s.find("CCPD"), std::string::npos);
+}
+
+TEST(Options, AlgorithmNames) {
+  EXPECT_STREQ(to_string(Algorithm::CCPD), "CCPD");
+  EXPECT_STREQ(to_string(Algorithm::PCCD), "PCCD");
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+#include "core/miner.hpp"
+#include "data/quest_gen.hpp"
+
+namespace smpmine {
+namespace {
+
+Database quest_db() {
+  QuestParams p;
+  p.num_transactions = 300;
+  p.avg_transaction_len = 8.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 30;
+  p.num_items = 50;
+  p.seed = 404;
+  return generate_quest(p);
+}
+
+TEST(Pccd, MatchesBruteForce) {
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.03;
+  opts.algorithm = Algorithm::PCCD;
+  opts.threads = 3;
+  const MiningResult got = mine(db, opts);
+  const auto reference = brute_force_frequent(db, opts.min_support);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(got.levels, reference, &diag)) << diag;
+}
+
+TEST(Pccd, PerThreadCountersDowngradedToAtomic) {
+  // LCA privatization is meaningless for private trees; PCCD must still
+  // produce correct results when handed that configuration.
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.03;
+  opts.algorithm = Algorithm::PCCD;
+  opts.threads = 2;
+  opts.placement = PlacementPolicy::LcaGpp;
+  const MiningResult got = mine(db, opts);
+  const auto reference = brute_force_frequent(db, opts.min_support);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(got.levels, reference, &diag)) << diag;
+}
+
+TEST(Pccd, TreeNodesSumOverThreads) {
+  const Database db = quest_db();
+  MinerOptions one;
+  one.min_support = 0.03;
+  one.algorithm = Algorithm::PCCD;
+  one.threads = 1;
+  MinerOptions four = one;
+  four.threads = 4;
+  const MiningResult r1 = mine(db, one);
+  const MiningResult r4 = mine(db, four);
+  ASSERT_FALSE(r1.iterations.empty());
+  ASSERT_EQ(r1.iterations.size(), r4.iterations.size());
+  // Four private trees hold the same candidates split four ways, so total
+  // node count grows (each tree has at least a root).
+  EXPECT_GE(r4.iterations[0].tree_nodes, r1.iterations[0].tree_nodes);
+  EXPECT_EQ(r4.iterations[0].candidates, r1.iterations[0].candidates);
+}
+
+TEST(Pccd, DuplicatedScanWorkVisibleInCounters) {
+  // PCCD's defining cost: every thread scans the whole database. The summed
+  // traversal work must therefore exceed CCPD's at equal thread count.
+  const Database db = quest_db();
+  MinerOptions ccpd;
+  ccpd.min_support = 0.03;
+  ccpd.threads = 4;
+  MinerOptions pccd = ccpd;
+  pccd.algorithm = Algorithm::PCCD;
+  const MiningResult rc = mine(db, ccpd);
+  const MiningResult rp = mine(db, pccd);
+  EXPECT_GT(rp.traversal_work(), rc.traversal_work());
+}
+
+TEST(Pccd, GppPlacementStillCorrect) {
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.03;
+  opts.algorithm = Algorithm::PCCD;
+  opts.threads = 2;
+  opts.placement = PlacementPolicy::GPP;
+  const MiningResult got = mine(db, opts);
+  const auto reference = brute_force_frequent(db, opts.min_support);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(got.levels, reference, &diag)) << diag;
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,85 @@
+#include "alloc/placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smpmine {
+namespace {
+
+TEST(PlacementPolicy, Predicates) {
+  EXPECT_FALSE(policy_uses_region(PlacementPolicy::Malloc));
+  EXPECT_TRUE(policy_uses_region(PlacementPolicy::SPP));
+  EXPECT_TRUE(policy_uses_region(PlacementPolicy::LcaGpp));
+
+  EXPECT_TRUE(policy_localized(PlacementPolicy::LPP));
+  EXPECT_TRUE(policy_localized(PlacementPolicy::LLPP));
+  EXPECT_FALSE(policy_localized(PlacementPolicy::GPP));
+
+  EXPECT_TRUE(policy_remaps(PlacementPolicy::GPP));
+  EXPECT_TRUE(policy_remaps(PlacementPolicy::LGPP));
+  EXPECT_TRUE(policy_remaps(PlacementPolicy::LcaGpp));
+  EXPECT_FALSE(policy_remaps(PlacementPolicy::SPP));
+
+  EXPECT_TRUE(policy_segregates_counters(PlacementPolicy::LSPP));
+  EXPECT_TRUE(policy_segregates_counters(PlacementPolicy::LLPP));
+  EXPECT_TRUE(policy_segregates_counters(PlacementPolicy::LGPP));
+  EXPECT_FALSE(policy_segregates_counters(PlacementPolicy::GPP));
+  EXPECT_FALSE(policy_segregates_counters(PlacementPolicy::LcaGpp));
+
+  EXPECT_TRUE(policy_local_counters(PlacementPolicy::LcaGpp));
+  EXPECT_FALSE(policy_local_counters(PlacementPolicy::LGPP));
+}
+
+TEST(PlacementPolicy, NamesRoundTrip) {
+  for (const PlacementPolicy p : kAllPolicies) {
+    const auto parsed = placement_from_string(to_string(p));
+    ASSERT_TRUE(parsed.has_value()) << to_string(p);
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(placement_from_string("nonsense").has_value());
+}
+
+TEST(PlacementArenas, CountersAliasTreeUnlessSegregated) {
+  PlacementArenas spp(PlacementPolicy::SPP);
+  EXPECT_EQ(&spp.tree(), &spp.counters());
+
+  PlacementArenas lspp(PlacementPolicy::LSPP);
+  EXPECT_NE(&lspp.tree(), &lspp.counters());
+
+  PlacementArenas lca(PlacementPolicy::LcaGpp);
+  EXPECT_NE(&lca.tree(), &lca.counters());
+}
+
+TEST(PlacementArenas, MallocPolicyUsesMallocArena) {
+  PlacementArenas arenas(PlacementPolicy::Malloc);
+  auto* a = static_cast<char*>(arenas.tree().alloc(32, 8));
+  auto* b = static_cast<char*>(arenas.tree().alloc(32, 8));
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  // Unlike a region, malloc gives no contiguity guarantee; just verify both
+  // blocks are usable and tracked.
+  EXPECT_EQ(arenas.tree_stats().allocations, 2u);
+}
+
+TEST(PlacementArenas, ResetRecyclesAllArenas) {
+  PlacementArenas arenas(PlacementPolicy::LGPP);
+  arenas.tree().alloc(100, 8);
+  arenas.counters().alloc(100, 8);
+  arenas.remap_target().alloc(100, 8);
+  arenas.reset();
+  EXPECT_EQ(arenas.tree_stats().bytes_requested, 100u);  // cumulative stat
+  // After reset the same storage is handed out again.
+  void* p1 = arenas.tree().alloc(10, 8);
+  arenas.reset();
+  void* p2 = arenas.tree().alloc(10, 8);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(PlacementArenas, PolicyIsRecorded) {
+  for (const PlacementPolicy p : kAllPolicies) {
+    PlacementArenas arenas(p);
+    EXPECT_EQ(arenas.policy(), p);
+  }
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,185 @@
+#include "quant/quantitative.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hpp"
+
+namespace smpmine {
+namespace {
+
+/// The S&A'96 style toy: age (numeric), married (categorical 0/1),
+/// cars (categorical 0/1/2).
+QuantTable people() {
+  QuantTable table({{"age", AttrKind::Numeric, 2},
+                    {"married", AttrKind::Categorical},
+                    {"cars", AttrKind::Categorical}});
+  table.add_row(std::vector<double>{23, 0, 1});
+  table.add_row(std::vector<double>{25, 1, 1});
+  table.add_row(std::vector<double>{29, 0, 0});
+  table.add_row(std::vector<double>{34, 1, 2});
+  table.add_row(std::vector<double>{38, 1, 2});
+  return table;
+}
+
+TEST(QuantTable, ShapeChecks) {
+  QuantTable t = people();
+  EXPECT_EQ(t.num_rows(), 5u);
+  EXPECT_EQ(t.num_attributes(), 3u);
+  EXPECT_DOUBLE_EQ(t.value(3, 0), 34.0);
+  EXPECT_THROW(t.add_row(std::vector<double>{1, 2}), std::invalid_argument);
+  EXPECT_THROW(QuantTable({}), std::invalid_argument);
+}
+
+TEST(Discretize, CategoricalOneItemPerValue) {
+  const QuantMapping m = discretize(people());
+  // married: values {0,1} -> 2 items; cars: {0,1,2} -> 3 items.
+  int married_items = 0, cars_items = 0;
+  for (const QuantItem& item : m.items()) {
+    if (item.attribute == 1) ++married_items;
+    if (item.attribute == 2) ++cars_items;
+  }
+  EXPECT_EQ(married_items, 2);
+  EXPECT_EQ(cars_items, 3);
+}
+
+TEST(Discretize, EquiDepthBasesAreDisjointAndCover) {
+  const QuantTable t = people();
+  const QuantMapping m = discretize(t);
+  // age with 2 intervals over {23,25,29,34,38}: [23,25] and [29,38].
+  std::vector<QuantItem> bases;
+  for (const QuantItem& item : m.items()) {
+    if (item.attribute == 0 && item.is_base) bases.push_back(item);
+  }
+  ASSERT_EQ(bases.size(), 2u);
+  EXPECT_DOUBLE_EQ(bases[0].lo, 23.0);
+  EXPECT_DOUBLE_EQ(bases[0].hi, 25.0);
+  EXPECT_DOUBLE_EQ(bases[1].lo, 29.0);
+  EXPECT_DOUBLE_EQ(bases[1].hi, 38.0);
+}
+
+TEST(Discretize, TiesNeverStraddleBoundaries) {
+  QuantTable t({{"x", AttrKind::Numeric, 3}});
+  for (const double v : {1.0, 1.0, 1.0, 1.0, 2.0, 3.0}) {
+    t.add_row(std::vector<double>{v});
+  }
+  const QuantMapping m = discretize(t);
+  for (const QuantItem& a : m.items()) {
+    if (!a.is_base) continue;
+    for (const QuantItem& b : m.items()) {
+      if (!b.is_base || &a == &b) continue;
+      EXPECT_TRUE(a.hi < b.lo || b.hi < a.lo)
+          << "[" << a.lo << "," << a.hi << "] vs [" << b.lo << "," << b.hi
+          << "]";
+    }
+  }
+}
+
+TEST(Discretize, MergedRangesRespectSupportCap) {
+  QuantTable t({{"x", AttrKind::Numeric, 4}});
+  for (int v = 0; v < 100; ++v) t.add_row(std::vector<double>{double(v)});
+  const QuantMapping strict = discretize(t, 0.5);
+  const QuantMapping loose = discretize(t, 1.1);
+  auto ranges = [](const QuantMapping& m) {
+    int n = 0;
+    for (const QuantItem& item : m.items()) n += !item.is_base;
+    return n;
+  };
+  // 4 equi-depth bases of 25 rows: cap 0.5 permits only single merges
+  // (50 rows == cap fails the < test), so 3 ranges; uncapped allows all
+  // C(4,2) = 6 consecutive ranges.
+  EXPECT_EQ(ranges(strict), 3);
+  EXPECT_EQ(ranges(loose), 6);
+}
+
+TEST(ToBoolean, RowGetsBaseAndCoveringRanges) {
+  const QuantTable t = people();
+  const QuantMapping m = discretize(t, 1.1);  // keep all ranges
+  const Database db = to_boolean(t, m);
+  ASSERT_EQ(db.size(), 5u);
+  // Row 0 (age 23): base [23,25], the merged [23,38] range, married=0,
+  // cars=1 -> 4 items.
+  EXPECT_EQ(db.transaction_size(0), 4u);
+}
+
+TEST(Describe, RendersAttributeTerms) {
+  const QuantTable t = people();
+  const QuantMapping m = discretize(t);
+  bool saw_range = false, saw_cat = false;
+  for (item_t id = 0; id < m.universe(); ++id) {
+    const std::string s = m.describe(id, t);
+    if (s.find("age in [") != std::string::npos) saw_range = true;
+    if (s.find("married = ") != std::string::npos) saw_cat = true;
+  }
+  EXPECT_TRUE(saw_range);
+  EXPECT_TRUE(saw_cat);
+}
+
+TEST(MineQuantitative, FindsThePlantedRule) {
+  // 200 rows: age >= 30 implies cars = 2, younger implies cars <= 1.
+  QuantTable t({{"age", AttrKind::Numeric, 2},
+                {"cars", AttrKind::Categorical}});
+  for (int r = 0; r < 100; ++r) {
+    t.add_row(std::vector<double>{20.0 + r % 10, r % 2 ? 1.0 : 0.0});
+  }
+  for (int r = 0; r < 100; ++r) {
+    t.add_row(std::vector<double>{30.0 + r % 10, 2.0});
+  }
+  MinerOptions opts;
+  opts.min_support = 0.2;
+  opts.min_confidence = 0.9;
+  const auto rules = mine_quantitative(t, opts);
+  bool found = false;
+  for (const QuantRule& rule : rules) {
+    if (rule.text.find("age in [30, 39] => cars = 2") != std::string::npos) {
+      found = true;
+      EXPECT_GE(rule.confidence, 0.99);
+      EXPECT_DOUBLE_EQ(rule.support, 0.5);
+    }
+  }
+  EXPECT_TRUE(found) << "planted rule not mined";
+}
+
+TEST(MineQuantitative, NoSameAttributeItemsets) {
+  QuantTable t({{"x", AttrKind::Numeric, 4}});
+  for (int v = 0; v < 50; ++v) t.add_row(std::vector<double>{double(v % 10)});
+  MinerOptions opts;
+  opts.min_support = 0.05;
+  opts.min_confidence = 0.0;
+  // Single attribute => every multi-item candidate is same-attribute and
+  // vetoed => no rules at all.
+  EXPECT_TRUE(mine_quantitative(t, opts).empty());
+}
+
+TEST(MineQuantitative, MatchesBruteForceModuloVeto) {
+  QuantTable t({{"a", AttrKind::Numeric, 3},
+                {"b", AttrKind::Categorical}});
+  for (int r = 0; r < 120; ++r) {
+    t.add_row(std::vector<double>{double(r % 12), double(r % 3)});
+  }
+  const QuantMapping m = discretize(t, 0.6);
+  const Database db = to_boolean(t, m);
+  MinerOptions opts;
+  opts.min_support = 0.1;
+  opts.candidate_veto = [&m](std::span<const item_t> cand) {
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      for (std::size_t j = i + 1; j < cand.size(); ++j) {
+        if (m.same_attribute(cand[i], cand[j])) return true;
+      }
+    }
+    return false;
+  };
+  const MiningResult got = mine(db, opts);
+  // Brute force on the boolean db, then drop same-attribute itemsets.
+  const auto reference = brute_force_frequent(db, opts.min_support);
+  for (std::size_t level = 0; level < got.levels.size(); ++level) {
+    const FrequentSet& fk = got.levels[level];
+    for (std::size_t i = 0; i < fk.size(); ++i) {
+      const count_t* ref = reference[level].find_count(fk.itemset(i));
+      ASSERT_NE(ref, nullptr);
+      EXPECT_EQ(fk.count(i), *ref);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smpmine

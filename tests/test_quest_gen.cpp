@@ -1,0 +1,151 @@
+#include "data/quest_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace smpmine {
+namespace {
+
+QuestParams small_params() {
+  QuestParams p;
+  p.num_transactions = 5000;
+  p.avg_transaction_len = 10.0;
+  p.avg_pattern_len = 4.0;
+  p.num_patterns = 200;
+  p.num_items = 500;
+  p.seed = 123;
+  return p;
+}
+
+TEST(QuestGen, DeterministicForSeed) {
+  const Database a = generate_quest(small_params());
+  const Database b = generate_quest(small_params());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    const auto ta = a.transaction(t);
+    const auto tb = b.transaction(t);
+    ASSERT_TRUE(std::equal(ta.begin(), ta.end(), tb.begin(), tb.end()))
+        << "transaction " << t;
+  }
+}
+
+TEST(QuestGen, SeedChangesOutput) {
+  QuestParams p = small_params();
+  const Database a = generate_quest(p);
+  p.seed = 124;
+  const Database b = generate_quest(p);
+  bool different = a.size() != b.size();
+  for (std::size_t t = 0; !different && t < a.size(); ++t) {
+    const auto ta = a.transaction(t);
+    const auto tb = b.transaction(t);
+    different = !std::equal(ta.begin(), ta.end(), tb.begin(), tb.end());
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(QuestGen, TransactionCountMatchesD) {
+  const Database db = generate_quest(small_params());
+  EXPECT_EQ(db.size(), 5000u);
+}
+
+TEST(QuestGen, ItemsWithinUniverse) {
+  const Database db = generate_quest(small_params());
+  EXPECT_LE(db.item_universe(), 500u);
+}
+
+TEST(QuestGen, MeanTransactionSizeNearT) {
+  const Database db = generate_quest(small_params());
+  // Corruption and dedup shift the mean; it must land in a broad band
+  // around T.
+  EXPECT_GT(db.avg_transaction_size(), 5.0);
+  EXPECT_LT(db.avg_transaction_size(), 15.0);
+}
+
+TEST(QuestGen, NoEmptyTransactions) {
+  const Database db = generate_quest(small_params());
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    EXPECT_GE(db.transaction_size(t), 1u);
+  }
+}
+
+TEST(QuestGen, PatternsInduceFrequentPairs) {
+  // The whole point of the generator: shared maximal patterns make some
+  // pairs far more frequent than independence would allow.
+  const Database db = generate_quest(small_params());
+  std::vector<count_t> counts(db.item_universe(), 0);
+  std::map<std::pair<item_t, item_t>, count_t> pair_counts;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    const auto txn = db.transaction(t);
+    for (std::size_t i = 0; i < txn.size(); ++i) {
+      ++counts[txn[i]];
+      for (std::size_t j = i + 1; j < txn.size(); ++j) {
+        ++pair_counts[{txn[i], txn[j]}];
+      }
+    }
+  }
+  count_t best_pair = 0;
+  for (const auto& [_, c] : pair_counts) best_pair = std::max(best_pair, c);
+  // At 1% of D a pair is unambiguously a pattern artifact.
+  EXPECT_GE(best_pair, db.size() / 100);
+}
+
+TEST(QuestGen, NameParsing) {
+  const auto p = QuestParams::from_name("T10.I6.D400K");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->avg_transaction_len, 10.0);
+  EXPECT_DOUBLE_EQ(p->avg_pattern_len, 6.0);
+  EXPECT_EQ(p->num_transactions, 400'000u);
+}
+
+TEST(QuestGen, NameParsingMillions) {
+  const auto p = QuestParams::from_name("T10.I6.D2M");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->num_transactions, 2'000'000u);
+}
+
+TEST(QuestGen, NameParsingNoSuffix) {
+  const auto p = QuestParams::from_name("T5.I2.D1234");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->num_transactions, 1234u);
+}
+
+TEST(QuestGen, NameParsingRejectsGarbage) {
+  EXPECT_FALSE(QuestParams::from_name("garbage").has_value());
+  EXPECT_FALSE(QuestParams::from_name("T0.I2.D100K").has_value());
+  EXPECT_FALSE(QuestParams::from_name("T5.I2.D100Q").has_value());
+}
+
+TEST(QuestGen, NameRendering) {
+  QuestParams p;
+  p.avg_transaction_len = 10;
+  p.avg_pattern_len = 6;
+  p.num_transactions = 400'000;
+  EXPECT_EQ(p.name(), "T10.I6.D400K");
+  p.num_transactions = 1234;
+  EXPECT_EQ(p.name(), "T10.I6.D1234");
+}
+
+TEST(QuestGen, NameRoundTrip) {
+  for (const char* name : {"T5.I2.D100K", "T10.I4.D100K", "T15.I4.D100K",
+                           "T20.I6.D100K", "T10.I6.D400K", "T10.I6.D800K",
+                           "T10.I6.D1600K", "T10.I6.D3200K"}) {
+    const auto p = QuestParams::from_name(name);
+    ASSERT_TRUE(p.has_value()) << name;
+    EXPECT_EQ(p->name(), name);
+  }
+}
+
+TEST(QuestGen, ScaledShrinksOnlyD) {
+  QuestParams p = small_params();
+  const QuestParams s = scaled(p, 0.1);
+  EXPECT_EQ(s.num_transactions, 500u);
+  EXPECT_DOUBLE_EQ(s.avg_transaction_len, p.avg_transaction_len);
+  EXPECT_DOUBLE_EQ(s.avg_pattern_len, p.avg_pattern_len);
+  EXPECT_GE(scaled(p, 0.0).num_transactions, 1u);
+}
+
+}  // namespace
+}  // namespace smpmine

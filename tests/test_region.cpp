@@ -1,0 +1,136 @@
+#include "alloc/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace smpmine {
+namespace {
+
+TEST(Region, AllocationsAreWritable) {
+  Region region(4096);
+  auto* p = static_cast<char*>(region.alloc(100, 1));
+  std::memset(p, 0xAB, 100);
+  EXPECT_EQ(static_cast<unsigned char>(p[99]), 0xAB);
+}
+
+TEST(Region, ConsecutiveAllocationsAreContiguous) {
+  Region region(1 << 16);
+  auto* a = static_cast<char*>(region.alloc(24, 8));
+  auto* b = static_cast<char*>(region.alloc(24, 8));
+  // Placement is the point of the region: back-to-back within one chunk.
+  EXPECT_EQ(b, a + 24);
+}
+
+TEST(Region, RespectsAlignment) {
+  Region region;
+  for (std::size_t align : {1u, 2u, 4u, 8u, 16u, 64u, 256u}) {
+    void* p = region.alloc(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+}
+
+TEST(Region, GrowsBeyondOneChunk) {
+  Region region(1024);
+  for (int i = 0; i < 100; ++i) region.alloc(100, 8);
+  EXPECT_GT(region.stats().chunks, 1u);
+  EXPECT_EQ(region.stats().allocations, 100u);
+}
+
+TEST(Region, OversizedAllocationGetsDedicatedChunk) {
+  Region region(1024);
+  auto* p = static_cast<char*>(region.alloc(10000, 8));
+  std::memset(p, 1, 10000);
+  EXPECT_GE(region.stats().bytes_reserved, 10000u);
+}
+
+TEST(Region, ResetReusesFirstChunk) {
+  Region region(4096);
+  void* first = region.alloc(16, 8);
+  region.alloc(5000, 8);  // forces a second chunk
+  region.reset();
+  EXPECT_EQ(region.bytes_used(), 0u);
+  EXPECT_LE(region.stats().chunks, 1u);
+  void* again = region.alloc(16, 8);
+  EXPECT_EQ(again, first);  // same storage recycled
+}
+
+TEST(Region, ReleaseDropsEverything) {
+  Region region;
+  region.alloc(100, 8);
+  region.release();
+  EXPECT_EQ(region.stats().chunks, 0u);
+  EXPECT_EQ(region.stats().bytes_reserved, 0u);
+  // Usable again after release.
+  EXPECT_NE(region.alloc(8, 8), nullptr);
+}
+
+TEST(Region, ZeroByteAllocationsAreDistinct) {
+  Region region;
+  void* a = region.alloc(0, 1);
+  void* b = region.alloc(0, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Region, StatsTrackRequests) {
+  Region region;
+  region.alloc(10, 1);
+  region.alloc(20, 1);
+  EXPECT_EQ(region.stats().allocations, 2u);
+  EXPECT_EQ(region.stats().bytes_requested, 30u);
+}
+
+TEST(Region, ConcurrentAllocationsDoNotOverlap) {
+  Region region(1 << 16);
+  constexpr int kThreads = 4;
+  constexpr int kPer = 2000;
+  std::vector<std::vector<char*>> ptrs(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        auto* p = static_cast<char*>(region.alloc(16, 8));
+        std::memset(p, t + 1, 16);
+        ptrs[t].push_back(p);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Every block still holds its writer's pattern => no overlap.
+  for (int t = 0; t < kThreads; ++t) {
+    for (char* p : ptrs[t]) {
+      for (int b = 0; b < 16; ++b) ASSERT_EQ(p[b], t + 1);
+    }
+  }
+  EXPECT_EQ(region.stats().allocations,
+            static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+TEST(MallocArena, AllocatesAndTracks) {
+  MallocArena arena;
+  auto* p = static_cast<char*>(arena.alloc(64, 8));
+  std::memset(p, 0x5A, 64);
+  EXPECT_EQ(arena.stats().allocations, 1u);
+  EXPECT_EQ(arena.stats().bytes_requested, 64u);
+}
+
+TEST(MallocArena, OveralignedAllocation) {
+  MallocArena arena;
+  void* p = arena.alloc(64, 128);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 128, 0u);
+}
+
+TEST(MallocArena, ReleaseResetsStats) {
+  MallocArena arena;
+  arena.alloc(10, 8);
+  arena.alloc(10, 8);
+  arena.release();
+  EXPECT_EQ(arena.stats().chunks, 0u);
+  EXPECT_NE(arena.alloc(10, 8), nullptr);
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,117 @@
+#include "core/results_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/brute_force.hpp"
+#include "core/miner.hpp"
+#include "data/quest_gen.hpp"
+
+namespace smpmine {
+namespace {
+
+MiningResult mined() {
+  QuestParams p;
+  p.num_transactions = 300;
+  p.avg_transaction_len = 6.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 20;
+  p.num_items = 40;
+  p.seed = 606;
+  MinerOptions opts;
+  opts.min_support = 0.04;
+  return mine_sequential(generate_quest(p), opts);
+}
+
+TEST(ResultsIo, FrequentItemsetsRoundTrip) {
+  const MiningResult result = mined();
+  std::ostringstream os;
+  save_frequent_itemsets(result.levels, os);
+  std::istringstream is(os.str());
+  const auto loaded = load_frequent_itemsets(is);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(result.levels, loaded, &diag)) << diag;
+}
+
+TEST(ResultsIo, TextFormatShape) {
+  std::vector<FrequentSet> levels;
+  levels.emplace_back(1, std::vector<item_t>{3, 9}, std::vector<count_t>{7, 5});
+  levels.emplace_back(2, std::vector<item_t>{3, 9}, std::vector<count_t>{4});
+  std::ostringstream os;
+  save_frequent_itemsets(levels, os);
+  EXPECT_EQ(os.str(), "3 7\n9 5\n3 9 4\n");
+}
+
+TEST(ResultsIo, LoadRejectsMalformed) {
+  std::istringstream bad_token("1 2 x\n");
+  EXPECT_THROW(load_frequent_itemsets(bad_token), std::runtime_error);
+  std::istringstream single_field("42\n");
+  EXPECT_THROW(load_frequent_itemsets(single_field), std::runtime_error);
+  std::istringstream unsorted("2 1 5\n");
+  EXPECT_THROW(load_frequent_itemsets(unsorted), std::runtime_error);
+  std::istringstream duplicate("1 1 5\n");
+  EXPECT_THROW(load_frequent_itemsets(duplicate), std::runtime_error);
+  // Level 2 present without level 1.
+  std::istringstream gap("1 2 5\n");
+  EXPECT_THROW(load_frequent_itemsets(gap), std::runtime_error);
+}
+
+TEST(ResultsIo, EmptyRoundTrip) {
+  std::istringstream is("");
+  EXPECT_TRUE(load_frequent_itemsets(is).empty());
+}
+
+TEST(ResultsIo, LoadToleratesArbitraryOrder) {
+  // Records shuffled across levels and within a level still load sorted.
+  std::istringstream is("3 9 4\n9 5\n3 7\n");
+  const auto levels = load_frequent_itemsets(is);
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0].itemset(0)[0], 3u);
+  EXPECT_EQ(levels[0].itemset(1)[0], 9u);
+  EXPECT_EQ(levels[1].count(0), 4u);
+}
+
+TEST(ResultsIo, RulesCsv) {
+  const MiningResult result = mined();
+  const auto rules = generate_rules(result, 0.6, 300);
+  std::ostringstream os;
+  save_rules_csv(rules, os);
+  const std::string csv = os.str();
+  // Header plus one line per rule.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            rules.size() + 1);
+  EXPECT_EQ(csv.rfind("antecedent,consequent,support,confidence,lift,"
+                      "support_count\n", 0),
+            0u);
+  // Every data line has exactly 5 commas.
+  std::istringstream lines(csv);
+  std::string line;
+  std::getline(lines, line);  // header
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 5) << line;
+  }
+}
+
+TEST(ResultsIo, ReloadedLevelsDriveRuleGeneration) {
+  // The use case: mine once, save, reload later for rule generation.
+  const MiningResult result = mined();
+  std::ostringstream os;
+  save_frequent_itemsets(result.levels, os);
+  std::istringstream is(os.str());
+  MiningResult reloaded;
+  reloaded.levels = load_frequent_itemsets(is);
+  const auto original_rules = generate_rules(result, 0.7, 300);
+  const auto reloaded_rules = generate_rules(reloaded, 0.7, 300);
+  ASSERT_EQ(original_rules.size(), reloaded_rules.size());
+  for (std::size_t i = 0; i < original_rules.size(); ++i) {
+    EXPECT_EQ(original_rules[i].antecedent, reloaded_rules[i].antecedent);
+    EXPECT_EQ(original_rules[i].consequent, reloaded_rules[i].consequent);
+    EXPECT_DOUBLE_EQ(original_rules[i].confidence,
+                     reloaded_rules[i].confidence);
+  }
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,138 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace smpmine {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  // A degenerate all-zero state would emit zeros forever.
+  bool any_nonzero = false;
+  for (int i = 0; i < 16; ++i) any_nonzero |= rng.next_u64() != 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1048576ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformBoundOneIsZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(0), 0u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, SplitDecorrelates) {
+  Rng parent(19);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+class RngMomentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngMomentTest, PoissonMeanMatches) {
+  const double mean = GetParam();
+  Rng rng(23);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(mean);
+  const double sample_mean = sum / n;
+  // Standard error ~ sqrt(mean/n); allow 6 sigma.
+  EXPECT_NEAR(sample_mean, mean, 6.0 * std::sqrt(mean / n) + 1e-9);
+}
+
+TEST_P(RngMomentTest, ExponentialMeanMatches) {
+  const double mean = GetParam();
+  if (mean <= 0.0) GTEST_SKIP();
+  Rng rng(29);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.exponential(mean);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, mean, 6.0 * mean / std::sqrt(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngMomentTest,
+                         ::testing::Values(0.25, 1.0, 4.0, 10.0, 20.0, 45.0));
+
+TEST(Rng, NormalMoments) {
+  Rng rng(31);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(37);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,153 @@
+#include "core/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/miner.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+/// The paper's worked database: supports are known exactly.
+///   sup(1)=3 sup(2)=2 sup(4)=3 sup(5)=3
+///   sup(1,2)=2 sup(1,4)=2 sup(1,5)=2 sup(4,5)=3 sup(1,4,5)=2
+MiningResult example_result() {
+  Database db;
+  db.add_transaction(std::vector<item_t>{1, 4, 5});
+  db.add_transaction(std::vector<item_t>{1, 2});
+  db.add_transaction(std::vector<item_t>{3, 4, 5});
+  db.add_transaction(std::vector<item_t>{1, 2, 4, 5});
+  MinerOptions opts;
+  opts.min_support = 0.5;
+  return mine_sequential(db, opts);
+}
+
+const Rule* find_rule(const std::vector<Rule>& rules,
+                      std::vector<item_t> ante, std::vector<item_t> cons) {
+  for (const Rule& r : rules) {
+    if (r.antecedent == ante && r.consequent == cons) return &r;
+  }
+  return nullptr;
+}
+
+TEST(Rules, ConfidencesExact) {
+  const auto rules = generate_rules(example_result(), 0.0, 4);
+  // 2 => 1 has confidence sup(1,2)/sup(2) = 2/2 = 1.
+  const Rule* r = find_rule(rules, {2}, {1});
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->confidence, 1.0);
+  EXPECT_DOUBLE_EQ(r->support, 0.5);
+  // lift = conf / (sup(1)/4) = 1 / 0.75.
+  EXPECT_DOUBLE_EQ(r->lift, 4.0 / 3.0);
+
+  // 1 => 2 has confidence 2/3.
+  const Rule* rev = find_rule(rules, {1}, {2});
+  ASSERT_NE(rev, nullptr);
+  EXPECT_DOUBLE_EQ(rev->confidence, 2.0 / 3.0);
+
+  // 4 => 5 has confidence 3/3 = 1.
+  const Rule* r45 = find_rule(rules, {4}, {5});
+  ASSERT_NE(r45, nullptr);
+  EXPECT_DOUBLE_EQ(r45->confidence, 1.0);
+}
+
+TEST(Rules, ThresholdFilters) {
+  const auto all = generate_rules(example_result(), 0.0, 4);
+  const auto strict = generate_rules(example_result(), 0.9, 4);
+  EXPECT_LT(strict.size(), all.size());
+  for (const Rule& r : strict) EXPECT_GE(r.confidence, 0.9);
+}
+
+TEST(Rules, MultiItemConsequents) {
+  // 1 => (4,5): conf = sup(1,4,5)/sup(1) = 2/3.
+  const auto rules = generate_rules(example_result(), 0.0, 4);
+  const Rule* r = find_rule(rules, {1}, {4, 5});
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->confidence, 2.0 / 3.0);
+  // (4,5) => 1: conf = 2/3.
+  const Rule* r2 = find_rule(rules, {4, 5}, {1});
+  ASSERT_NE(r2, nullptr);
+  EXPECT_DOUBLE_EQ(r2->confidence, 2.0 / 3.0);
+}
+
+TEST(Rules, AllRulesFromK3Itemset) {
+  // (1,4,5) yields 6 rules (3 single-item + 3 two-item consequents) at
+  // min_confidence 0; together with the 8 from the four 2-itemsets that's
+  // every rule of the example.
+  const auto rules = generate_rules(example_result(), 0.0, 4);
+  int from_145 = 0;
+  for (const Rule& r : rules) {
+    std::vector<item_t> whole(r.antecedent);
+    whole.insert(whole.end(), r.consequent.begin(), r.consequent.end());
+    std::sort(whole.begin(), whole.end());
+    if (whole == std::vector<item_t>{1, 4, 5}) ++from_145;
+  }
+  EXPECT_EQ(from_145, 6);
+  EXPECT_EQ(rules.size(), 14u);
+}
+
+TEST(Rules, SortedByConfidenceThenSupport) {
+  const auto rules = generate_rules(example_result(), 0.0, 4);
+  for (std::size_t i = 1; i < rules.size(); ++i) {
+    const bool ordered =
+        rules[i - 1].confidence > rules[i].confidence ||
+        (rules[i - 1].confidence == rules[i].confidence &&
+         rules[i - 1].support >= rules[i].support);
+    EXPECT_TRUE(ordered) << i;
+  }
+}
+
+TEST(Rules, AntiMonotonePruningLosesNothing) {
+  // Exhaustively enumerate rules of the example by brute force and check
+  // the ap-genrules expansion found every rule above threshold.
+  const MiningResult result = example_result();
+  const double min_conf = 0.7;
+  const auto rules = generate_rules(result, min_conf, 4);
+
+  std::size_t expected = 0;
+  for (std::size_t level = 1; level < result.levels.size(); ++level) {
+    const FrequentSet& fk = result.levels[level];
+    for (std::size_t x = 0; x < fk.size(); ++x) {
+      const auto items = fk.itemset(x);
+      const std::vector<item_t> all(items.begin(), items.end());
+      // Every proper non-empty subset as consequent.
+      for (std::size_t ylen = 1; ylen < all.size(); ++ylen) {
+        for (const auto& y : k_subsets(all, ylen)) {
+          std::vector<item_t> ante;
+          std::set_difference(all.begin(), all.end(), y.begin(), y.end(),
+                              std::back_inserter(ante));
+          const count_t* sup_ante =
+              result.levels[ante.size() - 1].find_count(ante);
+          ASSERT_NE(sup_ante, nullptr);
+          const double conf =
+              static_cast<double>(fk.count(x)) / *sup_ante;
+          if (conf >= min_conf) {
+            ++expected;
+            EXPECT_NE(find_rule(rules, ante, y), nullptr)
+                << format_itemset(ante) << " => " << format_itemset(y);
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(rules.size(), expected);
+}
+
+TEST(Rules, EmptyResultYieldsNoRules) {
+  MiningResult empty;
+  EXPECT_TRUE(generate_rules(empty, 0.5, 100).empty());
+}
+
+TEST(Rules, ToStringMentionsMetrics) {
+  const auto rules = generate_rules(example_result(), 0.9, 4);
+  ASSERT_FALSE(rules.empty());
+  const std::string s = rules.front().to_string();
+  EXPECT_NE(s.find("=>"), std::string::npos);
+  EXPECT_NE(s.find("conf="), std::string::npos);
+  EXPECT_NE(s.find("lift="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,127 @@
+// Property tests for rule generation on mined Quest data: every emitted
+// rule's metrics must be re-derivable from the frequent-set supports, and
+// the rule set must be exactly the brute-force enumeration above the
+// confidence threshold.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/miner.hpp"
+#include "core/rules.hpp"
+#include "data/quest_gen.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+struct Fixture {
+  MiningResult result;
+  std::size_t d;
+};
+
+const Fixture& mined_fixture() {
+  static const Fixture fixture = [] {
+    QuestParams p;
+    p.num_transactions = 500;
+    p.avg_transaction_len = 7.0;
+    p.avg_pattern_len = 3.0;
+    p.num_patterns = 25;
+    p.num_items = 40;
+    p.seed = 555;
+    const Database db = generate_quest(p);
+    MinerOptions opts;
+    opts.min_support = 0.04;
+    return Fixture{mine_sequential(db, opts), db.size()};
+  }();
+  return fixture;
+}
+
+const count_t* lookup(const MiningResult& r, std::span<const item_t> items) {
+  if (items.empty() || items.size() > r.levels.size()) return nullptr;
+  return r.levels[items.size() - 1].find_count(items);
+}
+
+class RuleConfidenceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RuleConfidenceTest, EveryRuleVerifiable) {
+  const auto& [result, d] = mined_fixture();
+  const double min_conf = GetParam();
+  const auto rules = generate_rules(result, min_conf, d);
+
+  for (const Rule& rule : rules) {
+    // Antecedent and consequent are disjoint, sorted, non-empty.
+    ASSERT_FALSE(rule.antecedent.empty());
+    ASSERT_FALSE(rule.consequent.empty());
+    EXPECT_TRUE(std::is_sorted(rule.antecedent.begin(), rule.antecedent.end()));
+    EXPECT_TRUE(std::is_sorted(rule.consequent.begin(), rule.consequent.end()));
+    std::vector<item_t> overlap;
+    std::set_intersection(rule.antecedent.begin(), rule.antecedent.end(),
+                          rule.consequent.begin(), rule.consequent.end(),
+                          std::back_inserter(overlap));
+    EXPECT_TRUE(overlap.empty());
+
+    // Metrics re-derivable from the levels.
+    std::vector<item_t> whole(rule.antecedent);
+    whole.insert(whole.end(), rule.consequent.begin(), rule.consequent.end());
+    std::sort(whole.begin(), whole.end());
+    const count_t* sup_whole = lookup(result, whole);
+    const count_t* sup_ante = lookup(result, rule.antecedent);
+    const count_t* sup_cons = lookup(result, rule.consequent);
+    ASSERT_NE(sup_whole, nullptr);
+    ASSERT_NE(sup_ante, nullptr);
+    ASSERT_NE(sup_cons, nullptr);
+    EXPECT_EQ(rule.support_count, *sup_whole);
+    EXPECT_DOUBLE_EQ(rule.confidence,
+                     static_cast<double>(*sup_whole) / *sup_ante);
+    EXPECT_GE(rule.confidence, min_conf);
+    EXPECT_DOUBLE_EQ(rule.support,
+                     static_cast<double>(*sup_whole) / static_cast<double>(d));
+    EXPECT_DOUBLE_EQ(rule.lift, rule.confidence * static_cast<double>(d) /
+                                    static_cast<double>(*sup_cons));
+  }
+}
+
+TEST_P(RuleConfidenceTest, CompleteAgainstBruteForce) {
+  const auto& [result, d] = mined_fixture();
+  const double min_conf = GetParam();
+  const auto rules = generate_rules(result, min_conf, d);
+
+  std::set<std::pair<std::vector<item_t>, std::vector<item_t>>> emitted;
+  for (const Rule& r : rules) emitted.insert({r.antecedent, r.consequent});
+  EXPECT_EQ(emitted.size(), rules.size()) << "duplicate rules";
+
+  std::size_t expected = 0;
+  for (std::size_t level = 1; level < result.levels.size(); ++level) {
+    const FrequentSet& fk = result.levels[level];
+    for (std::size_t x = 0; x < fk.size(); ++x) {
+      const auto items = fk.itemset(x);
+      const std::vector<item_t> all(items.begin(), items.end());
+      for (std::size_t ylen = 1; ylen < all.size(); ++ylen) {
+        for (const auto& y : k_subsets(all, ylen)) {
+          std::vector<item_t> ante;
+          std::set_difference(all.begin(), all.end(), y.begin(), y.end(),
+                              std::back_inserter(ante));
+          const count_t* sup_ante = lookup(result, ante);
+          ASSERT_NE(sup_ante, nullptr);
+          if (static_cast<double>(fk.count(x)) / *sup_ante >= min_conf) {
+            ++expected;
+            EXPECT_TRUE(emitted.count({ante, y}))
+                << format_itemset(ante) << " => " << format_itemset(y);
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(rules.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, RuleConfidenceTest,
+                         ::testing::Values(0.3, 0.6, 0.9, 1.0),
+                         [](const auto& info) {
+                           return "c" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,115 @@
+#include "seqpat/sequence_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace smpmine {
+namespace {
+
+TEST(SequenceDb, Empty) {
+  SequenceDatabase db;
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.num_customers(), 0u);
+  EXPECT_EQ(db.total_transactions(), 0u);
+  EXPECT_EQ(db.item_universe(), 0u);
+}
+
+TEST(SequenceDb, AddCustomersPreservesOrder) {
+  SequenceDatabase db;
+  const std::vector<std::vector<item_t>> c0{{3, 1}, {2}};
+  const std::vector<std::vector<item_t>> c1{{5}};
+  db.add_customer(c0);
+  db.add_customer(c1);
+  ASSERT_EQ(db.num_customers(), 2u);
+  ASSERT_EQ(db.sequence_length(0), 2u);
+  ASSERT_EQ(db.sequence_length(1), 1u);
+  const auto t00 = db.transaction(0, 0);
+  EXPECT_EQ(std::vector<item_t>(t00.begin(), t00.end()),
+            (std::vector<item_t>{1, 3}));  // sorted
+  EXPECT_EQ(db.transaction(0, 1)[0], 2u);
+  EXPECT_EQ(db.transaction(1, 0)[0], 5u);
+  EXPECT_EQ(db.item_universe(), 6u);
+}
+
+TEST(SequenceDb, EmptyTransactionsDropped) {
+  SequenceDatabase db;
+  const std::vector<std::vector<item_t>> c{{1}, {}, {2}};
+  db.add_customer(c);
+  EXPECT_EQ(db.sequence_length(0), 2u);
+}
+
+TEST(SequenceDb, CustomerWithNoTransactions) {
+  SequenceDatabase db;
+  db.add_customer(std::vector<std::vector<item_t>>{});
+  EXPECT_EQ(db.num_customers(), 1u);
+  EXPECT_EQ(db.sequence_length(0), 0u);
+}
+
+TEST(SequenceDb, DuplicateItemsDeduped) {
+  SequenceDatabase db;
+  const std::vector<std::vector<item_t>> c{{4, 4, 4}};
+  db.add_customer(c);
+  EXPECT_EQ(db.transaction(0, 0).size(), 1u);
+}
+
+TEST(SeqGen, DeterministicAndShaped) {
+  SeqGenParams p;
+  p.num_customers = 500;
+  p.avg_transactions = 6.0;
+  p.avg_transaction_len = 3.0;
+  p.num_items = 50;
+  p.seed = 11;
+  const SequenceDatabase a = generate_sequences(p);
+  const SequenceDatabase b = generate_sequences(p);
+  ASSERT_EQ(a.num_customers(), 500u);
+  ASSERT_EQ(a.total_transactions(), b.total_transactions());
+  EXPECT_LE(a.item_universe(), 50u);
+  // Mean sequence length in a sane band around the parameter.
+  const double mean = static_cast<double>(a.total_transactions()) /
+                      static_cast<double>(a.num_customers());
+  EXPECT_GT(mean, 4.0);
+  EXPECT_LT(mean, 8.0);
+  for (std::size_t c = 0; c < 20; ++c) {
+    ASSERT_EQ(a.sequence_length(c), b.sequence_length(c));
+    for (std::size_t t = 0; t < a.sequence_length(c); ++t) {
+      const auto ta = a.transaction(c, t);
+      const auto tb = b.transaction(c, t);
+      ASSERT_TRUE(std::equal(ta.begin(), ta.end(), tb.begin(), tb.end()));
+    }
+  }
+}
+
+TEST(SeqGen, PatternsInduceRepeatedSequences) {
+  SeqGenParams p;
+  p.num_customers = 2000;
+  p.num_items = 100;
+  p.seed = 13;
+  const SequenceDatabase db = generate_sequences(p);
+  // At least one ordered item pair (a then b in later transaction) must be
+  // shared by many customers — that's what the planted patterns are for.
+  std::map<std::pair<item_t, item_t>, std::uint32_t> pair_customers;
+  for (std::size_t c = 0; c < db.num_customers(); ++c) {
+    std::set<std::pair<item_t, item_t>> seen;
+    for (std::size_t t1 = 0; t1 < db.sequence_length(c); ++t1) {
+      for (std::size_t t2 = t1 + 1; t2 < db.sequence_length(c); ++t2) {
+        for (const item_t a : db.transaction(c, t1)) {
+          for (const item_t b : db.transaction(c, t2)) {
+            seen.insert({a, b});
+          }
+        }
+      }
+    }
+    for (const auto& pr : seen) ++pair_customers[pr];
+  }
+  std::uint32_t best = 0;
+  for (const auto& [_, n] : pair_customers) best = std::max(best, n);
+  // Random co-occurrence of a fixed ordered pair is far below 5%; only a
+  // planted pattern clears it.
+  EXPECT_GE(best, db.num_customers() / 20);
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,58 @@
+#include "parallel/spinlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smpmine {
+namespace {
+
+TEST(SpinLock, BasicLockUnlock) {
+  SpinLock lock;
+  lock.lock();
+  lock.unlock();
+  lock.lock();
+  lock.unlock();
+}
+
+TEST(SpinLock, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SpinLock, MutualExclusionUnderContention) {
+  SpinLock lock;
+  std::uint64_t counter = 0;  // deliberately non-atomic
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::lock_guard<SpinLock> guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(PaddedSpinLock, OccupiesFullCacheLine) {
+  EXPECT_EQ(sizeof(PaddedSpinLock), kCacheLine);
+  EXPECT_EQ(alignof(PaddedSpinLock), kCacheLine);
+}
+
+TEST(SpinLock, IsSingleByteSized) {
+  // Embeddability in tree nodes is the design constraint.
+  EXPECT_EQ(sizeof(SpinLock), 1u);
+}
+
+}  // namespace
+}  // namespace smpmine

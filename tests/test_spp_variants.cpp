@@ -1,0 +1,99 @@
+// Section 5.1's three SPP variations: common / individual / grouped
+// regions. Same mining results, different block routing.
+#include <gtest/gtest.h>
+
+#include "alloc/placement.hpp"
+#include "core/brute_force.hpp"
+#include "core/miner.hpp"
+#include "data/quest_gen.hpp"
+
+namespace smpmine {
+namespace {
+
+TEST(SppVariants, CommonRoutesEverythingToOneArena) {
+  PlacementArenas arenas(PlacementPolicy::SPP, SppVariant::Common);
+  Arena* first = &arenas.tree(BlockKind::Node);
+  for (const BlockKind kind :
+       {BlockKind::HashTable, BlockKind::ListHeader, BlockKind::ListNode,
+        BlockKind::Itemset}) {
+    EXPECT_EQ(&arenas.tree(kind), first);
+  }
+}
+
+TEST(SppVariants, IndividualRoutesEachKindSeparately) {
+  PlacementArenas arenas(PlacementPolicy::SPP, SppVariant::Individual);
+  const BlockKind kinds[] = {BlockKind::Node, BlockKind::HashTable,
+                             BlockKind::ListHeader, BlockKind::ListNode,
+                             BlockKind::Itemset};
+  for (std::size_t i = 0; i < std::size(kinds); ++i) {
+    for (std::size_t j = i + 1; j < std::size(kinds); ++j) {
+      EXPECT_NE(&arenas.tree(kinds[i]), &arenas.tree(kinds[j]))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(SppVariants, GroupedSplitsSkeletonFromLeafContents) {
+  PlacementArenas arenas(PlacementPolicy::SPP, SppVariant::Grouped);
+  EXPECT_EQ(&arenas.tree(BlockKind::Node), &arenas.tree(BlockKind::HashTable));
+  EXPECT_EQ(&arenas.tree(BlockKind::Node),
+            &arenas.tree(BlockKind::ListHeader));
+  EXPECT_EQ(&arenas.tree(BlockKind::ListNode),
+            &arenas.tree(BlockKind::Itemset));
+  EXPECT_NE(&arenas.tree(BlockKind::Node), &arenas.tree(BlockKind::ListNode));
+}
+
+TEST(SppVariants, MallocIgnoresVariant) {
+  PlacementArenas arenas(PlacementPolicy::Malloc, SppVariant::Individual);
+  EXPECT_EQ(arenas.variant(), SppVariant::Common);
+  EXPECT_EQ(&arenas.tree(BlockKind::Node), &arenas.tree(BlockKind::Itemset));
+}
+
+TEST(SppVariants, ResetRecyclesExtraRegions) {
+  PlacementArenas arenas(PlacementPolicy::SPP, SppVariant::Individual);
+  void* a1 = arenas.tree(BlockKind::Itemset).alloc(32, 8);
+  arenas.reset();
+  void* a2 = arenas.tree(BlockKind::Itemset).alloc(32, 8);
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(SppVariants, TreeStatsAggregateAcrossRegions) {
+  PlacementArenas arenas(PlacementPolicy::SPP, SppVariant::Individual);
+  arenas.tree(BlockKind::Node).alloc(100, 8);
+  arenas.tree(BlockKind::Itemset).alloc(100, 8);
+  EXPECT_EQ(arenas.tree_stats().bytes_requested, 200u);
+  EXPECT_EQ(arenas.tree_stats().allocations, 2u);
+}
+
+class VariantMiningTest : public ::testing::TestWithParam<SppVariant> {};
+
+TEST_P(VariantMiningTest, ResultsIdenticalAcrossVariants) {
+  QuestParams p;
+  p.num_transactions = 300;
+  p.avg_transaction_len = 7.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 25;
+  p.num_items = 50;
+  p.seed = 4242;
+  const Database db = generate_quest(p);
+
+  MinerOptions opts;
+  opts.min_support = 0.03;
+  opts.threads = 2;
+  opts.spp_variant = GetParam();
+  const MiningResult got = mine(db, opts);
+  const auto reference = brute_force_frequent(db, opts.min_support);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(got.levels, reference, &diag)) << diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, VariantMiningTest,
+                         ::testing::Values(SppVariant::Common,
+                                           SppVariant::Individual,
+                                           SppVariant::Grouped),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace smpmine

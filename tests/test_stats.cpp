@@ -1,0 +1,69 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smpmine {
+namespace {
+
+MiningResult sample_result() {
+  MiningResult r;
+  r.levels.emplace_back(1, std::vector<item_t>{1, 2, 3},
+                        std::vector<count_t>{10, 9, 8});
+  r.levels.emplace_back(2, std::vector<item_t>{1, 2, 1, 3},
+                        std::vector<count_t>{7, 6});
+  IterationStats it;
+  it.k = 2;
+  it.candidates = 3;
+  it.frequent = 2;
+  it.fanout = 4;
+  it.tree_nodes = 5;
+  it.count_busy_sum = 4.0;
+  it.count_busy_max = 1.0;
+  it.internal_visits = 100;
+  it.leaf_visits = 50;
+  it.containment_checks = 25;
+  it.candgen_seconds = 0.5;
+  it.count_seconds = 1.5;
+  r.iterations.push_back(it);
+  r.total_seconds = 2.5;
+  return r;
+}
+
+TEST(Stats, Totals) {
+  const MiningResult r = sample_result();
+  EXPECT_EQ(r.total_frequent(), 5u);
+  EXPECT_EQ(r.total_candidates(), 3u);
+  EXPECT_EQ(r.traversal_work(), 175u);
+}
+
+TEST(Stats, WorkSpeedup) {
+  const MiningResult r = sample_result();
+  EXPECT_DOUBLE_EQ(r.work_speedup(), 4.0);
+  MiningResult empty;
+  EXPECT_DOUBLE_EQ(empty.work_speedup(), 1.0);
+}
+
+TEST(Stats, PhaseTotal) {
+  const MiningResult r = sample_result();
+  EXPECT_DOUBLE_EQ(r.phase_total(&IterationStats::candgen_seconds), 0.5);
+  EXPECT_DOUBLE_EQ(r.phase_total(&IterationStats::count_seconds), 1.5);
+}
+
+TEST(Stats, IterationTotalSeconds) {
+  IterationStats it;
+  it.candgen_seconds = 1;
+  it.remap_seconds = 2;
+  it.count_seconds = 3;
+  it.reduce_seconds = 4;
+  it.select_seconds = 5;
+  EXPECT_DOUBLE_EQ(it.total_seconds(), 15.0);
+}
+
+TEST(Stats, ReportContainsIterationRows) {
+  const std::string report = sample_result().report();
+  EXPECT_NE(report.find("candidates"), std::string::npos);
+  EXPECT_NE(report.find("total frequent itemsets: 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smpmine

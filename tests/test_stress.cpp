@@ -1,0 +1,165 @@
+// Stress and adversarial-shape tests: pathological tree shapes under heavy
+// concurrency, group-dedup counting, and the work-model invariants.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "core/miner.hpp"
+#include "data/quest_gen.hpp"
+#include "hashtree/hash_tree.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+std::vector<std::vector<item_t>> combos(item_t universe, std::size_t k) {
+  std::vector<item_t> base(universe);
+  std::iota(base.begin(), base.end(), 0u);
+  return k_subsets(base, k);
+}
+
+TEST(Stress, ConcurrentInsertsThresholdOneFanoutOne) {
+  // Fanout 1 + threshold 1 forces a conversion cascade down to depth k on
+  // nearly every insert — the worst case for the lock/convert protocol.
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  const HashPolicy policy(HashScheme::Interleaved, 1);
+  HashTree tree({.k = 3, .fanout = 1, .leaf_threshold = 1}, policy, arenas);
+  const auto candidates = combos(16, 3);  // 560 candidates
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t i = t; i < candidates.size(); i += kThreads) {
+        tree.insert(candidates[i]);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(tree.num_candidates(), candidates.size());
+  std::set<std::vector<item_t>> seen;
+  tree.for_each_candidate([&](const Candidate& cand) {
+    const auto view = cand.view(3);
+    seen.insert({view.begin(), view.end()});
+  });
+  EXPECT_EQ(seen.size(), candidates.size());
+  // With fanout 1 everything lives in the single depth-3 leaf.
+  const TreeStats stats = tree.stats();
+  EXPECT_EQ(stats.max_depth, 3u);
+}
+
+TEST(Stress, ConcurrentInsertsHighContentionSameLeaf) {
+  // All candidates share the same bucket path prefix, funneling every
+  // thread through the same lock chain.
+  PlacementArenas arenas(PlacementPolicy::LSPP);
+  const HashPolicy policy(HashScheme::Interleaved, 8);
+  HashTree tree({.k = 2, .fanout = 8, .leaf_threshold = 2}, policy, arenas);
+  // Items all congruent mod 8 => one bucket at every level.
+  std::vector<std::vector<item_t>> candidates;
+  for (item_t a = 0; a < 40; a += 8) {
+    for (item_t b = a + 8; b < 320; b += 8) {
+      candidates.push_back({a, b});
+    }
+  }
+  constexpr int kThreads = 6;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t i = t; i < candidates.size(); i += kThreads) {
+        tree.insert(candidates[i]);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(tree.num_candidates(), candidates.size());
+}
+
+TEST(GroupDedup, CandidateCountedOncePerGroup) {
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  const HashPolicy policy(HashScheme::Interleaved, 2);
+  HashTree tree({.k = 2, .fanout = 2, .leaf_threshold = 4}, policy, arenas);
+  tree.insert(std::vector<item_t>{1, 2});
+
+  CountContext ctx = tree.make_context(SubsetCheck::FrameLocal);
+  tree.enable_group_dedup(ctx);
+  // Group 1: the itemset appears in three "transactions" — one count.
+  HashTree::begin_group(ctx);
+  for (int i = 0; i < 3; ++i) {
+    tree.count_transaction(std::vector<item_t>{1, 2, 5}, ctx);
+  }
+  // Group 2: appears once — one more count.
+  HashTree::begin_group(ctx);
+  tree.count_transaction(std::vector<item_t>{0, 1, 2}, ctx);
+  // Group 3: absent — nothing.
+  HashTree::begin_group(ctx);
+  tree.count_transaction(std::vector<item_t>{3, 4}, ctx);
+
+  tree.for_each_candidate(
+      [&](const Candidate& cand) { EXPECT_EQ(*cand.count, 2u); });
+}
+
+TEST(GroupDedup, DisabledContextCountsEveryTransaction) {
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  const HashPolicy policy(HashScheme::Interleaved, 2);
+  HashTree tree({.k = 2, .fanout = 2, .leaf_threshold = 4}, policy, arenas);
+  tree.insert(std::vector<item_t>{1, 2});
+  CountContext ctx = tree.make_context(SubsetCheck::FrameLocal);
+  for (int i = 0; i < 3; ++i) {
+    tree.count_transaction(std::vector<item_t>{1, 2}, ctx);
+  }
+  tree.for_each_candidate(
+      [&](const Candidate& cand) { EXPECT_EQ(*cand.count, 3u); });
+}
+
+TEST(WorkModel, InvariantsHold) {
+  QuestParams p;
+  p.num_transactions = 1000;
+  p.avg_transaction_len = 8.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 40;
+  p.num_items = 60;
+  p.seed = 9090;
+  const Database db = generate_quest(p);
+  MinerOptions opts;
+  opts.min_support = 0.02;
+  opts.threads = 4;
+  const MiningResult r = mine_ccpd(db, opts);
+  for (const auto& it : r.iterations) {
+    // Critical path never exceeds total work, and never exceeds P x path.
+    EXPECT_LE(it.count_busy_max, it.count_busy_sum + 1e-9);
+    EXPECT_LE(it.count_busy_sum, 4.0 * it.count_busy_max + 1e-9);
+    EXPECT_LE(it.candgen_busy_max, it.candgen_busy_sum + 1e-9);
+    EXPECT_GE(it.modeled_parallel_seconds(), it.count_busy_max - 1e-9);
+  }
+  const double speedup = r.work_speedup();
+  EXPECT_GE(speedup, 1.0 - 1e-9);
+  EXPECT_LE(speedup, 4.0 + 1e-9);
+}
+
+TEST(Stress, ManyIterationsDeepTree) {
+  // A dataset engineered for deep iterations: one strong pattern of size 8
+  // appearing in 60% of transactions drives F(k) out to k=8.
+  Database db;
+  const std::vector<item_t> core{1, 2, 3, 4, 5, 6, 7, 8};
+  Rng rng(77);
+  std::vector<item_t> txn;
+  for (int t = 0; t < 500; ++t) {
+    txn.clear();
+    if (t % 5 != 0) txn.insert(txn.end(), core.begin(), core.end());
+    for (int n = 0; n < 4; ++n) {
+      txn.push_back(static_cast<item_t>(9 + rng.uniform(30)));
+    }
+    db.add_transaction(txn);
+  }
+  MinerOptions opts;
+  opts.min_support = 0.5;
+  const MiningResult r = mine_sequential(db, opts);
+  ASSERT_EQ(r.levels.size(), 8u);
+  // The deepest level holds exactly the core pattern.
+  EXPECT_EQ(r.levels.back().size(), 1u);
+  EXPECT_EQ(compare_itemsets(r.levels.back().itemset(0), core), 0);
+}
+
+}  // namespace
+}  // namespace smpmine

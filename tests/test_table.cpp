@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace smpmine {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string out = t.render();
+  std::istringstream is(out);
+  std::string header, rule, row1, row2;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  EXPECT_NE(header.find("name"), std::string::npos);
+  EXPECT_EQ(rule.find_first_not_of('-'), std::string::npos);
+  // Value column starts at the same offset in every row.
+  EXPECT_EQ(row1.find('1'), row2.find("12345"));
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTable, PctFormatting) {
+  EXPECT_EQ(TextTable::pct(0.25, 1), "25.0%");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(TextTable, EmptyTableRendersHeaderOnly) {
+  TextTable t({"x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find('x'), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);  // header + rule
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,137 @@
+#include "taxonomy/taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smpmine {
+namespace {
+
+/// The classic clothes example:
+///   0 jacket -> 2 outerwear -> 4 clothes
+///   1 ski pants -> 2 outerwear
+///   3 shirts -> 4 clothes
+///   5 shoes -> 6 footwear, 7 hiking boots -> 6 footwear
+Taxonomy clothes() {
+  Taxonomy tax(8);
+  tax.add_edge(0, 2);
+  tax.add_edge(1, 2);
+  tax.add_edge(2, 4);
+  tax.add_edge(3, 4);
+  tax.add_edge(5, 6);
+  tax.add_edge(7, 6);
+  return tax;
+}
+
+TEST(Taxonomy, DirectParents) {
+  const Taxonomy tax = clothes();
+  ASSERT_EQ(tax.parents(0).size(), 1u);
+  EXPECT_EQ(tax.parents(0)[0], 2u);
+  EXPECT_TRUE(tax.parents(4).empty());
+}
+
+TEST(Taxonomy, TransitiveAncestors) {
+  const Taxonomy tax = clothes();
+  const auto anc = tax.ancestors(0);
+  EXPECT_EQ(std::vector<item_t>(anc.begin(), anc.end()),
+            (std::vector<item_t>{2, 4}));
+  EXPECT_TRUE(tax.ancestors(4).empty());
+}
+
+TEST(Taxonomy, IsAncestor) {
+  const Taxonomy tax = clothes();
+  EXPECT_TRUE(tax.is_ancestor(4, 0));
+  EXPECT_TRUE(tax.is_ancestor(2, 1));
+  EXPECT_FALSE(tax.is_ancestor(0, 4));  // not symmetric
+  EXPECT_FALSE(tax.is_ancestor(6, 0));  // different subtree
+  EXPECT_FALSE(tax.is_ancestor(0, 0));  // not reflexive
+}
+
+TEST(Taxonomy, MultipleParentsDag) {
+  Taxonomy tax(4);
+  tax.add_edge(0, 1);
+  tax.add_edge(0, 2);
+  tax.add_edge(1, 3);
+  tax.add_edge(2, 3);  // diamond
+  const auto anc = tax.ancestors(0);
+  EXPECT_EQ(std::vector<item_t>(anc.begin(), anc.end()),
+            (std::vector<item_t>{1, 2, 3}));  // 3 deduplicated
+}
+
+TEST(Taxonomy, RejectsCycles) {
+  Taxonomy tax(3);
+  tax.add_edge(0, 1);
+  tax.add_edge(1, 2);
+  EXPECT_THROW(tax.add_edge(2, 0), std::invalid_argument);
+  EXPECT_THROW(tax.add_edge(0, 0), std::invalid_argument);
+}
+
+TEST(Taxonomy, RejectsOutOfRange) {
+  Taxonomy tax(3);
+  EXPECT_THROW(tax.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(tax.add_edge(5, 1), std::invalid_argument);
+}
+
+TEST(Taxonomy, DuplicateEdgeIgnored) {
+  Taxonomy tax(3);
+  tax.add_edge(0, 1);
+  tax.add_edge(0, 1);
+  EXPECT_EQ(tax.num_edges(), 1u);
+}
+
+TEST(Taxonomy, HasItemWithAncestor) {
+  const Taxonomy tax = clothes();
+  const std::vector<item_t> redundant{0, 2};    // jacket + outerwear
+  const std::vector<item_t> deep{0, 4};         // jacket + clothes
+  const std::vector<item_t> fine{0, 3};         // jacket + shirts
+  const std::vector<item_t> siblings{0, 1};     // jacket + ski pants
+  EXPECT_TRUE(tax.has_item_with_ancestor(redundant));
+  EXPECT_TRUE(tax.has_item_with_ancestor(deep));
+  EXPECT_FALSE(tax.has_item_with_ancestor(fine));
+  EXPECT_FALSE(tax.has_item_with_ancestor(siblings));
+  EXPECT_FALSE(tax.has_item_with_ancestor({}));
+}
+
+TEST(Taxonomy, RootsAndLeaves) {
+  const Taxonomy tax = clothes();
+  // Roots: parentless items that actually head a subtree (4 clothes,
+  // 6 footwear). Leaves: items with no children — what raw baskets hold.
+  EXPECT_EQ(tax.roots(), (std::vector<item_t>{4, 6}));
+  EXPECT_EQ(tax.leaves(), (std::vector<item_t>{0, 1, 3, 5, 7}));
+}
+
+TEST(Taxonomy, FreezeMakesQueriesConst) {
+  Taxonomy tax = clothes();
+  tax.freeze();
+  const Taxonomy& frozen = tax;
+  EXPECT_EQ(frozen.ancestors(0).size(), 2u);
+}
+
+TEST(RandomTaxonomy, ShapeAndDeterminism) {
+  TaxonomyParams p;
+  p.universe = 200;
+  p.roots = 10;
+  p.levels = 3;
+  p.seed = 5;
+  const Taxonomy a = make_random_taxonomy(p);
+  const Taxonomy b = make_random_taxonomy(p);
+  // Every non-root has at least one ancestor; roots have none.
+  for (item_t i = 0; i < 10; ++i) EXPECT_TRUE(a.ancestors(i).empty());
+  for (item_t i = 10; i < 200; ++i) {
+    EXPECT_FALSE(a.ancestors(i).empty()) << i;
+    EXPECT_LE(a.ancestors(i).size(), 2u);  // at most levels-1 ancestors
+    // Determinism.
+    const auto aa = a.ancestors(i);
+    const auto bb = b.ancestors(i);
+    EXPECT_TRUE(std::equal(aa.begin(), aa.end(), bb.begin(), bb.end()));
+  }
+}
+
+TEST(RandomTaxonomy, DegenerateParams) {
+  TaxonomyParams p;
+  p.universe = 10;
+  p.roots = 10;  // no room for interior items
+  const Taxonomy tax = make_random_taxonomy(p);
+  EXPECT_EQ(tax.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace smpmine

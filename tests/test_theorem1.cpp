@@ -1,0 +1,166 @@
+// Property tests for Theorem 1 (paper Section 4.1): per-leaf occupancy
+// bounds of the bitonic hash function, and the bitonic-vs-interleaved
+// distribution claim.
+//
+// Setting: items I = {0..d-1}, fanout H with d/(2H) integral, iteration k.
+// Every k-itemset maps to the leaf given by its per-item hash values. The
+// theorem bounds each leaf's occupancy against the average |G|/H^k within
+// [e^{-k^2/(d/H)}, e^{+k^2/(d/H)}], and the text shows the bitonic function
+// puts a (1 - 1/H)^{k-1} fraction of leaves near the average versus at most
+// 2/3 for the interleaved function.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "hashtree/hash_policy.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+/// Leaf occupancy histogram: leaf signature (hash path) -> #itemsets.
+std::map<std::vector<std::uint32_t>, std::uint64_t> leaf_loads(
+    const HashPolicy& policy, item_t d, std::size_t k) {
+  std::vector<item_t> base(d);
+  for (item_t i = 0; i < d; ++i) base[i] = i;
+  std::map<std::vector<std::uint32_t>, std::uint64_t> loads;
+  for (const auto& itemset : k_subsets(base, k)) {
+    std::vector<std::uint32_t> leaf(k);
+    for (std::size_t j = 0; j < k; ++j) leaf[j] = policy.bucket(itemset[j]);
+    ++loads[leaf];
+  }
+  return loads;
+}
+
+double binomial(std::uint64_t n, std::uint64_t k) {
+  double b = 1.0;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    b *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return b;
+}
+
+struct TheoremCase {
+  item_t d;
+  std::uint32_t h;
+  std::uint32_t k;
+};
+
+class Theorem1Test : public ::testing::TestWithParam<TheoremCase> {};
+
+TEST_P(Theorem1Test, BitonicLoadsWithinBounds) {
+  const auto [d, h, k] = GetParam();
+  ASSERT_EQ(d % (2 * h), 0u) << "theorem precondition d/2H integral";
+  ASSERT_GT(h, k) << "theorem precondition H > k";
+  const HashPolicy bitonic(HashScheme::Bitonic, h);
+  const auto loads = leaf_loads(bitonic, d, k);
+
+  const double total_leaves = std::pow(static_cast<double>(h), k);
+  const double average = binomial(d, k) / total_leaves;
+  const double bound = std::exp(static_cast<double>(k) * k /
+                                (static_cast<double>(d) / h));
+  // Enumerate every leaf signature, including empty leaves — a zero-load
+  // leaf would violate the lower bound.
+  std::vector<std::uint32_t> leaf(k, 0);
+  const auto total = static_cast<std::uint64_t>(total_leaves);
+  for (std::uint64_t code = 0; code < total; ++code) {
+    std::uint64_t rest = code;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      leaf[j] = static_cast<std::uint32_t>(rest % h);
+      rest /= h;
+    }
+    const auto it = loads.find(leaf);
+    const double load =
+        it == loads.end() ? 0.0 : static_cast<double>(it->second);
+    const double ratio = load / average;
+    EXPECT_LE(ratio, bound + 1e-9) << "leaf code " << code;
+    EXPECT_GE(ratio, 1.0 / bound - 1e-9) << "leaf code " << code;
+  }
+}
+
+TEST_P(Theorem1Test, BitonicSpreadsTighterThanInterleaved) {
+  const auto [d, h, k] = GetParam();
+  if (h < 2) GTEST_SKIP();
+  const auto bitonic_loads = leaf_loads(HashPolicy(HashScheme::Bitonic, h), d, k);
+  const auto mod_loads =
+      leaf_loads(HashPolicy(HashScheme::Interleaved, h), d, k);
+
+  auto stddev = [](const std::map<std::vector<std::uint32_t>, std::uint64_t>&
+                       loads,
+                   double total_leaves) {
+    double sum = 0.0, sq = 0.0;
+    for (const auto& [_, load] : loads) {
+      sum += static_cast<double>(load);
+      sq += static_cast<double>(load) * static_cast<double>(load);
+    }
+    // Empty leaves count as zero-load leaves.
+    const double mean = sum / total_leaves;
+    return std::sqrt(std::max(0.0, sq / total_leaves - mean * mean));
+  };
+  const double total_leaves = std::pow(static_cast<double>(h), k);
+  // The paper's distribution claim: far more bitonic leaves sit near the
+  // average, i.e. the occupancy spread is tighter.
+  EXPECT_LE(stddev(bitonic_loads, total_leaves),
+            stddev(mod_loads, total_leaves) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Theorem1Test,
+    ::testing::Values(TheoremCase{12, 3, 2}, TheoremCase{16, 4, 2},
+                      TheoremCase{16, 4, 3}, TheoremCase{20, 5, 3},
+                      TheoremCase{24, 4, 3}, TheoremCase{24, 6, 2},
+                      TheoremCase{24, 6, 4}, TheoremCase{30, 5, 4}),
+    [](const auto& info) {
+      return "d" + std::to_string(info.param.d) + "H" +
+             std::to_string(info.param.h) + "k" + std::to_string(info.param.k);
+    });
+
+TEST(Theorem1, GoodLeavesSitCloserToAverage) {
+  // For bitonic under the theorem's H > k precondition, a leaf (a1..ak) has
+  // capacity close to the average iff a_i != a_{i+1} for all i — there are
+  // H(H-1)^{k-1} such "good" leaves. Check the characterization as a mean
+  // relative-deviation separation: good leaves deviate less than bad ones.
+  struct Case {
+    item_t d;
+    std::uint32_t h, k;
+  };
+  for (const Case c : {Case{16, 4, 2}, Case{24, 4, 3}, Case{60, 3, 2}}) {
+    ASSERT_GT(c.h, c.k);
+    const HashPolicy bitonic(HashScheme::Bitonic, c.h);
+    const auto loads = leaf_loads(bitonic, c.d, c.k);
+    const double average = binomial(c.d, c.k) / std::pow(c.h, c.k);
+
+    double good_dev = 0.0, bad_dev = 0.0;
+    int good_n = 0, bad_n = 0;
+    for (const auto& [leaf, load] : loads) {
+      bool good = true;
+      for (std::size_t i = 0; i + 1 < leaf.size(); ++i) {
+        if (leaf[i] == leaf[i + 1]) good = false;
+      }
+      const double dev =
+          std::abs(static_cast<double>(load) - average) / average;
+      if (good) {
+        good_dev += dev;
+        ++good_n;
+      } else {
+        bad_dev += dev;
+        ++bad_n;
+      }
+    }
+    ASSERT_GT(good_n, 0);
+    ASSERT_GT(bad_n, 0);
+    // The good-leaf count matches the H(H-1)^{k-1} analysis (all leaves are
+    // occupied at these sizes, so the loads map covers every signature).
+    const double expected_good =
+        c.h * std::pow(c.h - 1.0, static_cast<double>(c.k) - 1.0);
+    EXPECT_EQ(static_cast<double>(good_n), expected_good)
+        << "d=" << c.d << " H=" << c.h << " k=" << c.k;
+    EXPECT_LT(good_dev / good_n, bad_dev / bad_n)
+        << "d=" << c.d << " H=" << c.h << " k=" << c.k;
+  }
+}
+
+}  // namespace
+}  // namespace smpmine

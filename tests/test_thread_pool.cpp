@@ -1,0 +1,116 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace smpmine {
+namespace {
+
+TEST(ThreadPool, RunsEveryTid) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_spmd([&](std::uint32_t tid) { hits[tid].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.run_spmd([&](std::uint32_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, RepeatedDispatch) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.run_spmd([&](std::uint32_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_spmd([](std::uint32_t tid) {
+                 if (tid == 2) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  // Pool still usable after a failed dispatch.
+  std::atomic<int> ok{0};
+  pool.run_spmd([&](std::uint32_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, ParallelForBlockedCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> seen(103);
+  pool.parallel_for_blocked(103, [&](std::size_t begin, std::size_t end,
+                                     std::uint32_t) {
+    for (std::size_t i = begin; i < end; ++i) seen[i].fetch_add(1);
+  });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForBlockedGivesContiguousBlocks) {
+  ThreadPool pool(4);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(4, {0, 0});
+  pool.parallel_for_blocked(
+      100, [&](std::size_t begin, std::size_t end, std::uint32_t tid) {
+        ranges[tid] = {begin, end};
+      });
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{0, 25}));
+  EXPECT_EQ(ranges[3], (std::pair<std::size_t, std::size_t>{75, 100}));
+}
+
+TEST(ThreadPool, ParallelForSmallerThanPool) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.parallel_for_blocked(3, [&](std::size_t begin, std::size_t end,
+                                   std::uint32_t) {
+    calls.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr std::uint32_t kThreads = 4;
+  ThreadPool pool(kThreads);
+  std::atomic<int> phase1{0};
+  std::vector<int> observed(kThreads, -1);
+  pool.run_spmd([&](std::uint32_t tid) {
+    phase1.fetch_add(1);
+    pool.barrier().arrive_and_wait();
+    observed[tid] = phase1.load();  // must see all arrivals
+    pool.barrier().arrive_and_wait();
+  });
+  for (const int o : observed) EXPECT_EQ(o, static_cast<int>(kThreads));
+}
+
+TEST(Barrier, ReusableManyTimes) {
+  constexpr std::uint32_t kThreads = 3;
+  ThreadPool pool(kThreads);
+  std::atomic<int> counter{0};
+  pool.run_spmd([&](std::uint32_t) {
+    for (int round = 0; round < 100; ++round) {
+      counter.fetch_add(1);
+      pool.barrier().arrive_and_wait();
+      // After each barrier the counter is a multiple of kThreads.
+      EXPECT_EQ(counter.load() % kThreads, 0u);
+      pool.barrier().arrive_and_wait();
+    }
+  });
+  EXPECT_EQ(counter.load(), 300);
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,58 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace smpmine {
+namespace {
+
+TEST(WallTimer, MonotoneAndResettable) {
+  WallTimer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.reset();
+  EXPECT_LT(t.seconds(), b + 1.0);
+}
+
+TEST(WallTimer, MeasuresSleep) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.seconds(), 0.015);
+  EXPECT_GE(t.nanos(), 15'000'000u);
+}
+
+TEST(PhaseTimes, AccumulatesByName) {
+  PhaseTimes pt;
+  pt.add("count", 1.0);
+  pt.add("count", 2.0);
+  pt.add("build", 0.5);
+  EXPECT_DOUBLE_EQ(pt.get("count"), 3.0);
+  EXPECT_DOUBLE_EQ(pt.get("build"), 0.5);
+  EXPECT_DOUBLE_EQ(pt.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(pt.total(), 3.5);
+}
+
+TEST(PhaseTimes, MergeSumsPhases) {
+  PhaseTimes a, b;
+  a.add("x", 1.0);
+  b.add("x", 2.0);
+  b.add("y", 4.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+  EXPECT_DOUBLE_EQ(a.get("y"), 4.0);
+}
+
+TEST(ScopedPhase, RecordsOnDestruction) {
+  PhaseTimes pt;
+  {
+    ScopedPhase phase(pt, "scope");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(pt.get("scope"), 0.0);
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "alloc/alloc_stats.hpp"
+#include "hashtree/hash_tree.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+std::vector<std::vector<item_t>> make_candidates(item_t universe,
+                                                 std::size_t k) {
+  std::vector<item_t> base(universe);
+  for (item_t i = 0; i < universe; ++i) base[i] = i;
+  return k_subsets(base, k);
+}
+
+std::map<std::vector<item_t>, count_t> snapshot(const HashTree& tree) {
+  std::map<std::vector<item_t>, count_t> out;
+  tree.for_each_candidate([&](const Candidate& cand) {
+    const auto view = cand.view(tree.k());
+    out[std::vector<item_t>(view.begin(), view.end())] = *cand.count;
+  });
+  return out;
+}
+
+class RemapTest : public ::testing::TestWithParam<PlacementPolicy> {};
+
+TEST_P(RemapTest, PreservesCandidatesAndCounts) {
+  PlacementArenas arenas(GetParam());
+  const HashPolicy policy(HashScheme::Bitonic, 3);
+  const CounterMode counter = policy_local_counters(GetParam())
+                                  ? CounterMode::PerThread
+                                  : CounterMode::Atomic;
+  HashTree tree(
+      {.k = 3, .fanout = 3, .leaf_threshold = 2, .counter_mode = counter},
+      policy, arenas);
+  const auto candidates = make_candidates(12, 3);
+  for (const auto& c : candidates) tree.insert(c);
+
+  // Put nonzero counts in before remapping so value preservation is tested.
+  const std::vector<item_t> txn{0, 1, 2, 3, 4, 5, 6, 7};
+  CountContext ctx = tree.make_context(SubsetCheck::FrameLocal);
+  tree.count_transaction(txn, ctx);
+  if (counter == CounterMode::PerThread) {
+    tree.candidate_index();
+    tree.reduce_into_shared(ctx, 0, tree.num_candidates());
+  }
+  const auto before = snapshot(tree);
+  const TreeStats stats_before = tree.stats();
+
+  tree.remap_depth_first();
+
+  EXPECT_EQ(snapshot(tree), before);
+  const TreeStats stats_after = tree.stats();
+  EXPECT_EQ(stats_after.nodes, stats_before.nodes);
+  EXPECT_EQ(stats_after.leaves, stats_before.leaves);
+  EXPECT_EQ(stats_after.candidates, stats_before.candidates);
+
+  // Counting still works on the remapped tree.
+  CountContext ctx2 = tree.make_context(SubsetCheck::FrameLocal);
+  tree.count_transaction(txn, ctx2);
+  EXPECT_EQ(ctx2.hits, ctx.hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, RemapTest,
+                         ::testing::Values(PlacementPolicy::GPP,
+                                           PlacementPolicy::LGPP,
+                                           PlacementPolicy::LcaGpp),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+TEST(Remap, NodeIdsAreDfsDense) {
+  PlacementArenas arenas(PlacementPolicy::GPP);
+  const HashPolicy policy(HashScheme::Interleaved, 3);
+  HashTree tree({.k = 3, .fanout = 3, .leaf_threshold = 2}, policy, arenas);
+  for (const auto& c : make_candidates(10, 3)) tree.insert(c);
+  tree.remap_depth_first();
+  // After remap the ids are freshly assigned 0..N-1.
+  EXPECT_GT(tree.num_nodes(), 1u);
+  const TreeStats stats = tree.stats();
+  EXPECT_EQ(stats.nodes, tree.num_nodes());
+}
+
+TEST(Remap, ImprovesTraceLocality) {
+  // Build with a deliberately scrambled insertion order so creation order
+  // diverges from traversal order, then verify the depth-first remap tightens
+  // the counting-access trace.
+  PlacementArenas arenas(PlacementPolicy::GPP);
+  const HashPolicy policy(HashScheme::Interleaved, 3);
+  HashTree tree({.k = 3, .fanout = 3, .leaf_threshold = 2}, policy, arenas);
+  auto candidates = make_candidates(14, 3);
+  // Reverse order maximizes divergence between creation and DFS order.
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    tree.insert(*it);
+  }
+  std::vector<item_t> txn(14);
+  for (item_t i = 0; i < 14; ++i) txn[i] = i;
+
+  std::vector<std::uintptr_t> before_trace;
+  tree.access_trace(txn, before_trace);
+  const LocalityReport before = analyze_trace(before_trace);
+
+  tree.remap_depth_first();
+  std::vector<std::uintptr_t> after_trace;
+  tree.access_trace(txn, after_trace);
+  const LocalityReport after = analyze_trace(after_trace);
+
+  ASSERT_EQ(before.touches, after.touches);  // same traversal shape
+  // The remapped tree packs the traversal into a tighter address range.
+  EXPECT_LT(after.mean_stride, before.mean_stride);
+  EXPECT_GE(after.same_line_rate, before.same_line_rate);
+}
+
+TEST(Remap, TraceCoversWholeTreeForFullTransaction) {
+  PlacementArenas arenas(PlacementPolicy::GPP);
+  const HashPolicy policy(HashScheme::Interleaved, 2);
+  HashTree tree({.k = 2, .fanout = 2, .leaf_threshold = 1}, policy, arenas);
+  for (const auto& c : make_candidates(6, 2)) tree.insert(c);
+  std::vector<item_t> txn{0, 1, 2, 3, 4, 5};
+  std::vector<std::uintptr_t> trace;
+  tree.access_trace(txn, trace);
+  // Every candidate block must appear in the trace (the transaction covers
+  // the whole item universe).
+  std::size_t cand_appearances = 0;
+  tree.for_each_candidate([&](const Candidate& cand) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(&cand);
+    for (const auto a : trace) {
+      if (a == addr) {
+        ++cand_appearances;
+        break;
+      }
+    }
+  });
+  EXPECT_EQ(cand_appearances, tree.num_candidates());
+}
+
+}  // namespace
+}  // namespace smpmine

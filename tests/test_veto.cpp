@@ -1,0 +1,141 @@
+// The candidate-veto domain-constraint hook (MinerOptions::candidate_veto).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/brute_force.hpp"
+#include "core/miner.hpp"
+#include "data/quest_gen.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+Database quest_db() {
+  QuestParams p;
+  p.num_transactions = 300;
+  p.avg_transaction_len = 7.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 25;
+  p.num_items = 50;
+  p.seed = 717;
+  return generate_quest(p);
+}
+
+TEST(CandidateVeto, NullVetoIsNoop) {
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.03;
+  const MiningResult plain = mine(db, opts);
+  opts.candidate_veto = nullptr;
+  const MiningResult with_null = mine(db, opts);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(plain.levels, with_null.levels, &diag)) << diag;
+}
+
+TEST(CandidateVeto, AlwaysFalseVetoIsNoop) {
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.03;
+  const MiningResult plain = mine(db, opts);
+  opts.candidate_veto = [](std::span<const item_t>) { return false; };
+  const MiningResult vetoed = mine(db, opts);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(plain.levels, vetoed.levels, &diag)) << diag;
+}
+
+TEST(CandidateVeto, FiltersExactlyTheVetoedItemsets) {
+  // Veto: no itemset may contain item 0.
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.02;
+  opts.candidate_veto = [](std::span<const item_t> cand) {
+    return !cand.empty() && cand.front() == 0;
+  };
+  const MiningResult got = mine(db, opts);
+  const auto reference = brute_force_frequent(db, opts.min_support);
+  // F1 is untouched by the veto (it applies to joins, k >= 2).
+  EXPECT_EQ(got.levels[0].size(), reference[0].size());
+  // For deeper levels: itemsets with item 0 are gone, all others remain.
+  for (std::size_t level = 1; level < reference.size(); ++level) {
+    const FrequentSet& ref = reference[level];
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      const auto itemset = ref.itemset(i);
+      const bool has_zero = itemset.front() == 0;
+      const bool found = level < got.levels.size() &&
+                         got.levels[level].contains(itemset);
+      EXPECT_EQ(found, !has_zero) << format_itemset(itemset);
+    }
+  }
+}
+
+TEST(CandidateVeto, VetoedCountedAsPruned) {
+  const Database db = quest_db();
+  MinerOptions base;
+  base.min_support = 0.03;
+  const MiningResult plain = mine(db, base);
+
+  MinerOptions vetoed = base;
+  std::atomic<std::uint64_t> calls{0};
+  vetoed.candidate_veto = [&calls](std::span<const item_t>) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return true;  // kill every join survivor
+  };
+  const MiningResult got = mine(db, vetoed);
+  ASSERT_FALSE(got.iterations.empty());
+  const IterationStats& it = got.iterations.front();
+  EXPECT_EQ(it.candidates, 0u);
+  // pruned = subset-pruned + vetoed = everything the join produced.
+  EXPECT_EQ(it.pruned,
+            plain.iterations.front().candidates +
+                plain.iterations.front().pruned);
+  EXPECT_GT(calls.load(), 0u);
+  EXPECT_EQ(got.levels.size(), 1u);  // only F1 survives
+}
+
+TEST(CandidateVeto, WorksWithParallelGeneration) {
+  const Database db = quest_db();
+  MinerOptions seq;
+  seq.min_support = 0.03;
+  seq.candidate_veto = [](std::span<const item_t> cand) {
+    return cand.back() % 7 == 0;
+  };
+  MinerOptions par = seq;
+  par.threads = 4;
+  par.parallel_candgen_threshold = 1;
+  const MiningResult a = mine(db, seq);
+  const MiningResult b = mine(db, par);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(a.levels, b.levels, &diag)) << diag;
+}
+
+TEST(CandidateVeto, WorksInPccd) {
+  const Database db = quest_db();
+  MinerOptions ccpd;
+  ccpd.min_support = 0.03;
+  ccpd.candidate_veto = [](std::span<const item_t> cand) {
+    return cand.size() >= 2 && cand[0] % 2 == 0;
+  };
+  MinerOptions pccd = ccpd;
+  pccd.algorithm = Algorithm::PCCD;
+  pccd.threads = 3;
+  const MiningResult a = mine(db, ccpd);
+  const MiningResult b = mine(db, pccd);
+  std::string diag;
+  EXPECT_TRUE(levels_equal(a.levels, b.levels, &diag)) << diag;
+}
+
+TEST(CandidateVeto, ThrowingVetoPropagates) {
+  const Database db = quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.03;
+  opts.threads = 3;
+  opts.parallel_candgen_threshold = 1;
+  opts.candidate_veto = [](std::span<const item_t>) -> bool {
+    throw std::runtime_error("constraint oracle failed");
+  };
+  EXPECT_THROW(mine(db, opts), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,223 @@
+// smpmine — command-line association miner.
+//
+//   # mine a file (one transaction per line, space-separated item ids)
+//   $ smpmine --input baskets.txt --support 0.005 --confidence 0.8
+//
+//   # or generate a Quest benchmark dataset on the fly
+//   $ smpmine --generate T10.I4.D100K --support 0.005 --threads 8
+//
+// Prints the mining profile, then the rules. All paper knobs (placement
+// policy, balancing schemes, subset checking, counter discipline) are
+// exposed so the tool doubles as an experimentation harness on real data.
+#include <cstdio>
+#include <string>
+
+#include "core/miner.hpp"
+#include "core/results_io.hpp"
+#include "core/rules.hpp"
+#include "data/db_io.hpp"
+#include "data/quest_gen.hpp"
+#include "itemset/itemset.hpp"
+#include "util/cli.hpp"
+
+using namespace smpmine;
+
+namespace {
+
+bool fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return false;
+}
+
+bool parse_options(const CliParser& cli, MinerOptions& opts) {
+  opts.min_support = cli.get_double("support", 0.005);
+  opts.min_confidence = cli.get_double("confidence", 0.8);
+  opts.threads = static_cast<std::uint32_t>(cli.get_int("threads", 1));
+  opts.leaf_threshold =
+      static_cast<std::uint32_t>(cli.get_int("leaf-threshold", 8));
+
+  const std::string algo = cli.get("algorithm", "ccpd");
+  if (algo == "ccpd") {
+    opts.algorithm = Algorithm::CCPD;
+  } else if (algo == "pccd") {
+    opts.algorithm = Algorithm::PCCD;
+  } else {
+    return fail("unknown --algorithm '" + algo + "' (ccpd|pccd)");
+  }
+
+  const std::string place = cli.get("placement", "LCA-GPP");
+  if (const auto parsed = placement_from_string(place)) {
+    opts.placement = *parsed;
+  } else {
+    return fail("unknown --placement '" + place +
+                "' (CCPD|SPP|LPP|GPP|L-SPP|L-LPP|L-GPP|LCA-GPP)");
+  }
+
+  const std::string hash = cli.get("hash", "indirection");
+  if (hash == "interleaved") {
+    opts.hash_scheme = HashScheme::Interleaved;
+  } else if (hash == "bitonic") {
+    opts.hash_scheme = HashScheme::Bitonic;
+  } else if (hash == "indirection") {
+    opts.hash_scheme = HashScheme::Indirection;
+  } else {
+    return fail("unknown --hash '" + hash + "'");
+  }
+
+  const std::string balance = cli.get("balance", "bitonic");
+  if (balance == "block") {
+    opts.balance = PartitionScheme::Block;
+  } else if (balance == "interleaved") {
+    opts.balance = PartitionScheme::Interleaved;
+  } else if (balance == "bitonic") {
+    opts.balance = PartitionScheme::Bitonic;
+  } else {
+    return fail("unknown --balance '" + balance + "'");
+  }
+
+  const std::string check = cli.get("subset-check", "frame");
+  if (check == "leaf") {
+    opts.subset_check = SubsetCheck::LeafVisited;
+  } else if (check == "flags") {
+    opts.subset_check = SubsetCheck::VisitedFlags;
+  } else if (check == "frame") {
+    opts.subset_check = SubsetCheck::FrameLocal;
+  } else {
+    return fail("unknown --subset-check '" + check + "' (leaf|flags|frame)");
+  }
+
+  const std::string dbpart = cli.get("db-partition", "block");
+  if (dbpart == "block") {
+    opts.db_partition = DbPartition::Block;
+  } else if (dbpart == "balanced") {
+    opts.db_partition = DbPartition::Balanced;
+  } else if (dbpart == "adaptive") {
+    opts.db_partition = DbPartition::Adaptive;
+  } else {
+    return fail("unknown --db-partition '" + dbpart + "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_flag("input", "transaction file (ASCII: one txn per line; .bin "
+                        "for the binary format)");
+  cli.add_flag("generate", "generate a Quest dataset by paper name, e.g. "
+                           "T10.I4.D100K");
+  cli.add_flag("seed", "generator seed", "1996");
+  cli.add_flag("support", "minimum support (fraction of |D|)", "0.005");
+  cli.add_flag("confidence", "minimum rule confidence", "0.8");
+  cli.add_flag("threads", "worker threads", "1");
+  cli.add_flag("algorithm", "ccpd | pccd", "ccpd");
+  cli.add_flag("placement", "memory placement policy", "LCA-GPP");
+  cli.add_flag("hash", "interleaved | bitonic | indirection", "indirection");
+  cli.add_flag("balance", "block | interleaved | bitonic", "bitonic");
+  cli.add_flag("subset-check", "leaf | flags | frame", "frame");
+  cli.add_flag("db-partition", "block | balanced | adaptive", "block");
+  cli.add_flag("leaf-threshold", "max itemsets per hash-tree leaf", "8");
+  cli.add_flag("max-rules", "rules to print (0 = all)", "25");
+  cli.add_flag("no-rules", "skip rule generation");
+  cli.add_flag("itemsets", "also print every frequent itemset");
+  cli.add_flag("save-binary", "write the loaded/generated database here");
+  cli.add_flag("save-itemsets", "write frequent itemsets (text) here");
+  cli.add_flag("save-rules", "write rules (CSV) here");
+  if (!cli.parse(argc, argv)) return 1;
+
+  Database db;
+  if (cli.has("input")) {
+    const std::string path = cli.get("input", "");
+    try {
+      db = path.size() > 4 && path.substr(path.size() - 4) == ".bin"
+               ? load_binary(path)
+               : load_ascii(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::printf("loaded %zu transactions (avg length %.2f) from %s\n",
+                db.size(), db.avg_transaction_size(), path.c_str());
+  } else if (cli.has("generate")) {
+    const std::string name = cli.get("generate", "");
+    auto params = QuestParams::from_name(name);
+    if (!params) {
+      std::fprintf(stderr, "error: bad dataset name '%s'\n", name.c_str());
+      return 1;
+    }
+    params->seed = static_cast<std::uint64_t>(cli.get_int("seed", 1996));
+    db = generate_quest(*params);
+    std::printf("generated %s: %zu transactions, %.1f MB\n", name.c_str(),
+                db.size(), static_cast<double>(db.storage_bytes()) / 1e6);
+  } else {
+    std::fputs(cli.help(argv[0]).c_str(), stderr);
+    std::fputs("one of --input or --generate is required\n", stderr);
+    return 1;
+  }
+  if (db.empty()) {
+    std::fputs("error: database is empty\n", stderr);
+    return 1;
+  }
+
+  if (const std::string out = cli.get("save-binary", ""); !out.empty()) {
+    save_binary(db, out);
+    std::printf("database written to %s\n", out.c_str());
+  }
+
+  MinerOptions opts;
+  if (!parse_options(cli, opts)) return 1;
+  try {
+    opts.validate();  // normalize (e.g. LCA-GPP forces per-thread counters)
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("mining: %s\n\n", opts.summary().c_str());
+
+  MiningResult result;
+  try {
+    result = mine(db, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fputs(result.report().c_str(), stdout);
+
+  if (cli.get_bool("itemsets", false)) {
+    std::puts("\nfrequent itemsets:");
+    for (const FrequentSet& level : result.levels) {
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        std::printf("  %s  x%u\n",
+                    format_itemset(level.itemset(i)).c_str(),
+                    level.count(i));
+      }
+    }
+  }
+
+  if (const std::string out = cli.get("save-itemsets", ""); !out.empty()) {
+    save_frequent_itemsets(result.levels, out);
+    std::printf("frequent itemsets written to %s\n", out.c_str());
+  }
+
+  if (!cli.get_bool("no-rules", false)) {
+    const auto rules = generate_rules_parallel(
+        result, opts.min_confidence, db.size(), opts.threads);
+    if (const std::string out = cli.get("save-rules", ""); !out.empty()) {
+      save_rules_csv(rules, out);
+      std::printf("rules written to %s\n", out.c_str());
+    }
+    const auto limit = static_cast<std::size_t>(cli.get_int("max-rules", 25));
+    std::printf("\n%zu rules at confidence >= %.0f%%", rules.size(),
+                opts.min_confidence * 100.0);
+    if (limit > 0 && rules.size() > limit) {
+      std::printf(" (showing %zu)", limit);
+    }
+    std::puts(":");
+    for (std::size_t i = 0; i < rules.size() && (limit == 0 || i < limit);
+         ++i) {
+      std::printf("  %s\n", rules[i].to_string().c_str());
+    }
+  }
+  return 0;
+}
