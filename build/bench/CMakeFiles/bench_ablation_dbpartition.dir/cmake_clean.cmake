@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dbpartition.dir/bench_ablation_dbpartition.cpp.o"
+  "CMakeFiles/bench_ablation_dbpartition.dir/bench_ablation_dbpartition.cpp.o.d"
+  "bench_ablation_dbpartition"
+  "bench_ablation_dbpartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dbpartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

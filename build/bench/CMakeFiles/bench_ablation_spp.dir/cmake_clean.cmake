@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_spp.dir/bench_ablation_spp.cpp.o"
+  "CMakeFiles/bench_ablation_spp.dir/bench_ablation_spp.cpp.o.d"
+  "bench_ablation_spp"
+  "bench_ablation_spp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

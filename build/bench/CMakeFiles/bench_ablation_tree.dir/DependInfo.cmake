@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_tree.cpp" "bench/CMakeFiles/bench_ablation_tree.dir/bench_ablation_tree.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_tree.dir/bench_ablation_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/smpmine_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_seqpat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_distmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_hashtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_itemset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

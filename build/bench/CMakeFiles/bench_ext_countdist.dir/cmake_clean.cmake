@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_countdist.dir/bench_ext_countdist.cpp.o"
+  "CMakeFiles/bench_ext_countdist.dir/bench_ext_countdist.cpp.o.d"
+  "bench_ext_countdist"
+  "bench_ext_countdist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_countdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

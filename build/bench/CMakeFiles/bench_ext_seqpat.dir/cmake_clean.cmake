@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_seqpat.dir/bench_ext_seqpat.cpp.o"
+  "CMakeFiles/bench_ext_seqpat.dir/bench_ext_seqpat.cpp.o.d"
+  "bench_ext_seqpat"
+  "bench_ext_seqpat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_seqpat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

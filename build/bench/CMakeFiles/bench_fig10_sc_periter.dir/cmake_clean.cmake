@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sc_periter.dir/bench_fig10_sc_periter.cpp.o"
+  "CMakeFiles/bench_fig10_sc_periter.dir/bench_fig10_sc_periter.cpp.o.d"
+  "bench_fig10_sc_periter"
+  "bench_fig10_sc_periter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sc_periter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_placement_1p.dir/bench_fig12_placement_1p.cpp.o"
+  "CMakeFiles/bench_fig12_placement_1p.dir/bench_fig12_placement_1p.cpp.o.d"
+  "bench_fig12_placement_1p"
+  "bench_fig12_placement_1p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_placement_1p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

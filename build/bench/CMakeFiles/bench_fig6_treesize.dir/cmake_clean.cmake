@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_treesize.dir/bench_fig6_treesize.cpp.o"
+  "CMakeFiles/bench_fig6_treesize.dir/bench_fig6_treesize.cpp.o.d"
+  "bench_fig6_treesize"
+  "bench_fig6_treesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_treesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_frequent.dir/bench_fig7_frequent.cpp.o"
+  "CMakeFiles/bench_fig7_frequent.dir/bench_fig7_frequent.cpp.o.d"
+  "bench_fig7_frequent"
+  "bench_fig7_frequent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_frequent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

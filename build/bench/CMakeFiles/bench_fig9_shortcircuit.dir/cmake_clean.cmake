@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_shortcircuit.dir/bench_fig9_shortcircuit.cpp.o"
+  "CMakeFiles/bench_fig9_shortcircuit.dir/bench_fig9_shortcircuit.cpp.o.d"
+  "bench_fig9_shortcircuit"
+  "bench_fig9_shortcircuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_shortcircuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_alloc.dir/bench_micro_alloc.cpp.o"
+  "CMakeFiles/bench_micro_alloc.dir/bench_micro_alloc.cpp.o.d"
+  "bench_micro_alloc"
+  "bench_micro_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

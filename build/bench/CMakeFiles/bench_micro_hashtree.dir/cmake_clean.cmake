@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hashtree.dir/bench_micro_hashtree.cpp.o"
+  "CMakeFiles/bench_micro_hashtree.dir/bench_micro_hashtree.cpp.o.d"
+  "bench_micro_hashtree"
+  "bench_micro_hashtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hashtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pccd_vs_ccpd.dir/bench_pccd_vs_ccpd.cpp.o"
+  "CMakeFiles/bench_pccd_vs_ccpd.dir/bench_pccd_vs_ccpd.cpp.o.d"
+  "bench_pccd_vs_ccpd"
+  "bench_pccd_vs_ccpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pccd_vs_ccpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

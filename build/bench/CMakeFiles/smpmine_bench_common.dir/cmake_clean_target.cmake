@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libsmpmine_bench_common.a"
+)

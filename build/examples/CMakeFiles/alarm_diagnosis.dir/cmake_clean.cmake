@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alarm_diagnosis.dir/alarm_diagnosis.cpp.o"
+  "CMakeFiles/alarm_diagnosis.dir/alarm_diagnosis.cpp.o.d"
+  "alarm_diagnosis"
+  "alarm_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alarm_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

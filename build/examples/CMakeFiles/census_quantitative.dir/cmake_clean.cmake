@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_quantitative.dir/census_quantitative.cpp.o"
+  "CMakeFiles/census_quantitative.dir/census_quantitative.cpp.o.d"
+  "census_quantitative"
+  "census_quantitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_quantitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for census_quantitative.
+# This may be replaced when dependencies are built.

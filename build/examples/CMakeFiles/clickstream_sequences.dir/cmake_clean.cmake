@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clickstream_sequences.dir/clickstream_sequences.cpp.o"
+  "CMakeFiles/clickstream_sequences.dir/clickstream_sequences.cpp.o.d"
+  "clickstream_sequences"
+  "clickstream_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clickstream_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

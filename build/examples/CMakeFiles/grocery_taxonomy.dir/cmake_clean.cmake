@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grocery_taxonomy.dir/grocery_taxonomy.cpp.o"
+  "CMakeFiles/grocery_taxonomy.dir/grocery_taxonomy.cpp.o.d"
+  "grocery_taxonomy"
+  "grocery_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grocery_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

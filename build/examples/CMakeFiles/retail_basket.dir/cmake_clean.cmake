@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_basket.dir/retail_basket.cpp.o"
+  "CMakeFiles/retail_basket.dir/retail_basket.cpp.o.d"
+  "retail_basket"
+  "retail_basket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_basket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

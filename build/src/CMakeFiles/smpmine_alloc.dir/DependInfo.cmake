@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/alloc_stats.cpp" "src/CMakeFiles/smpmine_alloc.dir/alloc/alloc_stats.cpp.o" "gcc" "src/CMakeFiles/smpmine_alloc.dir/alloc/alloc_stats.cpp.o.d"
+  "/root/repo/src/alloc/placement.cpp" "src/CMakeFiles/smpmine_alloc.dir/alloc/placement.cpp.o" "gcc" "src/CMakeFiles/smpmine_alloc.dir/alloc/placement.cpp.o.d"
+  "/root/repo/src/alloc/region.cpp" "src/CMakeFiles/smpmine_alloc.dir/alloc/region.cpp.o" "gcc" "src/CMakeFiles/smpmine_alloc.dir/alloc/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smpmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

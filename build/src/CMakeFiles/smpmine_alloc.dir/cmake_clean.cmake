@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpmine_alloc.dir/alloc/alloc_stats.cpp.o"
+  "CMakeFiles/smpmine_alloc.dir/alloc/alloc_stats.cpp.o.d"
+  "CMakeFiles/smpmine_alloc.dir/alloc/placement.cpp.o"
+  "CMakeFiles/smpmine_alloc.dir/alloc/placement.cpp.o.d"
+  "CMakeFiles/smpmine_alloc.dir/alloc/region.cpp.o"
+  "CMakeFiles/smpmine_alloc.dir/alloc/region.cpp.o.d"
+  "libsmpmine_alloc.a"
+  "libsmpmine_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpmine_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

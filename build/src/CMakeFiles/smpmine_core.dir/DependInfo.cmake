@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/apriori_seq.cpp" "src/CMakeFiles/smpmine_core.dir/core/apriori_seq.cpp.o" "gcc" "src/CMakeFiles/smpmine_core.dir/core/apriori_seq.cpp.o.d"
+  "/root/repo/src/core/brute_force.cpp" "src/CMakeFiles/smpmine_core.dir/core/brute_force.cpp.o" "gcc" "src/CMakeFiles/smpmine_core.dir/core/brute_force.cpp.o.d"
+  "/root/repo/src/core/candidate_gen.cpp" "src/CMakeFiles/smpmine_core.dir/core/candidate_gen.cpp.o" "gcc" "src/CMakeFiles/smpmine_core.dir/core/candidate_gen.cpp.o.d"
+  "/root/repo/src/core/ccpd.cpp" "src/CMakeFiles/smpmine_core.dir/core/ccpd.cpp.o" "gcc" "src/CMakeFiles/smpmine_core.dir/core/ccpd.cpp.o.d"
+  "/root/repo/src/core/miner.cpp" "src/CMakeFiles/smpmine_core.dir/core/miner.cpp.o" "gcc" "src/CMakeFiles/smpmine_core.dir/core/miner.cpp.o.d"
+  "/root/repo/src/core/options.cpp" "src/CMakeFiles/smpmine_core.dir/core/options.cpp.o" "gcc" "src/CMakeFiles/smpmine_core.dir/core/options.cpp.o.d"
+  "/root/repo/src/core/pccd.cpp" "src/CMakeFiles/smpmine_core.dir/core/pccd.cpp.o" "gcc" "src/CMakeFiles/smpmine_core.dir/core/pccd.cpp.o.d"
+  "/root/repo/src/core/results_io.cpp" "src/CMakeFiles/smpmine_core.dir/core/results_io.cpp.o" "gcc" "src/CMakeFiles/smpmine_core.dir/core/results_io.cpp.o.d"
+  "/root/repo/src/core/rules.cpp" "src/CMakeFiles/smpmine_core.dir/core/rules.cpp.o" "gcc" "src/CMakeFiles/smpmine_core.dir/core/rules.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/smpmine_core.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/smpmine_core.dir/core/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smpmine_hashtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_itemset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpmine_core.dir/core/apriori_seq.cpp.o"
+  "CMakeFiles/smpmine_core.dir/core/apriori_seq.cpp.o.d"
+  "CMakeFiles/smpmine_core.dir/core/brute_force.cpp.o"
+  "CMakeFiles/smpmine_core.dir/core/brute_force.cpp.o.d"
+  "CMakeFiles/smpmine_core.dir/core/candidate_gen.cpp.o"
+  "CMakeFiles/smpmine_core.dir/core/candidate_gen.cpp.o.d"
+  "CMakeFiles/smpmine_core.dir/core/ccpd.cpp.o"
+  "CMakeFiles/smpmine_core.dir/core/ccpd.cpp.o.d"
+  "CMakeFiles/smpmine_core.dir/core/miner.cpp.o"
+  "CMakeFiles/smpmine_core.dir/core/miner.cpp.o.d"
+  "CMakeFiles/smpmine_core.dir/core/options.cpp.o"
+  "CMakeFiles/smpmine_core.dir/core/options.cpp.o.d"
+  "CMakeFiles/smpmine_core.dir/core/pccd.cpp.o"
+  "CMakeFiles/smpmine_core.dir/core/pccd.cpp.o.d"
+  "CMakeFiles/smpmine_core.dir/core/results_io.cpp.o"
+  "CMakeFiles/smpmine_core.dir/core/results_io.cpp.o.d"
+  "CMakeFiles/smpmine_core.dir/core/rules.cpp.o"
+  "CMakeFiles/smpmine_core.dir/core/rules.cpp.o.d"
+  "CMakeFiles/smpmine_core.dir/core/stats.cpp.o"
+  "CMakeFiles/smpmine_core.dir/core/stats.cpp.o.d"
+  "libsmpmine_core.a"
+  "libsmpmine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpmine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

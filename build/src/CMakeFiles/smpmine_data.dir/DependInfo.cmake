@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/database.cpp" "src/CMakeFiles/smpmine_data.dir/data/database.cpp.o" "gcc" "src/CMakeFiles/smpmine_data.dir/data/database.cpp.o.d"
+  "/root/repo/src/data/db_io.cpp" "src/CMakeFiles/smpmine_data.dir/data/db_io.cpp.o" "gcc" "src/CMakeFiles/smpmine_data.dir/data/db_io.cpp.o.d"
+  "/root/repo/src/data/db_partition.cpp" "src/CMakeFiles/smpmine_data.dir/data/db_partition.cpp.o" "gcc" "src/CMakeFiles/smpmine_data.dir/data/db_partition.cpp.o.d"
+  "/root/repo/src/data/quest_gen.cpp" "src/CMakeFiles/smpmine_data.dir/data/quest_gen.cpp.o" "gcc" "src/CMakeFiles/smpmine_data.dir/data/quest_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smpmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpmine_data.dir/data/database.cpp.o"
+  "CMakeFiles/smpmine_data.dir/data/database.cpp.o.d"
+  "CMakeFiles/smpmine_data.dir/data/db_io.cpp.o"
+  "CMakeFiles/smpmine_data.dir/data/db_io.cpp.o.d"
+  "CMakeFiles/smpmine_data.dir/data/db_partition.cpp.o"
+  "CMakeFiles/smpmine_data.dir/data/db_partition.cpp.o.d"
+  "CMakeFiles/smpmine_data.dir/data/quest_gen.cpp.o"
+  "CMakeFiles/smpmine_data.dir/data/quest_gen.cpp.o.d"
+  "libsmpmine_data.a"
+  "libsmpmine_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpmine_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpmine_distmem.dir/distmem/count_distribution.cpp.o"
+  "CMakeFiles/smpmine_distmem.dir/distmem/count_distribution.cpp.o.d"
+  "libsmpmine_distmem.a"
+  "libsmpmine_distmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpmine_distmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for smpmine_distmem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpmine_hashtree.dir/hashtree/hash_policy.cpp.o"
+  "CMakeFiles/smpmine_hashtree.dir/hashtree/hash_policy.cpp.o.d"
+  "CMakeFiles/smpmine_hashtree.dir/hashtree/hash_tree.cpp.o"
+  "CMakeFiles/smpmine_hashtree.dir/hashtree/hash_tree.cpp.o.d"
+  "CMakeFiles/smpmine_hashtree.dir/hashtree/tree_build.cpp.o"
+  "CMakeFiles/smpmine_hashtree.dir/hashtree/tree_build.cpp.o.d"
+  "CMakeFiles/smpmine_hashtree.dir/hashtree/tree_count.cpp.o"
+  "CMakeFiles/smpmine_hashtree.dir/hashtree/tree_count.cpp.o.d"
+  "CMakeFiles/smpmine_hashtree.dir/hashtree/tree_remap.cpp.o"
+  "CMakeFiles/smpmine_hashtree.dir/hashtree/tree_remap.cpp.o.d"
+  "libsmpmine_hashtree.a"
+  "libsmpmine_hashtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpmine_hashtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

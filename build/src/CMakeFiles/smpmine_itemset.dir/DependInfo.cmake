@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/itemset/eqclass.cpp" "src/CMakeFiles/smpmine_itemset.dir/itemset/eqclass.cpp.o" "gcc" "src/CMakeFiles/smpmine_itemset.dir/itemset/eqclass.cpp.o.d"
+  "/root/repo/src/itemset/frequent_set.cpp" "src/CMakeFiles/smpmine_itemset.dir/itemset/frequent_set.cpp.o" "gcc" "src/CMakeFiles/smpmine_itemset.dir/itemset/frequent_set.cpp.o.d"
+  "/root/repo/src/itemset/itemset.cpp" "src/CMakeFiles/smpmine_itemset.dir/itemset/itemset.cpp.o" "gcc" "src/CMakeFiles/smpmine_itemset.dir/itemset/itemset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smpmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

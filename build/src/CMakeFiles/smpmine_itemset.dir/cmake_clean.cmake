@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpmine_itemset.dir/itemset/eqclass.cpp.o"
+  "CMakeFiles/smpmine_itemset.dir/itemset/eqclass.cpp.o.d"
+  "CMakeFiles/smpmine_itemset.dir/itemset/frequent_set.cpp.o"
+  "CMakeFiles/smpmine_itemset.dir/itemset/frequent_set.cpp.o.d"
+  "CMakeFiles/smpmine_itemset.dir/itemset/itemset.cpp.o"
+  "CMakeFiles/smpmine_itemset.dir/itemset/itemset.cpp.o.d"
+  "libsmpmine_itemset.a"
+  "libsmpmine_itemset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpmine_itemset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpmine_parallel.dir/parallel/partition.cpp.o"
+  "CMakeFiles/smpmine_parallel.dir/parallel/partition.cpp.o.d"
+  "CMakeFiles/smpmine_parallel.dir/parallel/thread_pool.cpp.o"
+  "CMakeFiles/smpmine_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "libsmpmine_parallel.a"
+  "libsmpmine_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpmine_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpmine_quant.dir/quant/quantitative.cpp.o"
+  "CMakeFiles/smpmine_quant.dir/quant/quantitative.cpp.o.d"
+  "libsmpmine_quant.a"
+  "libsmpmine_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpmine_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmpmine_quant.a"
+)

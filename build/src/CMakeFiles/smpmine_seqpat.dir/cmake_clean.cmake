@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpmine_seqpat.dir/seqpat/apriori_all.cpp.o"
+  "CMakeFiles/smpmine_seqpat.dir/seqpat/apriori_all.cpp.o.d"
+  "CMakeFiles/smpmine_seqpat.dir/seqpat/sequence_db.cpp.o"
+  "CMakeFiles/smpmine_seqpat.dir/seqpat/sequence_db.cpp.o.d"
+  "libsmpmine_seqpat.a"
+  "libsmpmine_seqpat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpmine_seqpat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpmine_taxonomy.dir/taxonomy/generalized.cpp.o"
+  "CMakeFiles/smpmine_taxonomy.dir/taxonomy/generalized.cpp.o.d"
+  "CMakeFiles/smpmine_taxonomy.dir/taxonomy/taxonomy.cpp.o"
+  "CMakeFiles/smpmine_taxonomy.dir/taxonomy/taxonomy.cpp.o.d"
+  "libsmpmine_taxonomy.a"
+  "libsmpmine_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpmine_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpmine_util.dir/util/cli.cpp.o"
+  "CMakeFiles/smpmine_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/smpmine_util.dir/util/logging.cpp.o"
+  "CMakeFiles/smpmine_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/smpmine_util.dir/util/rng.cpp.o"
+  "CMakeFiles/smpmine_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/smpmine_util.dir/util/table.cpp.o"
+  "CMakeFiles/smpmine_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/smpmine_util.dir/util/timer.cpp.o"
+  "CMakeFiles/smpmine_util.dir/util/timer.cpp.o.d"
+  "libsmpmine_util.a"
+  "libsmpmine_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpmine_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

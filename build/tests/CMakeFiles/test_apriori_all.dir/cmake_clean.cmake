@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apriori_all.dir/test_apriori_all.cpp.o"
+  "CMakeFiles/test_apriori_all.dir/test_apriori_all.cpp.o.d"
+  "test_apriori_all"
+  "test_apriori_all.pdb"
+  "test_apriori_all[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apriori_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

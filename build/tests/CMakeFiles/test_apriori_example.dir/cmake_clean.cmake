@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apriori_example.dir/test_apriori_example.cpp.o"
+  "CMakeFiles/test_apriori_example.dir/test_apriori_example.cpp.o.d"
+  "test_apriori_example"
+  "test_apriori_example.pdb"
+  "test_apriori_example[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apriori_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

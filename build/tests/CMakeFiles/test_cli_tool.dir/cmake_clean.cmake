@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cli_tool.dir/test_cli_tool.cpp.o"
+  "CMakeFiles/test_cli_tool.dir/test_cli_tool.cpp.o.d"
+  "test_cli_tool"
+  "test_cli_tool.pdb"
+  "test_cli_tool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cli_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_count_distribution.dir/test_count_distribution.cpp.o"
+  "CMakeFiles/test_count_distribution.dir/test_count_distribution.cpp.o.d"
+  "test_count_distribution"
+  "test_count_distribution.pdb"
+  "test_count_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_count_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_db_io.dir/test_db_io.cpp.o"
+  "CMakeFiles/test_db_io.dir/test_db_io.cpp.o.d"
+  "test_db_io"
+  "test_db_io.pdb"
+  "test_db_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_db_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

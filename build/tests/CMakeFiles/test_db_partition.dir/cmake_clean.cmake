@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_db_partition.dir/test_db_partition.cpp.o"
+  "CMakeFiles/test_db_partition.dir/test_db_partition.cpp.o.d"
+  "test_db_partition"
+  "test_db_partition.pdb"
+  "test_db_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_db_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frequent_set.dir/test_frequent_set.cpp.o"
+  "CMakeFiles/test_frequent_set.dir/test_frequent_set.cpp.o.d"
+  "test_frequent_set"
+  "test_frequent_set.pdb"
+  "test_frequent_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frequent_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generalized_differential.dir/test_generalized_differential.cpp.o"
+  "CMakeFiles/test_generalized_differential.dir/test_generalized_differential.cpp.o.d"
+  "test_generalized_differential"
+  "test_generalized_differential.pdb"
+  "test_generalized_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generalized_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_policy.dir/test_hash_policy.cpp.o"
+  "CMakeFiles/test_hash_policy.dir/test_hash_policy.cpp.o.d"
+  "test_hash_policy"
+  "test_hash_policy.pdb"
+  "test_hash_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_tree_build.dir/test_hash_tree_build.cpp.o"
+  "CMakeFiles/test_hash_tree_build.dir/test_hash_tree_build.cpp.o.d"
+  "test_hash_tree_build"
+  "test_hash_tree_build.pdb"
+  "test_hash_tree_build[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_tree_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

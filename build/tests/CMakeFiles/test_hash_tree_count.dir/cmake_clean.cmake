@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_tree_count.dir/test_hash_tree_count.cpp.o"
+  "CMakeFiles/test_hash_tree_count.dir/test_hash_tree_count.cpp.o.d"
+  "test_hash_tree_count"
+  "test_hash_tree_count.pdb"
+  "test_hash_tree_count[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_tree_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

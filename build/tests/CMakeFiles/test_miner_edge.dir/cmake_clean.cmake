@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miner_edge.dir/test_miner_edge.cpp.o"
+  "CMakeFiles/test_miner_edge.dir/test_miner_edge.cpp.o.d"
+  "test_miner_edge"
+  "test_miner_edge.pdb"
+  "test_miner_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miner_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

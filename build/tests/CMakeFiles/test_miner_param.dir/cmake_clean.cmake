@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miner_param.dir/test_miner_param.cpp.o"
+  "CMakeFiles/test_miner_param.dir/test_miner_param.cpp.o.d"
+  "test_miner_param"
+  "test_miner_param.pdb"
+  "test_miner_param[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miner_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pccd.dir/test_pccd.cpp.o"
+  "CMakeFiles/test_pccd.dir/test_pccd.cpp.o.d"
+  "test_pccd"
+  "test_pccd.pdb"
+  "test_pccd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pccd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

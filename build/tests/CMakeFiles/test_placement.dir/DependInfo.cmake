@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_placement.cpp" "tests/CMakeFiles/test_placement.dir/test_placement.cpp.o" "gcc" "tests/CMakeFiles/test_placement.dir/test_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smpmine_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_seqpat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_distmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_hashtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_itemset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smpmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

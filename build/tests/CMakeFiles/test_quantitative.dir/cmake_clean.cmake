@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantitative.dir/test_quantitative.cpp.o"
+  "CMakeFiles/test_quantitative.dir/test_quantitative.cpp.o.d"
+  "test_quantitative"
+  "test_quantitative.pdb"
+  "test_quantitative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quest_gen.dir/test_quest_gen.cpp.o"
+  "CMakeFiles/test_quest_gen.dir/test_quest_gen.cpp.o.d"
+  "test_quest_gen"
+  "test_quest_gen.pdb"
+  "test_quest_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quest_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

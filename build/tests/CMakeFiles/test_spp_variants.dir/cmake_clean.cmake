@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spp_variants.dir/test_spp_variants.cpp.o"
+  "CMakeFiles/test_spp_variants.dir/test_spp_variants.cpp.o.d"
+  "test_spp_variants"
+  "test_spp_variants.pdb"
+  "test_spp_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spp_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_remap.dir/test_tree_remap.cpp.o"
+  "CMakeFiles/test_tree_remap.dir/test_tree_remap.cpp.o.d"
+  "test_tree_remap"
+  "test_tree_remap.pdb"
+  "test_tree_remap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_veto.dir/test_veto.cpp.o"
+  "CMakeFiles/test_veto.dir/test_veto.cpp.o.d"
+  "test_veto"
+  "test_veto.pdb"
+  "test_veto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_veto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smpmine_cli.dir/smpmine_cli.cpp.o"
+  "CMakeFiles/smpmine_cli.dir/smpmine_cli.cpp.o.d"
+  "smpmine"
+  "smpmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smpmine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
