@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Full correctness matrix — the gate every perf-oriented PR runs through:
+#
+#   1. release    : full ctest suite, optimized build
+#   2. tsan       : `race`-labeled high-contention suite under ThreadSanitizer
+#   3. asan-ubsan : full suite under Address+UndefinedBehaviorSanitizer
+#   4. tidy       : Clang rebuild with -Werror=thread-safety + clang-tidy
+#                   over src/ (skipped with a notice when clang is absent)
+#
+# Usage: scripts/check.sh [stage...]     e.g. `scripts/check.sh tsan`
+# Runs all four stages by default. Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+STAGES=("$@")
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(release tsan asan-ubsan tidy)
+
+note() { printf '\n== %s ==\n' "$*"; }
+
+configure_build_test() {  # preset, extra ctest args...
+  local preset="$1"; shift
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$JOBS"
+  ctest --preset "$preset" -j "$JOBS" "$@"
+}
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    release)
+      note "release: full suite"
+      configure_build_test release
+      ;;
+    tsan)
+      note "tsan: race-labeled suite under ThreadSanitizer"
+      configure_build_test tsan
+      ;;
+    asan-ubsan)
+      note "asan-ubsan: full suite under ASan+UBSan"
+      configure_build_test asan-ubsan
+      ;;
+    tidy)
+      if ! command -v clang++ >/dev/null 2>&1; then
+        note "tidy: SKIPPED — clang++ not found (thread-safety analysis and clang-tidy are Clang-only)"
+        continue
+      fi
+      note "tidy: clang build with -Werror=thread-safety"
+      cmake --preset tidy
+      cmake --build --preset tidy -j "$JOBS"
+      note "tidy: negative compile test + clang-tidy over src/"
+      ctest --test-dir build/tidy -L negative --output-on-failure
+      scripts/lint.sh
+      ;;
+    *)
+      echo "unknown stage: $stage (expected release|tsan|asan-ubsan|tidy)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+note "all requested stages passed"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# clang-tidy over the library sources, using the compile database produced
+# by the `tidy` preset — so local runs and CI see identical flags and the
+# .clang-tidy check set is the single source of truth.
+#
+# Usage: scripts/lint.sh [clang-tidy args...]
+#   JOBS=N           parallelism (default: nproc)
+#   TIDY_BUILD_DIR   compile database dir (default: build/tidy)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+BUILD_DIR="${TIDY_BUILD_DIR:-build/tidy}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+  echo "lint.sh: clang-tidy not found on PATH; install clang-tools to run" >&2
+  echo "the static-analysis stage (the checks are defined in .clang-tidy)." >&2
+  exit 127
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "lint.sh: $BUILD_DIR/compile_commands.json missing — run" >&2
+  echo "  cmake --preset tidy" >&2
+  exit 2
+fi
+
+# run-clang-tidy parallelizes when available; otherwise serial clang-tidy.
+mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+RUNNER="$(command -v run-clang-tidy || true)"
+if [ -n "$RUNNER" ]; then
+  "$RUNNER" -clang-tidy-binary "$TIDY" -p "$BUILD_DIR" -j "$JOBS" \
+    -quiet "$@" "^$(pwd)/src/"
+else
+  "$TIDY" -p "$BUILD_DIR" --quiet "$@" "${SOURCES[@]}"
+fi
+echo "lint.sh: clang-tidy clean over ${#SOURCES[@]} files"

@@ -1,7 +1,6 @@
 #include "alloc/region.hpp"
 
 #include <cstdlib>
-#include <mutex>
 #include <new>
 
 namespace smpmine {
@@ -30,7 +29,7 @@ Region::Chunk& Region::grow(std::size_t min_bytes) {
 
 void* Region::alloc(std::size_t bytes, std::size_t align) {
   if (bytes == 0) bytes = 1;
-  std::lock_guard<SpinLock> guard(mu_);
+  SpinLockGuard guard(mu_);
   Chunk* chunk = chunks_.empty() ? nullptr : &chunks_.back();
   std::size_t offset = 0;
   if (chunk != nullptr) {
@@ -55,9 +54,13 @@ void* Region::alloc(std::size_t bytes, std::size_t align) {
   return result;
 }
 
-AllocStats Region::stats() const { return stats_; }
+AllocStats Region::stats() const {
+  SpinLockGuard guard(mu_);
+  return stats_;
+}
 
 void Region::reset() {
+  SpinLockGuard guard(mu_);
   if (chunks_.size() > 1) {
     chunks_.erase(chunks_.begin() + 1, chunks_.end());
   }
@@ -72,6 +75,7 @@ void Region::reset() {
 }
 
 void Region::release() {
+  SpinLockGuard guard(mu_);
   chunks_.clear();
   stats_.chunks = 0;
   stats_.bytes_reserved = 0;
@@ -89,7 +93,7 @@ void* MallocArena::alloc(std::size_t bytes, std::size_t align) {
     ptr = ::operator new(bytes);
     align = 0;  // remember which delete to use
   }
-  std::lock_guard<SpinLock> guard(mu_);
+  SpinLockGuard guard(mu_);
   blocks_.push_back(Block{ptr, align});
   ++stats_.allocations;
   stats_.bytes_requested += bytes;
@@ -98,9 +102,13 @@ void* MallocArena::alloc(std::size_t bytes, std::size_t align) {
   return ptr;
 }
 
-AllocStats MallocArena::stats() const { return stats_; }
+AllocStats MallocArena::stats() const {
+  SpinLockGuard guard(mu_);
+  return stats_;
+}
 
 void MallocArena::release() {
+  SpinLockGuard guard(mu_);
   for (const Block& b : blocks_) {
     if (b.align != 0) {
       ::operator delete(b.ptr, std::align_val_t(b.align));

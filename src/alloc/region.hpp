@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "parallel/spinlock.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace smpmine {
@@ -70,7 +71,10 @@ class Region final : public Arena {
   /// Releases all chunks back to the system.
   void release();
 
-  std::size_t bytes_used() const { return used_; }
+  std::size_t bytes_used() const {
+    SpinLockGuard guard(mu_);
+    return used_;
+  }
 
   static constexpr std::size_t kDefaultChunkBytes = 1u << 20;
 
@@ -81,13 +85,13 @@ class Region final : public Arena {
     std::size_t offset = 0;
   };
 
-  Chunk& grow(std::size_t min_bytes);
+  Chunk& grow(std::size_t min_bytes) REQUIRES(mu_);
 
   mutable SpinLock mu_;
-  std::vector<Chunk> chunks_;
+  std::vector<Chunk> chunks_ GUARDED_BY(mu_);
   std::size_t chunk_bytes_;
-  std::size_t used_ = 0;
-  AllocStats stats_;
+  std::size_t used_ GUARDED_BY(mu_) = 0;
+  AllocStats stats_ GUARDED_BY(mu_);
 };
 
 /// Baseline arena backed by individual `operator new` calls — the paper's
@@ -113,8 +117,8 @@ class MallocArena final : public Arena {
     std::size_t align;
   };
   mutable SpinLock mu_;
-  std::vector<Block> blocks_;
-  AllocStats stats_;
+  std::vector<Block> blocks_ GUARDED_BY(mu_);
+  AllocStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace smpmine

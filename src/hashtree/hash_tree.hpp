@@ -12,6 +12,7 @@
 #include "alloc/placement.hpp"
 #include "hashtree/hash_policy.hpp"
 #include "hashtree/nodes.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace smpmine {
@@ -160,7 +161,9 @@ class HashTree {
   };
 
   HTNode* new_node(std::uint16_t depth);
-  void convert_leaf(HTNode* node);
+  /// Splits a full leaf into an internal node. Caller (insert) holds the
+  /// node's spinlock across the redistribution and the `children` publish.
+  void convert_leaf(HTNode* node) REQUIRES(node->lock);
   Entry make_entry(std::span<const item_t> items);
   void init_counter(Candidate* cand, std::byte* inline_tail);
 

@@ -39,7 +39,14 @@ const char* to_string(CounterMode m);
 /// region — see HashTree::insert).
 struct Candidate {
   std::uint32_t id;       ///< dense id in [0, num_candidates)
-  count_t* count;         ///< shared support counter
+  /// Shared support counter. Synchronization is mode-dependent — Atomic:
+  /// concurrent writers use std::atomic_ref relaxed increments; Locked:
+  /// writers hold *count_lock; PerThread: written only by the disjoint-range
+  /// reduction after a barrier. Because the discipline varies per
+  /// CounterMode at runtime, this field carries no PT_GUARDED_BY (a static
+  /// annotation would mis-flag two of the three modes); the per-mode
+  /// protocols are exercised under TSan by test_race_ccpd_counters.cpp.
+  count_t* count;
   SpinLock* count_lock;   ///< only non-null under CounterMode::Locked
 
   item_t* items() { return reinterpret_cast<item_t*>(this + 1); }
@@ -72,6 +79,15 @@ struct ListHeader {
 /// leaf->internal conversion builds the fully-populated child array and
 /// publishes it with a release store, so readers that observe `children`
 /// non-null can descend without taking the node lock.
+///
+/// Locking discipline: during the parallel build, `lock` guards the list
+/// reached through `list` (head/size) and the leaf->internal transition
+/// (HashTree::insert links under SpinLockGuard; HashTree::convert_leaf is
+/// REQUIRES(node->lock)). After the build barrier the tree is quiescent and
+/// the counting/stats traversals read `list` lock-free — that phase split is
+/// why `list` is not PT_GUARDED_BY(lock): annotating it would flag every
+/// legitimate quiescent reader. The build-phase protocol is instead checked
+/// dynamically by tests/race/test_race_tree_build.cpp under TSan.
 struct HTNode {
   std::atomic<HTNode**> children{nullptr};  ///< HTNP, fanout entries
   ListHeader* list = nullptr;               ///< ILH

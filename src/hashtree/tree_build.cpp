@@ -4,7 +4,6 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
-#include <mutex>
 #include <new>
 
 #include "hashtree/hash_tree.hpp"
@@ -134,7 +133,7 @@ std::uint32_t HashTree::insert(std::span<const item_t> items) {
       node = kids[policy_->bucket(items[node->depth])];
       continue;
     }
-    std::lock_guard<SpinLock> guard(node->lock);
+    SpinLockGuard guard(node->lock);
     kids = node->children.load(std::memory_order_relaxed);
     if (kids != nullptr) {
       continue;  // converted while we waited; resume the descent

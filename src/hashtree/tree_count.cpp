@@ -11,7 +11,6 @@
 //    with memory independent of tree size.
 #include <atomic>
 #include <cassert>
-#include <mutex>
 
 #include "hashtree/hash_tree.hpp"
 #include "itemset/itemset.hpp"
@@ -70,7 +69,7 @@ void HashTree::process_leaf(const HTNode* node, std::span<const item_t> txn,
             .fetch_add(1, std::memory_order_relaxed);
         break;
       case CounterMode::Locked: {
-        std::lock_guard<SpinLock> guard(*cand->count_lock);
+        SpinLockGuard guard(*cand->count_lock);
         ++*cand->count;
         break;
       }

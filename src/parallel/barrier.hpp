@@ -10,6 +10,13 @@
 
 namespace smpmine {
 
+// Thread-safety-analysis note: Barrier deliberately carries no capability
+// annotations. Its two fields are std::atomic and self-synchronizing — the
+// release-store of `sense_` by the last arriver paired with the acquire-load
+// in every waiter is the happens-before edge that makes "everything written
+// before the barrier is visible after it" hold. There is no lock anyone
+// could be REQUIRES'd to hold; the race test suite (tests/race/
+// test_race_barrier.cpp under TSan) is what checks this protocol.
 class Barrier {
  public:
   explicit Barrier(std::uint32_t parties) : parties_(parties) {}

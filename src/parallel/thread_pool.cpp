@@ -16,18 +16,19 @@ ThreadPool::ThreadPool(std::uint32_t threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     shutdown_ = true;
   }
   cv_start_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::execute_as(std::uint32_t tid) {
+void ThreadPool::execute_as(const std::function<void(std::uint32_t)>& job,
+                            std::uint32_t tid) {
   try {
-    (*job_)(tid);
+    job(tid);
   } catch (...) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (!first_error_) first_error_ = std::current_exception();
   }
 }
@@ -35,15 +36,17 @@ void ThreadPool::execute_as(std::uint32_t tid) {
 void ThreadPool::worker_loop(std::uint32_t tid) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
+    const std::function<void(std::uint32_t)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_start_.wait(lk, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      MutexLock lk(mu_);
+      while (!shutdown_ && epoch_ == seen_epoch) cv_start_.wait(lk);
       if (shutdown_) return;
       seen_epoch = epoch_;
+      job = job_;
     }
-    execute_as(tid);
+    execute_as(*job, tid);
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       if (--running_ == 0) cv_done_.notify_one();
     }
   }
@@ -55,18 +58,22 @@ void ThreadPool::run_spmd(const std::function<void(std::uint32_t)>& body) {
     return;
   }
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     job_ = &body;
     running_ = threads_ - 1;
     first_error_ = nullptr;
     ++epoch_;
   }
   cv_start_.notify_all();
-  execute_as(0);
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_done_.wait(lk, [&] { return running_ == 0; });
-  job_ = nullptr;
-  if (first_error_) std::rethrow_exception(first_error_);
+  execute_as(body, 0);
+  std::exception_ptr error;
+  {
+    MutexLock lk(mu_);
+    while (running_ != 0) cv_done_.wait(lk);
+    job_ = nullptr;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for_blocked(

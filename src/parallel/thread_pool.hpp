@@ -11,11 +11,12 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "parallel/barrier.hpp"
+#include "parallel/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace smpmine {
 
@@ -45,20 +46,27 @@ class ThreadPool {
 
  private:
   void worker_loop(std::uint32_t tid);
-  void execute_as(std::uint32_t tid);
+  /// Runs `job(tid)`, parking the first exception in first_error_. The job
+  /// is passed in (snapshotted under mu_ by the caller) rather than read
+  /// from job_, so the call itself needs no capability.
+  void execute_as(const std::function<void(std::uint32_t)>& job,
+                  std::uint32_t tid);
 
   const std::uint32_t threads_;
   Barrier barrier_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  const std::function<void(std::uint32_t)>* job_ = nullptr;
-  std::uint64_t epoch_ = 0;
-  std::uint32_t running_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;
+  // Control plane: every field below is dispatch/join state shared between
+  // the master and the persistent workers, guarded by mu_. (The data plane —
+  // whatever `body` touches — synchronizes via SpinLock/atomics/Barrier.)
+  mutable Mutex mu_;
+  std::condition_variable_any cv_start_;
+  std::condition_variable_any cv_done_;
+  const std::function<void(std::uint32_t)>* job_ GUARDED_BY(mu_) = nullptr;
+  std::uint64_t epoch_ GUARDED_BY(mu_) = 0;
+  std::uint32_t running_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
 };
 
 }  // namespace smpmine

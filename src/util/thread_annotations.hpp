@@ -1,0 +1,49 @@
+// Clang thread-safety (capability) analysis macros.
+//
+// These expand to Clang's `__attribute__((...))` capability annotations when
+// compiling with Clang and to nothing elsewhere (GCC, MSVC), so annotated
+// headers stay portable. The analysis itself is enabled by the `tidy`
+// CMake preset (`-Wthread-safety -Werror=thread-safety`); see the
+// "Correctness tooling" section of DESIGN.md for the annotation discipline —
+// which state gets GUARDED_BY, why the quiescent-phase hash-tree readers are
+// deliberately unannotated, and how to extend coverage.
+//
+// Naming follows the Clang documentation's canonical mutex.h so the macros
+// read the same as every other annotated codebase:
+//   CAPABILITY(name)     — a class is a lock/capability (SpinLock, Mutex)
+//   SCOPED_CAPABILITY    — RAII guard that acquires in ctor, releases in dtor
+//   GUARDED_BY(mu)       — data member readable/writable only with mu held
+//   PT_GUARDED_BY(mu)    — pointee (not the pointer) guarded by mu
+//   ACQUIRE/RELEASE(...) — lock/unlock functions
+//   TRY_ACQUIRE(b, ...)  — try-lock returning `b` on success
+//   REQUIRES(mu)         — caller must already hold mu
+//   EXCLUDES(mu)         — caller must NOT hold mu (non-reentrancy)
+#pragma once
+
+#if defined(__clang__) && !defined(SMPMINE_NO_THREAD_SAFETY_ANALYSIS)
+#define SMPMINE_TSA(x) __attribute__((x))
+#else
+#define SMPMINE_TSA(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) SMPMINE_TSA(capability(x))
+#define SCOPED_CAPABILITY SMPMINE_TSA(scoped_lockable)
+#define GUARDED_BY(x) SMPMINE_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) SMPMINE_TSA(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) SMPMINE_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) SMPMINE_TSA(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) SMPMINE_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) SMPMINE_TSA(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) SMPMINE_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) SMPMINE_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) SMPMINE_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) SMPMINE_TSA(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) SMPMINE_TSA(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) SMPMINE_TSA(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  SMPMINE_TSA(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) SMPMINE_TSA(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) SMPMINE_TSA(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) SMPMINE_TSA(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) SMPMINE_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS SMPMINE_TSA(no_thread_safety_analysis)

@@ -1,0 +1,39 @@
+// NEGATIVE compile test — this file MUST NOT compile under
+//   clang++ -Wthread-safety -Werror=thread-safety
+// It mutates GUARDED_BY state without holding the guarding capability; the
+// CTest entry `negative.thread_safety_violation` (registered only for Clang,
+// see tests/CMakeLists.txt) invokes the compiler on it and is marked
+// WILL_FAIL, so the analysis *rejecting* this file is what passes.
+//
+// It is exactly the bug class the annotations exist to catch: a refactor
+// that moves a counter update out from under its node/counter lock.
+#include "parallel/spinlock.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct SharedCounter {
+  smpmine::SpinLock lock;
+  long value GUARDED_BY(lock) = 0;
+};
+
+// Correct: compiles warning-free — the scoped guard holds `lock` across the
+// mutation, which discharges the GUARDED_BY requirement.
+long locked_increment(SharedCounter& c) {
+  smpmine::SpinLockGuard guard(c.lock);
+  return ++c.value;
+}
+
+// BROKEN: writes the guarded field with no capability held. Clang emits
+//   error: writing variable 'value' requires holding spinlock 'lock'
+//   exclusively [-Werror,-Wthread-safety-analysis]
+long racy_increment(SharedCounter& c) {
+  return ++c.value;  // <- the intentional violation under test
+}
+
+}  // namespace
+
+int main() {
+  SharedCounter c;
+  return static_cast<int>(locked_increment(c) + racy_increment(c));
+}

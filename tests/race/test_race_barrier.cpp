@@ -1,0 +1,88 @@
+// TSan-targeted Barrier stress: the sense-reversing protocol must give a
+// happens-before edge from every pre-barrier write to every post-barrier
+// read. All cross-thread traffic here is over plain (non-atomic) slots, so
+// a broken barrier is a TSan report and usually also a wrong checksum.
+#include "parallel/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace smpmine {
+namespace {
+
+constexpr std::uint32_t kThreads = 4;
+
+TEST(RaceBarrier, PhaseWritesVisibleAfterBarrier) {
+  // Round r: each thread writes slot[tid] = r*tid, barrier, then every
+  // thread sums ALL slots (plain reads of other threads' writes).
+  constexpr int kRounds = 200;
+  Barrier barrier(kThreads);
+  std::vector<std::uint64_t> slots(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (std::uint32_t tid = 0; tid < kThreads; ++tid) {
+    workers.emplace_back([&, tid] {
+      for (int r = 1; r <= kRounds; ++r) {
+        slots[tid] = static_cast<std::uint64_t>(r) * tid;
+        barrier.arrive_and_wait();
+        std::uint64_t sum = 0;
+        for (const auto s : slots) sum += s;
+        const std::uint64_t expect =
+            static_cast<std::uint64_t>(r) * (kThreads * (kThreads - 1)) / 2;
+        ASSERT_EQ(sum, expect) << "round " << r << " tid " << tid;
+        // Second barrier: nobody may start writing round r+1 before every
+        // thread finished reading round r.
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+TEST(RaceBarrier, SenseReversalSurvivesManyGenerations) {
+  // >= 3 generations back-to-back with no reinitialization; each generation
+  // ping-pongs a plain token between producer and the rest.
+  constexpr int kGenerations = 500;
+  Barrier barrier(kThreads);
+  std::uint64_t token = 0;  // written by thread 0 only, read by everyone
+  std::vector<std::thread> workers;
+  for (std::uint32_t tid = 0; tid < kThreads; ++tid) {
+    workers.emplace_back([&, tid] {
+      for (int g = 1; g <= kGenerations; ++g) {
+        if (tid == 0) token = static_cast<std::uint64_t>(g) * 31;
+        barrier.arrive_and_wait();
+        ASSERT_EQ(token, static_cast<std::uint64_t>(g) * 31);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+TEST(RaceBarrier, ThreadPoolBarrierInsideSpmd) {
+  // The pool's shared barrier, as CCPD uses it: phase 1 writes, barrier,
+  // phase 2 reads a neighbour's phase-1 value.
+  constexpr int kRounds = 100;
+  ThreadPool pool(kThreads);
+  std::vector<std::uint64_t> produced(pool.size(), 0);
+  std::vector<std::uint64_t> consumed(pool.size(), 0);
+  for (int r = 1; r <= kRounds; ++r) {
+    pool.run_spmd([&, r](std::uint32_t tid) {
+      produced[tid] = static_cast<std::uint64_t>(r) + tid;
+      pool.barrier().arrive_and_wait();
+      const std::uint32_t neighbour = (tid + 1) % pool.size();
+      consumed[tid] = produced[neighbour];
+    });
+    for (std::uint32_t tid = 0; tid < pool.size(); ++tid) {
+      const std::uint32_t neighbour = (tid + 1) % pool.size();
+      ASSERT_EQ(consumed[tid], static_cast<std::uint64_t>(r) + neighbour);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smpmine

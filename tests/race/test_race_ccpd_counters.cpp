@@ -1,0 +1,173 @@
+// TSan-targeted shared support counters: every CounterMode's update
+// discipline (atomic increments, per-candidate spinlocks, privatized
+// accumulators + disjoint-range reduction), both in isolation against the
+// shared hash tree and end-to-end through mine_ccpd's bulk-synchronous
+// iteration over the ThreadPool.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/brute_force.hpp"
+#include "core/miner.hpp"
+#include "data/quest_gen.hpp"
+#include "hashtree/hash_tree.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+constexpr int kThreads = 4;
+
+/// Tiny database where every transaction hits many candidates, maximizing
+/// counter contention per unit of work.
+Database dense_db() {
+  Database db;
+  for (int t = 0; t < 40; ++t) {
+    // Overlapping windows over a 10-item universe.
+    std::vector<item_t> txn;
+    for (item_t i = 0; i < 6; ++i) {
+      txn.push_back(static_cast<item_t>((t + i) % 10));
+    }
+    db.add_transaction(txn);
+  }
+  return db;
+}
+
+/// Builds a k=2 tree over all pairs of the db's universe (sequentially —
+/// counting, not building, is under test here).
+struct TreeFixture {
+  explicit TreeFixture(CounterMode mode)
+      : arenas(PlacementPolicy::SPP),
+        policy(HashScheme::Interleaved, 2),
+        tree({.k = 2, .fanout = 2, .leaf_threshold = 2, .counter_mode = mode},
+             policy, arenas) {
+    std::vector<item_t> base(10);
+    for (item_t i = 0; i < 10; ++i) base[i] = i;
+    for (const auto& pair : k_subsets(base, 2)) tree.insert(pair);
+    if (mode == CounterMode::PerThread) {
+      tree.candidate_index();  // must be materialized before parallel use
+    }
+  }
+  PlacementArenas arenas;
+  HashPolicy policy;
+  HashTree tree;
+};
+
+std::vector<count_t> snapshot_counts(const HashTree& tree) {
+  std::vector<count_t> counts(tree.num_candidates(), 0);
+  tree.for_each_candidate(
+      [&](const Candidate& cand) { counts[cand.id] = *cand.count; });
+  return counts;
+}
+
+/// Every thread counts the whole database, so each candidate's final
+/// support must be exactly kThreads * (single-threaded support).
+void stress_shared_counters(CounterMode mode) {
+  const Database db = dense_db();
+
+  TreeFixture reference(mode);
+  {
+    CountContext ctx = reference.tree.make_context(SubsetCheck::FrameLocal);
+    for (std::size_t t = 0; t < db.size(); ++t) {
+      reference.tree.count_transaction(db.transaction(t), ctx);
+    }
+    if (mode == CounterMode::PerThread) {
+      reference.tree.reduce_into_shared(ctx, 0,
+                                        reference.tree.num_candidates());
+    }
+  }
+  const std::vector<count_t> expected = snapshot_counts(reference.tree);
+
+  TreeFixture shared(mode);
+  std::vector<CountContext> contexts(kThreads);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      CountContext ctx = shared.tree.make_context(SubsetCheck::FrameLocal);
+      for (std::size_t t = 0; t < db.size(); ++t) {
+        shared.tree.count_transaction(db.transaction(t), ctx);
+      }
+      contexts[w] = std::move(ctx);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  if (mode == CounterMode::PerThread) {
+    // LCA reduction: threads take disjoint candidate-id ranges, each
+    // summing every context's privatized counts into the shared counter.
+    const std::uint32_t n = shared.tree.num_candidates();
+    const std::uint32_t per = (n + kThreads - 1) / kThreads;
+    std::vector<std::thread> reducers;
+    for (int w = 0; w < kThreads; ++w) {
+      reducers.emplace_back([&, w] {
+        const std::uint32_t begin =
+            std::min(n, static_cast<std::uint32_t>(w) * per);
+        const std::uint32_t end = std::min(n, begin + per);
+        for (const CountContext& ctx : contexts) {
+          shared.tree.reduce_into_shared(ctx, begin, end);
+        }
+      });
+    }
+    for (auto& r : reducers) r.join();
+  }
+
+  const std::vector<count_t> got = snapshot_counts(shared.tree);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t id = 0; id < got.size(); ++id) {
+    ASSERT_EQ(got[id], expected[id] * kThreads) << "candidate " << id;
+  }
+}
+
+TEST(RaceCcpdCounters, AtomicIncrementsAreExact) {
+  stress_shared_counters(CounterMode::Atomic);
+}
+
+TEST(RaceCcpdCounters, LockedIncrementsAreExact) {
+  stress_shared_counters(CounterMode::Locked);
+}
+
+TEST(RaceCcpdCounters, PerThreadReductionIsExact) {
+  stress_shared_counters(CounterMode::PerThread);
+}
+
+class CcpdEndToEndRace : public ::testing::TestWithParam<CounterMode> {};
+
+TEST_P(CcpdEndToEndRace, ParallelMatchesSequential) {
+  QuestParams p;
+  p.num_transactions = 150;
+  p.avg_transaction_len = 8.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 15;
+  p.num_items = 30;
+  p.seed = 11;
+  const Database db = generate_quest(p);
+
+  MinerOptions seq;
+  seq.min_support = 0.05;
+  seq.counter_mode = GetParam();
+  const MiningResult expect = mine_ccpd(db, seq);
+
+  MinerOptions par = seq;
+  par.threads = kThreads;
+  par.parallel_candgen_threshold = 1;  // force the parallel build too
+  const MiningResult got = mine_ccpd(db, par);
+
+  std::string diag;
+  EXPECT_TRUE(levels_equal(got.levels, expect.levels, &diag)) << diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(CounterModes, CcpdEndToEndRace,
+                         ::testing::Values(CounterMode::Atomic,
+                                           CounterMode::Locked,
+                                           CounterMode::PerThread),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           std::erase_if(name,
+                                         [](char c) { return c == '-'; });
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace smpmine

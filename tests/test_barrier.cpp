@@ -1,0 +1,116 @@
+// Unit tests for the sense-reversing Barrier (functional behaviour; the
+// TSan-facing stress lives in tests/race/test_race_barrier.cpp).
+#include "parallel/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace smpmine {
+namespace {
+
+TEST(Barrier, ReportsParties) {
+  Barrier barrier(3);
+  EXPECT_EQ(barrier.parties(), 3u);
+}
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  // Degenerate case: with one party, every arrival is the last arrival —
+  // arrive_and_wait must return immediately, any number of times.
+  Barrier barrier(1);
+  for (int i = 0; i < 100; ++i) barrier.arrive_and_wait();
+  EXPECT_EQ(barrier.parties(), 1u);
+}
+
+TEST(Barrier, BlocksUntilAllPartiesArrive) {
+  Barrier barrier(2);
+  std::atomic<bool> other_passed{false};
+  std::thread other([&] {
+    barrier.arrive_and_wait();
+    other_passed.store(true, std::memory_order_release);
+  });
+  // Until this thread arrives, the other must stay blocked. A sleep can't
+  // prove blocking, but it reliably catches a barrier that lets parties
+  // through early.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(other_passed.load(std::memory_order_acquire));
+  barrier.arrive_and_wait();
+  other.join();
+  EXPECT_TRUE(other_passed.load(std::memory_order_acquire));
+}
+
+TEST(Barrier, ReusableAcrossPhasesWithoutReinit) {
+  // Bulk-synchronous phase structure, as CCPD uses it: each phase's writes
+  // must be complete before any thread starts the next phase.
+  constexpr std::uint32_t kThreads = 4;
+  constexpr int kPhases = 25;
+  Barrier barrier(kThreads);
+  std::vector<std::atomic<int>> arrivals(kPhases);
+  for (auto& a : arrivals) a.store(0);
+
+  std::vector<std::thread> workers;
+  for (std::uint32_t tid = 0; tid < kThreads; ++tid) {
+    workers.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        arrivals[p].fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, the whole phase must have checked in.
+        ASSERT_EQ(arrivals[p].load(), static_cast<int>(kThreads));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+TEST(Barrier, SenseReversalOverThreeGenerations) {
+  // >= 3 consecutive generations through one barrier object: the sense bit
+  // flips 0->1->0->1, so generation 3 reuses generation 1's sense value —
+  // exactly the wrap a sense-reversal bug (e.g. resetting the count too
+  // late) would corrupt. Lockstep counters make a missed or early release
+  // visible as a value mismatch.
+  constexpr std::uint32_t kThreads = 3;
+  constexpr int kGenerations = 3;
+  Barrier barrier(kThreads);
+  std::vector<std::atomic<int>> generation(kThreads);
+  for (auto& g : generation) g.store(0);
+
+  std::vector<std::thread> workers;
+  for (std::uint32_t tid = 0; tid < kThreads; ++tid) {
+    workers.emplace_back([&, tid] {
+      for (int g = 1; g <= kGenerations; ++g) {
+        generation[tid].store(g);
+        barrier.arrive_and_wait();
+        for (std::uint32_t other = 0; other < kThreads; ++other) {
+          ASSERT_EQ(generation[other].load(), g)
+              << "generation " << g << ": thread " << other << " astray";
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+TEST(Barrier, OversubscribedMorePartiesThanCores) {
+  // More parties than hardware threads: the yield path in the wait loop
+  // must keep everything moving.
+  const std::uint32_t parties =
+      std::max(2u, std::thread::hardware_concurrency() * 2);
+  Barrier barrier(parties);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> workers;
+  for (std::uint32_t tid = 0; tid < parties; ++tid) {
+    workers.emplace_back([&] {
+      sum.fetch_add(1);
+      barrier.arrive_and_wait();
+      ASSERT_EQ(sum.load(), static_cast<int>(parties));
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace
+}  // namespace smpmine

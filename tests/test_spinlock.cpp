@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -24,6 +26,46 @@ TEST(SpinLock, TryLock) {
   lock.unlock();
   EXPECT_TRUE(lock.try_lock());
   lock.unlock();
+}
+
+TEST(SpinLock, TryLockOnHeldLockFailsWithoutSpinning) {
+  // Regression for the TRY_ACQUIRE(true) annotation's semantics: try_lock
+  // is a single-shot attempt — on a held lock it must return false
+  // promptly, not spin/backoff like lock(). The holder never releases, so
+  // any spin-until-free implementation would hang; bound the whole probe
+  // loop to well under lock()'s contention timescale instead.
+  SpinLock lock;
+  lock.lock();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_FALSE(lock.try_lock());
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(1))
+      << "try_lock appears to spin while the lock is held";
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SpinLock, GuardProvidesMutualExclusion) {
+  // SpinLockGuard is the annotated RAII guard library code must use; same
+  // contract as std::lock_guard<SpinLock>.
+  SpinLock lock;
+  std::uint64_t counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        SpinLockGuard guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
 TEST(SpinLock, MutualExclusionUnderContention) {
