@@ -1,12 +1,77 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "core/results_io.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace smpmine::bench {
+
+namespace {
+
+// Bench artifact state. Benches are single-threaded drivers (parallelism
+// lives inside mine()), so plain statics suffice. The manifests are written
+// at exit because a bench's run loop has no single point "after the last
+// run" short of every main()'s return.
+std::string g_trace_path;
+std::string g_metrics_path;
+std::vector<RunManifest> g_manifests;
+/// Database::digest() -> human label, filled by make_dataset so run_miner
+/// can label manifests without threading names through every bench.
+std::unordered_map<std::uint64_t, std::string> g_dataset_labels;
+
+void flush_artifacts() {
+  try {
+    if (!g_trace_path.empty()) {
+      obs::Tracer::instance().save_chrome_trace(g_trace_path);
+      std::fprintf(stderr, "[obs] trace written to %s\n",
+                   g_trace_path.c_str());
+    }
+    if (!g_metrics_path.empty()) {
+      save_run_manifests(g_manifests, g_metrics_path);
+      std::fprintf(stderr, "[obs] %zu run manifests written to %s\n",
+                   g_manifests.size(), g_metrics_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[obs] artifact write failed: %s\n", e.what());
+  }
+}
+
+/// Counter deltas `after - before` (gauges keep their latest value): the
+/// global registry accumulates across a bench's whole run loop, but a
+/// manifest should describe its own entry.
+obs::MetricsSnapshot snapshot_delta(const obs::MetricsSnapshot& before,
+                                    obs::MetricsSnapshot after) {
+  std::unordered_map<std::string_view, std::uint64_t> base;
+  for (const auto& [name, value] : before.counters) base[name] = value;
+  for (auto& [name, value] : after.counters) {
+    if (const auto it = base.find(name); it != base.end()) {
+      value -= it->second;
+    }
+  }
+  return after;
+}
+
+void record_run(const Database& db, const MinerOptions& opts,
+                const MiningResult& result,
+                const obs::MetricsSnapshot& before) {
+  if (g_metrics_path.empty()) return;
+  const std::uint64_t digest = db.digest();
+  const auto label = g_dataset_labels.find(digest);
+  RunManifest m = make_run_manifest(
+      "bench", label != g_dataset_labels.end() ? label->second : "unknown",
+      db, opts, result);
+  m.metrics =
+      snapshot_delta(before, obs::MetricsRegistry::instance().snapshot());
+  g_manifests.push_back(std::move(m));
+}
+
+}  // namespace
 
 const std::vector<std::string>& table2_datasets() {
   static const std::vector<std::string> names{
@@ -23,6 +88,9 @@ void add_common_flags(CliParser& cli) {
   cli.add_flag("threads", "comma-separated thread counts", "1,2,4,8");
   cli.add_flag("seed", "generator seed", "1996");
   cli.add_flag("repeat", "timing repetitions (min-of-N)", "2");
+  cli.add_flag("trace", "write Chrome trace-event JSON here at exit");
+  cli.add_flag("metrics", "write run-manifest JSON (one entry per mining "
+                          "run) here at exit");
 }
 
 namespace {
@@ -59,6 +127,18 @@ BenchEnv parse_env(const CliParser& cli,
   }
   env.repeat = std::max<std::uint32_t>(
       1, static_cast<std::uint32_t>(cli.get_int("repeat", 2)));
+  env.trace_path = cli.get("trace", "");
+  env.metrics_path = cli.get("metrics", "");
+  if (!env.trace_path.empty() || !env.metrics_path.empty()) {
+    g_trace_path = env.trace_path;
+    g_metrics_path = env.metrics_path;
+    if (!env.trace_path.empty()) {
+      obs::Tracer::instance().set_enabled(true);
+      obs::set_current_thread_name("bench main");
+    }
+    static const int registered = std::atexit(flush_artifacts);
+    (void)registered;
+  }
   return env;
 }
 
@@ -75,6 +155,7 @@ Database make_dataset(const std::string& name, const BenchEnv& env) {
                name.c_str(), p.name().c_str(), db.size(),
                static_cast<double>(db.storage_bytes()) / 1e6,
                timer.seconds());
+  if (!g_metrics_path.empty()) g_dataset_labels[db.digest()] = p.name();
   return db;
 }
 
@@ -89,11 +170,19 @@ double pct_improvement(double base, double optimized) {
 }
 
 MiningResult run_miner(const Database& db, const MinerOptions& opts) {
-  return mine(db, opts);
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::instance().snapshot();
+  MiningResult result = mine(db, opts);
+  record_run(db, opts, result, before);
+  return result;
 }
 
 MiningResult run_miner(const Database& db, const MinerOptions& opts,
                        const BenchEnv& env) {
+  // The manifest's metric deltas cover all `repeat` repetitions (the
+  // registry is process-global); its timings are the kept best run.
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::instance().snapshot();
   MiningResult best = mine(db, opts);
   for (std::uint32_t r = 1; r < env.repeat; ++r) {
     MiningResult next = mine(db, opts);
@@ -101,6 +190,7 @@ MiningResult run_miner(const Database& db, const MinerOptions& opts,
       best = std::move(next);
     }
   }
+  record_run(db, opts, best, before);
   return best;
 }
 

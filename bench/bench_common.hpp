@@ -23,7 +23,7 @@ namespace smpmine::bench {
 const std::vector<std::string>& table2_datasets();
 
 /// Registers the flags every bench shares (--scale, --full, --datasets,
-/// --threads, --seed).
+/// --threads, --seed, --trace, --metrics).
 void add_common_flags(CliParser& cli);
 
 struct BenchEnv {
@@ -37,6 +37,11 @@ struct BenchEnv {
   /// Timing repetitions; the run with the smallest modeled time is kept
   /// (min-of-N rejects scheduler noise on a shared host).
   std::uint32_t repeat = 2;
+  /// Artifact destinations (--trace / --metrics). When set, parse_env
+  /// enables the tracer and registers an atexit hook that writes the
+  /// Chrome trace and the accumulated run manifests when the bench exits.
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 /// Parses the common flags. `default_datasets` is used when --datasets is

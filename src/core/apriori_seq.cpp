@@ -6,10 +6,12 @@
 // configuration accordingly so callers get the textbook algorithm without
 // threading setup.
 #include "core/miner.hpp"
+#include "obs/trace.hpp"
 
 namespace smpmine {
 
 MiningResult mine_sequential(const Database& db, MinerOptions options) {
+  SMPMINE_TRACE_SPAN("mine.sequential");
   options.threads = 1;
   options.algorithm = Algorithm::CCPD;
   return mine_ccpd(db, options);

@@ -15,6 +15,7 @@
 #include "alloc/alloc_stats.hpp"
 #include "core/candidate_gen.hpp"
 #include "core/miner.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace smpmine {
@@ -54,12 +55,14 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
   opts.validate();
 
   WallTimer total_timer;
+  SMPMINE_TRACE_SPAN_ARG("mine.ccpd", "threads", opts.threads);
   ThreadPool pool(opts.threads);
   const std::uint32_t threads = pool.size();
   MiningResult result;
   const count_t min_count = absolute_support(opts.min_support, db.size());
 
   {
+    SMPMINE_TRACE_SPAN("f1");
     WallTimer f1_timer;
     result.levels.push_back(compute_f1(db, min_count, pool));
     result.f1_seconds = f1_timer.seconds();
@@ -76,9 +79,17 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
 
     IterationStats it;
     it.k = k;
+    // Master-track phase spans use the IterationStats names (candgen /
+    // remap / count / reduce / select); worker-track spans of the same name
+    // inside the run_spmd bodies give the per-thread timeline the paper's
+    // imbalance figures are about. SMPMINE_TRACE_PHASE because the phases
+    // share this scope — each span is closed explicitly where the matching
+    // WallTimer is read.
+    SMPMINE_TRACE_SPAN_ARG("iteration", "k", k);
 
     // ---- candidate generation -------------------------------------------
     WallTimer candgen_timer;
+    SMPMINE_TRACE_PHASE(candgen_span, "candgen", "k", k);
     const std::vector<EqClass> classes = build_equivalence_classes(prev);
     const std::vector<GenUnit> units = generation_units(classes, k);
     if (units.empty()) break;
@@ -116,6 +127,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
       std::vector<CandGenCounters> per_thread(threads);
       std::vector<double> gen_busy(threads, 0.0);
       pool.run_spmd([&](std::uint32_t tid) {
+        SMPMINE_TRACE_SPAN_ARG("candgen", "k", k);
         ThreadCpuTimer cpu;
         per_thread[tid] = generate_candidates(prev, classes, batches[tid],
                                               tree, opts.candidate_veto);
@@ -133,6 +145,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
       it.candgen_busy_sum = it.candgen_busy_max = cpu.seconds();
     }
     it.candgen_seconds = candgen_timer.seconds();
+    SMPMINE_TRACE_PHASE_END(candgen_span);
     it.candidates = tree.num_candidates();
     it.pruned = gen.pruned;
     if (it.candidates == 0) {
@@ -142,6 +155,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
 
     // ---- GPP remap --------------------------------------------------------
     {
+      SMPMINE_TRACE_SPAN_ARG("remap", "k", k);
       WallTimer remap_timer;
       if (policy_remaps(opts.placement)) tree.remap_depth_first();
       it.remap_seconds = remap_timer.seconds();
@@ -199,9 +213,11 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
       ranges = partition_database_for_iteration(db, threads, k);
     }
     WallTimer count_timer;
+    SMPMINE_TRACE_PHASE(count_span, "count", "k", k);
     std::vector<CountContext> contexts(threads);
     std::vector<double> busy(threads, 0.0);
     pool.run_spmd([&](std::uint32_t tid) {
+      SMPMINE_TRACE_SPAN_ARG("count", "k", k);
       ThreadCpuTimer busy_timer;
       CountContext ctx = tree.make_context(opts.subset_check);
       for (std::uint64_t t = ranges.begin(tid); t < ranges.end(tid); ++t) {
@@ -211,6 +227,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
       contexts[tid] = std::move(ctx);
     });
     it.count_seconds = count_timer.seconds();
+    SMPMINE_TRACE_PHASE_END(count_span);
     it.count_busy_sum = std::accumulate(busy.begin(), busy.end(), 0.0);
     it.count_busy_max = *std::max_element(busy.begin(), busy.end());
     for (const CountContext& ctx : contexts) {
@@ -222,11 +239,13 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
 
     // ---- LCA reduction ------------------------------------------------------
     {
+      SMPMINE_TRACE_SPAN_ARG("reduce", "k", k);
       WallTimer reduce_timer;
       if (opts.counter_mode == CounterMode::PerThread) {
         const std::uint32_t n = tree.num_candidates();
         const std::uint32_t per = (n + threads - 1) / threads;
         pool.run_spmd([&](std::uint32_t tid) {
+          SMPMINE_TRACE_SPAN_ARG("reduce", "k", k);
           const std::uint32_t begin = std::min(n, tid * per);
           const std::uint32_t end = std::min(n, begin + per);
           for (const CountContext& ctx : contexts) {
@@ -239,7 +258,9 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
 
     // ---- selection ----------------------------------------------------------
     WallTimer select_timer;
+    SMPMINE_TRACE_PHASE(select_span, "select", "k", k);
     FrequentSet fk = select_frequent(tree, min_count);
+    SMPMINE_TRACE_PHASE_END(select_span);
     it.select_seconds = select_timer.seconds();
     it.frequent = fk.size();
     const bool done = fk.empty();

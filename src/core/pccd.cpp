@@ -12,6 +12,7 @@
 
 #include "core/candidate_gen.hpp"
 #include "core/miner.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace smpmine {
@@ -34,12 +35,14 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
   }
 
   WallTimer total_timer;
+  SMPMINE_TRACE_SPAN_ARG("mine.pccd", "threads", opts.threads);
   ThreadPool pool(opts.threads);
   const std::uint32_t threads = pool.size();
   MiningResult result;
   const count_t min_count = absolute_support(opts.min_support, db.size());
 
   {
+    SMPMINE_TRACE_SPAN("f1");
     WallTimer f1_timer;
     result.levels.push_back(compute_f1(db, min_count, pool));
     result.f1_seconds = f1_timer.seconds();
@@ -58,9 +61,13 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
 
     IterationStats it;
     it.k = k;
+    SMPMINE_TRACE_SPAN_ARG("iteration", "k", k);
 
     // ---- candidate generation (sequential; the split is the point) -------
+    // PCCD's candgen phase covers the sequential join *and* the parallel
+    // per-thread tree build — mirroring what candgen_seconds measures.
     WallTimer candgen_timer;
+    SMPMINE_TRACE_PHASE(candgen_span, "candgen", "k", k);
     const std::vector<EqClass> classes = build_equivalence_classes(prev);
     const std::vector<GenUnit> units = generation_units(classes, k);
     if (units.empty()) break;
@@ -103,6 +110,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     std::vector<double> build_busy(threads, 0.0);
     const std::size_t num_candidates = it.candidates;
     pool.run_spmd([&](std::uint32_t tid) {
+      SMPMINE_TRACE_SPAN_ARG("build", "k", k);
       ThreadCpuTimer cpu;
       arenas[tid]->reset();
       trees[tid] =
@@ -115,6 +123,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
       build_busy[tid] = cpu.seconds();
     });
     it.candgen_seconds = candgen_timer.seconds();
+    SMPMINE_TRACE_PHASE_END(candgen_span);
     it.candgen_busy_sum = gen_cpu_seconds + std::accumulate(
         build_busy.begin(), build_busy.end(), 0.0);
     it.candgen_busy_max = gen_cpu_seconds + *std::max_element(
@@ -127,9 +136,11 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
 
     // ---- support counting: every thread scans the whole database ---------
     WallTimer count_timer;
+    SMPMINE_TRACE_PHASE(count_span, "count", "k", k);
     std::vector<CountContext> contexts(threads);
     std::vector<double> busy(threads, 0.0);
     pool.run_spmd([&](std::uint32_t tid) {
+      SMPMINE_TRACE_SPAN_ARG("count", "k", k);
       ThreadCpuTimer busy_timer;
       CountContext ctx = trees[tid]->make_context(opts.subset_check);
       for (std::uint64_t t = 0; t < db.size(); ++t) {
@@ -139,6 +150,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
       contexts[tid] = std::move(ctx);
     });
     it.count_seconds = count_timer.seconds();
+    SMPMINE_TRACE_PHASE_END(count_span);
     it.count_busy_sum = std::accumulate(busy.begin(), busy.end(), 0.0);
     it.count_busy_max = *std::max_element(busy.begin(), busy.end());
     for (const CountContext& ctx : contexts) {
@@ -150,6 +162,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
 
     // ---- selection: master merges per-tree survivors ----------------------
     WallTimer select_timer;
+    SMPMINE_TRACE_PHASE(select_span, "select", "k", k);
     std::vector<Survivor> survivors;
     for (const auto& tree : trees) {
       tree->for_each_candidate([&](const Candidate& cand) {
@@ -167,6 +180,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
       fk_flat.insert(fk_flat.end(), view.begin(), view.end());
       fk_counts.push_back(*s.cand->count);
     }
+    SMPMINE_TRACE_PHASE_END(select_span);
     it.select_seconds = select_timer.seconds();
     it.frequent = fk_counts.size();
     const bool done = fk_counts.empty();

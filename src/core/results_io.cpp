@@ -1,12 +1,15 @@
 #include "core/results_io.hpp"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 
 #include "itemset/itemset.hpp"
+#include "obs/json_writer.hpp"
 
 namespace smpmine {
 namespace {
@@ -114,6 +117,136 @@ void save_rules_csv(const std::vector<Rule>& rules, const std::string& path) {
   std::ofstream os(path);
   if (!os) fail("save_rules_csv: cannot open " + path);
   save_rules_csv(rules, os);
+}
+
+namespace {
+
+/// Digests go out as fixed-width hex strings: a raw 64-bit integer can
+/// exceed the 2^53 range JavaScript-family JSON consumers read exactly.
+std::string hex_digest(std::uint64_t digest) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, digest);
+  return buf;
+}
+
+void write_iteration(obs::JsonWriter& w, const IterationStats& it) {
+  w.begin_object();
+  w.kv("k", it.k);
+  w.kv("candidates", it.candidates);
+  w.kv("pruned", it.pruned);
+  w.kv("frequent", it.frequent);
+  w.kv("fanout", it.fanout);
+  w.kv("tree_nodes", it.tree_nodes);
+  w.kv("tree_bytes", it.tree_bytes);
+  w.kv("mean_leaf_occupancy", it.mean_leaf_occupancy);
+  w.kv("max_leaf_occupancy", it.max_leaf_occupancy);
+  w.kv("leaf_occupancy_stddev", it.leaf_occupancy_stddev);
+  w.kv("candgen_seconds", it.candgen_seconds);
+  w.kv("remap_seconds", it.remap_seconds);
+  w.kv("count_seconds", it.count_seconds);
+  w.kv("reduce_seconds", it.reduce_seconds);
+  w.kv("select_seconds", it.select_seconds);
+  w.kv("candgen_busy_sum", it.candgen_busy_sum);
+  w.kv("candgen_busy_max", it.candgen_busy_max);
+  w.kv("count_busy_sum", it.count_busy_sum);
+  w.kv("count_busy_max", it.count_busy_max);
+  w.kv("candgen_imbalance", it.candgen_imbalance);
+  w.kv("internal_visits", it.internal_visits);
+  w.kv("leaf_visits", it.leaf_visits);
+  w.kv("containment_checks", it.containment_checks);
+  w.kv("hits", it.hits);
+  w.end_object();
+}
+
+void write_manifest_body(obs::JsonWriter& w, const RunManifest& m) {
+  w.begin_object();
+  w.kv("tool", m.tool);
+  w.key("dataset").begin_object();
+  w.kv("label", m.dataset);
+  w.kv("digest", hex_digest(m.dataset_digest));
+  w.kv("transactions", m.transactions);
+  w.kv("avg_transaction_size", m.avg_transaction_size);
+  w.end_object();
+  w.key("options").begin_object();
+  w.kv("summary", m.options);
+  w.kv("algorithm", m.algorithm);
+  w.kv("threads", m.threads);
+  w.kv("min_support", m.min_support);
+  w.end_object();
+  w.key("totals").begin_object();
+  w.kv("f1_seconds", m.f1_seconds);
+  w.kv("total_seconds", m.total_seconds);
+  w.kv("frequent", m.total_frequent);
+  w.kv("candidates", m.total_candidates);
+  w.end_object();
+  w.key("iterations").begin_array();
+  for (const IterationStats& it : m.iterations) write_iteration(w, it);
+  w.end_array();
+  w.key("metrics").begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, val] : m.metrics.counters) w.kv(name, val);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, val] : m.metrics.gauges) w.kv(name, val);
+  w.end_object();
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+RunManifest make_run_manifest(std::string tool, std::string dataset_label,
+                              const Database& db, const MinerOptions& opts,
+                              const MiningResult& result) {
+  RunManifest m;
+  m.tool = std::move(tool);
+  m.dataset = std::move(dataset_label);
+  m.dataset_digest = db.digest();
+  m.transactions = db.size();
+  m.avg_transaction_size = db.avg_transaction_size();
+  m.options = opts.summary();
+  m.algorithm = to_string(opts.algorithm);
+  m.threads = opts.threads;
+  m.min_support = opts.min_support;
+  m.f1_seconds = result.f1_seconds;
+  m.total_seconds = result.total_seconds;
+  m.total_frequent = result.total_frequent();
+  m.total_candidates = result.total_candidates();
+  m.iterations = result.iterations;
+  m.metrics = obs::MetricsRegistry::instance().snapshot();
+  return m;
+}
+
+void write_run_manifest(const RunManifest& manifest, std::ostream& os) {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "smpmine.run.v1");
+  w.key("run");
+  write_manifest_body(w, manifest);
+  w.end_object();
+  os << '\n';
+  if (!os) fail("write_run_manifest: write failure");
+}
+
+void save_run_manifest(const RunManifest& manifest, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) fail("save_run_manifest: cannot open " + path);
+  write_run_manifest(manifest, os);
+}
+
+void save_run_manifests(const std::vector<RunManifest>& runs,
+                        const std::string& path) {
+  std::ofstream os(path);
+  if (!os) fail("save_run_manifests: cannot open " + path);
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "smpmine.runs.v1");
+  w.key("runs").begin_array();
+  for (const RunManifest& m : runs) write_manifest_body(w, m);
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  if (!os) fail("save_run_manifests: write failure");
 }
 
 }  // namespace smpmine

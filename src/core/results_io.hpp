@@ -6,12 +6,16 @@
 // Rules export to CSV for spreadsheet/BI consumption.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "core/options.hpp"
 #include "core/rules.hpp"
 #include "core/stats.hpp"
+#include "data/database.hpp"
+#include "obs/metrics.hpp"
 
 namespace smpmine {
 
@@ -31,5 +35,48 @@ std::vector<FrequentSet> load_frequent_itemsets(const std::string& path);
 /// support, confidence, lift, support_count.
 void save_rules_csv(const std::vector<Rule>& rules, std::ostream& os);
 void save_rules_csv(const std::vector<Rule>& rules, const std::string& path);
+
+/// Everything needed to reproduce and interpret one mining run: which tool
+/// ran, on what data (label + content digest), with which options, what
+/// came out (totals + the full per-iteration stats series), and what the
+/// observability counters saw. Serialized as JSON (schema
+/// "smpmine.run.v1") through obs::JsonWriter.
+struct RunManifest {
+  std::string tool;     ///< emitting binary, e.g. "smpmine_cli"
+  std::string dataset;  ///< input path or generator name
+  std::uint64_t dataset_digest = 0;  ///< Database::digest()
+  std::uint64_t transactions = 0;
+  double avg_transaction_size = 0.0;
+
+  std::string options;  ///< MinerOptions::summary()
+  std::string algorithm;
+  std::uint32_t threads = 0;
+  double min_support = 0.0;
+
+  double f1_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::uint64_t total_frequent = 0;
+  std::uint64_t total_candidates = 0;
+  std::vector<IterationStats> iterations;
+
+  /// Counter/gauge values at manifest-creation time. For a single-run tool
+  /// this is the run's totals; bench manifests record per-entry deltas.
+  obs::MetricsSnapshot metrics;
+};
+
+/// Builds a manifest from a finished run, snapshotting the global metrics
+/// registry. `dataset_label` is the input path or generator name.
+RunManifest make_run_manifest(std::string tool, std::string dataset_label,
+                              const Database& db, const MinerOptions& opts,
+                              const MiningResult& result);
+
+/// Writes one manifest as a standalone JSON document.
+void write_run_manifest(const RunManifest& manifest, std::ostream& os);
+void save_run_manifest(const RunManifest& manifest, const std::string& path);
+
+/// Writes several manifests as {"schema": ..., "runs": [...]} — the bench
+/// artifact format (one entry per dataset x configuration).
+void save_run_manifests(const std::vector<RunManifest>& runs,
+                        const std::string& path);
 
 }  // namespace smpmine

@@ -17,6 +17,23 @@ void Database::add_transaction(std::span<const item_t> items) {
   offsets_.push_back(items_.size());
 }
 
+std::uint64_t Database::digest() const {
+  // FNV-1a 64, fed the value sequences (not raw bytes) so the digest is
+  // independent of item_t's width and the host's endianness.
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = kOffset;
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xffu;
+      h *= kPrime;
+    }
+  };
+  for (const item_t item : items_) mix(item);
+  for (const std::uint64_t off : offsets_) mix(off);
+  return h;
+}
+
 void Database::reserve(std::size_t transactions, std::size_t items) {
   offsets_.reserve(transactions + 1);
   items_.reserve(items);

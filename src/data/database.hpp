@@ -50,6 +50,11 @@ class Database {
   /// Largest item id seen plus one (0 when empty) — the live item universe.
   item_t item_universe() const { return max_item_seen_ ? *max_item_seen_ + 1 : 0; }
 
+  /// FNV-1a 64-bit hash over the items and offsets arrays. Stable across
+  /// runs for the same logical content, so run manifests can identify the
+  /// dataset a result came from without embedding the data.
+  std::uint64_t digest() const;
+
   /// Raw storage footprint in bytes (items + offsets), the paper's
   /// "Total size" column of Table 2.
   std::size_t storage_bytes() const {

@@ -8,6 +8,8 @@
 
 #include "hashtree/hash_tree.hpp"
 #include "itemset/itemset.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace smpmine {
 namespace {
@@ -123,6 +125,12 @@ HashTree::Entry HashTree::make_entry(std::span<const item_t> items) {
 
 std::uint32_t HashTree::insert(std::span<const item_t> items) {
   assert(items.size() == config_.k);
+#if SMPMINE_TRACING_ENABLED
+  // Build-phase volume counter (trace builds only — insert is the candgen
+  // hot path). Together with spinlock.contended_acquires this reads off
+  // "how contended was the shared CCPD tree per insertion".
+  obs::metric::hashtree_inserts().inc();
+#endif
   // Allocate outside any lock so the critical section is just the link.
   const Entry entry = make_entry(items);
 
@@ -150,6 +158,10 @@ std::uint32_t HashTree::insert(std::span<const item_t> items) {
 }
 
 void HashTree::convert_leaf(HTNode* node) {
+#if SMPMINE_TRACING_ENABLED
+  obs::metric::hashtree_leaf_conversions().inc();
+  SMPMINE_TRACE_INSTANT_ARG("hashtree.convert_leaf", "depth", node->depth);
+#endif
   const std::uint32_t fanout = config_.fanout;
   auto** kids = static_cast<HTNode**>(
       arenas_->tree(BlockKind::HashTable)

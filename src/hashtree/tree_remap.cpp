@@ -10,6 +10,7 @@
 #include <new>
 
 #include "hashtree/hash_tree.hpp"
+#include "obs/trace.hpp"
 
 namespace smpmine {
 
@@ -97,6 +98,7 @@ HTNode* HashTree::remap_rec(const HTNode* node, Region& target,
 }
 
 void HashTree::remap_depth_first() {
+  SMPMINE_TRACE_SPAN_ARG("hashtree.remap", "nodes", num_nodes());
   Region& target = arenas_->remap_target();
   std::uint32_t next_id = 0;
   HTNode* new_root = remap_rec(root_, target, next_id);

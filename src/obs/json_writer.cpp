@@ -1,0 +1,284 @@
+#include "obs/json_writer.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace smpmine::obs {
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // the key already placed the comma
+  }
+  if (!stack_.empty()) {
+    assert(stack_.back() == Frame::Array &&
+           "object members need key() before value()");
+    if (has_members_.back()) os_ << ',';
+    has_members_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame::Object);
+  has_members_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == Frame::Object && !after_key_);
+  os_ << '}';
+  stack_.pop_back();
+  has_members_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame::Array);
+  has_members_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == Frame::Array && !after_key_);
+  os_ << ']';
+  stack_.pop_back();
+  has_members_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back() == Frame::Object && !after_key_);
+  if (has_members_.back()) os_ << ',';
+  has_members_.back() = true;
+  os_ << '"' << json_escape(name) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null_value();
+  before_value();
+  // Shortest-ish round-trippable decimal; %.17g would be exact but renders
+  // 0.1 as 0.10000000000000001, and timing values don't need that.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null_value() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON checker (syntax only, no value materialization).
+struct Validator {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (eof() || peek() != '"') return false;
+    ++pos;
+    while (!eof()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (eof()) return false;
+        const char e = text[pos++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+              return false;
+            }
+            ++pos;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return false;
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    return true;
+  }
+
+  bool number() {
+    if (!eof() && peek() == '-') ++pos;
+    if (eof()) return false;
+    if (peek() == '0') {
+      ++pos;
+    } else if (!digits()) {
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos;
+      if (!digits()) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (eof()) return false;
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default:  ok = number(); break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool object() {
+    ++pos;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return false;
+      ++pos;
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (peek() == '}') {
+        ++pos;
+        return true;
+      }
+      if (peek() != ',') return false;
+      ++pos;
+    }
+  }
+
+  bool array() {
+    ++pos;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (peek() == ']') {
+        ++pos;
+        return true;
+      }
+      if (peek() != ',') return false;
+      ++pos;
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  Validator v{text};
+  if (!v.value()) return false;
+  v.skip_ws();
+  return v.eof();
+}
+
+}  // namespace smpmine::obs

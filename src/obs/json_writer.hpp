@@ -1,0 +1,98 @@
+// Minimal streaming JSON writer (and validator) for run artifacts.
+//
+// Every machine-readable artifact the repo emits — the Chrome trace-event
+// file, the run-manifest JSON from results_io, bench manifests — goes
+// through this one writer, so escaping and number formatting are decided
+// in exactly one place instead of ad-hoc string building at each call
+// site. The writer is strictly streaming (no DOM): begin/end pairs push
+// and pop a small state stack that inserts commas automatically, so a
+// million-event trace costs no memory beyond the ostream buffer.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace smpmine::obs {
+
+/// Streaming JSON emitter. Usage:
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.kv("tool", "smpmine_cli");
+///   w.key("iterations").begin_array();
+///   ...
+///   w.end_array();
+///   w.end_object();
+///
+/// Misuse (a key outside an object, unbalanced begin/end) is an assertion
+/// in debug builds and emits structurally broken JSON in release — the
+/// tests validate every emitted document with json_valid().
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the member name (with escaping); must be followed by a value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  /// Non-finite doubles have no JSON spelling; they are emitted as null.
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  /// Any other integral type routes to the signed/unsigned 64-bit overload.
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      return value(static_cast<std::int64_t>(v));
+    } else {
+      return value(static_cast<std::uint64_t>(v));
+    }
+  }
+  JsonWriter& null_value();
+
+  /// key(k) followed by value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  enum class Frame : std::uint8_t { Object, Array };
+
+  /// Comma/indent bookkeeping before a value or key is emitted.
+  void before_value();
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_members_;  // parallel to stack_
+  bool after_key_ = false;
+};
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes
+/// added): ", \, and control characters become escape sequences; other
+/// bytes (including UTF-8 multibyte sequences) pass through.
+std::string json_escape(std::string_view s);
+
+/// True when `text` is exactly one syntactically valid JSON value with no
+/// trailing garbage. Covers the full grammar the writer can emit (and
+/// general JSON numbers/strings); used by the exporter tests so a writer
+/// regression cannot ship structurally broken artifacts.
+bool json_valid(std::string_view text);
+
+}  // namespace smpmine::obs

@@ -1,0 +1,65 @@
+#include "obs/metrics.hpp"
+
+namespace smpmine::obs {
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked on purpose: instrumented call sites cache Counter& in static
+  // storage and may fire from worker threads during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::MetricsRegistry() {
+  // Pre-register the well-known names so every snapshot carries the full
+  // schema, zeros included. Must not go through the metric:: accessors —
+  // their function-local statics would recurse into instance().
+  MutexLock g(mu_);
+  for (const char* name :
+       {"spinlock.contended_acquires", "spinlock.acquire_spins",
+        "barrier.waits", "barrier.wait_ns", "barrier.yields",
+        "pool.spmd_dispatches", "pool.tasks", "hashtree.inserts",
+        "hashtree.leaf_conversions", "trace.dropped_events"}) {
+    counters_.emplace(name, std::make_unique<Counter>());
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  MutexLock g(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  MutexLock g(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  MutexLock g(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset_values() {
+  MutexLock g(mu_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+}
+
+}  // namespace smpmine::obs

@@ -1,0 +1,140 @@
+// Process-wide registry of named monotonic counters and gauges.
+//
+// The contention the paper's optimizations attack — hash-tree lock waits in
+// CCPD, barrier imbalance, spin wasted in TTAS backoff — is invisible in
+// wall-clock phase times. These counters make it a number: instrumented
+// call sites (spinlock.hpp, barrier.hpp, thread_pool.cpp, tree_build.cpp)
+// bump process-global atomics, and the run-manifest exporter snapshots the
+// registry so every CLI/bench run records its contention profile.
+//
+// Overhead policy: a Counter is one relaxed fetch_add on a dedicated
+// atomic. Call sites cache the Counter& (the `metric::` accessors below are
+// function-local statics), so the registry's mutex-protected name lookup is
+// paid once per process, never on the hot path. Hot-loop call sites
+// (spinlock spins, hash-tree inserts) are additionally compiled out
+// entirely when SMPMINE_TRACING=OFF — see trace.hpp for the gate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "parallel/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace smpmine::obs {
+
+/// Monotonic counter. Address-stable for the life of the process once
+/// registered; increments are relaxed (counters are totals, not
+/// synchronization).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins instantaneous value (e.g. configured thread count).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Point-in-time copy of every registered metric, name-sorted (std::map
+/// iteration order), as the manifest exporter serializes it.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+};
+
+/// Name -> metric registry. Registration is idempotent: counter("x") always
+/// returns the same Counter&. The well-known instrumentation names (below)
+/// are pre-registered at construction so snapshots carry them even when the
+/// instrumented paths never ran (a zero is information; a missing key is a
+/// schema change).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name) EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) EXCLUDES(mu_);
+
+  MetricsSnapshot snapshot() const EXCLUDES(mu_);
+
+  /// Zeroes every value; names (and addresses) persist. For tests and for
+  /// benches that want per-run deltas.
+  void reset_values() EXCLUDES(mu_);
+
+ private:
+  MetricsRegistry();
+
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+};
+
+// ---------------------------------------------------------------------------
+// Well-known instrumentation counters. Each accessor caches the registry
+// lookup in a function-local static, so an instrumented hot path pays one
+// relaxed fetch_add, nothing else.
+// ---------------------------------------------------------------------------
+namespace metric {
+
+#define SMPMINE_OBS_WELL_KNOWN_COUNTER(fn, name)                     \
+  inline Counter& fn() {                                             \
+    static Counter& c = MetricsRegistry::instance().counter(name);   \
+    return c;                                                        \
+  }
+
+/// Lock acquisitions that found the lock held (SpinLock slow path).
+SMPMINE_OBS_WELL_KNOWN_COUNTER(spinlock_contended_acquires,
+                               "spinlock.contended_acquires")
+/// Test-loop rounds spun across all contended acquisitions.
+SMPMINE_OBS_WELL_KNOWN_COUNTER(spinlock_acquire_spins,
+                               "spinlock.acquire_spins")
+/// Barrier arrivals that had to wait for stragglers.
+SMPMINE_OBS_WELL_KNOWN_COUNTER(barrier_waits, "barrier.waits")
+/// Nanoseconds spent waiting at barriers, summed over threads.
+SMPMINE_OBS_WELL_KNOWN_COUNTER(barrier_wait_ns, "barrier.wait_ns")
+/// yield_now() calls from oversubscribed barrier waits.
+SMPMINE_OBS_WELL_KNOWN_COUNTER(barrier_yields, "barrier.yields")
+/// run_spmd dispatches issued by the pool master.
+SMPMINE_OBS_WELL_KNOWN_COUNTER(pool_spmd_dispatches, "pool.spmd_dispatches")
+/// Per-worker task executions (threads x dispatches).
+SMPMINE_OBS_WELL_KNOWN_COUNTER(pool_tasks, "pool.tasks")
+/// Candidate insertions into hash trees.
+SMPMINE_OBS_WELL_KNOWN_COUNTER(hashtree_inserts, "hashtree.inserts")
+/// Leaf -> internal conversions during tree builds.
+SMPMINE_OBS_WELL_KNOWN_COUNTER(hashtree_leaf_conversions,
+                               "hashtree.leaf_conversions")
+/// Trace events discarded because a thread buffer filled up.
+SMPMINE_OBS_WELL_KNOWN_COUNTER(trace_dropped_events, "trace.dropped_events")
+
+#undef SMPMINE_OBS_WELL_KNOWN_COUNTER
+
+}  // namespace metric
+
+}  // namespace smpmine::obs

@@ -1,0 +1,145 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
+
+namespace smpmine::obs {
+
+namespace {
+
+/// Per-thread cache of the registered buffer. The generation stamp lets
+/// Tracer::reset() invalidate every thread's cache without touching TLS of
+/// other threads: a stale generation forces re-registration.
+struct TlsSlot {
+  ThreadTraceBuffer* buffer = nullptr;
+  std::uint64_t generation = ~std::uint64_t{0};
+};
+
+thread_local TlsSlot tls_slot;
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  // Leaked on purpose (same reasoning as MetricsRegistry): worker threads
+  // may emit during static destruction of other objects.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+ThreadTraceBuffer& Tracer::local_buffer() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (tls_slot.buffer == nullptr || tls_slot.generation != gen) {
+    MutexLock g(mu_);
+    const auto track = static_cast<std::uint32_t>(tracks_.size());
+    auto buffer = std::make_unique<ThreadTraceBuffer>(track, capacity_);
+    tls_slot.buffer = buffer.get();
+    tls_slot.generation = gen;
+    tracks_.push_back(
+        Track{std::move(buffer), "thread " + std::to_string(track)});
+  }
+  return *tls_slot.buffer;
+}
+
+void Tracer::set_thread_name(std::string name) {
+  ThreadTraceBuffer& buffer = local_buffer();  // ensure registered
+  MutexLock g(mu_);
+  tracks_[buffer.track()].name = std::move(name);
+}
+
+void Tracer::set_capacity(std::uint32_t events_per_thread) {
+  MutexLock g(mu_);
+  capacity_ = events_per_thread;
+}
+
+void Tracer::reset() {
+  MutexLock g(mu_);
+  tracks_.clear();
+  // Release pairs with the acquire in local_buffer: a thread that sees the
+  // new generation cannot still use a freed buffer pointer.
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+std::uint64_t Tracer::dropped_total() const {
+  std::uint64_t total = 0;
+  MutexLock g(mu_);
+  for (const Track& t : tracks_) total += t.buffer->dropped();
+  return total;
+}
+
+void Tracer::for_each_event(
+    const std::function<void(std::uint32_t, std::string_view,
+                             const TraceEvent&)>& fn) const {
+  MutexLock g(mu_);
+  for (const Track& t : tracks_) {
+    const std::uint32_t n = t.buffer->size();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      fn(t.buffer->track(), t.name, t.buffer->event(i));
+    }
+  }
+}
+
+namespace {
+
+void write_event_args(JsonWriter& w, const TraceEvent& ev) {
+  if (ev.arg_name == nullptr) return;
+  w.key("args").begin_object().kv(ev.arg_name, ev.arg_value).end_object();
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  {
+    MutexLock g(mu_);
+    for (const Track& t : tracks_) {
+      // Track naming metadata so Perfetto shows "worker 3", not "tid 3".
+      w.begin_object()
+          .kv("ph", "M")
+          .kv("pid", 0)
+          .kv("tid", t.buffer->track())
+          .kv("name", "thread_name");
+      w.key("args").begin_object().kv("name", t.name).end_object();
+      w.end_object();
+
+      const std::uint32_t n = t.buffer->size();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const TraceEvent& ev = t.buffer->event(i);
+        w.begin_object()
+            .kv("ph", ev.instant ? "i" : "X")
+            .kv("pid", 0)
+            .kv("tid", t.buffer->track())
+            .kv("name", ev.name)
+            .kv("ts", static_cast<double>(ev.start_ns) / 1e3);
+        if (ev.instant) {
+          w.kv("s", "t");  // instant scope: thread
+        } else {
+          w.kv("dur", static_cast<double>(ev.dur_ns) / 1e3);
+        }
+        write_event_args(w, ev);
+        w.end_object();
+      }
+    }
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  os << '\n';
+}
+
+void Tracer::save_chrome_trace(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("save_chrome_trace: cannot open " + path);
+  }
+  write_chrome_trace(os);
+  if (!os) {
+    throw std::runtime_error("save_chrome_trace: write failure on " + path);
+  }
+}
+
+}  // namespace smpmine::obs

@@ -1,0 +1,288 @@
+// Low-overhead thread-local event tracer with Chrome trace-event export.
+//
+// The paper's figures are all statements about *where time goes inside an
+// iteration* — candidate-generation imbalance (Fig 8), lock contention on
+// the shared CCPD tree, barrier waits, placement effects (Figs 12-13). The
+// tracer records exactly that: per-thread begin/end spans around each
+// phase (candgen / remap / count / reduce / select, the IterationStats
+// names) plus instant events, and exports one Chrome trace-event track per
+// worker thread, loadable in Perfetto or chrome://tracing.
+//
+// Design for overhead:
+//  - Events land in a fixed-capacity per-thread buffer owned by the
+//    calling thread: emission is one array write plus a release store of
+//    the size — no locks, no allocation, no cross-thread traffic. A full
+//    buffer drops (and counts) new events rather than overwriting, which
+//    keeps the exporter race-free against live emitters.
+//  - Every macro first checks Tracer::enabled(), a single relaxed atomic
+//    load, so an untraced run pays one predictable branch per site.
+//  - With SMPMINE_TRACING=OFF (CMake option -> SMPMINE_TRACING_ENABLED=0)
+//    the macros — and the lock/tree instrumentation gated on the same
+//    define — compile to `((void)0)`: zero code, zero data, verified by
+//    tests/negative/tracing_off_noop.cpp.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "parallel/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+#ifndef SMPMINE_TRACING_ENABLED
+#define SMPMINE_TRACING_ENABLED 1
+#endif
+
+namespace smpmine::obs {
+
+/// True when the trace macros compile to real instrumentation.
+inline constexpr bool kTraceCompiled = SMPMINE_TRACING_ENABLED != 0;
+
+/// One recorded event. `name` and `arg_name` must be pointers to static
+/// storage (string literals at the instrumentation sites) — the buffer
+/// stores the pointers, never copies.
+struct TraceEvent {
+  std::uint64_t start_ns = 0;  ///< relative to the Tracer epoch
+  std::uint64_t dur_ns = 0;    ///< 0 for instant events
+  const char* name = nullptr;
+  const char* arg_name = nullptr;  ///< nullptr when the event carries no arg
+  std::uint64_t arg_value = 0;
+  bool instant = false;
+};
+
+/// Fixed-capacity single-producer event buffer. Only the owning thread
+/// writes; the exporter (any thread) reads `[0, size())` after an acquire
+/// load of size_, which pairs with the producer's release publish — safe
+/// even while the owner keeps emitting (later events are simply not seen).
+class ThreadTraceBuffer {
+ public:
+  ThreadTraceBuffer(std::uint32_t track, std::uint32_t capacity)
+      : events_(capacity), track_(track) {}
+
+  ThreadTraceBuffer(const ThreadTraceBuffer&) = delete;
+  ThreadTraceBuffer& operator=(const ThreadTraceBuffer&) = delete;
+
+  /// Owner-thread only. Drops (and counts) when full.
+  void emit(const TraceEvent& ev) noexcept {
+    const std::uint32_t slot = size_.load(std::memory_order_relaxed);
+    if (slot >= events_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      metric::trace_dropped_events().inc();
+      return;
+    }
+    events_[slot] = ev;
+    size_.store(slot + 1, std::memory_order_release);
+  }
+
+  std::uint32_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+  const TraceEvent& event(std::uint32_t i) const noexcept {
+    return events_[i];
+  }
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t track() const noexcept { return track_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::atomic<std::uint32_t> size_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  const std::uint32_t track_;
+};
+
+/// Process-wide trace collector: owns one ThreadTraceBuffer per emitting
+/// thread (registered lazily on first emission), assigns track ids and
+/// names, and exports the Chrome trace-event JSON.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Runtime gate every macro checks first. Off by default; the CLI/bench
+  /// --trace flag turns it on before mining starts.
+  static bool enabled() noexcept {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_flag().store(on, std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the tracer epoch (steady clock).
+  std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// The calling thread's buffer, registering it on first use.
+  ThreadTraceBuffer& local_buffer() EXCLUDES(mu_);
+
+  /// Names the calling thread's track in the exported trace (ThreadPool
+  /// workers call this with "worker <tid>").
+  void set_thread_name(std::string name) EXCLUDES(mu_);
+
+  /// Capacity (events) for buffers registered after this call; existing
+  /// buffers keep theirs. Default 1 << 16 per thread.
+  void set_capacity(std::uint32_t events_per_thread) EXCLUDES(mu_);
+
+  /// Discards all buffers and invalidates every thread's cached pointer.
+  /// Callers must guarantee no thread is emitting concurrently (tests call
+  /// this between cases; production code never needs it).
+  void reset() EXCLUDES(mu_);
+
+  /// Events dropped across all buffers (capacity overflow).
+  std::uint64_t dropped_total() const EXCLUDES(mu_);
+
+  /// Visits every recorded event (export order: track by track, emission
+  /// order within a track). Safe while emitters run; events published
+  /// after the visit starts may be missed.
+  void for_each_event(
+      const std::function<void(std::uint32_t track,
+                               std::string_view thread_name,
+                               const TraceEvent& ev)>& fn) const EXCLUDES(mu_);
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]}, one "X" (complete)
+  /// event per span, "i" per instant, "M" thread_name metadata per track.
+  /// Loadable in Perfetto / chrome://tracing.
+  void write_chrome_trace(std::ostream& os) const EXCLUDES(mu_);
+  /// Throws std::runtime_error when the file cannot be written.
+  void save_chrome_trace(const std::string& path) const;
+
+ private:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  static std::atomic<bool>& enabled_flag() noexcept {
+    static std::atomic<bool> flag{false};
+    return flag;
+  }
+
+  struct Track {
+    std::unique_ptr<ThreadTraceBuffer> buffer;
+    std::string name;
+  };
+
+  static constexpr std::uint32_t kDefaultCapacity = 1u << 16;
+
+  mutable Mutex mu_;
+  std::vector<Track> tracks_ GUARDED_BY(mu_);
+  std::uint32_t capacity_ GUARDED_BY(mu_) = kDefaultCapacity;
+  /// Bumped by reset(); threads re-register when their cached generation
+  /// is stale.
+  std::atomic<std::uint64_t> generation_{0};
+  const std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Shorthand for Tracer::instance().now_ns().
+inline std::uint64_t now_ns() noexcept { return Tracer::instance().now_ns(); }
+
+namespace detail {
+
+inline void emit_event(std::uint64_t start_ns, std::uint64_t dur_ns,
+                       const char* name, const char* arg_name,
+                       std::uint64_t arg_value, bool instant) noexcept {
+  Tracer::instance().local_buffer().emit(
+      TraceEvent{start_ns, dur_ns, name, arg_name, arg_value, instant});
+}
+
+inline void trace_instant(const char* name, const char* arg_name = nullptr,
+                          std::uint64_t arg_value = 0) noexcept {
+  if (!Tracer::enabled()) return;
+  emit_event(now_ns(), 0, name, arg_name, arg_value, true);
+}
+
+}  // namespace detail
+
+/// RAII span: records a complete event covering its lifetime. Declared by
+/// the SMPMINE_TRACE_SPAN macros; `name`/`arg_name` must be string
+/// literals (static storage).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* arg_name = nullptr,
+                      std::uint64_t arg_value = 0) noexcept {
+    if (!Tracer::enabled()) return;
+    name_ = name;
+    arg_name_ = arg_name;
+    arg_value_ = arg_value;
+    start_ns_ = now_ns();
+  }
+  ~ScopedSpan() { end(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span now instead of at scope exit; idempotent. Lets straight-
+  /// line phase code (candgen ... count in one scope) close one span before
+  /// the next without artificial blocks.
+  void end() noexcept {
+    if (name_ == nullptr) return;
+    detail::emit_event(start_ns_, now_ns() - start_ns_, name_, arg_name_,
+                       arg_value_, false);
+    name_ = nullptr;
+  }
+
+ private:
+  const char* name_ = nullptr;  ///< nullptr: disabled at ctor or ended
+  const char* arg_name_ = nullptr;
+  std::uint64_t arg_value_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+#if SMPMINE_TRACING_ENABLED
+/// Names the calling thread's track in exported traces.
+inline void set_current_thread_name(std::string name) {
+  Tracer::instance().set_thread_name(std::move(name));
+}
+#else
+inline void set_current_thread_name(std::string) {}
+#endif
+
+}  // namespace smpmine::obs
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. With SMPMINE_TRACING_ENABLED=0 every one expands
+// to ((void)0): no object, no call, no data — see the overhead policy above.
+// ---------------------------------------------------------------------------
+#define SMPMINE_OBS_CONCAT_(a, b) a##b
+#define SMPMINE_OBS_CONCAT(a, b) SMPMINE_OBS_CONCAT_(a, b)
+
+#if SMPMINE_TRACING_ENABLED
+
+/// Scoped span covering the rest of the enclosing scope.
+#define SMPMINE_TRACE_SPAN(name) \
+  ::smpmine::obs::ScopedSpan SMPMINE_OBS_CONCAT(smpmine_span_, __LINE__)(name)
+/// Scoped span with one integer argument (rendered under "args" in the
+/// trace), e.g. SMPMINE_TRACE_SPAN_ARG("count", "k", k).
+#define SMPMINE_TRACE_SPAN_ARG(name, arg_name, arg_value)                  \
+  ::smpmine::obs::ScopedSpan SMPMINE_OBS_CONCAT(smpmine_span_, __LINE__)(  \
+      name, arg_name, static_cast<std::uint64_t>(arg_value))
+/// Named span variable for phases that end mid-scope: close it with
+/// SMPMINE_TRACE_PHASE_END(var) (scope exit also closes it).
+#define SMPMINE_TRACE_PHASE(var, name, arg_name, arg_value) \
+  ::smpmine::obs::ScopedSpan var(name, arg_name,            \
+                                 static_cast<std::uint64_t>(arg_value))
+#define SMPMINE_TRACE_PHASE_END(var) (var).end()
+/// Zero-duration instant event.
+#define SMPMINE_TRACE_INSTANT(name) ::smpmine::obs::detail::trace_instant(name)
+#define SMPMINE_TRACE_INSTANT_ARG(name, arg_name, arg_value)       \
+  ::smpmine::obs::detail::trace_instant(                           \
+      name, arg_name, static_cast<std::uint64_t>(arg_value))
+
+#else  // SMPMINE_TRACING_ENABLED == 0: all no-ops
+
+#define SMPMINE_TRACE_SPAN(name) ((void)0)
+#define SMPMINE_TRACE_SPAN_ARG(name, arg_name, arg_value) ((void)0)
+#define SMPMINE_TRACE_PHASE(var, name, arg_name, arg_value) ((void)0)
+#define SMPMINE_TRACE_PHASE_END(var) ((void)0)
+#define SMPMINE_TRACE_INSTANT(name) ((void)0)
+#define SMPMINE_TRACE_INSTANT_ARG(name, arg_name, arg_value) ((void)0)
+
+#endif  // SMPMINE_TRACING_ENABLED

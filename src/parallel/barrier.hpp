@@ -8,6 +8,9 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace smpmine {
 
 // Thread-safety-analysis note: Barrier deliberately carries no capability
@@ -19,27 +22,47 @@ namespace smpmine {
 // test_race_barrier.cpp under TSan) is what checks this protocol.
 class Barrier {
  public:
+  /// Acquire-loads of `sense_` spun before each yield_now(). Pure spinning
+  /// deadlocks progress on an oversubscribed host (more threads than
+  /// cores); yielding on every miss wastes the common same-core-count case.
+  /// Yields taken are counted in the `barrier.yields` metric, so an
+  /// oversubscribed run is visible in the run manifest.
+  static constexpr std::uint32_t kSpinsBeforeYield = 1024;
+
   explicit Barrier(std::uint32_t parties) : parties_(parties) {}
 
   Barrier(const Barrier&) = delete;
   Barrier& operator=(const Barrier&) = delete;
 
-  /// Blocks until all parties arrive. Safe to call repeatedly.
+  /// Blocks until all parties arrive. Safe to call repeatedly. Trace
+  /// builds account the wait (barrier.waits / barrier.wait_ns metrics) —
+  /// the paper's barrier-imbalance cost, directly.
   void arrive_and_wait() noexcept {
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
       arrived_.store(0, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);
     } else {
-      // On an oversubscribed host (more threads than cores) pure spinning
-      // deadlocks progress; yield after a short spin.
+#if SMPMINE_TRACING_ENABLED
+      const std::uint64_t wait_start = obs::now_ns();
+#endif
+      std::uint64_t yields = 0;
       std::uint32_t spins = 0;
       while (sense_.load(std::memory_order_acquire) != my_sense) {
-        if (++spins > 1024) {
+        if (++spins > kSpinsBeforeYield) {
           yield_now();
+          ++yields;
           spins = 0;
         }
       }
+#if SMPMINE_TRACING_ENABLED
+      obs::metric::barrier_waits().inc();
+      obs::metric::barrier_wait_ns().inc(obs::now_ns() - wait_start);
+#endif
+      // The yield path already paid a syscall; one relaxed add is noise.
+      // Counted in all builds so oversubscription stays observable even
+      // with the tracing instrumentation compiled out.
+      if (yields > 0) obs::metric::barrier_yields().inc(yields);
     }
   }
 

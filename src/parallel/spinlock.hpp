@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/trace.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
@@ -21,16 +22,40 @@ namespace smpmine {
 ///
 /// Annotated as a Clang capability: under the `tidy` preset, reads/writes of
 /// GUARDED_BY(lock) state without lock() held are compile errors.
+///
+/// Trace builds (SMPMINE_TRACING, the default) count contended
+/// acquisitions and test-loop rounds into the metrics registry — the
+/// direct measurement of the CCPD shared-tree locking cost. The counters
+/// live off-lock (process-global), so sizeof stays 1 and the uncontended
+/// fast path is untouched; SMPMINE_TRACING=OFF compiles the accounting out
+/// entirely.
 class CAPABILITY("spinlock") SpinLock {
  public:
+  /// Upper bound on the exponential backoff (cpu_relax() reps per round).
+  static constexpr std::uint32_t kMaxBackoff = 1024;
+
   void lock() noexcept ACQUIRE() {
     std::uint32_t backoff = 1;
+#if SMPMINE_TRACING_ENABLED
+    std::uint64_t spin_rounds = 0;
+#endif
     for (;;) {
-      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      if (!flag_.exchange(true, std::memory_order_acquire)) {
+#if SMPMINE_TRACING_ENABLED
+        if (spin_rounds != 0) {
+          obs::metric::spinlock_contended_acquires().inc();
+          obs::metric::spinlock_acquire_spins().inc(spin_rounds);
+        }
+#endif
+        return;
+      }
       // Test loop: spin on a plain load so the line stays shared until free.
       while (flag_.load(std::memory_order_relaxed)) {
         for (std::uint32_t i = 0; i < backoff; ++i) cpu_relax();
-        if (backoff < 1024) backoff <<= 1;
+#if SMPMINE_TRACING_ENABLED
+        ++spin_rounds;
+#endif
+        if (backoff < kMaxBackoff) backoff <<= 1;
       }
     }
   }

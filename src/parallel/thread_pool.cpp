@@ -1,6 +1,10 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace smpmine {
 
@@ -25,6 +29,8 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::execute_as(const std::function<void(std::uint32_t)>& job,
                             std::uint32_t tid) {
+  obs::metric::pool_tasks().inc();
+  SMPMINE_TRACE_SPAN_ARG("pool.task", "tid", tid);
   try {
     job(tid);
   } catch (...) {
@@ -34,6 +40,9 @@ void ThreadPool::execute_as(const std::function<void(std::uint32_t)>& job,
 }
 
 void ThreadPool::worker_loop(std::uint32_t tid) {
+  // One trace track per persistent worker; the master (tid 0) keeps the
+  // caller's track, named by the tool entry point.
+  obs::set_current_thread_name("worker " + std::to_string(tid));
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(std::uint32_t)>* job = nullptr;
@@ -53,7 +62,12 @@ void ThreadPool::worker_loop(std::uint32_t tid) {
 }
 
 void ThreadPool::run_spmd(const std::function<void(std::uint32_t)>& body) {
+  obs::metric::pool_spmd_dispatches().inc();
+  SMPMINE_TRACE_SPAN("pool.spmd");
   if (threads_ == 1) {
+    // Inline fast path; still a task execution for the pool.tasks metric
+    // so tasks == threads x dispatches holds at every thread count.
+    obs::metric::pool_tasks().inc();
     body(0);
     return;
   }

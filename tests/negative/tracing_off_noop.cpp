@@ -1,0 +1,36 @@
+// Compile-pair probe that the SMPMINE_TRACE_* macros are true no-ops when
+// tracing is compiled out, and real instrumentation when it is in.
+//
+// The trick: a constexpr function may not declare (or evaluate) an
+// obs::ScopedSpan — its constructor reads the clock. So `noop_probe()`
+// compiles exactly when every macro below expands to ((void)0):
+//
+//   negative.tracing_off_noop   -DSMPMINE_TRACING_ENABLED=0 -> must compile
+//   negative.tracing_on_traces  (no define, macros live)     -> WILL_FAIL
+//
+// Registered for both outcomes in tests/CMakeLists.txt; together they pin
+// the compile gate from both sides: OFF really erases the instrumentation,
+// ON really emits it.
+#include "obs/trace.hpp"
+
+namespace {
+
+constexpr int noop_probe() {
+  SMPMINE_TRACE_SPAN("noop");
+  SMPMINE_TRACE_SPAN_ARG("noop", "k", 1);
+  SMPMINE_TRACE_PHASE(phase_span, "noop", "k", 1);
+  SMPMINE_TRACE_PHASE_END(phase_span);
+  SMPMINE_TRACE_INSTANT("noop");
+  SMPMINE_TRACE_INSTANT_ARG("noop", "k", 1);
+  return 0;
+}
+
+// Forces constant evaluation: even a compiler lenient about non-literal
+// declarations in an uncalled constexpr function must reject evaluating
+// one.
+static_assert(noop_probe() == 0,
+              "trace macros must be no-ops when tracing is compiled out");
+
+}  // namespace
+
+int main() { return noop_probe(); }

@@ -1,0 +1,135 @@
+// obs::JsonWriter / json_escape / json_valid unit tests. The writer backs
+// every JSON artifact the repo emits (Chrome traces, run manifests), so
+// these tests pin the exact output bytes, not just validity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "obs/json_writer.hpp"
+
+namespace smpmine::obs {
+namespace {
+
+std::string doc(const std::function<void(JsonWriter&)>& build) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  build(w);
+  return os.str();
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(doc([](JsonWriter& w) { w.begin_object().end_object(); }), "{}");
+  EXPECT_EQ(doc([](JsonWriter& w) { w.begin_array().end_array(); }), "[]");
+}
+
+TEST(JsonWriter, ObjectMembersGetCommas) {
+  const std::string s = doc([](JsonWriter& w) {
+    w.begin_object();
+    w.kv("a", 1);
+    w.kv("b", "two");
+    w.kv("c", true);
+    w.end_object();
+  });
+  EXPECT_EQ(s, R"({"a":1,"b":"two","c":true})");
+  EXPECT_TRUE(json_valid(s));
+}
+
+TEST(JsonWriter, NestedStructures) {
+  const std::string s = doc([](JsonWriter& w) {
+    w.begin_object();
+    w.key("runs").begin_array();
+    w.begin_object().kv("k", 2).end_object();
+    w.begin_object().kv("k", 3).end_object();
+    w.end_array();
+    w.key("empty").begin_array().end_array();
+    w.end_object();
+  });
+  EXPECT_EQ(s, R"({"runs":[{"k":2},{"k":3}],"empty":[]})");
+  EXPECT_TRUE(json_valid(s));
+}
+
+TEST(JsonWriter, ArrayOfScalars) {
+  const std::string s = doc([](JsonWriter& w) {
+    w.begin_array();
+    w.value(1).value(-2).value("x").null_value().value(false);
+    w.end_array();
+  });
+  EXPECT_EQ(s, R"([1,-2,"x",null,false])");
+  EXPECT_TRUE(json_valid(s));
+}
+
+TEST(JsonWriter, IntegralWidthsRoute) {
+  const std::string s = doc([](JsonWriter& w) {
+    w.begin_array();
+    w.value(std::uint32_t{7});
+    w.value(std::int16_t{-3});
+    w.value(std::numeric_limits<std::uint64_t>::max());
+    w.end_array();
+  });
+  EXPECT_EQ(s, "[7,-3,18446744073709551615]");
+  EXPECT_TRUE(json_valid(s));
+}
+
+TEST(JsonWriter, DoublesRoundTripAndNonFiniteBecomesNull) {
+  EXPECT_EQ(doc([](JsonWriter& w) { w.value(0.25); }), "0.25");
+  EXPECT_EQ(doc([](JsonWriter& w) { w.value(-1.5e-9); }), "-1.5e-09");
+  EXPECT_EQ(doc([](JsonWriter& w) {
+    w.value(std::numeric_limits<double>::infinity());
+  }), "null");
+  EXPECT_EQ(doc([](JsonWriter& w) { w.value(std::nan("")); }), "null");
+}
+
+TEST(JsonWriter, KeysAndStringsAreEscaped) {
+  const std::string s = doc([](JsonWriter& w) {
+    w.begin_object();
+    w.kv("a\"b", "tab\there\nline");
+    w.end_object();
+  });
+  EXPECT_EQ(s, "{\"a\\\"b\":\"tab\\there\\nline\"}");
+  EXPECT_TRUE(json_valid(s));
+}
+
+TEST(JsonEscape, ControlCharactersAndPassThrough) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("\\"), "\\\\");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");  // UTF-8 untouched
+}
+
+TEST(JsonValid, AcceptsValidDocuments) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid("  {\"a\": [1, 2.5, -3e2, \"\\u00e9\"]} \n"));
+  EXPECT_TRUE(json_valid("null"));
+  EXPECT_TRUE(json_valid("-0.5"));
+  EXPECT_TRUE(json_valid("\"str\""));
+}
+
+TEST(JsonValid, RejectsBrokenDocuments) {
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("{}{}"));        // trailing garbage
+  EXPECT_FALSE(json_valid("{\"a\":}"));
+  EXPECT_FALSE(json_valid("[1,]"));
+  EXPECT_FALSE(json_valid("{\"a\" 1}"));
+  EXPECT_FALSE(json_valid("01"));          // leading zero
+  EXPECT_FALSE(json_valid("1."));          // bare decimal point
+  EXPECT_FALSE(json_valid("\"unterminated"));
+  EXPECT_FALSE(json_valid("\"bad\\q\""));  // unknown escape
+  EXPECT_FALSE(json_valid("truthy"));
+}
+
+TEST(JsonValid, RejectsRunawayNesting) {
+  std::string deep(300, '[');
+  deep.append(300, ']');
+  EXPECT_FALSE(json_valid(deep));  // kMaxDepth guard, not a stack overflow
+  std::string ok(100, '[');
+  ok.append(100, ']');
+  EXPECT_TRUE(json_valid(ok));
+}
+
+}  // namespace
+}  // namespace smpmine::obs

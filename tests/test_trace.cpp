@@ -1,0 +1,168 @@
+// obs::Tracer unit tests: span/instant round-trips through the macros,
+// concurrent emission onto per-thread tracks, drop-on-full accounting, the
+// runtime enable gate, and Chrome trace-event export validity.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_writer.hpp"
+#include "obs/trace.hpp"
+
+namespace smpmine::obs {
+namespace {
+
+// Each case starts from an empty, enabled tracer and leaves the process
+// gate off. reset() is safe here: no other thread emits between cases.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kTraceCompiled) GTEST_SKIP() << "built with SMPMINE_TRACING=OFF";
+    Tracer::instance().reset();
+    Tracer::instance().set_capacity(1u << 12);
+    Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().reset();
+  }
+
+  struct Collected {
+    std::uint32_t track;
+    std::string thread_name;
+    TraceEvent ev;
+  };
+
+  static std::vector<Collected> collect() {
+    std::vector<Collected> out;
+    Tracer::instance().for_each_event(
+        [&out](std::uint32_t track, std::string_view name,
+               const TraceEvent& ev) {
+          out.push_back({track, std::string(name), ev});
+        });
+    return out;
+  }
+};
+
+TEST_F(TraceTest, SpanAndInstantRoundTrip) {
+  {
+    SMPMINE_TRACE_SPAN_ARG("unit.span", "k", 3);
+    SMPMINE_TRACE_INSTANT("unit.instant");
+  }
+  const auto events = collect();
+  ASSERT_EQ(events.size(), 2u);
+  // Emission order: the instant fires inside the span, the span on scope
+  // exit.
+  EXPECT_STREQ(events[0].ev.name, "unit.instant");
+  EXPECT_TRUE(events[0].ev.instant);
+  EXPECT_EQ(events[0].ev.dur_ns, 0u);
+  EXPECT_STREQ(events[1].ev.name, "unit.span");
+  EXPECT_FALSE(events[1].ev.instant);
+  EXPECT_STREQ(events[1].ev.arg_name, "k");
+  EXPECT_EQ(events[1].ev.arg_value, 3u);
+  // The span contains the instant in time.
+  EXPECT_LE(events[1].ev.start_ns, events[0].ev.start_ns);
+  EXPECT_GE(events[1].ev.start_ns + events[1].ev.dur_ns,
+            events[0].ev.start_ns);
+}
+
+TEST_F(TraceTest, PhaseEndIsIdempotent) {
+  SMPMINE_TRACE_PHASE(span, "unit.phase", "k", 2);
+  SMPMINE_TRACE_PHASE_END(span);
+  SMPMINE_TRACE_PHASE_END(span);  // second end must not re-emit
+  const auto events = collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].ev.name, "unit.phase");
+}
+
+TEST_F(TraceTest, ConcurrentEmittersGetDisjointOrderedTracks) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      set_current_thread_name("emitter " + std::to_string(t));
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        SMPMINE_TRACE_SPAN("unit.burst");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::map<std::uint32_t, std::vector<TraceEvent>> by_track;
+  std::map<std::uint32_t, std::string> names;
+  for (const auto& c : collect()) {
+    by_track[c.track].push_back(c.ev);
+    names[c.track] = c.thread_name;
+  }
+  ASSERT_EQ(by_track.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [track, events] : by_track) {
+    EXPECT_EQ(events.size(), static_cast<std::size_t>(kSpansPerThread));
+    EXPECT_TRUE(names[track].rfind("emitter ", 0) == 0) << names[track];
+    // Sequential same-scope spans: start timestamps are monotone within a
+    // track (each span ends before the next begins).
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      EXPECT_GE(events[i].start_ns,
+                events[i - 1].start_ns + events[i - 1].dur_ns);
+    }
+  }
+  EXPECT_EQ(Tracer::instance().dropped_total(), 0u);
+}
+
+TEST_F(TraceTest, FullBufferDropsAndCounts) {
+  constexpr std::uint32_t kCapacity = 16;
+  constexpr std::uint32_t kEmitted = 100;
+  Tracer::instance().reset();
+  Tracer::instance().set_capacity(kCapacity);
+  const std::uint64_t dropped_metric_before =
+      metric::trace_dropped_events().value();
+  for (std::uint32_t i = 0; i < kEmitted; ++i) {
+    SMPMINE_TRACE_INSTANT("unit.flood");
+  }
+  EXPECT_EQ(collect().size(), kCapacity);
+  EXPECT_EQ(Tracer::instance().dropped_total(), kEmitted - kCapacity);
+  EXPECT_EQ(metric::trace_dropped_events().value() - dropped_metric_before,
+            kEmitted - kCapacity);
+}
+
+TEST_F(TraceTest, DisabledEmitsNothing) {
+  Tracer::instance().set_enabled(false);
+  SMPMINE_TRACE_SPAN("unit.off");
+  SMPMINE_TRACE_INSTANT("unit.off");
+  EXPECT_TRUE(collect().empty());
+}
+
+TEST_F(TraceTest, ResetDiscardsAndReregisters) {
+  SMPMINE_TRACE_INSTANT("unit.before");
+  Tracer::instance().reset();
+  SMPMINE_TRACE_INSTANT("unit.after");
+  const auto events = collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].ev.name, "unit.after");
+}
+
+TEST_F(TraceTest, ChromeTraceExportIsValidJson) {
+  set_current_thread_name("main \"quoted\"");  // escaping through export
+  {
+    SMPMINE_TRACE_SPAN_ARG("unit.export", "k", 9);
+    SMPMINE_TRACE_INSTANT_ARG("unit.mark", "depth", 2);
+  }
+  std::ostringstream os;
+  Tracer::instance().write_chrome_trace(os);
+  const std::string trace = os.str();
+  EXPECT_TRUE(json_valid(trace)) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"unit.export\""), std::string::npos);
+  EXPECT_NE(trace.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(trace.find("main \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smpmine::obs

@@ -18,6 +18,7 @@
 #include "data/db_io.hpp"
 #include "data/quest_gen.hpp"
 #include "itemset/itemset.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 
 using namespace smpmine;
@@ -124,11 +125,26 @@ int main(int argc, char** argv) {
   cli.add_flag("save-binary", "write the loaded/generated database here");
   cli.add_flag("save-itemsets", "write frequent itemsets (text) here");
   cli.add_flag("save-rules", "write rules (CSV) here");
+  cli.add_flag("trace", "write Chrome trace-event JSON here (open in "
+                        "Perfetto / chrome://tracing)");
+  cli.add_flag("metrics", "write run-manifest JSON here (options, dataset "
+                          "digest, per-iteration stats, metric totals)");
   if (!cli.parse(argc, argv)) return 1;
 
+  const std::string trace_path = cli.get("trace", "");
+  const std::string metrics_path = cli.get("metrics", "");
+  if (!trace_path.empty()) {
+    // Turn span collection on before any pool exists so worker tracks are
+    // registered from their first task.
+    obs::Tracer::instance().set_enabled(true);
+    obs::set_current_thread_name("main");
+  }
+
   Database db;
+  std::string dataset_label;
   if (cli.has("input")) {
     const std::string path = cli.get("input", "");
+    dataset_label = path;
     try {
       db = path.size() > 4 && path.substr(path.size() - 4) == ".bin"
                ? load_binary(path)
@@ -141,6 +157,7 @@ int main(int argc, char** argv) {
                 db.size(), db.avg_transaction_size(), path.c_str());
   } else if (cli.has("generate")) {
     const std::string name = cli.get("generate", "");
+    dataset_label = name;
     auto params = QuestParams::from_name(name);
     if (!params) {
       std::fprintf(stderr, "error: bad dataset name '%s'\n", name.c_str());
@@ -218,6 +235,24 @@ int main(int argc, char** argv) {
          ++i) {
       std::printf("  %s\n", rules[i].to_string().c_str());
     }
+  }
+
+  // Artifacts last, so the trace also covers rule generation and the
+  // metric totals are final.
+  try {
+    if (!trace_path.empty()) {
+      obs::Tracer::instance().save_chrome_trace(trace_path);
+      std::printf("trace written to %s\n", trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      save_run_manifest(
+          make_run_manifest("smpmine_cli", dataset_label, db, opts, result),
+          metrics_path);
+      std::printf("run manifest written to %s\n", metrics_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
   return 0;
 }
