@@ -4,17 +4,21 @@
 #   1. release    : full ctest suite, optimized build
 #   2. tsan       : `race`-labeled high-contention suite under ThreadSanitizer
 #   3. asan-ubsan : full suite under Address+UndefinedBehaviorSanitizer
-#   4. tidy       : Clang rebuild with -Werror=thread-safety + clang-tidy
-#                   over src/ (skipped with a notice when clang is absent)
+#   4. checked    : full suite with SMPMINE_ASSERT invariants and the
+#                   lock-order recorder compiled in (`checked` preset)
+#   5. lint       : smpmine-lint rules R1-R5 + the lint fixture self-test
+#                   (pure Python; clang-tidy runs in the tidy stage)
+#   6. tidy       : Clang rebuild with -Werror=thread-safety + clang-tidy
+#                   over src/ tests/ bench/ (skipped when clang is absent)
 #
 # Usage: scripts/check.sh [stage...]     e.g. `scripts/check.sh tsan`
-# Runs all four stages by default. Exits non-zero on the first failure.
+# Runs all stages by default. Exits non-zero on the first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(release tsan asan-ubsan tidy)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(release tsan asan-ubsan checked lint tidy)
 
 note() { printf '\n== %s ==\n' "$*"; }
 
@@ -39,6 +43,15 @@ for stage in "${STAGES[@]}"; do
       note "asan-ubsan: full suite under ASan+UBSan"
       configure_build_test asan-ubsan
       ;;
+    checked)
+      note "checked: full suite with invariant asserts + lock-order recorder"
+      configure_build_test checked
+      ;;
+    lint)
+      note "lint: smpmine-lint fixture self-test + zero findings on the tree"
+      python3 tools/lint/lint_selftest.py
+      scripts/lint.sh
+      ;;
     tidy)
       if ! command -v clang++ >/dev/null 2>&1; then
         note "tidy: SKIPPED — clang++ not found (thread-safety analysis and clang-tidy are Clang-only)"
@@ -47,12 +60,12 @@ for stage in "${STAGES[@]}"; do
       note "tidy: clang build with -Werror=thread-safety"
       cmake --preset tidy
       cmake --build --preset tidy -j "$JOBS"
-      note "tidy: negative compile test + clang-tidy over src/"
+      note "tidy: negative compile test + clang-tidy over src/ tests/ bench/"
       ctest --test-dir build/tidy -L negative --output-on-failure
       scripts/lint.sh
       ;;
     *)
-      echo "unknown stage: $stage (expected release|tsan|asan-ubsan|tidy)" >&2
+      echo "unknown stage: $stage (expected release|tsan|asan-ubsan|checked|lint|tidy)" >&2
       exit 2
       ;;
   esac

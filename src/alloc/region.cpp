@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "util/checked.hpp"
+
 namespace smpmine {
 namespace {
 
@@ -29,6 +31,8 @@ Region::Chunk& Region::grow(std::size_t min_bytes) {
 
 void* Region::alloc(std::size_t bytes, std::size_t align) {
   if (bytes == 0) bytes = 1;
+  SMPMINE_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                 "allocation alignment must be a power of two");
   SpinLockGuard guard(mu_);
   Chunk* chunk = chunks_.empty() ? nullptr : &chunks_.back();
   std::size_t offset = 0;
@@ -47,6 +51,10 @@ void* Region::alloc(std::size_t bytes, std::size_t align) {
              reinterpret_cast<std::uintptr_t>(chunk->data.get());
   }
   void* result = chunk->data.get() + offset;
+  SMPMINE_ASSERT(reinterpret_cast<std::uintptr_t>(result) % align == 0,
+                 "bump allocation violated the requested alignment");
+  SMPMINE_ASSERT(offset + bytes <= chunk->size,
+                 "bump allocation overran its chunk");
   chunk->offset = offset + bytes;
   used_ += bytes;
   ++stats_.allocations;

@@ -89,7 +89,7 @@ class Region final : public Arena {
 
   mutable SpinLock mu_;
   std::vector<Chunk> chunks_ GUARDED_BY(mu_);
-  std::size_t chunk_bytes_;
+  const std::size_t chunk_bytes_;  // set once in the constructor, then read-only
   std::size_t used_ GUARDED_BY(mu_) = 0;
   AllocStats stats_ GUARDED_BY(mu_);
 };

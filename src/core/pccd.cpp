@@ -110,7 +110,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     std::vector<double> build_busy(threads, 0.0);
     const std::size_t num_candidates = it.candidates;
     pool.run_spmd([&](std::uint32_t tid) {
-      SMPMINE_TRACE_SPAN_ARG("build", "k", k);
+      SMPMINE_TRACE_SPAN_ARG("candgen.build", "k", k);
       ThreadCpuTimer cpu;
       arenas[tid]->reset();
       trees[tid] =

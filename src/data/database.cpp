@@ -1,6 +1,7 @@
 #include "data/database.hpp"
 
 #include <algorithm>
+#include <functional>
 
 namespace smpmine {
 
@@ -10,6 +11,14 @@ void Database::add_transaction(std::span<const item_t> items) {
   auto begin = items_.begin() + static_cast<std::ptrdiff_t>(start);
   std::sort(begin, items_.end());
   items_.erase(std::unique(begin, items_.end()), items_.end());
+  // Subset enumeration and the hash-tree descent assume strictly increasing
+  // items; this is the invariant every downstream phase leans on.
+  SMPMINE_ASSERT(std::adjacent_find(items_.begin() +
+                                        static_cast<std::ptrdiff_t>(start),
+                                    items_.end(),
+                                    std::greater_equal<item_t>()) ==
+                     items_.end(),
+                 "stored transaction must be sorted and de-duplicated");
   if (items_.size() > start) {
     const item_t largest = items_.back();
     if (!max_item_seen_ || largest > *max_item_seen_) max_item_seen_ = largest;

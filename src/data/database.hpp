@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "util/checked.hpp"
 #include "util/types.hpp"
 
 namespace smpmine {
@@ -31,10 +32,12 @@ class Database {
 
   /// Read-only view of transaction t's sorted items.
   std::span<const item_t> transaction(std::size_t t) const {
+    SMPMINE_ASSERT(t < size(), "transaction index out of range");
     return {items_.data() + offsets_[t], items_.data() + offsets_[t + 1]};
   }
 
   std::size_t transaction_size(std::size_t t) const {
+    SMPMINE_ASSERT(t < size(), "transaction index out of range");
     return offsets_[t + 1] - offsets_[t];
   }
 

@@ -12,8 +12,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
+
+#include "parallel/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace smpmine {
 
@@ -28,7 +30,7 @@ class Mailbox {
  public:
   void send(Message message) {
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock lk(mu_);
       queue_.push_back(std::move(message));
     }
     cv_.notify_one();
@@ -36,17 +38,19 @@ class Mailbox {
 
   /// Blocks until a message arrives.
   Message receive() {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [&] { return !queue_.empty(); });
+    MutexLock lk(mu_);
+    // Explicit predicate loop: condition_variable_any::wait releases and
+    // reacquires through the guard, and spurious wakeups re-test here.
+    while (queue_.empty()) cv_.wait(lk);
     Message m = std::move(queue_.front());
     queue_.pop_front();
     return m;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
+  Mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<Message> queue_ GUARDED_BY(mu_);
 };
 
 /// Aggregate traffic statistics for one simulated cluster.
@@ -68,7 +72,7 @@ class Cluster {
   void send(std::uint32_t from, std::uint32_t to, std::uint32_t tag,
             std::vector<std::byte> payload) {
     {
-      std::lock_guard<std::mutex> g(stats_mu_);
+      MutexLock lk(stats_mu_);
       ++stats_.messages;
       stats_.bytes += payload.size();
     }
@@ -78,14 +82,14 @@ class Cluster {
   Message receive(std::uint32_t node) { return boxes_[node].receive(); }
 
   CommStats stats() const {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock lk(stats_mu_);
     return stats_;
   }
 
  private:
   std::vector<Mailbox> boxes_;
-  mutable std::mutex stats_mu_;
-  CommStats stats_;
+  mutable Mutex stats_mu_;
+  CommStats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace smpmine

@@ -173,6 +173,9 @@ CountDistributionResult mine_count_distribution(const Database& db,
     if (node == 0) result.mining.levels = std::move(levels);
   };
 
+  // lint-ok: R2 — the shared-nothing simulation deliberately bypasses the
+  // ThreadPool: each "node" must be an independent thread with no shared
+  // control plane, exactly what the distributed-memory comparison models.
   std::vector<std::thread> workers;
   for (std::uint32_t node = 1; node < nodes; ++node) {
     workers.emplace_back(node_main, node);

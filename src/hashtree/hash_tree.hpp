@@ -185,6 +185,8 @@ class HashTree {
   HTNode* root_ = nullptr;
   std::atomic<std::uint32_t> next_candidate_id_{0};
   std::atomic<std::uint32_t> next_node_id_{0};
+  // lint-ok: R1 — lazy cache built by the first single-threaded reduction
+  // setup after the counting barrier; never touched concurrently.
   mutable std::vector<Candidate*> cand_index_;
 };
 

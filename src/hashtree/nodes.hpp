@@ -38,6 +38,8 @@ const char* to_string(CounterMode m);
 /// wherever the placement policy put them (inline block, segregated
 /// region — see HashTree::insert).
 struct Candidate {
+  /// lint-ok: R1 — written once at creation (before the leaf link publishes
+  /// the candidate); read-only afterwards.
   std::uint32_t id;       ///< dense id in [0, num_candidates)
   /// Shared support counter. Synchronization is mode-dependent — Atomic:
   /// concurrent writers use std::atomic_ref relaxed increments; Locked:
@@ -46,6 +48,7 @@ struct Candidate {
   /// CounterMode at runtime, this field carries no PT_GUARDED_BY (a static
   /// annotation would mis-flag two of the three modes); the per-mode
   /// protocols are exercised under TSan by test_race_ccpd_counters.cpp.
+  /// lint-ok: R1 — per-CounterMode discipline, see above.
   count_t* count;
   SpinLock* count_lock;   ///< only non-null under CounterMode::Locked
 
@@ -90,8 +93,11 @@ struct ListHeader {
 /// dynamically by tests/race/test_race_tree_build.cpp under TSan.
 struct HTNode {
   std::atomic<HTNode**> children{nullptr};  ///< HTNP, fanout entries
+  /// lint-ok: R1 — phase-disciplined, not lock-annotated; see class comment.
   ListHeader* list = nullptr;               ///< ILH
+  /// lint-ok: R1 — written once at node creation, read-only afterwards.
   std::uint32_t id = 0;                     ///< dense node id
+  /// lint-ok: R1 — written once at node creation, read-only afterwards.
   std::uint16_t depth = 0;                  ///< items hashed to reach it
   SpinLock lock;                            ///< guards leaf insert/convert
 

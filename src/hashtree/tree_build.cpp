@@ -10,6 +10,8 @@
 #include "itemset/itemset.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/checked.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace smpmine {
 namespace {
@@ -17,7 +19,7 @@ namespace {
 /// Counter-with-lock block used when counters are segregated and the
 /// counter mode is Locked.
 struct CounterBlock {
-  count_t count;
+  count_t count GUARDED_BY(lock);
   SpinLock lock;
 };
 
@@ -53,6 +55,9 @@ HTNode* HashTree::new_node(std::uint16_t depth) {
   }
   node->list = header;
   node->depth = depth;
+  // relaxed-ok: id allocation only needs atomicity (unique dense ids); the
+  // node is published to other threads via the children release store or
+  // the build barrier, never through this counter.
   node->id = next_node_id_.fetch_add(1, std::memory_order_relaxed);
   return node;
 }
@@ -114,6 +119,9 @@ HashTree::Entry HashTree::make_entry(std::span<const item_t> items) {
     cand = new (arenas_->tree(BlockKind::Itemset)
                     .alloc(cand_bytes, alignof(Candidate))) Candidate();
   }
+  // relaxed-ok: same as node ids — uniqueness needs atomicity only;
+  // publication of the candidate happens through the leaf list under the
+  // node lock.
   cand->id = next_candidate_id_.fetch_add(1, std::memory_order_relaxed);
   std::memcpy(cand->items(), items.data(), k * sizeof(item_t));
   init_counter(cand, inline_counter
@@ -125,6 +133,10 @@ HashTree::Entry HashTree::make_entry(std::span<const item_t> items) {
 
 std::uint32_t HashTree::insert(std::span<const item_t> items) {
   assert(items.size() == config_.k);
+  // The whole descent assumes lexicographic order; an unsorted candidate
+  // lands in the wrong leaf and silently never gets counted.
+  SMPMINE_ASSERT(std::is_sorted(items.begin(), items.end()),
+                 "candidate itemsets must be sorted");
 #if SMPMINE_TRACING_ENABLED
   // Build-phase volume counter (trace builds only — insert is the candgen
   // hot path). Together with spinlock.contended_acquires this reads off
@@ -142,6 +154,9 @@ std::uint32_t HashTree::insert(std::span<const item_t> items) {
       continue;
     }
     SpinLockGuard guard(node->lock);
+    // relaxed-ok: re-check under the node lock — the converting thread
+    // wrote `children` while holding this same lock, so the lock's
+    // acquire/release ordering already covers the load.
     kids = node->children.load(std::memory_order_relaxed);
     if (kids != nullptr) {
       continue;  // converted while we waited; resume the descent
@@ -162,6 +177,11 @@ void HashTree::convert_leaf(HTNode* node) {
   obs::metric::hashtree_leaf_conversions().inc();
   SMPMINE_TRACE_INSTANT_ARG("hashtree.convert_leaf", "depth", node->depth);
 #endif
+  // Depth-k leaves hold itemsets whose k items are all consumed by the
+  // hash path; splitting one would index items()[k] out of bounds.
+  SMPMINE_ASSERT(node->depth < config_.k,
+                 "leaf at depth k can never be converted");
+  const std::uint32_t old_size = node->list->size;
   const std::uint32_t fanout = config_.fanout;
   auto** kids = static_cast<HTNode**>(
       arenas_->tree(BlockKind::HashTable)
@@ -182,6 +202,18 @@ void HashTree::convert_leaf(HTNode* node) {
   }
   node->list->head = nullptr;
   node->list->size = 0;
+#if SMPMINE_CHECKED_ENABLED
+  // Redistribution must conserve the candidate population: every list node
+  // moved, none dropped, none duplicated.
+  std::uint32_t redistributed = 0;
+  for (std::uint32_t b = 0; b < fanout; ++b) {
+    redistributed += kids[b]->list->size;
+  }
+  SMPMINE_ASSERT(redistributed == old_size,
+                 "leaf conversion must conserve the candidate list");
+#else
+  (void)old_size;
+#endif
   // Publish last: readers that see `children` non-null may descend without
   // the lock, so the child lists must be complete first.
   node->children.store(kids, std::memory_order_release);

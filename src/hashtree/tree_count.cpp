@@ -9,11 +9,14 @@
 //  - FrameLocal: the reduced k*H*P variant — each recursion frame keeps an
 //    H-slot seen set (epoch-reset), which dedups exactly the same descents
 //    with memory independent of tree size.
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 
 #include "hashtree/hash_tree.hpp"
 #include "itemset/itemset.hpp"
+#include "util/attributes.hpp"
+#include "util/checked.hpp"
 
 namespace smpmine {
 
@@ -40,8 +43,9 @@ void HashTree::enable_group_dedup(CountContext& ctx) const {
   ctx.group = 0;
 }
 
-void HashTree::process_leaf(const HTNode* node, std::span<const item_t> txn,
-                            CountContext& ctx) const {
+SMPMINE_HOT void HashTree::process_leaf(const HTNode* node,
+                                        std::span<const item_t> txn,
+                                        CountContext& ctx) const {
   if (ctx.mode == SubsetCheck::LeafVisited) {
     // Base-algorithm dedup: a leaf is processed once per transaction even
     // though duplicate hash paths reach it repeatedly.
@@ -65,6 +69,8 @@ void HashTree::process_leaf(const HTNode* node, std::span<const item_t> txn,
     ++ctx.hits;
     switch (config_.counter_mode) {
       case CounterMode::Atomic:
+        // relaxed-ok: support counters are pure totals; nobody reads them
+        // until after the counting barrier, which provides the ordering.
         std::atomic_ref<count_t>(*cand->count)
             .fetch_add(1, std::memory_order_relaxed);
         break;
@@ -80,8 +86,13 @@ void HashTree::process_leaf(const HTNode* node, std::span<const item_t> txn,
   }
 }
 
-void HashTree::count_rec(const HTNode* node, std::span<const item_t> txn,
-                         std::size_t start, CountContext& ctx) const {
+SMPMINE_HOT void HashTree::count_rec(const HTNode* node,
+                                     std::span<const item_t> txn,
+                                     std::size_t start,
+                                     CountContext& ctx) const {
+  // relaxed-ok: counting runs only after the build barrier, so every
+  // `children` publish happened-before this phase; the tree is quiescent
+  // and the load needs no ordering of its own.
   HTNode* const* kids = node->children.load(std::memory_order_relaxed);
   if (kids == nullptr) {
     process_leaf(node, txn, ctx);
@@ -122,9 +133,20 @@ void HashTree::count_rec(const HTNode* node, std::span<const item_t> txn,
   }
 }
 
-void HashTree::count_transaction(std::span<const item_t> txn,
-                                 CountContext& ctx) const {
+SMPMINE_HOT void HashTree::count_transaction(std::span<const item_t> txn,
+                                             CountContext& ctx) const {
   if (txn.size() < config_.k) return;
+  // A context made before remap_depth_first (or for another tree) indexes
+  // stale node/candidate ids — silent miscounts, not crashes. Checked
+  // builds pin the context to the current tree shape.
+  SMPMINE_ASSERT(ctx.mode == SubsetCheck::FrameLocal ||
+                     ctx.node_stamp.size() == num_nodes(),
+                 "CountContext is stale: node stamps sized for another tree");
+  SMPMINE_ASSERT(config_.counter_mode != CounterMode::PerThread ||
+                     ctx.local_counts.size() == num_candidates(),
+                 "CountContext is stale: local counts sized for another tree");
+  SMPMINE_ASSERT(std::is_sorted(txn.begin(), txn.end()),
+                 "transactions must be sorted for subset enumeration");
   ++ctx.stamp;
   count_rec(root_, txn, 0, ctx);
 }
@@ -143,6 +165,9 @@ void HashTree::reduce_into_shared(const CountContext& ctx,
                                   std::uint32_t begin_id,
                                   std::uint32_t end_id) const {
   assert(config_.counter_mode == CounterMode::PerThread);
+  SMPMINE_ASSERT(end_id <= num_candidates() &&
+                     ctx.local_counts.size() >= end_id,
+                 "reduction range exceeds the candidate id space");
   // Reducers split the id space, so each shared counter has one writer and
   // plain additions suffice — this is LCA's synchronization-free property.
   const std::vector<Candidate*>& index = candidate_index();

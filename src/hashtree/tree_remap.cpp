@@ -48,6 +48,8 @@ HTNode* HashTree::remap_rec(const HTNode* node, Region& target,
     for (std::uint32_t b = 0; b < config_.fanout; ++b) {
       new_kids[b] = remap_rec(kids[b], target, next_id);
     }
+    // relaxed-ok: the copy is private to the remapping thread; the phase
+    // barrier after remap publishes the whole tree to the counting threads.
     copy->children.store(new_kids, std::memory_order_relaxed);
     return copy;
   }
@@ -112,6 +114,8 @@ void HashTree::trace_rec(const HTNode* node, std::span<const item_t> txn,
                          std::vector<std::uint32_t>& seen,
                          std::vector<std::uint32_t>& epoch) const {
   out.push_back(reinterpret_cast<std::uintptr_t>(node));
+  // relaxed-ok: traversal tracing runs on a quiescent tree after the build
+  // barrier, so the publish already happened-before this load.
   HTNode* const* kids = node->children.load(std::memory_order_relaxed);
   if (kids == nullptr) {
     out.push_back(reinterpret_cast<std::uintptr_t>(node->list));

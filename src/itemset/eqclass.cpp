@@ -1,5 +1,7 @@
 #include "itemset/eqclass.hpp"
 
+#include "util/checked.hpp"
+
 namespace smpmine {
 
 std::vector<EqClass> build_equivalence_classes(const FrequentSet& f) {
@@ -17,6 +19,19 @@ std::vector<EqClass> build_equivalence_classes(const FrequentSet& f) {
       begin = i;
     }
   }
+#if SMPMINE_CHECKED_ENABLED
+  // The classes must tile [0, n) contiguously: the join phase iterates each
+  // class independently, so a gap loses candidates and an overlap
+  // duplicates them.
+  std::uint32_t expected_begin = 0;
+  for (const EqClass& c : classes) {
+    SMPMINE_ASSERT(c.begin == expected_begin && c.end > c.begin,
+                   "equivalence classes must tile the frequent set");
+    expected_begin = c.end;
+  }
+  SMPMINE_ASSERT(expected_begin == n,
+                 "equivalence classes must cover the whole frequent set");
+#endif
   return classes;
 }
 
@@ -65,6 +80,14 @@ std::vector<std::vector<GenUnit>> balance_generation(
     result[b].reserve(a.groups[b].size());
     for (const std::uint32_t e : a.groups[b]) result[b].push_back(units[e]);
   }
+#if SMPMINE_CHECKED_ENABLED
+  // Every generation unit lands on exactly one thread — the partitioner's
+  // own coverage check plus this one bracket the copy above.
+  std::size_t assigned = 0;
+  for (const auto& bucket : result) assigned += bucket.size();
+  SMPMINE_ASSERT(assigned == units.size(),
+                 "balanced generation must assign every unit exactly once");
+#endif
   return result;
 }
 

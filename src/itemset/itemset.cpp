@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/attributes.hpp"
+
 namespace smpmine {
 
 int compare_itemsets(std::span<const item_t> a, std::span<const item_t> b) {
@@ -15,8 +17,8 @@ int compare_itemsets(std::span<const item_t> a, std::span<const item_t> b) {
   return 0;
 }
 
-bool is_subset_sorted(std::span<const item_t> subset,
-                      std::span<const item_t> superset) {
+SMPMINE_HOT bool is_subset_sorted(std::span<const item_t> subset,
+                                  std::span<const item_t> superset) {
   std::size_t j = 0;
   for (const item_t want : subset) {
     while (j < superset.size() && superset[j] < want) ++j;

@@ -35,11 +35,15 @@ namespace smpmine::obs {
 class Counter {
  public:
   void inc(std::uint64_t n = 1) noexcept {
+    // relaxed-ok: counters are pure totals; readers sample after runs
+    // quiesce (or tolerate a stale snapshot), so no ordering is needed.
     value_.fetch_add(n, std::memory_order_relaxed);
   }
   std::uint64_t value() const noexcept {
+    // relaxed-ok: see inc().
     return value_.load(std::memory_order_relaxed);
   }
+  // relaxed-ok: reset happens between runs, with no concurrent writers.
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -50,11 +54,15 @@ class Counter {
 class Gauge {
  public:
   void set(std::int64_t v) noexcept {
+    // relaxed-ok: last-writer-wins by design; the gauge carries no
+    // happens-before obligation for other data.
     value_.store(v, std::memory_order_relaxed);
   }
   std::int64_t value() const noexcept {
+    // relaxed-ok: see set().
     return value_.load(std::memory_order_relaxed);
   }
+  // relaxed-ok: reset happens between runs, with no concurrent writers.
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:

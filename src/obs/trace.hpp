@@ -71,8 +71,11 @@ class ThreadTraceBuffer {
 
   /// Owner-thread only. Drops (and counts) when full.
   void emit(const TraceEvent& ev) noexcept {
+    // relaxed-ok: size_ has a single writer (this thread); the release
+    // store below is what publishes the event to the exporter.
     const std::uint32_t slot = size_.load(std::memory_order_relaxed);
     if (slot >= events_.size()) {
+      // relaxed-ok: dropped_ is a pure total read after runs quiesce.
       dropped_.fetch_add(1, std::memory_order_relaxed);
       metric::trace_dropped_events().inc();
       return;
@@ -88,6 +91,7 @@ class ThreadTraceBuffer {
     return events_[i];
   }
   std::uint64_t dropped() const noexcept {
+    // relaxed-ok: exporters read drop totals after the run quiesces.
     return dropped_.load(std::memory_order_relaxed);
   }
   std::uint32_t track() const noexcept { return track_; }
@@ -109,9 +113,12 @@ class Tracer {
   /// Runtime gate every macro checks first. Off by default; the CLI/bench
   /// --trace flag turns it on before mining starts.
   static bool enabled() noexcept {
+    // relaxed-ok: the gate is advisory — it decides whether an event is
+    // recorded, and is flipped before worker threads are launched.
     return enabled_flag().load(std::memory_order_relaxed);
   }
   void set_enabled(bool on) noexcept {
+    // relaxed-ok: see enabled().
     enabled_flag().store(on, std::memory_order_relaxed);
   }
 

@@ -38,8 +38,12 @@ class Barrier {
   /// builds account the wait (barrier.waits / barrier.wait_ns metrics) —
   /// the paper's barrier-imbalance cost, directly.
   void arrive_and_wait() noexcept {
+    // relaxed-ok: sense_ only flips inside this function, after every party
+    // has arrived; the acq_rel fetch_add below orders the episode.
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      // relaxed-ok: the release store of sense_ next line publishes the
+      // reset before any party can re-enter the barrier.
       arrived_.store(0, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);
     } else {

@@ -1,0 +1,207 @@
+#include "parallel/lock_order.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+// The recorder is the one place in the library allowed to use a raw
+// std::mutex: it must not report into itself, so it synchronizes with an
+// uninstrumented primitive. (src/parallel/ is inside lint rule R2's
+// allowed scope.)
+
+namespace smpmine::lockorder {
+namespace {
+
+struct Held {
+  const void* lock;
+  const char* kind;
+};
+
+/// The lock chain (and thread) that first established an ordering edge —
+/// the "other stack" printed when a cycle is found.
+struct EdgeInfo {
+  std::vector<Held> chain;  ///< held stack at creation, acquiree last
+  std::size_t thread_hash;
+};
+
+struct Graph {
+  // The recorder cannot use the instrumented Mutex (it would recurse into
+  // itself), so this raw std::mutex carries no capability annotation and
+  // the members below use lint markers instead of GUARDED_BY.
+  std::mutex mu;
+  /// adj[a][b] exists iff "b acquired while a held" has been observed.
+  /// lint-ok: R1 — guarded by mu (std::mutex is not a Clang capability).
+  std::unordered_map<const void*,
+                     std::unordered_map<const void*, EdgeInfo>>
+      adj;
+  /// lint-ok: R1 — guarded by mu (std::mutex is not a Clang capability).
+  std::uint64_t generation = 0;
+};
+
+Graph& graph() {
+  static Graph g;
+  return g;
+}
+
+thread_local std::vector<Held> t_held;
+/// Edges this thread has already pushed into the graph: lets repeat
+/// acquisitions of a known nesting skip the global mutex entirely, so the
+/// steady-state checked overhead is a thread-local hash probe.
+thread_local std::unordered_set<std::uint64_t> t_seen_edges;
+thread_local std::uint64_t t_seen_generation = 0;
+
+std::uint64_t edge_key(const void* from, const void* to) {
+  // Mix the halves; collisions only cost a redundant trip to the graph.
+  const auto a = reinterpret_cast<std::uintptr_t>(from);
+  const auto b = reinterpret_cast<std::uintptr_t>(to);
+  return (static_cast<std::uint64_t>(a) * 0x9e3779b97f4a7c15ULL) ^
+         static_cast<std::uint64_t>(b);
+}
+
+std::size_t this_thread_hash() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+void print_chain(const char* label, const std::vector<Held>& chain) {
+  std::fprintf(stderr, "  %s:\n", label);
+  for (const Held& h : chain) {
+    std::fprintf(stderr, "    %s @ %p\n", h.kind, h.lock);
+  }
+}
+
+/// DFS: does `from` reach `target` in the edge graph? Fills `path` with the
+/// node sequence (from ... target) when found. Caller holds graph().mu.
+bool reaches(const Graph& g, const void* from, const void* target,
+             std::vector<const void*>& path,
+             std::unordered_set<const void*>& visited) {
+  if (from == target) {
+    path.push_back(from);
+    return true;
+  }
+  if (!visited.insert(from).second) return false;
+  const auto it = g.adj.find(from);
+  if (it == g.adj.end()) return false;
+  for (const auto& [next, info] : it->second) {
+    if (reaches(g, next, target, path, visited)) {
+      path.insert(path.begin(), from);
+      return true;
+    }
+  }
+  return false;
+}
+
+[[noreturn]] void report_cycle(Graph& g, const Held& attempt,
+                               const std::vector<const void*>& path) {
+  std::fprintf(stderr,
+               "smpmine-checked: lock-order cycle detected acquiring %s @ %p\n",
+               attempt.kind, attempt.lock);
+  std::vector<Held> current = t_held;
+  current.push_back(attempt);
+  print_chain("this thread holds (acquisition order, attempted last)",
+              current);
+  // Walk the reverse path attempt ->* held-top and print the recorded chain
+  // for each edge: together they are the other order's lock chain(s).
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto it = g.adj.find(path[i]);
+    if (it == g.adj.end()) continue;
+    const auto eit = it->second.find(path[i + 1]);
+    if (eit == it->second.end()) continue;
+    std::fprintf(stderr,
+                 "  conflicting order %p -> %p first recorded on thread "
+                 "%#zx:\n",
+                 path[i], path[i + 1], eit->second.thread_hash);
+    print_chain("recorded chain (acquisition order)", eit->second.chain);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void on_acquire(const void* lock, const char* kind, bool is_try) noexcept {
+  for (const Held& h : t_held) {
+    if (h.lock == lock) {
+      std::fprintf(stderr,
+                   "smpmine-checked: lock-order cycle detected: thread "
+                   "re-acquired %s @ %p it already holds (self-deadlock on a "
+                   "non-reentrant lock)\n",
+                   kind, lock);
+      print_chain("this thread holds (acquisition order)", t_held);
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+
+  const Held attempt{lock, kind};
+  if (!t_held.empty() && !is_try) {
+    Graph& g = graph();
+    const void* from = t_held.back().lock;
+    const std::uint64_t key = edge_key(from, lock);
+    bool known = false;
+    {
+      // Generation check: reset_for_test() invalidates cached edge sets.
+      std::lock_guard<std::mutex> guard(g.mu);
+      if (t_seen_generation != g.generation) {
+        t_seen_edges.clear();
+        t_seen_generation = g.generation;
+      }
+      known = t_seen_edges.count(key) != 0;
+      if (!known) {
+        auto& edges = g.adj[from];
+        if (edges.find(lock) == edges.end()) {
+          // New edge from -> lock: a cycle exists iff lock already reaches
+          // from through previously recorded orders.
+          std::vector<const void*> path;
+          std::unordered_set<const void*> visited;
+          if (reaches(g, lock, from, path, visited)) {
+            report_cycle(g, attempt, path);
+          }
+          std::vector<Held> chain = t_held;
+          chain.push_back(attempt);
+          edges.emplace(lock,
+                        EdgeInfo{std::move(chain), this_thread_hash()});
+        }
+        t_seen_edges.insert(key);
+      }
+    }
+  }
+  t_held.push_back(attempt);
+}
+
+void on_release(const void* lock) noexcept {
+  for (std::size_t i = t_held.size(); i-- > 0;) {
+    if (t_held[i].lock == lock) {
+      t_held.erase(t_held.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  // Releasing a lock the recorder never saw acquired: tolerated (a lock
+  // constructed before SMPMINE_CHECKED hooks existed in this TU), ignored.
+}
+
+std::size_t held_count() noexcept { return t_held.size(); }
+
+std::size_t edge_count() noexcept {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  std::size_t n = 0;
+  for (const auto& [from, edges] : g.adj) n += edges.size();
+  return n;
+}
+
+void reset_for_test() noexcept {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  g.adj.clear();
+  ++g.generation;
+  t_held.clear();
+  t_seen_edges.clear();
+  t_seen_generation = g.generation;
+}
+
+}  // namespace smpmine::lockorder

@@ -1,0 +1,76 @@
+// Runtime lock-acquisition-order recorder (SMPMINE_CHECKED builds).
+//
+// Clang's static thread-safety analysis proves "this field is touched under
+// its lock" but says nothing about the *order* locks nest in, and the
+// fine-grained design here — a SpinLock embedded in every hash-tree node,
+// per-candidate counter locks, arena locks taken during leaf conversion —
+// is exactly the shape where an innocent refactor introduces an ABBA
+// deadlock that only a 64-thread run on a loaded machine ever hits.
+//
+// Under the `checked` preset (SMPMINE_CHECKED_ENABLED=1) every SpinLock and
+// Mutex acquisition/release reports here. The recorder keeps
+//   - a per-thread stack of currently-held locks, and
+//   - a process-wide directed graph with an edge A -> B for every observed
+//     "B acquired while A was the most recently acquired held lock",
+//     remembering the full lock chain and thread that first created the edge.
+// Before a new edge A -> B is added it checks whether B already reaches A;
+// if so the program has used the two orders AB and BA, and the recorder
+// aborts printing BOTH lock chains — the current thread's and the recorded
+// chain that established the reverse path. Re-acquiring a lock this thread
+// already holds (self-deadlock for these non-reentrant primitives) aborts
+// the same way. try_lock acquisitions push onto the held stack (they order
+// *later* acquisitions) but never create edges themselves: a failed
+// try_lock backs off instead of blocking, so it cannot deadlock.
+//
+// Known limits, by design: lock identity is the address, so memory reuse
+// across Region::reset() can alias two generations of tree-node locks (in
+// this codebase node locks only ever precede arena locks, so aliasing
+// cannot fabricate a cycle); and the graph only grows — a checked run's
+// memory is proportional to the number of distinct nesting pairs.
+//
+// With SMPMINE_CHECKED_ENABLED=0 the hook macros are `((void)0)`: zero
+// code, zero data on every lock operation.
+#pragma once
+
+#include <cstddef>
+
+#ifndef SMPMINE_CHECKED_ENABLED
+#define SMPMINE_CHECKED_ENABLED 0
+#endif
+
+namespace smpmine::lockorder {
+
+/// Records a successful acquisition by the calling thread. `kind` must be a
+/// string literal ("SpinLock", "Mutex"); `is_try` marks try_lock successes,
+/// which are pushed but create no ordering edges. Aborts (after printing
+/// both chains) on a cycle or a same-thread re-acquisition.
+void on_acquire(const void* lock, const char* kind, bool is_try) noexcept;
+
+/// Records a release by the calling thread (LIFO expected, out-of-order
+/// tolerated).
+void on_release(const void* lock) noexcept;
+
+/// Locks the calling thread currently holds (test hook).
+std::size_t held_count() noexcept;
+
+/// Distinct ordering edges recorded so far (test hook).
+std::size_t edge_count() noexcept;
+
+/// Drops the global graph and this thread's stack. Callers must be
+/// single-threaded with respect to lock activity (tests only). Other
+/// threads' cached edge sets are invalidated via a generation counter.
+void reset_for_test() noexcept;
+
+}  // namespace smpmine::lockorder
+
+#if SMPMINE_CHECKED_ENABLED
+#define SMPMINE_LOCK_ACQUIRED(lock, kind) \
+  ::smpmine::lockorder::on_acquire((lock), (kind), false)
+#define SMPMINE_LOCK_TRY_ACQUIRED(lock, kind) \
+  ::smpmine::lockorder::on_acquire((lock), (kind), true)
+#define SMPMINE_LOCK_RELEASED(lock) ::smpmine::lockorder::on_release((lock))
+#else
+#define SMPMINE_LOCK_ACQUIRED(lock, kind) ((void)0)
+#define SMPMINE_LOCK_TRY_ACQUIRED(lock, kind) ((void)0)
+#define SMPMINE_LOCK_RELEASED(lock) ((void)0)
+#endif

@@ -11,6 +11,7 @@
 
 #include <mutex>
 
+#include "parallel/lock_order.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace smpmine {
@@ -22,9 +23,19 @@ class CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ACQUIRE() { mu_.lock(); }
-  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
+  void lock() ACQUIRE() {
+    mu_.lock();
+    SMPMINE_LOCK_ACQUIRED(this, "Mutex");
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    SMPMINE_LOCK_TRY_ACQUIRED(this, "Mutex");
+    return true;
+  }
+  void unlock() RELEASE() {
+    SMPMINE_LOCK_RELEASED(this);
+    mu_.unlock();
+  }
 
  private:
   std::mutex mu_;

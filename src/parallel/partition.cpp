@@ -4,6 +4,8 @@
 #include <limits>
 #include <numeric>
 
+#include "util/checked.hpp"
+
 namespace smpmine {
 
 const char* to_string(PartitionScheme s) {
@@ -63,6 +65,29 @@ std::uint32_t least_loaded(const Assignment& a) {
   return best;
 }
 
+#if SMPMINE_CHECKED_ENABLED
+/// Checked-build postcondition shared by every scheme: the bins tile
+/// [0, n) — each element assigned to exactly one bin. A partitioner that
+/// drops an element silently under-counts supports; one that duplicates an
+/// element double-counts them.
+void check_covers(const Assignment& a, std::size_t n) {
+  std::vector<bool> seen(n, false);
+  for (const auto& group : a.groups) {
+    for (const std::uint32_t e : group) {
+      SMPMINE_ASSERT(e < n, "partition assigned an out-of-range element");
+      SMPMINE_ASSERT(!seen[e], "partition assigned an element twice");
+      seen[e] = true;
+    }
+  }
+  for (std::size_t e = 0; e < n; ++e) {
+    SMPMINE_ASSERT(seen[e], "partition dropped an element");
+  }
+}
+#define SMPMINE_CHECK_COVERS(a, n) check_covers((a), (n))
+#else
+#define SMPMINE_CHECK_COVERS(a, n) ((void)0)
+#endif
+
 }  // namespace
 
 Assignment partition_block(const std::vector<double>& weights,
@@ -77,6 +102,7 @@ Assignment partition_block(const std::vector<double>& weights,
         i / per, bins - 1));
     assign(a, bin, static_cast<std::uint32_t>(i), weights[i]);
   }
+  SMPMINE_CHECK_COVERS(a, weights.size());
   return a;
 }
 
@@ -87,6 +113,7 @@ Assignment partition_interleaved(const std::vector<double>& weights,
     assign(a, static_cast<std::uint32_t>(i % bins),
            static_cast<std::uint32_t>(i), weights[i]);
   }
+  SMPMINE_CHECK_COVERS(a, weights.size());
   return a;
 }
 
@@ -116,6 +143,7 @@ Assignment partition_bitonic(const std::vector<double>& weights,
                    });
   for (std::uint32_t e : rest) assign(a, least_loaded(a), e, weights[e]);
   for (auto& g : a.groups) std::sort(g.begin(), g.end());
+  SMPMINE_CHECK_COVERS(a, weights.size());
   return a;
 }
 
@@ -130,6 +158,7 @@ Assignment partition_greedy(const std::vector<double>& weights,
                    });
   for (std::uint32_t e : order) assign(a, least_loaded(a), e, weights[e]);
   for (auto& g : a.groups) std::sort(g.begin(), g.end());
+  SMPMINE_CHECK_COVERS(a, weights.size());
   return a;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "obs/trace.hpp"
+#include "parallel/lock_order.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
@@ -29,6 +30,10 @@ namespace smpmine {
 /// live off-lock (process-global), so sizeof stays 1 and the uncontended
 /// fast path is untouched; SMPMINE_TRACING=OFF compiles the accounting out
 /// entirely.
+///
+/// Checked builds (SMPMINE_CHECKED, see lock_order.hpp) additionally
+/// report every acquire/release to the lock-order recorder, which aborts
+/// on a cyclic acquisition order; the hooks are ((void)0) otherwise.
 class CAPABILITY("spinlock") SpinLock {
  public:
   /// Upper bound on the exponential backoff (cpu_relax() reps per round).
@@ -47,9 +52,11 @@ class CAPABILITY("spinlock") SpinLock {
           obs::metric::spinlock_acquire_spins().inc(spin_rounds);
         }
 #endif
+        SMPMINE_LOCK_ACQUIRED(this, "SpinLock");
         return;
       }
-      // Test loop: spin on a plain load so the line stays shared until free.
+      // relaxed-ok: test loop — spin on a plain load so the cache line stays
+      // shared until free; the acquire exchange above provides the ordering.
       while (flag_.load(std::memory_order_relaxed)) {
         for (std::uint32_t i = 0; i < backoff; ++i) cpu_relax();
 #if SMPMINE_TRACING_ENABLED
@@ -64,11 +71,18 @@ class CAPABILITY("spinlock") SpinLock {
   /// lock the first relaxed load fails and we return false immediately —
   /// the exchange only runs when the lock was observed free.
   bool try_lock() noexcept TRY_ACQUIRE(true) {
-    return !flag_.load(std::memory_order_relaxed) &&
-           !flag_.exchange(true, std::memory_order_acquire);
+    // relaxed-ok: the first load is a contention filter only; acquisition
+    // ordering comes from the acquire exchange that follows.
+    if (flag_.load(std::memory_order_relaxed) ||
+        flag_.exchange(true, std::memory_order_acquire)) {
+      return false;
+    }
+    SMPMINE_LOCK_TRY_ACQUIRED(this, "SpinLock");
+    return true;
   }
 
   void unlock() noexcept RELEASE() {
+    SMPMINE_LOCK_RELEASED(this);
     flag_.store(false, std::memory_order_release);
   }
 

@@ -54,6 +54,8 @@ class ThreadPool {
 
   const std::uint32_t threads_;
   Barrier barrier_;
+  // lint-ok: R1 — populated in the constructor before any worker can touch
+  // the pool, joined in the destructor; never mutated in between.
   std::vector<std::thread> workers_;
 
   // Control plane: every field below is dispatch/join state shared between

@@ -1,0 +1,19 @@
+// Function attributes with project-level contracts.
+//
+// SMPMINE_HOT marks the per-transaction hot paths — the hash-tree counting
+// recursion and the subset-enumeration primitives that run once per
+// (transaction, candidate-path) pair. Marking a function SMPMINE_HOT is a
+// *contract*, not just an optimizer hint: its body must stay
+// allocation-free. No `new`/`malloc`, no container growth
+// (push_back/resize/reserve/...), because one allocation inside the
+// counting loop turns the paper's memory-placement results into noise.
+// tools/lint/smpmine_lint.py rule R4 enforces the contract mechanically;
+// a deliberate exception needs a `// hot-ok: <reason>` comment on the
+// offending line.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SMPMINE_HOT __attribute__((hot))
+#else
+#define SMPMINE_HOT
+#endif

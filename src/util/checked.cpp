@@ -1,0 +1,21 @@
+#include "util/checked.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace smpmine::checked {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const char* msg) noexcept {
+  // fprintf, not iostreams: the assertion may fire under a held lock or
+  // inside a worker thread, and stdio is signal-safe enough for a
+  // last-words message where iostream locale machinery is not.
+  std::fprintf(stderr,
+               "smpmine-checked: assertion failed: %s\n"
+               "  %s:%d: %s\n",
+               expr, file, line, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace smpmine::checked

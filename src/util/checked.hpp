@@ -1,0 +1,45 @@
+// SMPMINE_CHECKED invariant assertions.
+//
+// The mining algorithms rest on invariants the type system cannot see:
+// itemsets stay sorted, equivalence classes tile the frequent set, every
+// partition element lands in exactly one bin, counting contexts match the
+// tree they were sized for. `SMPMINE_ASSERT` states those invariants in the
+// code; the `checked` CMake preset (-DSMPMINE_CHECKED=ON, which defines
+// SMPMINE_CHECKED_ENABLED=1) compiles them into real checks that abort with
+// the failed expression and site. In every other build the macro expands to
+// `((void)0)` — the condition expression is *not evaluated*, so checks may
+// call arbitrarily expensive helpers (std::is_sorted over a hot-loop span)
+// without taxing release binaries. tests/negative/checked_off_noop.cpp pins
+// the expansion from both sides.
+//
+// SMPMINE_ASSERT is for algorithmic invariants that hold per call; for
+// lock-acquisition-order checking see parallel/lock_order.hpp, the other
+// half of the checked runtime.
+#pragma once
+
+#ifndef SMPMINE_CHECKED_ENABLED
+#define SMPMINE_CHECKED_ENABLED 0
+#endif
+
+namespace smpmine::checked {
+
+/// True when SMPMINE_ASSERT compiles to a real check.
+inline constexpr bool kCheckedBuild = SMPMINE_CHECKED_ENABLED != 0;
+
+/// Prints "smpmine-checked: assertion failed ..." with the expression, the
+/// site, and `msg`, then aborts. Out-of-line so assertion sites stay one
+/// compare-and-branch.
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const char* msg) noexcept;
+
+}  // namespace smpmine::checked
+
+#if SMPMINE_CHECKED_ENABLED
+#define SMPMINE_ASSERT(expr, msg)                                      \
+  ((expr) ? static_cast<void>(0)                                       \
+          : ::smpmine::checked::assert_fail(#expr, __FILE__, __LINE__, msg))
+#else
+// The argument disappears at preprocessing time: no evaluation, no
+// side effects, no codegen.
+#define SMPMINE_ASSERT(expr, msg) ((void)0)
+#endif

@@ -25,6 +25,8 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
 void logf(LogLevel level, const char* fmt, ...) {
+  // relaxed-ok: the level gate is advisory; a racing set_log_level only
+  // decides whether this one message appears, never data integrity.
   if (level < g_level.load(std::memory_order_relaxed)) return;
   char buf[1024];
   int n = std::snprintf(buf, sizeof buf, "[%s] ", level_tag(level));

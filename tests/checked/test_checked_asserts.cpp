@@ -1,0 +1,70 @@
+// SMPMINE_ASSERT death tests: checked builds must turn invariant breaches
+// into immediate aborts with a sourced message, and must stay silent on
+// valid inputs. Skipped when SMPMINE_CHECKED is off.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/database.hpp"
+#include "hashtree/hash_tree.hpp"
+#include "util/checked.hpp"
+
+namespace smpmine {
+namespace {
+
+class CheckedAssertTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!checked::kCheckedBuild) {
+      GTEST_SKIP() << "SMPMINE_CHECKED is off; asserts compile to no-ops";
+    }
+  }
+};
+
+TEST_F(CheckedAssertTest, DatabaseInRangeAccessIsQuiet) {
+  Database db;
+  const std::vector<item_t> txn{1, 2, 3};
+  db.add_transaction(txn);
+  EXPECT_EQ(db.transaction(0).size(), 3u);
+  EXPECT_EQ(db.transaction_size(0), 3u);
+}
+
+// Death bodies live in lambdas: EXPECT_DEATH is a preprocessor macro, and
+// commas in brace initializers like `{1, 2, 3}` would split its arguments.
+TEST_F(CheckedAssertTest, DatabaseOutOfRangeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto out_of_range = [] {
+    Database db;
+    const std::vector<item_t> txn{1, 2, 3};
+    db.add_transaction(txn);
+    (void)db.transaction(1);
+  };
+  EXPECT_DEATH(out_of_range(), "transaction index out of range");
+}
+
+TEST_F(CheckedAssertTest, UnsortedCandidateInsertAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto unsorted_insert = [] {
+    PlacementArenas arenas(PlacementPolicy::SPP);
+    const HashPolicy policy(HashScheme::Interleaved, 4);
+    HashTree tree({.k = 2, .fanout = 4, .leaf_threshold = 2}, policy, arenas);
+    const std::vector<item_t> unsorted{7, 3};
+    tree.insert(unsorted);
+  };
+  EXPECT_DEATH(unsorted_insert(), "must be sorted");
+}
+
+TEST_F(CheckedAssertTest, AssertMessageNamesTheSite) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The failure report carries the expression, file:line, and message —
+  // the contract DESIGN.md documents for SMPMINE_ASSERT.
+  auto empty_db_size = [] {
+    Database db;
+    (void)db.transaction_size(0);
+  };
+  EXPECT_DEATH(empty_db_size(),
+               "smpmine-checked: assertion failed.*database\\.hpp");
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,19 @@
+// R1 violating fixture: `unguarded_value_` lives in a lock-owning class with
+// no GUARDED_BY annotation and no lint-ok justification.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+class Widget {
+ public:
+  void touch();
+
+ private:
+  mutable SpinLock mu_;
+  std::uint64_t guarded_value_ GUARDED_BY(mu_) = 0;
+  std::uint64_t unguarded_value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// R1 passing fixture: every shared field of a lock-owning class is either
+// GUARDED_BY, atomic, const, a sync primitive, or carries a lint-ok marker.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class Widget {
+ public:
+  void touch();
+
+ private:
+  mutable Mutex mu_;
+  std::uint64_t guarded_value_ GUARDED_BY(mu_) = 0;
+  std::vector<int> pointed_at_ PT_GUARDED_BY(mu_);
+  std::atomic<std::uint32_t> lockfree_counter_{0};
+  const std::uint32_t capacity_ = 8;
+  Barrier phase_barrier_;
+  std::condition_variable_any cv_;
+  // lint-ok: R1 — written once in the constructor, read-only afterwards.
+  std::uint32_t write_once_id_ = 0;
+};
+
+/// Capability classes are the locks themselves; their internals are exempt.
+class CAPABILITY("mutex") TinyLock {
+ public:
+  void lock() ACQUIRE();
+  void unlock() RELEASE();
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace fixture

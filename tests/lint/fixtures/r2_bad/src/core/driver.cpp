@@ -1,0 +1,12 @@
+// R2 violating fixture: a raw std::thread outside src/parallel with no
+// justification marker.
+#include <thread>
+
+namespace fixture {
+
+void drive() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Outside src/parallel: wrappers only, or an explicitly justified raw use.
+#include <vector>
+
+namespace fixture {
+
+void drive() {
+  Mutex mu;
+  MutexLock lk(mu);
+  // lint-ok: R2 — simulation needs unpooled threads, one per node.
+  std::vector<std::thread> nodes;
+}
+
+}  // namespace fixture

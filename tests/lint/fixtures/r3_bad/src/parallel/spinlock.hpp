@@ -1,0 +1,17 @@
+// R3 violating fixture: allowlisted file, but the relaxed site has no
+// relaxed-ok comment explaining why the weakened ordering is safe.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+class SpinLock {
+ public:
+  bool peek() { return flag_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// R3 passing fixture: this path is on the relaxed allowlist and every
+// relaxed site carries a relaxed-ok justification.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      // relaxed-ok: test loop; the acquire exchange provides the ordering.
+      while (flag_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace fixture

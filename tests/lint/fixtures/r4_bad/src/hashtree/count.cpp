@@ -1,0 +1,13 @@
+// R4 violating fixture: a SMPMINE_HOT function grows a container on the
+// per-transaction path with no hot-ok justification.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+SMPMINE_HOT void count_transaction(std::vector<std::uint32_t>& hits,
+                                   std::uint32_t id) {
+  hits.push_back(id);
+}
+
+}  // namespace fixture

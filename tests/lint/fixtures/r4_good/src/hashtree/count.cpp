@@ -1,0 +1,28 @@
+// R4 passing fixture: the hot function touches only pre-placed memory; the
+// cold helper may allocate freely; a vetted exception carries hot-ok.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+SMPMINE_HOT std::uint64_t count_hits(const std::uint32_t* counts,
+                                     std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += counts[i];
+  return total;
+}
+
+SMPMINE_HOT void record_overflow(std::vector<std::uint32_t>& sink,
+                                 std::uint32_t id) {
+  // hot-ok: overflow path runs at most once per tree; growth is amortized
+  // outside the per-transaction loop.
+  sink.push_back(id);
+}
+
+std::vector<std::uint32_t> make_scratch(std::size_t n) {
+  std::vector<std::uint32_t> scratch;
+  scratch.resize(n);
+  return scratch;
+}
+
+}  // namespace fixture

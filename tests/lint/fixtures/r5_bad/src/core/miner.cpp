@@ -1,0 +1,11 @@
+// R5 violating fixture: "warmup" is a bare span name with no matching
+// warmup_seconds field in stats.hpp.
+#include "core/stats.hpp"
+
+namespace fixture {
+
+void mine() {
+  SMPMINE_TRACE_SPAN("warmup");
+}
+
+}  // namespace fixture

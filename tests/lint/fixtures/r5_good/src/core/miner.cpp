@@ -1,0 +1,15 @@
+// R5 passing fixture: bare span names match *_seconds fields; dotted names
+// are subsystem events and exempt.
+#include "core/stats.hpp"
+
+namespace fixture {
+
+void mine() {
+  SMPMINE_TRACE_SPAN("candgen");
+  SMPMINE_TRACE_SPAN_ARG("count", "k", 2);
+  SMPMINE_TRACE_SPAN_ARG("iteration", "k", 2);
+  SMPMINE_TRACE_SPAN("pool.task");
+  SMPMINE_TRACE_PHASE(span, "count", "k", 2);
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Compile-pair probe of the SMPMINE_CHECKED gate (see tests/CMakeLists.txt).
+//
+// probe() is constant-evaluated by the static_assert below. With
+// SMPMINE_CHECKED_ENABLED=0 every hook macro expands to ((void)0) and the
+// evaluation succeeds — proving the checked machinery really erases to
+// nothing. With SMPMINE_CHECKED_ENABLED=1 the lock hooks expand to calls
+// into the (non-constexpr) lock-order recorder, which cannot appear in a
+// constant evaluation, so compilation must fail — proving the hooks really
+// emit code when the gate is on.
+#include "parallel/lock_order.hpp"
+#include "util/checked.hpp"
+
+namespace {
+
+constexpr int probe() {
+  int pseudo_lock = 0;
+  SMPMINE_LOCK_ACQUIRED(&pseudo_lock, "probe");
+  SMPMINE_ASSERT(pseudo_lock == 0, "probe invariant");
+  SMPMINE_LOCK_TRY_ACQUIRED(&pseudo_lock, "probe");
+  SMPMINE_LOCK_RELEASED(&pseudo_lock);
+  return pseudo_lock;
+}
+
+static_assert(probe() == 0,
+              "SMPMINE_CHECKED=OFF must compile the hooks to no-ops");
+
+}  // namespace

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Self-test for smpmine-lint: drives the linter over the fixture trees in
+tests/lint/fixtures (one passing and one violating mini-tree per rule) and
+checks both the exit code and that the finding carries the right rule id
+and file. Runs the regex backend explicitly so the result is identical on
+machines with and without libclang."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(HERE, "smpmine_lint.py")
+FIXTURES = os.path.join(ROOT, "tests", "lint", "fixtures")
+
+# fixture dir -> (expected exit, expected rule, expected path fragment)
+CASES = {
+    "r1_good": (0, None, None),
+    "r1_bad": (1, "R1", "src/parallel/widget.hpp"),
+    "r2_good": (0, None, None),
+    "r2_bad": (1, "R2", "src/core/driver.cpp"),
+    "r3_good": (0, None, None),
+    "r3_bad": (1, "R3", "src/parallel/spinlock.hpp"),
+    "r4_good": (0, None, None),
+    "r4_bad": (1, "R4", "src/hashtree/count.cpp"),
+    "r5_good": (0, None, None),
+    "r5_bad": (1, "R5", "src/core/miner.cpp"),
+}
+
+
+def run_case(name: str, expect_exit: int, rule: str | None,
+             path_fragment: str | None) -> list[str]:
+    root = os.path.join(FIXTURES, name)
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", root, "--backend", "regex"],
+        capture_output=True, text=True)
+    errors: list[str] = []
+    if proc.returncode != expect_exit:
+        errors.append(
+            f"{name}: exit {proc.returncode}, expected {expect_exit}\n"
+            f"  stdout: {proc.stdout.strip()!r}\n"
+            f"  stderr: {proc.stderr.strip()!r}")
+        return errors
+    if rule is not None:
+        lines = [l for l in proc.stdout.splitlines() if l.strip()]
+        if not any(f" {rule}: " in l for l in lines):
+            errors.append(f"{name}: no {rule} finding in output: {lines!r}")
+        if path_fragment and not any(path_fragment in l for l in lines):
+            errors.append(
+                f"{name}: finding does not name {path_fragment}: {lines!r}")
+        # Exactly the planted violation, nothing else.
+        if len(lines) != 1:
+            errors.append(f"{name}: expected exactly 1 finding: {lines!r}")
+    return errors
+
+
+def main() -> int:
+    missing = [n for n in CASES if not os.path.isdir(os.path.join(FIXTURES, n))]
+    if missing:
+        print(f"lint_selftest: missing fixtures: {missing}", file=sys.stderr)
+        return 1
+    failures: list[str] = []
+    for name, (expect_exit, rule, fragment) in sorted(CASES.items()):
+        failures.extend(run_case(name, expect_exit, rule, fragment))
+    # Rule filtering: --rules must restrict what runs.
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", os.path.join(FIXTURES, "r2_bad"),
+         "--backend", "regex", "--rules", "R1,R3"],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        failures.append(
+            f"--rules filter still reported disabled rules: "
+            f"{proc.stdout.strip()!r}")
+    if failures:
+        print("lint_selftest: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"lint_selftest: OK ({len(CASES)} fixtures + rule filter)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,691 @@
+#!/usr/bin/env python3
+"""smpmine-lint: project-specific static analysis for the smpmine tree.
+
+Rules
+-----
+R1  guarded-by coverage: in the concurrency-bearing directories
+    (src/parallel, src/hashtree, src/obs, src/alloc), a class that owns a
+    lock (SpinLock/Mutex/std::mutex member, by value or pointer) must
+    annotate every other non-atomic, non-const data member with
+    GUARDED_BY/PT_GUARDED_BY — or carry an explicit `lint-ok: R1` marker
+    explaining the discipline (phase quiescence, write-once, ...).
+    `mutable` members in those directories need the same treatment even in
+    lock-free classes: mutability from const paths is how cross-thread
+    mutation hides from review.
+R2  threading primitives stay in src/parallel: std::thread, std::mutex
+    (and friends), and raw pthread_* calls are flagged anywhere else under
+    src/. Everything outside src/parallel synchronizes through the
+    wrappers (Mutex, SpinLock, Barrier, ThreadPool) so the capability
+    annotations and the checked-build lock-order recorder see every lock.
+R3  memory_order_relaxed is allowlisted: only files with an audited reason
+    to use it may, and every site needs a `relaxed-ok:` comment on the
+    line or just above stating why relaxed ordering is sufficient.
+R4  no heap allocation in SMPMINE_HOT functions: functions annotated
+    SMPMINE_HOT (the per-transaction counting and subset-enumeration hot
+    paths) must not call new/malloc or growing container members. The
+    paper's Section 5 placement argument depends on those paths touching
+    only pre-placed memory. `hot-ok:` marks a vetted exception.
+R5  TRACE_SPAN phase names match IterationStats: a bare (dot-free) span
+    name must correspond to a `<name>_seconds` field in
+    src/core/stats.hpp (plus the per-k "iteration" wrapper), so traces
+    and the stats tables never disagree about phase naming. Dotted names
+    ("pool.task", "hashtree.remap") are subsystem events, exempt.
+
+Backends
+--------
+The default backend is a comment/string-aware regex pass that needs no
+third-party packages. When the libclang Python bindings are importable
+(`--backend clang` or `--backend auto`), R1 class/member discovery runs on
+the real AST instead; every other part (markers, the other rules) is
+text-based either way. Any libclang failure falls back to the regex pass
+per file, so the tool degrades instead of erroring on machines without a
+clang toolchain.
+
+Markers
+-------
+    // lint-ok: R<n> <reason>   suppress rule n for the next declaration
+    // relaxed-ok: <reason>     R3 justification
+    // hot-ok: <reason>         R4 exemption
+Markers are honored on the offending line or within the few lines above
+it. A marker without a reason is itself worth flagging in review.
+
+Exit status: 0 clean, 1 findings, 2 usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+# ---------------------------------------------------------------------------
+# Configuration
+
+RULE_IDS = ("R1", "R2", "R3", "R4", "R5")
+
+# Directories (relative to --root) whose classes R1 inspects.
+R1_SCOPE = ("src/parallel", "src/hashtree", "src/obs", "src/alloc")
+
+# The one directory allowed to use raw threading primitives.
+R2_EXEMPT = ("src/parallel",)
+
+# Files audited for relaxed atomics. A site in any other file is a finding
+# even if it carries a relaxed-ok comment — extend this list only with an
+# audit, not to silence the tool.
+R3_ALLOWLIST = (
+    "src/parallel/spinlock.hpp",
+    "src/parallel/barrier.hpp",
+    "src/obs/trace.hpp",
+    "src/obs/metrics.hpp",
+    "src/util/logging.cpp",
+    "src/hashtree/tree_build.cpp",
+    "src/hashtree/tree_count.cpp",
+    "src/hashtree/tree_remap.cpp",
+)
+
+STATS_HEADER = "src/core/stats.hpp"
+
+# Span names that are phases but not *_seconds fields: "iteration" is the
+# per-k wrapper whose children are the phase spans.
+R5_EXTRA_PHASES = ("iteration",)
+
+LOCK_TYPES = re.compile(
+    r"\b(SpinLock|Mutex|std::mutex|std::recursive_mutex|std::shared_mutex|"
+    r"std::timed_mutex|std::recursive_timed_mutex)\b"
+)
+# Synchronization primitives other than locks: they are the protection, not
+# the protected data, so R1 exempts them without treating the class as
+# lock-owning on their account.
+SYNC_TYPES = re.compile(
+    r"\b(Barrier|std::condition_variable(_any)?|std::counting_semaphore|"
+    r"std::binary_semaphore|std::latch|std::barrier)\b"
+)
+GUARD_ANNOTATIONS = re.compile(r"\b(GUARDED_BY|PT_GUARDED_BY)\s*\(")
+CAPABILITY_CLASS = re.compile(r"\b(CAPABILITY\s*\(|SCOPED_CAPABILITY\b)")
+
+R2_TOKENS = re.compile(
+    r"\b(std::thread|std::jthread|std::mutex|std::recursive_mutex|"
+    r"std::shared_mutex|std::timed_mutex|std::recursive_timed_mutex|"
+    r"pthread_[a-z_]+\s*\()"
+)
+
+R4_ALLOC = re.compile(
+    r"(\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|\bstrdup\s*\(|"
+    r"\bmake_unique\b|\bmake_shared\b|\bto_string\s*\(|"
+    r"\.\s*(push_back|emplace_back|emplace|insert|resize|reserve|assign|"
+    r"append)\s*\()"
+)
+
+TRACE_MACRO = re.compile(
+    r"\bSMPMINE_TRACE_(?:SPAN|SPAN_ARG|PHASE)\s*\(\s*(?:\w+\s*,\s*)?\"([^\"]+)\""
+)
+
+MARKER_WINDOW = 4  # lines above the site in which a marker still applies
+
+SOURCE_EXTS = (".hpp", ".cpp", ".h", ".cc", ".cxx", ".hxx")
+
+
+@dataclass
+class Finding:
+    path: str  # root-relative
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """One parsed translation unit: raw text for markers, stripped for code."""
+
+    rel: str
+    raw_lines: list[str]
+    code_lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.code_lines = strip_comments_and_strings(self.raw_lines)
+
+    def has_marker(self, line_no: int, pattern: re.Pattern[str],
+                   window: int = MARKER_WINDOW) -> bool:
+        """True if `pattern` appears on raw line `line_no` (1-based) or within
+        `window` lines above it."""
+        lo = max(0, line_no - 1 - window)
+        return any(pattern.search(self.raw_lines[i])
+                   for i in range(lo, min(line_no, len(self.raw_lines))))
+
+
+MARKER_OK = {rule: re.compile(rf"lint-ok:\s*{rule}\b") for rule in RULE_IDS}
+MARKER_RELAXED = re.compile(r"relaxed-ok:")
+MARKER_HOT = re.compile(r"hot-ok:")
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blanks out comments and string/char literal contents, preserving the
+    line structure so line numbers survive. Good enough for token scanning;
+    raw lines remain available for marker lookup."""
+    out: list[str] = []
+    in_block = False
+    for line in lines:
+        res: list[str] = []
+        i, n = 0, len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if ch == "/" and nxt == "/":
+                break
+            if ch == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if ch in "\"'":
+                quote = ch
+                res.append(quote)
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        res.append(quote)
+                        i += 1
+                        break
+                    i += 1
+                continue
+            res.append(ch)
+            i += 1
+        out.append("".join(res))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Class/member model shared by both backends
+
+
+@dataclass
+class Member:
+    name: str
+    line: int  # 1-based
+    decl: str  # joined declaration text (stripped)
+    is_mutable: bool
+    is_static: bool
+    is_const: bool
+    is_atomic: bool
+    is_lock: bool
+    is_annotated: bool
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    line: int
+    is_capability: bool
+    members: list[Member] = field(default_factory=list)
+
+    @property
+    def owns_lock(self) -> bool:
+        return any(m.is_lock for m in self.members)
+
+
+ANNOT_MACROS = re.compile(
+    r"\b(GUARDED_BY|PT_GUARDED_BY|REQUIRES(_SHARED)?|ACQUIRE(_SHARED)?|"
+    r"RELEASE(_SHARED|_GENERIC)?|TRY_ACQUIRE(_SHARED)?|EXCLUDES|"
+    r"RETURN_CAPABILITY|ASSERT_CAPABILITY|NO_THREAD_SAFETY_ANALYSIS)\b"
+    r"(\s*\([^()]*\))?"
+)
+
+SKIP_STMT = re.compile(
+    r"^\s*(public|private|protected)\s*:|"
+    r"^\s*(using|typedef|friend|static_assert|template|enum)\b"
+)
+
+CLASS_DECL = re.compile(r"\b(class|struct)\s+(?:\w+\s+)*?(\w+)[^;{]*\{")
+
+
+def strip_template_args(text: str) -> str:
+    """Removes <...> template argument lists (nesting-aware) so that parens
+    inside them don't masquerade as function parameter lists."""
+    res: list[str] = []
+    depth = 0
+    for i, ch in enumerate(text):
+        if ch == "<":
+            # Heuristic: a '<' directly after an identifier/:: opens a
+            # template list; a comparison is surrounded by spaces.
+            prev = text[i - 1] if i else ""
+            if depth > 0 or prev.isalnum() or prev in "_:>":
+                depth += 1
+                continue
+        if ch == ">" and depth > 0:
+            depth -= 1
+            continue
+        if depth == 0:
+            res.append(ch)
+    return "".join(res)
+
+
+def analyze_member_stmt(stmt: str, line: int) -> Member | None:
+    """Classifies one class-body statement (text up to ';', braces already
+    balanced away). Returns None for anything that is not a data member."""
+    # Access-specifier labels end in ':' not ';', so they arrive glued to the
+    # member that follows them; peel them off before classifying.
+    stmt = re.sub(r"^\s*((public|private|protected)\s*:\s*)+", "", stmt)
+    if SKIP_STMT.search(stmt):
+        return None
+    is_annotated = bool(GUARD_ANNOTATIONS.search(stmt))
+    core = ANNOT_MACROS.sub(" ", stmt)
+    # Drop initializers: `= ...` and brace-init `{...}` (braces were already
+    # flattened by the parser, `= nullptr` etc. remain).
+    core = re.sub(r"=.*$", "", core)
+    core = strip_template_args(core)
+    if "(" in core:
+        return None  # function declaration (or constructor etc.)
+    is_lock = bool(LOCK_TYPES.search(core))
+    toks = core.replace(";", " ").split()
+    if not toks:
+        return None
+    name = toks[-1].lstrip("*&")
+    if not re.fullmatch(r"\w+(\[\w*\])?", name) or name in ("operator",):
+        return None
+    name = re.sub(r"\[\w*\]$", "", name)
+    return Member(
+        name=name,
+        line=line,
+        decl=stmt.strip(),
+        is_mutable=bool(re.search(r"\bmutable\b", core)),
+        is_static=bool(re.search(r"\bstatic\b", core)),
+        is_const=bool(re.search(r"\bconst(expr)?\b", core)),
+        is_atomic=bool(re.search(r"\b(std::)?atomic(_ref)?\b", core)),
+        is_lock=is_lock,
+        is_annotated=is_annotated,
+    )
+
+
+def iter_classes_regex(src: SourceFile) -> list[ClassInfo]:
+    """Finds class/struct bodies and their data members with a brace-depth
+    scanner over the comment-stripped text."""
+    classes: list[ClassInfo] = []
+    # (class_info, body_depth) — innermost last.
+    stack: list[tuple[ClassInfo, int]] = []
+    depth = 0
+    stmt_parts: list[str] = []
+    stmt_line = 0
+
+    for idx, line in enumerate(src.code_lines):
+        i = 0
+        # Class declarations can open on this line; find them before brace
+        # bookkeeping so we know which '{' starts a class body.
+        pending: dict[int, ClassInfo] = {}
+        for m in CLASS_DECL.finditer(line):
+            cap = bool(CAPABILITY_CLASS.search(line))
+            pending[m.end() - 1] = ClassInfo(m.group(2), idx + 1, cap)
+        while i < len(line):
+            ch = line[i]
+            if ch == "{":
+                if i in pending:
+                    stack.append((pending[i], depth + 1))
+                depth += 1
+                # A '{' inside a class at member level starts a nested body
+                # (function/initializer); the statement accumulator must not
+                # leak across it.
+                if not (stack and depth == stack[-1][1]):
+                    stmt_parts, stmt_line = [], 0
+            elif ch == "}":
+                if stack and depth == stack[-1][1]:
+                    classes.append(stack.pop()[0])
+                    stmt_parts, stmt_line = [], 0
+                depth -= 1
+            elif stack and depth == stack[-1][1]:
+                if ch == ";":
+                    stmt = " ".join("".join(stmt_parts).split())
+                    if stmt:
+                        member = analyze_member_stmt(stmt, stmt_line or idx + 1)
+                        if member is not None:
+                            stack[-1][0].members.append(member)
+                    stmt_parts, stmt_line = [], 0
+                else:
+                    if not stmt_parts and not ch.isspace():
+                        stmt_line = idx + 1
+                    stmt_parts.append(ch)
+            i += 1
+        if stack and depth == stack[-1][1] and stmt_parts:
+            stmt_parts.append(" ")
+    return classes
+
+
+# ---------------------------------------------------------------------------
+# Optional libclang backend (AST-accurate R1 class discovery)
+
+
+def load_libclang():
+    try:
+        from clang import cindex  # type: ignore
+
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        return None
+
+
+def iter_classes_clang(cindex, path: str, src: SourceFile) -> list[ClassInfo]:
+    """AST-based equivalent of iter_classes_regex. Markers and annotation
+    macros are still resolved from source text (the macros expand to nothing
+    without -Wthread-safety defines), so only structure comes from the AST."""
+    index = cindex.Index.create()
+    tu = index.parse(path, args=["-std=c++20", "-fsyntax-only"])
+    classes: list[ClassInfo] = []
+
+    def field_member(cursor) -> Member | None:
+        line = cursor.location.line
+        decl = src.code_lines[line - 1].strip() if line <= len(
+            src.code_lines) else ""
+        type_spelling = cursor.type.spelling
+        return Member(
+            name=cursor.spelling,
+            line=line,
+            decl=decl,
+            is_mutable=cursor.is_mutable_field(),
+            is_static=False,  # FIELD_DECL excludes statics
+            is_const=cursor.type.is_const_qualified(),
+            is_atomic="atomic" in type_spelling,
+            is_lock=bool(LOCK_TYPES.search(type_spelling)),
+            is_annotated=bool(GUARD_ANNOTATIONS.search(decl)),
+        )
+
+    def walk(cursor):
+        for child in cursor.get_children():
+            if child.location.file and os.path.samefile(
+                    str(child.location.file), path):
+                if child.kind in (cindex.CursorKind.CLASS_DECL,
+                                  cindex.CursorKind.STRUCT_DECL):
+                    if child.is_definition():
+                        line = child.location.line
+                        head = src.code_lines[line - 1] if line <= len(
+                            src.code_lines) else ""
+                        info = ClassInfo(child.spelling, line,
+                                         bool(CAPABILITY_CLASS.search(head)))
+                        for sub in child.get_children():
+                            if sub.kind == cindex.CursorKind.FIELD_DECL:
+                                member = field_member(sub)
+                                if member is not None:
+                                    info.members.append(member)
+                        classes.append(info)
+                walk(child)
+
+    walk(tu.cursor)
+    return classes
+
+
+# ---------------------------------------------------------------------------
+# Rules
+
+
+def in_scope(rel: str, dirs: tuple[str, ...]) -> bool:
+    rel = rel.replace(os.sep, "/")
+    return any(rel == d or rel.startswith(d + "/") for d in dirs)
+
+
+def check_r1(src: SourceFile, classes: list[ClassInfo]) -> list[Finding]:
+    findings: list[Finding] = []
+    if not in_scope(src.rel, R1_SCOPE):
+        return findings
+    for cls in classes:
+        if cls.is_capability:
+            continue  # the class *is* the lock
+        for m in cls.members:
+            if m.is_static or m.is_atomic or m.is_lock or m.is_annotated:
+                continue
+            if SYNC_TYPES.search(m.decl):
+                continue
+            needs = (cls.owns_lock and not m.is_const) or m.is_mutable
+            if not needs:
+                continue
+            if src.has_marker(m.line, MARKER_OK["R1"]):
+                continue
+            why = ("mutable member"
+                   if m.is_mutable and not cls.owns_lock else
+                   f"member of lock-owning class '{cls.name}'")
+            findings.append(Finding(
+                src.rel, m.line, "R1",
+                f"field '{m.name}' ({why}) has no GUARDED_BY/PT_GUARDED_BY "
+                f"annotation and no 'lint-ok: R1' justification"))
+    return findings
+
+
+def check_r2(src: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    if not src.rel.replace(os.sep, "/").startswith("src/"):
+        return findings
+    if in_scope(src.rel, R2_EXEMPT):
+        return findings
+    for idx, line in enumerate(src.code_lines):
+        if line.lstrip().startswith("#"):
+            continue  # includes are fine; usage is what leaks primitives
+        m = R2_TOKENS.search(line)
+        if m is None:
+            continue
+        if src.has_marker(idx + 1, MARKER_OK["R2"]):
+            continue
+        findings.append(Finding(
+            src.rel, idx + 1, "R2",
+            f"raw threading primitive '{m.group(1).strip()}' outside "
+            f"src/parallel — use Mutex/SpinLock/ThreadPool wrappers (or "
+            f"justify with 'lint-ok: R2')"))
+    return findings
+
+
+def check_r3(src: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    if not src.rel.replace(os.sep, "/").startswith("src/"):
+        return findings
+    allowed = src.rel.replace(os.sep, "/") in R3_ALLOWLIST
+    for idx, line in enumerate(src.code_lines):
+        if "memory_order_relaxed" not in line:
+            continue
+        if not allowed:
+            findings.append(Finding(
+                src.rel, idx + 1, "R3",
+                "memory_order_relaxed in a file outside the audited "
+                "allowlist (tools/lint/smpmine_lint.py R3_ALLOWLIST)"))
+        elif not src.has_marker(idx + 1, MARKER_RELAXED):
+            findings.append(Finding(
+                src.rel, idx + 1, "R3",
+                "memory_order_relaxed without a 'relaxed-ok:' comment "
+                "stating why relaxed ordering is sufficient"))
+    return findings
+
+
+def hot_function_bodies(src: SourceFile):
+    """Yields (start_line, end_line, name) for each SMPMINE_HOT function
+    definition: from the token to the matching close of its body brace."""
+    n = len(src.code_lines)
+    idx = 0
+    while idx < n:
+        line = src.code_lines[idx]
+        if "SMPMINE_HOT" not in line or line.lstrip().startswith("#"):
+            idx += 1
+            continue
+        name_m = re.search(r"(\w+)\s*\(", line[line.find("SMPMINE_HOT"):])
+        name = name_m.group(1) if name_m else "?"
+        depth = 0
+        seen_open = False
+        j = idx
+        while j < n:
+            for ch in src.code_lines[j]:
+                if ch == "{":
+                    depth += 1
+                    seen_open = True
+                elif ch == "}":
+                    depth -= 1
+            if seen_open and depth <= 0:
+                break
+            if not seen_open and ";" in src.code_lines[j]:
+                break  # declaration only, no body
+            j += 1
+        yield idx + 1, min(j, n - 1) + 1, name
+        idx = j + 1
+
+
+def check_r4(src: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    for start, end, name in hot_function_bodies(src):
+        for line_no in range(start, end + 1):
+            code = src.code_lines[line_no - 1]
+            m = R4_ALLOC.search(code)
+            if m is None:
+                continue
+            if src.has_marker(line_no, MARKER_HOT, window=2):
+                continue
+            findings.append(Finding(
+                src.rel, line_no, "R4",
+                f"heap allocation ('{m.group(0).strip()}') inside "
+                f"SMPMINE_HOT function '{name}' — hot paths must touch "
+                f"only pre-placed memory (or justify with 'hot-ok:')"))
+    return findings
+
+
+def load_phases(root: str) -> set[str] | None:
+    path = os.path.join(root, STATS_HEADER)
+    if not os.path.isfile(path):
+        return None
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        text = fh.read()
+    phases = set(re.findall(r"\bdouble\s+(\w+)_seconds\s*=", text))
+    phases.update(R5_EXTRA_PHASES)
+    return phases
+
+
+def check_r5(src: SourceFile, phases: set[str] | None) -> list[Finding]:
+    findings: list[Finding] = []
+    if phases is None:
+        return findings
+    for idx, line in enumerate(src.raw_lines):
+        for m in TRACE_MACRO.finditer(line):
+            name = m.group(1)
+            if "." in name:
+                continue  # dotted subsystem event, not a phase
+            if name in phases:
+                continue
+            if src.has_marker(idx + 1, MARKER_OK["R5"]):
+                continue
+            findings.append(Finding(
+                src.rel, idx + 1, "R5",
+                f"trace span '{name}' matches no <phase>_seconds field in "
+                f"{STATS_HEADER} — phase names must agree between traces "
+                f"and IterationStats"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+
+def collect_files(root: str, paths: list[str]) -> list[str]:
+    rels: list[str] = []
+    bases = paths or ["src"]
+    for base in bases:
+        absolute = os.path.join(root, base)
+        if os.path.isfile(absolute):
+            rels.append(os.path.relpath(absolute, root))
+            continue
+        for dirpath, _dirnames, filenames in os.walk(absolute):
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTS):
+                    rels.append(
+                        os.path.relpath(os.path.join(dirpath, fn), root))
+    return sorted(set(rels))
+
+
+def default_root() -> str:
+    # tools/lint/smpmine_lint.py -> repo root two levels up.
+    return os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="smpmine-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=default_root(),
+                        help="project root (default: repo containing this "
+                             "script)")
+    parser.add_argument("--backend", choices=("auto", "regex", "clang"),
+                        default="auto",
+                        help="R1 class discovery backend (default: auto — "
+                             "libclang when importable, else regex)")
+    parser.add_argument("--rules", default=",".join(RULE_IDS),
+                        help="comma-separated subset of rules to run")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories relative to --root "
+                             "(default: src)")
+    args = parser.parse_args(argv)
+
+    rules = tuple(r.strip() for r in args.rules.split(",") if r.strip())
+    bad = [r for r in rules if r not in RULE_IDS]
+    if bad:
+        print(f"smpmine-lint: unknown rule(s): {', '.join(bad)}",
+              file=sys.stderr)
+        return 2
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"smpmine-lint: no such root: {root}", file=sys.stderr)
+        return 2
+
+    cindex = None
+    if args.backend in ("auto", "clang"):
+        cindex = load_libclang()
+        if cindex is None and args.backend == "clang":
+            print("smpmine-lint: libclang bindings unavailable; "
+                  "falling back to the regex backend", file=sys.stderr)
+
+    phases = load_phases(root) if "R5" in rules else None
+    findings: list[Finding] = []
+    for rel in collect_files(root, args.paths):
+        path = os.path.join(root, rel)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                raw = fh.read().splitlines()
+        except OSError as err:
+            print(f"smpmine-lint: cannot read {rel}: {err}", file=sys.stderr)
+            return 2
+        src = SourceFile(rel=rel, raw_lines=raw)
+        classes: list[ClassInfo] = []
+        if "R1" in rules and in_scope(rel, R1_SCOPE):
+            if cindex is not None:
+                try:
+                    classes = iter_classes_clang(cindex, path, src)
+                except Exception:
+                    classes = iter_classes_regex(src)
+            else:
+                classes = iter_classes_regex(src)
+        if "R1" in rules:
+            findings.extend(check_r1(src, classes))
+        if "R2" in rules:
+            findings.extend(check_r2(src))
+        if "R3" in rules:
+            findings.extend(check_r3(src))
+        if "R4" in rules:
+            findings.extend(check_r4(src))
+        if "R5" in rules:
+            findings.extend(check_r5(src, phases))
+
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        print(f.render())
+    if findings:
+        print(f"smpmine-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
