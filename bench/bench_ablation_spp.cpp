@@ -33,6 +33,9 @@ int main(int argc, char** argv) {
       opts.placement = PlacementPolicy::SPP;
       opts.spp_variant = variant;
       opts.collect_locality = true;
+      // SPP-variant study walks the pointer tree; the frozen kernel would
+      // mask per-kind segregation effects.
+      opts.count_kernel = CountKernel::Pointer;
       const MiningResult r = run_miner(db, opts, env);
 
       double same_line = 0.0, stride = 0.0, weight = 0.0;

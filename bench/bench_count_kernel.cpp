@@ -1,0 +1,150 @@
+// Counting-kernel comparison: frozen flat CSR kernel vs the pointer walk.
+//
+// Not a paper figure — this measures the PR's frozen-tree optimization.
+// Both kernels mine the same dataset end-to-end; the reported metric is
+// the counting cost per transaction-iteration, where the flat kernel is
+// charged for its freeze phase too (the freeze is overhead the pointer
+// walk does not pay, so it must earn it back):
+//
+//   ns/txn = sum_k(freeze_s + count_s) / (iterations_counted * |D|)
+//
+// taken as the median over --repeat runs. Results go to stdout as a table
+// and to --out as BENCH_counting.json (schema smpmine.bench.v1), which
+// scripts/bench_compare.py validates and gates on.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/json_writer.hpp"
+
+using namespace smpmine;
+using namespace smpmine::bench;
+
+namespace {
+
+struct KernelRun {
+  double median_ns_per_txn = 0.0;
+  double median_counting_seconds = 0.0;
+  std::uint64_t hits = 0;
+  std::uint64_t iterations = 0;
+  std::uint32_t tile_size = 0;
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Counting seconds for one run: count phase plus (for the flat kernel)
+/// the freeze that produced the structure being counted.
+double counting_seconds(const MiningResult& r) {
+  double s = 0.0;
+  for (const IterationStats& it : r.iterations) {
+    s += it.freeze_seconds + it.count_seconds;
+  }
+  return s;
+}
+
+KernelRun measure(const Database& db, const BenchEnv& env,
+                  CountKernel kernel, std::uint32_t threads) {
+  MinerOptions opts;
+  opts.min_support = 0.005;
+  opts.threads = threads;
+  opts.count_kernel = kernel;
+
+  std::vector<double> seconds;
+  KernelRun run;
+  for (std::uint32_t r = 0; r < env.repeat; ++r) {
+    const MiningResult res = mine(db, opts);
+    seconds.push_back(counting_seconds(res));
+    if (r == 0) {
+      for (const IterationStats& it : res.iterations) {
+        if (it.candidates == 0) continue;
+        run.hits += it.hits;
+        ++run.iterations;
+        run.tile_size = std::max(run.tile_size, it.count_tile_size);
+      }
+    }
+  }
+  run.median_counting_seconds = median(std::move(seconds));
+  const double txn_iters =
+      static_cast<double>(run.iterations) * static_cast<double>(db.size());
+  run.median_ns_per_txn =
+      txn_iters > 0 ? run.median_counting_seconds * 1e9 / txn_iters : 0.0;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  add_common_flags(cli);
+  cli.add_flag("out", "JSON artifact path", "BENCH_counting.json");
+  if (!cli.parse(argc, argv)) return 1;
+  const BenchEnv env = parse_env(cli, {"T10.I4.D100K"}, {1});
+  const std::string out_path = cli.get("out", "BENCH_counting.json");
+
+  print_header("Counting kernel: frozen flat CSR vs pointer walk",
+               "(not a paper figure; freeze time charged to flat)", env);
+
+  TextTable table({"Database", "P", "kernel", "count ns/txn", "hits",
+                   "tile", "speedup"});
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "smpmine.bench.v1");
+  w.kv("bench", "count_kernel");
+  w.kv("scale", env.scale);
+  w.key("runs").begin_array();
+
+  for (const std::string& name : env.datasets) {
+    const Database db = make_dataset(name, env);
+    for (const std::uint32_t threads : env.thread_counts) {
+      const KernelRun pointer =
+          measure(db, env, CountKernel::Pointer, threads);
+      const KernelRun flat = measure(db, env, CountKernel::Flat, threads);
+      const double speedup =
+          flat.median_ns_per_txn > 0
+              ? pointer.median_ns_per_txn / flat.median_ns_per_txn
+              : 0.0;
+
+      const std::string label = scaled_name(name, env);
+      const KernelRun* runs[2] = {&pointer, &flat};
+      const char* names[2] = {"pointer", "flat"};
+      for (int i = 0; i < 2; ++i) {
+        table.add_row({label, std::to_string(threads), names[i],
+                       TextTable::num(runs[i]->median_ns_per_txn, 1),
+                       std::to_string(runs[i]->hits),
+                       std::to_string(runs[i]->tile_size),
+                       i == 0 ? "1.00" : TextTable::num(speedup, 2)});
+        w.begin_object();
+        w.kv("dataset", label);
+        w.kv("threads", threads);
+        w.kv("kernel", names[i]);
+        w.kv("median_ns_per_transaction", runs[i]->median_ns_per_txn);
+        w.kv("median_counting_seconds", runs[i]->median_counting_seconds);
+        w.kv("hits", runs[i]->hits);
+        w.kv("iterations", runs[i]->iterations);
+        w.kv("tile_size", runs[i]->tile_size);
+        w.kv("speedup_vs_pointer", i == 0 ? 1.0 : speedup);
+        w.end_object();
+      }
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

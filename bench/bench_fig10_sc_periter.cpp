@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
     MinerOptions base_opts;
     base_opts.min_support = support;
     base_opts.subset_check = SubsetCheck::LeafVisited;
+    // Subset-check study: pin the pointer walk (flat always dedups).
+    base_opts.count_kernel = CountKernel::Pointer;
     MinerOptions sc_opts = base_opts;
     sc_opts.subset_check = SubsetCheck::FrameLocal;
 

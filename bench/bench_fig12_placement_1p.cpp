@@ -60,6 +60,9 @@ int main(int argc, char** argv) {
         opts.min_support = support;
         opts.placement = policy;
         opts.collect_locality = true;
+        // Placement study walks the pointer tree; the frozen kernel reads
+        // its own contiguous arrays and would mask block placement.
+        opts.count_kernel = CountKernel::Pointer;
         const MiningResult r = run_miner(db, opts, env);
         if (policy == PlacementPolicy::Malloc) base_wall = r.total_seconds;
 

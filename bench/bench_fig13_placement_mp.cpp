@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
           opts.threads = threads;
           opts.placement = policy;
           opts.collect_locality = true;
+          // Placement study walks the pointer tree; the frozen kernel reads
+          // its own contiguous arrays and would mask block placement.
+          opts.count_kernel = CountKernel::Pointer;
           const MiningResult r = run_miner(db, opts, env);
           const double modeled = r.modeled_total_seconds();
           if (policy == PlacementPolicy::Malloc) base_time = modeled;

@@ -18,6 +18,9 @@ MinerOptions config(std::uint32_t threads, SubsetCheck check) {
   opts.min_support = 0.005;
   opts.threads = threads;
   opts.subset_check = check;
+  // This figure studies the pointer-walk subset checks; the flat kernel
+  // always dedups frame-locally, which would erase the contrast.
+  opts.count_kernel = CountKernel::Pointer;
   return opts;
 }
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate and gate a BENCH_counting.json artifact.
+
+Reads the smpmine.bench.v1 JSON that bench_count_kernel emits, checks the
+schema, prints a summary, and (optionally) fails if the flat kernel's
+speedup over the pointer walk drops below --min-speedup. CI runs this on a
+small-N smoke artifact with a loose gate; the committed full-scale artifact
+is gated at the PR's acceptance threshold (1.3x).
+
+Usage:
+    scripts/bench_compare.py BENCH_counting.json [--min-speedup 1.3]
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "smpmine.bench.v1"
+
+RUN_FIELDS = {
+    "dataset": str,
+    "threads": int,
+    "kernel": str,
+    "median_ns_per_transaction": (int, float),
+    "median_counting_seconds": (int, float),
+    "hits": int,
+    "iterations": int,
+    "tile_size": int,
+    "speedup_vs_pointer": (int, float),
+}
+
+
+def fail(msg: str) -> None:
+    print(f"bench_compare: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(doc: dict) -> list:
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if doc.get("bench") != "count_kernel":
+        fail(f"bench is {doc.get('bench')!r}, want 'count_kernel'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("runs[] missing or empty")
+    for i, run in enumerate(runs):
+        for field, types in RUN_FIELDS.items():
+            if field not in run:
+                fail(f"runs[{i}] missing field {field!r}")
+            if not isinstance(run[field], types):
+                fail(f"runs[{i}].{field} has type {type(run[field]).__name__}")
+        if run["kernel"] not in ("pointer", "flat"):
+            fail(f"runs[{i}].kernel is {run['kernel']!r}")
+    return runs
+
+
+def pair_up(runs: list) -> dict:
+    """Group runs by (dataset, threads) -> {kernel: run}."""
+    pairs = {}
+    for run in runs:
+        pairs.setdefault((run["dataset"], run["threads"]), {})[
+            run["kernel"]
+        ] = run
+    for key, kernels in pairs.items():
+        if set(kernels) != {"pointer", "flat"}:
+            fail(f"{key}: expected one pointer and one flat run, "
+                 f"got {sorted(kernels)}")
+        # Both kernels count the same database: identical hit totals are
+        # the correctness signature, not just a nicety.
+        if kernels["pointer"]["hits"] != kernels["flat"]["hits"]:
+            fail(f"{key}: hit counts diverge "
+                 f"(pointer {kernels['pointer']['hits']} != "
+                 f"flat {kernels['flat']['hits']})")
+    return pairs
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("artifact", help="BENCH_counting.json path")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="fail if any flat/pointer speedup is below this")
+    args = ap.parse_args()
+
+    with open(args.artifact) as f:
+        doc = json.load(f)
+    runs = validate(doc)
+    pairs = pair_up(runs)
+
+    print(f"{'dataset':<16} {'P':>2} {'pointer ns/txn':>15} "
+          f"{'flat ns/txn':>12} {'speedup':>8}")
+    worst = None
+    for (dataset, threads), kernels in sorted(pairs.items()):
+        ptr = kernels["pointer"]["median_ns_per_transaction"]
+        flat = kernels["flat"]["median_ns_per_transaction"]
+        speedup = kernels["flat"]["speedup_vs_pointer"]
+        print(f"{dataset:<16} {threads:>2} {ptr:>15.1f} {flat:>12.1f} "
+              f"{speedup:>8.2f}")
+        if worst is None or speedup < worst:
+            worst = speedup
+
+    if args.min_speedup is not None and worst < args.min_speedup:
+        fail(f"worst speedup {worst:.2f}x below gate {args.min_speedup}x")
+    print(f"bench_compare: OK (worst speedup {worst:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

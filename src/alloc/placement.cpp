@@ -121,6 +121,11 @@ Region& PlacementArenas::remap_target() {
   return *remap_;
 }
 
+Region& PlacementArenas::freeze_target() {
+  if (!freeze_) freeze_ = std::make_unique<Region>();
+  return *freeze_;
+}
+
 void PlacementArenas::reset() {
   if (policy_uses_region(policy_)) {
     static_cast<Region*>(tree_.get())->reset();
@@ -130,6 +135,7 @@ void PlacementArenas::reset() {
   for (auto& region : extra_) region->reset();
   if (counters_) static_cast<Region*>(counters_.get())->reset();
   if (remap_) remap_->reset();
+  if (freeze_) freeze_->reset();
 }
 
 }  // namespace smpmine

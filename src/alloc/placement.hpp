@@ -102,6 +102,13 @@ class PlacementArenas {
   /// Fresh region the depth-first remap copies into (GPP family only).
   Region& remap_target();
 
+  /// Region the frozen flat counting kernel packs its CSR arrays into
+  /// (lazily created; reset together with the other arenas). Structure
+  /// arrays always come from a Region — contiguity is the kernel's point —
+  /// while the frozen counters still come from counters(), preserving the
+  /// L-* policies' read/write segregation.
+  Region& freeze_target();
+
   /// Recycles every arena for the next iteration's tree.
   void reset();
 
@@ -115,6 +122,7 @@ class PlacementArenas {
   std::unique_ptr<Arena> tree_;
   std::unique_ptr<Arena> counters_;  // null when not segregated
   std::unique_ptr<Region> remap_;    // lazily created
+  std::unique_ptr<Region> freeze_;   // lazily created
   /// Extra regions for the Individual/Grouped variants; entries may alias.
   std::vector<std::unique_ptr<Region>> extra_;
   Arena* kind_arena_[kNumBlockKinds] = {};

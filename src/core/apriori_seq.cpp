@@ -4,7 +4,8 @@
 // schemes degenerate to the identity, the per-leaf locks are uncontended,
 // and the database "partition" is the whole database. This wrapper pins the
 // configuration accordingly so callers get the textbook algorithm without
-// threading setup.
+// threading setup. The count-kernel choice (pointer walk vs frozen flat
+// tree) is orthogonal to the parallel scheme and passes through unchanged.
 #include "core/miner.hpp"
 #include "obs/trace.hpp"
 

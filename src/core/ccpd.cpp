@@ -11,44 +11,17 @@
 //   5. selection — candidates meeting min-support become F(k).
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "alloc/alloc_stats.hpp"
 #include "core/candidate_gen.hpp"
 #include "core/miner.hpp"
+#include "core/select.hpp"
+#include "hashtree/frozen_tree.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace smpmine {
-
-namespace {
-
-/// Sorts the surviving candidates lexicographically and packs them into
-/// F(k).
-FrequentSet select_frequent(const HashTree& tree, count_t min_count) {
-  const std::size_t k = tree.k();
-  std::vector<const Candidate*> survivors;
-  tree.for_each_candidate([&](const Candidate& cand) {
-    if (*cand.count >= min_count) survivors.push_back(&cand);
-  });
-  std::sort(survivors.begin(), survivors.end(),
-            [k](const Candidate* a, const Candidate* b) {
-              return compare_itemsets(a->view(k), b->view(k)) < 0;
-            });
-  if (survivors.empty()) return FrequentSet(k);
-
-  std::vector<item_t> flat;
-  flat.reserve(survivors.size() * k);
-  std::vector<count_t> counts;
-  counts.reserve(survivors.size());
-  for (const Candidate* cand : survivors) {
-    const auto view = cand->view(k);
-    flat.insert(flat.end(), view.begin(), view.end());
-    counts.push_back(*cand->count);
-  }
-  return FrequentSet(k, std::move(flat), std::move(counts));
-}
-
-}  // namespace
 
 MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
   MinerOptions opts = options;
@@ -73,6 +46,12 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
   PlacementArenas arenas(opts.placement, opts.spp_variant);
   DbRanges ranges = partition_database(db, threads, opts.db_partition);
 
+  // Per-thread counting contexts live across iterations: prepare_context
+  // re-sizes in place, so once the high-water tree size is reached the
+  // per-iteration counting setup allocates nothing.
+  std::vector<CountContext> contexts(threads);
+  std::vector<FlatCountContext> flat_contexts(threads);
+
   for (std::uint32_t k = 2; k <= opts.max_iterations; ++k) {
     const FrequentSet& prev = result.levels.back();
     if (prev.size() < 2) break;
@@ -80,7 +59,8 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     IterationStats it;
     it.k = k;
     // Master-track phase spans use the IterationStats names (candgen /
-    // remap / count / reduce / select); worker-track spans of the same name
+    // remap / freeze / count / reduce / select); worker-track spans of the
+    // same name
     // inside the run_spmd bodies give the per-thread timeline the paper's
     // imbalance figures are about. SMPMINE_TRACE_PHASE because the phases
     // share this scope — each span is closed explicitly where the matching
@@ -206,6 +186,22 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
                     : 0.0;
     }
 
+    // ---- freeze (flat kernel) ---------------------------------------------
+    // Snapshot the quiescent tree into the CSR flat layout on the master;
+    // the cost lands in freeze_seconds and thus in every kernel
+    // comparison. k > kMaxK (unreachable at realistic supports) falls back
+    // to the pointer kernel for the iteration.
+    const bool use_flat =
+        opts.count_kernel == CountKernel::Flat && k <= FrozenTree::kMaxK;
+    std::optional<FrozenTree> frozen;
+    if (use_flat) {
+      SMPMINE_TRACE_SPAN_ARG("freeze", "k", k);
+      WallTimer freeze_timer;
+      frozen.emplace(tree, arenas);
+      it.freeze_seconds = freeze_timer.seconds();
+      it.count_tile_size = frozen->tile_size();
+    }
+
     // ---- support counting -------------------------------------------------
     if (opts.db_partition == DbPartition::Adaptive) {
       // Re-cut for this iteration's C(l_t, k) workload; contiguous cuts
@@ -214,30 +210,46 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     }
     WallTimer count_timer;
     SMPMINE_TRACE_PHASE(count_span, "count", "k", k);
-    std::vector<CountContext> contexts(threads);
     std::vector<double> busy(threads, 0.0);
     pool.run_spmd([&](std::uint32_t tid) {
-      SMPMINE_TRACE_SPAN_ARG("count", "k", k);
       ThreadCpuTimer busy_timer;
-      CountContext ctx = tree.make_context(opts.subset_check);
-      for (std::uint64_t t = ranges.begin(tid); t < ranges.end(tid); ++t) {
-        tree.count_transaction(db.transaction(t), ctx);
+      if (use_flat) {
+        SMPMINE_TRACE_SPAN_ARG("count.flat", "k", k);
+        FlatCountContext& ctx = flat_contexts[tid];
+        frozen->prepare_context(ctx);
+        frozen->count_range(db, ranges.begin(tid), ranges.end(tid), ctx);
+      } else {
+        SMPMINE_TRACE_SPAN_ARG("count", "k", k);
+        CountContext& ctx = contexts[tid];
+        tree.prepare_context(opts.subset_check, ctx);
+        for (std::uint64_t t = ranges.begin(tid); t < ranges.end(tid); ++t) {
+          tree.count_transaction(db.transaction(t), ctx);
+        }
       }
       busy[tid] = busy_timer.seconds();
-      contexts[tid] = std::move(ctx);
     });
     it.count_seconds = count_timer.seconds();
     SMPMINE_TRACE_PHASE_END(count_span);
     it.count_busy_sum = std::accumulate(busy.begin(), busy.end(), 0.0);
     it.count_busy_max = *std::max_element(busy.begin(), busy.end());
-    for (const CountContext& ctx : contexts) {
-      it.internal_visits += ctx.internal_visits;
-      it.leaf_visits += ctx.leaf_visits;
-      it.containment_checks += ctx.containment_checks;
-      it.hits += ctx.hits;
+    if (use_flat) {
+      for (const FlatCountContext& ctx : flat_contexts) {
+        it.internal_visits += ctx.internal_visits;
+        it.leaf_visits += ctx.leaf_visits;
+        it.containment_checks += ctx.containment_checks;
+        it.hits += ctx.hits;
+        it.count_tiles += ctx.tiles;
+      }
+    } else {
+      for (const CountContext& ctx : contexts) {
+        it.internal_visits += ctx.internal_visits;
+        it.leaf_visits += ctx.leaf_visits;
+        it.containment_checks += ctx.containment_checks;
+        it.hits += ctx.hits;
+      }
     }
 
-    // ---- LCA reduction ------------------------------------------------------
+    // ---- LCA reduction + thaw ----------------------------------------------
     {
       SMPMINE_TRACE_SPAN_ARG("reduce", "k", k);
       WallTimer reduce_timer;
@@ -248,11 +260,20 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
           SMPMINE_TRACE_SPAN_ARG("reduce", "k", k);
           const std::uint32_t begin = std::min(n, tid * per);
           const std::uint32_t end = std::min(n, begin + per);
-          for (const CountContext& ctx : contexts) {
-            tree.reduce_into_shared(ctx, begin, end);
+          if (use_flat) {
+            for (const FlatCountContext& ctx : flat_contexts) {
+              frozen->reduce_into_shared(ctx, begin, end);
+            }
+          } else {
+            for (const CountContext& ctx : contexts) {
+              tree.reduce_into_shared(ctx, begin, end);
+            }
           }
         });
       }
+      // Publish the frozen supports back into the pointer tree so
+      // selection and rule generation read counters as usual.
+      if (use_flat) frozen->thaw_counts(tree);
       it.reduce_seconds = reduce_timer.seconds();
     }
 

@@ -13,6 +13,14 @@ const char* to_string(Algorithm a) {
   return "?";
 }
 
+const char* to_string(CountKernel k) {
+  switch (k) {
+    case CountKernel::Pointer: return "pointer";
+    case CountKernel::Flat: return "flat";
+  }
+  return "?";
+}
+
 void MinerOptions::validate() {
   if (min_support <= 0.0 || min_support > 1.0) {
     throw std::invalid_argument("min_support must be in (0, 1]");
@@ -45,7 +53,8 @@ std::string MinerOptions::summary() const {
      << " hash=" << to_string(hash_scheme)
      << " check=" << to_string(subset_check)
      << " place=" << to_string(placement)
-     << " counters=" << to_string(counter_mode);
+     << " counters=" << to_string(counter_mode)
+     << " kernel=" << to_string(count_kernel);
   return os.str();
 }
 

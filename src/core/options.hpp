@@ -23,6 +23,14 @@ enum class Algorithm {
 
 const char* to_string(Algorithm a);
 
+/// Support-counting backend.
+enum class CountKernel {
+  Pointer,  ///< the paper's recursive traversal over the pointer tree
+  Flat,     ///< frozen CSR layout + tiled iterative kernel (frozen_tree.hpp)
+};
+
+const char* to_string(CountKernel k);
+
 struct MinerOptions {
   /// Minimum support as a fraction of |D| (paper uses 0.5% and 0.1%).
   double min_support = 0.005;
@@ -52,6 +60,17 @@ struct MinerOptions {
   SppVariant spp_variant = SppVariant::Common;
   /// Counter update discipline; forced to PerThread by LCA-GPP.
   CounterMode counter_mode = CounterMode::Atomic;
+
+  // --- counting backend ---------------------------------------------------
+  /// Support-counting kernel. Flat freezes each iteration's tree into an
+  /// immutable CSR + SoA layout and counts with the tiled iterative kernel
+  /// (freeze cost is measured per iteration as freeze_seconds). Pointer
+  /// keeps the paper's recursive traversal; the traversal-mechanism
+  /// studies (subset-check short-circuiting, placement locality) pin it
+  /// because their subject *is* the pointer layout. The flat kernel's
+  /// bucket dedup is FrameLocal's regardless of subset_check, so support
+  /// counts are identical across all settings either way.
+  CountKernel count_kernel = CountKernel::Flat;
 
   // --- tree shape ----------------------------------------------------------
   std::uint32_t leaf_threshold = 8;  ///< paper's T

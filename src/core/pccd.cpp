@@ -12,18 +12,12 @@
 
 #include "core/candidate_gen.hpp"
 #include "core/miner.hpp"
+#include "core/select.hpp"
+#include "hashtree/frozen_tree.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace smpmine {
-namespace {
-
-struct Survivor {
-  const Candidate* cand;
-  std::size_t k;
-};
-
-}  // namespace
 
 MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
   MinerOptions opts = options;
@@ -54,6 +48,12 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     arenas.push_back(
         std::make_unique<PlacementArenas>(opts.placement, opts.spp_variant));
   }
+
+  // One counting context per thread for the whole run: prepare_context
+  // zero-fills in place each iteration, so steady-state iterations reuse
+  // the high-water-mark capacity instead of reallocating (see R4).
+  std::vector<CountContext> contexts(threads);
+  std::vector<FlatCountContext> flat_contexts(threads);
 
   for (std::uint32_t k = 2; k <= opts.max_iterations; ++k) {
     const FrequentSet& prev = result.levels.back();
@@ -134,59 +134,88 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
       it.tree_bytes += ts.bytes_used;
     }
 
+    // ---- freeze: each thread flattens its private tree -------------------
+    // k > kMaxK falls back to the pointer kernel for this iteration only
+    // (the flat kernel gathers candidates into a fixed-size stack buffer).
+    const bool use_flat =
+        opts.count_kernel == CountKernel::Flat && k <= FrozenTree::kMaxK;
+    std::vector<std::unique_ptr<FrozenTree>> frozen(threads);
+    if (use_flat) {
+      WallTimer freeze_timer;
+      SMPMINE_TRACE_PHASE(freeze_span, "freeze", "k", k);
+      pool.run_spmd([&](std::uint32_t tid) {
+        frozen[tid] =
+            std::make_unique<FrozenTree>(*trees[tid], *arenas[tid]);
+      });
+      SMPMINE_TRACE_PHASE_END(freeze_span);
+      it.freeze_seconds = freeze_timer.seconds();
+      it.count_tile_size = frozen.front()->tile_size();
+    }
+
     // ---- support counting: every thread scans the whole database ---------
     WallTimer count_timer;
     SMPMINE_TRACE_PHASE(count_span, "count", "k", k);
-    std::vector<CountContext> contexts(threads);
     std::vector<double> busy(threads, 0.0);
     pool.run_spmd([&](std::uint32_t tid) {
-      SMPMINE_TRACE_SPAN_ARG("count", "k", k);
       ThreadCpuTimer busy_timer;
-      CountContext ctx = trees[tid]->make_context(opts.subset_check);
-      for (std::uint64_t t = 0; t < db.size(); ++t) {
-        trees[tid]->count_transaction(db.transaction(t), ctx);
+      if (use_flat) {
+        SMPMINE_TRACE_SPAN_ARG("count.flat", "k", k);
+        FlatCountContext& ctx = flat_contexts[tid];
+        frozen[tid]->prepare_context(ctx);
+        frozen[tid]->count_range(db, 0, db.size(), ctx);
+      } else {
+        SMPMINE_TRACE_SPAN_ARG("count", "k", k);
+        CountContext& ctx = contexts[tid];
+        trees[tid]->prepare_context(opts.subset_check, ctx);
+        for (std::uint64_t t = 0; t < db.size(); ++t) {
+          trees[tid]->count_transaction(db.transaction(t), ctx);
+        }
       }
       busy[tid] = busy_timer.seconds();
-      contexts[tid] = std::move(ctx);
     });
     it.count_seconds = count_timer.seconds();
     SMPMINE_TRACE_PHASE_END(count_span);
     it.count_busy_sum = std::accumulate(busy.begin(), busy.end(), 0.0);
     it.count_busy_max = *std::max_element(busy.begin(), busy.end());
-    for (const CountContext& ctx : contexts) {
-      it.internal_visits += ctx.internal_visits;
-      it.leaf_visits += ctx.leaf_visits;
-      it.containment_checks += ctx.containment_checks;
-      it.hits += ctx.hits;
+    if (use_flat) {
+      for (std::uint32_t t = 0; t < threads; ++t) {
+        const FlatCountContext& ctx = flat_contexts[t];
+        it.internal_visits += ctx.internal_visits;
+        it.leaf_visits += ctx.leaf_visits;
+        it.containment_checks += ctx.containment_checks;
+        it.hits += ctx.hits;
+        it.count_tiles += ctx.tiles;
+      }
+    } else {
+      for (std::uint32_t t = 0; t < threads; ++t) {
+        const CountContext& ctx = contexts[t];
+        it.internal_visits += ctx.internal_visits;
+        it.leaf_visits += ctx.leaf_visits;
+        it.containment_checks += ctx.containment_checks;
+        it.hits += ctx.hits;
+      }
+    }
+
+    // ---- reduce: publish frozen counters back into the Candidates --------
+    if (use_flat) {
+      WallTimer reduce_timer;
+      SMPMINE_TRACE_PHASE(reduce_span, "reduce", "k", k);
+      for (std::uint32_t t = 0; t < threads; ++t) {
+        frozen[t]->thaw_counts(*trees[t]);
+      }
+      SMPMINE_TRACE_PHASE_END(reduce_span);
+      it.reduce_seconds = reduce_timer.seconds();
     }
 
     // ---- selection: master merges per-tree survivors ----------------------
     WallTimer select_timer;
     SMPMINE_TRACE_PHASE(select_span, "select", "k", k);
-    std::vector<Survivor> survivors;
-    for (const auto& tree : trees) {
-      tree->for_each_candidate([&](const Candidate& cand) {
-        if (*cand.count >= min_count) survivors.push_back({&cand, k});
-      });
-    }
-    std::sort(survivors.begin(), survivors.end(),
-              [k](const Survivor& a, const Survivor& b) {
-                return compare_itemsets(a.cand->view(k), b.cand->view(k)) < 0;
-              });
-    std::vector<item_t> fk_flat;
-    std::vector<count_t> fk_counts;
-    for (const Survivor& s : survivors) {
-      const auto view = s.cand->view(k);
-      fk_flat.insert(fk_flat.end(), view.begin(), view.end());
-      fk_counts.push_back(*s.cand->count);
-    }
+    FrequentSet fk = select_frequent(trees, min_count);
     SMPMINE_TRACE_PHASE_END(select_span);
     it.select_seconds = select_timer.seconds();
-    it.frequent = fk_counts.size();
-    const bool done = fk_counts.empty();
-    if (!done) {
-      result.levels.emplace_back(k, std::move(fk_flat), std::move(fk_counts));
-    }
+    it.frequent = fk.size();
+    const bool done = fk.size() == 0;
+    if (!done) result.levels.push_back(std::move(fk));
     result.iterations.push_back(it);
     if (done) break;
   }

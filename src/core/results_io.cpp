@@ -143,6 +143,7 @@ void write_iteration(obs::JsonWriter& w, const IterationStats& it) {
   w.kv("leaf_occupancy_stddev", it.leaf_occupancy_stddev);
   w.kv("candgen_seconds", it.candgen_seconds);
   w.kv("remap_seconds", it.remap_seconds);
+  w.kv("freeze_seconds", it.freeze_seconds);
   w.kv("count_seconds", it.count_seconds);
   w.kv("reduce_seconds", it.reduce_seconds);
   w.kv("select_seconds", it.select_seconds);
@@ -155,6 +156,8 @@ void write_iteration(obs::JsonWriter& w, const IterationStats& it) {
   w.kv("leaf_visits", it.leaf_visits);
   w.kv("containment_checks", it.containment_checks);
   w.kv("hits", it.hits);
+  w.kv("count_tiles", it.count_tiles);
+  w.kv("count_tile_size", it.count_tile_size);
   w.end_object();
 }
 

@@ -1,0 +1,73 @@
+#include "core/select.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+
+FrequentSet FrequentPacker::finish() {
+  const std::size_t n = counts_.size();
+  if (n == 0) return FrequentSet(k_);
+
+  // Sort an index permutation over the packed records: comparisons read
+  // contiguous flat storage instead of chasing per-candidate blocks.
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  const item_t* flat = flat_.data();
+  const std::size_t k = k_;
+  std::sort(perm.begin(), perm.end(),
+            [flat, k](std::uint32_t a, std::uint32_t b) {
+              return compare_itemsets({flat + a * k, k}, {flat + b * k, k}) <
+                     0;
+            });
+
+  std::vector<item_t> sorted_flat(n * k);
+  std::vector<count_t> sorted_counts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t src = perm[i];
+    std::copy_n(flat + src * k, k, sorted_flat.begin() + i * k);
+    sorted_counts[i] = counts_[src];
+  }
+  flat_.clear();
+  counts_.clear();
+  return FrequentSet(k, std::move(sorted_flat), std::move(sorted_counts));
+}
+
+FrequentSet select_frequent(const HashTree& tree, count_t min_count) {
+  const std::size_t k = tree.k();
+  std::size_t survivors = 0;
+  tree.for_each_candidate([&](const Candidate& cand) {
+    if (*cand.count >= min_count) ++survivors;
+  });
+  FrequentPacker packer(k);
+  packer.reserve(survivors);
+  tree.for_each_candidate([&](const Candidate& cand) {
+    if (*cand.count >= min_count) packer.add(cand.view(k), *cand.count);
+  });
+  return packer.finish();
+}
+
+FrequentSet select_frequent(
+    const std::vector<std::unique_ptr<HashTree>>& trees, count_t min_count) {
+  if (trees.empty()) return FrequentSet(0);
+  const std::size_t k = trees.front()->k();
+  std::size_t survivors = 0;
+  for (const auto& tree : trees) {
+    tree->for_each_candidate([&](const Candidate& cand) {
+      if (*cand.count >= min_count) ++survivors;
+    });
+  }
+  FrequentPacker packer(k);
+  packer.reserve(survivors);
+  for (const auto& tree : trees) {
+    tree->for_each_candidate([&](const Candidate& cand) {
+      if (*cand.count >= min_count) packer.add(cand.view(k), *cand.count);
+    });
+  }
+  return packer.finish();
+}
+
+}  // namespace smpmine

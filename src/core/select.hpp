@@ -1,0 +1,58 @@
+// Frequent-itemset selection shared by the CCPD and PCCD miners.
+//
+// The original per-miner select_frequent collected Candidate pointers,
+// sorted the pointers, then re-dereferenced each scattered block in a
+// second copy pass — a pointer-chase per record on the phase's critical
+// path. FrequentPacker instead packs survivors into contiguous flat
+// storage in one pass over the tree(s) and sorts an index permutation of
+// the packed records, so the sort and the final pack both stream.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hashtree/hash_tree.hpp"
+#include "itemset/frequent_set.hpp"
+#include "util/types.hpp"
+
+namespace smpmine {
+
+/// Accumulates surviving candidates and finishes into a lexicographically
+/// sorted FrequentSet.
+class FrequentPacker {
+ public:
+  explicit FrequentPacker(std::size_t k) : k_(k) {}
+
+  /// Pre-reserves for `n` survivors (one upfront allocation per arrays).
+  void reserve(std::size_t n) {
+    flat_.reserve(n * k_);
+    counts_.reserve(n);
+  }
+
+  void add(std::span<const item_t> items, count_t count) {
+    flat_.insert(flat_.end(), items.begin(), items.end());
+    counts_.push_back(count);
+  }
+
+  std::size_t size() const { return counts_.size(); }
+
+  /// Sorts the packed records lexicographically (via an index permutation
+  /// over the contiguous storage) and builds F(k). Leaves the packer empty.
+  FrequentSet finish();
+
+ private:
+  std::size_t k_;
+  std::vector<item_t> flat_;
+  std::vector<count_t> counts_;
+};
+
+/// One-pass selection over a single tree (CCPD): survivors are counted
+/// first so the packer reserves exactly, then packed and sorted.
+FrequentSet select_frequent(const HashTree& tree, count_t min_count);
+
+/// Merged selection over per-thread trees (PCCD).
+FrequentSet select_frequent(
+    const std::vector<std::unique_ptr<HashTree>>& trees, count_t min_count);
+
+}  // namespace smpmine

@@ -29,9 +29,13 @@ struct IterationStats {
   double max_leaf_occupancy = 0.0;
   double leaf_occupancy_stddev = 0.0;
 
-  // Phase wall times (seconds, master-observed).
+  // Phase wall times (seconds, master-observed). freeze_seconds is the
+  // flat kernel's pointer-tree -> CSR snapshot (zero under the pointer
+  // kernel); it is charged to the iteration total so every kernel
+  // comparison includes the freeze cost.
   double candgen_seconds = 0.0;
   double remap_seconds = 0.0;
+  double freeze_seconds = 0.0;
   double count_seconds = 0.0;
   double reduce_seconds = 0.0;
   double select_seconds = 0.0;
@@ -55,6 +59,10 @@ struct IterationStats {
   std::uint64_t containment_checks = 0;
   std::uint64_t hits = 0;
 
+  // Flat-kernel mechanism counters (zero under the pointer kernel).
+  std::uint64_t count_tiles = 0;       ///< transaction tiles, all threads
+  std::uint32_t count_tile_size = 0;   ///< configured B (0 = pointer)
+
   // Locality diagnostics (populated when MinerOptions::collect_locality):
   // metrics of the counting-order address trace over a transaction sample.
   // A placement policy that works raises same-line rate and shrinks stride.
@@ -68,15 +76,16 @@ struct IterationStats {
   double counter_itemset_line_sharing = 0.0;
 
   double total_seconds() const {
-    return candgen_seconds + remap_seconds + count_seconds + reduce_seconds +
-           select_seconds;
+    return candgen_seconds + remap_seconds + freeze_seconds + count_seconds +
+           reduce_seconds + select_seconds;
   }
 
   /// Modeled parallel computation time of this iteration: critical path of
-  /// the parallel phases (max per-thread CPU time) plus the serial phases.
+  /// the parallel phases (max per-thread CPU time) plus the serial phases
+  /// (the freeze, like the remap, runs on the master).
   double modeled_parallel_seconds() const {
-    return candgen_busy_max + remap_seconds + count_busy_max +
-           reduce_seconds + select_seconds;
+    return candgen_busy_max + remap_seconds + freeze_seconds +
+           count_busy_max + reduce_seconds + select_seconds;
   }
 };
 

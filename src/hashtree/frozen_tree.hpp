@@ -1,0 +1,189 @@
+// Frozen flat-layout counting kernel.
+//
+// The pointer hash tree (nodes.hpp) is the right structure for the paper's
+// *build* phase — five block kinds, per-leaf locks, placement policies —
+// but every counting traversal then pays HTNode* hops, ListNode chases and
+// scattered Candidate dereferences: one potential cache miss per edge.
+// After the build (and remap) barrier the tree is immutable for the rest
+// of the iteration, so FrozenTree snapshots it into a flat kernel layout:
+//
+//   first_child_[n]    CSR child offsets. Nodes are renumbered in BFS
+//                      order, so an internal node's `fanout` children are
+//                      contiguous: child(b) = first_child_[n] + b. Leaves
+//                      hold kNoChild. BFS also makes every depth level a
+//                      contiguous id range (level_begin_), which the tiled
+//                      kernel's level-synchronous traversal relies on.
+//   cand_begin_[n+1]   Leaf candidate ranges: leaf n owns packed slots
+//                      [cand_begin_[n], cand_begin_[n+1]) — the per-leaf
+//                      ListNode chains flattened away.
+//   items_             All candidate k-itemsets, structure-of-arrays:
+//                      item j of slot s is items_[j * num_candidates + s],
+//                      so a leaf scan streams columns instead of hopping
+//                      header->items blocks.
+//   orig_id_[s]        Slot -> original candidate id (for the thaw).
+//   counts_[s]         Contiguous counter array, updated per CounterMode
+//                      (atomic / locked / per-thread + reduction).
+//
+// Counting runs a non-recursive, level-synchronous kernel with
+// *transaction tiling*: a tile of B transactions descends together, one
+// level per step. Per level the (node, transaction) work items are
+// bucket-sorted by node id, so each node's CSR row and candidate columns
+// are touched once per tile — with a software prefetch of the next row —
+// instead of once per transaction. Duplicate hash paths are pruned with
+// the same per-frame bucket dedup as SubsetCheck::FrameLocal, under which
+// each node is visited at most once per transaction; hit counts and work
+// counters therefore match the pointer kernel's FrameLocal traversal
+// exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/placement.hpp"
+#include "data/database.hpp"
+#include "hashtree/hash_tree.hpp"
+#include "util/types.hpp"
+
+namespace smpmine {
+
+/// One (node, transaction, resume-position) unit of tiled traversal work.
+struct FlatEntry {
+  std::uint32_t node;  ///< BFS node id
+  std::uint32_t txn;   ///< slot in the current tile
+  std::uint32_t start; ///< next transaction position to hash
+};
+
+/// Per-thread state for the flat kernel. Like CountContext, create once
+/// per thread and re-prepare per tree: every buffer is resized in the
+/// non-hot driver, never in the traversal itself (R4).
+struct FlatCountContext {
+  /// LCA (CounterMode::PerThread) accumulator, indexed by frozen slot.
+  std::vector<count_t> local_counts;
+  /// Double-buffered work frontiers (current level / next level).
+  std::vector<FlatEntry> frontier;
+  std::vector<FlatEntry> next;
+  /// Counting-sort workspace, sized to the widest BFS level + 1.
+  std::vector<std::uint32_t> bucket_offsets;
+  /// Per-expansion bucket dedup (fanout slots, epoch-reset).
+  std::vector<std::uint32_t> seen;
+  std::uint32_t seen_epoch = 0;
+  /// The tile's transactions (pointers into the database's flat storage).
+  std::vector<const item_t*> tile_ptr;
+  std::vector<std::uint32_t> tile_len;
+
+  // Traversal instrumentation — same definitions as CountContext under
+  // FrameLocal, so the two kernels are comparable series in the benches.
+  std::uint64_t internal_visits = 0;
+  std::uint64_t leaf_visits = 0;
+  std::uint64_t containment_checks = 0;
+  std::uint64_t hits = 0;
+  // Flat-kernel mechanism counters.
+  std::uint64_t tiles = 0;
+  std::uint64_t prefetches = 0;
+};
+
+class FrozenTree {
+ public:
+  /// Largest k the fixed-size leaf-scan buffer supports; miners fall back
+  /// to the pointer kernel above it (unreachable for realistic supports).
+  static constexpr std::uint32_t kMaxK = 64;
+  static constexpr std::uint32_t kNoChild = 0xFFFFFFFFu;
+  /// Transactions per tile. Large enough that a popular node's cache lines
+  /// are reused across the tile, small enough that the frontier stays
+  /// cache-resident.
+  static constexpr std::uint32_t kTileSize = 64;
+
+  /// Freezes a fully built (and remapped, if the policy remaps) tree.
+  /// Master-thread only, after the build barrier: the pointer tree must be
+  /// quiescent. Structure arrays land in arenas.freeze_target(); counters
+  /// (and Locked-mode locks) in arenas.counters(), preserving the L-*
+  /// policies' segregation of read-write state.
+  FrozenTree(const HashTree& tree, PlacementArenas& arenas);
+
+  FrozenTree(const FrozenTree&) = delete;
+  FrozenTree& operator=(const FrozenTree&) = delete;
+
+  std::uint32_t num_nodes() const { return num_nodes_; }
+  std::uint32_t num_candidates() const { return num_cands_; }
+  std::uint32_t k() const { return k_; }
+  std::uint32_t fanout() const { return fanout_; }
+  CounterMode counter_mode() const { return mode_; }
+  std::uint32_t tile_size() const { return tile_; }
+
+  /// Re-sizes a per-thread context for this tree (capacity-reusing, like
+  /// HashTree::prepare_context).
+  void prepare_context(FlatCountContext& ctx) const;
+
+  /// Counts transactions [begin, end) of `db` through the tiled kernel.
+  /// Thread-safe: the frozen structure is read-only; counter updates
+  /// follow the counter mode.
+  void count_range(const Database& db, std::uint64_t begin, std::uint64_t end,
+                   FlatCountContext& ctx) const;
+
+  /// LCA reduction: adds a PerThread context's local counts into the
+  /// shared counter array. Callers split [0, num_candidates) into disjoint
+  /// slot ranges across threads.
+  void reduce_into_shared(const FlatCountContext& ctx,
+                          std::uint32_t begin_slot,
+                          std::uint32_t end_slot) const;
+
+  /// Publishes the frozen counts back into the pointer tree's Candidate
+  /// counters (which are zero until then), so selection, rule generation
+  /// and every existing consumer read supports as usual. Master-thread
+  /// only, after the counting (and reduction) barrier.
+  void thaw_counts(const HashTree& tree) const;
+
+  /// Test access: the frozen support of one slot and its original id.
+  count_t slot_count(std::uint32_t slot) const { return counts_[slot]; }
+  std::uint32_t slot_orig_id(std::uint32_t slot) const {
+    return orig_id_[slot];
+  }
+
+ private:
+  /// Processes one sorted level of the frontier: expands internal-node
+  /// entries into ctx.next (capacity pre-ensured by the driver) and scans
+  /// leaf entries against their candidate slots. Returns the next
+  /// frontier's size.
+  std::uint32_t expand_level(std::uint32_t depth, FlatCountContext& ctx,
+                             std::uint32_t n_frontier) const;
+  /// Orders ctx.next's entries by node id for level `level`. Returns true
+  /// when the result landed in ctx.frontier (counting-sort scatter), false
+  /// when ctx.next was sorted in place and the driver should swap buffers.
+  bool sort_level(std::uint32_t level, FlatCountContext& ctx,
+                  std::uint32_t n) const;
+
+  const HashPolicy* policy_ = nullptr;
+  // Shape scalars: written once by the freeze (single-threaded per tree),
+  // read-only while threads count concurrently.
+  // lint-ok: R1 — immutable after construction.
+  std::uint32_t k_ = 0;
+  std::uint32_t fanout_ = 0;
+  std::uint32_t num_nodes_ = 0;
+  std::uint32_t num_cands_ = 0;
+  // lint-ok: R1 — immutable after construction.
+  std::uint32_t tile_ = kTileSize;
+  CounterMode mode_ = CounterMode::Atomic;
+
+  // Flat arrays, region-owned (see constructor). The structure arrays are
+  // written once by the freeze and read-only afterwards.
+  // lint-ok: R1 — immutable after construction.
+  std::uint32_t* first_child_ = nullptr;
+  std::uint32_t* cand_begin_ = nullptr;
+  item_t* items_ = nullptr;
+  std::uint32_t* orig_id_ = nullptr;
+  /// Shared support counters. Update discipline is mode-dependent exactly
+  /// as Candidate::count (atomic_ref relaxed / locks_[slot] / disjoint
+  /// -range reduction after a barrier); exercised under TSan by
+  /// tests/race/test_race_flat_kernel.cpp.
+  /// lint-ok: R1 — per-CounterMode discipline, see above.
+  count_t* counts_ = nullptr;
+  SpinLock* locks_ = nullptr;  ///< only non-null under CounterMode::Locked
+
+  /// BFS level boundaries: nodes of depth d are [level_begin_[d],
+  /// level_begin_[d+1]). Depth never exceeds k, so this stays tiny.
+  /// lint-ok: R1 — immutable after construction.
+  std::vector<std::uint32_t> level_begin_;
+  std::uint32_t max_level_width_ = 0;
+};
+
+}  // namespace smpmine

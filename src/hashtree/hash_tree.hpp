@@ -112,6 +112,12 @@ class HashTree {
   /// Prepares a per-thread counting context sized for the current tree.
   CountContext make_context(SubsetCheck mode) const;
 
+  /// Re-sizes an existing context for this tree, reusing its buffers'
+  /// capacity. Miners keep one context per thread alive across iterations
+  /// and re-prepare it per tree, so the per-iteration hot loop never pays
+  /// a fresh allocation once the high-water capacity is reached.
+  void prepare_context(SubsetCheck mode, CountContext& ctx) const;
+
   /// Switches `ctx` to group-dedup counting: after begin_group(ctx, g) each
   /// candidate's counter is incremented at most once until the next group
   /// begins, no matter how many transactions are counted.
@@ -153,6 +159,9 @@ class HashTree {
                     std::vector<std::uintptr_t>& out) const;
 
  private:
+  /// The freeze pass walks the quiescent pointer tree directly.
+  friend class FrozenTree;
+
   /// A freshly allocated candidate with its list node, placed per the
   /// active policy (co-reserved single block under LPP).
   struct Entry {

@@ -22,20 +22,42 @@ namespace smpmine {
 
 CountContext HashTree::make_context(SubsetCheck mode) const {
   CountContext ctx;
+  prepare_context(mode, ctx);
+  return ctx;
+}
+
+void HashTree::prepare_context(SubsetCheck mode, CountContext& ctx) const {
+  // assign() zero-fills in place: once a context's vectors reach their
+  // high-water capacity, re-preparing it for the next iteration's tree
+  // allocates nothing. Zeroed stamp arrays stay consistent with the
+  // monotone ctx.stamp / frame_epoch counters.
   ctx.mode = mode;
   if (config_.counter_mode == CounterMode::PerThread) {
     ctx.local_counts.assign(num_candidates(), 0);
+  } else {
+    ctx.local_counts.clear();
   }
   if (mode == SubsetCheck::LeafVisited || mode == SubsetCheck::VisitedFlags) {
     ctx.node_stamp.assign(num_nodes(), 0);
+  } else {
+    ctx.node_stamp.clear();
   }
   if (mode == SubsetCheck::FrameLocal) {
     ctx.frame_seen.assign(static_cast<std::size_t>(config_.k + 1) *
                               config_.fanout,
                           0);
     ctx.frame_epoch.assign(config_.k + 1, 0);
+  } else {
+    ctx.frame_seen.clear();
+    ctx.frame_epoch.clear();
   }
-  return ctx;
+  ctx.stamp = 0;
+  ctx.cand_group_stamp.clear();
+  ctx.group = 0;
+  ctx.internal_visits = 0;
+  ctx.leaf_visits = 0;
+  ctx.containment_checks = 0;
+  ctx.hits = 0;
 }
 
 void HashTree::enable_group_dedup(CountContext& ctx) const {

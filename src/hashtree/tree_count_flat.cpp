@@ -1,0 +1,255 @@
+// Tiled, non-recursive counting kernel over the frozen CSR layout.
+//
+// A tile of B transactions descends the tree together, one level per
+// step. The frontier is the set of live (node, transaction, position)
+// entries; before each level it is ordered by node id (BFS levels are
+// contiguous id ranges, so a counting sort over the level's width does
+// it in two linear passes). Processing a level then walks *runs* of
+// entries that share a node: the node's CSR row and — for leaves — its
+// candidate item columns are loaded once per tile instead of once per
+// transaction, and the next run's row is software-prefetched while the
+// current one is processed.
+//
+// Dedup invariant: expansion applies the same per-frame bucket dedup as
+// SubsetCheck::FrameLocal. Every node has a unique bucket path, its
+// parent is processed exactly once per transaction (induction from the
+// root), and within that single processing each bucket is descended at
+// most once — so each node is visited at most once per (transaction,
+// tile) and the frontier never exceeds (visited nodes) entries. The
+// driver sizes buffers from exact per-level bounds; the SMPMINE_HOT
+// kernels below only ever write through raw pointers (R4).
+#include <algorithm>
+#include <atomic>
+
+#include "hashtree/frozen_tree.hpp"
+#include "obs/metrics.hpp"
+#include "util/attributes.hpp"
+#include "util/checked.hpp"
+
+namespace smpmine {
+
+namespace {
+
+/// Lookahead distance (in frontier entries) for CSR-row prefetches.
+constexpr std::uint32_t kPrefetchAhead = 8;
+
+}  // namespace
+
+void FrozenTree::prepare_context(FlatCountContext& ctx) const {
+  if (mode_ == CounterMode::PerThread) {
+    ctx.local_counts.assign(num_cands_, 0);
+  } else {
+    ctx.local_counts.clear();
+  }
+  ctx.seen.assign(fanout_, 0);
+  ctx.seen_epoch = 0;
+  ctx.tile_ptr.assign(tile_, nullptr);
+  ctx.tile_len.assign(tile_, 0);
+  if (ctx.frontier.size() < tile_) ctx.frontier.resize(tile_);
+  if (ctx.next.size() < tile_) ctx.next.resize(tile_);
+  if (ctx.bucket_offsets.size() < max_level_width_ + 1u) {
+    ctx.bucket_offsets.resize(max_level_width_ + 1u);
+  }
+  ctx.internal_visits = 0;
+  ctx.leaf_visits = 0;
+  ctx.containment_checks = 0;
+  ctx.hits = 0;
+  ctx.tiles = 0;
+  ctx.prefetches = 0;
+}
+
+SMPMINE_HOT std::uint32_t FrozenTree::expand_level(
+    std::uint32_t depth, FlatCountContext& ctx,
+    std::uint32_t n_frontier) const {
+  const FlatEntry* fr = ctx.frontier.data();
+  FlatEntry* out = ctx.next.data();
+  std::uint32_t n_out = 0;
+  std::uint32_t* seen = ctx.seen.data();
+  const item_t* const* tile_ptr = ctx.tile_ptr.data();
+  const std::uint32_t* tile_len = ctx.tile_len.data();
+  count_t* local = ctx.local_counts.data();
+  std::uint64_t internal_visits = 0, leaf_visits = 0;
+  std::uint64_t checks = 0, hits = 0, prefetches = 0;
+
+  for (std::uint32_t i = 0; i < n_frontier;) {
+    const std::uint32_t node = fr[i].node;
+    std::uint32_t j = i + 1;
+    while (j < n_frontier && fr[j].node == node) ++j;
+    if (j + kPrefetchAhead < n_frontier) {
+      const std::uint32_t ahead = fr[j + kPrefetchAhead].node;
+      SMPMINE_PREFETCH(&first_child_[ahead]);
+      SMPMINE_PREFETCH(&cand_begin_[ahead]);
+      ++prefetches;
+    }
+    const std::uint32_t fc = first_child_[node];
+    if (fc != kNoChild) {
+      // Internal run: expand each entry, deduping buckets per entry — the
+      // frame-local seen set, epoch-reset so it is never cleared.
+      for (std::uint32_t e = i; e < j; ++e) {
+        ++internal_visits;
+        const std::uint32_t t = fr[e].txn;
+        const item_t* txn = tile_ptr[t];
+        const std::uint32_t last = tile_len[t] - (k_ - depth);
+        std::uint32_t epoch = ++ctx.seen_epoch;
+        if (epoch == 0) {  // u32 wrap: stale stamps could alias; reset
+          for (std::uint32_t b = 0; b < fanout_; ++b) seen[b] = 0;
+          epoch = ctx.seen_epoch = 1;
+        }
+        for (std::uint32_t p = fr[e].start; p <= last; ++p) {
+          const std::uint32_t b = policy_->bucket(txn[p]);
+          if (seen[b] == epoch) continue;  // duplicate bucket at this frame
+          seen[b] = epoch;
+          out[n_out].node = fc + b;
+          out[n_out].txn = t;
+          out[n_out].start = p + 1;
+          ++n_out;
+        }
+      }
+    } else {
+      const std::uint32_t cb = cand_begin_[node];
+      const std::uint32_t ce = cand_begin_[node + 1];
+      if (ce != cb) {
+        leaf_visits += j - i;
+        // Slot-outer, transaction-inner: one candidate's SoA columns are
+        // gathered once and checked against every transaction in the run
+        // while its cache lines are warm.
+        for (std::uint32_t s = cb; s < ce; ++s) {
+          item_t cand[kMaxK];
+          for (std::uint32_t q = 0; q < k_; ++q) {
+            cand[q] = items_[static_cast<std::size_t>(q) * num_cands_ + s];
+          }
+          for (std::uint32_t e = i; e < j; ++e) {
+            ++checks;
+            const std::uint32_t t = fr[e].txn;
+            const item_t* p = tile_ptr[t];
+            const item_t* tend = p + tile_len[t];
+            bool contained = true;
+            for (std::uint32_t q = 0; q < k_; ++q) {
+              const item_t want = cand[q];
+              while (p != tend && *p < want) ++p;
+              if (p == tend || *p != want) {
+                contained = false;
+                break;
+              }
+              ++p;
+            }
+            if (!contained) continue;
+            ++hits;
+            switch (mode_) {
+              case CounterMode::Atomic:
+                // relaxed-ok: support counters are pure totals; nobody
+                // reads them until after the counting barrier, which
+                // provides the ordering.
+                std::atomic_ref<count_t>(counts_[s])
+                    .fetch_add(1, std::memory_order_relaxed);
+                break;
+              case CounterMode::Locked: {
+                SpinLockGuard guard(locks_[s]);
+                ++counts_[s];
+                break;
+              }
+              case CounterMode::PerThread:
+                ++local[s];
+                break;
+            }
+          }
+        }
+      }
+    }
+    i = j;
+  }
+
+  ctx.internal_visits += internal_visits;
+  ctx.leaf_visits += leaf_visits;
+  ctx.containment_checks += checks;
+  ctx.hits += hits;
+  ctx.prefetches += prefetches;
+  return n_out;
+}
+
+SMPMINE_HOT bool FrozenTree::sort_level(std::uint32_t level,
+                                        FlatCountContext& ctx,
+                                        std::uint32_t n) const {
+  const std::uint32_t base = level_begin_[level];
+  const std::uint32_t width = level_begin_[level + 1] - base;
+  FlatEntry* in = ctx.next.data();
+  // A wide level with few entries would spend more time clearing the
+  // histogram than sorting; comparison-sort the entries in place instead.
+  if (width > 2 * n + 64) {
+    std::sort(in, in + n, [](const FlatEntry& a, const FlatEntry& b) {
+      return a.node < b.node;
+    });
+    return false;  // result stayed in ctx.next
+  }
+  std::uint32_t* off = ctx.bucket_offsets.data();
+  for (std::uint32_t w = 0; w <= width; ++w) off[w] = 0;
+  for (std::uint32_t i = 0; i < n; ++i) ++off[in[i].node - base + 1];
+  for (std::uint32_t w = 0; w < width; ++w) off[w + 1] += off[w];
+  FlatEntry* out = ctx.frontier.data();
+  for (std::uint32_t i = 0; i < n; ++i) out[off[in[i].node - base]++] = in[i];
+  return true;  // result scattered into ctx.frontier
+}
+
+void FrozenTree::count_range(const Database& db, std::uint64_t begin,
+                             std::uint64_t end, FlatCountContext& ctx) const {
+  SMPMINE_ASSERT(ctx.seen.size() == fanout_ &&
+                     (mode_ != CounterMode::PerThread ||
+                      ctx.local_counts.size() == num_cands_),
+                 "FlatCountContext is stale: prepared for another tree");
+  const std::uint64_t tiles_before = ctx.tiles;
+  const std::uint64_t prefetches_before = ctx.prefetches;
+  const std::uint32_t levels =
+      static_cast<std::uint32_t>(level_begin_.size()) - 1;
+
+  for (std::uint64_t t0 = begin; t0 < end; t0 += tile_) {
+    const std::uint32_t nb =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(tile_, end - t0));
+    std::uint32_t seeds = 0;
+    for (std::uint32_t s = 0; s < nb; ++s) {
+      const auto txn = db.transaction(t0 + s);
+      if (txn.size() < k_) continue;  // too short to contain any candidate
+      SMPMINE_ASSERT(std::is_sorted(txn.begin(), txn.end()),
+                     "transactions must be sorted for subset enumeration");
+      ctx.tile_ptr[seeds] = txn.data();
+      ctx.tile_len[seeds] = static_cast<std::uint32_t>(txn.size());
+      ++seeds;
+    }
+    if (seeds == 0) continue;
+    ++ctx.tiles;
+    for (std::uint32_t s = 0; s < seeds; ++s) {
+      ctx.frontier[s] = FlatEntry{0, s, 0};
+    }
+    std::uint32_t n_front = seeds;
+    for (std::uint32_t d = 0; d < levels && n_front != 0; ++d) {
+      // Exact expansion bound for the next frontier: an internal entry
+      // emits at most min(remaining positions, fanout) children.
+      std::size_t bound = 0;
+      for (std::uint32_t i = 0; i < n_front; ++i) {
+        const FlatEntry& e = ctx.frontier[i];
+        if (first_child_[e.node] == kNoChild) continue;
+        const std::uint32_t positions =
+            ctx.tile_len[e.txn] - (k_ - d) - e.start + 1;
+        bound += std::min(positions, fanout_);
+      }
+      if (bound == 0) {
+        expand_level(d, ctx, n_front);  // pure leaf level: count and stop
+        n_front = 0;
+        break;
+      }
+      if (ctx.next.size() < bound) ctx.next.resize(bound + bound / 2);
+      if (ctx.frontier.size() < bound) ctx.frontier.resize(bound + bound / 2);
+      const std::uint32_t n_next = expand_level(d, ctx, n_front);
+      n_front = n_next;
+      if (n_front == 0) break;
+      if (!sort_level(d + 1, ctx, n_front)) {
+        std::swap(ctx.frontier, ctx.next);
+      }
+    }
+  }
+
+  obs::metric::flatkernel_tiles().inc(ctx.tiles - tiles_before);
+  obs::metric::flatkernel_prefetches().inc(ctx.prefetches -
+                                           prefetches_before);
+}
+
+}  // namespace smpmine

@@ -1,0 +1,123 @@
+// Freeze pass: pointer hash tree -> FrozenTree flat kernel structure.
+//
+// Runs on the master thread after the build (and remap) barrier, when the
+// tree is quiescent — the same phase discipline as remap_depth_first. One
+// BFS walk renumbers nodes level by level, which yields both CSR child
+// contiguity (an internal node's children get `fanout` consecutive ids)
+// and contiguous per-depth id ranges for the level-synchronous kernel.
+// Being a per-iteration master phase, the freeze may allocate freely; the
+// cost is measured (IterationStats::freeze_seconds) and charged against
+// the flat kernel in every benchmark comparison.
+#include <new>
+#include <stdexcept>
+
+#include "hashtree/frozen_tree.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/checked.hpp"
+
+namespace smpmine {
+
+FrozenTree::FrozenTree(const HashTree& tree, PlacementArenas& arenas)
+    : policy_(tree.policy_),
+      k_(tree.k()),
+      fanout_(tree.fanout()),
+      num_nodes_(tree.num_nodes()),
+      num_cands_(tree.num_candidates()),
+      mode_(tree.counter_mode()) {
+  SMPMINE_TRACE_SPAN_ARG("count.freeze", "nodes", num_nodes_);
+  if (k_ > kMaxK) {
+    throw std::invalid_argument("FrozenTree: k exceeds kMaxK");
+  }
+
+  Region& structure = arenas.freeze_target();
+  first_child_ = structure.alloc_array<std::uint32_t>(num_nodes_);
+  cand_begin_ = structure.alloc_array<std::uint32_t>(num_nodes_ + 1);
+  items_ = structure.alloc_array<item_t>(static_cast<std::size_t>(k_) *
+                                         num_cands_);
+  orig_id_ = structure.alloc_array<std::uint32_t>(num_cands_);
+  counts_ = arenas.counters().alloc_array<count_t>(num_cands_);
+  for (std::uint32_t s = 0; s < num_cands_; ++s) counts_[s] = 0;
+  if (mode_ == CounterMode::Locked) {
+    locks_ = arenas.counters().alloc_array<SpinLock>(num_cands_);
+    for (std::uint32_t s = 0; s < num_cands_; ++s) new (&locks_[s]) SpinLock();
+  }
+
+  // BFS over the pointer tree; queue index == new node id. The queue is
+  // FIFO and children are appended fanout-at-a-time, so ids are contiguous
+  // per level and per child array.
+  std::vector<const HTNode*> order;
+  order.reserve(num_nodes_);
+  order.push_back(tree.root_);
+  std::uint32_t slot = 0;
+  for (std::uint32_t id = 0; id < order.size(); ++id) {
+    const HTNode* node = order[id];
+    // The tree is quiescent; the build's release-publishes happened-before
+    // this phase (same reasoning as the counting traversal's load).
+    HTNode* const* kids = node->children.load(std::memory_order_acquire);
+    cand_begin_[id] = slot;
+    if (kids != nullptr) {
+      first_child_[id] = static_cast<std::uint32_t>(order.size());
+      for (std::uint32_t b = 0; b < fanout_; ++b) order.push_back(kids[b]);
+    } else {
+      first_child_[id] = kNoChild;
+      // Flatten the leaf's list chain into packed slots: column-major item
+      // store plus the slot -> original-id map the thaw uses.
+      for (const ListNode* ln = node->list->head; ln != nullptr;
+           ln = ln->next) {
+        const Candidate* cand = ln->cand;
+        for (std::uint32_t j = 0; j < k_; ++j) {
+          items_[static_cast<std::size_t>(j) * num_cands_ + slot] =
+              cand->items()[j];
+        }
+        orig_id_[slot] = cand->id;
+        ++slot;
+      }
+    }
+  }
+  cand_begin_[num_nodes_] = slot;
+  SMPMINE_ASSERT(order.size() == num_nodes_,
+                 "freeze BFS must reach every node exactly once");
+  SMPMINE_ASSERT(slot == num_cands_,
+                 "freeze must pack every candidate exactly once");
+
+  // BFS depths are nondecreasing along `order`, so level boundaries fall
+  // out of one scan over the (already-stored) pointer-node depths.
+  level_begin_.clear();
+  level_begin_.push_back(0);
+  for (std::uint32_t id = 1; id < num_nodes_; ++id) {
+    if (order[id]->depth != order[id - 1]->depth) level_begin_.push_back(id);
+  }
+  level_begin_.push_back(num_nodes_);
+
+  max_level_width_ = 0;
+  for (std::size_t d = 0; d + 1 < level_begin_.size(); ++d) {
+    max_level_width_ =
+        std::max(max_level_width_, level_begin_[d + 1] - level_begin_[d]);
+  }
+  obs::metric::flatkernel_freezes().inc();
+}
+
+void FrozenTree::thaw_counts(const HashTree& tree) const {
+  const std::vector<Candidate*>& index = tree.candidate_index();
+  // Candidate counters are untouched (zero) while the flat kernel counts,
+  // so the addition publishes exactly the frozen supports.
+  for (std::uint32_t s = 0; s < num_cands_; ++s) {
+    *index[orig_id_[s]]->count += counts_[s];
+  }
+}
+
+void FrozenTree::reduce_into_shared(const FlatCountContext& ctx,
+                                    std::uint32_t begin_slot,
+                                    std::uint32_t end_slot) const {
+  SMPMINE_ASSERT(end_slot <= num_cands_ &&
+                     ctx.local_counts.size() >= end_slot,
+                 "reduction range exceeds the frozen slot space");
+  // Reducers split the slot space; each shared counter has one writer and
+  // plain additions suffice (LCA's synchronization-free reduction).
+  for (std::uint32_t s = begin_slot; s < end_slot; ++s) {
+    counts_[s] += ctx.local_counts[s];
+  }
+}
+
+}  // namespace smpmine

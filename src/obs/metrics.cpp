@@ -18,7 +18,9 @@ MetricsRegistry::MetricsRegistry() {
        {"spinlock.contended_acquires", "spinlock.acquire_spins",
         "barrier.waits", "barrier.wait_ns", "barrier.yields",
         "pool.spmd_dispatches", "pool.tasks", "hashtree.inserts",
-        "hashtree.leaf_conversions", "trace.dropped_events"}) {
+        "hashtree.leaf_conversions", "flatkernel.freezes",
+        "flatkernel.tiles", "flatkernel.prefetches",
+        "trace.dropped_events"}) {
     counters_.emplace(name, std::make_unique<Counter>());
   }
 }

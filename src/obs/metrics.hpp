@@ -138,6 +138,14 @@ SMPMINE_OBS_WELL_KNOWN_COUNTER(hashtree_inserts, "hashtree.inserts")
 /// Leaf -> internal conversions during tree builds.
 SMPMINE_OBS_WELL_KNOWN_COUNTER(hashtree_leaf_conversions,
                                "hashtree.leaf_conversions")
+/// Pointer-tree -> frozen CSR snapshots (one per iteration per tree when
+/// the flat kernel is active).
+SMPMINE_OBS_WELL_KNOWN_COUNTER(flatkernel_freezes, "flatkernel.freezes")
+/// Transaction tiles processed by the flat counting kernel.
+SMPMINE_OBS_WELL_KNOWN_COUNTER(flatkernel_tiles, "flatkernel.tiles")
+/// CSR-row software prefetches issued by the flat counting kernel.
+SMPMINE_OBS_WELL_KNOWN_COUNTER(flatkernel_prefetches,
+                               "flatkernel.prefetches")
 /// Trace events discarded because a thread buffer filled up.
 SMPMINE_OBS_WELL_KNOWN_COUNTER(trace_dropped_events, "trace.dropped_events")
 

@@ -17,3 +17,12 @@
 #else
 #define SMPMINE_HOT
 #endif
+
+// Software prefetch hint (read, moderate temporal locality). The frozen
+// counting kernel issues these one CSR row ahead of the traversal; on
+// compilers without the builtin the hint vanishes, never the semantics.
+#if defined(__GNUC__) || defined(__clang__)
+#define SMPMINE_PREFETCH(addr) __builtin_prefetch((addr))
+#else
+#define SMPMINE_PREFETCH(addr) ((void)0)
+#endif

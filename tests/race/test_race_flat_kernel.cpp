@@ -1,0 +1,167 @@
+// TSan-targeted frozen flat counting kernel: multiple threads count into
+// one FrozenTree's shared counter array (atomic increments / per-slot
+// spinlocks / privatized local counts + disjoint-slot reduction), plus the
+// end-to-end CCPD race with the flat kernel engaged through the pool's
+// bulk-synchronous iteration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/brute_force.hpp"
+#include "core/miner.hpp"
+#include "data/quest_gen.hpp"
+#include "hashtree/frozen_tree.hpp"
+#include "hashtree/hash_tree.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+constexpr int kThreads = 4;
+
+/// Tiny database where every transaction hits many candidates, maximizing
+/// counter contention per unit of work.
+Database dense_db() {
+  Database db;
+  for (int t = 0; t < 40; ++t) {
+    std::vector<item_t> txn;
+    for (item_t i = 0; i < 6; ++i) {
+      txn.push_back(static_cast<item_t>((t + i) % 10));
+    }
+    db.add_transaction(txn);
+  }
+  return db;
+}
+
+/// Builds a k=2 tree over all pairs of the db's universe, then freezes it.
+/// Build and freeze are sequential — the concurrent counting is under test.
+struct FrozenFixture {
+  explicit FrozenFixture(CounterMode mode)
+      : arenas(PlacementPolicy::SPP),
+        policy(HashScheme::Interleaved, 2),
+        tree({.k = 2, .fanout = 2, .leaf_threshold = 2, .counter_mode = mode},
+             policy, arenas),
+        frozen([this] {
+          std::vector<item_t> base(10);
+          for (item_t i = 0; i < 10; ++i) base[i] = i;
+          for (const auto& pair : k_subsets(base, 2)) tree.insert(pair);
+          return FrozenTree(tree, arenas);
+        }()) {}
+  PlacementArenas arenas;
+  HashPolicy policy;
+  HashTree tree;
+  FrozenTree frozen;
+};
+
+/// Every thread counts the whole database, so each slot's final support
+/// must be exactly kThreads * (single-threaded support).
+void stress_frozen_counters(CounterMode mode) {
+  const Database db = dense_db();
+
+  FrozenFixture reference(mode);
+  {
+    FlatCountContext ctx;
+    reference.frozen.prepare_context(ctx);
+    reference.frozen.count_range(db, 0, db.size(), ctx);
+    if (mode == CounterMode::PerThread) {
+      reference.frozen.reduce_into_shared(
+          ctx, 0, reference.frozen.num_candidates());
+    }
+  }
+
+  FrozenFixture shared(mode);
+  std::vector<FlatCountContext> contexts(kThreads);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      FlatCountContext& ctx = contexts[w];
+      shared.frozen.prepare_context(ctx);
+      shared.frozen.count_range(db, 0, db.size(), ctx);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  if (mode == CounterMode::PerThread) {
+    // LCA reduction: threads take disjoint slot ranges, each summing every
+    // context's privatized counts into the shared slot counter.
+    const std::uint32_t n = shared.frozen.num_candidates();
+    const std::uint32_t per = (n + kThreads - 1) / kThreads;
+    std::vector<std::thread> reducers;
+    for (int w = 0; w < kThreads; ++w) {
+      reducers.emplace_back([&, w] {
+        const std::uint32_t begin =
+            std::min(n, static_cast<std::uint32_t>(w) * per);
+        const std::uint32_t end = std::min(n, begin + per);
+        for (const FlatCountContext& ctx : contexts) {
+          shared.frozen.reduce_into_shared(ctx, begin, end);
+        }
+      });
+    }
+    for (auto& r : reducers) r.join();
+  }
+
+  const std::uint32_t n = shared.frozen.num_candidates();
+  ASSERT_EQ(n, reference.frozen.num_candidates());
+  for (std::uint32_t slot = 0; slot < n; ++slot) {
+    ASSERT_EQ(shared.frozen.slot_count(slot),
+              reference.frozen.slot_count(slot) * kThreads)
+        << "slot " << slot;
+  }
+}
+
+TEST(RaceFlatKernel, AtomicIncrementsAreExact) {
+  stress_frozen_counters(CounterMode::Atomic);
+}
+
+TEST(RaceFlatKernel, LockedIncrementsAreExact) {
+  stress_frozen_counters(CounterMode::Locked);
+}
+
+TEST(RaceFlatKernel, PerThreadReductionIsExact) {
+  stress_frozen_counters(CounterMode::PerThread);
+}
+
+class FlatKernelEndToEndRace : public ::testing::TestWithParam<CounterMode> {
+};
+
+TEST_P(FlatKernelEndToEndRace, ParallelFlatMatchesSequential) {
+  QuestParams p;
+  p.num_transactions = 150;
+  p.avg_transaction_len = 8.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 15;
+  p.num_items = 30;
+  p.seed = 11;
+  const Database db = generate_quest(p);
+
+  MinerOptions seq;
+  seq.min_support = 0.05;
+  seq.counter_mode = GetParam();
+  seq.count_kernel = CountKernel::Flat;
+  const MiningResult expect = mine_ccpd(db, seq);
+
+  MinerOptions par = seq;
+  par.threads = kThreads;
+  par.parallel_candgen_threshold = 1;  // force the parallel build too
+  const MiningResult got = mine_ccpd(db, par);
+
+  std::string diag;
+  EXPECT_TRUE(levels_equal(got.levels, expect.levels, &diag)) << diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(CounterModes, FlatKernelEndToEndRace,
+                         ::testing::Values(CounterMode::Atomic,
+                                           CounterMode::Locked,
+                                           CounterMode::PerThread),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           std::erase_if(name,
+                                         [](char c) { return c == '-'; });
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace smpmine

@@ -82,6 +82,7 @@ R3_ALLOWLIST = (
     "src/util/logging.cpp",
     "src/hashtree/tree_build.cpp",
     "src/hashtree/tree_count.cpp",
+    "src/hashtree/tree_count_flat.cpp",
     "src/hashtree/tree_remap.cpp",
 )
 

@@ -87,6 +87,15 @@ bool parse_options(const CliParser& cli, MinerOptions& opts) {
     return fail("unknown --subset-check '" + check + "' (leaf|flags|frame)");
   }
 
+  const std::string kernel = cli.get("count-kernel", "flat");
+  if (kernel == "pointer") {
+    opts.count_kernel = CountKernel::Pointer;
+  } else if (kernel == "flat") {
+    opts.count_kernel = CountKernel::Flat;
+  } else {
+    return fail("unknown --count-kernel '" + kernel + "' (pointer|flat)");
+  }
+
   const std::string dbpart = cli.get("db-partition", "block");
   if (dbpart == "block") {
     opts.db_partition = DbPartition::Block;
@@ -117,6 +126,7 @@ int main(int argc, char** argv) {
   cli.add_flag("hash", "interleaved | bitonic | indirection", "indirection");
   cli.add_flag("balance", "block | interleaved | bitonic", "bitonic");
   cli.add_flag("subset-check", "leaf | flags | frame", "frame");
+  cli.add_flag("count-kernel", "pointer | flat (frozen CSR tree)", "flat");
   cli.add_flag("db-partition", "block | balanced | adaptive", "block");
   cli.add_flag("leaf-threshold", "max itemsets per hash-tree leaf", "8");
   cli.add_flag("max-rules", "rules to print (0 = all)", "25");
