@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "core/results_io.hpp"
+#include "obs/perf/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
 
@@ -54,12 +55,22 @@ obs::MetricsSnapshot snapshot_delta(const obs::MetricsSnapshot& before,
       value -= it->second;
     }
   }
+  std::unordered_map<std::string_view, const obs::HistogramSummary*> hbase;
+  for (const auto& [name, summary] : before.histograms) {
+    hbase[name] = &summary;
+  }
+  for (auto& [name, summary] : after.histograms) {
+    if (const auto it = hbase.find(name); it != hbase.end()) {
+      summary = summary.delta_since(*it->second);
+    }
+  }
   return after;
 }
 
 void record_run(const Database& db, const MinerOptions& opts,
                 const MiningResult& result,
-                const obs::MetricsSnapshot& before) {
+                const obs::MetricsSnapshot& before,
+                const obs::perf::PhasePerfSnapshot& perf_before) {
   if (g_metrics_path.empty()) return;
   const std::uint64_t digest = db.digest();
   const auto label = g_dataset_labels.find(digest);
@@ -68,6 +79,7 @@ void record_run(const Database& db, const MinerOptions& opts,
       db, opts, result);
   m.metrics =
       snapshot_delta(before, obs::MetricsRegistry::instance().snapshot());
+  m.phase_perf = obs::perf::delta_since(perf_before);
   g_manifests.push_back(std::move(m));
 }
 
@@ -91,6 +103,9 @@ void add_common_flags(CliParser& cli) {
   cli.add_flag("trace", "write Chrome trace-event JSON here at exit");
   cli.add_flag("metrics", "write run-manifest JSON (one entry per mining "
                           "run) here at exit");
+  cli.add_flag("perf-backend",
+               "per-phase counter attribution: auto | hw | software | off",
+               "off");
 }
 
 namespace {
@@ -127,6 +142,14 @@ BenchEnv parse_env(const CliParser& cli,
   }
   env.repeat = std::max<std::uint32_t>(
       1, static_cast<std::uint32_t>(cli.get_int("repeat", 2)));
+  {
+    const std::string backend_name = cli.get("perf-backend", "off");
+    const auto requested = obs::perf::backend_from_string(backend_name);
+    if (!requested) {
+      throw std::invalid_argument("bad --perf-backend: " + backend_name);
+    }
+    obs::perf::init(*requested);
+  }
   env.trace_path = cli.get("trace", "");
   env.metrics_path = cli.get("metrics", "");
   if (!env.trace_path.empty() || !env.metrics_path.empty()) {
@@ -172,17 +195,21 @@ double pct_improvement(double base, double optimized) {
 MiningResult run_miner(const Database& db, const MinerOptions& opts) {
   const obs::MetricsSnapshot before =
       obs::MetricsRegistry::instance().snapshot();
+  const obs::perf::PhasePerfSnapshot perf_before =
+      obs::perf::PhasePerfRegistry::instance().snapshot();
   MiningResult result = mine(db, opts);
-  record_run(db, opts, result, before);
+  record_run(db, opts, result, before, perf_before);
   return result;
 }
 
 MiningResult run_miner(const Database& db, const MinerOptions& opts,
                        const BenchEnv& env) {
-  // The manifest's metric deltas cover all `repeat` repetitions (the
-  // registry is process-global); its timings are the kept best run.
+  // The manifest's metric and perf deltas cover all `repeat` repetitions
+  // (the registries are process-global); its timings are the kept best run.
   const obs::MetricsSnapshot before =
       obs::MetricsRegistry::instance().snapshot();
+  const obs::perf::PhasePerfSnapshot perf_before =
+      obs::perf::PhasePerfRegistry::instance().snapshot();
   MiningResult best = mine(db, opts);
   for (std::uint32_t r = 1; r < env.repeat; ++r) {
     MiningResult next = mine(db, opts);
@@ -190,7 +217,7 @@ MiningResult run_miner(const Database& db, const MinerOptions& opts,
       best = std::move(next);
     }
   }
-  record_run(db, opts, best, before);
+  record_run(db, opts, best, before, perf_before);
   return best;
 }
 

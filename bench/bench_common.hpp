@@ -23,7 +23,7 @@ namespace smpmine::bench {
 const std::vector<std::string>& table2_datasets();
 
 /// Registers the flags every bench shares (--scale, --full, --datasets,
-/// --threads, --seed, --trace, --metrics).
+/// --threads, --seed, --trace, --metrics, --perf-backend).
 void add_common_flags(CliParser& cli);
 
 struct BenchEnv {

@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
-"""Validate and gate a BENCH_counting.json artifact.
+"""Validate and gate smpmine.bench.v1 artifacts.
 
-Reads the smpmine.bench.v1 JSON that bench_count_kernel emits, checks the
-schema, prints a summary, and (optionally) fails if the flat kernel's
-speedup over the pointer walk drops below --min-speedup. CI runs this on a
-small-N smoke artifact with a loose gate; the committed full-scale artifact
-is gated at the PR's acceptance threshold (1.3x).
+Reads a bench-emitted JSON artifact, checks the schema, prints a summary,
+and (optionally) fails when a gated metric regresses. Two gating modes:
+
+* Generic: ``--spec name:metric:threshold`` (repeatable) gates any
+  ``smpmine.bench.v1`` file whose ``bench`` field equals ``name`` — every
+  run must have ``run[metric] >= threshold``. CI uses this for each bench
+  smoke artifact without this script needing to know the bench's fields.
+* count_kernel: artifacts from bench_count_kernel additionally get the
+  pointer/flat pairing check (identical hit totals — the correctness
+  signature) and the ``--min-speedup`` shorthand, equivalent to
+  ``--spec count_kernel:speedup_vs_pointer:<x>`` on flat runs only.
 
 Usage:
-    scripts/bench_compare.py BENCH_counting.json [--min-speedup 1.3]
+    scripts/bench_compare.py BENCH_counting.json --min-speedup 1.3
+    scripts/bench_compare.py BENCH_foo.json --spec foo:speedup:0.9
 """
 
 import argparse
@@ -17,7 +24,7 @@ import sys
 
 SCHEMA = "smpmine.bench.v1"
 
-RUN_FIELDS = {
+COUNT_KERNEL_FIELDS = {
     "dataset": str,
     "threads": int,
     "kernel": str,
@@ -35,27 +42,41 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def validate(doc: dict) -> list:
+def parse_spec(text: str):
+    parts = text.split(":")
+    if len(parts) != 3:
+        fail(f"bad --spec {text!r}, want name:metric:threshold")
+    name, metric, threshold = parts
+    try:
+        return name, metric, float(threshold)
+    except ValueError:
+        fail(f"bad --spec threshold {threshold!r}")
+
+
+def validate_generic(doc: dict) -> list:
     if doc.get("schema") != SCHEMA:
         fail(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
-    if doc.get("bench") != "count_kernel":
-        fail(f"bench is {doc.get('bench')!r}, want 'count_kernel'")
+    if not isinstance(doc.get("bench"), str):
+        fail("bench name missing")
     runs = doc.get("runs")
     if not isinstance(runs, list) or not runs:
         fail("runs[] missing or empty")
     for i, run in enumerate(runs):
-        for field, types in RUN_FIELDS.items():
+        if not isinstance(run, dict):
+            fail(f"runs[{i}] is not an object")
+    return runs
+
+
+def validate_count_kernel(runs: list) -> dict:
+    """Field checks plus pointer/flat pairing by (dataset, threads)."""
+    for i, run in enumerate(runs):
+        for field, types in COUNT_KERNEL_FIELDS.items():
             if field not in run:
                 fail(f"runs[{i}] missing field {field!r}")
             if not isinstance(run[field], types):
                 fail(f"runs[{i}].{field} has type {type(run[field]).__name__}")
         if run["kernel"] not in ("pointer", "flat"):
             fail(f"runs[{i}].kernel is {run['kernel']!r}")
-    return runs
-
-
-def pair_up(runs: list) -> dict:
-    """Group runs by (dataset, threads) -> {kernel: run}."""
     pairs = {}
     for run in runs:
         pairs.setdefault((run["dataset"], run["threads"]), {})[
@@ -74,18 +95,7 @@ def pair_up(runs: list) -> dict:
     return pairs
 
 
-def main() -> None:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("artifact", help="BENCH_counting.json path")
-    ap.add_argument("--min-speedup", type=float, default=None,
-                    help="fail if any flat/pointer speedup is below this")
-    args = ap.parse_args()
-
-    with open(args.artifact) as f:
-        doc = json.load(f)
-    runs = validate(doc)
-    pairs = pair_up(runs)
-
+def summarize_count_kernel(pairs: dict) -> float:
     print(f"{'dataset':<16} {'P':>2} {'pointer ns/txn':>15} "
           f"{'flat ns/txn':>12} {'speedup':>8}")
     worst = None
@@ -97,10 +107,63 @@ def main() -> None:
               f"{speedup:>8.2f}")
         if worst is None or speedup < worst:
             worst = speedup
+    return worst
 
-    if args.min_speedup is not None and worst < args.min_speedup:
-        fail(f"worst speedup {worst:.2f}x below gate {args.min_speedup}x")
-    print(f"bench_compare: OK (worst speedup {worst:.2f}x)")
+
+def apply_spec(doc: dict, runs: list, metric: str, threshold: float) -> None:
+    worst = None
+    for i, run in enumerate(runs):
+        if metric not in run:
+            fail(f"runs[{i}] has no metric {metric!r}")
+        value = run[metric]
+        if not isinstance(value, (int, float)):
+            fail(f"runs[{i}].{metric} is not numeric")
+        if worst is None or value < worst:
+            worst = value
+    if worst < threshold:
+        fail(f"{doc['bench']}: worst {metric} {worst:.3g} below gate "
+             f"{threshold:.3g}")
+    print(f"bench_compare: {doc['bench']}: worst {metric} {worst:.3g} >= "
+          f"{threshold:.3g}")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("artifact", help="smpmine.bench.v1 JSON path")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="count_kernel only: fail if any flat/pointer "
+                         "speedup is below this")
+    ap.add_argument("--spec", action="append", default=[],
+                    metavar="NAME:METRIC:THRESHOLD",
+                    help="gate: every run of bench NAME must have "
+                         "METRIC >= THRESHOLD (repeatable; specs naming "
+                         "other benches are ignored)")
+    args = ap.parse_args()
+
+    with open(args.artifact) as f:
+        doc = json.load(f)
+    runs = validate_generic(doc)
+
+    if doc["bench"] == "count_kernel":
+        pairs = validate_count_kernel(runs)
+        worst = summarize_count_kernel(pairs)
+        if args.min_speedup is not None and worst < args.min_speedup:
+            fail(f"worst speedup {worst:.2f}x below gate "
+                 f"{args.min_speedup}x")
+    elif args.min_speedup is not None:
+        fail(f"--min-speedup only applies to count_kernel artifacts, "
+             f"this is {doc['bench']!r}")
+
+    specs = [parse_spec(s) for s in args.spec]
+    matched = [s for s in specs if s[0] == doc["bench"]]
+    if specs and not matched:
+        fail(f"no --spec matches bench {doc['bench']!r}")
+    for _, metric, threshold in matched:
+        apply_spec(doc, runs, metric, threshold)
+
+    print(f"bench_compare: OK ({doc['bench']}, {len(runs)} runs)")
 
 
 if __name__ == "__main__":

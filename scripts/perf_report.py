@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Render and regression-gate smpmine run manifests (schema v2).
+
+Aggregates one or more run-manifest JSON files (``smpmine.run.v2`` or the
+multi-run ``smpmine.runs.v2`` bench shape; v1 renders with wall times only)
+into a per-phase attribution table: wall time, task-clock, IPC, LLC miss
+rate, stall fraction, page faults — plus the contention histogram
+percentiles (spinlock spin rounds, flat-kernel tile latency).
+
+With ``--diff BASELINE`` the first run of each file is compared phase by
+phase and the script exits nonzero when any threshold is exceeded:
+
+* ``--max-time-ratio``   current/baseline phase wall time (default 1.25)
+* ``--max-ipc-drop``     relative IPC drop, hardware backends only (0.2)
+* ``--max-miss-rate-increase``  absolute LLC miss-rate increase (0.05)
+* ``--min-phase-seconds``  phases faster than this are never gated (0.01)
+
+Usage:
+    scripts/perf_report.py run.json
+    scripts/perf_report.py run.json --diff golden.json --max-time-ratio 1.5
+"""
+
+import argparse
+import json
+import sys
+
+PHASES = ("f1", "candgen", "remap", "freeze", "count", "reduce", "select")
+
+
+def fail(msg: str) -> None:
+    print(f"perf_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_runs(path: str) -> list:
+    """Returns the manifest's runs as a list of run objects."""
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema", "")
+    if schema in ("smpmine.run.v2", "smpmine.run.v1"):
+        return [doc["run"]]
+    if schema in ("smpmine.runs.v2", "smpmine.runs.v1"):
+        runs = doc.get("runs", [])
+        if not runs:
+            fail(f"{path}: empty runs[]")
+        return runs
+    fail(f"{path}: unknown schema {schema!r}")
+
+
+def phase_wall_seconds(run: dict) -> dict:
+    """Phase -> wall seconds, summed over iterations (f1 from totals)."""
+    wall = {phase: 0.0 for phase in PHASES}
+    wall["f1"] = run.get("totals", {}).get("f1_seconds", 0.0)
+    for it in run.get("iterations", []):
+        for phase in PHASES:
+            wall[phase] += it.get(f"{phase}_seconds", 0.0)
+    return wall
+
+
+def phase_table(run: dict) -> dict:
+    """Phase -> {wall, and the perf counter block when present}."""
+    perf_phases = run.get("perf", {}).get("phases", {})
+    table = {}
+    for phase, wall in phase_wall_seconds(run).items():
+        counters = perf_phases.get(phase, {})
+        if wall == 0.0 and not counters:
+            continue
+        table[phase] = {"wall_seconds": wall, **counters}
+    # Phases only the perf block knows about (defensive: keep them visible).
+    for phase, counters in perf_phases.items():
+        if phase not in table:
+            table[phase] = {"wall_seconds": 0.0, **counters}
+    return table
+
+
+def backend(run: dict) -> str:
+    return run.get("perf", {}).get("backend", "off")
+
+
+def fmt(value, width, decimals=2):
+    if value is None:
+        return " " * (width - 1) + "-"
+    return f"{value:>{width}.{decimals}f}"
+
+
+def render_run(run: dict, index: int) -> None:
+    label = run.get("dataset", {}).get("label", "?")
+    print(f"run[{index}]: {run.get('tool', '?')} on {label} "
+          f"({run.get('options', {}).get('algorithm', '?')}, "
+          f"{run.get('options', {}).get('threads', '?')} threads, "
+          f"perf backend: {backend(run)})")
+    table = phase_table(run)
+    if not table:
+        print("  (no phase data)")
+        return
+    hw = backend(run) == "hardware"
+    print(f"  {'phase':<8} {'wall s':>9} {'cpu s':>9} "
+          f"{'ipc':>6} {'miss%':>6} {'stall%':>7} "
+          f"{'minflt':>8} {'majflt':>7} {'ctxsw':>7}")
+    ordered = [p for p in PHASES if p in table] + sorted(
+        p for p in table if p not in PHASES)
+    for phase in ordered:
+        row = table[phase]
+        cpu = row.get("task_clock_ns")
+        ctxsw = None
+        if "voluntary_ctx_switches" in row:
+            ctxsw = (row["voluntary_ctx_switches"]
+                     + row["involuntary_ctx_switches"])
+        print(f"  {phase:<8} {fmt(row['wall_seconds'], 9, 3)} "
+              f"{fmt(cpu / 1e9 if cpu is not None else None, 9, 3)} "
+              f"{fmt(row.get('ipc') if hw else None, 6)} "
+              f"{fmt(row['llc_miss_rate'] * 100 if hw and 'llc_miss_rate' in row else None, 6, 1)} "
+              f"{fmt(row['stall_fraction'] * 100 if hw and 'stall_fraction' in row else None, 7, 1)} "
+              f"{row.get('minor_faults', '-'):>8} "
+              f"{row.get('major_faults', '-'):>7} "
+              f"{ctxsw if ctxsw is not None else '-':>7}")
+    histograms = run.get("metrics", {}).get("histograms", {})
+    for name in sorted(histograms):
+        h = histograms[name]
+        if h.get("count", 0) == 0:
+            continue
+        print(f"  {name}: n={h['count']} mean={h['mean']:.1f} "
+              f"p50<={h['p50']} p90<={h['p90']} p99<={h['p99']} "
+              f"max<={h['max']}")
+    print()
+
+
+def diff_runs(current: dict, base: dict, args) -> int:
+    """Prints the comparison; returns the number of regressions."""
+    cur_table = phase_table(current)
+    base_table = phase_table(base)
+    both_hw = backend(current) == "hardware" and backend(base) == "hardware"
+    regressions = 0
+    print(f"{'phase':<8} {'base s':>9} {'cur s':>9} {'ratio':>7}  verdict")
+    for phase in [p for p in PHASES if p in base_table]:
+        base_row = base_table[phase]
+        cur_row = cur_table.get(phase)
+        if cur_row is None:
+            print(f"{phase:<8} {'':>9} {'':>9} {'':>7}  MISSING in current")
+            regressions += 1
+            continue
+        bw, cw = base_row["wall_seconds"], cur_row["wall_seconds"]
+        problems = []
+        # Sub-threshold phases are pure noise on small inputs: skip.
+        gated = bw >= args.min_phase_seconds
+        ratio = cw / bw if bw > 0 else None
+        if gated and ratio is not None and ratio > args.max_time_ratio:
+            problems.append(f"time x{ratio:.2f} > {args.max_time_ratio}")
+        if gated and both_hw:
+            base_ipc, cur_ipc = base_row.get("ipc"), cur_row.get("ipc")
+            if (base_ipc and cur_ipc is not None
+                    and cur_ipc < base_ipc * (1.0 - args.max_ipc_drop)):
+                problems.append(
+                    f"ipc {base_ipc:.2f}->{cur_ipc:.2f} "
+                    f"(drop > {args.max_ipc_drop:.0%})")
+            base_miss = base_row.get("llc_miss_rate")
+            cur_miss = cur_row.get("llc_miss_rate")
+            if (base_miss is not None and cur_miss is not None
+                    and cur_miss - base_miss > args.max_miss_rate_increase):
+                problems.append(
+                    f"llc miss {base_miss:.3f}->{cur_miss:.3f} "
+                    f"(+{cur_miss - base_miss:.3f} > "
+                    f"{args.max_miss_rate_increase})")
+        verdict = "REGRESSION: " + "; ".join(problems) if problems else "ok"
+        if not gated:
+            verdict = "ok (below --min-phase-seconds)"
+        print(f"{phase:<8} {fmt(bw, 9, 3)} {fmt(cw, 9, 3)} "
+              f"{fmt(ratio, 7) if ratio is not None else '      -'}  "
+              f"{verdict}")
+        if problems:
+            regressions += 1
+    base_total = base.get("totals", {}).get("total_seconds", 0.0)
+    cur_total = current.get("totals", {}).get("total_seconds", 0.0)
+    if base_total >= args.min_phase_seconds and base_total > 0:
+        ratio = cur_total / base_total
+        ok = ratio <= args.max_time_ratio
+        print(f"{'TOTAL':<8} {fmt(base_total, 9, 3)} {fmt(cur_total, 9, 3)} "
+              f"{fmt(ratio, 7)}  {'ok' if ok else 'REGRESSION'}")
+        if not ok:
+            regressions += 1
+    return regressions
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("manifests", nargs="+",
+                    help="run-manifest JSON file(s) (smpmine.run(s).v2)")
+    ap.add_argument("--diff", metavar="BASELINE",
+                    help="compare manifests[0] against this baseline and "
+                         "exit nonzero on regression")
+    ap.add_argument("--max-time-ratio", type=float, default=1.25)
+    ap.add_argument("--max-ipc-drop", type=float, default=0.2)
+    ap.add_argument("--max-miss-rate-increase", type=float, default=0.05)
+    ap.add_argument("--min-phase-seconds", type=float, default=0.01)
+    args = ap.parse_args()
+
+    index = 0
+    for path in args.manifests:
+        for run in load_runs(path):
+            render_run(run, index)
+            index += 1
+
+    if args.diff:
+        current = load_runs(args.manifests[0])[0]
+        base = load_runs(args.diff)[0]
+        regressions = diff_runs(current, base, args)
+        if regressions:
+            fail(f"{regressions} phase regression(s) vs {args.diff}")
+        print(f"perf_report: OK (no regressions vs {args.diff})")
+
+
+if __name__ == "__main__":
+    main()

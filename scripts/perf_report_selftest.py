@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Self-test for perf_report.py: the diff must flag an injected regression.
+
+Builds two synthetic smpmine.run.v2 manifests — a baseline and a copy with
+the count phase slowed 3x and its LLC miss rate tripled — and checks that
+``perf_report.py --diff`` (1) passes when current == baseline and (2) exits
+nonzero on the doctored manifest. This proves the regression gate actually
+gates, which a green CI run of the real pipeline cannot show.
+
+Usage: scripts/perf_report_selftest.py
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPORT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "perf_report.py")
+
+
+def counters(task_ns, cycles, instructions, refs, misses):
+    return {
+        "cycles": cycles, "instructions": instructions,
+        "cache_references": refs, "cache_misses": misses,
+        "stalled_cycles_backend": cycles // 4, "task_clock_ns": task_ns,
+        "minor_faults": 10, "major_faults": 0,
+        "voluntary_ctx_switches": 2, "involuntary_ctx_switches": 1,
+        "max_rss_kb": 50000, "samples": 4,
+        "ipc": instructions / cycles,
+        "llc_miss_rate": misses / refs,
+        "stall_fraction": 0.25,
+    }
+
+
+def manifest(count_seconds, count_miss_rate):
+    refs = 1_000_000
+    misses = int(refs * count_miss_rate)
+    return {
+        "schema": "smpmine.run.v2",
+        "run": {
+            "tool": "selftest",
+            "dataset": {"label": "synthetic", "digest": "0" * 16,
+                        "transactions": 1000, "avg_transaction_size": 10.0},
+            "options": {"summary": "", "algorithm": "ccpd", "threads": 4,
+                        "min_support": 0.01},
+            "totals": {"f1_seconds": 0.02, "total_seconds": 0.1 + count_seconds,
+                       "frequent": 100, "candidates": 500},
+            "perf": {
+                "backend": "hardware",
+                "phases": {
+                    "candgen": counters(40_000_000, 100_000_000, 180_000_000,
+                                        refs, refs // 50),
+                    "count": counters(int(count_seconds * 4e9),
+                                      400_000_000, 700_000_000,
+                                      refs, misses),
+                },
+            },
+            "iterations": [{
+                "k": 2, "candidates": 500, "pruned": 10, "frequent": 100,
+                "candgen_seconds": 0.04, "remap_seconds": 0.001,
+                "freeze_seconds": 0.002, "count_seconds": count_seconds,
+                "reduce_seconds": 0.001, "select_seconds": 0.002,
+                "perf": {},
+            }],
+            "metrics": {
+                "counters": {}, "gauges": {},
+                "histograms": {
+                    "spinlock.spin_rounds": {
+                        "count": 12, "sum": 600, "mean": 50.0,
+                        "p50": 31, "p90": 127, "p99": 255, "max": 255,
+                        "buckets": [0, 0, 0, 0, 0, 6, 3, 2, 1],
+                    },
+                },
+            },
+        },
+    }
+
+
+def run_report(args):
+    return subprocess.run([sys.executable, REPORT, *args],
+                         capture_output=True, text=True)
+
+
+def check(name, ok, detail=""):
+    if not ok:
+        print(f"perf_report_selftest: FAIL: {name}\n{detail}",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"perf_report_selftest: ok: {name}")
+
+
+def main():
+    base = manifest(count_seconds=0.2, count_miss_rate=0.02)
+    same = copy.deepcopy(base)
+    slow = manifest(count_seconds=0.6, count_miss_rate=0.10)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = {}
+        for name, doc in (("base", base), ("same", same), ("slow", slow)):
+            paths[name] = os.path.join(tmp, f"{name}.json")
+            with open(paths[name], "w") as f:
+                json.dump(doc, f)
+
+        r = run_report([paths["base"]])
+        check("render succeeds", r.returncode == 0, r.stderr)
+        check("render shows count phase", "count" in r.stdout, r.stdout)
+        check("render shows histogram percentiles",
+              "spinlock.spin_rounds" in r.stdout and "p99<=255" in r.stdout,
+              r.stdout)
+
+        r = run_report([paths["same"], "--diff", paths["base"]])
+        check("identical manifests pass the gate", r.returncode == 0,
+              r.stdout + r.stderr)
+
+        r = run_report([paths["slow"], "--diff", paths["base"]])
+        check("injected 3x count slowdown is flagged", r.returncode != 0,
+              r.stdout + r.stderr)
+        check("regression names the count phase and time ratio",
+              "count" in r.stdout and "time x3.00" in r.stdout, r.stdout)
+        check("llc miss-rate increase is flagged",
+              "llc miss" in r.stdout, r.stdout)
+
+        # The gate must tolerate machine-speed noise below the floor.
+        r = run_report([paths["slow"], "--diff", paths["base"],
+                        "--min-phase-seconds", "1.0"])
+        check("phases under --min-phase-seconds are not gated",
+              r.returncode == 0, r.stdout + r.stderr)
+
+    print("perf_report_selftest: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,7 @@
 #include "core/miner.hpp"
 #include "core/select.hpp"
 #include "hashtree/frozen_tree.hpp"
+#include "obs/perf/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
 
@@ -36,6 +37,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
 
   {
     SMPMINE_TRACE_SPAN("f1");
+    SMPMINE_PERF_PHASE("f1");
     WallTimer f1_timer;
     result.levels.push_back(compute_f1(db, min_count, pool));
     result.f1_seconds = f1_timer.seconds();
@@ -66,6 +68,12 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     // share this scope — each span is closed explicitly where the matching
     // WallTimer is read.
     SMPMINE_TRACE_SPAN_ARG("iteration", "k", k);
+    // Hardware-counter attribution: perf phase scopes mirror the trace
+    // spans (worker-side for the parallel phases, since counter sessions
+    // are per-thread); the registry delta across this iteration lands in
+    // it.perf.
+    const obs::perf::PhasePerfSnapshot perf_before =
+        obs::perf::PhasePerfRegistry::instance().snapshot();
 
     // ---- candidate generation -------------------------------------------
     WallTimer candgen_timer;
@@ -108,6 +116,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
       std::vector<double> gen_busy(threads, 0.0);
       pool.run_spmd([&](std::uint32_t tid) {
         SMPMINE_TRACE_SPAN_ARG("candgen", "k", k);
+        SMPMINE_PERF_PHASE("candgen");
         ThreadCpuTimer cpu;
         per_thread[tid] = generate_candidates(prev, classes, batches[tid],
                                               tree, opts.candidate_veto);
@@ -119,6 +128,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
       it.candgen_busy_max =
           *std::max_element(gen_busy.begin(), gen_busy.end());
     } else {
+      SMPMINE_PERF_PHASE("candgen");
       ThreadCpuTimer cpu;
       gen = generate_candidates(prev, classes, units, tree,
                                 opts.candidate_veto);
@@ -129,6 +139,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     it.candidates = tree.num_candidates();
     it.pruned = gen.pruned;
     if (it.candidates == 0) {
+      it.perf = obs::perf::delta_since(perf_before);
       result.iterations.push_back(it);
       break;
     }
@@ -136,6 +147,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     // ---- GPP remap --------------------------------------------------------
     {
       SMPMINE_TRACE_SPAN_ARG("remap", "k", k);
+      SMPMINE_PERF_PHASE("remap");
       WallTimer remap_timer;
       if (policy_remaps(opts.placement)) tree.remap_depth_first();
       it.remap_seconds = remap_timer.seconds();
@@ -196,6 +208,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     std::optional<FrozenTree> frozen;
     if (use_flat) {
       SMPMINE_TRACE_SPAN_ARG("freeze", "k", k);
+      SMPMINE_PERF_PHASE("freeze");
       WallTimer freeze_timer;
       frozen.emplace(tree, arenas);
       it.freeze_seconds = freeze_timer.seconds();
@@ -212,6 +225,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     SMPMINE_TRACE_PHASE(count_span, "count", "k", k);
     std::vector<double> busy(threads, 0.0);
     pool.run_spmd([&](std::uint32_t tid) {
+      SMPMINE_PERF_PHASE("count");
       ThreadCpuTimer busy_timer;
       if (use_flat) {
         SMPMINE_TRACE_SPAN_ARG("count.flat", "k", k);
@@ -258,6 +272,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
         const std::uint32_t per = (n + threads - 1) / threads;
         pool.run_spmd([&](std::uint32_t tid) {
           SMPMINE_TRACE_SPAN_ARG("reduce", "k", k);
+          SMPMINE_PERF_PHASE("reduce");
           const std::uint32_t begin = std::min(n, tid * per);
           const std::uint32_t end = std::min(n, begin + per);
           if (use_flat) {
@@ -280,10 +295,15 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     // ---- selection ----------------------------------------------------------
     WallTimer select_timer;
     SMPMINE_TRACE_PHASE(select_span, "select", "k", k);
-    FrequentSet fk = select_frequent(tree, min_count);
+    FrequentSet fk;
+    {
+      SMPMINE_PERF_PHASE("select");
+      fk = select_frequent(tree, min_count);
+    }
     SMPMINE_TRACE_PHASE_END(select_span);
     it.select_seconds = select_timer.seconds();
     it.frequent = fk.size();
+    it.perf = obs::perf::delta_since(perf_before);
     const bool done = fk.empty();
     if (!done) result.levels.push_back(std::move(fk));
     result.iterations.push_back(it);

@@ -14,6 +14,7 @@
 #include "core/miner.hpp"
 #include "core/select.hpp"
 #include "hashtree/frozen_tree.hpp"
+#include "obs/perf/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
 
@@ -37,6 +38,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
 
   {
     SMPMINE_TRACE_SPAN("f1");
+    SMPMINE_PERF_PHASE("f1");
     WallTimer f1_timer;
     result.levels.push_back(compute_f1(db, min_count, pool));
     result.f1_seconds = f1_timer.seconds();
@@ -62,6 +64,10 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     IterationStats it;
     it.k = k;
     SMPMINE_TRACE_SPAN_ARG("iteration", "k", k);
+    // Perf phase scopes mirror the trace spans; per-iteration registry
+    // delta lands in it.perf (see ccpd.cpp).
+    const obs::perf::PhasePerfSnapshot perf_before =
+        obs::perf::PhasePerfRegistry::instance().snapshot();
 
     // ---- candidate generation (sequential; the split is the point) -------
     // PCCD's candgen phase covers the sequential join *and* the parallel
@@ -75,20 +81,25 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     ThreadCpuTimer gen_cpu;
     std::vector<item_t> flat;  // all candidates, k items each
     std::uint64_t vetoed = 0;
-    CandGenCounters gen = generate_candidates_emit(
-        prev, classes, units, [&](std::span<const item_t> cand) {
-          if (opts.candidate_veto && opts.candidate_veto(cand)) {
-            ++vetoed;
-            return;
-          }
-          flat.insert(flat.end(), cand.begin(), cand.end());
-        });
+    CandGenCounters gen;
+    {
+      SMPMINE_PERF_PHASE("candgen");
+      gen = generate_candidates_emit(
+          prev, classes, units, [&](std::span<const item_t> cand) {
+            if (opts.candidate_veto && opts.candidate_veto(cand)) {
+              ++vetoed;
+              return;
+            }
+            flat.insert(flat.end(), cand.begin(), cand.end());
+          });
+    }
     gen.generated -= vetoed;
     gen.pruned += vetoed;
     const double gen_cpu_seconds = gen_cpu.seconds();
     it.pruned = gen.pruned;
     it.candidates = gen.generated;
     if (it.candidates == 0) {
+      it.perf = obs::perf::delta_since(perf_before);
       result.iterations.push_back(it);
       break;
     }
@@ -111,6 +122,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     const std::size_t num_candidates = it.candidates;
     pool.run_spmd([&](std::uint32_t tid) {
       SMPMINE_TRACE_SPAN_ARG("candgen.build", "k", k);
+      SMPMINE_PERF_PHASE("candgen");
       ThreadCpuTimer cpu;
       arenas[tid]->reset();
       trees[tid] =
@@ -144,6 +156,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
       WallTimer freeze_timer;
       SMPMINE_TRACE_PHASE(freeze_span, "freeze", "k", k);
       pool.run_spmd([&](std::uint32_t tid) {
+        SMPMINE_PERF_PHASE("freeze");
         frozen[tid] =
             std::make_unique<FrozenTree>(*trees[tid], *arenas[tid]);
       });
@@ -157,6 +170,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     SMPMINE_TRACE_PHASE(count_span, "count", "k", k);
     std::vector<double> busy(threads, 0.0);
     pool.run_spmd([&](std::uint32_t tid) {
+      SMPMINE_PERF_PHASE("count");
       ThreadCpuTimer busy_timer;
       if (use_flat) {
         SMPMINE_TRACE_SPAN_ARG("count.flat", "k", k);
@@ -200,8 +214,11 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     if (use_flat) {
       WallTimer reduce_timer;
       SMPMINE_TRACE_PHASE(reduce_span, "reduce", "k", k);
-      for (std::uint32_t t = 0; t < threads; ++t) {
-        frozen[t]->thaw_counts(*trees[t]);
+      {
+        SMPMINE_PERF_PHASE("reduce");
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          frozen[t]->thaw_counts(*trees[t]);
+        }
       }
       SMPMINE_TRACE_PHASE_END(reduce_span);
       it.reduce_seconds = reduce_timer.seconds();
@@ -210,10 +227,15 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     // ---- selection: master merges per-tree survivors ----------------------
     WallTimer select_timer;
     SMPMINE_TRACE_PHASE(select_span, "select", "k", k);
-    FrequentSet fk = select_frequent(trees, min_count);
+    FrequentSet fk;
+    {
+      SMPMINE_PERF_PHASE("select");
+      fk = select_frequent(trees, min_count);
+    }
     SMPMINE_TRACE_PHASE_END(select_span);
     it.select_seconds = select_timer.seconds();
     it.frequent = fk.size();
+    it.perf = obs::perf::delta_since(perf_before);
     const bool done = fk.size() == 0;
     if (!done) result.levels.push_back(std::move(fk));
     result.iterations.push_back(it);

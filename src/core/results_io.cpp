@@ -129,6 +129,58 @@ std::string hex_digest(std::uint64_t digest) {
   return buf;
 }
 
+void write_counter_set(obs::JsonWriter& w,
+                       const obs::perf::PerfCounterSet& c) {
+  w.begin_object();
+  w.kv("cycles", c.cycles);
+  w.kv("instructions", c.instructions);
+  w.kv("cache_references", c.cache_references);
+  w.kv("cache_misses", c.cache_misses);
+  w.kv("stalled_cycles_backend", c.stalled_cycles_backend);
+  w.kv("task_clock_ns", c.task_clock_ns);
+  w.kv("minor_faults", c.minor_faults);
+  w.kv("major_faults", c.major_faults);
+  w.kv("voluntary_ctx_switches", c.voluntary_ctx_switches);
+  w.kv("involuntary_ctx_switches", c.involuntary_ctx_switches);
+  w.kv("max_rss_kb", c.max_rss_kb);
+  w.kv("samples", c.samples);
+  w.kv("ipc", c.ipc());
+  w.kv("llc_miss_rate", c.llc_miss_rate());
+  w.kv("stall_fraction", c.stall_fraction());
+  w.end_object();
+}
+
+void write_phase_perf(obs::JsonWriter& w,
+                      const obs::perf::PhasePerfSnapshot& snapshot) {
+  w.begin_object();
+  for (const auto& [phase, counters] : snapshot) {
+    w.key(phase);
+    write_counter_set(w, counters);
+  }
+  w.end_object();
+}
+
+void write_histogram(obs::JsonWriter& w, const obs::HistogramSummary& h) {
+  w.begin_object();
+  w.kv("count", h.count);
+  w.kv("sum", h.sum);
+  w.kv("mean", h.mean());
+  w.kv("p50", h.percentile(0.50));
+  w.kv("p90", h.percentile(0.90));
+  w.kv("p99", h.percentile(0.99));
+  w.kv("max", h.max_bound());
+  // Per-bucket counts, trimmed after the last populated log2 bucket
+  // (bucket i covers [2^(i-1), 2^i)); readers zero-extend to 65.
+  std::uint32_t last = 0;
+  for (std::uint32_t i = 0; i < obs::kHistogramBuckets; ++i) {
+    if (h.buckets[i] != 0) last = i + 1;
+  }
+  w.key("buckets").begin_array();
+  for (std::uint32_t i = 0; i < last; ++i) w.value(h.buckets[i]);
+  w.end_array();
+  w.end_object();
+}
+
 void write_iteration(obs::JsonWriter& w, const IterationStats& it) {
   w.begin_object();
   w.kv("k", it.k);
@@ -158,6 +210,8 @@ void write_iteration(obs::JsonWriter& w, const IterationStats& it) {
   w.kv("hits", it.hits);
   w.kv("count_tiles", it.count_tiles);
   w.kv("count_tile_size", it.count_tile_size);
+  w.key("perf");
+  write_phase_perf(w, it.perf);
   w.end_object();
 }
 
@@ -182,6 +236,11 @@ void write_manifest_body(obs::JsonWriter& w, const RunManifest& m) {
   w.kv("frequent", m.total_frequent);
   w.kv("candidates", m.total_candidates);
   w.end_object();
+  w.key("perf").begin_object();
+  w.kv("backend", m.perf_backend);
+  w.key("phases");
+  write_phase_perf(w, m.phase_perf);
+  w.end_object();
   w.key("iterations").begin_array();
   for (const IterationStats& it : m.iterations) write_iteration(w, it);
   w.end_array();
@@ -191,6 +250,12 @@ void write_manifest_body(obs::JsonWriter& w, const RunManifest& m) {
   w.end_object();
   w.key("gauges").begin_object();
   for (const auto& [name, val] : m.metrics.gauges) w.kv(name, val);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, hist] : m.metrics.histograms) {
+    w.key(name);
+    write_histogram(w, hist);
+  }
   w.end_object();
   w.end_object();
   w.end_object();
@@ -217,13 +282,15 @@ RunManifest make_run_manifest(std::string tool, std::string dataset_label,
   m.total_candidates = result.total_candidates();
   m.iterations = result.iterations;
   m.metrics = obs::MetricsRegistry::instance().snapshot();
+  m.perf_backend = obs::perf::to_string(obs::perf::active_backend());
+  m.phase_perf = obs::perf::PhasePerfRegistry::instance().snapshot();
   return m;
 }
 
 void write_run_manifest(const RunManifest& manifest, std::ostream& os) {
   obs::JsonWriter w(os);
   w.begin_object();
-  w.kv("schema", "smpmine.run.v1");
+  w.kv("schema", "smpmine.run.v2");
   w.key("run");
   write_manifest_body(w, manifest);
   w.end_object();
@@ -243,7 +310,7 @@ void save_run_manifests(const std::vector<RunManifest>& runs,
   if (!os) fail("save_run_manifests: cannot open " + path);
   obs::JsonWriter w(os);
   w.begin_object();
-  w.kv("schema", "smpmine.runs.v1");
+  w.kv("schema", "smpmine.runs.v2");
   w.key("runs").begin_array();
   for (const RunManifest& m : runs) write_manifest_body(w, m);
   w.end_array();

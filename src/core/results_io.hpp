@@ -40,7 +40,13 @@ void save_rules_csv(const std::vector<Rule>& rules, const std::string& path);
 /// ran, on what data (label + content digest), with which options, what
 /// came out (totals + the full per-iteration stats series), and what the
 /// observability counters saw. Serialized as JSON (schema
-/// "smpmine.run.v1") through obs::JsonWriter.
+/// "smpmine.run.v2") through obs::JsonWriter.
+///
+/// Schema history: v2 extends v1 with a top-level "perf" block (backend
+/// marker + per-phase hardware/software counter attribution), a "perf"
+/// object per iteration, and "histograms" under "metrics". v2 is a strict
+/// superset — a v1 reader that ignores unknown keys parses v2 documents
+/// unchanged.
 struct RunManifest {
   std::string tool;     ///< emitting binary, e.g. "smpmine_cli"
   std::string dataset;  ///< input path or generator name
@@ -59,9 +65,15 @@ struct RunManifest {
   std::uint64_t total_candidates = 0;
   std::vector<IterationStats> iterations;
 
-  /// Counter/gauge values at manifest-creation time. For a single-run tool
-  /// this is the run's totals; bench manifests record per-entry deltas.
+  /// Counter/gauge/histogram values at manifest-creation time. For a
+  /// single-run tool this is the run's totals; bench manifests record
+  /// per-entry deltas.
   obs::MetricsSnapshot metrics;
+
+  /// Active perf backend ("off" / "hardware" / "software") and the
+  /// run-total per-phase counter attribution (empty when off).
+  std::string perf_backend = "off";
+  obs::perf::PhasePerfSnapshot phase_perf;
 };
 
 /// Builds a manifest from a finished run, snapshotting the global metrics

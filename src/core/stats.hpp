@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "itemset/frequent_set.hpp"
+#include "obs/perf/perf_counters.hpp"
 #include "util/timer.hpp"
 
 namespace smpmine {
@@ -74,6 +75,11 @@ struct IterationStats {
   /// the candidate's read-only items — the false-sharing hazard the L-*
   /// policies eliminate (0 when counters are segregated or privatized).
   double counter_itemset_line_sharing = 0.0;
+
+  /// Per-phase hardware/software counter deltas attributed to this
+  /// iteration (empty when the perf backend is off). Phase names follow
+  /// the *_seconds fields above.
+  obs::perf::PhasePerfSnapshot perf;
 
   double total_seconds() const {
     return candgen_seconds + remap_seconds + freeze_seconds + count_seconds +

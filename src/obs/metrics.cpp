@@ -1,6 +1,66 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+
 namespace smpmine::obs {
+
+std::uint64_t HistogramSummary::percentile(double p) const noexcept {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the percentile sample, 1-based; ceil so p=1.0 lands on the
+  // last sample and p=0.0 on the first.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(p * static_cast<double>(count) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return histogram_bucket_hi(i);
+  }
+  return max_bound();
+}
+
+std::uint64_t HistogramSummary::max_bound() const noexcept {
+  for (std::uint32_t i = kHistogramBuckets; i-- > 0;) {
+    if (buckets[i] != 0) return histogram_bucket_hi(i);
+  }
+  return 0;
+}
+
+HistogramSummary HistogramSummary::delta_since(
+    const HistogramSummary& before) const noexcept {
+  HistogramSummary d;
+  d.count = count - before.count;
+  d.sum = sum - before.sum;
+  for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    d.buckets[i] = buckets[i] - before.buckets[i];
+  }
+  return d;
+}
+
+HistogramShard& Histogram::local_shard() {
+  MutexLock g(mu_);
+  shards_.push_back(std::make_unique<HistogramShard>());
+  return *shards_.back();
+}
+
+HistogramSummary Histogram::snapshot() const {
+  HistogramSummary out;
+  MutexLock g(mu_);
+  for (const auto& shard : shards_) {
+    for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+      out.buckets[i] += shard->bucket(i);
+    }
+    out.sum += shard->sum();
+  }
+  for (const std::uint64_t b : out.buckets) out.count += b;
+  return out;
+}
+
+void Histogram::reset() {
+  MutexLock g(mu_);
+  for (const auto& shard : shards_) shard->reset();
+}
 
 MetricsRegistry& MetricsRegistry::instance() {
   // Leaked on purpose: instrumented call sites cache Counter& in static
@@ -23,6 +83,9 @@ MetricsRegistry::MetricsRegistry() {
         "trace.dropped_events"}) {
     counters_.emplace(name, std::make_unique<Counter>());
   }
+  for (const char* name : {"spinlock.spin_rounds", "flatkernel.tile_ns"}) {
+    histograms_.emplace(name, std::make_unique<Histogram>());
+  }
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
@@ -44,6 +107,16 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   return *it->second;
 }
 
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  MutexLock g(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   MutexLock g(mu_);
@@ -55,6 +128,10 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, gauge] : gauges_) {
     snap.gauges.emplace_back(name, gauge->value());
   }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace_back(name, hist->snapshot());
+  }
   return snap;
 }
 
@@ -62,6 +139,7 @@ void MetricsRegistry::reset_values() {
   MutexLock g(mu_);
   for (const auto& [name, counter] : counters_) counter->reset();
   for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, hist] : histograms_) hist->reset();
 }
 
 }  // namespace smpmine::obs

@@ -15,7 +15,9 @@
 // entirely when SMPMINE_TRACING=OFF — see trace.hpp for the gate.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -26,6 +28,7 @@
 
 #include "parallel/mutex.hpp"
 #include "util/thread_annotations.hpp"
+#include "util/types.hpp"
 
 namespace smpmine::obs {
 
@@ -69,11 +72,117 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+// ---------------------------------------------------------------------------
+// Histograms: log2-bucketed value distributions. A sum-only counter hides
+// exactly what the paper's contention story is about — a lock that spins 2
+// rounds a million times and one that spins a million rounds twice have the
+// same spin total but opposite remedies. Buckets make the tail a number.
+// ---------------------------------------------------------------------------
+
+/// Bucket i holds values whose bit width is i: bucket 0 is exactly {0},
+/// bucket i >= 1 covers [2^(i-1), 2^i). 64-bit values need bit widths
+/// 0..64, hence 65 buckets.
+inline constexpr std::uint32_t kHistogramBuckets = 65;
+
+/// Lower bound of bucket `i` (0 for the zero bucket).
+constexpr std::uint64_t histogram_bucket_lo(std::uint32_t i) noexcept {
+  return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+/// Inclusive upper bound of bucket `i`.
+constexpr std::uint64_t histogram_bucket_hi(std::uint32_t i) noexcept {
+  return i >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1;
+}
+
+/// One thread's private slice of a Histogram. Only the owning thread
+/// records (a relaxed fetch_add on its own cache lines — no locks, no
+/// cross-thread write traffic); mergers read the same atomics relaxed from
+/// any thread and tolerate a momentarily stale view. Cache-line aligned so
+/// two threads' shards never false-share.
+class alignas(kCacheLine) HistogramShard {
+ public:
+  static std::uint32_t bucket_index(std::uint64_t v) noexcept {
+    return static_cast<std::uint32_t>(std::bit_width(v));
+  }
+
+  void record(std::uint64_t v) noexcept {
+    // relaxed-ok: shard cells are pure totals owned by one writer; readers
+    // merge a snapshot and tolerate missing the most recent samples.
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    // relaxed-ok: see above.
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t bucket(std::uint32_t i) const noexcept {
+    // relaxed-ok: merge-time read of a monotonic total.
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    // relaxed-ok: merge-time read of a monotonic total.
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Zeroes the shard in place (between runs; concurrent records may land
+  /// on either side of the reset, as with Counter::reset).
+  void reset() noexcept {
+    for (auto& b : buckets_) {
+      // relaxed-ok: reset happens between runs, no ordering needed.
+      b.store(0, std::memory_order_relaxed);
+    }
+    // relaxed-ok: see above.
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Merged view of a Histogram across all shards, as serialized into run
+/// manifests. Percentiles are bucket upper bounds (conservative: the true
+/// value is <= the reported one).
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  double mean() const noexcept {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+  /// Upper bound of the bucket containing the p-th percentile, p in [0,1].
+  std::uint64_t percentile(double p) const noexcept;
+  /// Upper bound of the highest non-empty bucket (0 when empty).
+  std::uint64_t max_bound() const noexcept;
+  /// Bucket-wise difference `*this - before` (for per-run deltas).
+  HistogramSummary delta_since(const HistogramSummary& before) const noexcept;
+};
+
+/// Named distribution metric: a list of per-thread shards, merged on
+/// snapshot. Address-stable for the life of the process once registered;
+/// shards are never freed (threads may outlive any reset), only zeroed.
+class Histogram {
+ public:
+  /// Registers (once) and returns the calling thread's shard. Callers cache
+  /// the result in thread_local storage (see the accessor macro below), so
+  /// the registry mutex is paid once per thread, never on the record path.
+  HistogramShard& local_shard() EXCLUDES(mu_);
+
+  /// Merged view over all shards (relaxed reads; safe while recording).
+  HistogramSummary snapshot() const EXCLUDES(mu_);
+
+  /// Zeroes every shard; shard addresses (and thread caches) survive.
+  void reset() EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<HistogramShard>> shards_ GUARDED_BY(mu_);
+};
+
 /// Point-in-time copy of every registered metric, name-sorted (std::map
 /// iteration order), as the manifest exporter serializes it.
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
 };
 
 /// Name -> metric registry. Registration is idempotent: counter("x") always
@@ -87,6 +196,7 @@ class MetricsRegistry {
 
   Counter& counter(std::string_view name) EXCLUDES(mu_);
   Gauge& gauge(std::string_view name) EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) EXCLUDES(mu_);
 
   MetricsSnapshot snapshot() const EXCLUDES(mu_);
 
@@ -101,6 +211,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
       GUARDED_BY(mu_);
 };
 
@@ -150,6 +262,26 @@ SMPMINE_OBS_WELL_KNOWN_COUNTER(flatkernel_prefetches,
 SMPMINE_OBS_WELL_KNOWN_COUNTER(trace_dropped_events, "trace.dropped_events")
 
 #undef SMPMINE_OBS_WELL_KNOWN_COUNTER
+
+// Histogram accessors return the calling thread's shard directly: the
+// registry lookup is a function-local static (once per process) and the
+// shard registration a function-local thread_local (once per thread), so a
+// hot-path record() is a relaxed fetch_add on thread-private cache lines.
+#define SMPMINE_OBS_WELL_KNOWN_HISTOGRAM(fn, name)                      \
+  inline HistogramShard& fn() {                                         \
+    static Histogram& h = MetricsRegistry::instance().histogram(name);  \
+    thread_local HistogramShard& shard = h.local_shard();               \
+    return shard;                                                       \
+  }
+
+/// Spin-round distribution of contended SpinLock acquisitions (the tail
+/// the spinlock.acquire_spins sum cannot show).
+SMPMINE_OBS_WELL_KNOWN_HISTOGRAM(spinlock_spin_rounds,
+                                 "spinlock.spin_rounds")
+/// Wall nanoseconds per flat-kernel transaction tile.
+SMPMINE_OBS_WELL_KNOWN_HISTOGRAM(flatkernel_tile_ns, "flatkernel.tile_ns")
+
+#undef SMPMINE_OBS_WELL_KNOWN_HISTOGRAM
 
 }  // namespace metric
 

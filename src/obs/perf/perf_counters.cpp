@@ -1,0 +1,401 @@
+#include "obs/perf/perf_counters.hpp"
+
+#include <fcntl.h>
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <ctime>
+
+namespace smpmine::obs::perf {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Backend state. No relaxed orderings here: backend flips happen once at
+// startup (or between runs in tests) and the seq_cst loads on the sampling
+// path are cheap next to a counter read.
+// ---------------------------------------------------------------------------
+
+std::atomic<std::uint8_t> g_backend{
+    static_cast<std::uint8_t>(PerfBackend::Off)};
+/// Bumped by init(); thread sessions re-open when their stamp is stale.
+std::atomic<std::uint64_t> g_generation{0};
+
+long sys_perf_event_open(perf_event_attr* attr, pid_t pid, int cpu,
+                         int group_fd, unsigned long flags) {
+  return ::syscall(__NR_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+perf_event_attr make_attr(std::uint32_t type, std::uint64_t config,
+                          bool leader) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  // Self-profiling only: with kernel/hypervisor excluded the group opens
+  // under perf_event_paranoid <= 2, the default on most distributions.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.disabled = leader ? 1 : 0;  // group starts when the leader is enabled
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return attr;
+}
+
+/// The group layout. The leader must be first; members that fail to open
+/// (PMU without the event, VM without a stall counter) are simply absent
+/// from the group and read as zero.
+struct GroupMember {
+  std::uint32_t type;
+  std::uint64_t config;
+  std::uint64_t PerfCounterSet::*field;
+};
+
+constexpr GroupMember kGroup[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, &PerfCounterSet::cycles},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS,
+     &PerfCounterSet::instructions},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES,
+     &PerfCounterSet::cache_references},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES,
+     &PerfCounterSet::cache_misses},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND,
+     &PerfCounterSet::stalled_cycles_backend},
+};
+constexpr int kGroupSize = static_cast<int>(std::size(kGroup));
+
+/// One perf_event group owned by one thread. Opened lazily on first
+/// sample under the hardware backend; closed when the thread exits or the
+/// backend generation changes.
+class ThreadPerfSession {
+ public:
+  ~ThreadPerfSession() { close_fds(); }
+
+  /// True when the session is open for the current backend generation
+  /// (opening it now if needed).
+  bool ensure_open(std::uint64_t generation) {
+    if (generation_ == generation) return leader_fd_ >= 0;
+    close_fds();
+    generation_ = generation;
+    open_fds();
+    return leader_fd_ >= 0;
+  }
+
+  /// Reads the whole group atomically and scales for multiplexing.
+  bool read_group(PerfCounterSet& out) {
+    if (leader_fd_ < 0) return false;
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+    std::uint64_t buf[3 + kGroupSize] = {};
+    const ssize_t want =
+        static_cast<ssize_t>(sizeof(std::uint64_t) * (3 + open_count_));
+    if (::read(leader_fd_, buf, sizeof(buf)) < want) return false;
+    const std::uint64_t time_enabled = buf[1];
+    const std::uint64_t time_running = buf[2];
+    for (int i = 0; i < kGroupSize; ++i) {
+      const int slot = slot_[i];
+      if (slot < 0) continue;
+      std::uint64_t value = buf[3 + slot];
+      // Scale for counter multiplexing: when the PMU rotated this group
+      // out, extrapolate to the full enabled window.
+      if (time_running != 0 && time_running < time_enabled) {
+        value = static_cast<std::uint64_t>(
+            static_cast<double>(value) * static_cast<double>(time_enabled) /
+            static_cast<double>(time_running));
+      }
+      out.*(kGroup[i].field) = value;
+    }
+    return true;
+  }
+
+ private:
+  void open_fds() {
+    open_count_ = 0;
+    for (int i = 0; i < kGroupSize; ++i) slot_[i] = -1;
+    perf_event_attr leader = make_attr(kGroup[0].type, kGroup[0].config,
+                                       /*leader=*/true);
+    leader_fd_ = static_cast<int>(
+        sys_perf_event_open(&leader, /*pid=*/0, /*cpu=*/-1,
+                            /*group_fd=*/-1, PERF_FLAG_FD_CLOEXEC));
+    if (leader_fd_ < 0) return;
+    slot_[0] = open_count_++;
+    member_fds_[0] = leader_fd_;
+    for (int i = 1; i < kGroupSize; ++i) {
+      perf_event_attr attr = make_attr(kGroup[i].type, kGroup[i].config,
+                                       /*leader=*/false);
+      const int fd = static_cast<int>(
+          sys_perf_event_open(&attr, /*pid=*/0, /*cpu=*/-1, leader_fd_,
+                              PERF_FLAG_FD_CLOEXEC));
+      if (fd < 0) continue;  // member unsupported on this PMU: reads as zero
+      member_fds_[open_count_] = fd;
+      slot_[i] = open_count_++;
+    }
+    ::ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ::ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+
+  void close_fds() {
+    for (int i = 0; i < open_count_; ++i) {
+      if (member_fds_[i] >= 0) ::close(member_fds_[i]);
+      member_fds_[i] = -1;
+    }
+    leader_fd_ = -1;
+    open_count_ = 0;
+  }
+
+  int leader_fd_ = -1;
+  int member_fds_[kGroupSize] = {-1, -1, -1, -1, -1};
+  /// kGroup index -> position in the kernel's read buffer, -1 if unopened.
+  int slot_[kGroupSize] = {-1, -1, -1, -1, -1};
+  int open_count_ = 0;
+  std::uint64_t generation_ = ~std::uint64_t{0};
+};
+
+thread_local ThreadPerfSession tls_session;
+
+std::uint64_t thread_cputime_ns() {
+  timespec ts{};
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void fill_software_counters(PerfCounterSet& out) {
+  out.task_clock_ns = thread_cputime_ns();
+  rusage ru{};
+  if (::getrusage(RUSAGE_THREAD, &ru) != 0) return;
+  out.minor_faults = static_cast<std::uint64_t>(ru.ru_minflt);
+  out.major_faults = static_cast<std::uint64_t>(ru.ru_majflt);
+  out.voluntary_ctx_switches = static_cast<std::uint64_t>(ru.ru_nvcsw);
+  out.involuntary_ctx_switches = static_cast<std::uint64_t>(ru.ru_nivcsw);
+  out.max_rss_kb = static_cast<std::uint64_t>(ru.ru_maxrss);
+}
+
+std::uint32_t to_milli_clamped(double v) {
+  if (v <= 0.0) return 0;
+  const double milli = v * 1e3;
+  constexpr double kMax = 4294967295.0;
+  return milli >= kMax ? static_cast<std::uint32_t>(kMax)
+                       : static_cast<std::uint32_t>(milli);
+}
+
+}  // namespace
+
+const char* to_string(PerfBackend backend) noexcept {
+  switch (backend) {
+    case PerfBackend::Off:
+      return "off";
+    case PerfBackend::Auto:
+      return "auto";
+    case PerfBackend::Hardware:
+      return "hardware";
+    case PerfBackend::Software:
+      return "software";
+  }
+  return "off";
+}
+
+std::optional<PerfBackend> backend_from_string(
+    std::string_view name) noexcept {
+  if (name == "auto") return PerfBackend::Auto;
+  if (name == "hw" || name == "hardware") return PerfBackend::Hardware;
+  if (name == "sw" || name == "software") return PerfBackend::Software;
+  if (name == "off") return PerfBackend::Off;
+  return std::nullopt;
+}
+
+PerfCounterSet& PerfCounterSet::operator+=(
+    const PerfCounterSet& other) noexcept {
+  cycles += other.cycles;
+  instructions += other.instructions;
+  cache_references += other.cache_references;
+  cache_misses += other.cache_misses;
+  stalled_cycles_backend += other.stalled_cycles_backend;
+  task_clock_ns += other.task_clock_ns;
+  minor_faults += other.minor_faults;
+  major_faults += other.major_faults;
+  voluntary_ctx_switches += other.voluntary_ctx_switches;
+  involuntary_ctx_switches += other.involuntary_ctx_switches;
+  if (other.max_rss_kb > max_rss_kb) max_rss_kb = other.max_rss_kb;
+  samples += other.samples;
+  return *this;
+}
+
+PerfCounterSet PerfCounterSet::delta_since(
+    const PerfCounterSet& start) const noexcept {
+  // Saturating subtraction: multiplex extrapolation and rusage can in rare
+  // cases read non-monotonically; a phase delta must never wrap to 2^64.
+  const auto sub = [](std::uint64_t end, std::uint64_t begin) {
+    return end > begin ? end - begin : 0;
+  };
+  PerfCounterSet d;
+  d.cycles = sub(cycles, start.cycles);
+  d.instructions = sub(instructions, start.instructions);
+  d.cache_references = sub(cache_references, start.cache_references);
+  d.cache_misses = sub(cache_misses, start.cache_misses);
+  d.stalled_cycles_backend =
+      sub(stalled_cycles_backend, start.stalled_cycles_backend);
+  d.task_clock_ns = sub(task_clock_ns, start.task_clock_ns);
+  d.minor_faults = sub(minor_faults, start.minor_faults);
+  d.major_faults = sub(major_faults, start.major_faults);
+  d.voluntary_ctx_switches =
+      sub(voluntary_ctx_switches, start.voluntary_ctx_switches);
+  d.involuntary_ctx_switches =
+      sub(involuntary_ctx_switches, start.involuntary_ctx_switches);
+  d.max_rss_kb = max_rss_kb;
+  d.samples = sub(samples, start.samples);
+  return d;
+}
+
+double PerfCounterSet::ipc() const noexcept {
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(instructions) / static_cast<double>(cycles);
+}
+
+double PerfCounterSet::llc_miss_rate() const noexcept {
+  if (cache_references == 0) return 0.0;
+  return static_cast<double>(cache_misses) /
+         static_cast<double>(cache_references);
+}
+
+double PerfCounterSet::stall_fraction() const noexcept {
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(stalled_cycles_backend) /
+         static_cast<double>(cycles);
+}
+
+bool hardware_available() {
+  // Probed once per process: open a minimal cycles counter on self, read
+  // it, close it. Fails under perf_event_paranoid lockdown, seccomp
+  // filters, or PMU-less VMs — everything the software backend covers.
+  static const bool available = [] {
+    perf_event_attr attr =
+        make_attr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES,
+                  /*leader=*/false);
+    attr.disabled = 0;
+    const int fd = static_cast<int>(
+        sys_perf_event_open(&attr, /*pid=*/0, /*cpu=*/-1,
+                            /*group_fd=*/-1, PERF_FLAG_FD_CLOEXEC));
+    if (fd < 0) return false;
+    // A group-format read on a solo counter: nr + times + one value.
+    std::uint64_t buf[4] = {};
+    const bool readable = ::read(fd, buf, sizeof(buf)) >=
+                          static_cast<ssize_t>(4 * sizeof(std::uint64_t));
+    ::close(fd);
+    return readable;
+  }();
+  return available;
+}
+
+PerfBackend init(PerfBackend requested) {
+  PerfBackend chosen = requested;
+  if (requested == PerfBackend::Auto || requested == PerfBackend::Hardware) {
+    chosen = hardware_available() ? PerfBackend::Hardware
+                                  : PerfBackend::Software;
+  }
+  g_backend.store(static_cast<std::uint8_t>(chosen));
+  g_generation.fetch_add(1);
+  return chosen;
+}
+
+PerfBackend active_backend() noexcept {
+  return static_cast<PerfBackend>(g_backend.load());
+}
+
+bool sample_current_thread(PerfCounterSet& out) {
+  const PerfBackend backend = active_backend();
+  if (backend == PerfBackend::Off) return false;
+  out = PerfCounterSet{};
+  fill_software_counters(out);
+  if (backend == PerfBackend::Hardware &&
+      tls_session.ensure_open(g_generation.load())) {
+    // A thread whose group fails to open (fd limits mid-run) degrades to
+    // the software fields; the group reads stay zero.
+    tls_session.read_group(out);
+  }
+  return true;
+}
+
+PhasePerfRegistry& PhasePerfRegistry::instance() {
+  // Leaked on purpose, same as MetricsRegistry: PerfScope destructors on
+  // worker threads may fire during static destruction.
+  static PhasePerfRegistry* registry = new PhasePerfRegistry();
+  return *registry;
+}
+
+void PhasePerfRegistry::accumulate(std::string_view phase,
+                                   const PerfCounterSet& delta) {
+  MutexLock g(mu_);
+  auto it = phases_.find(phase);
+  if (it == phases_.end()) {
+    it = phases_.emplace(std::string(phase), PerfCounterSet{}).first;
+  }
+  it->second += delta;
+}
+
+PhasePerfSnapshot PhasePerfRegistry::snapshot() const {
+  PhasePerfSnapshot out;
+  MutexLock g(mu_);
+  out.reserve(phases_.size());
+  for (const auto& [phase, counters] : phases_) {
+    out.emplace_back(phase, counters);
+  }
+  return out;
+}
+
+void PhasePerfRegistry::reset() {
+  MutexLock g(mu_);
+  phases_.clear();
+}
+
+PhasePerfSnapshot delta_since(const PhasePerfSnapshot& before) {
+  const PhasePerfSnapshot now = PhasePerfRegistry::instance().snapshot();
+  PhasePerfSnapshot out;
+  for (const auto& [phase, counters] : now) {
+    const auto it =
+        std::find_if(before.begin(), before.end(),
+                     [&](const auto& p) { return p.first == phase; });
+    const PerfCounterSet delta =
+        it == before.end() ? counters : counters.delta_since(it->second);
+    if (delta.samples != 0) out.emplace_back(phase, delta);
+  }
+  return out;
+}
+
+PerfScope::PerfScope(const char* phase) noexcept {
+  if (active_backend() == PerfBackend::Off) return;
+  if (!sample_current_thread(start_)) return;
+  phase_ = phase;
+}
+
+PerfScope::~PerfScope() {
+  if (phase_ == nullptr) return;
+  PerfCounterSet end;
+  if (!sample_current_thread(end)) return;
+  PerfCounterSet delta = end.delta_since(start_);
+  delta.samples = 1;
+  PhasePerfRegistry::instance().accumulate(phase_, delta);
+  if constexpr (kTraceCompiled) {
+    if (Tracer::enabled()) {
+      TraceEvent ev;
+      ev.start_ns = now_ns();
+      ev.name = phase_;
+      ev.arg_name = "task_clock_us";
+      ev.arg_value = delta.task_clock_ns / 1000;
+      ev.instant = true;
+      ev.has_perf = true;
+      ev.perf_ipc_milli = to_milli_clamped(delta.ipc());
+      ev.perf_llc_miss_milli = to_milli_clamped(delta.llc_miss_rate());
+      ev.perf_stall_milli = to_milli_clamped(delta.stall_fraction());
+      Tracer::instance().local_buffer().emit(ev);
+    }
+  }
+}
+
+}  // namespace smpmine::obs::perf

@@ -1,0 +1,168 @@
+// Per-thread hardware-counter phase profiling.
+//
+// The paper's argument is microarchitectural: CCPD's wins and the
+// placement/balancing optimizations (Sections 4-5) are explained by cache
+// misses, false sharing and lock waits, not by wall clock alone. This
+// subsystem measures exactly that, per phase: every SMPMINE_PERF_PHASE
+// scope samples the calling thread's counter session at entry and exit and
+// accumulates the delta under the phase's name, so a run manifest can say
+// "counting ran at IPC 1.9 with a 4% LLC miss rate" instead of only
+// "counting took 1.2 s".
+//
+// Backends:
+//  - hardware: one perf_event_open group per thread (cycles leader;
+//    instructions, cache-references, cache-misses, stalled-cycles-backend
+//    members, read atomically with PERF_FORMAT_GROUP and scaled for
+//    multiplexing), plus getrusage(RUSAGE_THREAD) faults/context switches
+//    and CLOCK_THREAD_CPUTIME_ID task time. Counter members the PMU lacks
+//    (common for stalled-cycles-backend in VMs) read as zero.
+//  - software: the rusage/clock subset only. Same PerfCounterSet shape, so
+//    manifests keep one schema; the hardware-derived rates read as zero and
+//    the manifest carries backend:"software".
+//  - off: every scope is a no-op (the default until init() runs).
+//
+// Selection: init(Auto) probes perf_event_open once and picks hardware
+// when the kernel allows it (perf_event_paranoid <= 2 covers user-space
+// self-profiling; containers and lockdown fall back), software otherwise.
+// The CLI and benches expose the choice as --perf-backend.
+//
+// Layering: sits inside src/obs (above util/parallel, below everything
+// else). perf_event_open/syscall usage is confined to this directory —
+// enforced by lint rule R2.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "parallel/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace smpmine::obs::perf {
+
+enum class PerfBackend : std::uint8_t { Off, Auto, Hardware, Software };
+
+/// "off" / "auto" / "hardware" / "software".
+const char* to_string(PerfBackend backend) noexcept;
+/// Accepts the CLI spellings: auto | hw | hardware | software | sw | off.
+std::optional<PerfBackend> backend_from_string(std::string_view name) noexcept;
+
+/// Counter readings (absolute at sample time, deltas after subtraction).
+/// One shape for both backends: the hardware block is zero under the
+/// software backend, the rusage block is filled by both.
+struct PerfCounterSet {
+  // Hardware group (zero under the software backend).
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t stalled_cycles_backend = 0;
+
+  // Thread CPU time (CLOCK_THREAD_CPUTIME_ID), both backends.
+  std::uint64_t task_clock_ns = 0;
+
+  // getrusage(RUSAGE_THREAD), both backends.
+  std::uint64_t minor_faults = 0;
+  std::uint64_t major_faults = 0;
+  std::uint64_t voluntary_ctx_switches = 0;
+  std::uint64_t involuntary_ctx_switches = 0;
+  /// Process high-water RSS in KiB. Not a delta: subtraction and
+  /// accumulation keep the maximum observed value.
+  std::uint64_t max_rss_kb = 0;
+
+  /// Perf scopes folded into this set (1 per closed PerfScope).
+  std::uint64_t samples = 0;
+
+  PerfCounterSet& operator+=(const PerfCounterSet& other) noexcept;
+  /// Component-wise `*this - start` (max_rss_kb keeps the end value).
+  PerfCounterSet delta_since(const PerfCounterSet& start) const noexcept;
+
+  // Derived attributions (0.0 when the denominator is zero, e.g. under the
+  // software backend).
+  double ipc() const noexcept;
+  double llc_miss_rate() const noexcept;
+  double stall_fraction() const noexcept;
+};
+
+/// Selects and activates a backend process-wide. Auto probes the hardware
+/// backend and falls back to software; an explicit Hardware request also
+/// falls back to software when the probe fails (callers can detect the
+/// downgrade from the return value). Thread sessions re-open lazily after
+/// a backend change. Returns the active backend.
+PerfBackend init(PerfBackend requested);
+
+/// The backend selected by the last init() (Off before any init).
+PerfBackend active_backend() noexcept;
+
+/// True when perf_event_open is usable for self-profiling in this process
+/// (probed once, cached).
+bool hardware_available();
+
+/// Samples the calling thread's session into `out` (absolute readings).
+/// Returns false when the backend is Off; under the hardware backend a
+/// thread whose group cannot be opened degrades to the software fields.
+/// Exposed for tests; production code goes through PerfScope.
+bool sample_current_thread(PerfCounterSet& out);
+
+/// name-sorted (phase, accumulated deltas) pairs.
+using PhasePerfSnapshot = std::vector<std::pair<std::string, PerfCounterSet>>;
+
+/// Process-wide per-phase accumulator. PerfScope destructors fold their
+/// deltas in here under the phase's (static) name; the miners snapshot it
+/// around each iteration to attribute counters per iteration, and the
+/// manifest writer snapshots it once more for run totals.
+class PhasePerfRegistry {
+ public:
+  static PhasePerfRegistry& instance();
+
+  void accumulate(std::string_view phase, const PerfCounterSet& delta)
+      EXCLUDES(mu_);
+  PhasePerfSnapshot snapshot() const EXCLUDES(mu_);
+  /// Forgets all phases (tests and per-run deltas in benches).
+  void reset() EXCLUDES(mu_);
+
+ private:
+  PhasePerfRegistry() = default;
+
+  mutable Mutex mu_;
+  std::map<std::string, PerfCounterSet, std::less<>> phases_ GUARDED_BY(mu_);
+};
+
+/// Per-phase deltas accumulated since `before` was snapshotted; phases
+/// whose sample count did not change are omitted.
+PhasePerfSnapshot delta_since(const PhasePerfSnapshot& before);
+
+/// RAII phase scope: samples the thread's counter session at construction
+/// and destruction, accumulates the delta into PhasePerfRegistry under
+/// `phase` (which must be a string literal, like trace span names), and —
+/// when the tracer is live — emits an instant event carrying the derived
+/// IPC / LLC-miss-rate / stall-fraction so the attribution lands in the
+/// Chrome trace next to the phase span it describes.
+class PerfScope {
+ public:
+  explicit PerfScope(const char* phase) noexcept;
+  ~PerfScope();
+
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+ private:
+  const char* phase_ = nullptr;  ///< nullptr: backend off / session failed
+  PerfCounterSet start_;
+};
+
+}  // namespace smpmine::obs::perf
+
+/// Companion to SMPMINE_TRACE_SPAN/PHASE at the phase sites: declares a
+/// PerfScope covering the rest of the enclosing scope. `name` must be a
+/// phase name from IterationStats (lint rule R5 checks, same as trace
+/// spans). Runtime-gated on the active backend; a no-op costs one atomic
+/// load.
+#define SMPMINE_PERF_PHASE(name)              \
+  ::smpmine::obs::perf::PerfScope SMPMINE_OBS_CONCAT(smpmine_perf_, \
+                                                     __LINE__)(name)

@@ -84,8 +84,15 @@ void Tracer::for_each_event(
 namespace {
 
 void write_event_args(JsonWriter& w, const TraceEvent& ev) {
-  if (ev.arg_name == nullptr) return;
-  w.key("args").begin_object().kv(ev.arg_name, ev.arg_value).end_object();
+  if (ev.arg_name == nullptr && !ev.has_perf) return;
+  w.key("args").begin_object();
+  if (ev.arg_name != nullptr) w.kv(ev.arg_name, ev.arg_value);
+  if (ev.has_perf) {
+    w.kv("ipc", static_cast<double>(ev.perf_ipc_milli) / 1e3);
+    w.kv("llc_miss_rate", static_cast<double>(ev.perf_llc_miss_milli) / 1e3);
+    w.kv("stall_fraction", static_cast<double>(ev.perf_stall_milli) / 1e3);
+  }
+  w.end_object();
 }
 
 }  // namespace

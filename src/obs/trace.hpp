@@ -55,6 +55,13 @@ struct TraceEvent {
   const char* arg_name = nullptr;  ///< nullptr when the event carries no arg
   std::uint64_t arg_value = 0;
   bool instant = false;
+  /// Hardware-counter attribution from a perf phase scope (obs/perf),
+  /// milli-scaled so three uint32s cover the useful ranges: IPC 0-4M,
+  /// rates 0-1000. Rendered under "args" when has_perf is set.
+  bool has_perf = false;
+  std::uint32_t perf_ipc_milli = 0;
+  std::uint32_t perf_llc_miss_milli = 0;
+  std::uint32_t perf_stall_milli = 0;
 };
 
 /// Fixed-capacity single-producer event buffer. Only the owning thread

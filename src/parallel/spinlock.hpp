@@ -50,6 +50,10 @@ class CAPABILITY("spinlock") SpinLock {
         if (spin_rounds != 0) {
           obs::metric::spinlock_contended_acquires().inc();
           obs::metric::spinlock_acquire_spins().inc(spin_rounds);
+          // The histogram exposes the contention *tail* (p99 spin rounds)
+          // that the sum-counter above averages away; the counter stays for
+          // manifest compatibility.
+          obs::metric::spinlock_spin_rounds().record(spin_rounds);
         }
 #endif
         SMPMINE_LOCK_ACQUIRED(this, "SpinLock");

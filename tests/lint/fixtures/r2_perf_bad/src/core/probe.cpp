@@ -1,0 +1,10 @@
+// R2 violating fixture: a raw perf_event_open syscall outside src/obs/perf
+// bypasses backend selection and the per-thread fd lifecycle.
+
+namespace fixture {
+
+long probe() {
+  return syscall(__NR_perf_event_open, nullptr, 0, -1, -1, 0);
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Companion file proving the exemption: the same call inside src/obs/perf
+// must not add a second finding to this fixture.
+
+namespace fixture {
+
+long open_counter(void* attr) {
+  return syscall(__NR_perf_event_open, attr, 0, -1, -1, 0);
+}
+
+}  // namespace fixture

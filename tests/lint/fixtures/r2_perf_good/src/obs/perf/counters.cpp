@@ -1,0 +1,10 @@
+// R2 passing fixture: perf_event_open via raw syscall is fine *inside*
+// src/obs/perf — this is the one directory that owns the perf fd surface.
+
+namespace fixture {
+
+long open_cycles_counter(void* attr) {
+  return syscall(__NR_perf_event_open, attr, 0, -1, -1, 0);
+}
+
+}  // namespace fixture

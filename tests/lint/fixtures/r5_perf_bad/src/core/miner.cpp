@@ -1,0 +1,11 @@
+// R5 violating fixture: "warmup" is a bare perf-phase name with no matching
+// warmup_seconds field in stats.hpp.
+#include "core/stats.hpp"
+
+namespace fixture {
+
+void mine() {
+  SMPMINE_PERF_PHASE("warmup");
+}
+
+}  // namespace fixture

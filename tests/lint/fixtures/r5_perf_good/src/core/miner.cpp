@@ -1,0 +1,13 @@
+// R5 passing fixture: SMPMINE_PERF_PHASE names match *_seconds fields, so
+// counter attribution and the stats tables agree on phase vocabulary.
+#include "core/stats.hpp"
+
+namespace fixture {
+
+void mine() {
+  SMPMINE_PERF_PHASE("candgen");
+  SMPMINE_TRACE_SPAN("count");
+  SMPMINE_PERF_PHASE("count");
+}
+
+}  // namespace fixture

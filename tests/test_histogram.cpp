@@ -1,0 +1,161 @@
+// Histogram metric type: log2 bucket geometry, per-thread shard merging,
+// summary statistics (conservative bucket-bound percentiles), per-run
+// deltas, and the run-manifest JSON serialization.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/miner.hpp"
+#include "core/results_io.hpp"
+#include "data/quest_gen.hpp"
+
+namespace smpmine::obs {
+namespace {
+
+TEST(Histogram, BucketGeometry) {
+  // Bucket 0 is exactly {0}; bucket i >= 1 covers [2^(i-1), 2^i).
+  EXPECT_EQ(HistogramShard::bucket_index(0), 0u);
+  EXPECT_EQ(HistogramShard::bucket_index(1), 1u);
+  EXPECT_EQ(HistogramShard::bucket_index(2), 2u);
+  EXPECT_EQ(HistogramShard::bucket_index(3), 2u);
+  EXPECT_EQ(HistogramShard::bucket_index(4), 3u);
+  EXPECT_EQ(HistogramShard::bucket_index(~std::uint64_t{0}), 64u);
+  EXPECT_EQ(histogram_bucket_lo(0), 0u);
+  EXPECT_EQ(histogram_bucket_hi(0), 0u);
+  for (std::uint32_t i = 1; i < kHistogramBuckets; ++i) {
+    // Buckets tile the u64 range: contiguous, no gaps, no overlap, and
+    // both endpoints map back to the bucket that owns them.
+    EXPECT_EQ(histogram_bucket_lo(i), histogram_bucket_hi(i - 1) + 1) << i;
+    EXPECT_EQ(HistogramShard::bucket_index(histogram_bucket_lo(i)), i);
+    EXPECT_EQ(HistogramShard::bucket_index(histogram_bucket_hi(i)), i);
+  }
+  EXPECT_EQ(histogram_bucket_hi(64), ~std::uint64_t{0});
+}
+
+TEST(Histogram, RecordAndSummary) {
+  Histogram h;
+  HistogramShard& shard = h.local_shard();
+  for (const std::uint64_t v : {0u, 1u, 2u, 3u, 1000u}) shard.record(v);
+  const HistogramSummary s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 1006u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1006.0 / 5.0);
+  EXPECT_EQ(s.buckets[0], 1u);  // {0}
+  EXPECT_EQ(s.buckets[1], 1u);  // {1}
+  EXPECT_EQ(s.buckets[2], 2u);  // {2, 3}
+  EXPECT_EQ(s.buckets[10], 1u);  // 1000 in [512, 1024)
+  // Percentiles are conservative upper bounds of the owning bucket.
+  EXPECT_EQ(s.percentile(0.0), 0u);
+  EXPECT_EQ(s.percentile(0.5), 3u);
+  EXPECT_EQ(s.percentile(1.0), 1023u);
+  EXPECT_EQ(s.max_bound(), 1023u);
+}
+
+TEST(Histogram, EmptySummary) {
+  Histogram h;
+  const HistogramSummary s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(0.99), 0u);
+  EXPECT_EQ(s.max_bound(), 0u);
+}
+
+TEST(Histogram, ShardMergeAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  Histogram h;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &h] {
+      // One shard per thread, cached as call sites do. Each thread records
+      // a power of two, so every thread owns a distinct bucket (t + 1).
+      HistogramShard& shard = h.local_shard();
+      const std::uint64_t value = std::uint64_t{1} << t;
+      for (int i = 0; i < kPerThread; ++i) shard.record(value);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSummary s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(s.buckets[t + 1], static_cast<std::uint64_t>(kPerThread)) << t;
+  }
+}
+
+TEST(Histogram, DeltaSince) {
+  Histogram h;
+  HistogramShard& shard = h.local_shard();
+  shard.record(5);
+  shard.record(100);
+  const HistogramSummary before = h.snapshot();
+  shard.record(7);
+  shard.record(7);
+  const HistogramSummary delta = h.snapshot().delta_since(before);
+  EXPECT_EQ(delta.count, 2u);
+  EXPECT_EQ(delta.sum, 14u);
+  EXPECT_EQ(delta.buckets[HistogramShard::bucket_index(7)], 2u);
+  EXPECT_EQ(delta.buckets[HistogramShard::bucket_index(100)], 0u);
+}
+
+TEST(Histogram, ResetKeepsShardAddresses) {
+  Histogram h;
+  HistogramShard& shard = h.local_shard();
+  shard.record(42);
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+  // The cached reference must stay usable after reset (threads outlive it).
+  shard.record(43);
+  const HistogramSummary s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.sum, 43u);
+}
+
+TEST(Histogram, WellKnownNamesPreRegistered) {
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  bool spin = false;
+  bool tile = false;
+  for (const auto& [name, summary] : snap.histograms) {
+    spin |= name == "spinlock.spin_rounds";
+    tile |= name == "flatkernel.tile_ns";
+  }
+  EXPECT_TRUE(spin);
+  EXPECT_TRUE(tile);
+}
+
+TEST(Histogram, ManifestJsonCarriesHistograms) {
+  QuestParams p;
+  p.num_transactions = 200;
+  p.avg_transaction_len = 6.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 15;
+  p.num_items = 30;
+  p.seed = 7;
+  const Database db = generate_quest(p);
+  MinerOptions opts;
+  opts.min_support = 0.05;
+  const MiningResult result = mine_sequential(db, opts);
+
+  metric::flatkernel_tile_ns().record(900);  // one known sample
+
+  smpmine::RunManifest m =
+      make_run_manifest("test", "synthetic", db, opts, result);
+  std::ostringstream os;
+  write_run_manifest(m, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\":\"smpmine.run.v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"spinlock.spin_rounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"flatkernel.tile_ns\""), std::string::npos);
+  // The summary block: count/sum/percentiles plus the trimmed bucket list.
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smpmine::obs

@@ -1,0 +1,171 @@
+// Perf counter sessions and phase attribution. The software backend is
+// deterministic on every machine, so those tests always run; the hardware
+// path depends on perf_event_open being usable in this kernel/container and
+// skips (not fails) when the probe says no.
+#include "obs/perf/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace smpmine::obs::perf {
+namespace {
+
+// Enough work that CLOCK_THREAD_CPUTIME_ID visibly advances.
+std::uint64_t burn_cpu() {
+  volatile std::uint64_t acc = 1;
+  for (int i = 0; i < 2'000'000; ++i) acc = acc * 2862933555777941757ULL + 3;
+  return acc;
+}
+
+TEST(PerfBackend, StringRoundTrip) {
+  EXPECT_STREQ(to_string(PerfBackend::Off), "off");
+  EXPECT_STREQ(to_string(PerfBackend::Hardware), "hardware");
+  EXPECT_STREQ(to_string(PerfBackend::Software), "software");
+  EXPECT_EQ(backend_from_string("off"), PerfBackend::Off);
+  EXPECT_EQ(backend_from_string("auto"), PerfBackend::Auto);
+  EXPECT_EQ(backend_from_string("hw"), PerfBackend::Hardware);
+  EXPECT_EQ(backend_from_string("hardware"), PerfBackend::Hardware);
+  EXPECT_EQ(backend_from_string("sw"), PerfBackend::Software);
+  EXPECT_EQ(backend_from_string("software"), PerfBackend::Software);
+  EXPECT_EQ(backend_from_string("bogus"), std::nullopt);
+  EXPECT_EQ(backend_from_string(""), std::nullopt);
+}
+
+TEST(PerfBackend, OffDisablesSampling) {
+  init(PerfBackend::Off);
+  EXPECT_EQ(active_backend(), PerfBackend::Off);
+  PerfCounterSet out;
+  EXPECT_FALSE(sample_current_thread(out));
+
+  PhasePerfRegistry::instance().reset();
+  {
+    SMPMINE_PERF_PHASE("count");
+    burn_cpu();
+  }
+  EXPECT_TRUE(PhasePerfRegistry::instance().snapshot().empty());
+}
+
+TEST(PerfBackend, SoftwareBackendFillsRusageBlock) {
+  ASSERT_EQ(init(PerfBackend::Software), PerfBackend::Software);
+  PerfCounterSet a;
+  ASSERT_TRUE(sample_current_thread(a));
+  burn_cpu();
+  PerfCounterSet b;
+  ASSERT_TRUE(sample_current_thread(b));
+  const PerfCounterSet d = b.delta_since(a);
+  EXPECT_GT(d.task_clock_ns, 0u);
+  // The hardware block stays zero under the software backend...
+  EXPECT_EQ(d.cycles, 0u);
+  EXPECT_EQ(d.instructions, 0u);
+  // ...so the derived rates degrade to 0 instead of dividing by zero.
+  EXPECT_DOUBLE_EQ(d.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(d.llc_miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(d.stall_fraction(), 0.0);
+  EXPECT_GT(b.max_rss_kb, 0u);
+}
+
+TEST(PerfBackend, DeltaSubtractionSaturates) {
+  PerfCounterSet older;
+  older.task_clock_ns = 100;
+  PerfCounterSet newer;
+  newer.task_clock_ns = 40;  // non-monotonic reading (multiplex scaling)
+  const PerfCounterSet d = newer.delta_since(older);
+  EXPECT_EQ(d.task_clock_ns, 0u);  // saturates instead of wrapping to 2^64
+}
+
+TEST(PerfBackend, AccumulateSumsAndKeepsRssMax) {
+  PerfCounterSet total;
+  PerfCounterSet a;
+  a.task_clock_ns = 10;
+  a.max_rss_kb = 500;
+  a.samples = 1;
+  PerfCounterSet b;
+  b.task_clock_ns = 32;
+  b.max_rss_kb = 400;
+  b.samples = 1;
+  total += a;
+  total += b;
+  EXPECT_EQ(total.task_clock_ns, 42u);
+  EXPECT_EQ(total.samples, 2u);
+  EXPECT_EQ(total.max_rss_kb, 500u);  // high-water mark, not a sum
+}
+
+TEST(PerfScope, AttributesWorkToPhase) {
+  ASSERT_EQ(init(PerfBackend::Software), PerfBackend::Software);
+  PhasePerfRegistry::instance().reset();
+  {
+    SMPMINE_PERF_PHASE("count");
+    burn_cpu();
+  }
+  {
+    SMPMINE_PERF_PHASE("count");
+    burn_cpu();
+  }
+  {
+    SMPMINE_PERF_PHASE("candgen");
+    burn_cpu();
+  }
+  const PhasePerfSnapshot snap = PhasePerfRegistry::instance().snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  // Snapshot order is name-sorted (map iteration).
+  EXPECT_EQ(snap[0].first, "candgen");
+  EXPECT_EQ(snap[1].first, "count");
+  EXPECT_EQ(snap[0].second.samples, 1u);
+  EXPECT_EQ(snap[1].second.samples, 2u);
+  EXPECT_GT(snap[1].second.task_clock_ns, 0u);
+}
+
+TEST(PerfScope, SnapshotDeltaOmitsQuietPhases) {
+  ASSERT_EQ(init(PerfBackend::Software), PerfBackend::Software);
+  PhasePerfRegistry::instance().reset();
+  {
+    SMPMINE_PERF_PHASE("candgen");
+    burn_cpu();
+  }
+  const PhasePerfSnapshot before = PhasePerfRegistry::instance().snapshot();
+  {
+    SMPMINE_PERF_PHASE("count");
+    burn_cpu();
+  }
+  const PhasePerfSnapshot delta = delta_since(before);
+  // candgen did not run between the snapshots, so only count appears.
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta[0].first, "count");
+  EXPECT_EQ(delta[0].second.samples, 1u);
+}
+
+TEST(PerfHardware, GroupCountsWhenAvailable) {
+  if (!hardware_available()) {
+    GTEST_SKIP() << "perf_event_open unusable here (container/paranoid "
+                    "setting); hardware backend untestable";
+  }
+  ASSERT_EQ(init(PerfBackend::Hardware), PerfBackend::Hardware);
+  PerfCounterSet a;
+  ASSERT_TRUE(sample_current_thread(a));
+  burn_cpu();
+  PerfCounterSet b;
+  ASSERT_TRUE(sample_current_thread(b));
+  const PerfCounterSet d = b.delta_since(a);
+  EXPECT_GT(d.cycles, 0u);
+  EXPECT_GT(d.instructions, 0u);
+  EXPECT_GT(d.ipc(), 0.0);
+  EXPECT_GT(d.task_clock_ns, 0u);
+}
+
+TEST(PerfHardware, ExplicitRequestDegradesToSoftware) {
+  // Hardware request on a machine without the PMU must still profile: the
+  // return value reports the downgrade, sampling keeps working.
+  const PerfBackend active = init(PerfBackend::Hardware);
+  if (hardware_available()) {
+    EXPECT_EQ(active, PerfBackend::Hardware);
+  } else {
+    EXPECT_EQ(active, PerfBackend::Software);
+  }
+  EXPECT_EQ(active_backend(), active);
+  PerfCounterSet out;
+  EXPECT_TRUE(sample_current_thread(out));
+}
+
+}  // namespace
+}  // namespace smpmine::obs::perf

@@ -22,12 +22,16 @@ CASES = {
     "r1_bad": (1, "R1", "src/parallel/widget.hpp"),
     "r2_good": (0, None, None),
     "r2_bad": (1, "R2", "src/core/driver.cpp"),
+    "r2_perf_good": (0, None, None),
+    "r2_perf_bad": (1, "R2", "src/core/probe.cpp"),
     "r3_good": (0, None, None),
     "r3_bad": (1, "R3", "src/parallel/spinlock.hpp"),
     "r4_good": (0, None, None),
     "r4_bad": (1, "R4", "src/hashtree/count.cpp"),
     "r5_good": (0, None, None),
     "r5_bad": (1, "R5", "src/core/miner.cpp"),
+    "r5_perf_good": (0, None, None),
+    "r5_perf_bad": (1, "R5", "src/core/miner.cpp"),
 }
 
 

@@ -17,6 +17,9 @@ R2  threading primitives stay in src/parallel: std::thread, std::mutex
     src/. Everything outside src/parallel synchronizes through the
     wrappers (Mutex, SpinLock, Barrier, ThreadPool) so the capability
     annotations and the checked-build lock-order recorder see every lock.
+    Likewise the perf syscall surface stays in src/obs/perf: raw
+    syscall()/perf_event_open outside that directory bypasses the backend
+    selection and per-thread fd lifecycle the perf session manages.
 R3  memory_order_relaxed is allowlisted: only files with an audited reason
     to use it may, and every site needs a `relaxed-ok:` comment on the
     line or just above stating why relaxed ordering is sufficient.
@@ -25,11 +28,12 @@ R4  no heap allocation in SMPMINE_HOT functions: functions annotated
     paths) must not call new/malloc or growing container members. The
     paper's Section 5 placement argument depends on those paths touching
     only pre-placed memory. `hot-ok:` marks a vetted exception.
-R5  TRACE_SPAN phase names match IterationStats: a bare (dot-free) span
-    name must correspond to a `<name>_seconds` field in
-    src/core/stats.hpp (plus the per-k "iteration" wrapper), so traces
-    and the stats tables never disagree about phase naming. Dotted names
-    ("pool.task", "hashtree.remap") are subsystem events, exempt.
+R5  TRACE_SPAN / PERF_PHASE names match IterationStats: a bare (dot-free)
+    span or perf-phase name must correspond to a `<name>_seconds` field in
+    src/core/stats.hpp (plus the per-k "iteration" wrapper), so traces,
+    counter attribution, and the stats tables never disagree about phase
+    naming. Dotted names ("pool.task", "hashtree.remap") are subsystem
+    events, exempt.
 
 Backends
 --------
@@ -70,6 +74,9 @@ R1_SCOPE = ("src/parallel", "src/hashtree", "src/obs", "src/alloc")
 
 # The one directory allowed to use raw threading primitives.
 R2_EXEMPT = ("src/parallel",)
+
+# The one directory allowed to open perf events / issue raw syscalls.
+R2_PERF_EXEMPT = ("src/obs/perf",)
 
 # Files audited for relaxed atomics. A site in any other file is a finding
 # even if it carries a relaxed-ok comment — extend this list only with an
@@ -112,6 +119,10 @@ R2_TOKENS = re.compile(
     r"pthread_[a-z_]+\s*\()"
 )
 
+R2_PERF_TOKENS = re.compile(
+    r"(\b(?:__NR_)?perf_event_open\b|\bsyscall\s*\()"
+)
+
 R4_ALLOC = re.compile(
     r"(\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|\bstrdup\s*\(|"
     r"\bmake_unique\b|\bmake_shared\b|\bto_string\s*\(|"
@@ -120,7 +131,8 @@ R4_ALLOC = re.compile(
 )
 
 TRACE_MACRO = re.compile(
-    r"\bSMPMINE_TRACE_(?:SPAN|SPAN_ARG|PHASE)\s*\(\s*(?:\w+\s*,\s*)?\"([^\"]+)\""
+    r"\bSMPMINE_(?:TRACE_(?:SPAN|SPAN_ARG|PHASE)|PERF_PHASE)"
+    r"\s*\(\s*(?:\w+\s*,\s*)?\"([^\"]+)\""
 )
 
 MARKER_WINDOW = 4  # lines above the site in which a marker still applies
@@ -467,21 +479,27 @@ def check_r2(src: SourceFile) -> list[Finding]:
     findings: list[Finding] = []
     if not src.rel.replace(os.sep, "/").startswith("src/"):
         return findings
-    if in_scope(src.rel, R2_EXEMPT):
-        return findings
+    in_parallel = in_scope(src.rel, R2_EXEMPT)
+    in_perf = in_scope(src.rel, R2_PERF_EXEMPT)
     for idx, line in enumerate(src.code_lines):
         if line.lstrip().startswith("#"):
             continue  # includes are fine; usage is what leaks primitives
-        m = R2_TOKENS.search(line)
-        if m is None:
+        m = None if in_parallel else R2_TOKENS.search(line)
+        if m is not None and not src.has_marker(idx + 1, MARKER_OK["R2"]):
+            findings.append(Finding(
+                src.rel, idx + 1, "R2",
+                f"raw threading primitive '{m.group(1).strip()}' outside "
+                f"src/parallel — use Mutex/SpinLock/ThreadPool wrappers (or "
+                f"justify with 'lint-ok: R2')"))
             continue
-        if src.has_marker(idx + 1, MARKER_OK["R2"]):
-            continue
-        findings.append(Finding(
-            src.rel, idx + 1, "R2",
-            f"raw threading primitive '{m.group(1).strip()}' outside "
-            f"src/parallel — use Mutex/SpinLock/ThreadPool wrappers (or "
-            f"justify with 'lint-ok: R2')"))
+        p = None if in_perf else R2_PERF_TOKENS.search(line)
+        if p is not None and not src.has_marker(idx + 1, MARKER_OK["R2"]):
+            findings.append(Finding(
+                src.rel, idx + 1, "R2",
+                f"raw perf syscall '{p.group(1).strip()}' outside "
+                f"src/obs/perf — go through obs::perf so backend selection "
+                f"and fd lifecycle stay centralized (or justify with "
+                f"'lint-ok: R2')"))
     return findings
 
 
@@ -581,9 +599,9 @@ def check_r5(src: SourceFile, phases: set[str] | None) -> list[Finding]:
                 continue
             findings.append(Finding(
                 src.rel, idx + 1, "R5",
-                f"trace span '{name}' matches no <phase>_seconds field in "
-                f"{STATS_HEADER} — phase names must agree between traces "
-                f"and IterationStats"))
+                f"trace/perf phase '{name}' matches no <phase>_seconds "
+                f"field in {STATS_HEADER} — phase names must agree between "
+                f"traces, perf attribution, and IterationStats"))
     return findings
 
 

@@ -18,6 +18,7 @@
 #include "data/db_io.hpp"
 #include "data/quest_gen.hpp"
 #include "itemset/itemset.hpp"
+#include "obs/perf/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 
@@ -139,6 +140,10 @@ int main(int argc, char** argv) {
                         "Perfetto / chrome://tracing)");
   cli.add_flag("metrics", "write run-manifest JSON here (options, dataset "
                           "digest, per-iteration stats, metric totals)");
+  cli.add_flag("perf-backend",
+               "per-phase counter attribution: auto | hw | software | off "
+               "(auto probes perf_event_open, falls back to software)",
+               "off");
   if (!cli.parse(argc, argv)) return 1;
 
   const std::string trace_path = cli.get("trace", "");
@@ -148,6 +153,21 @@ int main(int argc, char** argv) {
     // registered from their first task.
     obs::Tracer::instance().set_enabled(true);
     obs::set_current_thread_name("main");
+  }
+  {
+    const std::string backend_name = cli.get("perf-backend", "off");
+    const auto requested = obs::perf::backend_from_string(backend_name);
+    if (!requested) {
+      std::fprintf(stderr, "error: bad --perf-backend '%s'\n",
+                   backend_name.c_str());
+      return 1;
+    }
+    // Select before any pool exists so every worker opens its counter
+    // session on first phase scope.
+    const auto active = obs::perf::init(*requested);
+    if (*requested != obs::perf::PerfBackend::Off) {
+      std::printf("perf backend: %s\n", obs::perf::to_string(active));
+    }
   }
 
   Database db;
