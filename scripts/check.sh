@@ -8,7 +8,10 @@
 #                   lock-order recorder compiled in (`checked` preset)
 #   5. lint       : smpmine-lint rules R1-R5 + the lint fixture self-test
 #                   (pure Python; clang-tidy runs in the tidy stage)
-#   6. tidy       : Clang rebuild with -Werror=thread-safety + clang-tidy
+#   6. analyze    : smpmine-analyze shared-state classification + static
+#                   lock-order graph vs. the checked-in baseline, plus the
+#                   analyze fixture self-test (pure Python)
+#   7. tidy       : Clang rebuild with -Werror=thread-safety + clang-tidy
 #                   over src/ tests/ bench/ (skipped when clang is absent)
 #
 # Usage: scripts/check.sh [stage...]     e.g. `scripts/check.sh tsan`
@@ -18,7 +21,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(release tsan asan-ubsan checked lint tidy)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(release tsan asan-ubsan checked lint analyze tidy)
 
 note() { printf '\n== %s ==\n' "$*"; }
 
@@ -52,6 +55,11 @@ for stage in "${STAGES[@]}"; do
       python3 tools/lint/lint_selftest.py
       scripts/lint.sh
       ;;
+    analyze)
+      note "analyze: smpmine-analyze fixture self-test + clean classification and lock-order baseline"
+      python3 tools/analyze/analyze_selftest.py
+      python3 tools/analyze/smpmine_analyze.py
+      ;;
     tidy)
       if ! command -v clang++ >/dev/null 2>&1; then
         note "tidy: SKIPPED — clang++ not found (thread-safety analysis and clang-tidy are Clang-only)"
@@ -65,7 +73,7 @@ for stage in "${STAGES[@]}"; do
       scripts/lint.sh
       ;;
     *)
-      echo "unknown stage: $stage (expected release|tsan|asan-ubsan|checked|lint|tidy)" >&2
+      echo "unknown stage: $stage (expected release|tsan|asan-ubsan|checked|lint|analyze|tidy)" >&2
       exit 2
       ;;
   esac

@@ -14,7 +14,9 @@ std::size_t align_up(std::size_t value, std::size_t align) {
 
 }  // namespace
 
-Region::Region(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {}
+Region::Region(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
+  SMPMINE_LOCK_NAME(&mu_, "Region::mu_");
+}
 
 Region::~Region() = default;
 

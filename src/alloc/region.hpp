@@ -99,7 +99,7 @@ class Region final : public Arena {
 /// scattered wherever the general-purpose heap puts them.
 class MallocArena final : public Arena {
  public:
-  MallocArena() = default;
+  MallocArena() { SMPMINE_LOCK_NAME(&mu_, "MallocArena::mu_"); }
   ~MallocArena() override;
 
   MallocArena(const MallocArena&) = delete;

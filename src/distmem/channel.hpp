@@ -28,6 +28,8 @@ struct Message {
 /// Multi-producer single-consumer mailbox with blocking receive.
 class Mailbox {
  public:
+  Mailbox() { SMPMINE_LOCK_NAME(&mu_, "Mailbox::mu_"); }
+
   void send(Message message) {
     {
       MutexLock lk(mu_);
@@ -62,7 +64,9 @@ struct CommStats {
 /// A fixed-size cluster of mailboxes with traffic metering.
 class Cluster {
  public:
-  explicit Cluster(std::uint32_t nodes) : boxes_(nodes) {}
+  explicit Cluster(std::uint32_t nodes) : boxes_(nodes) {
+    SMPMINE_LOCK_NAME(&stats_mu_, "Cluster::stats_mu_");
+  }
 
   std::uint32_t size() const {
     return static_cast<std::uint32_t>(boxes_.size());
@@ -87,6 +91,8 @@ class Cluster {
   }
 
  private:
+  // lint-ok: R1 — const after construction; each Mailbox synchronizes
+  // itself, and stats_mu_ guards only the metering counters.
   std::vector<Mailbox> boxes_;
   mutable Mutex stats_mu_;
   CommStats stats_ GUARDED_BY(stats_mu_);

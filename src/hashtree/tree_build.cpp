@@ -55,6 +55,10 @@ HTNode* HashTree::new_node(std::uint16_t depth) {
   }
   node->list = header;
   node->depth = depth;
+  // Symbolic identity for the lock-order dump: every node lock is one
+  // equivalence class — the ordering discipline is per-class, not
+  // per-instance. No-op outside checked builds.
+  SMPMINE_LOCK_NAME(&node->lock, "HTNode::lock");
   // relaxed-ok: id allocation only needs atomicity (unique dense ids); the
   // node is published to other threads via the children release store or
   // the build barrier, never through this counter.
@@ -71,6 +75,9 @@ void HashTree::init_counter(Candidate* cand, std::byte* inline_tail) {
     cand->count = new (inline_tail) count_t(0);
     cand->count_lock =
         locked ? new (inline_tail + sizeof(count_t)) SpinLock() : nullptr;
+    if (cand->count_lock != nullptr) {
+      SMPMINE_LOCK_NAME(cand->count_lock, "Candidate::count_lock");
+    }
     return;
   }
   if (locked) {
@@ -79,6 +86,7 @@ void HashTree::init_counter(Candidate* cand, std::byte* inline_tail) {
         CounterBlock{0, {}};
     cand->count = &block->count;
     cand->count_lock = &block->lock;
+    SMPMINE_LOCK_NAME(cand->count_lock, "Candidate::count_lock");
   } else {
     cand->count = new (
         arenas_->counters().alloc(sizeof(count_t), alignof(count_t)))

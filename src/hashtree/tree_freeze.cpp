@@ -40,7 +40,10 @@ FrozenTree::FrozenTree(const HashTree& tree, PlacementArenas& arenas)
   for (std::uint32_t s = 0; s < num_cands_; ++s) counts_[s] = 0;
   if (mode_ == CounterMode::Locked) {
     locks_ = arenas.counters().alloc_array<SpinLock>(num_cands_);
-    for (std::uint32_t s = 0; s < num_cands_; ++s) new (&locks_[s]) SpinLock();
+    for (std::uint32_t s = 0; s < num_cands_; ++s) {
+      new (&locks_[s]) SpinLock();
+      SMPMINE_LOCK_NAME(&locks_[s], "FrozenTree::locks_");
+    }
   }
 
   // BFS over the pointer tree; queue index == new node id. The queue is

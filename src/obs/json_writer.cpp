@@ -134,6 +134,8 @@ namespace {
 /// Recursive-descent JSON checker (syntax only, no value materialization).
 struct Validator {
   std::string_view text;
+  // analyze-ok: function-local instance (validate_json), never shared —
+  // the cursor mutates on one thread for the lifetime of one call.
   std::size_t pos = 0;
   int depth = 0;
   static constexpr int kMaxDepth = 256;

@@ -70,6 +70,7 @@ MetricsRegistry& MetricsRegistry::instance() {
 }
 
 MetricsRegistry::MetricsRegistry() {
+  SMPMINE_LOCK_NAME(&mu_, "MetricsRegistry::mu_");
   // Pre-register the well-known names so every snapshot carries the full
   // schema, zeros included. Must not go through the metric:: accessors —
   // their function-local statics would recurse into instance().

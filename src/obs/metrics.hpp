@@ -161,6 +161,8 @@ struct HistogramSummary {
 /// shards are never freed (threads may outlive any reset), only zeroed.
 class Histogram {
  public:
+  Histogram() { SMPMINE_LOCK_NAME(&mu_, "Histogram::mu_"); }
+
   /// Registers (once) and returns the calling thread's shard. Callers cache
   /// the result in thread_local storage (see the accessor macro below), so
   /// the registry mutex is paid once per thread, never on the record path.

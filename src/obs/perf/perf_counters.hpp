@@ -127,7 +127,7 @@ class PhasePerfRegistry {
   void reset() EXCLUDES(mu_);
 
  private:
-  PhasePerfRegistry() = default;
+  PhasePerfRegistry() { SMPMINE_LOCK_NAME(&mu_, "PhasePerfRegistry::mu_"); }
 
   mutable Mutex mu_;
   std::map<std::string, PerfCounterSet, std::less<>> phases_ GUARDED_BY(mu_);

@@ -172,7 +172,9 @@ class Tracer {
   void save_chrome_trace(const std::string& path) const;
 
  private:
-  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {
+    SMPMINE_LOCK_NAME(&mu_, "Tracer::mu_");
+  }
 
   static std::atomic<bool>& enabled_flag() noexcept {
     static std::atomic<bool> flag{false};

@@ -1,12 +1,19 @@
 #include "parallel/lock_order.hpp"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <map>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 // The recorder is the one place in the library allowed to use a raw
@@ -23,10 +30,19 @@ struct Held {
 };
 
 /// The lock chain (and thread) that first established an ordering edge —
-/// the "other stack" printed when a cycle is found.
+/// the "other stack" printed when a cycle is found. Symbolic names are
+/// resolved and frozen at creation time: arena address reuse can later
+/// place a *different* named lock on a dead edge endpoint's address, and a
+/// dump-time lookup would silently relabel the edge (e.g. a recorded
+/// HTNode::lock -> Region::mu_ masquerading as FrozenTree::locks_ ->
+/// Region::mu_ once a frozen counter-lock array lands on the node's old
+/// address). Locks register their names at construction, before any
+/// acquisition, so creation-time resolution sees the live identity.
 struct EdgeInfo {
   std::vector<Held> chain;  ///< held stack at creation, acquiree last
   std::size_t thread_hash;
+  const char* from_name;  ///< symbolic name at creation, or nullptr
+  const char* to_name;    ///< symbolic name at creation, or nullptr
 };
 
 struct Graph {
@@ -39,13 +55,22 @@ struct Graph {
   std::unordered_map<const void*,
                      std::unordered_map<const void*, EdgeInfo>>
       adj;
+  /// Symbolic names registered via set_name (string literals, not owned).
+  /// lint-ok: R1 — guarded by mu (std::mutex is not a Clang capability).
+  std::unordered_map<const void*, const char*> names;
   /// lint-ok: R1 — guarded by mu (std::mutex is not a Clang capability).
   std::uint64_t generation = 0;
 };
 
 Graph& graph() {
-  static Graph g;
-  return g;
+  // Intentionally leaked: the graph is constructed on the first acquisition,
+  // which happens AFTER the static-init-time atexit(dump_at_exit)
+  // registration below — so a function-local `static Graph` would be
+  // destroyed (in reverse construction order) before the exit-time dump
+  // reads it, and every SMPMINE_LOCK_ORDER_DUMP file would come out empty.
+  // Leaking also keeps late acquisitions during static destruction safe.
+  static Graph* g = new Graph;
+  return *g;
 }
 
 thread_local std::vector<Held> t_held;
@@ -121,6 +146,43 @@ bool reaches(const Graph& g, const void* from, const void* target,
   std::abort();
 }
 
+/// Minimal JSON string escape for lock names/kinds (string literals we
+/// control, so backslash/quote coverage is plenty).
+void json_escape_into(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+}
+
+/// Resolves an address to its symbolic name, falling back to the lock's
+/// kind string ("SpinLock"/"Mutex") for unnamed locks. Caller holds
+/// graph().mu; `kinds` is the address->kind map rebuilt from edge chains.
+const char* node_name(const Graph& g,
+                      const std::unordered_map<const void*, const char*>& kinds,
+                      const void* lock) {
+  const auto nit = g.names.find(lock);
+  if (nit != g.names.end()) return nit->second;
+  const auto kit = kinds.find(lock);
+  return kit != kinds.end() ? kit->second : "Anon";
+}
+
+/// Exit-time dump: registered once at static-init time so every checked
+/// process honors SMPMINE_LOCK_ORDER_DUMP without opt-in code in main().
+void dump_at_exit() {
+  const char* path = std::getenv("SMPMINE_LOCK_ORDER_DUMP");
+  if (path != nullptr && *path != '\0') dump(path);
+}
+
+struct DumpAtExitRegistrar {
+  DumpAtExitRegistrar() {
+    if (std::getenv("SMPMINE_LOCK_ORDER_DUMP") != nullptr) {
+      std::atexit(dump_at_exit);
+    }
+  }
+};
+DumpAtExitRegistrar dump_registrar;
+
 }  // namespace
 
 void on_acquire(const void* lock, const char* kind, bool is_try) noexcept {
@@ -163,8 +225,13 @@ void on_acquire(const void* lock, const char* kind, bool is_try) noexcept {
           }
           std::vector<Held> chain = t_held;
           chain.push_back(attempt);
+          const auto name_of = [&g](const void* l) -> const char* {
+            const auto nit = g.names.find(l);
+            return nit != g.names.end() ? nit->second : nullptr;
+          };
           edges.emplace(lock,
-                        EdgeInfo{std::move(chain), this_thread_hash()});
+                        EdgeInfo{std::move(chain), this_thread_hash(),
+                                 name_of(from), name_of(lock)});
         }
         t_seen_edges.insert(key);
       }
@@ -184,6 +251,105 @@ void on_release(const void* lock) noexcept {
   // constructed before SMPMINE_CHECKED hooks existed in this TU), ignored.
 }
 
+void set_name(const void* lock, const char* name) noexcept {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  g.names[lock] = name;
+}
+
+bool dump(const char* path) noexcept {
+  try {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> guard(g.mu);
+
+    // Address -> kind, recovered from the recorded chains (the graph itself
+    // keys on addresses only).
+    std::unordered_map<const void*, const char*> kinds;
+    for (const auto& [from, edges] : g.adj) {
+      for (const auto& [to, info] : edges) {
+        for (const Held& h : info.chain) kinds[h.lock] = h.kind;
+      }
+    }
+
+    // Collapse address-level edges to name-level edges, preferring the
+    // names frozen into each EdgeInfo at creation (see the EdgeInfo
+    // comment: dump-time lookup would mislabel edges whose endpoint
+    // addresses were reused by a later named lock). std::map keeps the
+    // output deterministic given the same edge set.
+    std::map<std::pair<std::string, std::string>, std::uint64_t> name_edges;
+    std::map<std::string, const char*> nodes;  // name -> kind
+    for (const auto& [from, edges] : g.adj) {
+      for (const auto& [to, info] : edges) {
+        const char* from_name = info.from_name != nullptr
+                                    ? info.from_name
+                                    : node_name(g, kinds, from);
+        const char* to_name = info.to_name != nullptr
+                                  ? info.to_name
+                                  : node_name(g, kinds, to);
+        ++name_edges[{from_name, to_name}];
+        const auto kit_from = kinds.find(from);
+        const auto kit_to = kinds.find(to);
+        nodes.emplace(from_name,
+                      kit_from != kinds.end() ? kit_from->second : "?");
+        nodes.emplace(to_name, kit_to != kinds.end() ? kit_to->second : "?");
+      }
+    }
+
+    // Resolve "path is a directory" (or trailing '/') to a per-pid file so
+    // a parallel ctest run can aim every test process at one merge dir.
+    std::string out_path = path;
+    struct stat st {};
+    const bool is_dir =
+        (!out_path.empty() && out_path.back() == '/') ||
+        (::stat(out_path.c_str(), &st) == 0 && S_ISDIR(st.st_mode));
+    if (is_dir) {
+      if (out_path.back() != '/') out_path.push_back('/');
+      out_path += "lock_order." + std::to_string(::getpid()) + ".json";
+    }
+
+    std::string json;
+    json.reserve(256 + 64 * name_edges.size());
+    json += "{\n  \"schema\": \"smpmine.lock_order.runtime.v1\",\n";
+    json += "  \"pid\": " + std::to_string(::getpid()) + ",\n";
+    json += "  \"nodes\": [\n";
+    bool first = true;
+    for (const auto& [name, kind] : nodes) {
+      json += first ? "    " : ",\n    ";
+      first = false;
+      json += "{\"name\": \"";
+      json_escape_into(json, name.c_str());
+      json += "\", \"kind\": \"";
+      json_escape_into(json, kind);
+      json += "\"}";
+    }
+    json += "\n  ],\n  \"edges\": [\n";
+    first = true;
+    for (const auto& [pair, count] : name_edges) {
+      json += first ? "    " : ",\n    ";
+      first = false;
+      json += "{\"from\": \"";
+      json_escape_into(json, pair.first.c_str());
+      json += "\", \"to\": \"";
+      json_escape_into(json, pair.second.c_str());
+      json += "\", \"count\": " + std::to_string(count) + "}";
+    }
+    json += "\n  ]\n}\n";
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr,
+                   "smpmine-checked: cannot open lock-order dump '%s'\n",
+                   out_path.c_str());
+      return false;
+    }
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    return ok;
+  } catch (...) {
+    return false;  // dump is best-effort diagnostics; never take down exit
+  }
+}
+
 std::size_t held_count() noexcept { return t_held.size(); }
 
 std::size_t edge_count() noexcept {
@@ -198,6 +364,7 @@ void reset_for_test() noexcept {
   Graph& g = graph();
   std::lock_guard<std::mutex> guard(g.mu);
   g.adj.clear();
+  g.names.clear();
   ++g.generation;
   t_held.clear();
   t_seen_edges.clear();

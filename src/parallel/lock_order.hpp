@@ -26,7 +26,22 @@
 // across Region::reset() can alias two generations of tree-node locks (in
 // this codebase node locks only ever precede arena locks, so aliasing
 // cannot fabricate a cycle); and the graph only grows — a checked run's
-// memory is proportional to the number of distinct nesting pairs.
+// memory is proportional to the number of distinct nesting pairs. The
+// JSON dump is immune to one aliasing symptom: symbolic names are frozen
+// into each edge when it is first recorded, so a later lock registering a
+// name over a reused address cannot relabel old edges.
+//
+// Symbolic names and the JSON dump: addresses are meaningless across runs,
+// so long-lived locks register a stable symbolic name ("Region::mu_",
+// "HTNode::lock") via SMPMINE_LOCK_NAME at construction. When the
+// environment variable SMPMINE_LOCK_ORDER_DUMP is set in a checked build,
+// the recorder writes the acquisition graph as JSON at process exit, with
+// address-level edges collapsed to name-level edges (unnamed locks fall
+// back to their kind string). If the value names a directory (or ends in
+// '/'), each process writes `lock_order.<pid>.json` inside it so a whole
+// ctest run can feed one merge; otherwise the value is the output file.
+// tools/analyze/smpmine_analyze.py merges these runtime graphs with the
+// statically extracted acquisition graph and gates on cycles in the union.
 //
 // With SMPMINE_CHECKED_ENABLED=0 the hook macros are `((void)0)`: zero
 // code, zero data on every lock operation.
@@ -50,6 +65,19 @@ void on_acquire(const void* lock, const char* kind, bool is_try) noexcept;
 /// tolerated).
 void on_release(const void* lock) noexcept;
 
+/// Registers a stable symbolic name for a lock address ("Region::mu_",
+/// "HTNode::lock"). `name` must be a string literal (static storage); the
+/// registry keeps the pointer, not a copy. Re-registration (e.g. arena
+/// memory reuse placing a new node lock at an old address) overwrites —
+/// last writer wins, which matches the liveness of the address.
+void set_name(const void* lock, const char* name) noexcept;
+
+/// Writes the acquisition graph recorded so far as JSON to `path`
+/// (name-level nodes and edges; see the header comment for the schema).
+/// Returns false when the file cannot be opened. Safe to call at any time;
+/// the exit-time dump triggered by SMPMINE_LOCK_ORDER_DUMP uses this.
+bool dump(const char* path) noexcept;
+
 /// Locks the calling thread currently holds (test hook).
 std::size_t held_count() noexcept;
 
@@ -69,8 +97,11 @@ void reset_for_test() noexcept;
 #define SMPMINE_LOCK_TRY_ACQUIRED(lock, kind) \
   ::smpmine::lockorder::on_acquire((lock), (kind), true)
 #define SMPMINE_LOCK_RELEASED(lock) ::smpmine::lockorder::on_release((lock))
+#define SMPMINE_LOCK_NAME(lock, name) \
+  ::smpmine::lockorder::set_name((lock), (name))
 #else
 #define SMPMINE_LOCK_ACQUIRED(lock, kind) ((void)0)
 #define SMPMINE_LOCK_TRY_ACQUIRED(lock, kind) ((void)0)
 #define SMPMINE_LOCK_RELEASED(lock) ((void)0)
+#define SMPMINE_LOCK_NAME(lock, name) ((void)0)
 #endif

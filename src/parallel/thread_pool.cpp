@@ -12,6 +12,7 @@ void Barrier::yield_now() noexcept { std::this_thread::yield(); }
 
 ThreadPool::ThreadPool(std::uint32_t threads)
     : threads_(std::max<std::uint32_t>(threads, 1)), barrier_(threads_) {
+  SMPMINE_LOCK_NAME(&mu_, "ThreadPool::mu_");
   workers_.reserve(threads_ - 1);
   for (std::uint32_t tid = 1; tid < threads_; ++tid) {
     workers_.emplace_back([this, tid] { worker_loop(tid); });

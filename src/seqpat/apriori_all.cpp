@@ -33,6 +33,9 @@ struct SeqHash {
 /// anywhere in the sequence (a cheap containment prefilter).
 struct TransformedCustomer {
   std::vector<std::vector<std::uint32_t>> txns;
+  // analyze-ok: partitioned by ownership — transform_phase blocks the
+  // customer range, so each TransformedCustomer has exactly one writer;
+  // the counting phase that follows the pool barrier only reads.
   std::vector<std::uint64_t> id_bitmap;
 
   bool has_id(std::uint32_t id) const {

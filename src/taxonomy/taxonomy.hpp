@@ -66,6 +66,10 @@ class Taxonomy {
 
   std::vector<std::vector<item_t>> parents_;
   std::vector<bool> has_child_;
+  // analyze-ok: memoization cache with a warm-before-share contract —
+  // mine_generalized pre-warms every entry single-threaded (and freeze()
+  // exists for other callers) before the concurrent candidate-veto phase,
+  // which then only reads. Concurrent first-touch would be a real race.
   mutable std::vector<std::optional<std::vector<item_t>>> ancestor_cache_;
   std::size_t edges_ = 0;
 };

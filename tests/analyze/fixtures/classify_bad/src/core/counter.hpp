@@ -1,0 +1,19 @@
+// classify violating fixture: `value_` lives in a lock-owning class with
+// no annotation, no marker, and no suppression entry.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump();
+
+ private:
+  mutable SpinLock mu_;
+  std::uint64_t hits_ GUARDED_BY(mu_) = 0;
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// classify passing fixture: every field of the lock-owning class has a
+// protection story — annotation, atomic, const, or a justified marker —
+// and every access of the guarded field holds (or REQUIRES) its lock.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    SpinLockGuard g(mu_);
+    ++value_;
+  }
+
+  std::uint64_t read_locked() const REQUIRES(mu_) { return value_; }
+
+  std::uint64_t snapshot() const {
+    SpinLockGuard g(mu_);
+    return read_locked();
+  }
+
+ private:
+  mutable SpinLock mu_;
+  std::uint64_t value_ GUARDED_BY(mu_) = 0;
+  std::atomic<std::uint64_t> generation_{0};
+  const std::uint32_t capacity_ = 16;
+  // analyze-ok: written once before the counter is shared.
+  std::uint32_t owner_tid_ = 0;
+};
+
+}  // namespace fixture

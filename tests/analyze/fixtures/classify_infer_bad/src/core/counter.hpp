@@ -1,0 +1,26 @@
+// inference fixture: `value_` is unannotated (a finding) but every access
+// sits under mu_, so the finding must carry a suggested GUARDED_BY patch.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    SpinLockGuard g(mu_);
+    ++value_;
+  }
+
+  std::uint64_t snapshot() const {
+    SpinLockGuard g(mu_);
+    return value_;
+  }
+
+ private:
+  mutable SpinLock mu_;
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// wrong-lock fixture: `value_` is GUARDED_BY(mu_) but `read` accesses it
+// holding nothing and declaring no REQUIRES(mu_).
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    SpinLockGuard g(mu_);
+    ++value_;
+  }
+
+  std::uint64_t read() const { return value_; }
+
+ private:
+  mutable SpinLock mu_;
+  std::uint64_t value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

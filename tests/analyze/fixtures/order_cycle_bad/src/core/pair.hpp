@@ -1,0 +1,25 @@
+// lock-order violating fixture: fwd() nests a_ -> b_ while rev() nests
+// b_ -> a_ — a static ABBA cycle. Both edges are in the baseline, so the
+// failure must come from the cycle check, not the baseline diff.
+#pragma once
+
+namespace fixture {
+
+class Pair {
+ public:
+  void fwd() {
+    SpinLockGuard ga(a_);
+    SpinLockGuard gb(b_);
+  }
+
+  void rev() {
+    SpinLockGuard gb(b_);
+    SpinLockGuard ga(a_);
+  }
+
+ private:
+  SpinLock a_;
+  SpinLock b_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// lock-order passing fixture: a_ and b_ nest in one direction only, and
+// the baseline records that audited edge.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+class Pair {
+ public:
+  void both() {
+    SpinLockGuard ga(a_);
+    SpinLockGuard gb(b_);
+  }
+
+  void only_a() { SpinLockGuard ga(a_); }
+
+ private:
+  SpinLock a_;
+  SpinLock b_;
+};
+
+}  // namespace fixture

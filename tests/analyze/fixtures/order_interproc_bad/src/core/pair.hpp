@@ -1,0 +1,24 @@
+// interprocedural fixture: holder() takes a_ and calls grab_b(), which
+// takes b_ — the a_ -> b_ edge exists only through the call graph. The
+// empty baseline forces the edge to be reported, proving propagation.
+#pragma once
+
+namespace fixture {
+
+class Pair {
+ public:
+  void holder() {
+    SpinLockGuard ga(a_);
+    grab_b();
+  }
+
+  void grab_b() {
+    SpinLockGuard gb(b_);
+  }
+
+ private:
+  SpinLock a_;
+  SpinLock b_;
+};
+
+}  // namespace fixture

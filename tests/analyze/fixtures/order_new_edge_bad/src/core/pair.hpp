@@ -1,0 +1,20 @@
+// baseline-gate violating fixture: the a_ -> b_ nesting is real and
+// acyclic, but the checked-in baseline does not record it — the gate must
+// demand an audit (--update-baseline), not silently accept the edge.
+#pragma once
+
+namespace fixture {
+
+class Pair {
+ public:
+  void both() {
+    SpinLockGuard ga(a_);
+    SpinLockGuard gb(b_);
+  }
+
+ private:
+  SpinLock a_;
+  SpinLock b_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// runtime-merge violating fixture: the static graph only ever sees
+// a_ -> b_, but a checked-build run dumped the reverse nesting — the
+// merged graph has an ABBA cycle no single source shows.
+#pragma once
+
+namespace fixture {
+
+class Pair {
+ public:
+  void fwd() {
+    SpinLockGuard ga(a_);
+    SpinLockGuard gb(b_);
+  }
+
+ private:
+  SpinLock a_;
+  SpinLock b_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// SPMD-reachability fixture: `total_` is written by a method reachable
+// from a run_spmd parallel-phase body, with no protection story.
+#include <cstdint>
+
+namespace fixture {
+
+class Accumulator {
+ public:
+  void bump() { ++total_; }
+
+ private:
+  std::uint64_t total_ = 0;
+};
+
+void count_phase(ThreadPool& pool, Accumulator& acc) {
+  pool.run_spmd([&](std::uint32_t tid) {
+    (void)tid;
+    acc.bump();
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// SPMD-reachability passing fixture: the phase-written counter is atomic;
+// the per-thread table is indexed by thread id at every access
+// (thread-partitioned by construction).
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class Accumulator {
+ public:
+  void bump(std::uint32_t tid) {
+    total_.fetch_add(1);
+    locals_[tid] += 1;
+  }
+
+ private:
+  std::atomic<std::uint64_t> total_{0};
+  std::vector<std::uint64_t> locals_;
+};
+
+void count_phase(ThreadPool& pool, Accumulator& acc) {
+  pool.run_spmd([&](std::uint32_t tid) { acc.bump(tid); });
+}
+
+}  // namespace fixture

@@ -1,0 +1,4 @@
+// Fixture for the suppression-justification gate; the source tree is
+// irrelevant — the unjustified directive in suppressions.txt must make the
+// analyzer exit 2 before any check runs.
+#pragma once

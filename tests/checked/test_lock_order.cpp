@@ -5,6 +5,12 @@
 // takes — and expect the recorder to abort with both lock chains printed.
 // In non-checked builds the hooks are ((void)0) and everything here skips.
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "parallel/lock_order.hpp"
 #include "parallel/mutex.hpp"
@@ -20,6 +26,13 @@ class LockOrderTest : public ::testing::Test {
       GTEST_SKIP() << "SMPMINE_CHECKED is off; lock hooks compile to no-ops";
     }
     lockorder::reset_for_test();
+  }
+
+  // Also reset on the way out: when the whole suite runs under
+  // SMPMINE_LOCK_ORDER_DUMP, this binary's exit-time dump must not leak
+  // fixture edges into the production lock-order merge.
+  void TearDown() override {
+    if (SMPMINE_CHECKED_ENABLED) lockorder::reset_for_test();
   }
 };
 
@@ -129,6 +142,114 @@ TEST_F(LockOrderDeathTest, TransitiveCycleAborts) {
     a.lock();
   };
   EXPECT_DEATH(transitive(), "lock-order cycle");
+}
+
+TEST_F(LockOrderTest, DumpWritesNamedEdgeGraph) {
+  SpinLock a;
+  Mutex b;
+  lockorder::set_name(&a, "Fixture::a");
+  lockorder::set_name(&b, "Fixture::b");
+  a.lock();
+  b.lock();  // edge Fixture::a -> Fixture::b
+  b.unlock();
+  a.unlock();
+
+  const std::string path =
+      ::testing::TempDir() + "lock_order_dump_test.json";
+  ASSERT_TRUE(lockorder::dump(path.c_str()));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"schema\": \"smpmine.lock_order.runtime.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"from\": \"Fixture::a\", \"to\": \"Fixture::b\", "
+                      "\"count\": 1}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"Fixture::a\", \"kind\": \"SpinLock\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"Fixture::b\", \"kind\": \"Mutex\"}"),
+            std::string::npos);
+}
+
+TEST_F(LockOrderTest, DumpFallsBackToKindForUnnamedLocks) {
+  SpinLock a;
+  Mutex b;
+  a.lock();
+  b.lock();  // edge SpinLock -> Mutex at name level (both unnamed)
+  b.unlock();
+  a.unlock();
+
+  const std::string path =
+      ::testing::TempDir() + "lock_order_dump_unnamed.json";
+  ASSERT_TRUE(lockorder::dump(path.c_str()));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find(
+                "{\"from\": \"SpinLock\", \"to\": \"Mutex\", \"count\": 1}"),
+            std::string::npos);
+}
+
+TEST_F(LockOrderTest, DumpIntoDirectoryWritesPerPidFile) {
+  SpinLock a;
+  SpinLock b;
+  a.lock();
+  b.lock();
+  b.unlock();
+  a.unlock();
+
+  // Trailing '/' marks a directory target: the dump appends
+  // lock_order.<pid>.json so parallel test processes never collide.
+  ASSERT_TRUE(lockorder::dump(::testing::TempDir().c_str()));
+  const std::string expected = ::testing::TempDir() + "lock_order." +
+                               std::to_string(::getpid()) + ".json";
+  std::ifstream in(expected);
+  EXPECT_TRUE(in.is_open()) << "expected per-pid dump at " << expected;
+}
+
+TEST_F(LockOrderDeathTest, ExitDumpViaEnvVarContainsRecordedEdges) {
+  // Regression: the graph must outlive static destruction. It is built on
+  // the first acquisition — after the static-init-time atexit registration —
+  // so a destructible singleton would be torn down before the exit-time
+  // dump reads it and SMPMINE_LOCK_ORDER_DUMP files would all come out
+  // empty. The threadsafe death-test style re-executes the whole binary,
+  // so the child's static init sees the env var and the dump goes through
+  // the production atexit path, not an explicit dump() call.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path =
+      ::testing::TempDir() + "lock_order_exit_dump.json";
+  const char* prev = std::getenv("SMPMINE_LOCK_ORDER_DUMP");
+  const std::string saved = prev != nullptr ? prev : "";
+  ASSERT_EQ(::setenv("SMPMINE_LOCK_ORDER_DUMP", path.c_str(), 1), 0);
+  auto nest_and_exit = [] {
+    static SpinLock a, b;
+    lockorder::set_name(&a, "ExitFixture::a");
+    lockorder::set_name(&b, "ExitFixture::b");
+    a.lock();
+    b.lock();  // edge ExitFixture::a -> ExitFixture::b
+    b.unlock();
+    a.unlock();
+    std::exit(0);  // the atexit-registered dump must see the edge
+  };
+  EXPECT_EXIT(nest_and_exit(), ::testing::ExitedWithCode(0), "");
+  if (prev != nullptr) {
+    ::setenv("SMPMINE_LOCK_ORDER_DUMP", saved.c_str(), 1);
+  } else {
+    ::unsetenv("SMPMINE_LOCK_ORDER_DUMP");
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "expected exit-time dump at " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("{\"from\": \"ExitFixture::a\", "
+                           "\"to\": \"ExitFixture::b\", \"count\": 1}"),
+            std::string::npos)
+      << "exit-time dump lost the recorded edge:\n"
+      << buf.str();
 }
 
 TEST_F(LockOrderDeathTest, SelfReacquisitionAborts) {

@@ -1,0 +1,20 @@
+// R1 violating fixture for the src/core scope extension: `dispatched_`
+// lives in a lock-owning class with no annotation and no justification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class WorkScheduler {
+ public:
+  std::uint32_t claim();
+
+ private:
+  mutable SpinLock mu_;
+  std::vector<std::uint32_t> queue_ GUARDED_BY(mu_);
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// R1 passing fixture for the src/core scope extension: the lock-owning
+// scheduler annotates every shared field or justifies it with a marker.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class WorkScheduler {
+ public:
+  std::uint32_t claim();
+
+ private:
+  mutable SpinLock mu_;
+  std::vector<std::uint32_t> queue_ GUARDED_BY(mu_);
+  std::uint64_t dispatched_ GUARDED_BY(mu_) = 0;
+  std::atomic<std::uint32_t> outstanding_{0};
+  const std::uint32_t capacity_ = 64;
+  // lint-ok: R1 — set once before the pool starts, read-only afterwards.
+  std::uint32_t num_workers_ = 0;
+};
+
+}  // namespace fixture

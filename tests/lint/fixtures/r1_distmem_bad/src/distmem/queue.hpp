@@ -1,0 +1,20 @@
+// R1 violating fixture for the src/distmem scope extension: `bytes_` is a
+// plain counter in a lock-owning class with no annotation or marker.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace fixture {
+
+class MeteredBox {
+ public:
+  void post();
+
+ private:
+  Mutex mu_;
+  std::deque<std::uint64_t> queue_ GUARDED_BY(mu_);
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// R1 passing fixture for the src/distmem scope extension: the metered
+// mailbox annotates its queue and counters against the owning mutex.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace fixture {
+
+class MeteredBox {
+ public:
+  void post();
+
+ private:
+  Mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<std::uint64_t> queue_ GUARDED_BY(mu_);
+  std::uint64_t bytes_ GUARDED_BY(mu_) = 0;
+  // lint-ok: R1 — const after construction; element type synchronizes
+  // itself.
+  std::vector<int> peers_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Self-test for smpmine-analyze: drives the analyzer over the fixture
+trees in tests/analyze/fixtures (a passing and a violating mini-tree per
+check) and asserts the exit code plus a distinguishing fragment of the
+finding, so each check is proven to fire on its negative fixture and stay
+quiet on its positive one. Runs the regex backend explicitly so the result
+is identical on machines with and without libclang."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+ANALYZE = os.path.join(HERE, "smpmine_analyze.py")
+FIXTURES = os.path.join(ROOT, "tests", "analyze", "fixtures")
+
+# fixture dir -> (expected exit, stdout fragment or None, extra args)
+CASES = {
+    "classify_good": (0, None, ["--checks", "classify"]),
+    "classify_bad": (
+        1, "unprotected shared field 'Counter::value_'",
+        ["--checks", "classify"]),
+    "classify_infer_bad": (
+        1, "suggested patch: `std::uint64_t value_ = 0 GUARDED_BY(mu_);`",
+        ["--checks", "classify"]),
+    "classify_wrong_lock_bad": (
+        1, "wrong-lock access: 'Counter::value_'",
+        ["--checks", "classify"]),
+    "spmd_good": (0, None, ["--checks", "classify"]),
+    "spmd_bad": (
+        1, "unprotected shared field 'Accumulator::total_' "
+           "(written from an SPMD-reachable method)",
+        ["--checks", "classify"]),
+    "order_good": (0, None, ["--checks", "lock-order"]),
+    "order_cycle_bad": (
+        1, "lock-order cycle in the merged graph",
+        ["--checks", "lock-order"]),
+    "order_new_edge_bad": (
+        1, "lock-order edge Pair::a_ -> Pair::b_",
+        ["--checks", "lock-order"]),
+    "order_interproc_bad": (
+        1, "(via grab_b)",
+        ["--checks", "lock-order"]),
+    "order_runtime_cycle_bad": (
+        1, "lock-order cycle in the merged graph",
+        ["--checks", "lock-order",
+         "--runtime-dump", "{root}/runtime/lock_order.1.json"]),
+    "suppress_nojust_bad": (2, None, []),
+}
+
+
+def run_case(name: str, expect_exit: int, fragment: str | None,
+             extra: list[str]) -> list[str]:
+    root = os.path.join(FIXTURES, name)
+    args = [sys.executable, ANALYZE, "--root", root, "--backend", "regex"]
+    args += [a.format(root=root) for a in extra]
+    proc = subprocess.run(args, capture_output=True, text=True)
+    errors: list[str] = []
+    if proc.returncode != expect_exit:
+        errors.append(
+            f"{name}: exit {proc.returncode}, expected {expect_exit}\n"
+            f"  stdout: {proc.stdout.strip()!r}\n"
+            f"  stderr: {proc.stderr.strip()!r}")
+        return errors
+    if fragment is not None and fragment not in proc.stdout:
+        errors.append(
+            f"{name}: expected fragment missing from output\n"
+            f"  wanted: {fragment!r}\n"
+            f"  stdout: {proc.stdout.strip()!r}")
+    if expect_exit == 0 and "finding" in proc.stdout:
+        errors.append(f"{name}: positive fixture produced findings:\n"
+                      f"  {proc.stdout.strip()!r}")
+    return errors
+
+
+def check_update_baseline() -> list[str]:
+    """--update-baseline on the new-edge fixture must write the edge and
+    make a rerun clean; the fixture's checked-in baseline is restored."""
+    import json
+    root = os.path.join(FIXTURES, "order_new_edge_bad")
+    baseline = os.path.join(root, "tools", "analyze",
+                            "lock_order.baseline.json")
+    with open(baseline, encoding="utf-8") as fh:
+        original = fh.read()
+    errors: list[str] = []
+    try:
+        proc = subprocess.run(
+            [sys.executable, ANALYZE, "--root", root, "--backend", "regex",
+             "--checks", "lock-order", "--update-baseline"],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            errors.append(f"--update-baseline failed: {proc.stdout!r}")
+        with open(baseline, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        pairs = {(e["from"], e["to"]) for e in doc.get("edges", [])}
+        if ("Pair::a_", "Pair::b_") not in pairs:
+            errors.append(
+                f"--update-baseline did not record the edge: {pairs!r}")
+        proc = subprocess.run(
+            [sys.executable, ANALYZE, "--root", root, "--backend", "regex",
+             "--checks", "lock-order"],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            errors.append(
+                f"rerun after --update-baseline not clean: {proc.stdout!r}")
+    finally:
+        with open(baseline, "w", encoding="utf-8") as fh:
+            fh.write(original)
+    return errors
+
+
+def check_runtime_only_warns() -> list[str]:
+    """An ACYCLIC runtime-only edge absent from the baseline warns
+    (coverage depends on which tests ran) but must not fail the gate —
+    unlike a static edge, which does."""
+    root = os.path.join(FIXTURES, "order_good")
+    proc = subprocess.run(
+        [sys.executable, ANALYZE, "--root", root, "--backend", "regex",
+         "--checks", "lock-order", "--runtime-dump",
+         os.path.join(root, "runtime", "lock_order.2.json")],
+        capture_output=True, text=True)
+    errors: list[str] = []
+    if proc.returncode != 0:
+        errors.append(
+            f"runtime-only acyclic edge failed the gate (exit "
+            f"{proc.returncode}); it should only warn:\n"
+            f"  stdout: {proc.stdout.strip()!r}\n"
+            f"  stderr: {proc.stderr.strip()!r}")
+    elif "Zeta::z_ -> Omega::w_" not in proc.stderr:
+        errors.append(
+            f"runtime-only edge produced no warning: {proc.stderr!r}")
+    # The dump also carries kind-fallback edges (anonymous locks), one of
+    # them a SpinLock -> SpinLock self-loop: those names are not
+    # equivalence classes and must be skipped, not reported as a cycle
+    # or warned about.
+    if "SpinLock" in proc.stderr or "Mutex" in proc.stderr:
+        errors.append(
+            f"kind-fallback runtime edges leaked into the merge: "
+            f"{proc.stderr!r}")
+    return errors
+
+
+def main() -> int:
+    missing = [n for n in CASES
+               if not os.path.isdir(os.path.join(FIXTURES, n))]
+    if missing:
+        print(f"analyze_selftest: missing fixtures: {missing}",
+              file=sys.stderr)
+        return 1
+    failures: list[str] = []
+    for name, (expect_exit, fragment, extra) in sorted(CASES.items()):
+        failures.extend(run_case(name, expect_exit, fragment, extra))
+    failures.extend(check_update_baseline())
+    failures.extend(check_runtime_only_warns())
+    if failures:
+        print("analyze_selftest: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"analyze_selftest: OK ({len(CASES)} fixtures + baseline "
+          f"round-trip + runtime merge)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1219 @@
+#!/usr/bin/env python3
+"""smpmine-analyze: whole-program concurrency analysis for the smpmine tree.
+
+Where smpmine-lint (tools/lint) checks annotation *presence* per file, this
+tool checks the *discipline*: which fields are actually shared, what
+actually protects them, and in which order locks actually nest — across the
+whole program, statically, before any test executes an interleaving.
+
+Checks
+------
+classify    Shared-state classification. Every data member of every class
+            under src/ is placed in a lattice (most- to least-protected):
+
+                lock > sync > const > atomic > guarded > partitioned
+                     > read_shared > suppressed > unshared > UNPROTECTED
+
+            `lock`/`sync` are the protection, not the protected data.
+            `partitioned` covers state that is per-thread by construction
+            (indexed by a thread/shard id at every access site, or a
+            cache-line-aligned *Shard* type). `read_shared` is reachable
+            from an SPMD parallel phase but never written by any
+            SPMD-reachable method — the frozen-structure pattern (build on
+            the master, read in the phase). `unshared` means the class
+            neither owns a lock nor is reachable from an SPMD parallel
+            phase, so no cross-thread story is required. `UNPROTECTED` is a
+            finding: a field that is written from a parallel phase, or
+            lives in a lock-owning class, or is `mutable`, with no
+            annotation and no audited justification.
+
+            On top of the lattice two lockset checks run over method
+            bodies (tracking RAII guards, manual lock()/unlock() and
+            REQUIRES entry sets):
+
+              * inference — an unprotected field whose every access sits
+                under one consistent lock gets a suggested GUARDED_BY
+                patch in the finding text;
+              * wrong-lock — an access of a GUARDED_BY(X) field in a
+                method that neither holds X nor declares REQUIRES(X)
+                (constructors/destructors are exempt: initialization
+                precedes publication).
+
+lock-order  Static acquisition-order graph. Within every non-capability
+            function body, constructing guard B while guard A is held
+            records the edge name(A) -> name(B); the same propagates
+            through the (name-based, over-approximated) call graph, so
+            "insert holds the node lock and calls an allocator that takes
+            the arena lock" yields HTNode::lock -> Region::mu_ without any
+            test executing it. Runtime graphs dumped by the checked-build
+            recorder (SMPMINE_LOCK_ORDER_DUMP, see
+            src/parallel/lock_order.hpp) merge into the same name space.
+            The union is persisted as the baseline
+            (tools/analyze/lock_order.baseline.json); the gate fails on
+
+              * any cycle in the static, runtime, or merged graph
+                (a name-level self-edge counts: two instances of one lock
+                class nested with no instance-order protocol), and
+              * any static edge missing from the baseline (run with
+                --update-baseline to accept deliberate new nestings).
+
+            Runtime-only edges missing from the baseline warn but do not
+            fail: they depend on which tests ran.
+
+Lock naming
+-----------
+Locks are identified as `OwningClass::member`. A guard expression resolves
+through, in order: local variable/parameter declarations in the enclosing
+function (`HTNode* node; ... SpinLockGuard g(node->lock)`), the enclosing
+class of the method (bare `mu_`), and finally a unique owner among all
+known lock members. Unresolvable expressions become `?::member` and are
+reported — name them or suppress them, never ignore them silently.
+
+Suppressions
+------------
+Two mechanisms, both requiring a written justification:
+
+  * in-source markers on/above the field declaration: `analyze-ok: <why>`
+    (and the existing `lint-ok: R1 <why>` markers, which already carry the
+    discipline) suppress classification findings for that field;
+  * the central file (default tools/analyze/suppressions.txt), one
+    directive per line:
+        field <Class::member>: <why>     suppress a classification finding
+        lock <name>: <why>               drop a lock from the order graph
+    A directive with an empty justification is itself an error.
+
+Backends
+--------
+Class/member discovery reuses the smpmine-lint plumbing: libclang when the
+Python bindings are importable (--backend clang|auto), a comment- and
+string-aware regex pass otherwise. Body analysis (locksets, guards, call
+graph) is text-based in both backends, exactly like the lint's markers.
+
+Exit status: 0 clean, 1 findings, 2 usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "lint"))
+import smpmine_lint as lint  # noqa: E402  (PR 3 backend plumbing)
+
+# ---------------------------------------------------------------------------
+# Configuration
+
+DEFAULT_SUPPRESSIONS = "tools/analyze/suppressions.txt"
+DEFAULT_BASELINE = "tools/analyze/lock_order.baseline.json"
+
+# Directories under --root that the classify check walks.
+ANALYZE_SCOPE = ("src",)
+
+# Guard types that acquire their constructor argument (RAII).
+GUARD_DECL = re.compile(
+    r"\b(SpinLockGuard|MutexLock|std::lock_guard|std::unique_lock|"
+    r"std::scoped_lock)\b(?:\s*<[^<>]*>)?\s+(\w+)\s*[({]([^;]*?)[)}]\s*;")
+
+# Manual acquire/release on a lock expression (outside capability classes
+# these are rare and deliberate; the recorder sees them at runtime, the
+# static graph must too).
+MANUAL_LOCK = re.compile(r"([\w\.\->\[\]\*]+?)\s*(?:\.|->)\s*lock\s*\(\s*\)")
+MANUAL_UNLOCK = re.compile(
+    r"([\w\.\->\[\]\*]+?)\s*(?:\.|->)\s*unlock\s*\(\s*\)")
+
+REQUIRES_ATTR = re.compile(r"\bREQUIRES(?:_SHARED)?\s*\(([^()]*)\)")
+NO_TSA = re.compile(r"\bNO_THREAD_SAFETY_ANALYSIS\b")
+GUARDED_BY_ATTR = re.compile(r"\b(?:PT_)?GUARDED_BY\s*\(([^()]*)\)")
+
+# SPMD parallel-phase seeds: lambda bodies handed to these entry points run
+# on every worker thread.
+SPMD_DISPATCH = re.compile(r"\b(run_spmd|parallel_for_blocked)\s*\(")
+
+# Identifier names that mark an index expression as thread-partitioning.
+PARTITION_INDEX = re.compile(
+    r"^\s*(tid|t|thread|thread_id|worker|worker_id|shard|shard_id|node|"
+    r"node_id|self)\s*$")
+
+# Types that are per-thread sharded by construction.
+PARTITIONED_TYPES = re.compile(r"\bHistogramShard\b|\bthread_local\b")
+
+# Callee names never followed through the call graph: lock primitives are
+# modeled as acquisition events, the rest are std/container noise whose
+# names collide with real methods.
+CALL_STOPLIST = frozenset({
+    "lock", "unlock", "try_lock", "lock_acquire", "unlock_release",
+    "size", "empty", "begin", "end", "data", "get", "reset", "release",
+    "push_back", "emplace_back", "pop_back", "front", "back", "at",
+    "insert", "erase", "find", "count", "clear", "resize", "reserve",
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "wait",
+    "notify_one", "notify_all", "min", "max", "move", "swap", "str",
+})
+
+MARKER_ANALYZE_OK = re.compile(r"analyze-ok:\s*\S")
+MARKER_LINT_R1 = re.compile(r"lint-ok:\s*R1\b\s*\S")
+
+SELF_SUFFIX = "(self-edge: two instances of one lock class nested)"
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    check: str  # "classify" | "lock-order"
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.check}: {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+
+
+@dataclass
+class Suppressions:
+    fields: dict[str, str] = field(default_factory=dict)  # Class::member -> why
+    locks: dict[str, str] = field(default_factory=dict)   # lock name -> why
+    errors: list[str] = field(default_factory=list)
+    used: set[str] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: str) -> "Suppressions":
+        sup = cls()
+        if not os.path.isfile(path):
+            return sup
+        with open(path, encoding="utf-8") as fh:
+            for lineno, raw in enumerate(fh, 1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                m = re.match(r"(field|lock)\s+(\S+)\s*:\s*(.*)", line)
+                if m is None:
+                    sup.errors.append(
+                        f"{path}:{lineno}: unparseable directive: {line!r}")
+                    continue
+                kind, name, why = m.group(1), m.group(2), m.group(3).strip()
+                if not why:
+                    sup.errors.append(
+                        f"{path}:{lineno}: suppression for {name!r} has no "
+                        f"written justification")
+                    continue
+                (sup.fields if kind == "field" else sup.locks)[name] = why
+        return sup
+
+    def field_ok(self, qualified: str) -> bool:
+        if qualified in self.fields:
+            self.used.add(f"field {qualified}")
+            return True
+        return False
+
+    def lock_ok(self, name: str) -> bool:
+        if name in self.locks:
+            self.used.add(f"lock {name}")
+            return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Function model: bodies, guards, accesses, calls
+
+
+@dataclass
+class LockEvent:
+    name: str      # resolved lock name (Class::member or ?::member)
+    line: int
+    depth: int     # brace depth at acquisition (guards release below it)
+    manual: bool = False
+
+
+@dataclass
+class CallSite:
+    callee: str
+    line: int
+    held: tuple[str, ...]  # innermost last
+
+
+@dataclass
+class FieldAccess:
+    member: str
+    line: int
+    held: tuple[str, ...]
+    in_ctor: bool
+    is_write: bool
+    fn_name: str = ""
+
+
+@dataclass
+class FuncInfo:
+    key: str              # "Class::name@file:line" (unique)
+    name: str             # bare name
+    cls: str | None       # enclosing class, if a method
+    rel: str
+    line: int
+    end_line: int = 0
+    entry_locks: tuple[str, ...] = ()
+    no_tsa: bool = False
+    is_capability_member: bool = False
+    acquires: list[LockEvent] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    accesses: list[FieldAccess] = field(default_factory=list)
+    spmd_seed: bool = False
+    # static order edges recorded inside this body: (from, to, line)
+    edges: list[tuple[str, str, int]] = field(default_factory=list)
+
+
+WRITE_AFTER = re.compile(
+    r"^\s*(\[[^\]]*\]\s*)*"
+    r"((?<![=!<>])=(?!=)|\+=|-=|\*=|/=|%=|\|=|&=|\^=|<<=|>>=|\+\+|--|"
+    r"(?:\.|->)\s*(push_back|emplace_back|emplace|pop_back|insert|erase|"
+    r"clear|resize|reserve|assign|append|swap)\s*\()")
+WRITE_BEFORE = re.compile(r"(\+\+|--)\s*$")
+
+
+def is_write_site(line: str, start: int, end: int) -> bool:
+    """Heuristic mutation test for an identifier occurrence: assignment or
+    compound assignment following it (through optional indexing), inc/dec on
+    either side, or a mutating container method call."""
+    return bool(WRITE_AFTER.match(line[end:]) or
+                WRITE_BEFORE.search(line[:start]))
+
+
+# ---------------------------------------------------------------------------
+# Lock-name resolution
+
+LOCAL_DECL = re.compile(
+    r"\b(?:const\s+)?(\w+)\s*[&*]\s*(\w+)\s*(?:=|;|,|\))")
+
+
+class LockResolver:
+    """Resolves a guard-argument expression to a symbolic lock name."""
+
+    def __init__(self, lock_members: dict[str, list[str]]):
+        # member name -> owning classes (classes with a lock member so named)
+        self.lock_members = lock_members
+
+    def resolve(self, expr: str, enclosing_class: str | None,
+                local_types: dict[str, str]) -> str:
+        expr = expr.strip().lstrip("*&").strip()
+        # std::unique_lock/std::lock_guard ctor args may carry a second
+        # argument (std::defer_lock etc.) — the lock is the first.
+        expr = expr.split(",")[0].strip()
+        expr = re.sub(r"\[[^\]]*\]", "", expr)  # locks_[s] -> locks_
+        m = re.match(r"(\w+)\s*(?:\.|->)\s*(\w+)$", expr)
+        if m is not None:
+            obj, member = m.group(1), m.group(2)
+            obj_type = local_types.get(obj)
+            if obj_type is not None and member in self.lock_members and \
+                    obj_type in self.lock_members[member]:
+                return f"{obj_type}::{member}"
+            owners = self.lock_members.get(member, [])
+            if len(owners) == 1:
+                return f"{owners[0]}::{member}"
+            if obj == "this" and enclosing_class is not None:
+                return f"{enclosing_class}::{member}"
+            return f"?::{member}"
+        if re.fullmatch(r"\w+", expr):
+            owners = self.lock_members.get(expr, [])
+            if enclosing_class is not None and enclosing_class in owners:
+                return f"{enclosing_class}::{expr}"
+            if len(owners) == 1:
+                return f"{owners[0]}::{expr}"
+            if enclosing_class is not None:
+                # A bare name in a method body is almost always the member
+                # even if discovery missed the class (template, nesting).
+                return f"{enclosing_class}::{expr}"
+            return f"?::{expr}"
+        return f"?::{expr}" if expr else "?::<empty>"
+
+
+# ---------------------------------------------------------------------------
+# Body parser
+
+
+def parse_file_functions(src: lint.SourceFile,
+                         classes: list[lint.ClassInfo],
+                         capability_classes: set[str],
+                         resolver: LockResolver) -> list[FuncInfo]:
+    """Extracts function bodies with guard scopes, lock events, field
+    accesses and call sites. One pass over the comment-stripped text with a
+    brace-depth scanner (the same idiom as the lint's class walker)."""
+    funcs: list[FuncInfo] = []
+    n = len(src.code_lines)
+    depth = 0
+    # Class-body tracking so inline methods get an enclosing class.
+    class_stack: list[tuple[str, int]] = []  # (name, body_depth)
+    pending_class: dict[int, str] = {}
+
+    cur: FuncInfo | None = None
+    cur_body_depth = 0
+    guard_stack: list[LockEvent] = []
+    local_types: dict[str, str] = {}
+    head_buf: list[str] = []   # statement text accumulated outside bodies
+    head_start = 0
+
+    member_names: dict[str, set[str]] = {
+        c.name: {m.name for m in c.members} for c in classes}
+
+    def held_names(fn: FuncInfo) -> tuple[str, ...]:
+        return tuple(list(fn.entry_locks) +
+                     [ev.name for ev in guard_stack])
+
+    def open_function(cls_name: str | None, fn_name: str, line: int,
+                      head_text: str) -> FuncInfo:
+        info = FuncInfo(
+            key=f"{cls_name or ''}::{fn_name}@{src.rel}:{line}",
+            name=fn_name, cls=cls_name, rel=src.rel, line=line)
+        req: list[str] = []
+        for m in REQUIRES_ATTR.finditer(head_text):
+            for part in m.group(1).split(","):
+                name = resolver.resolve(part, cls_name, {})
+                req.append(name)
+        info.entry_locks = tuple(req)
+        info.no_tsa = bool(NO_TSA.search(head_text))
+        info.is_capability_member = cls_name in capability_classes
+        return info
+
+    def record_acquire(fn: FuncInfo, name: str, line: int,
+                       manual: bool) -> None:
+        held = held_names(fn)
+        if held:
+            fn.edges.append((held[-1], name, line))
+        guard_stack.append(LockEvent(name, line, depth, manual))
+        fn.acquires.append(LockEvent(name, line, depth, manual))
+
+    def scan_body_line(fn: FuncInfo, line: str, lineno: int) -> None:
+        # Local declarations feed expression->type resolution.
+        for dm in LOCAL_DECL.finditer(line):
+            type_name, var = dm.group(1), dm.group(2)
+            if type_name not in ("return", "const", "auto", "static"):
+                local_types.setdefault(var, type_name)
+        # RAII guards.
+        for gm in GUARD_DECL.finditer(line):
+            name = resolver.resolve(gm.group(3), fn.cls, local_types)
+            record_acquire(fn, name, lineno, manual=False)
+        # Manual lock()/unlock() pairs on resolvable expressions.
+        for mm in MANUAL_LOCK.finditer(line):
+            name = resolver.resolve(mm.group(1), fn.cls, local_types)
+            record_acquire(fn, name, lineno, manual=True)
+        for um in MANUAL_UNLOCK.finditer(line):
+            name = resolver.resolve(um.group(1), fn.cls, local_types)
+            for i in range(len(guard_stack) - 1, -1, -1):
+                if guard_stack[i].name == name and guard_stack[i].manual:
+                    del guard_stack[i]
+                    break
+        held = held_names(fn)
+        # Call sites (identifier followed by '(' that isn't a keyword).
+        for cm in re.finditer(r"\b(\w+)\s*\(", line):
+            callee = cm.group(1)
+            if callee in CALL_STOPLIST or callee in (
+                    "if", "for", "while", "switch", "return", "sizeof",
+                    "assert", "static_cast", "reinterpret_cast",
+                    "const_cast", "dynamic_cast", "alignof", "new",
+                    "catch", "defined"):
+                continue
+            fn.calls.append(CallSite(callee, lineno, held))
+        # Field accesses of the enclosing class's members (bare or this->).
+        if fn.cls is not None and fn.cls in member_names:
+            is_ctor = fn.name in (fn.cls, f"~{fn.cls}")
+            for am in re.finditer(r"(?:\bthis\s*->\s*)?\b(\w+)\b", line):
+                word = am.group(1)
+                if word in member_names[fn.cls]:
+                    fn.accesses.append(FieldAccess(
+                        word, lineno, held, is_ctor,
+                        is_write_site(line, am.start(1), am.end(1)),
+                        fn.name))
+
+    idx = 0
+    while idx < n:
+        line = src.code_lines[idx]
+        lineno = idx + 1
+        # The function whose body text appears on this line — survives a
+        # close brace mid-line so single-line bodies (`int f() { ...; }`)
+        # still get scanned below.
+        line_fn: FuncInfo | None = cur
+        # Class declarations opening on this line (for inline methods).
+        for m in lint.CLASS_DECL.finditer(line):
+            pending_class[m.end() - 1] = m.group(2)
+
+        i = 0
+        while i < len(line):
+            ch = line[i]
+            if ch == "{":
+                if cur is None:
+                    if i in pending_class:
+                        class_stack.append((pending_class.pop(i), depth + 1))
+                        head_buf, head_start = [], 0
+                    else:
+                        head_text = " ".join("".join(head_buf).split())
+                        # The declarator name is the identifier before the
+                        # FIRST paren once template argument lists are gone
+                        # (a std::function<void(...)> parameter type would
+                        # otherwise masquerade as the function).
+                        head_core = lint.strip_template_args(head_text)
+                        paren = head_core.find("(")
+                        fm = None
+                        if paren >= 0:
+                            fm = re.search(r"(?:(\w+)\s*::\s*)?(~?\w+)\s*$",
+                                           head_core[:paren])
+                        looks_like_fn = (
+                            fm is not None and
+                            fm.group(2) not in (
+                                "if", "for", "while", "switch", "do",
+                                "else", "return", "catch", "sizeof",
+                                "alignof", "defined") and
+                            not re.search(r"^\s*(if|for|while|switch|do|"
+                                          r"else|namespace|enum|union)\b",
+                                          head_core) and
+                            not re.search(r"\b(namespace|enum)\s+\w*\s*$",
+                                          head_core) and
+                            "=" not in head_core[:paren])
+                        if looks_like_fn:
+                            cls_name = fm.group(1)
+                            if cls_name is None and class_stack:
+                                cls_name = class_stack[-1][0]
+                            cur = open_function(cls_name, fm.group(2),
+                                                head_start or lineno,
+                                                head_text)
+                            line_fn = cur
+                            cur_body_depth = depth + 1
+                            guard_stack = []
+                            local_types = {}
+                            # Parameters contribute local types.
+                            for dm in LOCAL_DECL.finditer(head_text):
+                                if dm.group(1) not in ("return", "const"):
+                                    local_types.setdefault(dm.group(2),
+                                                           dm.group(1))
+                        head_buf, head_start = [], 0
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if cur is not None:
+                    while guard_stack and guard_stack[-1].depth > depth:
+                        guard_stack.pop()
+                    if depth < cur_body_depth:
+                        cur.end_line = lineno
+                        funcs.append(cur)
+                        cur = None
+                        guard_stack = []
+                if class_stack and depth < class_stack[-1][1]:
+                    class_stack.pop()
+            elif cur is None:
+                if ch == ";":
+                    head_buf, head_start = [], 0
+                else:
+                    if not head_buf and not ch.isspace():
+                        head_start = lineno
+                    head_buf.append(ch)
+            i += 1
+
+        if line_fn is not None:
+            scan_body_line(line_fn, line, lineno)
+        idx += 1
+    return funcs
+
+
+# ---------------------------------------------------------------------------
+# Whole-program model
+
+
+@dataclass
+class Program:
+    root: str
+    classes: dict[str, lint.ClassInfo] = field(default_factory=dict)
+    class_file: dict[str, str] = field(default_factory=dict)
+    funcs: list[FuncInfo] = field(default_factory=list)
+    sources: dict[str, lint.SourceFile] = field(default_factory=dict)
+    capability_classes: set[str] = field(default_factory=set)
+    lock_members: dict[str, list[str]] = field(default_factory=dict)
+
+
+def discover_classes(root: str, rels: list[str], backend: str):
+    """Two-pass load: classes first (the lock-member registry feeds name
+    resolution), bodies second."""
+    cindex = lint.load_libclang() if backend in ("auto", "clang") else None
+    if cindex is None and backend == "clang":
+        print("smpmine-analyze: libclang bindings unavailable; using the "
+              "regex backend", file=sys.stderr)
+    prog = Program(root=root)
+    per_file_classes: dict[str, list[lint.ClassInfo]] = {}
+    for rel in rels:
+        path = os.path.join(root, rel)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                raw = fh.read().splitlines()
+        except OSError as err:
+            raise RuntimeError(f"cannot read {rel}: {err}") from err
+        src = lint.SourceFile(rel=rel, raw_lines=raw)
+        prog.sources[rel] = src
+        classes = None
+        if cindex is not None:
+            try:
+                classes = lint.iter_classes_clang(cindex, path, src)
+            except Exception:
+                classes = None
+        if classes is None:
+            classes = lint.iter_classes_regex(src)
+        per_file_classes[rel] = classes
+        for cls in classes:
+            prog.classes[cls.name] = cls
+            prog.class_file[cls.name] = rel
+            head = src.code_lines[cls.line - 1] if cls.line <= len(
+                src.code_lines) else ""
+            if cls.is_capability or lint.CAPABILITY_CLASS.search(head):
+                prog.capability_classes.add(cls.name)
+            for m in cls.members:
+                if m.is_lock:
+                    prog.lock_members.setdefault(m.name, [])
+                    if cls.name not in prog.lock_members[m.name]:
+                        prog.lock_members[m.name].append(cls.name)
+    return prog, per_file_classes
+
+
+def build_program(root: str, rels: list[str], backend: str) -> Program:
+    prog, per_file = discover_classes(root, rels, backend)
+    resolver = LockResolver(prog.lock_members)
+    for rel, classes in per_file.items():
+        prog.funcs.extend(parse_file_functions(
+            prog.sources[rel], classes, prog.capability_classes, resolver))
+    return prog
+
+
+# ---------------------------------------------------------------------------
+# SPMD reachability
+
+
+def spmd_seed_functions(prog: Program) -> set[str]:
+    """Call names invoked from inside run_spmd/parallel_for_blocked lambda
+    bodies, plus the functions containing those dispatches (the lambda body
+    is scanned as part of its enclosing function here — captures make the
+    enclosing frame's state reachable anyway)."""
+    seeds: set[str] = set()
+    for fn in prog.funcs:
+        src = prog.sources[fn.rel]
+        lo = fn.line - 1
+        hi = min(len(src.code_lines), fn.end_line or lo + 1)
+        for i in range(lo, hi):
+            if SPMD_DISPATCH.search(src.code_lines[i]):
+                fn.spmd_seed = True
+                seeds.add(fn.name)
+                break
+    return seeds
+
+
+def reachable_functions(prog: Program, seeds: set[str]) -> set[str]:
+    """Name-level closure over the call graph. Over-approximate (names
+    collide across classes) — which is the right direction for a gate."""
+    defined: dict[str, list[FuncInfo]] = defaultdict(list)
+    for fn in prog.funcs:
+        defined[fn.name].append(fn)
+    reach: set[str] = set()
+    work = [name for name in seeds if name in defined]
+    while work:
+        name = work.pop()
+        if name in reach:
+            continue
+        reach.add(name)
+        for fn in defined[name]:
+            for call in fn.calls:
+                if call.callee in defined and call.callee not in reach:
+                    work.append(call.callee)
+    return reach
+
+
+def spmd_classes(prog: Program, reach: set[str]) -> set[str]:
+    return {fn.cls for fn in prog.funcs
+            if fn.cls is not None and fn.name in reach}
+
+
+# ---------------------------------------------------------------------------
+# classify check
+
+
+LATTICE = ("lock", "sync", "const", "atomic", "guarded", "partitioned",
+           "read_shared", "suppressed", "unshared", "UNPROTECTED")
+
+
+@dataclass
+class FieldVerdict:
+    cls: str
+    member: lint.Member
+    rel: str
+    classification: str
+    detail: str = ""
+
+
+def classify_fields(prog: Program, sup: Suppressions,
+                    reach: set[str]) -> tuple[list[FieldVerdict],
+                                              list[Finding]]:
+    verdicts: list[FieldVerdict] = []
+    findings: list[Finding] = []
+    shared_cls = spmd_classes(prog, reach)
+
+    # member accesses grouped by (class, member) for lockset reasoning.
+    accesses: dict[tuple[str, str], list[FieldAccess]] = defaultdict(list)
+    for fn in prog.funcs:
+        if fn.cls is None or fn.is_capability_member:
+            continue
+        for acc in fn.accesses:
+            accesses[(fn.cls, acc.member)].append(acc)
+
+    for cls_name, cls in sorted(prog.classes.items()):
+        rel = prog.class_file[cls_name]
+        if not lint.in_scope(rel, ANALYZE_SCOPE):
+            continue
+        src = prog.sources[rel]
+        owns_lock = cls.owns_lock
+        is_spmd = cls_name in shared_cls
+
+        for m in cls.members:
+            qualified = f"{cls_name}::{m.name}"
+
+            def verdict(kind: str, detail: str = "") -> None:
+                verdicts.append(FieldVerdict(cls_name, m, rel, kind, detail))
+
+            if m.is_lock or cls_name in prog.capability_classes:
+                verdict("lock")
+                continue
+            if lint.SYNC_TYPES.search(m.decl):
+                verdict("sync")
+                continue
+            if m.is_const and not m.is_mutable:
+                verdict("const")
+                continue
+            if m.is_atomic:
+                verdict("atomic")
+                continue
+            if m.is_annotated or GUARDED_BY_ATTR.search(m.decl):
+                verdict("guarded")
+                continue
+            if PARTITIONED_TYPES.search(m.decl):
+                verdict("partitioned", "sharded type")
+                continue
+            accs = accesses.get((cls_name, m.name), [])
+            if accs and is_partitioned_by_access(prog, cls_name, m, accs):
+                verdict("partitioned", "all accesses indexed by thread id")
+                continue
+            if src.has_marker(m.line, MARKER_ANALYZE_OK) or \
+                    src.has_marker(m.line, MARKER_LINT_R1):
+                verdict("suppressed", "in-source marker")
+                continue
+            if sup.field_ok(qualified):
+                verdict("suppressed", sup.fields[qualified])
+                continue
+            written_in_phase = any(
+                a.is_write and not a.in_ctor and a.fn_name in reach
+                for a in accs)
+            needs_story = ((owns_lock and not m.is_const) or m.is_mutable or
+                           written_in_phase)
+            if not needs_story:
+                if is_spmd:
+                    verdict("read_shared", "no SPMD-reachable writes")
+                else:
+                    verdict("unshared")
+                continue
+
+            # UNPROTECTED — build the most useful finding we can.
+            why = []
+            if owns_lock:
+                why.append(f"class '{cls_name}' owns a lock")
+            if written_in_phase:
+                why.append("written from an SPMD-reachable method")
+            if m.is_mutable:
+                why.append("mutable")
+            suggestion = infer_guard(accs)
+            msg = (f"unprotected shared field '{qualified}' "
+                   f"({'; '.join(why)}) — annotate, partition, or suppress "
+                   f"with a justification")
+            if suggestion is not None:
+                msg += (f"; every access holds {suggestion} — suggested "
+                        f"patch: `{m.decl.rstrip(';')} "
+                        f"GUARDED_BY({suggestion.split('::')[-1]});`")
+            verdict("UNPROTECTED", msg)
+            findings.append(Finding(rel, m.line, "classify", msg))
+
+    # wrong-lock: annotated fields accessed without their lock.
+    findings.extend(check_wrong_lock(prog))
+    return verdicts, findings
+
+
+def is_partitioned_by_access(prog: Program, cls_name: str, m: lint.Member,
+                             accs: list[FieldAccess]) -> bool:
+    """True when every non-constructor access of the member in the class's
+    method bodies is an indexed access whose index is a thread/shard id."""
+    src = prog.sources[prog.class_file[cls_name]]
+    saw_indexed = False
+    for acc in accs:
+        if acc.in_ctor:
+            continue
+        line = src.code_lines[acc.line - 1]
+        for am in re.finditer(rf"\b{re.escape(m.name)}\b\s*(\[([^\]]*)\])?",
+                              line):
+            if am.group(1) is None:
+                return False
+            if not PARTITION_INDEX.match(am.group(2) or ""):
+                return False
+            saw_indexed = True
+    return saw_indexed
+
+
+def infer_guard(accs: list[FieldAccess]) -> str | None:
+    """The one lock held at every (non-ctor) access, if any."""
+    locksets = [set(a.held) for a in accs if not a.in_ctor]
+    if not locksets:
+        return None
+    common = set.intersection(*locksets)
+    common = {c for c in common if not c.startswith("?::")}
+    if len(common) == 1:
+        return next(iter(common))
+    return None
+
+
+def check_wrong_lock(prog: Program) -> list[Finding]:
+    findings: list[Finding] = []
+    guards: dict[tuple[str, str], str] = {}
+    for cls_name, cls in prog.classes.items():
+        for m in cls.members:
+            gm = GUARDED_BY_ATTR.search(m.decl)
+            if gm is not None:
+                guards[(cls_name, m.name)] = gm.group(1).strip()
+    for fn in prog.funcs:
+        if fn.cls is None or fn.no_tsa or fn.is_capability_member:
+            continue
+        for acc in fn.accesses:
+            lock_expr = guards.get((fn.cls, acc.member))
+            if lock_expr is None or acc.in_ctor:
+                continue
+            want = f"{fn.cls}::{lock_expr}"
+            held_ok = any(
+                h == want or h.endswith(f"::{lock_expr}") for h in acc.held)
+            if not held_ok:
+                findings.append(Finding(
+                    fn.rel, acc.line, "classify",
+                    f"wrong-lock access: '{fn.cls}::{acc.member}' is "
+                    f"GUARDED_BY({lock_expr}) but '{fn.name}' holds "
+                    f"{list(acc.held) or 'no locks'} and declares no "
+                    f"REQUIRES({lock_expr})"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# lock-order check
+
+
+def static_lock_graph(prog: Program, sup: Suppressions
+                      ) -> tuple[dict[str, dict[str, str]], list[Finding]]:
+    """Name-level acquisition graph: direct nesting plus call-graph
+    propagation (held lock -> every lock transitively acquired by the
+    callee). Returns adj[from][to] = example-site string."""
+    findings: list[Finding] = []
+    defined: dict[str, list[FuncInfo]] = defaultdict(list)
+    for fn in prog.funcs:
+        defined[fn.name].append(fn)
+
+    # Transitive acquisitions per function name (fixpoint over names — the
+    # same over-approximation as reachability).
+    acq: dict[str, set[str]] = defaultdict(set)
+    for fn in prog.funcs:
+        if fn.is_capability_member:
+            continue
+        acq[fn.name].update(ev.name for ev in fn.acquires)
+        acq[fn.name].update(fn.entry_locks)
+    changed = True
+    while changed:
+        changed = False
+        for fn in prog.funcs:
+            if fn.is_capability_member:
+                continue
+            before = len(acq[fn.name])
+            for call in fn.calls:
+                if call.callee in defined:
+                    acq[fn.name].update(acq[call.callee])
+            if len(acq[fn.name]) != before:
+                changed = True
+
+    adj: dict[str, dict[str, str]] = defaultdict(dict)
+
+    def add_edge(frm: str, to: str, site: str) -> None:
+        if frm == to and frm.startswith("?::"):
+            return  # unresolved aliases self-colliding is pure noise
+        if sup.lock_ok(frm) or sup.lock_ok(to):
+            return
+        adj[frm].setdefault(to, site)
+
+    for fn in prog.funcs:
+        if fn.is_capability_member:
+            continue
+        for frm, to, line in fn.edges:
+            add_edge(frm, to, f"{fn.rel}:{line}")
+        for call in fn.calls:
+            if not call.held or call.callee not in defined:
+                continue
+            for callee_fn in defined[call.callee]:
+                if callee_fn.is_capability_member:
+                    continue
+            for lock_name in sorted(acq.get(call.callee, ())):
+                if lock_name != call.held[-1]:
+                    add_edge(call.held[-1], lock_name,
+                             f"{fn.rel}:{call.line} (via {call.callee})")
+
+    unresolved = sorted({name for frm in adj
+                         for name in (frm, *adj[frm])
+                         if name.startswith("?::")})
+    for name in unresolved:
+        findings.append(Finding(
+            "tools/analyze", 0, "lock-order",
+            f"unresolvable lock expression {name!r} in the static graph — "
+            f"register a symbolic name or add `lock {name}: <why>` to the "
+            f"suppression file"))
+    return adj, findings
+
+
+def find_cycles(adj: dict[str, dict[str, str]]) -> list[list[str]]:
+    """All elementary cycles would be overkill; one cycle per strongly
+    connected component (plus self-edges) is what a human needs to fix."""
+    cycles: list[list[str]] = []
+    for frm, tos in adj.items():
+        if frm in tos:
+            cycles.append([frm, frm])
+    index = 0
+    stack: list[str] = []
+    on_stack: set[str] = set()
+    indices: dict[str, int] = {}
+    low: dict[str, int] = {}
+    sccs: list[list[str]] = []
+
+    def strongconnect(v: str) -> None:
+        nonlocal index
+        work = [(v, iter(sorted(adj.get(v, ()))))]
+        indices[v] = low[v] = index
+        index += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in indices:
+                    indices[w] = low[w] = index
+                    index += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(adj.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], indices[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == indices[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                if len(comp) > 1:
+                    sccs.append(comp)
+
+    for v in list(adj):
+        if v not in indices:
+            strongconnect(v)
+    for comp in sccs:
+        cycles.append(shortest_cycle_in(adj, comp))
+    return cycles
+
+
+def shortest_cycle_in(adj: dict[str, dict[str, str]],
+                      comp: list[str]) -> list[str]:
+    comp_set = set(comp)
+    start = sorted(comp)[0]
+    # BFS back to start constrained to the component.
+    parent: dict[str, str] = {}
+    frontier = [start]
+    seen = {start}
+    while frontier:
+        nxt: list[str] = []
+        for node in frontier:
+            for w in sorted(adj.get(node, ())):
+                if w == start:
+                    path = [start]
+                    cur = node
+                    while cur != start:
+                        path.append(cur)
+                        cur = parent[cur]
+                    path.append(start)
+                    path.reverse()
+                    return path
+                if w in comp_set and w not in seen:
+                    seen.add(w)
+                    parent[w] = node
+                    nxt.append(w)
+        frontier = nxt
+    return comp + [comp[0]]  # unreachable for a true SCC; defensive
+
+
+#: Node names the runtime dump falls back to for locks that never
+#: registered a symbolic identity. Unlike "HTNode::lock" these are not
+#: equivalence classes — every anonymous test-fixture SpinLock collapses
+#: to the same name, so a nesting of two unrelated instances would read
+#: as a self-cycle. Edges touching them are skipped at merge time; the
+#: runtime recorder already checks anonymous locks at address level.
+KIND_FALLBACK_NAMES = frozenset({"SpinLock", "Mutex", "Anon"})
+
+
+def load_runtime_dumps(paths: list[str]) -> tuple[dict[str, dict[str, str]],
+                                                  list[str]]:
+    """Merges runtime dump files (or directories of them) into one
+    name-level graph; returns (adj, errors). Edges involving
+    KIND_FALLBACK_NAMES (unnamed locks) are dropped — see above."""
+    adj: dict[str, dict[str, str]] = defaultdict(dict)
+    errors: list[str] = []
+    files: list[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            files.extend(sorted(
+                os.path.join(p, f) for f in os.listdir(p)
+                if f.endswith(".json")))
+        else:
+            files.append(p)
+    for f in files:
+        try:
+            with open(f, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            errors.append(f"{f}: unreadable runtime dump: {err}")
+            continue
+        if doc.get("schema") != "smpmine.lock_order.runtime.v1":
+            errors.append(f"{f}: not a runtime lock-order dump "
+                          f"(schema {doc.get('schema')!r})")
+            continue
+        for e in doc.get("edges", []):
+            if (e["from"] in KIND_FALLBACK_NAMES
+                    or e["to"] in KIND_FALLBACK_NAMES):
+                continue
+            adj[e["from"]].setdefault(e["to"], f"runtime:{os.path.basename(f)}")
+    return adj, errors
+
+
+def merge_graphs(static_adj: dict[str, dict[str, str]],
+                 runtime_adj: dict[str, dict[str, str]]
+                 ) -> dict[str, dict[str, dict]]:
+    merged: dict[str, dict[str, dict]] = defaultdict(dict)
+    for frm, tos in static_adj.items():
+        for to, site in tos.items():
+            merged[frm][to] = {"sources": ["static"], "site": site}
+    for frm, tos in runtime_adj.items():
+        for to, site in tos.items():
+            if to in merged.get(frm, {}):
+                merged[frm][to]["sources"].append("runtime")
+            else:
+                merged[frm][to] = {"sources": ["runtime"], "site": site}
+    return merged
+
+
+def baseline_from_merged(merged: dict[str, dict[str, dict]]) -> dict:
+    edges = []
+    for frm in sorted(merged):
+        for to in sorted(merged[frm]):
+            info = merged[frm][to]
+            edges.append({"from": frm, "to": to,
+                          "sources": sorted(set(info["sources"])),
+                          "site": info["site"]})
+    return {"schema": "smpmine.lock_order.baseline.v1", "edges": edges}
+
+
+def check_lock_order(prog: Program, sup: Suppressions, baseline_path: str,
+                     runtime_paths: list[str], update_baseline: bool
+                     ) -> tuple[list[Finding], list[str], dict]:
+    findings: list[Finding] = []
+    warnings: list[str] = []
+    static_adj, unresolved = static_lock_graph(prog, sup)
+    findings.extend(unresolved)
+    runtime_adj, dump_errors = load_runtime_dumps(runtime_paths)
+    for err in dump_errors:
+        findings.append(Finding("tools/analyze", 0, "lock-order", err))
+    merged = merge_graphs(static_adj, runtime_adj)
+
+    plain = {frm: {to: info["site"] for to, info in tos.items()}
+             for frm, tos in merged.items()}
+    for cyc in find_cycles(plain):
+        suffix = f" {SELF_SUFFIX}" if len(cyc) == 2 and cyc[0] == cyc[1] \
+            else ""
+        sites = []
+        for a, b in zip(cyc, cyc[1:]):
+            sites.append(f"{a} -> {b} [{plain[a][b]}]")
+        findings.append(Finding(
+            "tools/analyze", 0, "lock-order",
+            f"lock-order cycle in the merged graph{suffix}: "
+            + "; ".join(sites)))
+
+    doc = baseline_from_merged(merged)
+    if update_baseline:
+        os.makedirs(os.path.dirname(baseline_path), exist_ok=True)
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        warnings.append(f"baseline written: {baseline_path} "
+                        f"({len(doc['edges'])} edge(s))")
+        return findings, warnings, doc
+
+    known: set[tuple[str, str]] = set()
+    if os.path.isfile(baseline_path):
+        try:
+            with open(baseline_path, encoding="utf-8") as fh:
+                base = json.load(fh)
+            known = {(e["from"], e["to"]) for e in base.get("edges", [])}
+        except (OSError, json.JSONDecodeError, KeyError) as err:
+            findings.append(Finding(
+                baseline_path, 0, "lock-order",
+                f"unreadable baseline: {err}"))
+    else:
+        findings.append(Finding(
+            baseline_path, 0, "lock-order",
+            "missing lock-order baseline — run with --update-baseline"))
+
+    for frm in sorted(merged):
+        for to in sorted(merged[frm]):
+            if (frm, to) in known:
+                continue
+            info = merged[frm][to]
+            msg = (f"lock-order edge {frm} -> {to} [{info['site']}] is not "
+                   f"in the baseline ({baseline_path}) — audit the nesting "
+                   f"and run --update-baseline")
+            if "static" in info["sources"]:
+                findings.append(Finding("tools/analyze", 0, "lock-order",
+                                        msg))
+            else:
+                warnings.append(f"warning: runtime-only {msg}")
+    return findings, warnings, doc
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+
+def render_classification(verdicts: list[FieldVerdict]) -> str:
+    counts: dict[str, int] = {k: 0 for k in LATTICE}
+    for v in verdicts:
+        counts[v.classification] += 1
+    total = len(verdicts)
+    parts = [f"{k}={counts[k]}" for k in LATTICE if counts[k]]
+    return f"{total} field(s): " + " ".join(parts)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="smpmine-analyze", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=lint.default_root())
+    parser.add_argument("--backend", choices=("auto", "regex", "clang"),
+                        default="auto")
+    parser.add_argument("--checks", default="classify,lock-order",
+                        help="comma-separated subset of "
+                             "{classify,lock-order}")
+    parser.add_argument("--suppressions", default=None,
+                        help=f"suppression file (default "
+                             f"{DEFAULT_SUPPRESSIONS} under --root)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"lock-order baseline (default "
+                             f"{DEFAULT_BASELINE} under --root)")
+    parser.add_argument("--runtime-dump", action="append", default=[],
+                        metavar="PATH",
+                        help="runtime dump file or directory of dumps "
+                             "(repeatable)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="persist the merged graph as the baseline "
+                             "instead of diffing against it")
+    parser.add_argument("--classification-report", metavar="PATH",
+                        help="also write the full field classification as "
+                             "JSON")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories relative to --root "
+                             "(default: src)")
+    args = parser.parse_args(argv)
+
+    checks = tuple(c.strip() for c in args.checks.split(",") if c.strip())
+    bad = [c for c in checks if c not in ("classify", "lock-order")]
+    if bad:
+        print(f"smpmine-analyze: unknown check(s): {', '.join(bad)}",
+              file=sys.stderr)
+        return 2
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"smpmine-analyze: no such root: {root}", file=sys.stderr)
+        return 2
+
+    sup_path = args.suppressions or os.path.join(root, DEFAULT_SUPPRESSIONS)
+    baseline_path = args.baseline or os.path.join(root, DEFAULT_BASELINE)
+    sup = Suppressions.load(sup_path)
+    if sup.errors:
+        for err in sup.errors:
+            print(f"smpmine-analyze: {err}", file=sys.stderr)
+        return 2
+
+    rels = lint.collect_files(root, args.paths or list(ANALYZE_SCOPE))
+    try:
+        prog = build_program(root, rels, args.backend)
+    except RuntimeError as err:
+        print(f"smpmine-analyze: {err}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    warnings: list[str] = []
+
+    if "classify" in checks:
+        seeds = spmd_seed_functions(prog)
+        seed_callees = {
+            call.callee for fn in prog.funcs if fn.spmd_seed
+            for call in fn.calls}
+        reach = reachable_functions(prog, seeds | seed_callees)
+        verdicts, cls_findings = classify_fields(prog, sup, reach)
+        findings.extend(cls_findings)
+        print(f"smpmine-analyze: classification: "
+              f"{render_classification(verdicts)}")
+        if args.classification_report:
+            report = [{
+                "class": v.cls, "field": v.member.name, "file": v.rel,
+                "line": v.member.line, "classification": v.classification,
+                "detail": v.detail,
+            } for v in verdicts]
+            with open(args.classification_report, "w",
+                      encoding="utf-8") as fh:
+                json.dump({"schema": "smpmine.classification.v1",
+                           "fields": report}, fh, indent=2)
+                fh.write("\n")
+
+    if "lock-order" in checks:
+        lo_findings, lo_warnings, doc = check_lock_order(
+            prog, sup, baseline_path, args.runtime_dump,
+            args.update_baseline)
+        findings.extend(lo_findings)
+        warnings.extend(lo_warnings)
+        print(f"smpmine-analyze: lock-order: {len(doc['edges'])} edge(s) in "
+              f"the merged graph")
+
+    for w in warnings:
+        print(f"smpmine-analyze: {w}", file=sys.stderr)
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.message)):
+        print(f.render())
+    if findings:
+        print(f"smpmine-analyze: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print("smpmine-analyze: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -20,6 +20,10 @@ FIXTURES = os.path.join(ROOT, "tests", "lint", "fixtures")
 CASES = {
     "r1_good": (0, None, None),
     "r1_bad": (1, "R1", "src/parallel/widget.hpp"),
+    "r1_core_good": (0, None, None),
+    "r1_core_bad": (1, "R1", "src/core/sched.hpp"),
+    "r1_distmem_good": (0, None, None),
+    "r1_distmem_bad": (1, "R1", "src/distmem/queue.hpp"),
     "r2_good": (0, None, None),
     "r2_bad": (1, "R2", "src/core/driver.cpp"),
     "r2_perf_good": (0, None, None),

@@ -4,7 +4,8 @@
 Rules
 -----
 R1  guarded-by coverage: in the concurrency-bearing directories
-    (src/parallel, src/hashtree, src/obs, src/alloc), a class that owns a
+    (src/parallel, src/hashtree, src/obs, src/alloc, src/core,
+    src/distmem), a class that owns a
     lock (SpinLock/Mutex/std::mutex member, by value or pointer) must
     annotate every other non-atomic, non-const data member with
     GUARDED_BY/PT_GUARDED_BY — or carry an explicit `lint-ok: R1` marker
@@ -70,7 +71,8 @@ from dataclasses import dataclass, field
 RULE_IDS = ("R1", "R2", "R3", "R4", "R5")
 
 # Directories (relative to --root) whose classes R1 inspects.
-R1_SCOPE = ("src/parallel", "src/hashtree", "src/obs", "src/alloc")
+R1_SCOPE = ("src/parallel", "src/hashtree", "src/obs", "src/alloc",
+            "src/core", "src/distmem")
 
 # The one directory allowed to use raw threading primitives.
 R2_EXEMPT = ("src/parallel",)
