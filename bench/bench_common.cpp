@@ -106,6 +106,14 @@ void add_common_flags(CliParser& cli) {
   cli.add_flag("perf-backend",
                "per-phase counter attribution: auto | hw | software | off",
                "off");
+  cli.add_flag("flight", "flight recorder (always-on black box): on | off",
+               "on");
+  cli.add_flag("flight-dump",
+               "pre-open this path for the smpmine.flight.v1 crash/stall "
+               "dump and install the crash handlers");
+  cli.add_flag("flight-watchdog-ms",
+               "dump a flight report when no event lands for this many "
+               "milliseconds (0 = no watchdog)", "0");
 }
 
 namespace {
@@ -150,6 +158,25 @@ BenchEnv parse_env(const CliParser& cli,
     }
     obs::perf::init(*requested);
   }
+  // Name the bench master unconditionally: the flight recorder and log
+  // prefixes use it even without --trace.
+  obs::set_current_thread_name("bench main");
+  if (cli.get("flight", "on") == "off") obs::flight::set_enabled(false);
+  {
+    const std::string dump_path = cli.get("flight-dump", "");
+    if (!dump_path.empty()) {
+      if (!obs::flight::set_dump_path(dump_path.c_str())) {
+        throw std::invalid_argument("cannot open --flight-dump: " +
+                                    dump_path);
+      }
+      obs::flight::install_crash_handler();
+    }
+    const int watchdog_ms = cli.get_int("flight-watchdog-ms", 0);
+    if (watchdog_ms > 0) {
+      obs::flight::start_watchdog(static_cast<std::uint64_t>(watchdog_ms));
+    }
+    obs::flight::sync_metrics_for_dump();
+  }
   env.trace_path = cli.get("trace", "");
   env.metrics_path = cli.get("metrics", "");
   if (!env.trace_path.empty() || !env.metrics_path.empty()) {
@@ -157,7 +184,6 @@ BenchEnv parse_env(const CliParser& cli,
     g_metrics_path = env.metrics_path;
     if (!env.trace_path.empty()) {
       obs::Tracer::instance().set_enabled(true);
-      obs::set_current_thread_name("bench main");
     }
     static const int registered = std::atexit(flush_artifacts);
     (void)registered;

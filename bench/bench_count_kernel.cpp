@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/flight/flight_recorder.hpp"
 #include "obs/json_writer.hpp"
 
 using namespace smpmine;
@@ -142,6 +143,41 @@ int main(int argc, char** argv) {
   }
 
   w.end_array();
+
+  // Flight-recorder overhead check (acceptance budget: < 2% wall time on
+  // this bench). Same flat-kernel mining run with recording on vs off,
+  // interleaved off/on per repeat so clock drift (frequency scaling, a
+  // neighbour waking up) hits both sides alike instead of biasing
+  // whichever block ran second; min-of-repeat each so scheduler noise
+  // shrinks rather than inflates the delta. The last dataset/thread-count
+  // combination is reused.
+  double flight_overhead_pct = 0.0;
+  if (!env.datasets.empty() && !env.thread_counts.empty()) {
+    const Database db = make_dataset(env.datasets.back(), env);
+    const std::uint32_t threads = env.thread_counts.back();
+    const bool was_enabled = obs::flight::enabled();
+    double off_s = 0.0;
+    double on_s = 0.0;
+    for (std::uint32_t r = 0; r < env.repeat; ++r) {
+      for (const bool flight_on : {false, true}) {
+        obs::flight::set_enabled(flight_on);
+        const KernelRun run = measure(db, env, CountKernel::Flat, threads);
+        double& best = flight_on ? on_s : off_s;
+        if (r == 0 || run.median_counting_seconds < best) {
+          best = run.median_counting_seconds;
+        }
+      }
+    }
+    obs::flight::set_enabled(was_enabled);
+    flight_overhead_pct =
+        off_s > 0.0 ? (on_s - off_s) / off_s * 100.0 : 0.0;
+    std::printf(
+        "flight recorder overhead: %.2f%% counting wall time "
+        "(on %.4fs vs off %.4fs, budget < 2%%)\n",
+        flight_overhead_pct, on_s, off_s);
+  }
+  w.kv("flight_overhead_pct", flight_overhead_pct);
+
   w.end_object();
   os << '\n';
   std::fputs(table.render().c_str(), stdout);

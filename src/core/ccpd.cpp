@@ -18,6 +18,7 @@
 #include "core/miner.hpp"
 #include "core/select.hpp"
 #include "hashtree/frozen_tree.hpp"
+#include "obs/flight/flight_recorder.hpp"
 #include "obs/perf/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
@@ -38,6 +39,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
   {
     SMPMINE_TRACE_SPAN("f1");
     SMPMINE_PERF_PHASE("f1");
+    SMPMINE_FLIGHT_PHASE("f1", 1);
     WallTimer f1_timer;
     result.levels.push_back(compute_f1(db, min_count, pool));
     result.f1_seconds = f1_timer.seconds();
@@ -68,6 +70,10 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     // share this scope — each span is closed explicitly where the matching
     // WallTimer is read.
     SMPMINE_TRACE_SPAN_ARG("iteration", "k", k);
+    // Flight recorder: iteration boundary + master-side phase scopes
+    // (worker-side scopes live in the run_spmd bodies below), so a crash
+    // dump names the phase every thread was in.
+    obs::flight::iteration(k);
     // Hardware-counter attribution: perf phase scopes mirror the trace
     // spans (worker-side for the parallel phases, since counter sessions
     // are per-thread); the registry delta across this iteration lands in
@@ -78,6 +84,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     // ---- candidate generation -------------------------------------------
     WallTimer candgen_timer;
     SMPMINE_TRACE_PHASE(candgen_span, "candgen", "k", k);
+    SMPMINE_FLIGHT_PHASE_NAMED(candgen_flight, "candgen", k);
     const std::vector<EqClass> classes = build_equivalence_classes(prev);
     const std::vector<GenUnit> units = generation_units(classes, k);
     if (units.empty()) break;
@@ -117,6 +124,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
       pool.run_spmd([&](std::uint32_t tid) {
         SMPMINE_TRACE_SPAN_ARG("candgen", "k", k);
         SMPMINE_PERF_PHASE("candgen");
+        SMPMINE_FLIGHT_PHASE("candgen", k);
         ThreadCpuTimer cpu;
         per_thread[tid] = generate_candidates(prev, classes, batches[tid],
                                               tree, opts.candidate_veto);
@@ -136,7 +144,9 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     }
     it.candgen_seconds = candgen_timer.seconds();
     SMPMINE_TRACE_PHASE_END(candgen_span);
+    SMPMINE_FLIGHT_PHASE_END(candgen_flight);
     it.candidates = tree.num_candidates();
+    obs::flight::high_water("hwm.candidates", it.candidates);
     it.pruned = gen.pruned;
     if (it.candidates == 0) {
       it.perf = obs::perf::delta_since(perf_before);
@@ -148,6 +158,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     {
       SMPMINE_TRACE_SPAN_ARG("remap", "k", k);
       SMPMINE_PERF_PHASE("remap");
+      SMPMINE_FLIGHT_PHASE("remap", k);
       WallTimer remap_timer;
       if (policy_remaps(opts.placement)) tree.remap_depth_first();
       it.remap_seconds = remap_timer.seconds();
@@ -159,6 +170,8 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
       const TreeStats ts = tree.stats();
       it.tree_nodes = ts.nodes;
       it.tree_bytes = ts.bytes_used;
+      obs::flight::high_water("hwm.tree_nodes", ts.nodes);
+      obs::flight::high_water("hwm.tree_bytes", ts.bytes_used);
       it.mean_leaf_occupancy = ts.mean_leaf_occupancy;
       it.max_leaf_occupancy = ts.max_leaf_occupancy;
       it.leaf_occupancy_stddev = ts.leaf_occupancy_stddev;
@@ -209,6 +222,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     if (use_flat) {
       SMPMINE_TRACE_SPAN_ARG("freeze", "k", k);
       SMPMINE_PERF_PHASE("freeze");
+      SMPMINE_FLIGHT_PHASE("freeze", k);
       WallTimer freeze_timer;
       frozen.emplace(tree, arenas);
       it.freeze_seconds = freeze_timer.seconds();
@@ -223,9 +237,12 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     }
     WallTimer count_timer;
     SMPMINE_TRACE_PHASE(count_span, "count", "k", k);
+    SMPMINE_FLIGHT_PHASE_NAMED(count_flight, "count", k);
     std::vector<double> busy(threads, 0.0);
     pool.run_spmd([&](std::uint32_t tid) {
       SMPMINE_PERF_PHASE("count");
+      SMPMINE_FLIGHT_PHASE("count", k);
+      obs::flight::maybe_inject_fault("count");
       ThreadCpuTimer busy_timer;
       if (use_flat) {
         SMPMINE_TRACE_SPAN_ARG("count.flat", "k", k);
@@ -244,6 +261,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     });
     it.count_seconds = count_timer.seconds();
     SMPMINE_TRACE_PHASE_END(count_span);
+    SMPMINE_FLIGHT_PHASE_END(count_flight);
     it.count_busy_sum = std::accumulate(busy.begin(), busy.end(), 0.0);
     it.count_busy_max = *std::max_element(busy.begin(), busy.end());
     if (use_flat) {
@@ -266,6 +284,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     // ---- LCA reduction + thaw ----------------------------------------------
     {
       SMPMINE_TRACE_SPAN_ARG("reduce", "k", k);
+      SMPMINE_FLIGHT_PHASE("reduce", k);
       WallTimer reduce_timer;
       if (opts.counter_mode == CounterMode::PerThread) {
         const std::uint32_t n = tree.num_candidates();
@@ -273,6 +292,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
         pool.run_spmd([&](std::uint32_t tid) {
           SMPMINE_TRACE_SPAN_ARG("reduce", "k", k);
           SMPMINE_PERF_PHASE("reduce");
+          SMPMINE_FLIGHT_PHASE("reduce", k);
           const std::uint32_t begin = std::min(n, tid * per);
           const std::uint32_t end = std::min(n, begin + per);
           if (use_flat) {
@@ -295,12 +315,14 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     // ---- selection ----------------------------------------------------------
     WallTimer select_timer;
     SMPMINE_TRACE_PHASE(select_span, "select", "k", k);
+    SMPMINE_FLIGHT_PHASE_NAMED(select_flight, "select", k);
     FrequentSet fk;
     {
       SMPMINE_PERF_PHASE("select");
       fk = select_frequent(tree, min_count);
     }
     SMPMINE_TRACE_PHASE_END(select_span);
+    SMPMINE_FLIGHT_PHASE_END(select_flight);
     it.select_seconds = select_timer.seconds();
     it.frequent = fk.size();
     it.perf = obs::perf::delta_since(perf_before);

@@ -14,6 +14,7 @@
 #include "core/miner.hpp"
 #include "core/select.hpp"
 #include "hashtree/frozen_tree.hpp"
+#include "obs/flight/flight_recorder.hpp"
 #include "obs/perf/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
@@ -39,6 +40,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
   {
     SMPMINE_TRACE_SPAN("f1");
     SMPMINE_PERF_PHASE("f1");
+    SMPMINE_FLIGHT_PHASE("f1", 1);
     WallTimer f1_timer;
     result.levels.push_back(compute_f1(db, min_count, pool));
     result.f1_seconds = f1_timer.seconds();
@@ -64,6 +66,8 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     IterationStats it;
     it.k = k;
     SMPMINE_TRACE_SPAN_ARG("iteration", "k", k);
+    // Flight recorder: iteration boundary + phase scopes (see ccpd.cpp).
+    obs::flight::iteration(k);
     // Perf phase scopes mirror the trace spans; per-iteration registry
     // delta lands in it.perf (see ccpd.cpp).
     const obs::perf::PhasePerfSnapshot perf_before =
@@ -74,6 +78,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     // per-thread tree build — mirroring what candgen_seconds measures.
     WallTimer candgen_timer;
     SMPMINE_TRACE_PHASE(candgen_span, "candgen", "k", k);
+    SMPMINE_FLIGHT_PHASE_NAMED(candgen_flight, "candgen", k);
     const std::vector<EqClass> classes = build_equivalence_classes(prev);
     const std::vector<GenUnit> units = generation_units(classes, k);
     if (units.empty()) break;
@@ -123,6 +128,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     pool.run_spmd([&](std::uint32_t tid) {
       SMPMINE_TRACE_SPAN_ARG("candgen.build", "k", k);
       SMPMINE_PERF_PHASE("candgen");
+      SMPMINE_FLIGHT_PHASE("candgen", k);
       ThreadCpuTimer cpu;
       arenas[tid]->reset();
       trees[tid] =
@@ -136,6 +142,8 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     });
     it.candgen_seconds = candgen_timer.seconds();
     SMPMINE_TRACE_PHASE_END(candgen_span);
+    SMPMINE_FLIGHT_PHASE_END(candgen_flight);
+    obs::flight::high_water("hwm.candidates", it.candidates);
     it.candgen_busy_sum = gen_cpu_seconds + std::accumulate(
         build_busy.begin(), build_busy.end(), 0.0);
     it.candgen_busy_max = gen_cpu_seconds + *std::max_element(
@@ -145,6 +153,8 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
       it.tree_nodes += ts.nodes;
       it.tree_bytes += ts.bytes_used;
     }
+    obs::flight::high_water("hwm.tree_nodes", it.tree_nodes);
+    obs::flight::high_water("hwm.tree_bytes", it.tree_bytes);
 
     // ---- freeze: each thread flattens its private tree -------------------
     // k > kMaxK falls back to the pointer kernel for this iteration only
@@ -157,6 +167,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
       SMPMINE_TRACE_PHASE(freeze_span, "freeze", "k", k);
       pool.run_spmd([&](std::uint32_t tid) {
         SMPMINE_PERF_PHASE("freeze");
+        SMPMINE_FLIGHT_PHASE("freeze", k);
         frozen[tid] =
             std::make_unique<FrozenTree>(*trees[tid], *arenas[tid]);
       });
@@ -168,9 +179,12 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     // ---- support counting: every thread scans the whole database ---------
     WallTimer count_timer;
     SMPMINE_TRACE_PHASE(count_span, "count", "k", k);
+    SMPMINE_FLIGHT_PHASE_NAMED(count_flight, "count", k);
     std::vector<double> busy(threads, 0.0);
     pool.run_spmd([&](std::uint32_t tid) {
       SMPMINE_PERF_PHASE("count");
+      SMPMINE_FLIGHT_PHASE("count", k);
+      obs::flight::maybe_inject_fault("count");
       ThreadCpuTimer busy_timer;
       if (use_flat) {
         SMPMINE_TRACE_SPAN_ARG("count.flat", "k", k);
@@ -189,6 +203,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     });
     it.count_seconds = count_timer.seconds();
     SMPMINE_TRACE_PHASE_END(count_span);
+    SMPMINE_FLIGHT_PHASE_END(count_flight);
     it.count_busy_sum = std::accumulate(busy.begin(), busy.end(), 0.0);
     it.count_busy_max = *std::max_element(busy.begin(), busy.end());
     if (use_flat) {
@@ -214,6 +229,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     if (use_flat) {
       WallTimer reduce_timer;
       SMPMINE_TRACE_PHASE(reduce_span, "reduce", "k", k);
+      SMPMINE_FLIGHT_PHASE("reduce", k);
       {
         SMPMINE_PERF_PHASE("reduce");
         for (std::uint32_t t = 0; t < threads; ++t) {
@@ -227,12 +243,14 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     // ---- selection: master merges per-tree survivors ----------------------
     WallTimer select_timer;
     SMPMINE_TRACE_PHASE(select_span, "select", "k", k);
+    SMPMINE_FLIGHT_PHASE_NAMED(select_flight, "select", k);
     FrequentSet fk;
     {
       SMPMINE_PERF_PHASE("select");
       fk = select_frequent(trees, min_count);
     }
     SMPMINE_TRACE_PHASE_END(select_span);
+    SMPMINE_FLIGHT_PHASE_END(select_flight);
     it.select_seconds = select_timer.seconds();
     it.frequent = fk.size();
     it.perf = obs::perf::delta_since(perf_before);

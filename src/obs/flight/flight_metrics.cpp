@@ -1,0 +1,23 @@
+// The one flight-recorder piece that may touch the metrics registry. The
+// flight core lives in smpmine_util (logging and the lock-order recorder
+// report into it) and must not depend on smpmine_obs; this translation
+// unit lives in smpmine_obs and bridges the two at startup: it walks the
+// registry once and hands each counter to register_metric() as a
+// (name, object, reader) triple. From then on the crash dumper reads the
+// counters through the function pointer — one relaxed atomic load each,
+// async-signal-safe, no registry mutex anywhere near a signal handler.
+#include "obs/flight/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace smpmine::obs::flight {
+
+void sync_metrics_for_dump() {
+  MetricsRegistry::instance().for_each_counter(
+      [](const char* name, const Counter& c) {
+        register_metric(name, &c, [](const void* obj) {
+          return static_cast<const Counter*>(obj)->value();
+        });
+      });
+}
+
+}  // namespace smpmine::obs::flight

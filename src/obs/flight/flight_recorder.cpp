@@ -1,0 +1,753 @@
+#include "obs/flight/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+// The watchdog needs a real thread; see the lint-ok at its definition.
+#include <chrono>
+#include <thread>
+
+#ifndef SMPMINE_CHECKED_ENABLED
+#define SMPMINE_CHECKED_ENABLED 0
+#endif
+#ifndef SMPMINE_TRACING_ENABLED
+#define SMPMINE_TRACING_ENABLED 1
+#endif
+
+namespace smpmine::obs::flight {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-thread records. Everything the signal-time dumper walks is a fixed
+// atomic array published with release stores: no locks anywhere on this
+// path, and no memory is ever freed (records leak by design — a crashing
+// thread's ring must stay readable while other threads keep running).
+// ---------------------------------------------------------------------------
+
+struct HeldSlot {
+  std::atomic<const void*> addr{nullptr};
+  std::atomic<const char*> kind{nullptr};
+};
+
+// Hard-coded rather than util/types.hpp's kCacheLine so the flight core
+// keeps its include surface signal-audit-small; 64 matches kCacheLine.
+constexpr std::size_t kRecordAlign = 64;
+
+struct alignas(kRecordAlign) ThreadRecord {
+  static constexpr std::uint32_t kMask = kRingEvents - 1;
+
+  // analyze-ok: single-writer ring — only the owning thread writes slots;
+  // the dumper is a crash/stall-time reader that tolerates a torn wrapping
+  // slot (the decoder flags malformed records instead of trusting them).
+  Event events[kRingEvents];
+  std::atomic<std::uint64_t> head{0};  ///< total events; slot = (head-1)&kMask
+
+  // analyze-ok: written by the owning thread under set_current_thread_name
+  // before parallel phases start; dump readers tolerate torn text.
+  char name[kThreadNameBytes] = {0};
+
+  std::atomic<const char*> phase{nullptr};
+  std::atomic<std::uint64_t> phase_arg{0};
+
+  /// Held-lock mirror (checked builds): entries [0, held_depth) are live.
+  HeldSlot held[kMaxHeldLocks];
+  std::atomic<std::uint32_t> held_depth{0};
+};
+
+std::atomic<ThreadRecord*> g_threads[kMaxThreads];
+std::atomic<std::uint32_t> g_thread_count{0};
+std::atomic<std::uint64_t> g_lost_threads{0};
+
+std::atomic<bool> g_enabled{true};
+std::atomic<std::uint32_t> g_seq{0};
+std::atomic<std::uint64_t> g_events_total{0};
+std::atomic<std::uint64_t> g_last_event_ns{0};
+std::atomic<std::uint64_t> g_iteration{0};
+std::atomic<std::uint64_t> g_dumps{0};
+
+std::uint64_t raw_now_ns() noexcept {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint64_t epoch_ns() noexcept {
+  // Constant after the first call; the races below read a stable value.
+  static const std::uint64_t epoch = raw_now_ns();
+  return epoch;
+}
+
+thread_local ThreadRecord* t_record = nullptr;
+thread_local bool t_overflowed = false;
+
+ThreadRecord* local_record() noexcept {
+  if (t_record != nullptr) return t_record;
+  if (t_overflowed) return nullptr;
+  const std::uint32_t idx =
+      // relaxed-ok: the index allocator only needs uniqueness; the release
+      // store of the record pointer below is what publishes the slot.
+      g_thread_count.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= kMaxThreads) {
+    t_overflowed = true;
+    // relaxed-ok: pure lost-thread tally read after the fact.
+    g_lost_threads.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  auto* rec = new ThreadRecord();  // leaked: dumps outlive the thread
+  std::snprintf(rec->name, sizeof rec->name, "t%u", idx);
+  g_threads[idx].store(rec, std::memory_order_release);
+  t_record = rec;
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free lock-name table: open-addressed, insert-only slots so the
+// signal-time dumper can resolve addresses to "HTNode::lock" style names
+// without the lock-order recorder's mutex.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kLockNameSlots = 1024;  // power of two
+
+struct LockNameSlot {
+  std::atomic<const void*> addr{nullptr};
+  std::atomic<const char*> name{nullptr};
+};
+LockNameSlot g_lock_names[kLockNameSlots];
+
+std::uint32_t lock_hash(const void* p) noexcept {
+  auto v = reinterpret_cast<std::uintptr_t>(p);
+  v ^= v >> 9;  // lock objects are >= 8 bytes apart; mix the low bits in
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ull) >> 32);
+}
+
+const char* lookup_lock_name(const void* lock) noexcept {
+  std::uint32_t i = lock_hash(lock) & (kLockNameSlots - 1);
+  for (std::uint32_t probes = 0; probes < kLockNameSlots; ++probes) {
+    // relaxed-ok: slot claims are published by the CAS in
+    // register_lock_name; a miss only means "unnamed", never corruption.
+    const void* a = g_lock_names[i].addr.load(std::memory_order_acquire);
+    if (a == nullptr) return nullptr;
+    if (a == lock) {
+      return g_lock_names[i].name.load(std::memory_order_acquire);
+    }
+    i = (i + 1) & (kLockNameSlots - 1);
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Metric cells for the dump.
+// ---------------------------------------------------------------------------
+
+struct MetricCell {
+  const char* name = nullptr;
+  const void* obj = nullptr;
+  std::uint64_t (*read)(const void*) = nullptr;
+};
+MetricCell g_metrics[kMaxMetrics];
+std::atomic<std::uint32_t> g_metric_count{0};
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe writer: fixed buffer flushed with raw write(2).
+// ---------------------------------------------------------------------------
+
+std::atomic<int> g_dump_fd{-1};  ///< pre-opened; -1 => stderr
+
+struct DumpWriter {
+  int fd;
+  char buf[512];
+  std::size_t len = 0;
+
+  explicit DumpWriter(int f) noexcept : fd(f) {}
+
+  void flush() noexcept {
+    std::size_t off = 0;
+    while (off < len) {
+      const ::ssize_t n = ::write(fd, buf + off, len - off);
+      if (n <= 0) break;  // best effort: never loop forever in a handler
+      off += static_cast<std::size_t>(n);
+    }
+    len = 0;
+  }
+  void ch(char c) noexcept {
+    if (len == sizeof buf) flush();
+    buf[len++] = c;
+  }
+  void str(const char* s) noexcept {
+    for (; *s != '\0'; ++s) ch(*s);
+  }
+  /// Quoted, escaped, length-capped string; tolerates null.
+  void qstr(const char* s) noexcept {
+    ch('"');
+    if (s != nullptr) {
+      for (std::size_t i = 0; s[i] != '\0' && i < 160; ++i) {
+        const char c = s[i];
+        if (c == '"' || c == '\\') {
+          ch('\\');
+          ch(c);
+        } else if (c >= 32 && c < 127) {
+          ch(c);
+        } else {
+          ch('?');
+        }
+      }
+    }
+    ch('"');
+  }
+  void u64(std::uint64_t v) noexcept {
+    char digits[20];
+    int n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) ch(digits[--n]);
+  }
+  void hexptr(const void* p) noexcept {
+    str("0x");
+    auto v = reinterpret_cast<std::uintptr_t>(p);
+    char digits[16];
+    int n = 0;
+    do {
+      const auto d = static_cast<unsigned>(v & 0xf);
+      digits[n++] = static_cast<char>(d < 10 ? '0' + d : 'a' + (d - 10));
+      v >>= 4;
+    } while (v != 0);
+    while (n > 0) ch(digits[--n]);
+  }
+};
+
+const char* kind_label(std::uint16_t kind) noexcept {
+  switch (static_cast<EventKind>(kind)) {
+    case EventKind::None: return "none";
+    case EventKind::PhaseEnter: return "phase_enter";
+    case EventKind::PhaseExit: return "phase_exit";
+    case EventKind::Iteration: return "iteration";
+    case EventKind::LockAcquire: return "lock_acquire";
+    case EventKind::LockRelease: return "lock_release";
+    case EventKind::LogWarn: return "log_warn";
+    case EventKind::LogError: return "log_error";
+    case EventKind::HighWater: return "high_water";
+    case EventKind::Send: return "send";
+    case EventKind::BarrierWait: return "barrier_wait";
+    case EventKind::Mark: return "mark";
+  }
+  return "?";
+}
+
+/// The report body. Caller guarantees single entry (see write_dump).
+void write_dump_locked(DumpWriter& w, const char* reason) noexcept {
+  w.str("smpmine.flight.v1\n");
+  w.str("reason ");
+  w.qstr(reason);
+  w.ch('\n');
+  w.str("pid ");
+  w.u64(static_cast<std::uint64_t>(::getpid()));
+  w.ch('\n');
+  w.str("t_ns ");
+  w.u64(now_ns());
+  w.ch('\n');
+  w.str("build checked=");
+  w.u64(SMPMINE_CHECKED_ENABLED);
+  w.str(" tracing=");
+  w.u64(SMPMINE_TRACING_ENABLED);
+  w.ch('\n');
+  w.str("iteration ");
+  // relaxed-ok: dump-time sample of the latest published k.
+  w.u64(g_iteration.load(std::memory_order_relaxed));
+  w.ch('\n');
+  w.str("events_total ");
+  // relaxed-ok: dump-time sample of a monotonic tally.
+  w.u64(g_events_total.load(std::memory_order_relaxed));
+  w.ch('\n');
+  w.str("lost_threads ");
+  // relaxed-ok: dump-time sample of a monotonic tally.
+  w.u64(g_lost_threads.load(std::memory_order_relaxed));
+  w.ch('\n');
+
+  const std::uint32_t metrics =
+      g_metric_count.load(std::memory_order_acquire);
+  for (std::uint32_t m = 0; m < metrics && m < kMaxMetrics; ++m) {
+    const MetricCell& cell = g_metrics[m];
+    if (cell.name == nullptr || cell.read == nullptr) continue;
+    w.str("metric ");
+    w.qstr(cell.name);
+    w.ch(' ');
+    w.u64(cell.read(cell.obj));
+    w.ch('\n');
+  }
+
+  std::uint32_t threads = g_thread_count.load(std::memory_order_acquire);
+  if (threads > kMaxThreads) threads = kMaxThreads;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const ThreadRecord* rec = g_threads[t].load(std::memory_order_acquire);
+    if (rec == nullptr) continue;
+
+    w.str("thread ");
+    w.u64(t);
+    w.str(" name ");
+    w.qstr(rec->name);
+    w.str(" dumper ");  // 1 on the thread that wrote this dump — for a
+                        // signal dump, the crashing thread itself
+    w.u64(rec == t_record ? 1 : 0);
+    w.ch('\n');
+
+    w.str("phase ");
+    // relaxed-ok: dump-time sample; the phase pointer is a static string
+    // stored whole by PhaseScope.
+    const char* phase = rec->phase.load(std::memory_order_relaxed);
+    w.qstr(phase != nullptr ? phase : "");
+    w.str(" arg ");
+    // relaxed-ok: see above.
+    w.u64(rec->phase_arg.load(std::memory_order_relaxed));
+    w.ch('\n');
+
+    std::uint32_t depth = rec->held_depth.load(std::memory_order_acquire);
+    if (depth > kMaxHeldLocks) depth = kMaxHeldLocks;
+    w.str("held ");
+    w.u64(depth);
+    w.ch('\n');
+    for (std::uint32_t h = 0; h < depth; ++h) {
+      // relaxed-ok: lock slots are owner-written before the depth publish;
+      // a torn top-of-stack entry is tolerated diagnostics.
+      const void* addr = rec->held[h].addr.load(std::memory_order_relaxed);
+      // relaxed-ok: see above.
+      const char* kind = rec->held[h].kind.load(std::memory_order_relaxed);
+      w.str("lock ");
+      w.hexptr(addr);
+      w.ch(' ');
+      w.qstr(kind);
+      w.ch(' ');
+      w.qstr(lookup_lock_name(addr));
+      w.ch('\n');
+    }
+
+    const std::uint64_t head = rec->head.load(std::memory_order_acquire);
+    const std::uint64_t n =
+        head < kRingEvents ? head : static_cast<std::uint64_t>(kRingEvents);
+    w.str("events ");
+    w.u64(n);
+    w.ch('\n');
+    for (std::uint64_t i = head - n; i < head; ++i) {
+      const Event& ev = rec->events[i & ThreadRecord::kMask];
+      w.str("ev ");
+      w.u64(ev.t_ns);
+      w.ch(' ');
+      w.u64(ev.seq);
+      w.ch(' ');
+      w.str(kind_label(ev.kind));
+      w.ch(' ');
+      w.qstr(ev.name);
+      w.ch(' ');
+      w.qstr(ev.detail);
+      w.ch(' ');
+      w.u64(ev.arg);
+      w.ch('\n');
+    }
+    w.str("end thread ");
+    w.u64(t);
+    w.ch('\n');
+  }
+  w.str("end smpmine.flight.v1\n");
+  w.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Crash handlers.
+// ---------------------------------------------------------------------------
+
+std::atomic<bool> g_dump_in_progress{false};
+std::atomic<bool> g_handlers_installed{false};
+
+const char* signal_reason(int sig) noexcept {
+  switch (sig) {
+    case SIGSEGV: return "signal SIGSEGV";
+    case SIGBUS: return "signal SIGBUS";
+    case SIGABRT: return "signal SIGABRT";
+    case SIGFPE: return "signal SIGFPE";
+  }
+  return "signal";
+}
+
+// Signal-API note: this file is the one place allowed to install handlers
+// (lint rule R2 confines sigaction/sigaltstack/std::set_terminate here),
+// so crash handling stays centralized and handlers cannot fight.
+
+void crash_handler(int sig) noexcept {
+  // Freeze emission so racing threads stop touching the rings while the
+  // dumper walks them, then dump exactly once even if a second thread
+  // crashes (or the dumper itself faults — the reinstalled default
+  // disposition below ends the process with a truncated-but-parseable
+  // file rather than looping).
+  set_enabled(false);
+  if (!g_dump_in_progress.exchange(true)) {
+    write_dump(signal_reason(sig));
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void terminate_handler() {
+  set_enabled(false);
+  if (!g_dump_in_progress.exchange(true)) {
+    write_dump("terminate");
+  }
+  std::abort();  // SIGABRT: handler above is already disarmed by the guard
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog.
+// ---------------------------------------------------------------------------
+
+// lint-ok: R2 — the watchdog must outlive every pool and wake on wall
+// time, not work; a dedicated raw thread (never a pool worker) is the
+// point. It is diagnostics-only and joined in stop_watchdog().
+std::thread* g_watchdog = nullptr;
+std::atomic<bool> g_watchdog_stop{false};
+std::atomic<std::uint64_t> g_watchdog_window_ms{0};
+std::atomic<int> g_watchdog_exit_code{-1};
+/// Events seen at the last stall dump: the watchdog re-arms only after new
+/// events land, so one wedged barrier yields one report, not one per tick.
+std::atomic<std::uint64_t> g_watchdog_reported{0};
+
+void watchdog_loop() {
+  set_current_thread_name("flight-watchdog");
+  for (;;) {
+    const std::uint64_t window =
+        g_watchdog_window_ms.load(std::memory_order_acquire);
+    std::uint64_t tick = window / 8;
+    if (tick < 10) tick = 10;
+    if (tick > 250) tick = 250;
+    std::this_thread::sleep_for(std::chrono::milliseconds(tick));
+    if (g_watchdog_stop.load(std::memory_order_acquire)) return;
+    if (!enabled()) continue;
+    // relaxed-ok: stall detection compares monotonic samples; an event
+    // landing mid-check just delays the report one tick.
+    const std::uint64_t total = g_events_total.load(std::memory_order_relaxed);
+    // relaxed-ok: see above.
+    const std::uint64_t last = g_last_event_ns.load(std::memory_order_relaxed);
+    // relaxed-ok: see above.
+    if (total == g_watchdog_reported.load(std::memory_order_relaxed)) {
+      continue;  // nothing new since the last report (or never any events)
+    }
+    if (now_ns() - last > window * 1'000'000ull) {
+      // relaxed-ok: see above.
+      g_watchdog_reported.store(total, std::memory_order_relaxed);
+      write_dump("stall");
+      const int code = g_watchdog_exit_code.load(std::memory_order_acquire);
+      if (code >= 0) ::_exit(code);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------------
+
+const char* fault_phase() noexcept {
+  static const char* phase = std::getenv("SMPMINE_FLIGHT_FAULT");
+  return phase;
+}
+
+// ---------------------------------------------------------------------------
+// Environment wiring: one registrar, constructed at static-init time like
+// lock_order's DumpAtExitRegistrar, so plain env vars configure any
+// binary — no opt-in code in main() required.
+//   SMPMINE_FLIGHT=0                disable recording
+//   SMPMINE_FLIGHT_DUMP=<path>      pre-open the dump fd + install handlers
+//   SMPMINE_FLIGHT_WATCHDOG_MS=<n>  start the stall watchdog
+//   SMPMINE_FLIGHT_WATCHDOG_EXIT=<c> watchdog exits <c> after dumping
+//   SMPMINE_FLIGHT_FAULT=<phase>    crash inside the named phase
+// ---------------------------------------------------------------------------
+
+struct EnvRegistrar {
+  EnvRegistrar() {
+    (void)epoch_ns();  // pin the epoch before any thread emits
+    if (const char* v = std::getenv("SMPMINE_FLIGHT");
+        v != nullptr && v[0] == '0' && v[1] == '\0') {
+      set_enabled(false);
+    }
+    if (const char* path = std::getenv("SMPMINE_FLIGHT_DUMP");
+        path != nullptr && *path != '\0') {
+      set_dump_path(path);
+      install_crash_handler();
+    }
+    if (const char* ms = std::getenv("SMPMINE_FLIGHT_WATCHDOG_MS");
+        ms != nullptr && *ms != '\0') {
+      const long window = std::strtol(ms, nullptr, 10);
+      if (window > 0) {
+        int exit_code = -1;
+        if (const char* ec = std::getenv("SMPMINE_FLIGHT_WATCHDOG_EXIT");
+            ec != nullptr && *ec != '\0') {
+          exit_code = static_cast<int>(std::strtol(ec, nullptr, 10));
+        }
+        start_watchdog(static_cast<std::uint64_t>(window), exit_code);
+      }
+    }
+  }
+};
+EnvRegistrar env_registrar;
+
+}  // namespace
+
+bool enabled() noexcept {
+  // relaxed-ok: the gate is advisory — it decides whether an event is
+  // recorded, never data integrity.
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  // relaxed-ok: see enabled().
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() noexcept { return raw_now_ns() - epoch_ns(); }
+
+void emit(EventKind kind, const char* name, const char* detail,
+          std::uint64_t arg) noexcept {
+  if (!enabled()) return;
+  ThreadRecord* rec = local_record();
+  if (rec == nullptr) return;
+  Event ev;
+  ev.t_ns = now_ns();
+  ev.name = name;
+  ev.detail = detail;
+  ev.arg = arg;
+  // relaxed-ok: seq is a cross-thread ordering hint for the decoder, not a
+  // synchronization edge.
+  ev.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  ev.kind = static_cast<std::uint16_t>(kind);
+  // relaxed-ok: single writer (this thread); the dumper reads head with
+  // acquire and tolerates the one in-flight slot.
+  const std::uint64_t head = rec->head.load(std::memory_order_relaxed);
+  rec->events[head & ThreadRecord::kMask] = ev;
+  rec->head.store(head + 1, std::memory_order_release);
+  // relaxed-ok: watchdog heartbeat samples; see watchdog_loop.
+  g_last_event_ns.store(ev.t_ns, std::memory_order_relaxed);
+  // relaxed-ok: monotonic tally.
+  g_events_total.fetch_add(1, std::memory_order_relaxed);
+}
+
+void set_current_thread_name(const char* name) noexcept {
+  ThreadRecord* rec = local_record();
+  if (rec == nullptr || name == nullptr) return;
+  std::strncpy(rec->name, name, sizeof rec->name - 1);
+  rec->name[sizeof rec->name - 1] = '\0';
+}
+
+const char* current_thread_name() noexcept {
+  ThreadRecord* rec = local_record();
+  return rec != nullptr ? rec->name : "";
+}
+
+void iteration(std::uint64_t k) noexcept {
+  // relaxed-ok: last-writer-wins sample shown in dumps.
+  g_iteration.store(k, std::memory_order_relaxed);
+  emit(EventKind::Iteration, "iteration", nullptr, k);
+}
+
+PhaseScope::PhaseScope(const char* name, std::uint64_t arg) noexcept {
+  if (!enabled()) return;
+  ThreadRecord* rec = local_record();
+  if (rec == nullptr) return;
+  name_ = name;
+  arg_ = arg;
+  // relaxed-ok: the phase field is a dump-time sample; enter/exit events
+  // carry the precise ordering.
+  prev_name_ = rec->phase.load(std::memory_order_relaxed);
+  // relaxed-ok: see above.
+  prev_arg_ = rec->phase_arg.load(std::memory_order_relaxed);
+  // relaxed-ok: see above.
+  rec->phase.store(name, std::memory_order_relaxed);
+  // relaxed-ok: see above.
+  rec->phase_arg.store(arg, std::memory_order_relaxed);
+  emit(EventKind::PhaseEnter, name, nullptr, arg);
+}
+
+void PhaseScope::end() noexcept {
+  if (name_ == nullptr) return;
+  emit(EventKind::PhaseExit, name_, nullptr, arg_);
+  if (ThreadRecord* rec = local_record(); rec != nullptr) {
+    // relaxed-ok: dump-time sample; see the constructor.
+    rec->phase.store(prev_name_, std::memory_order_relaxed);
+    // relaxed-ok: see above.
+    rec->phase_arg.store(prev_arg_, std::memory_order_relaxed);
+  }
+  name_ = nullptr;
+}
+
+void lock_acquired(const void* lock, const char* kind) noexcept {
+  if (!enabled()) return;
+  ThreadRecord* rec = local_record();
+  if (rec == nullptr) return;
+  // relaxed-ok: held_depth has a single writer (this thread); the release
+  // publish below pairs with the dumper's acquire.
+  const std::uint32_t depth = rec->held_depth.load(std::memory_order_relaxed);
+  if (depth < kMaxHeldLocks) {
+    // relaxed-ok: slot writes precede the depth publish.
+    rec->held[depth].addr.store(lock, std::memory_order_relaxed);
+    // relaxed-ok: see above.
+    rec->held[depth].kind.store(kind, std::memory_order_relaxed);
+    rec->held_depth.store(depth + 1, std::memory_order_release);
+  }
+  emit(EventKind::LockAcquire, kind, lookup_lock_name(lock),
+       reinterpret_cast<std::uintptr_t>(lock));
+}
+
+void lock_released(const void* lock) noexcept {
+  if (!enabled()) return;
+  ThreadRecord* rec = local_record();
+  if (rec == nullptr) return;
+  // relaxed-ok: single writer; see lock_acquired.
+  const std::uint32_t depth = rec->held_depth.load(std::memory_order_relaxed);
+  for (std::uint32_t i = depth; i-- > 0;) {
+    // relaxed-ok: owner-thread read of owner-written slots.
+    if (rec->held[i].addr.load(std::memory_order_relaxed) != lock) continue;
+    for (std::uint32_t j = i + 1; j < depth; ++j) {
+      // relaxed-ok: owner-thread compaction of an out-of-order release; a
+      // concurrent dump can see a momentarily duplicated entry, tolerated.
+      rec->held[j - 1].addr.store(
+          rec->held[j].addr.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      // relaxed-ok: see above.
+      rec->held[j - 1].kind.store(
+          rec->held[j].kind.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    rec->held_depth.store(depth - 1, std::memory_order_release);
+    break;
+  }
+  emit(EventKind::LockRelease, "release", lookup_lock_name(lock),
+       reinterpret_cast<std::uintptr_t>(lock));
+}
+
+void register_lock_name(const void* lock, const char* name) noexcept {
+  std::uint32_t i = lock_hash(lock) & (kLockNameSlots - 1);
+  for (std::uint32_t probes = 0; probes < kLockNameSlots; ++probes) {
+    const void* a = g_lock_names[i].addr.load(std::memory_order_acquire);
+    if (a == lock) {
+      g_lock_names[i].name.store(name, std::memory_order_release);
+      return;
+    }
+    if (a == nullptr) {
+      const void* expected = nullptr;
+      if (g_lock_names[i].addr.compare_exchange_strong(
+              expected, lock, std::memory_order_acq_rel)) {
+        g_lock_names[i].name.store(name, std::memory_order_release);
+        return;
+      }
+      if (expected == lock) {
+        g_lock_names[i].name.store(name, std::memory_order_release);
+        return;
+      }
+    }
+    i = (i + 1) & (kLockNameSlots - 1);
+  }
+  // Table full: the dump falls back to addresses for this lock.
+}
+
+bool set_dump_path(const char* path) noexcept {
+  const int fd = ::open(path, O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  const int old = g_dump_fd.exchange(fd, std::memory_order_acq_rel);
+  if (old >= 0) ::close(old);
+  return true;
+}
+
+void install_crash_handler() noexcept {
+  if (g_handlers_installed.exchange(true)) return;
+
+  // A dedicated stack: a SIGSEGV from stack overflow cannot run the dumper
+  // on the exhausted stack. Fixed 64 KiB (SIGSTKSZ is a sysconf call, not
+  // a constant, on modern glibc) — the dumper's frames are shallow.
+  static char alt_stack[64 * 1024];
+  stack_t ss{};
+  ss.ss_sp = alt_stack;
+  ss.ss_size = sizeof alt_stack;
+  ::sigaltstack(&ss, nullptr);
+
+  struct sigaction sa{};
+  sa.sa_handler = crash_handler;
+  sa.sa_flags = SA_ONSTACK;
+  ::sigemptyset(&sa.sa_mask);
+  for (const int sig : {SIGSEGV, SIGBUS, SIGABRT, SIGFPE}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+  std::set_terminate(terminate_handler);
+}
+
+bool write_dump(const char* reason) noexcept {
+  int fd = g_dump_fd.load(std::memory_order_acquire);
+  if (fd < 0) fd = 2;
+  DumpWriter w(fd);
+  write_dump_locked(w, reason);
+  // relaxed-ok: test-visible completion tally.
+  g_dumps.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void start_watchdog(std::uint64_t window_ms, int exit_code) {
+  g_watchdog_window_ms.store(window_ms, std::memory_order_release);
+  g_watchdog_exit_code.store(exit_code, std::memory_order_release);
+  if (g_watchdog != nullptr) return;  // re-arm only
+  g_watchdog_stop.store(false, std::memory_order_release);
+  // lint-ok: R2 — see the g_watchdog declaration above.
+  g_watchdog = new std::thread(watchdog_loop);
+}
+
+void stop_watchdog() {
+  if (g_watchdog == nullptr) return;
+  g_watchdog_stop.store(true, std::memory_order_release);
+  g_watchdog->join();
+  delete g_watchdog;
+  g_watchdog = nullptr;
+}
+
+void maybe_inject_fault(const char* phase) noexcept {
+  const char* want = fault_phase();
+  if (want == nullptr || phase == nullptr) return;
+  if (std::strcmp(want, phase) != 0) return;
+  emit(EventKind::Mark, "fault.inject", phase, 0);
+  volatile int* null_page = nullptr;
+  *null_page = 1;  // SIGSEGV inside the named phase, by request
+}
+
+void register_metric(const char* name, const void* obj,
+                     std::uint64_t (*read)(const void*)) noexcept {
+  if (name == nullptr || read == nullptr) return;
+  const std::uint32_t count = g_metric_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < count && i < kMaxMetrics; ++i) {
+    if (g_metrics[i].name == name ||
+        std::strcmp(g_metrics[i].name, name) == 0) {
+      return;
+    }
+  }
+  if (count >= kMaxMetrics) return;
+  g_metrics[count] = MetricCell{name, obj, read};
+  g_metric_count.store(count + 1, std::memory_order_release);
+}
+
+std::uint64_t event_count() noexcept {
+  // relaxed-ok: test-visible monotonic tally.
+  return g_events_total.load(std::memory_order_relaxed);
+}
+
+std::uint64_t lost_threads() noexcept {
+  // relaxed-ok: test-visible monotonic tally.
+  return g_lost_threads.load(std::memory_order_relaxed);
+}
+
+std::uint64_t dump_count() noexcept {
+  // relaxed-ok: test-visible monotonic tally.
+  return g_dumps.load(std::memory_order_relaxed);
+}
+
+}  // namespace smpmine::obs::flight

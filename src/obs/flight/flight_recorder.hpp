@@ -1,0 +1,227 @@
+// Flight recorder: the always-on black box for every mining run.
+//
+// The tracer (obs/trace.hpp) explains runs that *finish* — it is opt-in,
+// unbounded-ish, and exported cooperatively at exit. A crash, deadlock, or
+// stalled barrier leaves nothing. This subsystem is the complement:
+//
+//  - Every thread owns a fixed-size **overwrite-oldest** ring of compact
+//    events (phase enter/exit, iteration boundaries, lock acquire/release
+//    mirrored from the lock-order recorder, candidate/tree high-water
+//    marks, WARN/ERROR log lines). Emission is one array slot write plus
+//    two relaxed atomics: no locks, no allocation, no cross-thread write
+//    traffic. Strings are identified by static pointer, like TraceEvent.
+//    It is ON by default; SMPMINE_FLIGHT=0 / --flight=off disables it.
+//
+//  - An **async-signal-safe crash dumper** (SIGSEGV/SIGBUS/SIGABRT/SIGFPE
+//    and std::terminate) writes a `smpmine.flight.v1` report — per-thread
+//    last events with thread names, each thread's currently-held lock
+//    stack (checked builds), the active phase/iteration, a metrics
+//    snapshot, and build identity — using only raw write(2) on a
+//    pre-opened fd (SMPMINE_FLIGHT_DUMP=<path> env, or --flight-dump).
+//
+//  - A **stall watchdog** thread dumps the same report (without killing
+//    the process) when no flight event lands for a configurable window,
+//    turning a hung barrier into a readable report.
+//
+// Decoding: tools/flight/smpmine_flight.py pretty-prints and validates.
+//
+// Signal-safety rules for everything reachable from the dumper:
+//   raw write(2) only — no stdio, no allocation, no locks, no C++ stream;
+//   all shared state is lock-free (fixed atomic arrays published with
+//   release stores); string pointers must be static storage. Concurrent
+//   emitters can tear at most the wrapping slot of each ring — the dump
+//   format is line-oriented so the decoder flags (rather than chokes on)
+//   a torn record, and the handler re-entry guard turns a fault inside
+//   the dumper into a truncated-but-parseable file.
+//
+// Layering: like parallel/lock_order.cpp, the core is compiled into
+// smpmine_util — util/logging.cpp and the lock-order recorder (both in the
+// base library) report into it, so it cannot live in smpmine_obs. The one
+// piece that needs the metrics registry (sync_metrics_for_dump) is defined
+// in obs/flight/flight_metrics.cpp inside smpmine_obs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace smpmine::obs::flight {
+
+/// Events kept per thread (power of two; the ring overwrites oldest).
+inline constexpr std::uint32_t kRingEvents = 256;
+/// Thread records available process-wide; later registrations are counted
+/// in lost_threads() and drop their events.
+inline constexpr std::uint32_t kMaxThreads = 512;
+/// Held-lock stack depth mirrored per thread (checked builds).
+inline constexpr std::uint32_t kMaxHeldLocks = 16;
+/// Metric cells snapshotted into a crash dump.
+inline constexpr std::uint32_t kMaxMetrics = 96;
+/// Thread-name bytes (including the terminating NUL).
+inline constexpr std::uint32_t kThreadNameBytes = 32;
+
+enum class EventKind : std::uint16_t {
+  None = 0,
+  PhaseEnter = 1,
+  PhaseExit = 2,
+  Iteration = 3,
+  LockAcquire = 4,
+  LockRelease = 5,
+  LogWarn = 6,
+  LogError = 7,
+  HighWater = 8,
+  Send = 9,
+  BarrierWait = 10,
+  Mark = 11,
+};
+
+/// One ring slot. `name`/`detail` must point to static storage (string
+/// literals at the emit sites) — the ring stores pointers, never copies.
+struct Event {
+  std::uint64_t t_ns = 0;        ///< now_ns() at emission
+  const char* name = nullptr;    ///< static string, never null once written
+  const char* detail = nullptr;  ///< static string or nullptr
+  std::uint64_t arg = 0;
+  std::uint32_t seq = 0;  ///< global order hint across threads
+  std::uint16_t kind = 0;
+};
+
+/// Runtime gate, default ON (env SMPMINE_FLIGHT=0 or --flight=off clears
+/// it). One relaxed load per emit site.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Nanoseconds since the flight epoch (CLOCK_MONOTONIC, captured at
+/// process start). Async-signal-safe.
+std::uint64_t now_ns() noexcept;
+
+/// Records one event into the calling thread's ring (registering the
+/// thread on first use). Safe from any thread; never blocks, never
+/// allocates after the thread's first event.
+void emit(EventKind kind, const char* name, const char* detail = nullptr,
+          std::uint64_t arg = 0) noexcept;
+
+/// Convenience: a high-water-mark event ("hwm.candidates", value).
+inline void high_water(const char* name, std::uint64_t value) noexcept {
+  emit(EventKind::HighWater, name, nullptr, value);
+}
+
+// --- thread identity -------------------------------------------------------
+
+/// Copies `name` into the calling thread's record (truncated to
+/// kThreadNameBytes-1). obs::set_current_thread_name forwards here, so the
+/// tracer, the logger, and the flight dump share one naming registry.
+void set_current_thread_name(const char* name) noexcept;
+
+/// The calling thread's registered name ("t<idx>" until renamed), or "" if
+/// the thread table overflowed. Pointer is stable for the thread's life.
+const char* current_thread_name() noexcept;
+
+// --- phases and iterations -------------------------------------------------
+
+/// Marks the current mining iteration (k) process-wide and emits an
+/// Iteration event on the calling thread.
+void iteration(std::uint64_t k) noexcept;
+
+/// RAII phase scope: emits PhaseEnter/PhaseExit and maintains the calling
+/// thread's "active phase" field shown in dumps. Nesting restores the
+/// previous phase. `name` must be a string literal.
+class PhaseScope {
+ public:
+  PhaseScope(const char* name, std::uint64_t arg) noexcept;
+  ~PhaseScope() { end(); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  /// Ends the phase now instead of at scope exit; idempotent.
+  void end() noexcept;
+
+ private:
+  const char* name_ = nullptr;  ///< nullptr: disabled at ctor or ended
+  std::uint64_t arg_ = 0;
+  const char* prev_name_ = nullptr;
+  std::uint64_t prev_arg_ = 0;
+};
+
+// --- lock-order mirror (called by parallel/lock_order.cpp, checked builds)
+
+/// Pushes `lock` onto the calling thread's signal-visible held-lock stack
+/// and emits a LockAcquire event.
+void lock_acquired(const void* lock, const char* kind) noexcept;
+/// Pops `lock` (out-of-order release tolerated) and emits LockRelease.
+void lock_released(const void* lock) noexcept;
+/// Mirrors SMPMINE_LOCK_NAME into a lock-free address->name table so dumps
+/// print "HTNode::lock", not just an address. `name`: static storage.
+void register_lock_name(const void* lock, const char* name) noexcept;
+
+// --- crash dumper ----------------------------------------------------------
+
+/// Pre-opens (creates/truncates) the dump fd. Returns false when the path
+/// cannot be opened. Without a path, dumps go to stderr.
+bool set_dump_path(const char* path) noexcept;
+
+/// Installs the SIGSEGV/SIGBUS/SIGABRT/SIGFPE handlers (sigaltstack'd) and
+/// the std::terminate hook. Idempotent. Also done automatically at static
+/// init when SMPMINE_FLIGHT_DUMP is set in the environment.
+void install_crash_handler() noexcept;
+
+/// Writes a `smpmine.flight.v1` report now (reason: static string). Safe
+/// from signal context; raw write(2) only. Returns false if nothing could
+/// be written. Used by the handlers, the watchdog, and tests.
+bool write_dump(const char* reason) noexcept;
+
+// --- stall watchdog --------------------------------------------------------
+
+/// Starts (or re-arms) the watchdog: when no flight event lands within
+/// `window_ms`, it write_dump("stall")s — once per stall episode, without
+/// killing the process — and re-arms when events resume. `exit_code` >= 0
+/// makes it _exit(exit_code) after the dump (death tests / CI only).
+void start_watchdog(std::uint64_t window_ms, int exit_code = -1);
+/// Stops and joins the watchdog thread. Idempotent.
+void stop_watchdog();
+
+// --- fault injection (CI / death tests) ------------------------------------
+
+/// Crashes with a null-pointer write when the environment variable
+/// SMPMINE_FLIGHT_FAULT names `phase` (e.g. SMPMINE_FLIGHT_FAULT=count).
+/// The env value is read once per process; no-op otherwise.
+void maybe_inject_fault(const char* phase) noexcept;
+
+// --- metrics snapshot ------------------------------------------------------
+
+/// Registers a metric cell for the crash dump: `read(obj)` must be
+/// async-signal-safe (a relaxed atomic load). `name` must stay valid for
+/// the process lifetime. Duplicate names are ignored.
+void register_metric(const char* name, const void* obj,
+                     std::uint64_t (*read)(const void*)) noexcept;
+
+/// Defined in obs/flight/flight_metrics.cpp (smpmine_obs): walks the
+/// MetricsRegistry and register_metric()s every counter, so dumps carry a
+/// metrics snapshot. Call after startup (CLI/bench do); cheap, idempotent.
+void sync_metrics_for_dump();
+
+// --- introspection (tests, bench) ------------------------------------------
+
+std::uint64_t event_count() noexcept;   ///< events emitted process-wide
+std::uint64_t lost_threads() noexcept;  ///< registrations past kMaxThreads
+std::uint64_t dump_count() noexcept;    ///< write_dump completions
+
+}  // namespace smpmine::obs::flight
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. The flight recorder has no compile-time gate (it
+// is the always-on black box); every site pays one relaxed load when
+// disabled at runtime.
+// ---------------------------------------------------------------------------
+#define SMPMINE_FLIGHT_CONCAT_(a, b) a##b
+#define SMPMINE_FLIGHT_CONCAT(a, b) SMPMINE_FLIGHT_CONCAT_(a, b)
+
+/// Scoped phase covering the rest of the enclosing scope. Phase names must
+/// match an IterationStats *_seconds field (lint rule R5).
+#define SMPMINE_FLIGHT_PHASE(name, arg)                                 \
+  ::smpmine::obs::flight::PhaseScope SMPMINE_FLIGHT_CONCAT(             \
+      smpmine_flight_, __LINE__)(name, static_cast<std::uint64_t>(arg))
+/// Named phase variable for phases that end mid-scope: close it with
+/// SMPMINE_FLIGHT_PHASE_END(var) (scope exit also closes it).
+#define SMPMINE_FLIGHT_PHASE_NAMED(var, name, arg) \
+  ::smpmine::obs::flight::PhaseScope var(name, static_cast<std::uint64_t>(arg))
+#define SMPMINE_FLIGHT_PHASE_END(var) (var).end()

@@ -136,6 +136,14 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
+void MetricsRegistry::for_each_counter(
+    const std::function<void(const char* name, const Counter& c)>& fn) const {
+  MutexLock g(mu_);
+  for (const auto& [name, counter] : counters_) {
+    fn(name.c_str(), *counter);
+  }
+}
+
 void MetricsRegistry::reset_values() {
   MutexLock g(mu_);
   for (const auto& [name, counter] : counters_) counter->reset();

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -201,6 +202,15 @@ class MetricsRegistry {
   Histogram& histogram(std::string_view name) EXCLUDES(mu_);
 
   MetricsSnapshot snapshot() const EXCLUDES(mu_);
+
+  /// Visits every registered counter under the registry mutex. The `name`
+  /// pointer handed to `fn` stays valid (and address-stable) for the
+  /// process lifetime: the registry is leaked and std::map nodes never
+  /// move. The flight recorder uses this to snapshot counters into crash
+  /// dumps (obs/flight/flight_metrics.cpp).
+  void for_each_counter(
+      const std::function<void(const char* name, const Counter& c)>& fn) const
+      EXCLUDES(mu_);
 
   /// Zeroes every value; names (and addresses) persist. For tests and for
   /// benches that want per-run deltas.

@@ -101,6 +101,7 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
   JsonWriter w(os);
   w.begin_object();
   w.key("traceEvents").begin_array();
+  std::uint64_t dropped_total = 0;
   {
     MutexLock g(mu_);
     for (const Track& t : tracks_) {
@@ -111,6 +112,21 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
           .kv("tid", t.buffer->track())
           .kv("name", "thread_name");
       w.key("args").begin_object().kv("name", t.name).end_object();
+      w.end_object();
+
+      // A truncated track must say so in the artifact itself: one instant
+      // per track carrying its drop count (0 included — absence would be
+      // indistinguishable from a schema that never emitted it).
+      const std::uint64_t dropped = t.buffer->dropped();
+      dropped_total += dropped;
+      w.begin_object()
+          .kv("ph", "i")
+          .kv("pid", 0)
+          .kv("tid", t.buffer->track())
+          .kv("name", "trace.dropped")
+          .kv("ts", 0.0)
+          .kv("s", "t");
+      w.key("args").begin_object().kv("dropped", dropped).end_object();
       w.end_object();
 
       const std::uint32_t n = t.buffer->size();
@@ -134,6 +150,8 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
   }
   w.end_array();
   w.kv("displayTimeUnit", "ms");
+  // Process-level total so a reader need not sum the per-track instants.
+  w.kv("trace_dropped_total", dropped_total);
   w.end_object();
   os << '\n';
 }

@@ -32,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/flight/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/mutex.hpp"
 #include "util/thread_annotations.hpp"
@@ -104,6 +105,10 @@ class ThreadTraceBuffer {
   std::uint32_t track() const noexcept { return track_; }
 
  private:
+  // analyze-ok: single-writer ring — only the owning thread writes slots,
+  // and the release store of size_ in emit() publishes each one before the
+  // exporter's acquire load in size() can expose it (tests/race/
+  // test_race_trace.cpp checks the protocol under TSan).
   std::vector<TraceEvent> events_;
   std::atomic<std::uint32_t> size_{0};
   std::atomic<std::uint64_t> dropped_{0};
@@ -253,12 +258,19 @@ class ScopedSpan {
 };
 
 #if SMPMINE_TRACING_ENABLED
-/// Names the calling thread's track in exported traces.
+/// Names the calling thread's track in exported traces, and registers the
+/// same name with the flight recorder so crash dumps and log-line prefixes
+/// agree with the trace — one naming registry, three consumers.
 inline void set_current_thread_name(std::string name) {
+  flight::set_current_thread_name(name.c_str());
   Tracer::instance().set_thread_name(std::move(name));
 }
 #else
-inline void set_current_thread_name(std::string) {}
+/// Tracing compiled out: the flight recorder (always on) still needs the
+/// name for crash dumps and log prefixes.
+inline void set_current_thread_name(std::string name) {
+  flight::set_current_thread_name(name.c_str());
+}
 #endif
 
 }  // namespace smpmine::obs

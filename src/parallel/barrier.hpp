@@ -54,6 +54,15 @@ class Barrier {
       std::uint32_t spins = 0;
       while (sense_.load(std::memory_order_acquire) != my_sense) {
         if (++spins > kSpinsBeforeYield) {
+          if (yields == 0) {
+            // One flight event per wait episode, at the first yield: a
+            // wedged barrier leaves "barrier.wait" as each stuck thread's
+            // last event and then goes silent — exactly the signature the
+            // stall watchdog turns into a dump. Emitting per-yield would
+            // instead keep resetting the watchdog's last-event clock.
+            obs::flight::emit(obs::flight::EventKind::BarrierWait,
+                              "barrier.wait", nullptr, parties_);
+          }
           yield_now();
           ++yields;
           spins = 0;

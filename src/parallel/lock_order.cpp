@@ -3,6 +3,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "obs/flight/flight_recorder.hpp"
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -238,9 +240,13 @@ void on_acquire(const void* lock, const char* kind, bool is_try) noexcept {
     }
   }
   t_held.push_back(attempt);
+  // Mirror into the flight recorder's signal-visible held stack, so crash
+  // dumps show what each thread held without touching the graph mutex.
+  obs::flight::lock_acquired(lock, kind);
 }
 
 void on_release(const void* lock) noexcept {
+  obs::flight::lock_released(lock);
   for (std::size_t i = t_held.size(); i-- > 0;) {
     if (t_held[i].lock == lock) {
       t_held.erase(t_held.begin() + static_cast<std::ptrdiff_t>(i));
@@ -253,8 +259,13 @@ void on_release(const void* lock) noexcept {
 
 void set_name(const void* lock, const char* name) noexcept {
   Graph& g = graph();
-  std::lock_guard<std::mutex> guard(g.mu);
-  g.names[lock] = name;
+  {
+    std::lock_guard<std::mutex> guard(g.mu);
+    g.names[lock] = name;
+  }
+  // Mirror into the flight recorder's lock-free table: crash dumps resolve
+  // held-lock addresses to these names from signal context.
+  obs::flight::register_lock_name(lock, name);
 }
 
 bool dump(const char* path) noexcept {

@@ -64,6 +64,10 @@ void ThreadPool::worker_loop(std::uint32_t tid) {
 
 void ThreadPool::run_spmd(const std::function<void(std::uint32_t)>& body) {
   obs::metric::pool_spmd_dispatches().inc();
+  // Dispatch heartbeat for the flight recorder: a run that wedges between
+  // dispatches (vs inside one) is distinguishable in the dump.
+  obs::flight::emit(obs::flight::EventKind::Mark, "pool.spmd", nullptr,
+                    threads_);
   SMPMINE_TRACE_SPAN("pool.spmd");
   if (threads_ == 1) {
     // Inline fast path; still a task execution for the pool.tasks metric

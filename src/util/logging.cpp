@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "obs/flight/flight_recorder.hpp"
+
 namespace smpmine {
 namespace {
 
@@ -24,22 +26,53 @@ const char* level_tag(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+std::size_t format_log_line(char* buf, std::size_t size, LogLevel level,
+                            const char* fmt, std::va_list args) {
+  if (size < 2) return 0;
+  const std::uint64_t t_ns = obs::flight::now_ns();
+  const char* thread = obs::flight::current_thread_name();
+  if (thread == nullptr || *thread == '\0') thread = "?";
+  int n = std::snprintf(buf, size, "[%llu.%06llu] [%s] [%s] ",
+                        static_cast<unsigned long long>(t_ns / 1'000'000'000),
+                        static_cast<unsigned long long>(t_ns % 1'000'000'000 /
+                                                        1'000),
+                        thread, level_tag(level));
+  if (n < 0) return 0;
+  auto len = static_cast<std::size_t>(n);
+  if (len < size - 2) {
+    // Leave exactly one byte past the message region for the newline: a
+    // truncated vsnprintf then NUL-terminates at size-2, and the '\n'
+    // below overwrites that NUL so the line stays contiguous.
+    const int m = std::vsnprintf(buf + len, size - len - 1, fmt, args);
+    if (m > 0) len += static_cast<std::size_t>(m);
+  }
+  if (len > size - 2) len = size - 2;
+  buf[len] = '\n';
+  buf[len + 1] = '\0';
+  return len + 1;
+}
+
 void logf(LogLevel level, const char* fmt, ...) {
+  // WARN/ERROR lines always land in the flight ring (crash dumps should
+  // carry the warnings that preceded the crash), even when the console
+  // threshold drops them. `fmt` is a string literal at every call site
+  // (enforced by the printf format attribute), so storing the pointer
+  // matches the ring's static-string contract.
+  if (level == LogLevel::Warn) {
+    obs::flight::emit(obs::flight::EventKind::LogWarn, "log.warn", fmt);
+  } else if (level == LogLevel::Error) {
+    obs::flight::emit(obs::flight::EventKind::LogError, "log.error", fmt);
+  }
   // relaxed-ok: the level gate is advisory; a racing set_log_level only
   // decides whether this one message appears, never data integrity.
   if (level < g_level.load(std::memory_order_relaxed)) return;
   char buf[1024];
-  int n = std::snprintf(buf, sizeof buf, "[%s] ", level_tag(level));
   va_list args;
   va_start(args, fmt);
-  n += std::vsnprintf(buf + n, sizeof buf - static_cast<std::size_t>(n) - 2,
-                      fmt, args);
+  const std::size_t len = format_log_line(buf, sizeof buf, level, fmt, args);
   va_end(args);
-  if (n < 0) return;
-  auto len = static_cast<std::size_t>(n);
-  if (len > sizeof buf - 2) len = sizeof buf - 2;
-  buf[len] = '\n';
-  std::fwrite(buf, 1, len + 1, stderr);
+  if (len == 0) return;
+  std::fwrite(buf, 1, len, stderr);
 }
 
 }  // namespace smpmine

@@ -2,8 +2,16 @@
 //
 // The library itself stays quiet by default (level = Warn); benches and
 // examples raise the level for progress lines on long sweeps.
+//
+// Every line is prefixed `[<sec>.<usec>] [<thread>] [LEVEL] ` where the
+// timestamp is the flight recorder's monotonic clock (obs/flight) and the
+// thread name comes from the shared naming registry that the tracer and
+// flight dumps also use — so a log line, a trace span, and a crash dump
+// of the same moment correlate by eye.
 #pragma once
 
+#include <cstdarg>
+#include <cstddef>
 #include <string>
 
 namespace smpmine {
@@ -17,6 +25,12 @@ LogLevel log_level();
 /// printf-style logging. Thread-safe (single write() per message).
 void logf(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
+
+/// Formats one complete log line (prefix + message + trailing newline)
+/// into `buf`, exactly as logf() writes it, and returns the line length
+/// (capped at size-1). Exposed so tests can pin the format.
+std::size_t format_log_line(char* buf, std::size_t size, LogLevel level,
+                            const char* fmt, std::va_list args);
 
 #define SMP_LOG_DEBUG(...) ::smpmine::logf(::smpmine::LogLevel::Debug, __VA_ARGS__)
 #define SMP_LOG_INFO(...) ::smpmine::logf(::smpmine::LogLevel::Info, __VA_ARGS__)

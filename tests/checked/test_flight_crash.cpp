@@ -1,0 +1,149 @@
+// Crash-time flight dumps, end to end: a SIGSEGV inside the parallel count
+// phase must leave a parseable smpmine.flight.v1 report naming the crashing
+// thread's active phase and (checked builds) its held-lock stack.
+//
+// Death-test style is "threadsafe" throughout: the children spawn pool
+// threads, and the style re-executes the binary so each child's statement
+// runs in a process whose static init saw the env vars the parent set —
+// exactly how the production SMPMINE_FLIGHT_DUMP / SMPMINE_FLIGHT_FAULT
+// hooks are used from CI.
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/miner.hpp"
+#include "data/quest_gen.hpp"
+#include "obs/flight/flight_recorder.hpp"
+#include "parallel/lock_order.hpp"
+#include "parallel/spinlock.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace smpmine {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Restores (or clears) an env var on scope exit so a death test cannot
+/// leak its hooks into later tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* prev = std::getenv(name);
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (had_prev_) {
+      ::setenv(name_, prev_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+Database small_db() {
+  QuestParams p;
+  p.num_transactions = 400;
+  p.avg_transaction_len = 8.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 40;
+  p.num_items = 60;
+  p.seed = 7;
+  return generate_quest(p);
+}
+
+TEST(FlightCrashDeathTest, SegvHoldingNamedLockDumpsPhaseAndLockStack) {
+  if (!SMPMINE_CHECKED_ENABLED) {
+    GTEST_SKIP() << "held-lock mirror needs the checked lock hooks";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path =
+      ::testing::TempDir() + "flight_crash_lock.dump";
+
+  // Worker 1 of a real pool crashes mid-"count" while holding a named
+  // SpinLock — the shape of a genuine counting-kernel fault.
+  auto crash = [&path] {
+    obs::flight::set_dump_path(path.c_str());
+    obs::flight::install_crash_handler();
+    ThreadPool pool(2);
+    pool.run_spmd([](std::uint32_t tid) {
+      if (tid != 1) return;
+      SMPMINE_FLIGHT_PHASE("count", 2);
+      static SpinLock lock;
+      SMPMINE_LOCK_NAME(&lock, "CrashFixture::lock");
+      lock.lock();
+      volatile int* p = nullptr;
+      *p = 1;  // SIGSEGV with the lock held, inside the phase
+    });
+  };
+  EXPECT_EXIT(crash(), ::testing::KilledBySignal(SIGSEGV), "");
+
+  const std::string text = read_file(path);
+  ASSERT_FALSE(text.empty()) << "crash handler wrote no dump to " << path;
+  EXPECT_EQ(text.rfind("smpmine.flight.v1\n", 0), 0u);
+  EXPECT_NE(text.find("\nreason \"signal SIGSEGV\"\n"), std::string::npos);
+  EXPECT_NE(text.find("\nend smpmine.flight.v1\n"), std::string::npos)
+      << "dump truncated:\n" << text;
+
+  // The crashing thread is the one marked as the dumper; its block carries
+  // the active phase and the symbolized held lock.
+  const std::size_t dumper = text.find(" dumper 1\n");
+  ASSERT_NE(dumper, std::string::npos) << text;
+  const std::string block =
+      text.substr(dumper, text.find("\nend thread ", dumper) - dumper);
+  EXPECT_NE(block.find("\nphase \"count\" arg 2\n"), std::string::npos)
+      << block;
+  EXPECT_NE(block.find(" \"SpinLock\" \"CrashFixture::lock\"\n"),
+            std::string::npos)
+      << block;
+}
+
+TEST(FlightCrashDeathTest, EnvFaultInjectionCrashesInsideMinerCountPhase) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path =
+      ::testing::TempDir() + "flight_crash_env.dump";
+
+  // Pure env-var plumbing, no explicit flight calls: the re-executed child
+  // opens the dump fd and installs handlers at static init, caches the
+  // fault phase, and mine_ccpd's count workers hit maybe_inject_fault.
+  ScopedEnv dump_env("SMPMINE_FLIGHT_DUMP", path);
+  ScopedEnv fault_env("SMPMINE_FLIGHT_FAULT", "count");
+  auto mine_and_crash = [] {
+    MinerOptions opts;
+    opts.min_support = 0.03;
+    opts.threads = 2;
+    (void)mine_ccpd(small_db(), opts);
+  };
+  EXPECT_EXIT(mine_and_crash(), ::testing::KilledBySignal(SIGSEGV), "");
+
+  const std::string text = read_file(path);
+  ASSERT_FALSE(text.empty()) << "env-installed handler wrote nothing";
+  EXPECT_NE(text.find("\nreason \"signal SIGSEGV\"\n"), std::string::npos);
+  const std::size_t dumper = text.find(" dumper 1\n");
+  ASSERT_NE(dumper, std::string::npos) << text;
+  const std::string block =
+      text.substr(dumper, text.find("\nend thread ", dumper) - dumper);
+  EXPECT_NE(block.find("\nphase \"count\" arg 2\n"), std::string::npos)
+      << block;
+  // The injection site marks itself before faulting.
+  EXPECT_NE(block.find("mark \"fault.inject\""), std::string::npos) << block;
+  EXPECT_NE(text.find("\nend smpmine.flight.v1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smpmine

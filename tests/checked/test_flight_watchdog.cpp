@@ -1,0 +1,77 @@
+// Stall-watchdog death tests: a wedged barrier (one party never arrives)
+// goes silent after its first "barrier.wait" flight event, the watchdog
+// notices the quiet window, dumps a smpmine.flight.v1 report, and — with an
+// exit code configured, as CI death tests do — ends the process cleanly
+// instead of hanging until the ctest timeout.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/flight/flight_recorder.hpp"
+#include "parallel/barrier.hpp"
+
+namespace smpmine {
+namespace {
+
+constexpr int kWatchdogExitCode = 86;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void expect_stall_dump(const std::string& text) {
+  ASSERT_FALSE(text.empty()) << "watchdog wrote no dump";
+  EXPECT_EQ(text.rfind("smpmine.flight.v1\n", 0), 0u);
+  EXPECT_NE(text.find("\nreason \"stall\"\n"), std::string::npos);
+  EXPECT_NE(text.find("\nend smpmine.flight.v1\n"), std::string::npos)
+      << "dump truncated:\n" << text;
+  // The wedged thread's last event is its (single) barrier-wait marker.
+  EXPECT_NE(text.find("barrier_wait \"barrier.wait\""), std::string::npos)
+      << text;
+}
+
+TEST(FlightWatchdogDeathTest, WedgedBarrierDumpsStallReportAndExits) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path =
+      ::testing::TempDir() + "flight_watchdog_api.dump";
+
+  auto wedge = [&path] {
+    obs::flight::set_dump_path(path.c_str());
+    obs::flight::set_current_thread_name("wedged main");
+    obs::flight::start_watchdog(/*window_ms=*/100, kWatchdogExitCode);
+    Barrier barrier(2);
+    barrier.arrive_and_wait();  // the second party never arrives
+  };
+  EXPECT_EXIT(wedge(), ::testing::ExitedWithCode(kWatchdogExitCode), "");
+  expect_stall_dump(read_file(path));
+}
+
+TEST(FlightWatchdogDeathTest, EnvConfiguredWatchdogCatchesTheSameStall) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path =
+      ::testing::TempDir() + "flight_watchdog_env.dump";
+
+  // Production shape: no code changes, just the env hooks read at static
+  // init by the re-executed death-test child.
+  ASSERT_EQ(::setenv("SMPMINE_FLIGHT_DUMP", path.c_str(), 1), 0);
+  ASSERT_EQ(::setenv("SMPMINE_FLIGHT_WATCHDOG_MS", "100", 1), 0);
+  ASSERT_EQ(::setenv("SMPMINE_FLIGHT_WATCHDOG_EXIT", "86", 1), 0);
+  auto wedge = [] {
+    Barrier barrier(3);
+    barrier.arrive_and_wait();  // two parties short: wedged immediately
+  };
+  EXPECT_EXIT(wedge(), ::testing::ExitedWithCode(kWatchdogExitCode), "");
+  ::unsetenv("SMPMINE_FLIGHT_DUMP");
+  ::unsetenv("SMPMINE_FLIGHT_WATCHDOG_MS");
+  ::unsetenv("SMPMINE_FLIGHT_WATCHDOG_EXIT");
+  expect_stall_dump(read_file(path));
+}
+
+}  // namespace
+}  // namespace smpmine

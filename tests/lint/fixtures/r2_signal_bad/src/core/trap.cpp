@@ -1,0 +1,10 @@
+// R2 violating fixture: a sigaction outside src/obs/flight would silently
+// replace the flight recorder's crash handlers.
+
+namespace fixture {
+
+void hijack(void* sa) {
+  sigaction(11, static_cast<struct sigaction*>(sa), nullptr);
+}
+
+}  // namespace fixture

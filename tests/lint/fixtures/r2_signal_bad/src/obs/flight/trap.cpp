@@ -1,0 +1,10 @@
+// Companion file proving the exemption: the same call inside
+// src/obs/flight must not add a second finding to this fixture.
+
+namespace fixture {
+
+void install(void* sa) {
+  sigaction(11, static_cast<struct sigaction*>(sa), nullptr);
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// R2 passing fixture: signal-handler installation is fine *inside*
+// src/obs/flight — this is the one directory that owns the crash-dump
+// handler surface.
+
+namespace fixture {
+
+void install(void* sa, void* ss) {
+  sigaltstack(static_cast<stack_t*>(ss), nullptr);
+  sigemptyset(&static_cast<struct sigaction*>(sa)->sa_mask);
+  sigaction(11, static_cast<struct sigaction*>(sa), nullptr);
+  std::set_terminate(nullptr);
+}
+
+}  // namespace fixture

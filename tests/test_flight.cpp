@@ -1,0 +1,223 @@
+// Flight recorder unit tests: emission accounting, the runtime gate, the
+// overwrite-oldest ring, thread naming, phase nesting, the lock mirror, the
+// metric snapshot, and the dump format's structural markers. The dump is
+// written through the production set_dump_path/write_dump path (raw
+// write(2)); assertions are substring checks against the line-oriented
+// smpmine.flight.v1 text, mirroring what tools/flight/smpmine_flight.py
+// parses. Crash and stall behavior live in tests/checked/.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/flight/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace smpmine::obs::flight {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Truncates `path`, writes a fresh report into it, and returns the text.
+std::string dump_to(const std::string& path, const char* reason = "test") {
+  EXPECT_TRUE(set_dump_path(path.c_str()));
+  EXPECT_TRUE(write_dump(reason));
+  return read_file(path);
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(Flight, EmitCountsAndEnableGate) {
+  ASSERT_TRUE(enabled()) << "flight recorder must be ON by default";
+  const std::uint64_t before = event_count();
+  emit(EventKind::Mark, "unit.mark", nullptr, 7);
+  EXPECT_EQ(event_count(), before + 1);
+
+  set_enabled(false);
+  emit(EventKind::Mark, "unit.dropped");
+  EXPECT_EQ(event_count(), before + 1) << "disabled emit must be dropped";
+  set_enabled(true);
+  EXPECT_EQ(lost_threads(), 0u);
+}
+
+TEST(Flight, ThreadNameDefaultsAndRenames) {
+  // Before renaming, the thread has a stable auto-assigned "t<idx>" name.
+  const char* auto_name = current_thread_name();
+  ASSERT_NE(auto_name, nullptr);
+  EXPECT_EQ(auto_name[0], 't');
+
+  set_current_thread_name("flight main");
+  EXPECT_STREQ(current_thread_name(), "flight main");
+
+  // Truncation to kThreadNameBytes-1 without overflow.
+  const std::string big(3 * kThreadNameBytes, 'n');
+  set_current_thread_name(big.c_str());
+  EXPECT_EQ(std::string(current_thread_name()).size(), kThreadNameBytes - 1);
+  set_current_thread_name("flight main");
+}
+
+TEST(Flight, DumpHasHeaderBodyAndEndMarkers) {
+  set_current_thread_name("flight main");
+  emit(EventKind::Mark, "unit.dump.probe", "detail text", 42);
+  const std::string text = dump_to(temp_path("flight_markers.dump"));
+
+  EXPECT_EQ(text.rfind("smpmine.flight.v1\n", 0), 0u) << text;
+  EXPECT_NE(text.find("\nreason \"test\"\n"), std::string::npos);
+  EXPECT_NE(text.find("\npid "), std::string::npos);
+  EXPECT_NE(text.find("\nbuild checked="), std::string::npos);
+  EXPECT_NE(text.find("name \"flight main\""), std::string::npos);
+  EXPECT_NE(text.find("ev "), std::string::npos);
+  EXPECT_NE(text.find(" mark \"unit.dump.probe\" \"detail text\" 42"),
+            std::string::npos);
+  EXPECT_NE(text.find("\nend smpmine.flight.v1\n"), std::string::npos);
+  EXPECT_GE(dump_count(), 1u);
+}
+
+TEST(Flight, IterationAppearsInDump) {
+  iteration(5);
+  const std::string text = dump_to(temp_path("flight_iteration.dump"));
+  EXPECT_NE(text.find("\niteration 5\n"), std::string::npos) << text;
+  iteration(0);
+}
+
+TEST(Flight, PhaseScopeNestingRestoresOuterPhase) {
+  set_current_thread_name("flight main");
+  PhaseScope outer("count", 3);
+  {
+    PhaseScope inner("candgen", 3);
+    const std::string text = dump_to(temp_path("flight_phase_inner.dump"));
+    EXPECT_NE(text.find("\nphase \"candgen\" arg 3\n"), std::string::npos);
+  }
+  const std::string text = dump_to(temp_path("flight_phase_outer.dump"));
+  EXPECT_NE(text.find("\nphase \"count\" arg 3\n"), std::string::npos);
+  EXPECT_EQ(text.find("\nphase \"candgen\""), std::string::npos)
+      << "inner phase must be restored to the outer one on scope exit";
+}
+
+TEST(Flight, PhaseEndIsIdempotent) {
+  const std::uint64_t before = event_count();
+  PhaseScope span("select", 2);
+  span.end();
+  span.end();  // second end must not re-emit PhaseExit
+  EXPECT_EQ(event_count(), before + 2);  // one enter + one exit
+}
+
+TEST(Flight, RingOverwritesOldestAndKeepsExitedThreads) {
+  // A worker emits well past the ring capacity, then exits; the dump must
+  // still show its record, capped at kRingEvents with the oldest overwritten.
+  constexpr std::uint64_t kEmitted = kRingEvents + 50;
+  std::thread worker([] {
+    set_current_thread_name("ring worker");
+    for (std::uint64_t i = 0; i < kEmitted; ++i) {
+      emit(EventKind::Mark, "ring.mark", nullptr, i);
+    }
+  });
+  worker.join();
+
+  const std::string text = dump_to(temp_path("flight_ring.dump"));
+  const std::size_t begin = text.find("name \"ring worker\"");
+  ASSERT_NE(begin, std::string::npos);
+  const std::size_t end = text.find("\nend thread ", begin);
+  ASSERT_NE(end, std::string::npos);
+  const std::string block = text.substr(begin, end - begin);
+
+  EXPECT_NE(block.find("\nevents " + std::to_string(kRingEvents) + "\n"),
+            std::string::npos);
+  // Oldest surviving event is the first one not overwritten.
+  EXPECT_EQ(block.find("\"ring.mark\" \"\" 0\n"), std::string::npos);
+  EXPECT_NE(block.find("\"ring.mark\" \"\" " + std::to_string(kEmitted - 1)),
+            std::string::npos);
+  std::size_t ev_lines = 0;
+  for (std::size_t pos = block.find("\nev "); pos != std::string::npos;
+       pos = block.find("\nev ", pos + 1)) {
+    ++ev_lines;
+  }
+  EXPECT_EQ(ev_lines, kRingEvents);
+}
+
+TEST(Flight, HeldLockStackWithSymbolicNames) {
+  // Drives the lock mirror directly (the lock_order.cpp hooks forward here
+  // in checked builds); the dump must resolve the registered name and drop
+  // the entry again on release.
+  set_current_thread_name("flight main");
+  int lock_a = 0;
+  int lock_b = 0;
+  register_lock_name(&lock_a, "FlightTest::a");
+  lock_acquired(&lock_a, "SpinLock");
+  lock_acquired(&lock_b, "Mutex");  // never named: dumped with name ""
+
+  std::string text = dump_to(temp_path("flight_locks_held.dump"));
+  std::size_t begin = text.find("name \"flight main\"");
+  ASSERT_NE(begin, std::string::npos);
+  std::string block = text.substr(begin, text.find("\nend thread ", begin) -
+                                             begin);
+  EXPECT_NE(block.find("\nheld 2\n"), std::string::npos) << block;
+  EXPECT_NE(block.find(" \"SpinLock\" \"FlightTest::a\"\n"),
+            std::string::npos);
+  EXPECT_NE(block.find(" \"Mutex\" \"\"\n"), std::string::npos);
+
+  // Out-of-order release (a before b) must still empty the stack.
+  lock_released(&lock_a);
+  lock_released(&lock_b);
+  text = dump_to(temp_path("flight_locks_released.dump"));
+  begin = text.find("name \"flight main\"");
+  ASSERT_NE(begin, std::string::npos);
+  block = text.substr(begin, text.find("\nend thread ", begin) - begin);
+  EXPECT_NE(block.find("\nheld 0\n"), std::string::npos) << block;
+}
+
+TEST(Flight, RegisteredMetricSnapshotsIntoDump) {
+  static std::atomic<std::uint64_t> cell{41};
+  register_metric("flight.test.cell", &cell, [](const void* obj) {
+    return static_cast<const std::atomic<std::uint64_t>*>(obj)->load(
+        std::memory_order_relaxed);
+  });
+  cell.store(42, std::memory_order_relaxed);  // read at dump time, not reg
+  const std::string text = dump_to(temp_path("flight_metric.dump"));
+  EXPECT_NE(text.find("\nmetric \"flight.test.cell\" 42\n"),
+            std::string::npos);
+}
+
+TEST(Flight, SyncMetricsForDumpPullsRegistryCounters) {
+  MetricsRegistry::instance().counter("flight.sync.probe").inc();
+  sync_metrics_for_dump();
+  const std::string text = dump_to(temp_path("flight_sync.dump"));
+  EXPECT_NE(text.find("\nmetric \"flight.sync.probe\" 1\n"),
+            std::string::npos);
+}
+
+TEST(Flight, WatchdogDumpsOnceOnStallWithoutKilling) {
+  const std::string path = temp_path("flight_watchdog.dump");
+  ASSERT_TRUE(set_dump_path(path.c_str()));
+  emit(EventKind::Mark, "watchdog.arm");
+  const std::uint64_t dumps_before = dump_count();
+
+  start_watchdog(/*window_ms=*/50);  // no exit_code: process survives
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (dump_count() == dumps_before &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop_watchdog();
+
+  ASSERT_GT(dump_count(), dumps_before) << "watchdog never fired";
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("\nreason \"stall\"\n"), std::string::npos);
+  EXPECT_NE(text.find("\nend smpmine.flight.v1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smpmine::obs::flight

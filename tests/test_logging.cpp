@@ -2,8 +2,26 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdarg>
+#include <cstring>
+#include <regex>
+#include <string>
+
+#include "obs/flight/flight_recorder.hpp"
+
 namespace smpmine {
 namespace {
+
+/// Variadic shim: format_log_line takes a va_list so logf can forward to
+/// it; tests need a plain varargs front end.
+std::size_t fmt_line(char* buf, std::size_t size, LogLevel level,
+                     const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  const std::size_t len = format_log_line(buf, size, level, fmt, args);
+  va_end(args);
+  return len;
+}
 
 TEST(Logging, LevelRoundTrip) {
   const LogLevel original = log_level();
@@ -28,6 +46,55 @@ TEST(Logging, LongMessageIsTruncatedSafely) {
   set_log_level(LogLevel::Error);
   const std::string big(4000, 'x');
   SMP_LOG_ERROR("%s", big.c_str());
+  set_log_level(original);
+}
+
+TEST(Logging, LinePrefixHasTimestampThreadNameAndLevel) {
+  obs::flight::set_current_thread_name("log fmt");
+  char buf[256];
+  const std::size_t len =
+      fmt_line(buf, sizeof buf, LogLevel::Warn, "tree %s k=%d", "rebuilt", 3);
+  const std::string line(buf);
+  EXPECT_EQ(line.size(), len);
+  // Pinned format: `[<sec>.<usec6>] [<thread>] [LEVEL] <message>\n`.
+  const std::regex shape(
+      R"(\[\d+\.\d{6}\] \[log fmt\] \[WARN\] tree rebuilt k=3\n)");
+  EXPECT_TRUE(std::regex_match(line, shape)) << line;
+}
+
+TEST(Logging, LevelTagsMatchSeverity) {
+  char buf[256];
+  const struct {
+    LogLevel level;
+    const char* tag;
+  } cases[] = {{LogLevel::Debug, "[DEBUG] "},
+               {LogLevel::Info, "[INFO] "},
+               {LogLevel::Warn, "[WARN] "},
+               {LogLevel::Error, "[ERROR] "}};
+  for (const auto& c : cases) {
+    fmt_line(buf, sizeof buf, c.level, "x");
+    EXPECT_NE(std::strstr(buf, c.tag), nullptr) << buf;
+  }
+}
+
+TEST(Logging, FormatTruncatesIntoSmallBufferWithTrailingNewline) {
+  char buf[48];
+  const std::string big(500, 'y');
+  const std::size_t len =
+      fmt_line(buf, sizeof buf, LogLevel::Error, "%s", big.c_str());
+  EXPECT_LT(len, sizeof buf);
+  EXPECT_EQ(std::strlen(buf), len);
+  EXPECT_EQ(buf[len - 1], '\n');
+}
+
+TEST(Logging, WarnAndErrorLandInFlightRingEvenWhenConsoleSuppressed) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Error);  // WARN is below the console threshold
+  const std::uint64_t before = obs::flight::event_count();
+  SMP_LOG_WARN("suppressed on console, kept in the black box %d", 1);
+  EXPECT_EQ(obs::flight::event_count(), before + 1);
+  SMP_LOG_ERROR("also recorded %d", 2);
+  EXPECT_EQ(obs::flight::event_count(), before + 2);
   set_log_level(original);
 }
 

@@ -164,5 +164,40 @@ TEST_F(TraceTest, ChromeTraceExportIsValidJson) {
   EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
 }
 
+TEST_F(TraceTest, ChromeTraceExportsDropCountsPerTrackAndTotal) {
+  constexpr std::uint32_t kCapacity = 16;
+  constexpr std::uint32_t kEmitted = 100;
+  Tracer::instance().reset();
+  Tracer::instance().set_capacity(kCapacity);
+  set_current_thread_name("drop track");
+  for (std::uint32_t i = 0; i < kEmitted; ++i) {
+    SMPMINE_TRACE_INSTANT("unit.flood");
+  }
+  std::ostringstream os;
+  Tracer::instance().write_chrome_trace(os);
+  const std::string trace = os.str();
+  EXPECT_TRUE(json_valid(trace)) << trace;
+  // Per-track truncation marker: an instant carrying this track's count.
+  EXPECT_NE(trace.find("\"name\":\"trace.dropped\""), std::string::npos);
+  const std::string dropped =
+      std::to_string(kEmitted - kCapacity);
+  EXPECT_NE(trace.find("\"dropped\":" + dropped), std::string::npos)
+      << trace;
+  // Process-level sum so readers need not walk the instants.
+  EXPECT_NE(trace.find("\"trace_dropped_total\":" + dropped),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeTraceDropMarkersPresentEvenWithoutDrops) {
+  // A zero count must still be exported — absence would be ambiguous.
+  SMPMINE_TRACE_INSTANT("unit.no.drops");
+  std::ostringstream os;
+  Tracer::instance().write_chrome_trace(os);
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("\"name\":\"trace.dropped\""), std::string::npos);
+  EXPECT_NE(trace.find("\"dropped\":0"), std::string::npos);
+  EXPECT_NE(trace.find("\"trace_dropped_total\":0"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace smpmine::obs

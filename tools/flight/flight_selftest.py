@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Round-trip selftest for the smpmine.flight.v1 decoder.
+
+Proves the decoder accepts a well-formed dump (the exact shape the C++
+dumper writes), recovers every field, flags truncation instead of choking
+on it, and rejects genuinely malformed input. Run by ctest (flight.selftest)
+and usable standalone: python3 tools/flight/flight_selftest.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import smpmine_flight as dec  # noqa: E402
+
+GOOD = """\
+smpmine.flight.v1
+reason "signal SIGSEGV"
+pid 4242
+t_ns 1234567890
+build checked=1 tracing=1
+iteration 3
+events_total 917
+lost_threads 0
+metric "spinlock.acquire_spins" 128
+metric "hashtree.inserts" 0
+thread 0 name "main" dumper 0
+phase "count" arg 3
+held 0
+events 2
+ev 1000 1 iteration "iteration" "" 3
+ev 2000 5 phase_enter "count" "" 3
+end thread 0
+thread 1 name "worker 1" dumper 1
+phase "count" arg 3
+held 2
+lock 0xdeadbeef "SpinLock" "HTNode::lock"
+lock 0xcafe "Mutex" ""
+events 3
+ev 1500 2 phase_enter "count" "" 3
+ev 1600 3 lock_acquire "SpinLock" "HTNode::lock" 3735928559
+ev 1700 4 log_warn "log.warn" "tree rebuild \\"forced\\"" 0
+end thread 1
+end smpmine.flight.v1
+"""
+
+
+def check(cond: bool, what: str) -> None:
+    if not cond:
+        print(f"FAIL: {what}", file=sys.stderr)
+        sys.exit(1)
+
+
+def main() -> int:
+    # --- complete dump round-trips --------------------------------------
+    r = dec.parse(GOOD)
+    check(r.complete, "complete dump marked complete")
+    check(r.warnings == [], f"no warnings on a complete dump: {r.warnings}")
+    check(r.reason == "signal SIGSEGV", "reason recovered")
+    check(r.pid == 4242 and r.iteration == 3, "pid/iteration recovered")
+    check(r.build == {"checked": 1, "tracing": 1}, "build gates recovered")
+    check(r.metrics["spinlock.acquire_spins"] == 128, "metric recovered")
+    check(len(r.threads) == 2, "both thread blocks parsed")
+
+    main_t, worker = r.threads
+    check(main_t.name == "main" and not main_t.dumper, "thread 0 identity")
+    check(worker.dumper, "dumper flag on the crashing thread")
+    check(worker.phase == "count" and worker.phase_arg == 3,
+          "active phase recovered")
+    check(len(worker.held) == 2, "held-lock stack recovered")
+    check(worker.held[0].name == "HTNode::lock", "symbolic lock name")
+    check(worker.held[1].name == "", "unnamed lock tolerated")
+    check([e.kind for e in worker.events] ==
+          ["phase_enter", "lock_acquire", "log_warn"], "event kinds in order")
+    check(worker.events[2].detail == 'tree rebuild "forced"',
+          "escaped quotes in detail strings")
+    check(worker.events[1].arg == 3735928559, "event arg recovered")
+
+    # Pretty-printer and JSON serializer at least run over the report.
+    text = dec.pretty(r, last=16)
+    check("HTNode::lock" in text and "count" in text, "pretty-print content")
+    check('"schema": "smpmine.flight.v1"' in dec.to_json(r), "json output")
+
+    # --- truncated dump: flagged, not fatal -----------------------------
+    lines = GOOD.splitlines()
+    truncated = "\n".join(lines[: lines.index("end thread 1")]) + "\n"
+    r2 = dec.parse(truncated)
+    check(not r2.complete, "truncated dump marked incomplete")
+    check(any("truncated" in w for w in r2.warnings),
+          "truncation produces a warning")
+    check(len(r2.threads) == 2 and len(r2.threads[1].events) == 3,
+          "complete lines survive truncation")
+
+    # A torn final line (crash mid-write) is tolerated too.
+    torn = truncated + 'ev 1800 6 lock_release "rel'
+    r3 = dec.parse(torn)
+    check(any("torn" in w for w in r3.warnings), "torn line flagged")
+
+    # --- malformed input rejected ---------------------------------------
+    for bad in (
+        "not a flight dump\n",
+        GOOD.replace("ev 1000 1 iteration", "ev 1000 1 bogus_kind"),
+        GOOD.replace("thread 0 name", "gibberish 0 name"),
+    ):
+        try:
+            dec.parse(bad)
+        except dec.ParseError:
+            pass
+        else:
+            check(False, f"malformed input accepted: {bad[:40]!r}")
+
+    print("flight decoder selftest: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

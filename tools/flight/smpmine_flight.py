@@ -1,0 +1,343 @@
+#!/usr/bin/env python3
+"""Decoder for smpmine.flight.v1 flight-recorder dumps.
+
+The dump is written by an async-signal-safe handler (raw write(2), see
+src/obs/flight/flight_recorder.cpp), so the format is deliberately
+line-oriented text: a torn or truncated dump still yields every complete
+line, and this decoder reports what is missing instead of choking.
+
+Usage:
+  smpmine_flight.py DUMP               pretty-print the report
+  smpmine_flight.py DUMP --validate    exit 0 iff structurally complete
+  smpmine_flight.py DUMP --json        machine-readable re-serialization
+
+Exit codes: 0 ok; 1 malformed or (under --validate) truncated; 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+
+MAGIC = "smpmine.flight.v1"
+END_MAGIC = "end " + MAGIC
+
+EVENT_KINDS = {
+    "none", "phase_enter", "phase_exit", "iteration", "lock_acquire",
+    "lock_release", "log_warn", "log_error", "high_water", "send",
+    "barrier_wait", "mark",
+}
+
+
+class ParseError(Exception):
+    """A line that a complete dump can never contain."""
+
+
+@dataclass
+class Event:
+    t_ns: int
+    seq: int
+    kind: str
+    name: str
+    detail: str
+    arg: int
+
+
+@dataclass
+class HeldLock:
+    addr: str
+    kind: str
+    name: str  # "" when the lock was never SMPMINE_LOCK_NAME'd
+
+
+@dataclass
+class ThreadReport:
+    index: int
+    name: str
+    dumper: bool
+    phase: str = ""
+    phase_arg: int = 0
+    held: list[HeldLock] = field(default_factory=list)
+    events: list[Event] = field(default_factory=list)
+    complete: bool = False  # saw "end thread <index>"
+
+
+@dataclass
+class FlightReport:
+    reason: str = ""
+    pid: int = 0
+    t_ns: int = 0
+    build: dict = field(default_factory=dict)
+    iteration: int = 0
+    events_total: int = 0
+    lost_threads: int = 0
+    metrics: dict = field(default_factory=dict)
+    threads: list[ThreadReport] = field(default_factory=list)
+    complete: bool = False  # saw the final end marker
+    warnings: list[str] = field(default_factory=list)
+
+
+def split_fields(line: str) -> list[str]:
+    """Tokenizes one line: whitespace-separated, with quoted strings
+    (backslash escapes for quote and backslash)."""
+    out: list[str] = []
+    i, n = 0, len(line)
+    while i < n:
+        if line[i].isspace():
+            i += 1
+            continue
+        if line[i] == '"':
+            i += 1
+            buf = []
+            while i < n and line[i] != '"':
+                if line[i] == "\\" and i + 1 < n:
+                    i += 1
+                buf.append(line[i])
+                i += 1
+            if i >= n:
+                raise ParseError("unterminated quoted string")
+            i += 1  # closing quote
+            out.append('"' + "".join(buf))  # keep a marker for "was quoted"
+        else:
+            j = i
+            while j < n and not line[j].isspace():
+                j += 1
+            out.append(line[i:j])
+            i = j
+    return out
+
+
+def unq(token: str) -> str:
+    if not token.startswith('"'):
+        raise ParseError(f"expected quoted string, got {token!r}")
+    return token[1:]
+
+
+def num(token: str) -> int:
+    try:
+        return int(token)
+    except ValueError as e:
+        raise ParseError(f"expected integer, got {token!r}") from e
+
+
+def parse(text: str) -> FlightReport:
+    """Parses a dump. Raises ParseError only for lines a well-formed dump
+    can never contain; truncation is reported via report.complete and
+    report.warnings instead."""
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != MAGIC:
+        raise ParseError(f"missing '{MAGIC}' header")
+
+    report = FlightReport()
+    current: ThreadReport | None = None
+    expect_events = 0
+
+    for lineno, raw in enumerate(lines[1:], start=2):
+        line = raw.strip()
+        if not line:
+            continue
+        if line == END_MAGIC:
+            report.complete = True
+            continue
+        try:
+            f = split_fields(line)
+        except ParseError:
+            # A torn final line (crash mid-write): keep what we have.
+            report.warnings.append(f"line {lineno}: torn line {line!r}")
+            continue
+        key = f[0]
+        try:
+            if key == "reason":
+                report.reason = unq(f[1])
+            elif key == "pid":
+                report.pid = num(f[1])
+            elif key == "t_ns":
+                report.t_ns = num(f[1])
+            elif key == "build":
+                for kv in f[1:]:
+                    k, _, v = kv.partition("=")
+                    report.build[k] = num(v)
+            elif key == "iteration":
+                report.iteration = num(f[1])
+            elif key == "events_total":
+                report.events_total = num(f[1])
+            elif key == "lost_threads":
+                report.lost_threads = num(f[1])
+            elif key == "metric":
+                report.metrics[unq(f[1])] = num(f[2])
+            elif key == "thread":
+                # thread <idx> name "<name>" dumper <0|1>
+                current = ThreadReport(
+                    index=num(f[1]), name=unq(f[3]), dumper=num(f[5]) != 0)
+                report.threads.append(current)
+                expect_events = 0
+            elif key == "phase":
+                # phase "<name>" arg <n>
+                if current is None:
+                    raise ParseError("phase line outside a thread block")
+                current.phase = unq(f[1])
+                current.phase_arg = num(f[3])
+            elif key == "held":
+                if current is None:
+                    raise ParseError("held line outside a thread block")
+                _ = num(f[1])  # declared count; lock lines follow
+            elif key == "lock":
+                # lock <addr> "<kind>" "<name>"
+                if current is None:
+                    raise ParseError("lock line outside a thread block")
+                current.held.append(
+                    HeldLock(addr=f[1], kind=unq(f[2]), name=unq(f[3])))
+            elif key == "events":
+                if current is None:
+                    raise ParseError("events line outside a thread block")
+                expect_events = num(f[1])
+            elif key == "ev":
+                # ev <t_ns> <seq> <kind> "<name>" "<detail>" <arg>
+                if current is None:
+                    raise ParseError("ev line outside a thread block")
+                kind = f[3]
+                if kind not in EVENT_KINDS:
+                    raise ParseError(f"unknown event kind {kind!r}")
+                current.events.append(
+                    Event(t_ns=num(f[1]), seq=num(f[2]), kind=kind,
+                          name=unq(f[4]), detail=unq(f[5]), arg=num(f[6])))
+            elif key == "end" and len(f) >= 3 and f[1] == "thread":
+                if current is None or num(f[2]) != current.index:
+                    raise ParseError("mismatched 'end thread' marker")
+                if expect_events and len(current.events) != expect_events:
+                    report.warnings.append(
+                        f"thread {current.index}: declared {expect_events} "
+                        f"events, parsed {len(current.events)}")
+                current.complete = True
+                current = None
+            else:
+                raise ParseError(f"unknown record {key!r}")
+        except (IndexError, ParseError) as e:
+            raise ParseError(f"line {lineno}: {e} in {line!r}") from e
+
+    if not report.complete:
+        report.warnings.append(f"truncated dump: no '{END_MAGIC}' marker")
+    for t in report.threads:
+        if not t.complete:
+            report.warnings.append(
+                f"thread {t.index} ({t.name}): block truncated")
+    return report
+
+
+def fmt_ns(t_ns: int) -> str:
+    return f"{t_ns / 1e9:.6f}s"
+
+
+def pretty(report: FlightReport, last: int) -> str:
+    out = [f"flight report: {report.reason}  (pid {report.pid}, "
+           f"at {fmt_ns(report.t_ns)})"]
+    build = " ".join(f"{k}={v}" for k, v in sorted(report.build.items()))
+    out.append(f"  build: {build or '?'}   iteration k={report.iteration}   "
+               f"events_total={report.events_total}")
+    if report.lost_threads:
+        out.append(f"  WARNING: {report.lost_threads} thread(s) exceeded the "
+                   "record table; their events were dropped")
+    nonzero = {k: v for k, v in report.metrics.items() if v}
+    if nonzero:
+        out.append("  metrics:")
+        for name in sorted(nonzero):
+            out.append(f"    {name:<34} {nonzero[name]}")
+    for t in report.threads:
+        marker = "  <-- wrote this dump" if t.dumper else ""
+        out.append(f"\nthread {t.index} \"{t.name}\"{marker}")
+        phase = t.phase or "(none)"
+        out.append(f"  active phase: {phase} (arg {t.phase_arg})")
+        if t.held:
+            out.append(f"  held locks ({len(t.held)}, acquisition order):")
+            for h in t.held:
+                label = h.name or "(unnamed)"
+                out.append(f"    {label:<28} {h.kind} @ {h.addr}")
+        else:
+            out.append("  held locks: none")
+        events = t.events[-last:] if last else t.events
+        out.append(f"  last {len(events)} of {len(t.events)} events:")
+        for ev in events:
+            arg = f" arg={ev.arg}" if ev.arg else ""
+            detail = f" [{ev.detail}]" if ev.detail else ""
+            out.append(f"    {fmt_ns(ev.t_ns):>14}  #{ev.seq:<7} "
+                       f"{ev.kind:<12} {ev.name}{detail}{arg}")
+        if not t.complete:
+            out.append("    ... (block truncated)")
+    for w in report.warnings:
+        out.append(f"\nwarning: {w}")
+    return "\n".join(out)
+
+
+def to_json(report: FlightReport) -> str:
+    def thread(t: ThreadReport) -> dict:
+        return {
+            "index": t.index, "name": t.name, "dumper": t.dumper,
+            "phase": t.phase, "phase_arg": t.phase_arg,
+            "held": [vars(h) for h in t.held],
+            "events": [vars(e) for e in t.events],
+            "complete": t.complete,
+        }
+
+    return json.dumps({
+        "schema": MAGIC,
+        "reason": report.reason,
+        "pid": report.pid,
+        "t_ns": report.t_ns,
+        "build": report.build,
+        "iteration": report.iteration,
+        "events_total": report.events_total,
+        "lost_threads": report.lost_threads,
+        "metrics": report.metrics,
+        "threads": [thread(t) for t in report.threads],
+        "complete": report.complete,
+        "warnings": report.warnings,
+    }, indent=2)
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("dump", help="smpmine.flight.v1 dump file")
+    ap.add_argument("--validate", action="store_true",
+                    help="exit 1 unless the dump is structurally complete")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the parsed report as JSON")
+    ap.add_argument("--last", type=int, default=16,
+                    help="events shown per thread when pretty-printing "
+                         "(0 = all; default 16)")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.dump, "r", encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    try:
+        report = parse(text)
+    except ParseError as e:
+        print(f"error: malformed dump: {e}", file=sys.stderr)
+        return 1
+
+    if args.validate:
+        for w in report.warnings:
+            print(f"warning: {w}", file=sys.stderr)
+        if not report.complete or any(not t.complete for t in report.threads):
+            print("error: dump is truncated", file=sys.stderr)
+            return 1
+        print(f"ok: {len(report.threads)} thread(s), "
+              f"{sum(len(t.events) for t in report.threads)} event(s), "
+              f"reason {report.reason!r}")
+        return 0
+
+    try:
+        print(to_json(report) if args.json else pretty(report, args.last))
+    except BrokenPipeError:  # e.g. piped into head; not an error
+        sys.stderr.close()  # suppress the interpreter's EPIPE warning
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -28,6 +28,8 @@ CASES = {
     "r2_bad": (1, "R2", "src/core/driver.cpp"),
     "r2_perf_good": (0, None, None),
     "r2_perf_bad": (1, "R2", "src/core/probe.cpp"),
+    "r2_signal_good": (0, None, None),
+    "r2_signal_bad": (1, "R2", "src/core/trap.cpp"),
     "r3_good": (0, None, None),
     "r3_bad": (1, "R3", "src/parallel/spinlock.hpp"),
     "r4_good": (0, None, None),

@@ -21,6 +21,9 @@ R2  threading primitives stay in src/parallel: std::thread, std::mutex
     Likewise the perf syscall surface stays in src/obs/perf: raw
     syscall()/perf_event_open outside that directory bypasses the backend
     selection and per-thread fd lifecycle the perf session manages.
+    Likewise the signal surface stays in src/obs/flight: sigaction/
+    sigaltstack/std::set_terminate and friends outside that directory
+    would fight the flight recorder's crash dumper for the same handlers.
 R3  memory_order_relaxed is allowlisted: only files with an audited reason
     to use it may, and every site needs a `relaxed-ok:` comment on the
     line or just above stating why relaxed ordering is sufficient.
@@ -80,6 +83,11 @@ R2_EXEMPT = ("src/parallel",)
 # The one directory allowed to open perf events / issue raw syscalls.
 R2_PERF_EXEMPT = ("src/obs/perf",)
 
+# The one directory allowed to install signal handlers / terminate hooks:
+# the flight recorder owns crash-time dumping, and a second sigaction
+# elsewhere would silently replace (or be replaced by) its handlers.
+R2_SIGNAL_EXEMPT = ("src/obs/flight",)
+
 # Files audited for relaxed atomics. A site in any other file is a finding
 # even if it carries a relaxed-ok comment — extend this list only with an
 # audit, not to silence the tool.
@@ -88,6 +96,8 @@ R3_ALLOWLIST = (
     "src/parallel/barrier.hpp",
     "src/obs/trace.hpp",
     "src/obs/metrics.hpp",
+    "src/obs/flight/flight_recorder.cpp",
+    "src/distmem/channel.hpp",
     "src/util/logging.cpp",
     "src/hashtree/tree_build.cpp",
     "src/hashtree/tree_count.cpp",
@@ -125,6 +135,11 @@ R2_PERF_TOKENS = re.compile(
     r"(\b(?:__NR_)?perf_event_open\b|\bsyscall\s*\()"
 )
 
+R2_SIGNAL_TOKENS = re.compile(
+    r"\b(sigaction|sigaltstack|sigemptyset|sigaddset|sigfillset|"
+    r"sigprocmask|std::signal|std::set_terminate)\b"
+)
+
 R4_ALLOC = re.compile(
     r"(\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|\bstrdup\s*\(|"
     r"\bmake_unique\b|\bmake_shared\b|\bto_string\s*\(|"
@@ -133,7 +148,8 @@ R4_ALLOC = re.compile(
 )
 
 TRACE_MACRO = re.compile(
-    r"\bSMPMINE_(?:TRACE_(?:SPAN|SPAN_ARG|PHASE)|PERF_PHASE)"
+    r"\bSMPMINE_(?:TRACE_(?:SPAN|SPAN_ARG|PHASE)|PERF_PHASE|"
+    r"FLIGHT_PHASE(?:_NAMED)?)"
     r"\s*\(\s*(?:\w+\s*,\s*)?\"([^\"]+)\""
 )
 
@@ -483,6 +499,7 @@ def check_r2(src: SourceFile) -> list[Finding]:
         return findings
     in_parallel = in_scope(src.rel, R2_EXEMPT)
     in_perf = in_scope(src.rel, R2_PERF_EXEMPT)
+    in_signal = in_scope(src.rel, R2_SIGNAL_EXEMPT)
     for idx, line in enumerate(src.code_lines):
         if line.lstrip().startswith("#"):
             continue  # includes are fine; usage is what leaks primitives
@@ -501,6 +518,15 @@ def check_r2(src: SourceFile) -> list[Finding]:
                 f"raw perf syscall '{p.group(1).strip()}' outside "
                 f"src/obs/perf — go through obs::perf so backend selection "
                 f"and fd lifecycle stay centralized (or justify with "
+                f"'lint-ok: R2')"))
+            continue
+        s = None if in_signal else R2_SIGNAL_TOKENS.search(line)
+        if s is not None and not src.has_marker(idx + 1, MARKER_OK["R2"]):
+            findings.append(Finding(
+                src.rel, idx + 1, "R2",
+                f"signal API '{s.group(1).strip()}' outside src/obs/flight "
+                f"— the flight recorder owns the crash handlers; a second "
+                f"sigaction would silently replace them (or justify with "
                 f"'lint-ok: R2')"))
     return findings
 

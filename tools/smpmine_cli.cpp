@@ -144,7 +144,20 @@ int main(int argc, char** argv) {
                "per-phase counter attribution: auto | hw | software | off "
                "(auto probes perf_event_open, falls back to software)",
                "off");
+  cli.add_flag("flight", "flight recorder (always-on black box): on | off",
+               "on");
+  cli.add_flag("flight-dump",
+               "pre-open this path for the smpmine.flight.v1 crash/stall "
+               "dump and install the crash handlers (decoder: "
+               "tools/flight/smpmine_flight.py)");
+  cli.add_flag("flight-watchdog-ms",
+               "dump a flight report when no event lands for this many "
+               "milliseconds (0 = no watchdog)", "0");
   if (!cli.parse(argc, argv)) return 1;
+
+  // Name the master thread unconditionally: the flight recorder (and the
+  // log-line prefix) want it even when tracing is off.
+  obs::set_current_thread_name("main");
 
   const std::string trace_path = cli.get("trace", "");
   const std::string metrics_path = cli.get("metrics", "");
@@ -152,7 +165,30 @@ int main(int argc, char** argv) {
     // Turn span collection on before any pool exists so worker tracks are
     // registered from their first task.
     obs::Tracer::instance().set_enabled(true);
-    obs::set_current_thread_name("main");
+  }
+  {
+    const std::string flight = cli.get("flight", "on");
+    if (flight == "off") {
+      obs::flight::set_enabled(false);
+    } else if (flight != "on") {
+      std::fprintf(stderr, "error: bad --flight '%s'\n", flight.c_str());
+      return 1;
+    }
+    const std::string dump_path = cli.get("flight-dump", "");
+    if (!dump_path.empty()) {
+      if (!obs::flight::set_dump_path(dump_path.c_str())) {
+        std::fprintf(stderr, "error: cannot open --flight-dump '%s'\n",
+                     dump_path.c_str());
+        return 1;
+      }
+      obs::flight::install_crash_handler();
+    }
+    const int watchdog_ms = cli.get_int("flight-watchdog-ms", 0);
+    if (watchdog_ms > 0) {
+      obs::flight::start_watchdog(static_cast<std::uint64_t>(watchdog_ms));
+    }
+    // Counters into crash dumps (cheap, idempotent; see flight_metrics.cpp).
+    obs::flight::sync_metrics_for_dump();
   }
   {
     const std::string backend_name = cli.get("perf-backend", "off");
