@@ -4,13 +4,15 @@
 #   1. release    : full ctest suite, optimized build
 #   2. tsan       : `race`-labeled high-contention suite under ThreadSanitizer
 #   3. asan-ubsan : full suite under Address+UndefinedBehaviorSanitizer
-#   4. checked    : full suite with SMPMINE_ASSERT invariants and the
-#                   lock-order recorder compiled in (`checked` preset)
+#   4. checked    : full suite with SMPMINE_ASSERT invariants, the
+#                   lock-order recorder, and the phase-epoch validator
+#                   compiled in (`checked` preset)
 #   5. lint       : smpmine-lint rules R1-R5 + the lint fixture self-test
 #                   (pure Python; clang-tidy runs in the tidy stage)
-#   6. analyze    : smpmine-analyze shared-state classification + static
-#                   lock-order graph vs. the checked-in baseline, plus the
-#                   analyze fixture self-test (pure Python)
+#   6. analyze    : smpmine-analyze shared-state classification, static
+#                   lock-order graph, and per-phase read/write effect sets
+#                   vs. their checked-in baselines, plus the analyze
+#                   fixture self-test (pure Python)
 #   7. tidy       : Clang rebuild with -Werror=thread-safety + clang-tidy
 #                   over src/ tests/ bench/ (skipped when clang is absent)
 #
@@ -47,7 +49,7 @@ for stage in "${STAGES[@]}"; do
       configure_build_test asan-ubsan
       ;;
     checked)
-      note "checked: full suite with invariant asserts + lock-order recorder"
+      note "checked: full suite with invariant asserts + lock-order recorder + phase-epoch validator"
       configure_build_test checked
       ;;
     lint)
@@ -56,7 +58,7 @@ for stage in "${STAGES[@]}"; do
       scripts/lint.sh
       ;;
     analyze)
-      note "analyze: smpmine-analyze fixture self-test + clean classification and lock-order baseline"
+      note "analyze: smpmine-analyze fixture self-test + clean classification, lock-order, and phase-effects baselines"
       python3 tools/analyze/analyze_selftest.py
       python3 tools/analyze/smpmine_analyze.py
       ;;

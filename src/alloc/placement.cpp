@@ -63,6 +63,11 @@ const char* to_string(SppVariant v) {
 
 PlacementArenas::PlacementArenas(PlacementPolicy policy, SppVariant variant)
     : policy_(policy), variant_(variant) {
+  // The arena bundle is recycled in candgen (reset), handed a remap region
+  // in remap — pccd remaps inside its fused worker candgen phase — and a
+  // freeze region in freeze; outside those phases it is append-only.
+  SMPMINE_PHASE_EPOCH_DECLARE(epoch_, "PlacementArenas", "candgen", "remap",
+                              "freeze");
   if (policy_uses_region(policy_)) {
     tree_ = std::make_unique<Region>();
   } else {
@@ -117,16 +122,19 @@ AllocStats PlacementArenas::tree_stats() const {
 }
 
 Region& PlacementArenas::remap_target() {
+  SMPMINE_PHASE_EPOCH_WRITE(epoch_);
   if (!remap_) remap_ = std::make_unique<Region>();
   return *remap_;
 }
 
 Region& PlacementArenas::freeze_target() {
+  SMPMINE_PHASE_EPOCH_WRITE(epoch_);
   if (!freeze_) freeze_ = std::make_unique<Region>();
   return *freeze_;
 }
 
 void PlacementArenas::reset() {
+  SMPMINE_PHASE_EPOCH_WRITE(epoch_);
   if (policy_uses_region(policy_)) {
     static_cast<Region*>(tree_.get())->reset();
   } else {

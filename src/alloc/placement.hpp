@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "alloc/region.hpp"
+#include "util/phase_epoch.hpp"
 
 namespace smpmine {
 
@@ -126,6 +127,10 @@ class PlacementArenas {
   /// Extra regions for the Individual/Grouped variants; entries may alias.
   std::vector<std::unique_ptr<Region>> extra_;
   Arena* kind_arena_[kNumBlockKinds] = {};
+  /// Phase-epoch stamp (SMPMINE_CHECKED validator, empty struct otherwise):
+  /// reset/remap_target/freeze_target may only run in their declared
+  /// phases (candgen / remap / freeze — see the constructor).
+  phaseepoch::PhaseEpoch epoch_;
 };
 
 }  // namespace smpmine

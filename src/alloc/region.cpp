@@ -20,7 +20,7 @@ Region::Region(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
 
 Region::~Region() = default;
 
-Region::Chunk& Region::grow(std::size_t min_bytes) {
+Region::Chunk& Region::grow(std::size_t min_bytes) REQUIRES(mu_) {
   const std::size_t size = std::max(chunk_bytes_, min_bytes);
   Chunk chunk;
   chunk.data = std::make_unique<std::byte[]>(size);

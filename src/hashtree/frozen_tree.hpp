@@ -42,6 +42,7 @@
 #include "alloc/placement.hpp"
 #include "data/database.hpp"
 #include "hashtree/hash_tree.hpp"
+#include "util/phase_epoch.hpp"
 #include "util/types.hpp"
 
 namespace smpmine {
@@ -184,6 +185,15 @@ class FrozenTree {
   /// lint-ok: R1 — immutable after construction.
   std::vector<std::uint32_t> level_begin_;
   std::uint32_t max_level_width_ = 0;
+
+  /// Phase-epoch stamps (SMPMINE_CHECKED validator, empty structs
+  /// otherwise): the structure arrays above may only be written in
+  /// `freeze`; the counter array in `freeze` (zero-fill), `count`
+  /// (Atomic/Locked modes) and `reduce` (LCA reduction).
+  /// lint-ok: R1 — checked-build validator, internally synchronized.
+  phaseepoch::PhaseEpoch structure_epoch_;
+  /// lint-ok: R1 — checked-build validator, internally synchronized.
+  phaseepoch::PhaseEpoch counter_epoch_;
 };
 
 }  // namespace smpmine

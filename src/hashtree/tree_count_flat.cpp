@@ -197,6 +197,11 @@ void FrozenTree::count_range(const Database& db, std::uint64_t begin,
                      (mode_ != CounterMode::PerThread ||
                       ctx.local_counts.size() == num_cands_),
                  "FlatCountContext is stale: prepared for another tree");
+  // PerThread mode writes only ctx.local_counts here; the shared counters
+  // are touched in reduce_into_shared (its own epoch check).
+  if (mode_ != CounterMode::PerThread) {
+    SMPMINE_PHASE_EPOCH_WRITE(counter_epoch_);
+  }
   const std::uint64_t tiles_before = ctx.tiles;
   const std::uint64_t prefetches_before = ctx.prefetches;
   const std::uint32_t levels =

@@ -29,6 +29,11 @@ FrozenTree::FrozenTree(const HashTree& tree, PlacementArenas& arenas)
   if (k_ > kMaxK) {
     throw std::invalid_argument("FrozenTree: k exceeds kMaxK");
   }
+  SMPMINE_PHASE_EPOCH_DECLARE(structure_epoch_, "FrozenTree::structure",
+                              "freeze");
+  SMPMINE_PHASE_EPOCH_DECLARE(counter_epoch_, "FrozenTree::counts_",
+                              "freeze", "count", "reduce");
+  SMPMINE_PHASE_EPOCH_WRITE(structure_epoch_);
 
   Region& structure = arenas.freeze_target();
   first_child_ = structure.alloc_array<std::uint32_t>(num_nodes_);
@@ -37,6 +42,7 @@ FrozenTree::FrozenTree(const HashTree& tree, PlacementArenas& arenas)
                                          num_cands_);
   orig_id_ = structure.alloc_array<std::uint32_t>(num_cands_);
   counts_ = arenas.counters().alloc_array<count_t>(num_cands_);
+  SMPMINE_PHASE_EPOCH_WRITE(counter_epoch_);
   for (std::uint32_t s = 0; s < num_cands_; ++s) counts_[s] = 0;
   if (mode_ == CounterMode::Locked) {
     locks_ = arenas.counters().alloc_array<SpinLock>(num_cands_);
@@ -116,6 +122,7 @@ void FrozenTree::reduce_into_shared(const FlatCountContext& ctx,
   SMPMINE_ASSERT(end_slot <= num_cands_ &&
                      ctx.local_counts.size() >= end_slot,
                  "reduction range exceeds the frozen slot space");
+  SMPMINE_PHASE_EPOCH_WRITE(counter_epoch_);
   // Reducers split the slot space; each shared counter has one writer and
   // plain additions suffice (LCA's synchronization-free reduction).
   for (std::uint32_t s = begin_slot; s < end_slot; ++s) {

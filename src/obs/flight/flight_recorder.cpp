@@ -1,5 +1,7 @@
 #include "obs/flight/flight_recorder.hpp"
 
+#include "util/phase_epoch.hpp"
+
 #include <fcntl.h>
 #include <time.h>
 #include <unistd.h>
@@ -555,6 +557,13 @@ void iteration(std::uint64_t k) noexcept {
 }
 
 PhaseScope::PhaseScope(const char* name, std::uint64_t arg) noexcept {
+#if SMPMINE_CHECKED_ENABLED
+  // The phase-epoch contract does not depend on the flight recorder being
+  // enabled: push before the runtime gate so checked builds always know the
+  // calling thread's phase.
+  phaseepoch::enter(name);
+  epoch_name_ = name;
+#endif
   if (!enabled()) return;
   ThreadRecord* rec = local_record();
   if (rec == nullptr) return;
@@ -573,6 +582,12 @@ PhaseScope::PhaseScope(const char* name, std::uint64_t arg) noexcept {
 }
 
 void PhaseScope::end() noexcept {
+#if SMPMINE_CHECKED_ENABLED
+  if (epoch_name_ != nullptr) {
+    phaseepoch::exit(epoch_name_);
+    epoch_name_ = nullptr;
+  }
+#endif
   if (name_ == nullptr) return;
   emit(EventKind::PhaseExit, name_, nullptr, arg_);
   if (ThreadRecord* rec = local_record(); rec != nullptr) {

@@ -140,6 +140,11 @@ class PhaseScope {
   std::uint64_t arg_ = 0;
   const char* prev_name_ = nullptr;
   std::uint64_t prev_arg_ = 0;
+  /// Phase pushed onto the phase-epoch stack (util/phase_epoch.hpp) in
+  /// SMPMINE_CHECKED builds; tracked separately from name_ because the
+  /// epoch contract applies even when the flight recorder itself is
+  /// disabled at runtime. Always nullptr in non-checked builds.
+  const char* epoch_name_ = nullptr;
 };
 
 // --- lock-order mirror (called by parallel/lock_order.cpp, checked builds)

@@ -1,0 +1,286 @@
+// Phase-epoch validator implementation. See phase_epoch.hpp for the model.
+//
+// Layering: lives in smpmine_util (with the lock-order recorder and the
+// flight recorder) because obs/flight/flight_recorder.cpp forwards its
+// PhaseScope enter/exit here in checked builds.
+#include "util/phase_epoch.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smpmine::phaseepoch {
+
+namespace {
+
+/// Deepest phase nesting tracked per thread. Real code nests two deep
+/// (iteration-level scope inside a worker phase is not a pattern here);
+/// deeper pushes are counted and ignored so exit() stays balanced.
+constexpr std::size_t kMaxPhaseDepth = 16;
+
+struct PhaseStack {
+  const char* names[kMaxPhaseDepth];
+  std::size_t depth = 0;     // entries actually stored
+  std::size_t overflow = 0;  // pushes past kMaxPhaseDepth
+};
+
+thread_local PhaseStack t_stack;
+
+/// Process-wide observed (structure, phase) write pairs.
+struct Observed {
+  // lint-ok: R2 — checked-build diagnostics below the parallel/ layer; the
+  // Mutex wrapper reports into the lock-order and flight recorders, which
+  // would re-enter diagnostics from inside diagnostics (same reasoning as
+  // the lock-order recorder's own graph mutex).
+  std::mutex mu;
+  // analyze-ok: guarded by mu — every access below takes o.mu first; the
+  // recorder is outside the analyzer's TSA scope because Mutex-wrapper
+  // layering is inverted here (see the R2 note above).
+  std::vector<std::pair<const char*, const char*>> writes;
+  // analyze-ok: guarded by mu — see `writes`.
+  std::uint64_t generation = 1;  // bumped by reset_for_test
+};
+
+/// Intentionally leaked, same reasoning as the lock-order recorder's graph:
+/// the table is first touched after the static-init-time
+/// atexit(dump_at_exit) registration below, so a static object would be
+/// destroyed before the atexit callback reads it and every
+/// SMPMINE_PHASE_EPOCH_DUMP file would come out empty.
+Observed& observed() {
+  static Observed* o = new Observed;
+  return *o;
+}
+
+// Writes this thread already pushed into the table, so steady-state
+// on_write() is one thread-local hash probe, not a global mutex trip.
+thread_local std::vector<std::uint64_t> t_seen;
+thread_local std::uint64_t t_seen_generation = 0;
+
+std::uint64_t pair_key(const char* structure, const char* phase) {
+  const auto a = reinterpret_cast<std::uintptr_t>(structure);
+  const auto b = reinterpret_cast<std::uintptr_t>(phase);
+  return (static_cast<std::uint64_t>(a) * 0x9e3779b97f4a7c15ULL) ^
+         static_cast<std::uint64_t>(b);
+}
+
+void record_write(const char* structure, const char* phase) noexcept {
+  try {
+    Observed& o = observed();
+    const std::uint64_t key = pair_key(structure, phase);
+    {
+      // lint-ok: R2 — see the Observed declaration.
+      std::lock_guard<std::mutex> guard(o.mu);
+      if (t_seen_generation == o.generation) {
+        for (std::uint64_t k : t_seen) {
+          if (k == key) return;
+        }
+      } else {
+        t_seen.clear();
+        t_seen_generation = o.generation;
+      }
+      for (const auto& [s, p] : o.writes) {
+        if (std::strcmp(s, structure) == 0 && std::strcmp(p, phase) == 0) {
+          t_seen.push_back(key);
+          return;
+        }
+      }
+      o.writes.emplace_back(structure, phase);
+      t_seen.push_back(key);
+    }
+  } catch (...) {
+    // Recording is diagnostics; never take down the write path.
+  }
+}
+
+void json_escape_into(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+/// atexit callback: a checked process honors SMPMINE_PHASE_EPOCH_DUMP
+/// without opt-in code in main() (mirrors SMPMINE_LOCK_ORDER_DUMP).
+void dump_at_exit() {
+  const char* path = std::getenv("SMPMINE_PHASE_EPOCH_DUMP");
+  if (path != nullptr && *path != '\0') dump(path);
+}
+
+struct DumpAtExitRegistrar {
+  DumpAtExitRegistrar() {
+    if (SMPMINE_CHECKED_ENABLED &&
+        std::getenv("SMPMINE_PHASE_EPOCH_DUMP") != nullptr) {
+      std::atexit(dump_at_exit);
+    }
+  }
+};
+DumpAtExitRegistrar dump_registrar;
+
+}  // namespace
+
+void enter(const char* name) noexcept {
+  PhaseStack& st = t_stack;
+  if (name == nullptr) name = "";
+  if (st.depth < kMaxPhaseDepth) {
+    st.names[st.depth++] = name;
+  } else {
+    ++st.overflow;
+  }
+}
+
+void exit(const char* name) noexcept {
+  PhaseStack& st = t_stack;
+  if (st.overflow > 0) {
+    --st.overflow;
+    return;
+  }
+  if (st.depth == 0) {
+    std::fprintf(stderr,
+                 "smpmine-phase-epoch: exit('%s') with empty phase stack\n",
+                 name != nullptr ? name : "");
+    std::abort();
+  }
+  const char* top = st.names[st.depth - 1];
+  if (name != nullptr && std::strcmp(top, name) != 0) {
+    std::fprintf(stderr,
+                 "smpmine-phase-epoch: exit('%s') does not match the "
+                 "innermost phase '%s'\n",
+                 name, top);
+    std::abort();
+  }
+  --st.depth;
+}
+
+const char* current() noexcept {
+  const PhaseStack& st = t_stack;
+  return st.depth > 0 ? st.names[st.depth - 1] : "";
+}
+
+#if SMPMINE_CHECKED_ENABLED
+
+void PhaseEpoch::declare(const char* name, const char* const* phases,
+                         std::size_t n_phases) noexcept {
+  name_ = name != nullptr ? name : "?";
+  n_phases_ = n_phases < kMaxWritePhases ? n_phases : kMaxWritePhases;
+  for (std::size_t i = 0; i < n_phases_; ++i) phases_[i] = phases[i];
+  stamp_ = nullptr;
+}
+
+void PhaseEpoch::on_write() const noexcept {
+  const char* phase = current();
+  if (*phase == '\0') return;  // outside any phase: unconstrained (tests)
+  for (std::size_t i = 0; i < n_phases_; ++i) {
+    if (std::strcmp(phases_[i], phase) == 0) {
+      stamp_ = phases_[i];
+      record_write(name_, phases_[i]);
+      return;
+    }
+  }
+  // Violation: print BOTH phase names — the writer's and the declared
+  // write-phase set (plus the stamp of the last legal write) — then abort.
+  std::fprintf(stderr,
+               "smpmine-phase-epoch: '%s' written in phase '%s' but its "
+               "declared write phase%s ",
+               name_, phase, n_phases_ == 1 ? " is" : "s are");
+  for (std::size_t i = 0; i < n_phases_; ++i) {
+    std::fprintf(stderr, "%s'%s'", i == 0 ? "" : ", ", phases_[i]);
+  }
+  if (stamp_ != nullptr) {
+    std::fprintf(stderr, " (last legal write stamped in phase '%s')",
+                 stamp_);
+  }
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
+const char* PhaseEpoch::last_write_phase() const noexcept {
+  return stamp_ != nullptr ? stamp_ : "";
+}
+
+#endif  // SMPMINE_CHECKED_ENABLED
+
+std::size_t observed_count() noexcept {
+  Observed& o = observed();
+  // lint-ok: R2 — see the Observed declaration.
+  std::lock_guard<std::mutex> guard(o.mu);
+  return o.writes.size();
+}
+
+void reset_for_test() noexcept {
+  Observed& o = observed();
+  // lint-ok: R2 — see the Observed declaration.
+  std::lock_guard<std::mutex> guard(o.mu);
+  o.writes.clear();
+  ++o.generation;
+  t_stack.depth = 0;
+  t_stack.overflow = 0;
+}
+
+bool dump(const char* path) noexcept {
+  try {
+    Observed& o = observed();
+    // lint-ok: R2 — see the Observed declaration.
+    std::lock_guard<std::mutex> guard(o.mu);
+
+    // Resolve "path is a directory" (or trailing '/') to a per-pid file so
+    // a parallel ctest run can aim every test process at one merge dir.
+    std::string out_path = path;
+    struct stat st {};
+    const bool is_dir =
+        (!out_path.empty() && out_path.back() == '/') ||
+        (::stat(out_path.c_str(), &st) == 0 && S_ISDIR(st.st_mode));
+    if (is_dir) {
+      if (out_path.back() != '/') out_path.push_back('/');
+      out_path += "phase_effects." + std::to_string(::getpid()) + ".json";
+    }
+
+    std::string json;
+    json.reserve(128 + 48 * o.writes.size());
+    json += "{\n  \"schema\": \"smpmine.phase_effects.runtime.v1\",\n";
+    json += "  \"pid\": " + std::to_string(::getpid()) + ",\n";
+    json += "  \"writes\": [\n";
+    bool first = true;
+    for (const auto& [structure, phase] : o.writes) {
+      json += first ? "    " : ",\n    ";
+      first = false;
+      json += "{\"structure\": \"";
+      json_escape_into(json, structure);
+      json += "\", \"phase\": \"";
+      json_escape_into(json, phase);
+      json += "\"}";
+    }
+    json += "\n  ]\n}\n";
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr,
+                   "smpmine-checked: cannot open phase-epoch dump '%s'\n",
+                   out_path.c_str());
+      return false;
+    }
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    return ok;
+  } catch (...) {
+    return false;  // dump is best-effort diagnostics; never take down exit
+  }
+}
+
+}  // namespace smpmine::phaseepoch

@@ -1,0 +1,130 @@
+// Phase-epoch validator (SMPMINE_CHECKED builds).
+//
+// The miners are level-synchronous: candgen -> remap -> freeze -> count ->
+// reduce -> select, with barriers in between. Several shared structures are
+// only safe because of that phase discipline — the FrozenTree's CSR/SoA
+// arrays are written once in `freeze` and read-only for the whole `count`
+// phase, the PlacementArenas regions are recycled in `candgen` and then
+// append-only until the next iteration. tools/analyze/smpmine_analyze.py
+// proves those effect sets statically (--checks phase-effects); this
+// facility is the runtime half of the same contract, mirroring how
+// parallel/lock_order.hpp pairs with the static lock-order baseline.
+//
+// Under the `checked` preset (SMPMINE_CHECKED_ENABLED=1):
+//   - every flight-recorder PhaseScope (SMPMINE_FLIGHT_PHASE and friends,
+//     which lint rule R5 keeps in lockstep with the trace/perf phase macros)
+//     pushes its phase name onto a thread-local stack via enter()/exit(),
+//     so current() names the innermost phase the calling thread is in;
+//   - a guarded structure embeds a PhaseEpoch member, declare()s the set of
+//     phases allowed to mutate it, and calls on_write() at each mutation
+//     site. A write from any other phase aborts printing BOTH phase names —
+//     the violating phase and the declared write-phase(s) plus the epoch
+//     stamp (the phase that last legally wrote the structure);
+//   - every (structure, phase) write actually observed is recorded in a
+//     process-wide table. When SMPMINE_PHASE_EPOCH_DUMP is set the table is
+//     dumped as JSON at exit (a directory value gets per-pid files, like
+//     SMPMINE_LOCK_ORDER_DUMP), and the analyzer merges those runtime
+//     effects into the phase_effects baseline gate.
+//
+// Writes outside any phase (current() == "") always pass: unit tests drive
+// FrozenTree and PlacementArenas directly without the miners' phase scopes,
+// and the contract only constrains code running inside a declared phase.
+//
+// With SMPMINE_CHECKED_ENABLED=0 every macro below is `((void)0)` — no
+// evaluation, no state, no codegen (tests/negative/phase_epoch_off_noop.cpp
+// pins the expansion from both sides) — and PhaseEpoch is an empty struct.
+#pragma once
+
+#include <cstddef>
+
+#ifndef SMPMINE_CHECKED_ENABLED
+#define SMPMINE_CHECKED_ENABLED 0
+#endif
+
+namespace smpmine::phaseepoch {
+
+/// Pushes `name` (a string literal) onto the calling thread's phase stack.
+/// Called by the flight recorder's PhaseScope constructor in checked builds.
+void enter(const char* name) noexcept;
+
+/// Pops the innermost phase. `name` must match the matching enter() (RAII
+/// scoping guarantees LIFO; a mismatch aborts in checked builds).
+void exit(const char* name) noexcept;
+
+/// The calling thread's innermost phase name, or "" outside any phase.
+const char* current() noexcept;
+
+#if SMPMINE_CHECKED_ENABLED
+
+/// Epoch stamp embedded in a guarded structure. declare() once (typically
+/// in the owner's constructor), on_write() at every mutation site. All
+/// methods are thread-safe; on_write from a phase outside the declared set
+/// aborts with both phase names.
+class PhaseEpoch {
+ public:
+  static constexpr std::size_t kMaxWritePhases = 4;
+
+  /// Registers the structure's name and its allowed write phases. `name`
+  /// and every phase must be string literals (static storage; pointers are
+  /// kept, not copies). Call once before the first on_write.
+  void declare(const char* name, const char* const* phases,
+               std::size_t n_phases) noexcept;
+
+  /// Records a mutation of the guarded structure from the calling thread's
+  /// current phase. Allowed phases stamp the epoch and are logged into the
+  /// process-wide observed-effects table; a disallowed phase aborts,
+  /// printing the violating phase, the declared write-phase set, and the
+  /// last stamp. Outside any phase this is a no-op pass.
+  void on_write() const noexcept;
+
+  /// The phase that last legally wrote the structure ("" before any).
+  const char* last_write_phase() const noexcept;
+
+ private:
+  const char* name_ = "?";
+  const char* phases_[kMaxWritePhases] = {};
+  std::size_t n_phases_ = 0;
+  // Stamp of the last legal write; mutable so const read paths
+  // (FrozenTree::count_range and friends) can record their writes.
+  mutable const char* stamp_ = nullptr;
+};
+
+#else  // !SMPMINE_CHECKED_ENABLED
+
+/// Zero-size placeholder so guarded structures can embed a member
+/// unconditionally; the hook macros never touch it in this configuration.
+struct PhaseEpoch {};
+
+#endif
+
+/// Observed (structure, phase) write pairs recorded so far (test hook).
+std::size_t observed_count() noexcept;
+
+/// Drops the observed-effects table and the calling thread's phase stack.
+/// Tests only; callers must be single-threaded with respect to phase
+/// activity.
+void reset_for_test() noexcept;
+
+/// Writes the observed-effects table as JSON (schema
+/// smpmine.phase_effects.runtime.v1) to `path`; a directory (or trailing
+/// '/') gets `phase_effects.<pid>.json` inside it. Returns false when the
+/// file cannot be opened. The exit-time dump triggered by
+/// SMPMINE_PHASE_EPOCH_DUMP uses this.
+bool dump(const char* path) noexcept;
+
+}  // namespace smpmine::phaseepoch
+
+#if SMPMINE_CHECKED_ENABLED
+// `...` is the declared write-phase list (string literals).
+#define SMPMINE_PHASE_EPOCH_DECLARE(epoch, structure, ...)             \
+  do {                                                                 \
+    static const char* const smpmine_epoch_phases[] = {__VA_ARGS__};   \
+    (epoch).declare((structure), smpmine_epoch_phases,                 \
+                    sizeof smpmine_epoch_phases /                      \
+                        sizeof smpmine_epoch_phases[0]);               \
+  } while (0)
+#define SMPMINE_PHASE_EPOCH_WRITE(epoch) (epoch).on_write()
+#else
+#define SMPMINE_PHASE_EPOCH_DECLARE(epoch, structure, ...) ((void)0)
+#define SMPMINE_PHASE_EPOCH_WRITE(epoch) ((void)0)
+#endif

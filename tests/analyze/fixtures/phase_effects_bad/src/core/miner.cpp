@@ -1,0 +1,33 @@
+// Phase-effects violating fixture: the count scope — opened by an
+// invocation clang-format split across lines, which a per-line scanner
+// would silently skip — writes a structure field of the frozen tree.
+// After freeze the structure is read-only; only the counter plane may
+// change, so the frozen-tree contract check must fire.
+#include <optional>
+
+namespace fixture {
+
+class FrozenTree {
+ public:
+  explicit FrozenTree(int n) : num_nodes_(n) {}
+  void clobber(int n) { num_nodes_ = n; }
+  int nodes() const { return num_nodes_; }
+
+ private:
+  int num_nodes_ = 0;
+};
+
+void iteration() {
+  std::optional<FrozenTree> frozen;
+  {
+    SMPMINE_TRACE_SPAN("freeze");
+    frozen.emplace(4);
+  }
+  {
+    SMPMINE_TRACE_SPAN(
+        "count");
+    frozen->clobber(7);
+  }
+}
+
+}  // namespace fixture

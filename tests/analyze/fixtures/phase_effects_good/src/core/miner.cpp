@@ -1,0 +1,52 @@
+// Phase-effects passing fixture: the frozen tree is constructed inside
+// the freeze scope (its structure writes land in the constructor and its
+// member-init list), the count scope only bumps the counter plane — both
+// within the frozen-tree contract — and the one genuine cross-phase
+// hazard (reduce publishes Accumulator::total_, select reads it) carries
+// a written justification in the checked-in baseline.
+#include <cstdint>
+#include <optional>
+
+namespace fixture {
+
+class FrozenTree {
+ public:
+  explicit FrozenTree(int n) : num_nodes_(n) { counts_ = nullptr; }
+  void count_range(int s) { ++counts_[s]; }
+  int nodes() const { return num_nodes_; }
+
+ private:
+  int num_nodes_ = 0;
+  std::uint32_t* counts_ = nullptr;
+};
+
+class Accumulator {
+ public:
+  void publish(int total) { total_ = total; }
+  int read_total() const { return total_; }
+
+ private:
+  int total_ = 0;
+};
+
+void iteration(Accumulator& acc) {
+  std::optional<FrozenTree> frozen;
+  {
+    SMPMINE_TRACE_SPAN("freeze");
+    frozen.emplace(4);
+  }
+  {
+    SMPMINE_PERF_PHASE("count");
+    frozen->count_range(frozen->nodes());
+  }
+  {
+    SMPMINE_TRACE_SPAN("reduce");
+    acc.publish(3);
+  }
+  {
+    SMPMINE_TRACE_SPAN("select");
+    (void)acc.read_total();
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Phase-effects violating fixture: candgen seeds the accumulator and
+// count reads it — a cross-phase write/read pair on a field with no
+// protected lattice class, no phase-ok marker, no phase suppression, and
+// no entry in the checked-in baseline. The gate must demand an audited
+// baseline entry.
+namespace fixture {
+
+class Accumulator {
+ public:
+  void seed(int v) { total_ = v; }
+  int read_total() const { return total_; }
+
+ private:
+  int total_ = 0;
+};
+
+void iteration(Accumulator& acc) {
+  {
+    SMPMINE_TRACE_SPAN("candgen");
+    acc.seed(2);
+  }
+  {
+    SMPMINE_TRACE_SPAN("count");
+    (void)acc.read_total();
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,171 @@
+// Phase-epoch validator tests (SMPMINE_CHECKED builds).
+//
+// The death tests drive real epoch-guarded structures — a FrozenTree and a
+// PlacementArenas — through the production phase machinery (the flight
+// recorder's PhaseScope, which forwards enter/exit to the epoch stack in
+// checked builds) and expect the validator to abort printing BOTH phase
+// names: the violating phase and the declared write-phase set. In
+// non-checked builds the hooks are ((void)0) and everything here skips
+// (tests/negative/phase_epoch_off_noop.cpp pins that expansion).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/database.hpp"
+#include "hashtree/frozen_tree.hpp"
+#include "hashtree/hash_tree.hpp"
+#include "itemset/itemset.hpp"
+#include "obs/flight/flight_recorder.hpp"
+#include "util/phase_epoch.hpp"
+
+namespace smpmine {
+namespace {
+
+class PhaseEpochTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!SMPMINE_CHECKED_ENABLED) {
+      GTEST_SKIP() << "SMPMINE_CHECKED is off; epoch hooks compile to no-ops";
+    }
+    phaseepoch::reset_for_test();
+  }
+
+  // Reset on the way out too: when the suite runs under
+  // SMPMINE_PHASE_EPOCH_DUMP, this binary's exit-time dump must not leak
+  // fixture writes into the production phase-effects merge.
+  void TearDown() override {
+    if (SMPMINE_CHECKED_ENABLED) phaseepoch::reset_for_test();
+  }
+};
+
+using PhaseEpochDeathTest = PhaseEpochTest;
+
+Database small_db() {
+  Database db;
+  for (int t = 0; t < 12; ++t) {
+    std::vector<item_t> txn;
+    for (item_t i = 0; i < 4; ++i) {
+      txn.push_back(static_cast<item_t>((t + i) % 8));
+    }
+    db.add_transaction(txn);
+  }
+  return db;
+}
+
+/// k=2 tree over all pairs of an 8-item universe; freeze runs inside a
+/// production "freeze" phase scope so the epoch stamps are the real ones.
+struct FrozenFixture {
+  explicit FrozenFixture(CounterMode mode)
+      : arenas(PlacementPolicy::SPP),
+        policy(HashScheme::Interleaved, 2),
+        tree({.k = 2, .fanout = 2, .leaf_threshold = 2, .counter_mode = mode},
+             policy, arenas),
+        frozen([this] {
+          std::vector<item_t> base(8);
+          for (item_t i = 0; i < 8; ++i) base[i] = i;
+          for (const auto& pair : k_subsets(base, 2)) tree.insert(pair);
+          obs::flight::PhaseScope freeze_scope("freeze", 2);
+          return FrozenTree(tree, arenas);
+        }()) {}
+  PlacementArenas arenas;
+  HashPolicy policy;
+  HashTree tree;
+  FrozenTree frozen;
+};
+
+TEST_F(PhaseEpochTest, EnterExitMaintainsCurrentPhase) {
+  EXPECT_STREQ(phaseepoch::current(), "");
+  {
+    obs::flight::PhaseScope outer("count", 2);
+    EXPECT_STREQ(phaseepoch::current(), "count");
+    {
+      obs::flight::PhaseScope inner("reduce", 2);
+      EXPECT_STREQ(phaseepoch::current(), "reduce");
+    }
+    EXPECT_STREQ(phaseepoch::current(), "count");
+  }
+  EXPECT_STREQ(phaseepoch::current(), "");
+}
+
+TEST_F(PhaseEpochTest, EndIsIdempotentOnTheEpochStack) {
+  obs::flight::PhaseScope scope("count", 2);
+  scope.end();
+  EXPECT_STREQ(phaseepoch::current(), "");
+  scope.end();  // second end must not pop someone else's phase
+  EXPECT_STREQ(phaseepoch::current(), "");
+}
+
+TEST_F(PhaseEpochTest, DeclaredWritePhasePasses) {
+  const Database db = small_db();
+  FrozenFixture fx(CounterMode::Atomic);  // freeze write already passed
+  FlatCountContext ctx;
+  fx.frozen.prepare_context(ctx);
+  {
+    obs::flight::PhaseScope count_scope("count", 2);
+    fx.frozen.count_range(db, 0, db.size(), ctx);
+  }
+  EXPECT_GE(phaseepoch::observed_count(), 2u);  // freeze + count writes
+}
+
+TEST_F(PhaseEpochTest, OutsideAnyPhaseIsUnconstrained) {
+  const Database db = small_db();
+  FrozenFixture fx(CounterMode::Atomic);
+  FlatCountContext ctx;
+  fx.frozen.prepare_context(ctx);
+  fx.frozen.count_range(db, 0, db.size(), ctx);  // no phase: must pass
+}
+
+TEST_F(PhaseEpochDeathTest, WriteOutsideDeclaredPhaseAbortsWithBothNames) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Database db = small_db();
+  FrozenFixture fx(CounterMode::Atomic);
+  FlatCountContext ctx;
+  fx.frozen.prepare_context(ctx);
+  // The violating phase AND the declared write-phase set must both be in
+  // the abort message.
+  EXPECT_DEATH(
+      {
+        obs::flight::PhaseScope select_scope("select", 2);
+        fx.frozen.count_range(db, 0, db.size(), ctx);
+      },
+      "'FrozenTree::counts_' written in phase 'select'.*'count'");
+}
+
+TEST_F(PhaseEpochDeathTest, ArenaResetOutsideItsPhasesAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  PlacementArenas arenas(PlacementPolicy::SPP);
+  EXPECT_DEATH(
+      {
+        obs::flight::PhaseScope count_scope("count", 3);
+        arenas.reset();
+      },
+      "'PlacementArenas' written in phase 'count'.*'candgen'");
+}
+
+TEST_F(PhaseEpochDeathTest, UnbalancedExitAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(phaseepoch::exit("count"), "empty phase stack");
+}
+
+TEST_F(PhaseEpochTest, DumpWritesObservedEffects) {
+  FrozenFixture fx(CounterMode::Atomic);  // freeze write recorded above
+  std::string path = ::testing::TempDir() + "phase_epoch_dump.json";
+  ASSERT_TRUE(phaseepoch::dump(path.c_str()));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("smpmine.phase_effects.runtime.v1"), std::string::npos);
+  EXPECT_NE(json.find("\"structure\": \"FrozenTree::structure\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"phase\": \"freeze\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace smpmine

@@ -1,0 +1,14 @@
+// R5 cross-family violating fixture: both names exist in stats.hpp, but
+// the perf scope and the flight scope at the same site disagree — counter
+// attribution and the flight dump would file the same work under
+// different phases.
+#include "core/stats.hpp"
+
+namespace fixture {
+
+void mine() {
+  SMPMINE_PERF_PHASE("candgen");
+  SMPMINE_FLIGHT_PHASE("count", 2);
+}
+
+}  // namespace fixture

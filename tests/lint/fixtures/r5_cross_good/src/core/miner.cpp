@@ -1,0 +1,15 @@
+// R5 cross-family passing fixture: the trace/perf/flight triple opening a
+// phase body agrees on the phase name, including when clang-format wraps
+// an invocation so its name string lands on the next line.
+#include "core/stats.hpp"
+
+namespace fixture {
+
+void mine() {
+  SMPMINE_TRACE_SPAN_ARG(
+      "candgen", "k", 2);
+  SMPMINE_PERF_PHASE("candgen");
+  SMPMINE_FLIGHT_PHASE("candgen", 2);
+}
+
+}  // namespace fixture

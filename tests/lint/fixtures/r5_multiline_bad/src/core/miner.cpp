@@ -1,0 +1,14 @@
+// R5 multi-line violating fixture: the invocation is split so the name
+// string sits on the line after the macro token. A per-line scanner skips
+// this site silently; the joined-text scanner must still flag the unknown
+// phase name.
+#include "core/stats.hpp"
+
+namespace fixture {
+
+void mine() {
+  SMPMINE_TRACE_SPAN(
+      "warmup");
+}
+
+}  // namespace fixture

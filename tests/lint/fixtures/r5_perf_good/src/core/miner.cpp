@@ -5,9 +5,14 @@
 namespace fixture {
 
 void mine() {
-  SMPMINE_PERF_PHASE("candgen");
-  SMPMINE_TRACE_SPAN("count");
-  SMPMINE_PERF_PHASE("count");
+  {
+    SMPMINE_PERF_PHASE("candgen");
+  }
+
+  {
+    SMPMINE_TRACE_SPAN("count");
+    SMPMINE_PERF_PHASE("count");
+  }
 }
 
 }  // namespace fixture

@@ -1,0 +1,25 @@
+// Compile-pair probe of the phase-epoch gate (see tests/CMakeLists.txt).
+//
+// probe() is constant-evaluated by the static_assert below. With
+// SMPMINE_CHECKED_ENABLED=0 both hook macros expand to ((void)0) and
+// PhaseEpoch is an empty struct, so the evaluation succeeds — proving the
+// epoch validator really erases to nothing outside checked builds. With
+// SMPMINE_CHECKED_ENABLED=1 the macros expand to calls into the
+// (non-constexpr) validator, which cannot appear in a constant evaluation,
+// so compilation must fail — proving the hooks really emit code when the
+// gate is on.
+#include "util/phase_epoch.hpp"
+
+namespace {
+
+constexpr int probe() {
+  smpmine::phaseepoch::PhaseEpoch epoch;
+  SMPMINE_PHASE_EPOCH_DECLARE(epoch, "probe", "freeze");
+  SMPMINE_PHASE_EPOCH_WRITE(epoch);
+  return 0;
+}
+
+static_assert(probe() == 0,
+              "SMPMINE_CHECKED=OFF must compile the epoch hooks to no-ops");
+
+}  // namespace

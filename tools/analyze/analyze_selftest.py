@@ -49,6 +49,17 @@ CASES = {
         ["--checks", "lock-order",
          "--runtime-dump", "{root}/runtime/lock_order.1.json"]),
     "suppress_nojust_bad": (2, None, []),
+    "phase_effects_good": (
+        0, None,
+        ["--checks", "phase-effects",
+         "--runtime-effects", "{root}/runtime/phase_effects.1.json"]),
+    "phase_effects_bad": (
+        1, "frozen-tree contract: 'FrozenTree::num_nodes_' is written in "
+           "phase 'count'",
+        ["--checks", "phase-effects"]),
+    "phase_undeclared_bad": (
+        1, "is not in the phase-effects baseline",
+        ["--checks", "phase-effects"]),
 }
 
 
@@ -143,6 +154,95 @@ def check_runtime_only_warns() -> list[str]:
     return errors
 
 
+def check_effects_update_baseline() -> list[str]:
+    """The phase-effects --update-baseline flow: recording the undeclared
+    hazard must still fail (its why is empty), writing a justification
+    must make the rerun clean; the fixture's checked-in baseline is
+    restored."""
+    import json
+    root = os.path.join(FIXTURES, "phase_undeclared_bad")
+    baseline = os.path.join(root, "tools", "analyze",
+                            "phase_effects.baseline.json")
+    with open(baseline, encoding="utf-8") as fh:
+        original = fh.read()
+    errors: list[str] = []
+    base_args = [sys.executable, ANALYZE, "--root", root, "--backend",
+                 "regex", "--checks", "phase-effects"]
+    try:
+        proc = subprocess.run(base_args + ["--update-baseline"],
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            errors.append(
+                f"effects --update-baseline failed: {proc.stdout!r}")
+        proc = subprocess.run(base_args, capture_output=True, text=True)
+        if proc.returncode != 1 or \
+                "no written justification" not in proc.stdout:
+            errors.append(
+                f"recorded hazard with an empty why must still fail: exit "
+                f"{proc.returncode}, stdout {proc.stdout.strip()!r}")
+        with open(baseline, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        for h in doc.get("hazards", []):
+            h["why"] = "selftest: master-serial handoff"
+        with open(baseline, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+        proc = subprocess.run(base_args, capture_output=True, text=True)
+        if proc.returncode != 0:
+            errors.append(
+                f"justified baseline not clean: {proc.stdout.strip()!r}")
+    finally:
+        with open(baseline, "w", encoding="utf-8") as fh:
+            fh.write(original)
+    return errors
+
+
+def check_effects_runtime_warns() -> list[str]:
+    """A runtime-observed epoch write the baseline does not cover warns
+    (coverage depends on which tests ran) but must not fail the gate."""
+    root = os.path.join(FIXTURES, "phase_effects_good")
+    proc = subprocess.run(
+        [sys.executable, ANALYZE, "--root", root, "--backend", "regex",
+         "--checks", "phase-effects", "--runtime-effects",
+         os.path.join(root, "runtime", "phase_effects.2.json")],
+        capture_output=True, text=True)
+    errors: list[str] = []
+    if proc.returncode != 0:
+        errors.append(
+            f"unknown runtime-only effect failed the gate (exit "
+            f"{proc.returncode}); it should only warn:\n"
+            f"  stdout: {proc.stdout.strip()!r}\n"
+            f"  stderr: {proc.stderr.strip()!r}")
+    elif "runtime-observed write of 'FrozenTree::structure'" \
+            not in proc.stderr:
+        errors.append(
+            f"unknown runtime effect produced no warning: {proc.stderr!r}")
+    return errors
+
+
+def check_backend_agreement() -> tuple[list[str], bool]:
+    """When the libclang bindings are importable, the clang backend must
+    agree with the regex backend on every fixture's exit code. Skipped
+    (not failed) where the bindings are absent — the container images
+    don't all carry them."""
+    sys.path.insert(0, os.path.join(ROOT, "tools", "lint"))
+    import smpmine_lint
+    if smpmine_lint.load_libclang() is None:
+        return [], False
+    errors: list[str] = []
+    for name, (expect_exit, _, extra) in sorted(CASES.items()):
+        root = os.path.join(FIXTURES, name)
+        args = [sys.executable, ANALYZE, "--root", root,
+                "--backend", "clang"]
+        args += [a.format(root=root) for a in extra]
+        proc = subprocess.run(args, capture_output=True, text=True)
+        if proc.returncode != expect_exit:
+            errors.append(
+                f"backend disagreement on {name}: clang exit "
+                f"{proc.returncode}, regex/expected {expect_exit}\n"
+                f"  stdout: {proc.stdout.strip()!r}")
+    return errors, True
+
+
 def main() -> int:
     missing = [n for n in CASES
                if not os.path.isdir(os.path.join(FIXTURES, n))]
@@ -155,13 +255,18 @@ def main() -> int:
         failures.extend(run_case(name, expect_exit, fragment, extra))
     failures.extend(check_update_baseline())
     failures.extend(check_runtime_only_warns())
+    failures.extend(check_effects_update_baseline())
+    failures.extend(check_effects_runtime_warns())
+    backend_failures, clang_ran = check_backend_agreement()
+    failures.extend(backend_failures)
     if failures:
         print("analyze_selftest: FAIL", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
+    backends = "both backends" if clang_ran else "regex backend only"
     print(f"analyze_selftest: OK ({len(CASES)} fixtures + baseline "
-          f"round-trip + runtime merge)")
+          f"round-trips + runtime merges; {backends})")
     return 0
 
 

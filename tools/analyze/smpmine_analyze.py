@@ -60,6 +60,47 @@ lock-order  Static acquisition-order graph. Within every non-capability
             Runtime-only edges missing from the baseline warn but do not
             fail: they depend on which tests ran.
 
+phase-effects
+            Per-phase transitive read/write/freeze sets and the implied
+            phase dependency graph. Every TRACE_SPAN / PERF_PHASE /
+            FLIGHT_PHASE body in the miners opens a phase scope; the call
+            sites and field accesses lexically inside it seed a closure
+            over the call graph (typed receiver->method resolution where a
+            local's type is known, bare names elsewhere, constructor calls
+            through make_unique<T>/optional<T>::emplace/`T v(...);`), and
+            every field the closure reads or writes is attributed to the
+            phase. Constructor writes count — freeze *is* the FrozenTree
+            constructor. From the sets the check derives:
+
+              * the freeze set of each phase (fields it writes that later
+                phases only read — the frozen-structure pattern),
+              * the phase dependency graph (edge A -> B when B reads what
+                A writes, labeled with the witness fields), and
+              * cross-phase hazards: a field written by two phases
+                (write/write) or written by one and read by another
+                (write/read).
+
+            A hazard needs a protection story: a protected lattice class
+            (lock/sync/const/atomic/guarded/partitioned), the frozen-tree
+            contract below, a `phase-ok: <why>` marker on the field, a
+            `phase <Class::member>: <why>` suppression, or an entry with a
+            written justification in the baseline
+            (tools/analyze/phase_effects.baseline.json). The gate fails on
+            hazards with none of these, on hazard phases the baseline does
+            not cover (a *new* cross-phase write or read), and on baseline
+            entries whose justification is empty.
+
+            The frozen-tree contract is checked explicitly: after freeze
+            (the constructor) the FrozenTree CSR/SoA arrays are read-only
+            — only the counters may be written, and only in freeze, count,
+            and reduce (thaw publishes them back in reduce). The same
+            contract is enforced at runtime by the SMPMINE_CHECKED
+            phase-epoch validator (src/util/phase_epoch.hpp), whose
+            SMPMINE_PHASE_EPOCH_DUMP files merge into the baseline via
+            --runtime-effects: runtime-observed writes the baseline does
+            not know warn (coverage depends on which tests ran), exactly
+            like runtime-only lock-order edges.
+
 Lock naming
 -----------
 Locks are identified as `OwningClass::member`. A guard expression resolves
@@ -80,6 +121,7 @@ Two mechanisms, both requiring a written justification:
     directive per line:
         field <Class::member>: <why>     suppress a classification finding
         lock <name>: <why>               drop a lock from the order graph
+        phase <Class::member>: <why>     accept a cross-phase hazard
     A directive with an empty justification is itself an error.
 
 Backends
@@ -111,9 +153,40 @@ import smpmine_lint as lint  # noqa: E402  (PR 3 backend plumbing)
 
 DEFAULT_SUPPRESSIONS = "tools/analyze/suppressions.txt"
 DEFAULT_BASELINE = "tools/analyze/lock_order.baseline.json"
+DEFAULT_EFFECTS_BASELINE = "tools/analyze/phase_effects.baseline.json"
 
 # Directories under --root that the classify check walks.
 ANALYZE_SCOPE = ("src",)
+
+# Directories whose classes' fields the phase-effects check reports on.
+# util/ and bench/ helpers are reachable from phases but hold no mining
+# state; restricting the report keeps the baseline about the algorithm.
+PHASE_EFFECT_SCOPE = ("src/core", "src/hashtree", "src/parallel", "src/alloc")
+
+# Canonical phase order from the paper's per-iteration pipeline; phases the
+# analyzer discovers beyond these sort after, in first-seen order.
+PHASE_ORDER = ("f1", "candgen", "remap", "freeze", "count", "reduce",
+               "select")
+
+# Instrumented scopes that are not phases: the per-iteration wrapper span.
+NON_PHASE_NAMES = frozenset({"iteration"})
+
+# Lattice classes that already carry a cross-phase protection story; a
+# hazard on such a field needs no extra baseline entry. `suppressed` is
+# deliberately absent: a classification suppression silences the *sharing*
+# finding, not the phase-ordering question.
+PROTECTED_CLASSES = frozenset({"lock", "sync", "const", "atomic", "guarded",
+                               "partitioned"})
+
+# The frozen-tree contract (mirrors src/util/phase_epoch.hpp's declared
+# epochs): every FrozenTree field is written only in freeze (the
+# constructor), except the counter plane, which count accumulates into and
+# reduce reads back out (thaw_counts).
+FROZEN_CONTRACT_CLASS = "FrozenTree"
+FROZEN_CONTRACT_WRITERS = ("freeze",)
+FROZEN_CONTRACT_OVERRIDES = {"counts_": ("freeze", "count", "reduce")}
+
+MARKER_PHASE_OK = re.compile(r"phase-ok:\s*\S")
 
 # Guard types that acquire their constructor argument (RAII).
 GUARD_DECL = re.compile(
@@ -180,6 +253,7 @@ class Finding:
 class Suppressions:
     fields: dict[str, str] = field(default_factory=dict)  # Class::member -> why
     locks: dict[str, str] = field(default_factory=dict)   # lock name -> why
+    phases: dict[str, str] = field(default_factory=dict)  # Class::member -> why
     errors: list[str] = field(default_factory=list)
     used: set[str] = field(default_factory=set)
 
@@ -193,7 +267,7 @@ class Suppressions:
                 line = raw.strip()
                 if not line or line.startswith("#"):
                     continue
-                m = re.match(r"(field|lock)\s+(\S+)\s*:\s*(.*)", line)
+                m = re.match(r"(field|lock|phase)\s+(\S+)\s*:\s*(.*)", line)
                 if m is None:
                     sup.errors.append(
                         f"{path}:{lineno}: unparseable directive: {line!r}")
@@ -204,7 +278,8 @@ class Suppressions:
                         f"{path}:{lineno}: suppression for {name!r} has no "
                         f"written justification")
                     continue
-                (sup.fields if kind == "field" else sup.locks)[name] = why
+                {"field": sup.fields, "lock": sup.locks,
+                 "phase": sup.phases}[kind][name] = why
         return sup
 
     def field_ok(self, qualified: str) -> bool:
@@ -216,6 +291,12 @@ class Suppressions:
     def lock_ok(self, name: str) -> bool:
         if name in self.locks:
             self.used.add(f"lock {name}")
+            return True
+        return False
+
+    def phase_ok(self, qualified: str) -> bool:
+        if qualified in self.phases:
+            self.used.add(f"phase {qualified}")
             return True
         return False
 
@@ -237,6 +318,8 @@ class CallSite:
     callee: str
     line: int
     held: tuple[str, ...]  # innermost last
+    recv: str | None = None  # receiver's class when a local's type is known
+    phase: str = ""          # innermost enclosing phase scope, "" outside
 
 
 @dataclass
@@ -247,6 +330,8 @@ class FieldAccess:
     in_ctor: bool
     is_write: bool
     fn_name: str = ""
+    phase: str = ""          # innermost enclosing phase scope, "" outside
+    rel: str = ""            # file the access appears in (may be the .cpp)
 
 
 @dataclass
@@ -274,14 +359,20 @@ WRITE_AFTER = re.compile(
     r"(?:\.|->)\s*(push_back|emplace_back|emplace|pop_back|insert|erase|"
     r"clear|resize|reserve|assign|append|swap)\s*\()")
 WRITE_BEFORE = re.compile(r"(\+\+|--)\s*$")
+# Wrapping an lvalue in std::atomic_ref is (in this tree) always a prelude
+# to fetch_add/store on it — the wrapped expression is a mutation site even
+# when the fetch_add lands on the next physical line.
+WRITE_ATOMIC_REF = re.compile(
+    r"\batomic_ref\s*(?:<[^<>]*>)?\s*(?:\w+\s*)?\(\s*$")
 
 
 def is_write_site(line: str, start: int, end: int) -> bool:
     """Heuristic mutation test for an identifier occurrence: assignment or
     compound assignment following it (through optional indexing), inc/dec on
-    either side, or a mutating container method call."""
+    either side, a mutating container method call, or an atomic_ref wrap."""
     return bool(WRITE_AFTER.match(line[end:]) or
-                WRITE_BEFORE.search(line[:start]))
+                WRITE_BEFORE.search(line[:start]) or
+                WRITE_ATOMIC_REF.search(line[:start]))
 
 
 # ---------------------------------------------------------------------------
@@ -335,14 +426,43 @@ class LockResolver:
 # ---------------------------------------------------------------------------
 # Body parser
 
+# By-value local of a class type: `HashTree tree(cfg, policy, arenas);`.
+# Constructing a known class is a call to its constructor — freeze IS the
+# FrozenTree constructor, so these sites anchor the phase-effects closure.
+VALUE_DECL = re.compile(r"^\s*(?:const\s+)?([A-Z]\w*)\s+(\w+)\s*[({]")
+
+# Locals whose type hides inside a wrapper template: optional<FrozenTree>,
+# vector<unique_ptr<PlacementArenas>>, ... — the innermost identifier
+# before the closing '>'s is the interesting type.
+WRAPPED_DECL = re.compile(
+    r"\b(?:std::)?(?:optional|unique_ptr|shared_ptr|vector|array|deque)\s*"
+    r"<[^;=({]*?(\w+)\s*>+\s*[&*]?\s*(\w+)\s*[;={(]")
+
+# Heap/in-place construction of a named type.
+CTOR_CALL = re.compile(
+    r"\b(?:make_(?:unique|shared)\s*<\s*(?:std::)?(\w+)|new\s+(\w+)\s*[({])")
+
+# obj.meth( / obj[i]->meth( — when obj's type is known the callee resolves
+# to Class::meth exactly, which lets stoplisted names through for known
+# receivers (`arenas.reset()` is PlacementArenas::reset, not noise).
+METHOD_CALL = re.compile(
+    r"\b(\w+)\s*(?:\[[^\]]*\]\s*)?(?:\.|->)\s*(\w+)\s*\(")
+
+# emplace/emplace_back/push_back on a wrapper of a known class construct
+# that class in place.
+EMPLACE_METHODS = frozenset({"emplace", "emplace_back", "push_back"})
+
 
 def parse_file_functions(src: lint.SourceFile,
                          classes: list[lint.ClassInfo],
                          capability_classes: set[str],
-                         resolver: LockResolver) -> list[FuncInfo]:
+                         resolver: LockResolver,
+                         member_names: dict[str, set[str]]) -> list[FuncInfo]:
     """Extracts function bodies with guard scopes, lock events, field
-    accesses and call sites. One pass over the comment-stripped text with a
-    brace-depth scanner (the same idiom as the lint's class walker)."""
+    accesses, call sites and phase scopes. One pass over the
+    comment-stripped text with a brace-depth scanner (the same idiom as the
+    lint's class walker). `member_names` is the program-wide class->members
+    map so out-of-line .cpp method bodies record their accesses too."""
     funcs: list[FuncInfo] = []
     n = len(src.code_lines)
     depth = 0
@@ -357,8 +477,17 @@ def parse_file_functions(src: lint.SourceFile,
     head_buf: list[str] = []   # statement text accumulated outside bodies
     head_start = 0
 
-    member_names: dict[str, set[str]] = {
-        c.name: {m.name for m in c.members} for c in classes}
+    # Phase scopes: the lint's joined-text scanner finds every phase macro
+    # site (including invocations clang-format split across lines); RAII
+    # forms close with their brace, var forms close at the matching _END
+    # (with the brace as a safety net — the RAII object cannot outlive its
+    # lexical scope either way).
+    sites_by_line: dict[int, list] = defaultdict(list)
+    for site in lint.iter_phase_macro_sites(src.raw_lines):
+        if "." in site.name or site.name in NON_PHASE_NAMES:
+            continue
+        sites_by_line[site.line].append(site)
+    phase_stack: list[tuple[str, int, str | None]] = []  # (name, depth, var)
 
     def held_names(fn: FuncInfo) -> tuple[str, ...]:
         return tuple(list(fn.entry_locks) +
@@ -377,6 +506,18 @@ def parse_file_functions(src: lint.SourceFile,
         info.entry_locks = tuple(req)
         info.no_tsa = bool(NO_TSA.search(head_text))
         info.is_capability_member = cls_name in capability_classes
+        # Constructor member-init lists write their members; without these
+        # the fields a constructor publishes (freeze IS the FrozenTree
+        # constructor) would look never-written to the phase-effects sets.
+        if cls_name is not None and fn_name == cls_name and \
+                cls_name in member_names:
+            close = head_text.find(")")
+            init_list = head_text[close + 1:] if close >= 0 else ""
+            for im in re.finditer(r"[:,]\s*(\w+)\s*[({]", init_list):
+                if im.group(1) in member_names[cls_name]:
+                    info.accesses.append(FieldAccess(
+                        im.group(1), line, (), True, True, fn_name,
+                        rel=src.rel))
         return info
 
     def record_acquire(fn: FuncInfo, name: str, line: int,
@@ -388,11 +529,14 @@ def parse_file_functions(src: lint.SourceFile,
         fn.acquires.append(LockEvent(name, line, depth, manual))
 
     def scan_body_line(fn: FuncInfo, line: str, lineno: int) -> None:
+        cur_phase = phase_stack[-1][0] if phase_stack else ""
         # Local declarations feed expression->type resolution.
         for dm in LOCAL_DECL.finditer(line):
             type_name, var = dm.group(1), dm.group(2)
             if type_name not in ("return", "const", "auto", "static"):
                 local_types.setdefault(var, type_name)
+        for wm in WRAPPED_DECL.finditer(line):
+            local_types.setdefault(wm.group(2), wm.group(1))
         # RAII guards.
         for gm in GUARD_DECL.finditer(line):
             name = resolver.resolve(gm.group(3), fn.cls, local_types)
@@ -408,6 +552,32 @@ def parse_file_functions(src: lint.SourceFile,
                     del guard_stack[i]
                     break
         held = held_names(fn)
+        # Constructions of known classes are constructor calls: by-value
+        # locals, make_unique/make_shared/new, and emplace into a wrapper.
+        for vm in VALUE_DECL.finditer(line):
+            type_name, var = vm.group(1), vm.group(2)
+            if type_name in member_names:
+                local_types.setdefault(var, type_name)
+                fn.calls.append(CallSite(type_name, lineno, held,
+                                         recv=type_name, phase=cur_phase))
+        for cm in CTOR_CALL.finditer(line):
+            type_name = cm.group(1) or cm.group(2)
+            if type_name in member_names:
+                fn.calls.append(CallSite(type_name, lineno, held,
+                                         recv=type_name, phase=cur_phase))
+        # Typed method calls: when the receiver's class is known the callee
+        # resolves exactly, bypassing the name stoplist.
+        for tm in METHOD_CALL.finditer(line):
+            recv_cls = local_types.get(tm.group(1))
+            if recv_cls is None or recv_cls not in member_names:
+                continue
+            meth = tm.group(2)
+            if meth in EMPLACE_METHODS:
+                fn.calls.append(CallSite(recv_cls, lineno, held,
+                                         recv=recv_cls, phase=cur_phase))
+            else:
+                fn.calls.append(CallSite(meth, lineno, held,
+                                         recv=recv_cls, phase=cur_phase))
         # Call sites (identifier followed by '(' that isn't a keyword).
         for cm in re.finditer(r"\b(\w+)\s*\(", line):
             callee = cm.group(1)
@@ -417,7 +587,7 @@ def parse_file_functions(src: lint.SourceFile,
                     "const_cast", "dynamic_cast", "alignof", "new",
                     "catch", "defined"):
                 continue
-            fn.calls.append(CallSite(callee, lineno, held))
+            fn.calls.append(CallSite(callee, lineno, held, phase=cur_phase))
         # Field accesses of the enclosing class's members (bare or this->).
         if fn.cls is not None and fn.cls in member_names:
             is_ctor = fn.name in (fn.cls, f"~{fn.cls}")
@@ -427,7 +597,7 @@ def parse_file_functions(src: lint.SourceFile,
                     fn.accesses.append(FieldAccess(
                         word, lineno, held, is_ctor,
                         is_write_site(line, am.start(1), am.end(1)),
-                        fn.name))
+                        fn.name, phase=cur_phase, rel=src.rel))
 
     idx = 0
     while idx < n:
@@ -493,6 +663,8 @@ def parse_file_functions(src: lint.SourceFile,
                 depth += 1
             elif ch == "}":
                 depth -= 1
+                while phase_stack and phase_stack[-1][1] > depth:
+                    phase_stack.pop()
                 if cur is not None:
                     while guard_stack and guard_stack[-1].depth > depth:
                         guard_stack.pop()
@@ -512,8 +684,16 @@ def parse_file_functions(src: lint.SourceFile,
                     head_buf.append(ch)
             i += 1
 
+        for site in sites_by_line.get(lineno, ()):
+            phase_stack.append((site.name, depth, site.var))
         if line_fn is not None:
             scan_body_line(line_fn, line, lineno)
+        for em in lint.PHASE_MACRO_END.finditer(src.raw_lines[idx]):
+            var = em.group(1)
+            for j in range(len(phase_stack) - 1, -1, -1):
+                if phase_stack[j][2] == var:
+                    del phase_stack[j]
+                    break
         idx += 1
     return funcs
 
@@ -578,9 +758,12 @@ def discover_classes(root: str, rels: list[str], backend: str):
 def build_program(root: str, rels: list[str], backend: str) -> Program:
     prog, per_file = discover_classes(root, rels, backend)
     resolver = LockResolver(prog.lock_members)
+    member_names = {c.name: {m.name for m in c.members}
+                    for c in prog.classes.values()}
     for rel, classes in per_file.items():
         prog.funcs.extend(parse_file_functions(
-            prog.sources[rel], classes, prog.capability_classes, resolver))
+            prog.sources[rel], classes, prog.capability_classes, resolver,
+            member_names))
     return prog
 
 
@@ -746,11 +929,11 @@ def is_partitioned_by_access(prog: Program, cls_name: str, m: lint.Member,
                              accs: list[FieldAccess]) -> bool:
     """True when every non-constructor access of the member in the class's
     method bodies is an indexed access whose index is a thread/shard id."""
-    src = prog.sources[prog.class_file[cls_name]]
     saw_indexed = False
     for acc in accs:
         if acc.in_ctor:
             continue
+        src = prog.sources[acc.rel or prog.class_file[cls_name]]
         line = src.code_lines[acc.line - 1]
         for am in re.finditer(rf"\b{re.escape(m.name)}\b\s*(\[([^\]]*)\])?",
                               line):
@@ -1100,6 +1283,361 @@ def check_lock_order(prog: Program, sup: Suppressions, baseline_path: str,
 
 
 # ---------------------------------------------------------------------------
+# phase-effects check
+
+
+def compute_phase_effects(prog: Program) -> tuple[
+        list[str], dict[str, set[str]], dict[str, set[str]],
+        dict[tuple[str, str, str], str]]:
+    """Transitive per-phase read/write sets of PHASE_EFFECT_SCOPE fields.
+
+    Seeds are the call sites and field accesses lexically inside a phase
+    macro scope; from the calls a BFS follows the call graph (exact
+    (class, method) targets for typed receivers, name-level otherwise) and
+    attributes every reached access to the phase. Returns (ordered phases,
+    reads, writes, example sites keyed (phase, field, 'r'|'w'))."""
+    by_name: dict[str, list[FuncInfo]] = defaultdict(list)
+    by_cls_name: dict[tuple[str, str], list[FuncInfo]] = defaultdict(list)
+    for fn in prog.funcs:
+        by_name[fn.name].append(fn)
+        if fn.cls is not None:
+            by_cls_name[(fn.cls, fn.name)].append(fn)
+
+    def resolve_call(call: CallSite) -> list[FuncInfo]:
+        if call.recv is not None:
+            exact = by_cls_name.get((call.recv, call.callee))
+            if exact:
+                return exact
+            return []  # typed receiver with no such method: container noise
+        if call.callee in CALL_STOPLIST:
+            return []
+        return by_name.get(call.callee, [])
+
+    reads: dict[str, set[str]] = defaultdict(set)
+    writes: dict[str, set[str]] = defaultdict(set)
+    sites: dict[tuple[str, str, str], str] = {}
+    seen_phases: list[str] = []
+
+    def note(phase: str, fn: FuncInfo, acc: FieldAccess) -> None:
+        if fn.cls is None:
+            return
+        rel = prog.class_file.get(fn.cls)
+        if rel is None or not lint.in_scope(rel, PHASE_EFFECT_SCOPE):
+            return
+        qualified = f"{fn.cls}::{acc.member}"
+        if acc.is_write:
+            writes[phase].add(qualified)
+            sites.setdefault((phase, qualified, "w"), f"{fn.rel}:{acc.line}")
+        else:
+            reads[phase].add(qualified)
+            sites.setdefault((phase, qualified, "r"), f"{fn.rel}:{acc.line}")
+
+    # Group seeds per phase, then close over the call graph once per phase.
+    seed_calls: dict[str, list[CallSite]] = defaultdict(list)
+    for fn in prog.funcs:
+        for acc in fn.accesses:
+            if acc.phase:
+                if acc.phase not in seen_phases:
+                    seen_phases.append(acc.phase)
+                note(acc.phase, fn, acc)
+        for call in fn.calls:
+            if call.phase:
+                if call.phase not in seen_phases:
+                    seen_phases.append(call.phase)
+                seed_calls[call.phase].append(call)
+
+    for phase, calls in seed_calls.items():
+        visited: set[str] = set()
+        work: list[FuncInfo] = []
+        for call in calls:
+            work.extend(resolve_call(call))
+        while work:
+            fn = work.pop()
+            if fn.key in visited:
+                continue
+            visited.add(fn.key)
+            for acc in fn.accesses:
+                note(phase, fn, acc)
+            for call in fn.calls:
+                for target in resolve_call(call):
+                    if target.key not in visited:
+                        work.append(target)
+
+    ordered = [p for p in PHASE_ORDER if p in seen_phases] + \
+        sorted(p for p in seen_phases if p not in PHASE_ORDER)
+    for p in ordered:
+        reads.setdefault(p, set())
+        writes.setdefault(p, set())
+    return ordered, reads, writes, sites
+
+
+def freeze_set(phases: list[str], reads: dict[str, set[str]],
+               writes: dict[str, set[str]], p: str) -> set[str]:
+    """Fields phase p writes that later phases read but never write — the
+    frozen-structure pattern the paper's freeze/count split relies on."""
+    later = phases[phases.index(p) + 1:]
+    read_later: set[str] = set()
+    written_later: set[str] = set()
+    for q in later:
+        read_later |= reads[q]
+        written_later |= writes[q]
+    return (writes[p] & read_later) - written_later
+
+
+def phase_dependency_graph(phases: list[str], reads: dict[str, set[str]],
+                           writes: dict[str, set[str]]) -> list[dict]:
+    """Edge A -> B when B reads what A writes. Backward edges (a later
+    phase feeding an earlier one) are next-iteration dependencies — the
+    per-iteration pipeline is a cycle by design, so they are reported, not
+    findings."""
+    edges: list[dict] = []
+    for a in phases:
+        for b in phases:
+            if a == b:
+                continue
+            fields = sorted(writes[a] & reads[b])
+            if fields:
+                edges.append({"from": a, "to": b, "fields": fields})
+    return edges
+
+
+def phase_hazard_list(phases: list[str], reads: dict[str, set[str]],
+                      writes: dict[str, set[str]]) -> list[dict]:
+    """Cross-phase hazards per field: write/write when two phases write
+    it, write/read when a phase reads what another phase writes."""
+    field_writers: dict[str, list[str]] = defaultdict(list)
+    field_readers: dict[str, list[str]] = defaultdict(list)
+    for p in phases:
+        for f in writes[p]:
+            field_writers[f].append(p)
+        for f in reads[p]:
+            field_readers[f].append(p)
+    hazards: list[dict] = []
+    for f in sorted(field_writers):
+        writers = field_writers[f]
+        readers = [p for p in field_readers.get(f, []) if p not in writers]
+        if len(writers) >= 2:
+            hazards.append({"field": f, "kind": "write/write",
+                            "writers": writers, "readers": readers})
+        if readers:
+            hazards.append({"field": f, "kind": "write/read",
+                            "writers": writers, "readers": readers})
+    return hazards
+
+
+def check_frozen_contract(phases: list[str], writes: dict[str, set[str]],
+                          sites: dict[tuple[str, str, str], str]
+                          ) -> list[Finding]:
+    findings: list[Finding] = []
+    prefix = FROZEN_CONTRACT_CLASS + "::"
+    for p in phases:
+        for f in sorted(writes[p]):
+            if not f.startswith(prefix):
+                continue
+            member = f[len(prefix):]
+            allowed = FROZEN_CONTRACT_OVERRIDES.get(
+                member, FROZEN_CONTRACT_WRITERS)
+            if p in allowed:
+                continue
+            site = sites.get((p, f, "w"), "?:0")
+            rel, _, ln = site.rpartition(":")
+            findings.append(Finding(
+                rel or site, int(ln) if ln.isdigit() else 0,
+                "phase-effects",
+                f"frozen-tree contract: '{f}' is written in phase '{p}' "
+                f"but after freeze the structure is read-only (allowed "
+                f"writer phases: {', '.join(allowed)}) — the "
+                f"SMPMINE_CHECKED phase-epoch validator aborts on this "
+                f"write at runtime"))
+    return findings
+
+
+def load_runtime_effects(paths: list[str]) -> tuple[dict[str, set[str]],
+                                                    list[str]]:
+    """Merges SMPMINE_PHASE_EPOCH_DUMP files (or directories of them) into
+    structure -> {phases observed writing it}; returns (writes, errors)."""
+    observed: dict[str, set[str]] = defaultdict(set)
+    errors: list[str] = []
+    files: list[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            files.extend(sorted(
+                os.path.join(p, f) for f in os.listdir(p)
+                if f.endswith(".json")))
+        else:
+            files.append(p)
+    for f in files:
+        try:
+            with open(f, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            errors.append(f"{f}: unreadable runtime effects dump: {err}")
+            continue
+        if doc.get("schema") != "smpmine.phase_effects.runtime.v1":
+            errors.append(f"{f}: not a runtime phase-effects dump "
+                          f"(schema {doc.get('schema')!r})")
+            continue
+        for w in doc.get("writes", []):
+            observed[w["structure"]].add(w["phase"])
+    return observed, errors
+
+
+def effects_doc(phases: list[str], reads: dict[str, set[str]],
+                writes: dict[str, set[str]], graph: list[dict],
+                hazards: list[dict],
+                runtime_writes: dict[str, set[str]]) -> dict:
+    return {
+        "schema": "smpmine.phase_effects.baseline.v1",
+        "phases": {p: {
+            "reads": sorted(reads[p]),
+            "writes": sorted(writes[p]),
+            "frozen": sorted(freeze_set(phases, reads, writes, p)),
+        } for p in phases},
+        "graph": graph,
+        "hazards": hazards,
+        "runtime_writes": [
+            {"structure": s, "phases": sorted(runtime_writes[s])}
+            for s in sorted(runtime_writes)],
+    }
+
+
+def check_phase_effects(prog: Program, sup: Suppressions,
+                        verdict_by_field: dict[str, FieldVerdict],
+                        baseline_path: str, runtime_paths: list[str],
+                        update_baseline: bool
+                        ) -> tuple[list[Finding], list[str], dict]:
+    findings: list[Finding] = []
+    warnings: list[str] = []
+    phases, reads, writes, sites = compute_phase_effects(prog)
+    graph = phase_dependency_graph(phases, reads, writes)
+    hazards = phase_hazard_list(phases, reads, writes)
+    findings.extend(check_frozen_contract(phases, writes, sites))
+    runtime_writes, dump_errors = load_runtime_effects(runtime_paths)
+    for err in dump_errors:
+        findings.append(Finding("tools/analyze", 0, "phase-effects", err))
+
+    old: dict = {}
+    if os.path.isfile(baseline_path):
+        try:
+            with open(baseline_path, encoding="utf-8") as fh:
+                old = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            findings.append(Finding(baseline_path, 0, "phase-effects",
+                                    f"unreadable baseline: {err}"))
+            old = {}
+    old_hazards = {(h["field"], h["kind"]): h
+                   for h in old.get("hazards", [])}
+
+    if update_baseline:
+        # Preserve written justifications and previously observed runtime
+        # writes; new hazards get an empty why the author must fill in.
+        for h in hazards:
+            prev = old_hazards.get((h["field"], h["kind"]))
+            h["why"] = prev.get("why", "") if prev else ""
+        merged_rt: dict[str, set[str]] = defaultdict(set)
+        for e in old.get("runtime_writes", []):
+            merged_rt[e["structure"]].update(e["phases"])
+        for s, ps in runtime_writes.items():
+            merged_rt[s].update(ps)
+        doc = effects_doc(phases, reads, writes, graph, hazards, merged_rt)
+        os.makedirs(os.path.dirname(baseline_path), exist_ok=True)
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        empty_why = [h for h in hazards if not h["why"]]
+        warnings.append(
+            f"phase-effects baseline written: {baseline_path} "
+            f"({len(phases)} phase(s), {len(graph)} edge(s), "
+            f"{len(hazards)} hazard(s), {len(empty_why)} needing a "
+            f"written justification)")
+        return findings, warnings, doc
+
+    doc = effects_doc(phases, reads, writes, graph, hazards, runtime_writes)
+    if not old:
+        findings.append(Finding(
+            baseline_path, 0, "phase-effects",
+            "missing phase-effects baseline — run with --update-baseline"))
+        return findings, warnings, doc
+
+    frozen_prefix = FROZEN_CONTRACT_CLASS + "::"
+    for h in hazards:
+        qualified, kind = h["field"], h["kind"]
+        v = verdict_by_field.get(qualified)
+        if v is not None and v.classification in PROTECTED_CLASSES:
+            continue  # the lattice already carries the protection story
+        if qualified.startswith(frozen_prefix):
+            continue  # the frozen-tree contract check governs these
+        if v is not None and prog.sources[v.rel].has_marker(
+                v.member.line, MARKER_PHASE_OK):
+            continue
+        if sup.phase_ok(qualified):
+            continue
+        prev = old_hazards.get((qualified, kind))
+        where = " / ".join(
+            sites.get((p, qualified, "w"), "?") for p in h["writers"])
+        if prev is None:
+            findings.append(Finding(
+                "tools/analyze", 0, "phase-effects",
+                f"cross-phase {kind} hazard on '{qualified}' (writers: "
+                f"{', '.join(h['writers'])}; readers: "
+                f"{', '.join(h['readers']) or 'none'}) [{where}] is not in "
+                f"the phase-effects baseline — audit the protection story "
+                f"and run --update-baseline, mark the field "
+                f"`phase-ok: <why>`, or add `phase {qualified}: <why>` to "
+                f"the suppression file"))
+            continue
+        new_writers = sorted(set(h["writers"]) - set(prev.get("writers", [])))
+        new_readers = sorted(set(h["readers"]) - set(prev.get("readers", [])))
+        if new_writers or new_readers:
+            what = []
+            if new_writers:
+                what.append(f"new writer phase(s): {', '.join(new_writers)}")
+            if new_readers:
+                what.append(f"new reader phase(s): {', '.join(new_readers)}")
+            findings.append(Finding(
+                "tools/analyze", 0, "phase-effects",
+                f"cross-phase {kind} hazard on '{qualified}' grew beyond "
+                f"the baseline ({'; '.join(what)}) [{where}] — re-audit "
+                f"and run --update-baseline"))
+            continue
+        if not prev.get("why", "").strip():
+            findings.append(Finding(
+                baseline_path, 0, "phase-effects",
+                f"baseline hazard entry for '{qualified}' ({kind}) has no "
+                f"written justification — explain the protection story in "
+                f"its \"why\" field"))
+
+    # Runtime-observed writes the baseline does not know: warn (coverage
+    # depends on which tests ran), mirroring runtime-only lock-order edges.
+    known_rt: dict[str, set[str]] = defaultdict(set)
+    for e in old.get("runtime_writes", []):
+        known_rt[e["structure"]].update(e["phases"])
+    for s in sorted(runtime_writes):
+        missing = sorted(runtime_writes[s] - known_rt[s])
+        if missing:
+            warnings.append(
+                f"warning: runtime-observed write of '{s}' in phase(s) "
+                f"{', '.join(missing)} is not in the phase-effects "
+                f"baseline ({baseline_path}) — audit and run "
+                f"--update-baseline")
+    return findings, warnings, doc
+
+
+def write_dot(path: str, phases: list[str], graph: list[dict]) -> None:
+    lines = ["digraph phase_deps {", "  rankdir=LR;"]
+    for p in phases:
+        lines.append(f'  "{p}";')
+    for e in graph:
+        label = ", ".join(f.split("::")[-1] for f in e["fields"][:3])
+        if len(e["fields"]) > 3:
+            label += f", +{len(e['fields']) - 3} more"
+        lines.append(f'  "{e["from"]}" -> "{e["to"]}" [label="{label}"];')
+    lines.append("}")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------------------
 # Driver
 
 
@@ -1119,9 +1657,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--root", default=lint.default_root())
     parser.add_argument("--backend", choices=("auto", "regex", "clang"),
                         default="auto")
-    parser.add_argument("--checks", default="classify,lock-order",
+    parser.add_argument("--checks",
+                        default="classify,lock-order,phase-effects",
                         help="comma-separated subset of "
-                             "{classify,lock-order}")
+                             "{classify,lock-order,phase-effects}")
     parser.add_argument("--suppressions", default=None,
                         help=f"suppression file (default "
                              f"{DEFAULT_SUPPRESSIONS} under --root)")
@@ -1130,21 +1669,40 @@ def main(argv: list[str]) -> int:
                              f"{DEFAULT_BASELINE} under --root)")
     parser.add_argument("--runtime-dump", action="append", default=[],
                         metavar="PATH",
-                        help="runtime dump file or directory of dumps "
-                             "(repeatable)")
+                        help="runtime lock-order dump file or directory of "
+                             "dumps (repeatable)")
     parser.add_argument("--update-baseline", action="store_true",
-                        help="persist the merged graph as the baseline "
-                             "instead of diffing against it")
+                        help="persist the merged graph(s) as the "
+                             "baseline(s) instead of diffing against them")
     parser.add_argument("--classification-report", metavar="PATH",
                         help="also write the full field classification as "
                              "JSON")
+    parser.add_argument("--phase-effects", action="store_true",
+                        help="print the full per-phase read/write/frozen "
+                             "sets and the dependency graph (implies the "
+                             "phase-effects check)")
+    parser.add_argument("--effects-baseline", default=None,
+                        help=f"phase-effects baseline (default "
+                             f"{DEFAULT_EFFECTS_BASELINE} under --root)")
+    parser.add_argument("--runtime-effects", action="append", default=[],
+                        metavar="PATH",
+                        help="SMPMINE_PHASE_EPOCH_DUMP file or directory "
+                             "of dumps (repeatable)")
+    parser.add_argument("--effects-report", metavar="PATH",
+                        help="also write the phase-effects document "
+                             "(sets, graph, hazards) as JSON")
+    parser.add_argument("--dot", metavar="PATH",
+                        help="write the phase dependency graph as Graphviz")
     parser.add_argument("paths", nargs="*",
                         help="files or directories relative to --root "
                              "(default: src)")
     args = parser.parse_args(argv)
 
     checks = tuple(c.strip() for c in args.checks.split(",") if c.strip())
-    bad = [c for c in checks if c not in ("classify", "lock-order")]
+    if args.phase_effects and "phase-effects" not in checks:
+        checks = checks + ("phase-effects",)
+    bad = [c for c in checks
+           if c not in ("classify", "lock-order", "phase-effects")]
     if bad:
         print(f"smpmine-analyze: unknown check(s): {', '.join(bad)}",
               file=sys.stderr)
@@ -1156,6 +1714,8 @@ def main(argv: list[str]) -> int:
 
     sup_path = args.suppressions or os.path.join(root, DEFAULT_SUPPRESSIONS)
     baseline_path = args.baseline or os.path.join(root, DEFAULT_BASELINE)
+    effects_baseline_path = args.effects_baseline or os.path.join(
+        root, DEFAULT_EFFECTS_BASELINE)
     sup = Suppressions.load(sup_path)
     if sup.errors:
         for err in sup.errors:
@@ -1171,15 +1731,22 @@ def main(argv: list[str]) -> int:
 
     findings: list[Finding] = []
     warnings: list[str] = []
+    verdicts: list[FieldVerdict] = []
 
-    if "classify" in checks:
+    # phase-effects consults the lattice for protection stories, so the
+    # classification runs for it too — its findings only gate when the
+    # classify check itself is selected.
+    if "classify" in checks or "phase-effects" in checks:
         seeds = spmd_seed_functions(prog)
         seed_callees = {
             call.callee for fn in prog.funcs if fn.spmd_seed
             for call in fn.calls}
         reach = reachable_functions(prog, seeds | seed_callees)
         verdicts, cls_findings = classify_fields(prog, sup, reach)
-        findings.extend(cls_findings)
+        if "classify" in checks:
+            findings.extend(cls_findings)
+
+    if "classify" in checks:
         print(f"smpmine-analyze: classification: "
               f"{render_classification(verdicts)}")
         if args.classification_report:
@@ -1202,6 +1769,41 @@ def main(argv: list[str]) -> int:
         warnings.extend(lo_warnings)
         print(f"smpmine-analyze: lock-order: {len(doc['edges'])} edge(s) in "
               f"the merged graph")
+
+    if "phase-effects" in checks:
+        verdict_by_field = {
+            f"{v.cls}::{v.member.name}": v for v in verdicts}
+        pe_findings, pe_warnings, pe_doc = check_phase_effects(
+            prog, sup, verdict_by_field, effects_baseline_path,
+            args.runtime_effects, args.update_baseline)
+        findings.extend(pe_findings)
+        warnings.extend(pe_warnings)
+        pe_phases = list(pe_doc["phases"])
+        print(f"smpmine-analyze: phase-effects: {len(pe_phases)} phase(s), "
+              f"{len(pe_doc['graph'])} dependency edge(s), "
+              f"{len(pe_doc['hazards'])} cross-phase hazard(s)")
+        if args.phase_effects:
+            for p in pe_phases:
+                info = pe_doc["phases"][p]
+                print(f"  phase {p}: {len(info['reads'])} read(s), "
+                      f"{len(info['writes'])} write(s), "
+                      f"{len(info['frozen'])} frozen")
+                for f in info["writes"]:
+                    print(f"    W {f}")
+                for f in info["reads"]:
+                    if f not in info["writes"]:
+                        print(f"    R {f}")
+                for f in info["frozen"]:
+                    print(f"    * {f} (frozen after this phase)")
+            for e in pe_doc["graph"]:
+                print(f"  {e['from']} -> {e['to']}: "
+                      f"{', '.join(e['fields'])}")
+        if args.effects_report:
+            with open(args.effects_report, "w", encoding="utf-8") as fh:
+                json.dump(pe_doc, fh, indent=2)
+                fh.write("\n")
+        if args.dot:
+            write_dot(args.dot, pe_phases, pe_doc["graph"])
 
     for w in warnings:
         print(f"smpmine-analyze: {w}", file=sys.stderr)

@@ -38,6 +38,9 @@ CASES = {
     "r5_bad": (1, "R5", "src/core/miner.cpp"),
     "r5_perf_good": (0, None, None),
     "r5_perf_bad": (1, "R5", "src/core/miner.cpp"),
+    "r5_cross_good": (0, None, None),
+    "r5_cross_bad": (1, "R5", "src/core/miner.cpp"),
+    "r5_multiline_bad": (1, "R5", "src/core/miner.cpp"),
 }
 
 

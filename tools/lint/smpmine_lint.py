@@ -37,7 +37,13 @@ R5  TRACE_SPAN / PERF_PHASE names match IterationStats: a bare (dot-free)
     src/core/stats.hpp (plus the per-k "iteration" wrapper), so traces,
     counter attribution, and the stats tables never disagree about phase
     naming. Dotted names ("pool.task", "hashtree.remap") are subsystem
-    events, exempt.
+    events, exempt. Sites are matched over the joined file text, so an
+    invocation whose name string wraps to the next line is still checked.
+    Additionally, when macros from different families (trace / perf /
+    flight) name a phase within a couple of lines of each other — the
+    idiomatic triple at the top of a phase body — their names must agree:
+    a perf scope saying "count" under a flight scope saying "reduce" would
+    silently misattribute counters to the wrong phase.
 
 Backends
 --------
@@ -147,11 +153,33 @@ R4_ALLOC = re.compile(
     r"append)\s*\()"
 )
 
-TRACE_MACRO = re.compile(
-    r"\bSMPMINE_(?:TRACE_(?:SPAN|SPAN_ARG|PHASE)|PERF_PHASE|"
-    r"FLIGHT_PHASE(?:_NAMED)?)"
-    r"\s*\(\s*(?:\w+\s*,\s*)?\"([^\"]+)\""
+# Phase-naming macro invocations. The name string can sit on a later line
+# than the macro token (clang-format wraps long argument lists), so sites
+# are found over the joined file text by iter_phase_macro_sites, never by
+# a per-line scan — a wrapped invocation must not be skipped silently.
+PHASE_MACRO = re.compile(
+    r"\b(SMPMINE_(?:TRACE_(?:SPAN_ARG|SPAN|PHASE)|PERF_PHASE|"
+    r"FLIGHT_PHASE(?:_NAMED)?))"
+    r"\s*\(\s*(?:(\w+)\s*,\s*)?\"([^\"]+)\""
 )
+
+# Explicit closers of the RAII-variable forms (TRACE_PHASE/_NAMED scopes
+# that outlive their lexical block).
+PHASE_MACRO_END = re.compile(
+    r"\bSMPMINE_(?:TRACE_PHASE|FLIGHT_PHASE)_END\s*\(\s*(\w+)\s*\)")
+
+PHASE_MACRO_FAMILY = {
+    "SMPMINE_TRACE_SPAN": "trace",
+    "SMPMINE_TRACE_SPAN_ARG": "trace",
+    "SMPMINE_TRACE_PHASE": "trace",
+    "SMPMINE_PERF_PHASE": "perf",
+    "SMPMINE_FLIGHT_PHASE": "flight",
+    "SMPMINE_FLIGHT_PHASE_NAMED": "flight",
+}
+
+# Two phase macros within this many lines of each other are "the same
+# source site" for the cross-family agreement check.
+R5_CROSS_WINDOW = 2
 
 MARKER_WINDOW = 4  # lines above the site in which a marker still applies
 
@@ -187,6 +215,34 @@ class SourceFile:
         lo = max(0, line_no - 1 - window)
         return any(pattern.search(self.raw_lines[i])
                    for i in range(lo, min(line_no, len(self.raw_lines))))
+
+
+@dataclass
+class PhaseMacroSite:
+    """One phase-naming macro invocation (shared with smpmine-analyze)."""
+
+    line: int        # 1-based line of the macro token
+    macro: str       # full macro name, e.g. SMPMINE_PERF_PHASE
+    family: str      # "trace" | "perf" | "flight"
+    var: str | None  # RAII variable of the _NAMED/_PHASE forms, else None
+    name: str        # the quoted phase/span name
+
+
+def iter_phase_macro_sites(raw_lines: list[str]) -> list[PhaseMacroSite]:
+    """All phase-macro sites in a file, in source order. Matches over the
+    joined text so invocations split across lines (macro token on one line,
+    name string on the next) are found; the reported line is the macro
+    token's."""
+    text = "\n".join(raw_lines)
+    sites: list[PhaseMacroSite] = []
+    for m in PHASE_MACRO.finditer(text):
+        sites.append(PhaseMacroSite(
+            line=text.count("\n", 0, m.start()) + 1,
+            macro=m.group(1),
+            family=PHASE_MACRO_FAMILY[m.group(1)],
+            var=m.group(2),
+            name=m.group(3)))
+    return sites
 
 
 MARKER_OK = {rule: re.compile(rf"lint-ok:\s*{rule}\b") for rule in RULE_IDS}
@@ -616,20 +672,39 @@ def check_r5(src: SourceFile, phases: set[str] | None) -> list[Finding]:
     findings: list[Finding] = []
     if phases is None:
         return findings
-    for idx, line in enumerate(src.raw_lines):
-        for m in TRACE_MACRO.finditer(line):
-            name = m.group(1)
-            if "." in name:
-                continue  # dotted subsystem event, not a phase
-            if name in phases:
+    # Dotted names are subsystem events, not phases; they take part in
+    # neither the vocabulary check nor the cross-family agreement check.
+    sites = [s for s in iter_phase_macro_sites(src.raw_lines)
+             if "." not in s.name]
+    for s in sites:
+        if s.name in phases:
+            continue
+        if src.has_marker(s.line, MARKER_OK["R5"]):
+            continue
+        findings.append(Finding(
+            src.rel, s.line, "R5",
+            f"trace/perf phase '{s.name}' matches no <phase>_seconds "
+            f"field in {STATS_HEADER} — phase names must agree between "
+            f"traces, perf attribution, and IterationStats"))
+    # Cross-family agreement: the trace/perf/flight macros opening one
+    # phase body sit on adjacent lines; different families within the
+    # window must name the same phase or counters/trace/flight dumps
+    # attribute the same work to different phases.
+    for i, a in enumerate(sites):
+        for b in sites[i + 1:]:
+            if b.line - a.line > R5_CROSS_WINDOW:
+                break
+            if a.family == b.family or a.name == b.name:
                 continue
-            if src.has_marker(idx + 1, MARKER_OK["R5"]):
+            if (src.has_marker(a.line, MARKER_OK["R5"]) or
+                    src.has_marker(b.line, MARKER_OK["R5"])):
                 continue
             findings.append(Finding(
-                src.rel, idx + 1, "R5",
-                f"trace/perf phase '{name}' matches no <phase>_seconds "
-                f"field in {STATS_HEADER} — phase names must agree between "
-                f"traces, perf attribution, and IterationStats"))
+                src.rel, b.line, "R5",
+                f"phase name mismatch at one site: {a.macro} names "
+                f"'{a.name}' (line {a.line}) but {b.macro} names "
+                f"'{b.name}' — the trace/perf/flight macro families must "
+                f"agree about the phase they instrument"))
     return findings
 
 
