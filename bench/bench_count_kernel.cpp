@@ -1,25 +1,37 @@
-// Counting-kernel comparison: frozen flat CSR kernel vs the pointer walk.
+// Counting-kernel comparison: pointer walk vs frozen flat CSR vs vertical
+// tid-bitmaps, plus the Auto chooser.
 //
-// Not a paper figure — this measures the PR's frozen-tree optimization.
-// Both kernels mine the same dataset end-to-end; the reported metric is
-// the counting cost per transaction-iteration, where the flat kernel is
-// charged for its freeze phase too (the freeze is overhead the pointer
-// walk does not pay, so it must earn it back):
+// Not a paper figure — this measures the PR's counting-kernel work. All
+// kernels mine the same dataset end-to-end; the reported metric is the
+// counting cost per transaction-iteration, where each kernel is charged
+// for its own build phase (freeze for the frozen kernels, bitmap
+// construction for the vertical path — overhead the pointer walk does not
+// pay, so it must be earned back):
 //
-//   ns/txn = sum_k(freeze_s + count_s) / (iterations_counted * |D|)
+//   ns/txn = sum_k(freeze_s + vertbuild_s + count_s)
+//            / (iterations_counted * |D|)
 //
-// taken as the median over --repeat runs. Results go to stdout as a table
-// and to --out as BENCH_counting.json (schema smpmine.bench.v1), which
-// scripts/bench_compare.py validates and gates on.
+// taken as the median over --repeat runs. Two workloads run by default:
+// the Table-2 T10.I4.D100K (horizontal-friendly: many wide candidates)
+// and a synthetic "deep" workload (small universe, long patterns, high
+// support) whose late iterations have few deep candidates — the regime
+// the vertical kernel exists for. The flat run is additionally re-measured
+// with the SIMD backend forced to scalar, giving simd_speedup_vs_scalar.
+//
+// Results go to stdout as a table and to --out as BENCH_counting.json
+// (schema smpmine.bench.v1), which scripts/bench_compare.py validates and
+// gates on (see the kernel-filtered --spec syntax there).
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "obs/flight/flight_recorder.hpp"
 #include "obs/json_writer.hpp"
+#include "util/cpu_features.hpp"
 
 using namespace smpmine;
 using namespace smpmine::bench;
@@ -32,6 +44,17 @@ struct KernelRun {
   std::uint64_t hits = 0;
   std::uint64_t iterations = 0;
   std::uint32_t tile_size = 0;
+  /// Distinct IterationStats::count_kernel_used values, "+"-joined — for
+  /// fixed kernels a single name, for Auto the per-iteration choices.
+  std::string kernels_used;
+};
+
+/// A bench workload: a dataset plus the support threshold that shapes its
+/// candidate structure.
+struct Workload {
+  std::string label;
+  Database db;
+  double min_support = 0.005;
 };
 
 double median(std::vector<double> v) {
@@ -40,43 +63,68 @@ double median(std::vector<double> v) {
   return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
-/// Counting seconds for one run: count phase plus (for the flat kernel)
-/// the freeze that produced the structure being counted.
+/// Counting seconds for one run: count phase plus the kernel's own build
+/// cost (freeze for flat, freeze + bitmap build for vertical).
 double counting_seconds(const MiningResult& r) {
   double s = 0.0;
   for (const IterationStats& it : r.iterations) {
-    s += it.freeze_seconds + it.count_seconds;
+    s += it.freeze_seconds + it.vertbuild_seconds + it.count_seconds;
   }
   return s;
 }
 
-KernelRun measure(const Database& db, const BenchEnv& env,
-                  CountKernel kernel, std::uint32_t threads) {
+KernelRun measure(const Workload& w, const BenchEnv& env, CountKernel kernel,
+                  std::uint32_t threads) {
   MinerOptions opts;
-  opts.min_support = 0.005;
+  opts.min_support = w.min_support;
   opts.threads = threads;
   opts.count_kernel = kernel;
 
   std::vector<double> seconds;
   KernelRun run;
   for (std::uint32_t r = 0; r < env.repeat; ++r) {
-    const MiningResult res = mine(db, opts);
+    const MiningResult res = mine(w.db, opts);
     seconds.push_back(counting_seconds(res));
     if (r == 0) {
+      std::set<std::string> used;
       for (const IterationStats& it : res.iterations) {
         if (it.candidates == 0) continue;
         run.hits += it.hits;
         ++run.iterations;
         run.tile_size = std::max(run.tile_size, it.count_tile_size);
+        used.insert(it.count_kernel_used);
+      }
+      for (const std::string& u : used) {
+        if (!run.kernels_used.empty()) run.kernels_used += '+';
+        run.kernels_used += u;
       }
     }
   }
   run.median_counting_seconds = median(std::move(seconds));
   const double txn_iters =
-      static_cast<double>(run.iterations) * static_cast<double>(db.size());
+      static_cast<double>(run.iterations) * static_cast<double>(w.db.size());
   run.median_ns_per_txn =
       txn_iters > 0 ? run.median_counting_seconds * 1e9 / txn_iters : 0.0;
   return run;
+}
+
+/// The vertical kernel's home turf: a small universe with long embedded
+/// patterns and a support threshold that kills random pairs by k=3 —
+/// the surviving deep candidates are few, so AND+popcount over tid
+/// bitmaps beats re-scanning every transaction. |D| scales with --scale
+/// like the Table-2 sets.
+Workload make_deep_workload(const BenchEnv& env) {
+  QuestParams p;
+  p.num_transactions =
+      static_cast<std::uint32_t>(50000 * env.scale + 0.5);
+  p.avg_transaction_len = 12.0;
+  p.avg_pattern_len = 6.0;
+  p.num_patterns = 10;
+  p.num_items = 30;
+  p.seed = env.seed;
+  std::fprintf(stderr, "generating deep workload (%u txns)...\n",
+               p.num_transactions);
+  return {"deep", generate_quest(p), 0.1};
 }
 
 }  // namespace
@@ -89,11 +137,19 @@ int main(int argc, char** argv) {
   const BenchEnv env = parse_env(cli, {"T10.I4.D100K"}, {1});
   const std::string out_path = cli.get("out", "BENCH_counting.json");
 
-  print_header("Counting kernel: frozen flat CSR vs pointer walk",
-               "(not a paper figure; freeze time charged to flat)", env);
+  print_header("Counting kernel: pointer vs flat CSR vs vertical bitmaps",
+               "(not a paper figure; build phases charged per kernel)",
+               env);
 
-  TextTable table({"Database", "P", "kernel", "count ns/txn", "hits",
-                   "tile", "speedup"});
+  std::vector<Workload> workloads;
+  for (const std::string& name : env.datasets) {
+    workloads.push_back(
+        {scaled_name(name, env), make_dataset(name, env), 0.005});
+  }
+  workloads.push_back(make_deep_workload(env));
+
+  TextTable table({"Workload", "P", "kernel", "count ns/txn", "hits",
+                   "used", "vs ptr", "vs flat"});
 
   std::ofstream os(out_path);
   if (!os) {
@@ -105,40 +161,86 @@ int main(int argc, char** argv) {
   w.kv("schema", "smpmine.bench.v1");
   w.kv("bench", "count_kernel");
   w.kv("scale", env.scale);
+  w.kv("simd_backend", to_string(simd_backend()));
   w.key("runs").begin_array();
 
-  for (const std::string& name : env.datasets) {
-    const Database db = make_dataset(name, env);
+  constexpr CountKernel kKernels[4] = {CountKernel::Pointer,
+                                       CountKernel::Flat,
+                                       CountKernel::Vertical,
+                                       CountKernel::Auto};
+  constexpr const char* kNames[4] = {"pointer", "flat", "vertical", "auto"};
+
+  for (const Workload& wl : workloads) {
     for (const std::uint32_t threads : env.thread_counts) {
-      const KernelRun pointer =
-          measure(db, env, CountKernel::Pointer, threads);
-      const KernelRun flat = measure(db, env, CountKernel::Flat, threads);
-      const double speedup =
-          flat.median_ns_per_txn > 0
-              ? pointer.median_ns_per_txn / flat.median_ns_per_txn
+      KernelRun runs[4];
+      for (int i = 0; i < 4; ++i) {
+        runs[i] = measure(wl, env, kKernels[i], threads);
+      }
+      const KernelRun& pointer = runs[0];
+      const KernelRun& flat = runs[1];
+
+      // SIMD ablation: the same flat mining run with the tile backend
+      // pinned to scalar. The ratio isolates the vectorized containment
+      // loop (freeze and drive logic are identical on both sides).
+      const SimdBackend active = simd_backend();
+      set_simd_backend(SimdBackend::Scalar);
+      const KernelRun flat_scalar =
+          measure(wl, env, CountKernel::Flat, threads);
+      set_simd_backend(active);
+      const double simd_speedup =
+          flat.median_counting_seconds > 0
+              ? flat_scalar.median_counting_seconds /
+                    flat.median_counting_seconds
               : 0.0;
 
-      const std::string label = scaled_name(name, env);
-      const KernelRun* runs[2] = {&pointer, &flat};
-      const char* names[2] = {"pointer", "flat"};
-      for (int i = 0; i < 2; ++i) {
-        table.add_row({label, std::to_string(threads), names[i],
-                       TextTable::num(runs[i]->median_ns_per_txn, 1),
-                       std::to_string(runs[i]->hits),
-                       std::to_string(runs[i]->tile_size),
-                       i == 0 ? "1.00" : TextTable::num(speedup, 2)});
+      // Auto's promise: never meaningfully worse than the best fixed
+      // kernel. >1 means auto beat every fixed choice.
+      double best_fixed = runs[0].median_counting_seconds;
+      for (int i = 1; i < 3; ++i) {
+        best_fixed = std::min(best_fixed, runs[i].median_counting_seconds);
+      }
+
+      for (int i = 0; i < 4; ++i) {
+        const double vs_ptr =
+            runs[i].median_ns_per_txn > 0
+                ? pointer.median_ns_per_txn / runs[i].median_ns_per_txn
+                : 0.0;
+        const double vs_flat =
+            runs[i].median_ns_per_txn > 0
+                ? flat.median_ns_per_txn / runs[i].median_ns_per_txn
+                : 0.0;
+        const double vs_best_fixed =
+            kKernels[i] == CountKernel::Auto &&
+                    runs[i].median_counting_seconds > 0
+                ? best_fixed / runs[i].median_counting_seconds
+                : 1.0;
+        table.add_row({wl.label, std::to_string(threads), kNames[i],
+                       TextTable::num(runs[i].median_ns_per_txn, 1),
+                       std::to_string(runs[i].hits), runs[i].kernels_used,
+                       TextTable::num(vs_ptr, 2),
+                       TextTable::num(vs_flat, 2)});
         w.begin_object();
-        w.kv("dataset", label);
+        w.kv("dataset", wl.label);
         w.kv("threads", threads);
-        w.kv("kernel", names[i]);
-        w.kv("median_ns_per_transaction", runs[i]->median_ns_per_txn);
-        w.kv("median_counting_seconds", runs[i]->median_counting_seconds);
-        w.kv("hits", runs[i]->hits);
-        w.kv("iterations", runs[i]->iterations);
-        w.kv("tile_size", runs[i]->tile_size);
-        w.kv("speedup_vs_pointer", i == 0 ? 1.0 : speedup);
+        w.kv("kernel", kNames[i]);
+        w.kv("kernels_used", runs[i].kernels_used);
+        w.kv("median_ns_per_transaction", runs[i].median_ns_per_txn);
+        w.kv("median_counting_seconds", runs[i].median_counting_seconds);
+        w.kv("hits", runs[i].hits);
+        w.kv("iterations", runs[i].iterations);
+        w.kv("tile_size", runs[i].tile_size);
+        w.kv("speedup_vs_pointer", vs_ptr);
+        w.kv("speedup_vs_flat", vs_flat);
+        w.kv("simd_speedup_vs_scalar",
+             kKernels[i] == CountKernel::Flat ? simd_speedup : 1.0);
+        w.kv("auto_vs_best_fixed", vs_best_fixed);
         w.end_object();
       }
+      std::printf("%s P=%u: simd flat speedup vs scalar %.2fx, "
+                  "auto vs best fixed %.2fx\n",
+                  wl.label.c_str(), threads, simd_speedup,
+                  best_fixed / std::max(1e-12,
+                                        runs[3].median_counting_seconds));
     }
   }
 
@@ -149,11 +251,11 @@ int main(int argc, char** argv) {
   // interleaved off/on per repeat so clock drift (frequency scaling, a
   // neighbour waking up) hits both sides alike instead of biasing
   // whichever block ran second; min-of-repeat each so scheduler noise
-  // shrinks rather than inflates the delta. The last dataset/thread-count
-  // combination is reused.
+  // shrinks rather than inflates the delta. The first workload and last
+  // thread count are reused.
   double flight_overhead_pct = 0.0;
-  if (!env.datasets.empty() && !env.thread_counts.empty()) {
-    const Database db = make_dataset(env.datasets.back(), env);
+  if (!workloads.empty() && !env.thread_counts.empty()) {
+    const Workload& wl = workloads.front();
     const std::uint32_t threads = env.thread_counts.back();
     const bool was_enabled = obs::flight::enabled();
     double off_s = 0.0;
@@ -161,7 +263,7 @@ int main(int argc, char** argv) {
     for (std::uint32_t r = 0; r < env.repeat; ++r) {
       for (const bool flight_on : {false, true}) {
         obs::flight::set_enabled(flight_on);
-        const KernelRun run = measure(db, env, CountKernel::Flat, threads);
+        const KernelRun run = measure(wl, env, CountKernel::Flat, threads);
         double& best = flight_on ? on_s : off_s;
         if (r == 0 || run.median_counting_seconds < best) {
           best = run.median_counting_seconds;

@@ -4,17 +4,26 @@
 Reads a bench-emitted JSON artifact, checks the schema, prints a summary,
 and (optionally) fails when a gated metric regresses. Two gating modes:
 
-* Generic: ``--spec name:metric:threshold`` (repeatable) gates any
-  ``smpmine.bench.v1`` file whose ``bench`` field equals ``name`` — every
-  run must have ``run[metric] >= threshold``. CI uses this for each bench
-  smoke artifact without this script needing to know the bench's fields.
+* Generic: ``--spec name:metric:threshold[:field=value,...]`` (repeatable)
+  gates any ``smpmine.bench.v1`` file whose ``bench`` field equals
+  ``name`` — every run must have ``run[metric] >= threshold``. The
+  optional fourth component filters which runs the gate applies to by
+  exact field match (e.g. ``kernel=vertical,dataset=deep`` gates only the
+  vertical runs of the deep workload — a forced-vertical run on a
+  horizontal-friendly workload is *expected* to be slower than pointer,
+  so an unfiltered speedup gate would misfire). CI uses this for each
+  bench smoke artifact without this script needing to know the bench's
+  fields.
 * count_kernel: artifacts from bench_count_kernel additionally get the
-  pointer/flat pairing check (identical hit totals — the correctness
-  signature) and the ``--min-speedup`` shorthand, equivalent to
-  ``--spec count_kernel:speedup_vs_pointer:<x>`` on flat runs only.
+  kernel pairing check (every (dataset, threads) cell must have exactly
+  one pointer/flat/vertical/auto run with identical hit totals — the
+  correctness signature) and the ``--min-speedup`` shorthand, equivalent
+  to ``--spec count_kernel:speedup_vs_pointer:<x>:kernel=flat``.
 
 Usage:
     scripts/bench_compare.py BENCH_counting.json --min-speedup 1.3
+    scripts/bench_compare.py BENCH_counting.json \\
+        --spec count_kernel:speedup_vs_flat:2.0:kernel=vertical,dataset=deep
     scripts/bench_compare.py BENCH_foo.json --spec foo:speedup:0.9
 """
 
@@ -24,16 +33,22 @@ import sys
 
 SCHEMA = "smpmine.bench.v1"
 
+COUNT_KERNELS = ("pointer", "flat", "vertical", "auto")
+
 COUNT_KERNEL_FIELDS = {
     "dataset": str,
     "threads": int,
     "kernel": str,
+    "kernels_used": str,
     "median_ns_per_transaction": (int, float),
     "median_counting_seconds": (int, float),
     "hits": int,
     "iterations": int,
     "tile_size": int,
     "speedup_vs_pointer": (int, float),
+    "speedup_vs_flat": (int, float),
+    "simd_speedup_vs_scalar": (int, float),
+    "auto_vs_best_fixed": (int, float),
 }
 
 
@@ -43,12 +58,20 @@ def fail(msg: str) -> None:
 
 
 def parse_spec(text: str):
+    """name:metric:threshold[:field=value,...] -> (name, metric, x, filters)."""
     parts = text.split(":")
-    if len(parts) != 3:
-        fail(f"bad --spec {text!r}, want name:metric:threshold")
-    name, metric, threshold = parts
+    if len(parts) not in (3, 4):
+        fail(f"bad --spec {text!r}, want name:metric:threshold[:filters]")
+    name, metric, threshold = parts[:3]
+    filters = {}
+    if len(parts) == 4:
+        for clause in parts[3].split(","):
+            if "=" not in clause:
+                fail(f"bad --spec filter {clause!r}, want field=value")
+            field, value = clause.split("=", 1)
+            filters[field] = value
     try:
-        return name, metric, float(threshold)
+        return name, metric, float(threshold), filters
     except ValueError:
         fail(f"bad --spec threshold {threshold!r}")
 
@@ -68,51 +91,58 @@ def validate_generic(doc: dict) -> list:
 
 
 def validate_count_kernel(runs: list) -> dict:
-    """Field checks plus pointer/flat pairing by (dataset, threads)."""
+    """Field checks plus full-matrix pairing by (dataset, threads)."""
     for i, run in enumerate(runs):
         for field, types in COUNT_KERNEL_FIELDS.items():
             if field not in run:
                 fail(f"runs[{i}] missing field {field!r}")
             if not isinstance(run[field], types):
                 fail(f"runs[{i}].{field} has type {type(run[field]).__name__}")
-        if run["kernel"] not in ("pointer", "flat"):
+        if run["kernel"] not in COUNT_KERNELS:
             fail(f"runs[{i}].kernel is {run['kernel']!r}")
-    pairs = {}
+    cells = {}
     for run in runs:
-        pairs.setdefault((run["dataset"], run["threads"]), {})[
+        cells.setdefault((run["dataset"], run["threads"]), {})[
             run["kernel"]
         ] = run
-    for key, kernels in pairs.items():
-        if set(kernels) != {"pointer", "flat"}:
-            fail(f"{key}: expected one pointer and one flat run, "
-                 f"got {sorted(kernels)}")
-        # Both kernels count the same database: identical hit totals are
+    for key, kernels in cells.items():
+        if set(kernels) != set(COUNT_KERNELS):
+            fail(f"{key}: expected one run per kernel "
+                 f"{list(COUNT_KERNELS)}, got {sorted(kernels)}")
+        # Every kernel counts the same database: identical hit totals are
         # the correctness signature, not just a nicety.
-        if kernels["pointer"]["hits"] != kernels["flat"]["hits"]:
-            fail(f"{key}: hit counts diverge "
-                 f"(pointer {kernels['pointer']['hits']} != "
-                 f"flat {kernels['flat']['hits']})")
-    return pairs
+        hits = {k: kernels[k]["hits"] for k in COUNT_KERNELS}
+        if len(set(hits.values())) != 1:
+            fail(f"{key}: hit counts diverge: {hits}")
+    return cells
 
 
-def summarize_count_kernel(pairs: dict) -> float:
-    print(f"{'dataset':<16} {'P':>2} {'pointer ns/txn':>15} "
-          f"{'flat ns/txn':>12} {'speedup':>8}")
+def summarize_count_kernel(cells: dict) -> float:
+    print(f"{'dataset':<14} {'P':>2} {'ptr ns/txn':>11} {'flat':>9} "
+          f"{'vert':>9} {'auto':>9} {'flat x':>7} {'simd x':>7}")
+    worst_flat = None
+    for (dataset, threads), kernels in sorted(cells.items()):
+        cols = [kernels[k]["median_ns_per_transaction"]
+                for k in COUNT_KERNELS]
+        flat_speedup = kernels["flat"]["speedup_vs_pointer"]
+        simd = kernels["flat"]["simd_speedup_vs_scalar"]
+        print(f"{dataset:<14} {threads:>2} {cols[0]:>11.1f} {cols[1]:>9.1f} "
+              f"{cols[2]:>9.1f} {cols[3]:>9.1f} {flat_speedup:>7.2f} "
+              f"{simd:>7.2f}")
+        if worst_flat is None or flat_speedup < worst_flat:
+            worst_flat = flat_speedup
+    return worst_flat
+
+
+def apply_spec(doc: dict, runs: list, metric: str, threshold: float,
+               filters: dict) -> None:
     worst = None
-    for (dataset, threads), kernels in sorted(pairs.items()):
-        ptr = kernels["pointer"]["median_ns_per_transaction"]
-        flat = kernels["flat"]["median_ns_per_transaction"]
-        speedup = kernels["flat"]["speedup_vs_pointer"]
-        print(f"{dataset:<16} {threads:>2} {ptr:>15.1f} {flat:>12.1f} "
-              f"{speedup:>8.2f}")
-        if worst is None or speedup < worst:
-            worst = speedup
-    return worst
-
-
-def apply_spec(doc: dict, runs: list, metric: str, threshold: float) -> None:
-    worst = None
+    matched = 0
     for i, run in enumerate(runs):
+        if any(str(run.get(field)) != value
+               for field, value in filters.items()):
+            continue
+        matched += 1
         if metric not in run:
             fail(f"runs[{i}] has no metric {metric!r}")
         value = run[metric]
@@ -120,11 +150,13 @@ def apply_spec(doc: dict, runs: list, metric: str, threshold: float) -> None:
             fail(f"runs[{i}].{metric} is not numeric")
         if worst is None or value < worst:
             worst = value
+    if matched == 0:
+        fail(f"{doc['bench']}: --spec filter {filters!r} matched no runs")
     if worst < threshold:
         fail(f"{doc['bench']}: worst {metric} {worst:.3g} below gate "
-             f"{threshold:.3g}")
+             f"{threshold:.3g} ({matched} runs matched {filters!r})")
     print(f"bench_compare: {doc['bench']}: worst {metric} {worst:.3g} >= "
-          f"{threshold:.3g}")
+          f"{threshold:.3g} ({matched} runs)")
 
 
 def main() -> None:
@@ -136,10 +168,11 @@ def main() -> None:
                     help="count_kernel only: fail if any flat/pointer "
                          "speedup is below this")
     ap.add_argument("--spec", action="append", default=[],
-                    metavar="NAME:METRIC:THRESHOLD",
-                    help="gate: every run of bench NAME must have "
-                         "METRIC >= THRESHOLD (repeatable; specs naming "
-                         "other benches are ignored)")
+                    metavar="NAME:METRIC:THRESHOLD[:FIELD=VALUE,...]",
+                    help="gate: every run of bench NAME (matching the "
+                         "optional field filters) must have METRIC >= "
+                         "THRESHOLD (repeatable; specs naming other "
+                         "benches are ignored)")
     args = ap.parse_args()
 
     with open(args.artifact) as f:
@@ -147,10 +180,10 @@ def main() -> None:
     runs = validate_generic(doc)
 
     if doc["bench"] == "count_kernel":
-        pairs = validate_count_kernel(runs)
-        worst = summarize_count_kernel(pairs)
+        cells = validate_count_kernel(runs)
+        worst = summarize_count_kernel(cells)
         if args.min_speedup is not None and worst < args.min_speedup:
-            fail(f"worst speedup {worst:.2f}x below gate "
+            fail(f"worst flat speedup {worst:.2f}x below gate "
                  f"{args.min_speedup}x")
     elif args.min_speedup is not None:
         fail(f"--min-speedup only applies to count_kernel artifacts, "
@@ -160,8 +193,8 @@ def main() -> None:
     matched = [s for s in specs if s[0] == doc["bench"]]
     if specs and not matched:
         fail(f"no --spec matches bench {doc['bench']!r}")
-    for _, metric, threshold in matched:
-        apply_spec(doc, runs, metric, threshold)
+    for _, metric, threshold, filters in matched:
+        apply_spec(doc, runs, metric, threshold, filters)
 
     print(f"bench_compare: OK ({doc['bench']}, {len(runs)} runs)")
 

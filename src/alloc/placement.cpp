@@ -64,10 +64,11 @@ const char* to_string(SppVariant v) {
 PlacementArenas::PlacementArenas(PlacementPolicy policy, SppVariant variant)
     : policy_(policy), variant_(variant) {
   // The arena bundle is recycled in candgen (reset), handed a remap region
-  // in remap — pccd remaps inside its fused worker candgen phase — and a
-  // freeze region in freeze; outside those phases it is append-only.
+  // in remap — pccd remaps inside its fused worker candgen phase — a freeze
+  // region in freeze, and a tid-bitmap region in vertbuild; outside those
+  // phases it is append-only.
   SMPMINE_PHASE_EPOCH_DECLARE(epoch_, "PlacementArenas", "candgen", "remap",
-                              "freeze");
+                              "freeze", "vertbuild");
   if (policy_uses_region(policy_)) {
     tree_ = std::make_unique<Region>();
   } else {
@@ -133,6 +134,12 @@ Region& PlacementArenas::freeze_target() {
   return *freeze_;
 }
 
+Region& PlacementArenas::vertical_target() {
+  SMPMINE_PHASE_EPOCH_WRITE(epoch_);
+  if (!vertical_) vertical_ = std::make_unique<Region>();
+  return *vertical_;
+}
+
 void PlacementArenas::reset() {
   SMPMINE_PHASE_EPOCH_WRITE(epoch_);
   if (policy_uses_region(policy_)) {
@@ -144,6 +151,7 @@ void PlacementArenas::reset() {
   if (counters_) static_cast<Region*>(counters_.get())->reset();
   if (remap_) remap_->reset();
   if (freeze_) freeze_->reset();
+  if (vertical_) vertical_->reset();
 }
 
 }  // namespace smpmine

@@ -110,6 +110,12 @@ class PlacementArenas {
   /// L-* policies' read/write segregation.
   Region& freeze_target();
 
+  /// Region the vertical kernel's tid-bitmap plane lives in (lazily
+  /// created; reset together with the other arenas). One contiguous
+  /// rows x words u64 block — built in vertbuild, read-only while
+  /// counting, recycled with the iteration.
+  Region& vertical_target();
+
   /// Recycles every arena for the next iteration's tree.
   void reset();
 
@@ -124,12 +130,14 @@ class PlacementArenas {
   std::unique_ptr<Arena> counters_;  // null when not segregated
   std::unique_ptr<Region> remap_;    // lazily created
   std::unique_ptr<Region> freeze_;   // lazily created
+  std::unique_ptr<Region> vertical_; // lazily created
   /// Extra regions for the Individual/Grouped variants; entries may alias.
   std::vector<std::unique_ptr<Region>> extra_;
   Arena* kind_arena_[kNumBlockKinds] = {};
   /// Phase-epoch stamp (SMPMINE_CHECKED validator, empty struct otherwise):
-  /// reset/remap_target/freeze_target may only run in their declared
-  /// phases (candgen / remap / freeze — see the constructor).
+  /// reset/remap_target/freeze_target/vertical_target may only run in their
+  /// declared phases (candgen / remap / freeze / vertbuild — see the
+  /// constructor).
   phaseepoch::PhaseEpoch epoch_;
 };
 

@@ -18,6 +18,7 @@
 #include "core/miner.hpp"
 #include "core/select.hpp"
 #include "hashtree/frozen_tree.hpp"
+#include "hashtree/vertical_index.hpp"
 #include "obs/flight/flight_recorder.hpp"
 #include "obs/perf/perf_counters.hpp"
 #include "obs/trace.hpp"
@@ -211,22 +212,74 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
                     : 0.0;
     }
 
-    // ---- freeze (flat kernel) ---------------------------------------------
+    // ---- kernel resolution -------------------------------------------------
+    // Resolve the requested kernel to the one this iteration actually runs:
+    // Auto applies the cost model, and any frozen-layout kernel degrades to
+    // Pointer when k > kMaxK (unreachable at realistic supports). The
+    // resolution is recorded so manifests show what really ran.
+    std::vector<item_t> tracked;
+    CountKernel resolved;
+    {
+      KernelCostInputs ci;
+      ci.k = k;
+      ci.candidates = it.candidates;
+      ci.transactions = db.size();
+      ci.avg_transaction_len = db.avg_transaction_size();
+      ci.max_flat_k = FrozenTree::kMaxK;
+      if (opts.count_kernel == CountKernel::Vertical ||
+          opts.count_kernel == CountKernel::Auto) {
+        // Every candidate joins two members of F(k-1), so its items are a
+        // subset of F(k-1)'s distinct items — the bitmap rows needed.
+        tracked = distinct_items(prev.flat());
+        ci.distinct_items = tracked.size();
+      }
+      resolved = resolve_count_kernel(opts.count_kernel, ci);
+    }
+    it.count_kernel_used = to_string(resolved);
+    const bool use_frozen = resolved != CountKernel::Pointer;
+    const bool use_vertical = resolved == CountKernel::Vertical;
+
+    // ---- freeze (frozen-layout kernels) -------------------------------------
     // Snapshot the quiescent tree into the CSR flat layout on the master;
-    // the cost lands in freeze_seconds and thus in every kernel
-    // comparison. k > kMaxK (unreachable at realistic supports) falls back
-    // to the pointer kernel for the iteration.
-    const bool use_flat =
-        opts.count_kernel == CountKernel::Flat && k <= FrozenTree::kMaxK;
+    // the cost lands in freeze_seconds and thus in every kernel comparison.
+    // The vertical kernel freezes too: it reads the SoA slot -> itemset
+    // columns and the contiguous counter array.
     std::optional<FrozenTree> frozen;
-    if (use_flat) {
+    if (use_frozen) {
       SMPMINE_TRACE_SPAN_ARG("freeze", "k", k);
       SMPMINE_PERF_PHASE("freeze");
       SMPMINE_FLIGHT_PHASE("freeze", k);
       WallTimer freeze_timer;
       frozen.emplace(tree, arenas);
       it.freeze_seconds = freeze_timer.seconds();
-      it.count_tile_size = frozen->tile_size();
+      it.count_tile_size = use_vertical ? 0 : frozen->tile_size();
+    }
+
+    // ---- vertical index build ----------------------------------------------
+    // Allocate the tid-bitmap plane on the master (arena write), then fill
+    // it in parallel by word partitions — disjoint words per thread, no
+    // shared writes. Charged to vertbuild_seconds, the vertical kernel's
+    // analog of the freeze cost.
+    std::optional<VerticalIndex> vidx;
+    if (use_vertical) {
+      WallTimer vertbuild_timer;
+      SMPMINE_TRACE_PHASE(vertbuild_span, "vertbuild", "k", k);
+      SMPMINE_FLIGHT_PHASE_NAMED(vertbuild_flight, "vertbuild", k);
+      {
+        SMPMINE_PERF_PHASE("vertbuild");
+        vidx.emplace(db, tracked, arenas);
+      }
+      pool.run_spmd([&](std::uint32_t tid) {
+        SMPMINE_TRACE_SPAN_ARG("vertbuild", "k", k);
+        SMPMINE_PERF_PHASE("vertbuild");
+        SMPMINE_FLIGHT_PHASE("vertbuild", k);
+        vidx->build_partition(db, tid, threads);
+      });
+      it.vertbuild_seconds = vertbuild_timer.seconds();
+      it.vert_rows = vidx->rows();
+      it.vert_words = vidx->words();
+      SMPMINE_TRACE_PHASE_END(vertbuild_span);
+      SMPMINE_FLIGHT_PHASE_END(vertbuild_flight);
     }
 
     // ---- support counting -------------------------------------------------
@@ -244,7 +297,18 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
       SMPMINE_FLIGHT_PHASE("count", k);
       obs::flight::maybe_inject_fault("count");
       ThreadCpuTimer busy_timer;
-      if (use_flat) {
+      if (use_vertical) {
+        // Vertical parallelism is over candidate slots, not transactions:
+        // every slot's AND+popcount already covers the whole database.
+        SMPMINE_TRACE_SPAN_ARG("count.vertical", "k", k);
+        FlatCountContext& ctx = flat_contexts[tid];
+        frozen->prepare_context(ctx);
+        const std::uint32_t n = frozen->num_candidates();
+        const std::uint32_t per = (n + threads - 1) / threads;
+        const std::uint32_t begin = std::min(n, tid * per);
+        const std::uint32_t end = std::min(n, begin + per);
+        frozen->count_slots_vertical(*vidx, begin, end, ctx);
+      } else if (use_frozen) {
         SMPMINE_TRACE_SPAN_ARG("count.flat", "k", k);
         FlatCountContext& ctx = flat_contexts[tid];
         frozen->prepare_context(ctx);
@@ -264,7 +328,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     SMPMINE_FLIGHT_PHASE_END(count_flight);
     it.count_busy_sum = std::accumulate(busy.begin(), busy.end(), 0.0);
     it.count_busy_max = *std::max_element(busy.begin(), busy.end());
-    if (use_flat) {
+    if (use_frozen) {
       for (const FlatCountContext& ctx : flat_contexts) {
         it.internal_visits += ctx.internal_visits;
         it.leaf_visits += ctx.leaf_visits;
@@ -295,7 +359,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
           SMPMINE_FLIGHT_PHASE("reduce", k);
           const std::uint32_t begin = std::min(n, tid * per);
           const std::uint32_t end = std::min(n, begin + per);
-          if (use_flat) {
+          if (use_frozen) {
             for (const FlatCountContext& ctx : flat_contexts) {
               frozen->reduce_into_shared(ctx, begin, end);
             }
@@ -308,7 +372,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
       }
       // Publish the frozen supports back into the pointer tree so
       // selection and rule generation read counters as usual.
-      if (use_flat) frozen->thaw_counts(tree);
+      if (use_frozen) frozen->thaw_counts(tree);
       it.reduce_seconds = reduce_timer.seconds();
     }
 

@@ -13,14 +13,6 @@ const char* to_string(Algorithm a) {
   return "?";
 }
 
-const char* to_string(CountKernel k) {
-  switch (k) {
-    case CountKernel::Pointer: return "pointer";
-    case CountKernel::Flat: return "flat";
-  }
-  return "?";
-}
-
 void MinerOptions::validate() {
   if (min_support <= 0.0 || min_support > 1.0) {
     throw std::invalid_argument("min_support must be in (0, 1]");

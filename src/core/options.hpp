@@ -9,6 +9,7 @@
 
 #include "alloc/placement.hpp"
 #include "data/db_partition.hpp"
+#include "hashtree/count_kernel.hpp"
 #include "hashtree/hash_policy.hpp"
 #include "hashtree/hash_tree.hpp"
 #include "parallel/partition.hpp"
@@ -23,13 +24,8 @@ enum class Algorithm {
 
 const char* to_string(Algorithm a);
 
-/// Support-counting backend.
-enum class CountKernel {
-  Pointer,  ///< the paper's recursive traversal over the pointer tree
-  Flat,     ///< frozen CSR layout + tiled iterative kernel (frozen_tree.hpp)
-};
-
-const char* to_string(CountKernel k);
+// CountKernel (Pointer / Flat / Vertical / Auto) and its per-iteration
+// chooser live in hashtree/count_kernel.hpp, included above.
 
 struct MinerOptions {
   /// Minimum support as a fraction of |D| (paper uses 0.5% and 0.1%).
@@ -69,7 +65,12 @@ struct MinerOptions {
   /// studies (subset-check short-circuiting, placement locality) pin it
   /// because their subject *is* the pointer layout. The flat kernel's
   /// bucket dedup is FrameLocal's regardless of subset_check, so support
-  /// counts are identical across all settings either way.
+  /// counts are identical across all settings either way. Vertical counts
+  /// through per-item tid-bitmaps (AND + popcount, vertical_index.hpp) —
+  /// the late-iteration winner — and Auto picks Flat or Vertical each
+  /// iteration via resolve_count_kernel's cost model. The kernel that
+  /// actually ran is recorded per iteration in
+  /// IterationStats::count_kernel_used.
   CountKernel count_kernel = CountKernel::Flat;
 
   // --- tree shape ----------------------------------------------------------

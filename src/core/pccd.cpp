@@ -9,11 +9,13 @@
 #include <algorithm>
 #include <memory>
 #include <numeric>
+#include <optional>
 
 #include "core/candidate_gen.hpp"
 #include "core/miner.hpp"
 #include "core/select.hpp"
 #include "hashtree/frozen_tree.hpp"
+#include "hashtree/vertical_index.hpp"
 #include "obs/flight/flight_recorder.hpp"
 #include "obs/perf/perf_counters.hpp"
 #include "obs/trace.hpp"
@@ -156,13 +158,36 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     obs::flight::high_water("hwm.tree_nodes", it.tree_nodes);
     obs::flight::high_water("hwm.tree_bytes", it.tree_bytes);
 
+    // ---- kernel resolution ------------------------------------------------
+    // Same chooser as CCPD (see ccpd.cpp): Auto applies the cost model,
+    // frozen-layout kernels degrade to Pointer past kMaxK, and the
+    // resolution is recorded per iteration.
+    std::vector<item_t> tracked;
+    CountKernel resolved;
+    {
+      KernelCostInputs ci;
+      ci.k = k;
+      ci.candidates = it.candidates;
+      ci.transactions = db.size();
+      ci.avg_transaction_len = db.avg_transaction_size();
+      ci.max_flat_k = FrozenTree::kMaxK;
+      if (opts.count_kernel == CountKernel::Vertical ||
+          opts.count_kernel == CountKernel::Auto) {
+        tracked = distinct_items(prev.flat());
+        ci.distinct_items = tracked.size();
+      }
+      resolved = resolve_count_kernel(opts.count_kernel, ci);
+    }
+    it.count_kernel_used = to_string(resolved);
+    const bool use_frozen = resolved != CountKernel::Pointer;
+    const bool use_vertical = resolved == CountKernel::Vertical;
+
     // ---- freeze: each thread flattens its private tree -------------------
     // k > kMaxK falls back to the pointer kernel for this iteration only
-    // (the flat kernel gathers candidates into a fixed-size stack buffer).
-    const bool use_flat =
-        opts.count_kernel == CountKernel::Flat && k <= FrozenTree::kMaxK;
+    // (the frozen kernels gather candidates into a fixed-size stack
+    // buffer). The vertical kernel freezes too: slots and counters.
     std::vector<std::unique_ptr<FrozenTree>> frozen(threads);
-    if (use_flat) {
+    if (use_frozen) {
       WallTimer freeze_timer;
       SMPMINE_TRACE_PHASE(freeze_span, "freeze", "k", k);
       pool.run_spmd([&](std::uint32_t tid) {
@@ -173,7 +198,33 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
       });
       SMPMINE_TRACE_PHASE_END(freeze_span);
       it.freeze_seconds = freeze_timer.seconds();
-      it.count_tile_size = frozen.front()->tile_size();
+      it.count_tile_size = use_vertical ? 0 : frozen.front()->tile_size();
+    }
+
+    // ---- vertical index build --------------------------------------------
+    // One shared tid-bitmap index (PCCD trees partition the *candidates*,
+    // not the database): allocated from thread 0's arena bundle on the
+    // master, filled in parallel by word partitions.
+    std::optional<VerticalIndex> vidx;
+    if (use_vertical) {
+      WallTimer vertbuild_timer;
+      SMPMINE_TRACE_PHASE(vertbuild_span, "vertbuild", "k", k);
+      SMPMINE_FLIGHT_PHASE_NAMED(vertbuild_flight, "vertbuild", k);
+      {
+        SMPMINE_PERF_PHASE("vertbuild");
+        vidx.emplace(db, tracked, *arenas[0]);
+      }
+      pool.run_spmd([&](std::uint32_t tid) {
+        SMPMINE_TRACE_SPAN_ARG("vertbuild", "k", k);
+        SMPMINE_PERF_PHASE("vertbuild");
+        SMPMINE_FLIGHT_PHASE("vertbuild", k);
+        vidx->build_partition(db, tid, threads);
+      });
+      it.vertbuild_seconds = vertbuild_timer.seconds();
+      it.vert_rows = vidx->rows();
+      it.vert_words = vidx->words();
+      SMPMINE_TRACE_PHASE_END(vertbuild_span);
+      SMPMINE_FLIGHT_PHASE_END(vertbuild_flight);
     }
 
     // ---- support counting: every thread scans the whole database ---------
@@ -186,7 +237,15 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
       SMPMINE_FLIGHT_PHASE("count", k);
       obs::flight::maybe_inject_fault("count");
       ThreadCpuTimer busy_timer;
-      if (use_flat) {
+      if (use_vertical) {
+        // Each thread intersects its own candidate share against the
+        // shared index — the whole database per slot, no transaction scan.
+        SMPMINE_TRACE_SPAN_ARG("count.vertical", "k", k);
+        FlatCountContext& ctx = flat_contexts[tid];
+        frozen[tid]->prepare_context(ctx);
+        frozen[tid]->count_slots_vertical(
+            *vidx, 0, frozen[tid]->num_candidates(), ctx);
+      } else if (use_frozen) {
         SMPMINE_TRACE_SPAN_ARG("count.flat", "k", k);
         FlatCountContext& ctx = flat_contexts[tid];
         frozen[tid]->prepare_context(ctx);
@@ -206,7 +265,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     SMPMINE_FLIGHT_PHASE_END(count_flight);
     it.count_busy_sum = std::accumulate(busy.begin(), busy.end(), 0.0);
     it.count_busy_max = *std::max_element(busy.begin(), busy.end());
-    if (use_flat) {
+    if (use_frozen) {
       for (std::uint32_t t = 0; t < threads; ++t) {
         const FlatCountContext& ctx = flat_contexts[t];
         it.internal_visits += ctx.internal_visits;
@@ -226,7 +285,7 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     }
 
     // ---- reduce: publish frozen counters back into the Candidates --------
-    if (use_flat) {
+    if (use_frozen) {
       WallTimer reduce_timer;
       SMPMINE_TRACE_PHASE(reduce_span, "reduce", "k", k);
       SMPMINE_FLIGHT_PHASE("reduce", k);

@@ -10,6 +10,7 @@
 
 #include "itemset/itemset.hpp"
 #include "obs/json_writer.hpp"
+#include "util/cpu_features.hpp"
 
 namespace smpmine {
 namespace {
@@ -196,9 +197,13 @@ void write_iteration(obs::JsonWriter& w, const IterationStats& it) {
   w.kv("candgen_seconds", it.candgen_seconds);
   w.kv("remap_seconds", it.remap_seconds);
   w.kv("freeze_seconds", it.freeze_seconds);
+  w.kv("vertbuild_seconds", it.vertbuild_seconds);
   w.kv("count_seconds", it.count_seconds);
   w.kv("reduce_seconds", it.reduce_seconds);
   w.kv("select_seconds", it.select_seconds);
+  w.kv("count_kernel_used", it.count_kernel_used);
+  w.kv("vert_rows", it.vert_rows);
+  w.kv("vert_words", it.vert_words);
   w.kv("candgen_busy_sum", it.candgen_busy_sum);
   w.kv("candgen_busy_max", it.candgen_busy_max);
   w.kv("count_busy_sum", it.count_busy_sum);
@@ -240,6 +245,11 @@ void write_manifest_body(obs::JsonWriter& w, const RunManifest& m) {
   w.kv("backend", m.perf_backend);
   w.key("phases");
   write_phase_perf(w, m.phase_perf);
+  w.end_object();
+  w.key("cpu").begin_object();
+  w.kv("avx2", m.cpu_avx2);
+  w.kv("neon", m.cpu_neon);
+  w.kv("simd_backend", m.simd_backend);
   w.end_object();
   w.key("iterations").begin_array();
   for (const IterationStats& it : m.iterations) write_iteration(w, it);
@@ -284,6 +294,9 @@ RunManifest make_run_manifest(std::string tool, std::string dataset_label,
   m.metrics = obs::MetricsRegistry::instance().snapshot();
   m.perf_backend = obs::perf::to_string(obs::perf::active_backend());
   m.phase_perf = obs::perf::PhasePerfRegistry::instance().snapshot();
+  m.cpu_avx2 = cpu_features().avx2;
+  m.cpu_neon = cpu_features().neon;
+  m.simd_backend = to_string(simd_backend());
   return m;
 }
 

@@ -74,6 +74,13 @@ struct RunManifest {
   /// run-total per-phase counter attribution (empty when off).
   std::string perf_backend = "off";
   obs::perf::PhasePerfSnapshot phase_perf;
+
+  /// CPU feature/dispatch record: which SIMD features the host reports and
+  /// which leaf-scan backend the run dispatched to (util/cpu_features.hpp),
+  /// so result provenance includes the code path taken.
+  bool cpu_avx2 = false;
+  bool cpu_neon = false;
+  std::string simd_backend = "scalar";
 };
 
 /// Builds a manifest from a finished run, snapshotting the global metrics

@@ -32,14 +32,25 @@ struct IterationStats {
 
   // Phase wall times (seconds, master-observed). freeze_seconds is the
   // flat kernel's pointer-tree -> CSR snapshot (zero under the pointer
-  // kernel); it is charged to the iteration total so every kernel
-  // comparison includes the freeze cost.
+  // kernel); vertbuild_seconds is the vertical kernel's tid-bitmap index
+  // construction (zero otherwise). Both are charged to the iteration total
+  // so every kernel comparison includes its build cost.
   double candgen_seconds = 0.0;
   double remap_seconds = 0.0;
   double freeze_seconds = 0.0;
+  double vertbuild_seconds = 0.0;
   double count_seconds = 0.0;
   double reduce_seconds = 0.0;
   double select_seconds = 0.0;
+
+  /// Which counting kernel actually ran this iteration ("pointer", "flat"
+  /// or "vertical") — resolve_count_kernel's output, which can differ from
+  /// the requested kernel under Auto or the k > FrozenTree::kMaxK
+  /// fallback.
+  std::string count_kernel_used = "pointer";
+  // Vertical-kernel shape (zero under the horizontal kernels).
+  std::uint64_t vert_rows = 0;   ///< tid-bitmap rows (tracked items)
+  std::uint64_t vert_words = 0;  ///< u64 words per row
 
   // Work model: per-thread CPU time in the parallel phases. On a machine
   // with fewer cores than threads, wall time measures scheduling rather
@@ -82,8 +93,9 @@ struct IterationStats {
   obs::perf::PhasePerfSnapshot perf;
 
   double total_seconds() const {
-    return candgen_seconds + remap_seconds + freeze_seconds + count_seconds +
-           reduce_seconds + select_seconds;
+    return candgen_seconds + remap_seconds + freeze_seconds +
+           vertbuild_seconds + count_seconds + reduce_seconds +
+           select_seconds;
   }
 
   /// Modeled parallel computation time of this iteration: critical path of
@@ -91,7 +103,8 @@ struct IterationStats {
   /// (the freeze, like the remap, runs on the master).
   double modeled_parallel_seconds() const {
     return candgen_busy_max + remap_seconds + freeze_seconds +
-           count_busy_max + reduce_seconds + select_seconds;
+           vertbuild_seconds + count_busy_max + reduce_seconds +
+           select_seconds;
   }
 };
 

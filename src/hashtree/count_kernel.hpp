@@ -1,0 +1,55 @@
+// Support-counting kernel selection.
+//
+// Three kernels count candidate supports, plus a per-iteration chooser:
+//   Pointer   the paper's recursive traversal over the pointer hash tree;
+//   Flat      frozen CSR/SoA snapshot + tiled iterative kernel
+//             (frozen_tree.hpp), SIMD-dispatched leaf scans;
+//   Vertical  per-frequent-item tid-bitmaps intersected with AND+popcount
+//             (vertical_index.hpp) — the Eclat-style attack that wins in
+//             late iterations, where few deep candidates make a full
+//             horizontal scan of D mostly wasted motion;
+//   Auto      picks Flat or Vertical each iteration from the cost model
+//             below (both fall back to Pointer past FrozenTree::kMaxK).
+//
+// The enum lives in hashtree (not core/options.hpp) because the chooser is
+// kernel-layer logic; options.hpp re-exports it so existing includes keep
+// working.
+#pragma once
+
+#include <cstdint>
+
+namespace smpmine {
+
+enum class CountKernel {
+  Pointer,   ///< recursive pointer-tree traversal
+  Flat,      ///< frozen CSR + tiled horizontal kernel
+  Vertical,  ///< tid-bitmap AND + popcount kernel
+  Auto,      ///< per-iteration cost-model choice between Flat and Vertical
+};
+
+const char* to_string(CountKernel k);
+
+/// Inputs the per-iteration chooser works from. All quantities are for the
+/// iteration about to count (candidates/distinct items of level k).
+struct KernelCostInputs {
+  std::uint32_t k = 0;              ///< candidate size this iteration
+  std::uint64_t candidates = 0;     ///< |C(k)| (all threads' shares summed)
+  std::uint64_t distinct_items = 0; ///< distinct items across F(k-1)
+  std::uint64_t transactions = 0;   ///< |D|
+  double avg_transaction_len = 0.0; ///< mean |T|
+  std::uint32_t max_flat_k = 0;     ///< FrozenTree::kMaxK (fallback bound)
+};
+
+/// Resolves the *requested* kernel to the kernel that will actually run
+/// this iteration: Auto applies the cost model, and any frozen-layout
+/// kernel degrades to Pointer when k exceeds the flat layout's bound.
+/// Deterministic — IterationStats::count_kernel_used records the result.
+CountKernel resolve_count_kernel(CountKernel requested,
+                                 const KernelCostInputs& in);
+
+/// The Auto cost model, exposed for tests: true when the vertical kernel's
+/// modeled word traffic undercuts the horizontal kernel's modeled
+/// transaction traffic (see vertical_index.cpp for the constants).
+bool vertical_wins(const KernelCostInputs& in);
+
+}  // namespace smpmine

@@ -42,10 +42,13 @@
 #include "alloc/placement.hpp"
 #include "data/database.hpp"
 #include "hashtree/hash_tree.hpp"
+#include "util/cpu_features.hpp"
 #include "util/phase_epoch.hpp"
 #include "util/types.hpp"
 
 namespace smpmine {
+
+class VerticalIndex;
 
 /// One (node, transaction, resume-position) unit of tiled traversal work.
 struct FlatEntry {
@@ -63,8 +66,15 @@ struct FlatCountContext {
   /// Double-buffered work frontiers (current level / next level).
   std::vector<FlatEntry> frontier;
   std::vector<FlatEntry> next;
-  /// Counting-sort workspace, sized to the widest BFS level + 1.
+  /// Counting/radix-sort workspace, sized to max(widest BFS level + 1,
+  /// 257) — the radix path needs 256 digit buckets + 1.
   std::vector<std::uint32_t> bucket_offsets;
+  /// Per-tile hash-bucket cache: bucket(txn item) for every (tile slot,
+  /// position), filled once per tile by the driver so the per-level
+  /// expansion re-reads instead of re-hashing. bucket_base[s] is slot s's
+  /// offset into bucket_cache.
+  std::vector<std::uint32_t> bucket_cache;
+  std::vector<std::uint32_t> bucket_base;
   /// Per-expansion bucket dedup (fanout slots, epoch-reset).
   std::vector<std::uint32_t> seen;
   std::uint32_t seen_epoch = 0;
@@ -110,6 +120,9 @@ class FrozenTree {
   std::uint32_t fanout() const { return fanout_; }
   CounterMode counter_mode() const { return mode_; }
   std::uint32_t tile_size() const { return tile_; }
+  /// The leaf-scan backend this tree dispatches to (resolved from
+  /// util/cpu_features.hpp at freeze time).
+  SimdBackend simd() const { return simd_; }
 
   /// Re-sizes a per-thread context for this tree (capacity-reusing, like
   /// HashTree::prepare_context).
@@ -120,6 +133,15 @@ class FrozenTree {
   /// follow the counter mode.
   void count_range(const Database& db, std::uint64_t begin, std::uint64_t end,
                    FlatCountContext& ctx) const;
+
+  /// Vertical kernel: counts candidate slots [begin_slot, end_slot) by
+  /// AND+popcount over the index's tid-bitmap rows (every transaction at
+  /// once — there is no transaction range). Thread-safe for disjoint slot
+  /// ranges under any counter mode; the index must have been built for a
+  /// superset of this tree's candidate items and barrier-published.
+  void count_slots_vertical(const VerticalIndex& vidx,
+                            std::uint32_t begin_slot, std::uint32_t end_slot,
+                            FlatCountContext& ctx) const;
 
   /// LCA reduction: adds a PerThread context's local counts into the
   /// shared counter array. Callers split [0, num_candidates) into disjoint
@@ -164,6 +186,8 @@ class FrozenTree {
   // lint-ok: R1 — immutable after construction.
   std::uint32_t tile_ = kTileSize;
   CounterMode mode_ = CounterMode::Atomic;
+  // lint-ok: R1 — immutable after construction.
+  SimdBackend simd_ = SimdBackend::Scalar;
 
   // Flat arrays, region-owned (see constructor). The structure arrays are
   // written once by the freeze and read-only afterwards.

@@ -1,0 +1,225 @@
+// Leaf-scan backends: scalar reference, AVX2 and NEON vector paths.
+//
+// See tile_simd.hpp for the contract. The containment test exploits two
+// database invariants: transactions are sorted and deduplicated, and a
+// candidate's items are strictly increasing — so "all k items present" can
+// be answered by a monotone forward scan that never revisits a chunk, and
+// presence-by-equality equals the scalar pointer-merge's subset semantics.
+#include "hashtree/tile_simd.hpp"
+
+#include <atomic>
+
+#include "util/attributes.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace smpmine::tilesimd {
+
+namespace {
+
+/// Counter update shared by every backend — identical discipline to the
+/// pointer kernel's Candidate::count updates.
+inline void bump(const LeafRun& run, std::uint32_t s) {
+  switch (run.mode) {
+    case CounterMode::Atomic:
+      // relaxed-ok: support counters are pure totals; nobody reads them
+      // until after the counting barrier, which provides the ordering.
+      std::atomic_ref<count_t>(run.counts[s])
+          .fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CounterMode::Locked: {
+      SpinLockGuard guard(run.locks[s]);
+      ++run.counts[s];
+      break;
+    }
+    case CounterMode::PerThread:
+      ++run.local[s];
+      break;
+  }
+}
+
+#if defined(__x86_64__)
+
+/// All k candidate items present in txn[0..n)? 8 lanes per step; the scan
+/// position only moves forward because both sequences are ascending.
+__attribute__((target("avx2"))) inline bool contains_avx2(
+    const item_t* cand, std::uint32_t k, const item_t* txn,
+    std::uint32_t n) {
+  std::uint32_t pos = 0;
+  for (std::uint32_t q = 0; q < k; ++q) {
+    const item_t want = cand[q];
+    const __m256i wv = _mm256_set1_epi32(static_cast<int>(want));
+    bool found = false;
+    while (pos < n) {
+      const std::uint32_t rem = n - pos;
+      unsigned eq;
+      item_t last;
+      if (rem >= 8) {
+        const __m256i chunk = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(txn + pos));
+        eq = static_cast<unsigned>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(chunk, wv))));
+        last = txn[pos + 7];
+      } else {
+        // Tail chunk: masked load (no out-of-bounds reads), and the
+        // equality mask is clipped to the valid lanes — a masked-out lane
+        // reads as 0, which must not match a candidate item id 0.
+        alignas(32) static constexpr int kLane[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+        const __m256i lane =
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(kLane));
+        const __m256i valid =
+            _mm256_cmpgt_epi32(_mm256_set1_epi32(static_cast<int>(rem)),
+                               lane);
+        const __m256i chunk = _mm256_maskload_epi32(
+            reinterpret_cast<const int*>(txn + pos), valid);
+        eq = static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(
+                 _mm256_cmpeq_epi32(chunk, wv)))) &
+             ((1u << rem) - 1u);
+        last = txn[n - 1];
+      }
+      if (eq != 0) {
+        found = true;  // stay on this chunk: the next item may share it
+        break;
+      }
+      if (last < want) {
+        pos += 8;  // whole chunk below the target, advance
+        continue;
+      }
+      return false;  // chunk straddles want's rank but want is absent
+    }
+    if (!found) return false;  // ran off the transaction's end
+  }
+  return true;
+}
+
+#endif  // __x86_64__
+
+#if defined(__aarch64__)
+
+/// NEON variant: 4 lanes per step, scalar tail under 4 items.
+inline bool contains_neon(const item_t* cand, std::uint32_t k,
+                          const item_t* txn, std::uint32_t n) {
+  std::uint32_t pos = 0;
+  for (std::uint32_t q = 0; q < k; ++q) {
+    const item_t want = cand[q];
+    const uint32x4_t wv = vdupq_n_u32(want);
+    bool found = false;
+    while (pos < n) {
+      const std::uint32_t rem = n - pos;
+      if (rem >= 4) {
+        const uint32x4_t chunk = vld1q_u32(txn + pos);
+        if (vmaxvq_u32(vceqq_u32(chunk, wv)) != 0) {
+          found = true;
+          break;
+        }
+        if (txn[pos + 3] < want) {
+          pos += 4;
+          continue;
+        }
+        return false;
+      }
+      // Scalar tail: ascending scan, stop at the first item > want.
+      for (std::uint32_t u = pos; u < n; ++u) {
+        if (txn[u] == want) {
+          found = true;
+          break;
+        }
+        if (txn[u] > want) break;
+      }
+      if (!found) return false;
+      break;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+#endif  // __aarch64__
+
+}  // namespace
+
+SMPMINE_HOT LeafRunResult leaf_run_scalar(const LeafRun& run) {
+  LeafRunResult out;
+  for (std::uint32_t s = run.cb; s < run.ce; ++s) {
+    item_t cand[FrozenTree::kMaxK];
+    for (std::uint32_t q = 0; q < run.k; ++q) {
+      cand[q] = run.items[static_cast<std::size_t>(q) * run.num_cands + s];
+    }
+    for (std::uint32_t e = run.i; e < run.j; ++e) {
+      ++out.checks;
+      const std::uint32_t t = run.fr[e].txn;
+      const item_t* p = run.tile_ptr[t];
+      const item_t* tend = p + run.tile_len[t];
+      bool contained = true;
+      for (std::uint32_t q = 0; q < run.k; ++q) {
+        const item_t want = cand[q];
+        while (p != tend && *p < want) ++p;
+        if (p == tend || *p != want) {
+          contained = false;
+          break;
+        }
+        ++p;
+      }
+      if (!contained) continue;
+      ++out.hits;
+      bump(run, s);
+    }
+  }
+  return out;
+}
+
+#if defined(__x86_64__)
+
+__attribute__((target("avx2"))) SMPMINE_HOT LeafRunResult
+leaf_run_avx2(const LeafRun& run) {
+  LeafRunResult out;
+  for (std::uint32_t s = run.cb; s < run.ce; ++s) {
+    item_t cand[FrozenTree::kMaxK];
+    for (std::uint32_t q = 0; q < run.k; ++q) {
+      cand[q] = run.items[static_cast<std::size_t>(q) * run.num_cands + s];
+    }
+    for (std::uint32_t e = run.i; e < run.j; ++e) {
+      ++out.checks;
+      const std::uint32_t t = run.fr[e].txn;
+      if (!contains_avx2(cand, run.k, run.tile_ptr[t], run.tile_len[t])) {
+        continue;
+      }
+      ++out.hits;
+      bump(run, s);
+    }
+  }
+  return out;
+}
+
+#endif  // __x86_64__
+
+#if defined(__aarch64__)
+
+SMPMINE_HOT LeafRunResult leaf_run_neon(const LeafRun& run) {
+  LeafRunResult out;
+  for (std::uint32_t s = run.cb; s < run.ce; ++s) {
+    item_t cand[FrozenTree::kMaxK];
+    for (std::uint32_t q = 0; q < run.k; ++q) {
+      cand[q] = run.items[static_cast<std::size_t>(q) * run.num_cands + s];
+    }
+    for (std::uint32_t e = run.i; e < run.j; ++e) {
+      ++out.checks;
+      const std::uint32_t t = run.fr[e].txn;
+      if (!contains_neon(cand, run.k, run.tile_ptr[t], run.tile_len[t])) {
+        continue;
+      }
+      ++out.hits;
+      bump(run, s);
+    }
+  }
+  return out;
+}
+
+#endif  // __aarch64__
+
+}  // namespace smpmine::tilesimd

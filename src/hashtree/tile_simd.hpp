@@ -1,0 +1,68 @@
+// SIMD backends for the flat kernel's leaf containment scan.
+//
+// The hottest loop of the tiled kernel asks, for every (candidate slot,
+// transaction) pair of a leaf run, "are all k SoA item columns present in
+// the transaction?". The scalar answer is a pointer merge with one
+// unpredictable branch per transaction item; the vector answer broadcasts
+// each candidate item and compares it against 8 (AVX2) or 4 (NEON)
+// transaction lanes at once, walking chunks monotonically (candidate items
+// are strictly increasing, transactions sorted and deduplicated, so the
+// scan never needs to back up). All backends return identical check/hit
+// counts and perform identical counter updates — the differential tests
+// and CI's byte-for-byte simd-matrix leg hold them to it.
+//
+// Each backend is one free function: AVX2 code is expressed with
+// __attribute__((target("avx2"))) so this translation unit builds without
+// -mavx2 and the caller (FrozenTree::expand_level) only jumps here after
+// the runtime cpuid check (util/cpu_features.hpp). NEON is baseline on
+// AArch64, gated by compile-time architecture only.
+#pragma once
+
+#include <cstdint>
+
+#include "hashtree/frozen_tree.hpp"
+
+namespace smpmine::tilesimd {
+
+/// One leaf run: candidate slots [cb, ce) of a leaf node against frontier
+/// entries [i, j) that reached it. Raw pointers only — the caller owns all
+/// buffers and the backends run under the R4 no-allocation contract.
+struct LeafRun {
+  const item_t* items;    ///< SoA base: item q of slot s = items[q*num_cands+s]
+  /// lint-ok: R1 — plain-old-data argument pack built on the caller's
+  /// stack per run, never shared across threads; the pointees follow the
+  /// flat kernel's own discipline (tree immutable after freeze).
+  std::size_t num_cands;
+  std::uint32_t k;
+  std::uint32_t cb, ce;  ///< lint-ok: R1 — argument pack (above)
+  const FlatEntry* fr;
+  std::uint32_t i, j;  ///< lint-ok: R1 — argument pack (above)
+  const item_t* const* tile_ptr;
+  /// lint-ok: R1 — same argument-pack story; counter targets are updated
+  /// only through bump() under the selected CounterMode's discipline.
+  const std::uint32_t* tile_len;
+  CounterMode mode;
+  count_t* counts;
+  SpinLock* locks;  ///< CounterMode::Locked only
+  count_t* local;   ///< CounterMode::PerThread only; lint-ok: R1 (above)
+};
+
+struct LeafRunResult {
+  std::uint64_t checks = 0;
+  std::uint64_t hits = 0;
+};
+
+/// Reference implementation (the original pointer-merge loop).
+LeafRunResult leaf_run_scalar(const LeafRun& run);
+
+#if defined(__x86_64__)
+/// AVX2 implementation; call only when cpu_features().avx2.
+LeafRunResult leaf_run_avx2(const LeafRun& run);
+#endif
+
+#if defined(__aarch64__)
+/// NEON implementation (baseline on AArch64).
+LeafRunResult leaf_run_neon(const LeafRun& run);
+#endif
+
+}  // namespace smpmine::tilesimd

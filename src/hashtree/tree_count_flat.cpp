@@ -19,9 +19,9 @@
 // driver sizes buffers from exact per-level bounds; the SMPMINE_HOT
 // kernels below only ever write through raw pointers (R4).
 #include <algorithm>
-#include <atomic>
 
 #include "hashtree/frozen_tree.hpp"
+#include "hashtree/tile_simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/attributes.hpp"
@@ -33,6 +33,10 @@ namespace {
 
 /// Lookahead distance (in frontier entries) for CSR-row prefetches.
 constexpr std::uint32_t kPrefetchAhead = 8;
+
+/// Below this many entries the radix pass's fixed histogram cost beats
+/// nothing; std::sort the stragglers instead.
+constexpr std::uint32_t kRadixMinEntries = 64;
 
 }  // namespace
 
@@ -46,10 +50,14 @@ void FrozenTree::prepare_context(FlatCountContext& ctx) const {
   ctx.seen_epoch = 0;
   ctx.tile_ptr.assign(tile_, nullptr);
   ctx.tile_len.assign(tile_, 0);
+  ctx.bucket_base.assign(tile_ + 1u, 0);
   if (ctx.frontier.size() < tile_) ctx.frontier.resize(tile_);
   if (ctx.next.size() < tile_) ctx.next.resize(tile_);
-  if (ctx.bucket_offsets.size() < max_level_width_ + 1u) {
-    ctx.bucket_offsets.resize(max_level_width_ + 1u);
+  // The workspace serves both the per-level counting sort (width + 1
+  // slots) and the radix pass (256 digit buckets + 1).
+  const std::uint32_t want_offsets = std::max(max_level_width_ + 1u, 257u);
+  if (ctx.bucket_offsets.size() < want_offsets) {
+    ctx.bucket_offsets.resize(want_offsets);
   }
   ctx.internal_visits = 0;
   ctx.leaf_visits = 0;
@@ -68,6 +76,8 @@ SMPMINE_HOT std::uint32_t FrozenTree::expand_level(
   std::uint32_t* seen = ctx.seen.data();
   const item_t* const* tile_ptr = ctx.tile_ptr.data();
   const std::uint32_t* tile_len = ctx.tile_len.data();
+  const std::uint32_t* bcache = ctx.bucket_cache.data();
+  const std::uint32_t* bbase = ctx.bucket_base.data();
   count_t* local = ctx.local_counts.data();
   std::uint64_t internal_visits = 0, leaf_visits = 0;
   std::uint64_t checks = 0, hits = 0, prefetches = 0;
@@ -89,7 +99,9 @@ SMPMINE_HOT std::uint32_t FrozenTree::expand_level(
       for (std::uint32_t e = i; e < j; ++e) {
         ++internal_visits;
         const std::uint32_t t = fr[e].txn;
-        const item_t* txn = tile_ptr[t];
+        // Buckets were hashed once for the whole tile by the driver; every
+        // level from here on re-reads the cache instead of re-hashing.
+        const std::uint32_t* tb = bcache + bbase[t];
         const std::uint32_t last = tile_len[t] - (k_ - depth);
         std::uint32_t epoch = ++ctx.seen_epoch;
         if (epoch == 0) {  // u32 wrap: stale stamps could alias; reset
@@ -97,7 +109,7 @@ SMPMINE_HOT std::uint32_t FrozenTree::expand_level(
           epoch = ctx.seen_epoch = 1;
         }
         for (std::uint32_t p = fr[e].start; p <= last; ++p) {
-          const std::uint32_t b = policy_->bucket(txn[p]);
+          const std::uint32_t b = tb[p];
           if (seen[b] == epoch) continue;  // duplicate bucket at this frame
           seen[b] = epoch;
           out[n_out].node = fc + b;
@@ -111,50 +123,31 @@ SMPMINE_HOT std::uint32_t FrozenTree::expand_level(
       const std::uint32_t ce = cand_begin_[node + 1];
       if (ce != cb) {
         leaf_visits += j - i;
-        // Slot-outer, transaction-inner: one candidate's SoA columns are
-        // gathered once and checked against every transaction in the run
-        // while its cache lines are warm.
-        for (std::uint32_t s = cb; s < ce; ++s) {
-          item_t cand[kMaxK];
-          for (std::uint32_t q = 0; q < k_; ++q) {
-            cand[q] = items_[static_cast<std::size_t>(q) * num_cands_ + s];
-          }
-          for (std::uint32_t e = i; e < j; ++e) {
-            ++checks;
-            const std::uint32_t t = fr[e].txn;
-            const item_t* p = tile_ptr[t];
-            const item_t* tend = p + tile_len[t];
-            bool contained = true;
-            for (std::uint32_t q = 0; q < k_; ++q) {
-              const item_t want = cand[q];
-              while (p != tend && *p < want) ++p;
-              if (p == tend || *p != want) {
-                contained = false;
-                break;
-              }
-              ++p;
-            }
-            if (!contained) continue;
-            ++hits;
-            switch (mode_) {
-              case CounterMode::Atomic:
-                // relaxed-ok: support counters are pure totals; nobody
-                // reads them until after the counting barrier, which
-                // provides the ordering.
-                std::atomic_ref<count_t>(counts_[s])
-                    .fetch_add(1, std::memory_order_relaxed);
-                break;
-              case CounterMode::Locked: {
-                SpinLockGuard guard(locks_[s]);
-                ++counts_[s];
-                break;
-              }
-              case CounterMode::PerThread:
-                ++local[s];
-                break;
-            }
-          }
+        // Slot-outer, transaction-inner leaf scan, dispatched to the
+        // backend resolved at freeze time (tile_simd.cpp). All backends
+        // produce identical check/hit counts and counter updates.
+        const tilesimd::LeafRun run{items_,   num_cands_, k_,    cb,
+                                    ce,       fr,         i,     j,
+                                    tile_ptr, tile_len,   mode_, counts_,
+                                    locks_,   local};
+        tilesimd::LeafRunResult r;
+        switch (simd_) {
+#if defined(__x86_64__)
+          case SimdBackend::Avx2:
+            r = tilesimd::leaf_run_avx2(run);
+            break;
+#endif
+#if defined(__aarch64__)
+          case SimdBackend::Neon:
+            r = tilesimd::leaf_run_neon(run);
+            break;
+#endif
+          default:
+            r = tilesimd::leaf_run_scalar(run);
+            break;
         }
+        checks += r.checks;
+        hits += r.hits;
       }
     }
     i = j;
@@ -174,13 +167,37 @@ SMPMINE_HOT bool FrozenTree::sort_level(std::uint32_t level,
   const std::uint32_t base = level_begin_[level];
   const std::uint32_t width = level_begin_[level + 1] - base;
   FlatEntry* in = ctx.next.data();
-  // A wide level with few entries would spend more time clearing the
-  // histogram than sorting; comparison-sort the entries in place instead.
+  // A wide level makes the single-pass counting sort spend more time
+  // clearing its width-sized histogram than sorting. With enough entries
+  // an 8-bit LSD radix sort amortizes that: ceil(log256(width)) stable
+  // passes over fixed 256-slot histograms, ping-ponging between the two
+  // frontier buffers. Below kRadixMinEntries even the radix setup loses;
+  // comparison-sort the stragglers in place.
   if (width > 2 * n + 64) {
-    std::sort(in, in + n, [](const FlatEntry& a, const FlatEntry& b) {
-      return a.node < b.node;
-    });
-    return false;  // result stayed in ctx.next
+    if (n < kRadixMinEntries) {
+      std::sort(in, in + n, [](const FlatEntry& a, const FlatEntry& b) {
+        return a.node < b.node;
+      });
+      return false;  // result stayed in ctx.next
+    }
+    std::uint32_t* off = ctx.bucket_offsets.data();
+    FlatEntry* a = in;
+    FlatEntry* b = ctx.frontier.data();
+    bool in_frontier = false;
+    const std::uint64_t max_key = width - 1;  // 64-bit: shift may reach 32
+    for (std::uint32_t shift = 0; max_key >> shift != 0; shift += 8) {
+      for (std::uint32_t w = 0; w <= 256; ++w) off[w] = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        ++off[(((a[i].node - base) >> shift) & 0xFFu) + 1];
+      }
+      for (std::uint32_t w = 0; w < 256; ++w) off[w + 1] += off[w];
+      for (std::uint32_t i = 0; i < n; ++i) {
+        b[off[((a[i].node - base) >> shift) & 0xFFu]++] = a[i];
+      }
+      std::swap(a, b);
+      in_frontier = !in_frontier;
+    }
+    return in_frontier;
   }
   std::uint32_t* off = ctx.bucket_offsets.data();
   for (std::uint32_t w = 0; w <= width; ++w) off[w] = 0;
@@ -211,6 +228,7 @@ void FrozenTree::count_range(const Database& db, std::uint64_t begin,
     const std::uint32_t nb =
         static_cast<std::uint32_t>(std::min<std::uint64_t>(tile_, end - t0));
     std::uint32_t seeds = 0;
+    std::uint32_t cache_total = 0;
     for (std::uint32_t s = 0; s < nb; ++s) {
       const auto txn = db.transaction(t0 + s);
       if (txn.size() < k_) continue;  // too short to contain any candidate
@@ -218,10 +236,25 @@ void FrozenTree::count_range(const Database& db, std::uint64_t begin,
                      "transactions must be sorted for subset enumeration");
       ctx.tile_ptr[seeds] = txn.data();
       ctx.tile_len[seeds] = static_cast<std::uint32_t>(txn.size());
+      ctx.bucket_base[seeds] = cache_total;
+      cache_total += static_cast<std::uint32_t>(txn.size());
       ++seeds;
     }
     if (seeds == 0) continue;
     ++ctx.tiles;
+    // Hash every tile item's bucket once here (non-hot, may grow the
+    // cache); the per-level expansion only re-reads it. A (txn, position)
+    // pair is re-hashed at every surviving level otherwise.
+    ctx.bucket_base[seeds] = cache_total;
+    if (ctx.bucket_cache.size() < cache_total) {
+      ctx.bucket_cache.resize(cache_total);
+    }
+    for (std::uint32_t s = 0; s < seeds; ++s) {
+      const item_t* txn = ctx.tile_ptr[s];
+      std::uint32_t* bc = ctx.bucket_cache.data() + ctx.bucket_base[s];
+      const std::uint32_t len = ctx.tile_len[s];
+      for (std::uint32_t p = 0; p < len; ++p) bc[p] = policy_->bucket(txn[p]);
+    }
     // Per-tile latency distribution: the histogram's tail separates "a few
     // slow tiles" (long transactions, deep descents) from uniformly slow
     // counting — invisible in the tile-count sum above. Two clock reads

@@ -1,0 +1,107 @@
+// Vertical counting kernel: tid-bitmap AND + popcount per candidate slot.
+//
+// Where the horizontal kernels enumerate every transaction against the
+// tree, the vertical kernel loops over candidate *slots*: a slot's support
+// is the popcount of the AND of its k item rows in the VerticalIndex,
+// streamed in 8-word (512-bit) blocks. All transactions are covered at
+// once — parallelism comes from disjoint slot ranges, not transaction
+// ranges — and the tree structure is only used as the slot -> k-itemset
+// map (the same SoA columns the leaf scans read).
+//
+// Counter discipline matches the horizontal kernels per CounterMode so the
+// reduce phase and the TSan race suite treat all kernels uniformly, even
+// though disjoint slot ranges would make plain stores safe.
+#include <atomic>
+#include <bit>
+
+#include "hashtree/frozen_tree.hpp"
+#include "hashtree/vertical_index.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/attributes.hpp"
+#include "util/checked.hpp"
+
+namespace smpmine {
+
+namespace {
+
+/// popcount(rows[0] & ... & rows[k-1]) over `words` u64s. 8-word blocks:
+/// the per-block accumulators live in registers and the row streams are
+/// perfectly sequential, so this runs at memory bandwidth for small k.
+SMPMINE_HOT std::uint64_t and_popcount(
+    const std::uint64_t* const* rows, std::uint32_t k, std::uint64_t words) {
+  std::uint64_t total = 0;
+  std::uint64_t w = 0;
+  for (; w + VerticalIndex::kBlockWords <= words;
+       w += VerticalIndex::kBlockWords) {
+    for (std::uint32_t b = 0; b < VerticalIndex::kBlockWords; ++b) {
+      std::uint64_t acc = rows[0][w + b];
+      for (std::uint32_t q = 1; q < k; ++q) acc &= rows[q][w + b];
+      total += static_cast<std::uint64_t>(std::popcount(acc));
+    }
+  }
+  for (; w < words; ++w) {
+    std::uint64_t acc = rows[0][w];
+    for (std::uint32_t q = 1; q < k; ++q) acc &= rows[q][w];
+    total += static_cast<std::uint64_t>(std::popcount(acc));
+  }
+  return total;
+}
+
+}  // namespace
+
+void FrozenTree::count_slots_vertical(const VerticalIndex& vidx,
+                                      std::uint32_t begin_slot,
+                                      std::uint32_t end_slot,
+                                      FlatCountContext& ctx) const {
+  SMPMINE_ASSERT(end_slot <= num_cands_, "slot range out of bounds");
+  SMPMINE_ASSERT(mode_ != CounterMode::PerThread ||
+                     ctx.local_counts.size() == num_cands_,
+                 "FlatCountContext is stale: prepared for another tree");
+  // PerThread mode writes only ctx.local_counts here; the shared counters
+  // are touched in reduce_into_shared (its own epoch check).
+  if (mode_ != CounterMode::PerThread) {
+    SMPMINE_PHASE_EPOCH_WRITE(counter_epoch_);
+  }
+  const std::uint64_t words = vidx.words();
+  count_t* local = ctx.local_counts.data();
+  for (std::uint32_t s = begin_slot; s < end_slot; ++s) {
+    const std::uint64_t slot_start_ns = obs::now_ns();
+    const std::uint64_t* rows[kMaxK];
+    bool tracked = true;
+    for (std::uint32_t q = 0; q < k_; ++q) {
+      const item_t item = items_[static_cast<std::size_t>(q) * num_cands_ + s];
+      rows[q] = vidx.row_bits(item);
+      if (rows[q] == nullptr) {
+        tracked = false;  // item below support: this candidate has 0 support
+        break;
+      }
+    }
+    const std::uint64_t support =
+        tracked && words != 0 ? and_popcount(rows, k_, words) : 0;
+    ctx.hits += support;  // hits == total support sum, kernel-independent
+    if (support != 0) {
+      switch (mode_) {
+        case CounterMode::Atomic:
+          // relaxed-ok: support counters are pure totals; nobody reads
+          // them until after the counting barrier, which orders them.
+          std::atomic_ref<count_t>(counts_[s])
+              .fetch_add(static_cast<count_t>(support),
+                         std::memory_order_relaxed);
+          break;
+        case CounterMode::Locked: {
+          SpinLockGuard guard(locks_[s]);
+          counts_[s] += static_cast<count_t>(support);
+          break;
+        }
+        case CounterMode::PerThread:
+          local[s] += static_cast<count_t>(support);
+          break;
+      }
+    }
+    obs::metric::vertkernel_slot_ns().record(obs::now_ns() - slot_start_ns);
+  }
+  obs::metric::vertkernel_slots().inc(end_slot - begin_slot);
+}
+
+}  // namespace smpmine

@@ -24,7 +24,8 @@ FrozenTree::FrozenTree(const HashTree& tree, PlacementArenas& arenas)
       fanout_(tree.fanout()),
       num_nodes_(tree.num_nodes()),
       num_cands_(tree.num_candidates()),
-      mode_(tree.counter_mode()) {
+      mode_(tree.counter_mode()),
+      simd_(simd_backend()) {
   SMPMINE_TRACE_SPAN_ARG("count.freeze", "nodes", num_nodes_);
   if (k_ > kMaxK) {
     throw std::invalid_argument("FrozenTree: k exceeds kMaxK");

@@ -1,0 +1,129 @@
+#include "hashtree/vertical_index.hpp"
+
+#include <algorithm>
+
+#include "hashtree/count_kernel.hpp"
+#include "obs/metrics.hpp"
+#include "util/checked.hpp"
+
+namespace smpmine {
+
+const char* to_string(CountKernel k) {
+  switch (k) {
+    case CountKernel::Pointer: return "pointer";
+    case CountKernel::Flat: return "flat";
+    case CountKernel::Vertical: return "vertical";
+    case CountKernel::Auto: return "auto";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Horizontal-kernel cost of one transaction item in "bitmap word"
+/// currency. Calibrated on T10.I4.D100K (see DESIGN.md, "Counting kernel
+/// v2"): the flat kernel spends roughly this many word-op equivalents per
+/// (transaction item, depth level), dominated by subset enumeration and
+/// leaf merge scans.
+constexpr double kFlatWordsPerItem = 24.0;
+
+}  // namespace
+
+bool vertical_wins(const KernelCostInputs& in) {
+  if (in.transactions == 0 || in.candidates == 0) return false;
+  const double words =
+      static_cast<double>((in.transactions + 63) / 64);
+  // Vertical traffic: one k-row AND+popcount stream per candidate, plus
+  // the build's zero-and-set double pass over every row.
+  const double vertical =
+      (static_cast<double>(in.candidates) * in.k +
+       2.0 * static_cast<double>(in.distinct_items)) *
+      words;
+  // Horizontal traffic: every transaction enumerated against the tree,
+  // cost per item growing with depth (candidate count x depth vs.
+  // transaction count, in the issue's phrasing).
+  const double flat = static_cast<double>(in.transactions) *
+                      in.avg_transaction_len * in.k * kFlatWordsPerItem;
+  return vertical < flat;
+}
+
+CountKernel resolve_count_kernel(CountKernel requested,
+                                 const KernelCostInputs& in) {
+  // Both frozen-layout kernels gather a candidate's items into a fixed
+  // kMaxK buffer; past that bound the iteration runs the pointer kernel.
+  const bool frozen_ok = in.k <= in.max_flat_k;
+  switch (requested) {
+    case CountKernel::Pointer:
+      return CountKernel::Pointer;
+    case CountKernel::Flat:
+      return frozen_ok ? CountKernel::Flat : CountKernel::Pointer;
+    case CountKernel::Vertical:
+      return frozen_ok ? CountKernel::Vertical : CountKernel::Pointer;
+    case CountKernel::Auto:
+      if (!frozen_ok) return CountKernel::Pointer;
+      return vertical_wins(in) ? CountKernel::Vertical : CountKernel::Flat;
+  }
+  return CountKernel::Pointer;
+}
+
+std::vector<item_t> distinct_items(std::span<const item_t> flat) {
+  std::vector<item_t> items(flat.begin(), flat.end());
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  return items;
+}
+
+VerticalIndex::VerticalIndex(const Database& db,
+                             std::span<const item_t> tracked,
+                             PlacementArenas& arenas)
+    : words_((db.size() + 63) / 64),
+      num_rows_(static_cast<std::uint32_t>(tracked.size())),
+      num_txns_(db.size()) {
+  SMPMINE_PHASE_EPOCH_DECLARE(epoch_, "VerticalIndex::bits_", "vertbuild");
+  SMPMINE_ASSERT(std::is_sorted(tracked.begin(), tracked.end()),
+                 "VerticalIndex: tracked items must be sorted unique");
+  if (num_rows_ > 0) {
+    item_to_row_.assign(static_cast<std::size_t>(tracked.back()) + 1, kNoRow);
+    for (std::uint32_t r = 0; r < num_rows_; ++r) {
+      item_to_row_[tracked[r]] = r;
+    }
+    bits_ = arenas.vertical_target().alloc_array<std::uint64_t>(
+        static_cast<std::uint64_t>(num_rows_) * words_);
+  }
+  obs::metric::vertkernel_builds().inc();
+  obs::metric::vertkernel_rows().inc(num_rows_);
+  obs::metric::vertkernel_row_words().inc(
+      static_cast<std::uint64_t>(num_rows_) * words_);
+}
+
+void VerticalIndex::build_partition(const Database& db, std::uint32_t part,
+                                    std::uint32_t parts) {
+  SMPMINE_ASSERT(parts > 0 && part < parts, "bad build partition");
+  if (num_rows_ == 0 || words_ == 0) return;
+  SMPMINE_PHASE_EPOCH_WRITE(epoch_);
+  // Word-aligned cut: partition p owns words [wb, we), hence transactions
+  // [wb*64, min(we*64, |D|)). Disjoint words => no write sharing.
+  const std::uint64_t per = (words_ + parts - 1) / parts;
+  const std::uint64_t wb = std::min(words_, part * per);
+  const std::uint64_t we = std::min(words_, wb + per);
+  if (wb == we) return;
+  for (std::uint32_t r = 0; r < num_rows_; ++r) {
+    std::uint64_t* row = bits_ + static_cast<std::uint64_t>(r) * words_;
+    std::fill(row + wb, row + we, 0);
+  }
+  const std::uint64_t tb = wb * 64;
+  const std::uint64_t te = std::min<std::uint64_t>(num_txns_, we * 64);
+  const std::uint32_t* item_to_row = item_to_row_.data();
+  const std::size_t universe = item_to_row_.size();
+  for (std::uint64_t t = tb; t < te; ++t) {
+    const std::uint64_t word = t / 64;
+    const std::uint64_t bit = std::uint64_t{1} << (t % 64);
+    for (const item_t item : db.transaction(t)) {
+      const std::uint32_t r = item < universe ? item_to_row[item] : kNoRow;
+      if (r == kNoRow) continue;
+      bits_[static_cast<std::uint64_t>(r) * words_ + word] |= bit;
+    }
+  }
+}
+
+}  // namespace smpmine

@@ -1,0 +1,103 @@
+// Vertical tid-bitmap index: the Eclat-style counting layout.
+//
+// The horizontal kernels visit every transaction and ask "which candidates
+// does it contain?". In late iterations that inverts badly: a handful of
+// deep candidates force a full scan of D per iteration. The vertical index
+// flips the loop — one dense bitmap of |D| bits per *item*, built once per
+// iteration, and a candidate's support is then
+//
+//     popcount(row(i1) & row(i2) & ... & row(ik))
+//
+// streamed over 512-bit blocks (8 x u64), with no tree traversal at all.
+// Work is proportional to (candidates x k x |D|/64) instead of
+// (|D| x per-transaction traversal), which is exactly the regime where few
+// deep candidates remain (see count_kernel.hpp's cost model).
+//
+// Only the items that can appear in this iteration's candidates get rows:
+// every candidate of C(k) joins two members of F(k-1), so its items are a
+// subset of F(k-1)'s distinct items.
+//
+// Memory comes from PlacementArenas::vertical_target() — bump-allocated
+// like the frozen CSR arrays, recycled with the iteration's reset, and
+// never touched by the hot counting loop (R4: counting allocates nothing).
+//
+// The build is word-partitioned for parallelism: partition p owns a
+// contiguous range of bitmap *words* (not transactions), so two builders
+// never write the same u64 even when their transaction ranges would share
+// a boundary word. Each builder zeroes its word range in every row, then
+// sets bits from its transactions — no atomics, no locks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "alloc/placement.hpp"
+#include "data/database.hpp"
+#include "util/phase_epoch.hpp"
+#include "util/types.hpp"
+
+namespace smpmine {
+
+class VerticalIndex {
+ public:
+  static constexpr std::uint32_t kNoRow = 0xFFFFFFFFu;
+  /// AND+popcount block width in words (8 x 64 = 512-bit blocks).
+  static constexpr std::uint32_t kBlockWords = 8;
+
+  /// Allocates rows for `tracked` (strictly sorted, unique item ids —
+  /// typically the distinct items of F(k-1)) over `db.size()` transaction
+  /// bits. Bitmap storage is bump-allocated from arenas.vertical_target();
+  /// the bits are uninitialized until build_partition covers every word
+  /// partition. Master-thread, inside the vertbuild phase.
+  VerticalIndex(const Database& db, std::span<const item_t> tracked,
+                PlacementArenas& arenas);
+
+  VerticalIndex(const VerticalIndex&) = delete;
+  VerticalIndex& operator=(const VerticalIndex&) = delete;
+
+  /// Fills word partition `part` of `parts`: zeroes that word range in
+  /// every row, then sets one bit per (tracked item, transaction)
+  /// occurrence. Partitions write disjoint words, so all `parts` calls may
+  /// run concurrently (one per thread under run_spmd); the counting
+  /// barrier afterwards publishes the bits.
+  void build_partition(const Database& db, std::uint32_t part,
+                       std::uint32_t parts);
+
+  std::uint32_t rows() const { return num_rows_; }
+  std::uint64_t words() const { return words_; }
+  std::uint64_t transactions() const { return num_txns_; }
+
+  /// The item's bitmap row, or nullptr when the item has no row (it cannot
+  /// occur in any candidate this index was built for).
+  const std::uint64_t* row_bits(item_t item) const {
+    const std::uint32_t r =
+        item < item_to_row_.size() ? item_to_row_[item] : kNoRow;
+    return r == kNoRow ? nullptr : bits_ + static_cast<std::uint64_t>(r) *
+                                               words_;
+  }
+
+ private:
+  /// item id -> row index (kNoRow for untracked), sized to max tracked + 1.
+  std::vector<std::uint32_t> item_to_row_;
+  /// Row-major bitmaps: row r is bits_[r * words_ .. r * words_ + words_).
+  /// Written only by build_partition (disjoint words per partition) inside
+  /// the vertbuild phase; read-only while counting.
+  /// lint-ok: R1 — word-partitioned single-writer build, then immutable.
+  std::uint64_t* bits_ = nullptr;
+  std::uint64_t words_ = 0;
+  std::uint32_t num_rows_ = 0;
+  std::uint64_t num_txns_ = 0;
+  /// Phase-epoch stamp (SMPMINE_CHECKED validator): the bitmap plane may
+  /// only be written in `vertbuild`.
+  /// lint-ok: R1 — checked-build validator, internally synchronized.
+  phaseepoch::PhaseEpoch epoch_;
+};
+
+/// Collects the distinct items across all itemsets of a flat F(k-1) array
+/// (`flat` holds size/k records of k items each). Sorted, unique — the
+/// `tracked` input the VerticalIndex constructor wants, and the
+/// `distinct_items` input of the kernel cost model.
+std::vector<item_t> distinct_items(std::span<const item_t> flat);
+
+}  // namespace smpmine

@@ -81,10 +81,12 @@ MetricsRegistry::MetricsRegistry() {
         "pool.spmd_dispatches", "pool.tasks", "hashtree.inserts",
         "hashtree.leaf_conversions", "flatkernel.freezes",
         "flatkernel.tiles", "flatkernel.prefetches",
-        "trace.dropped_events"}) {
+        "vertkernel.builds", "vertkernel.rows", "vertkernel.row_words",
+        "vertkernel.slots", "trace.dropped_events"}) {
     counters_.emplace(name, std::make_unique<Counter>());
   }
-  for (const char* name : {"spinlock.spin_rounds", "flatkernel.tile_ns"}) {
+  for (const char* name : {"spinlock.spin_rounds", "flatkernel.tile_ns",
+                           "vertkernel.slot_ns"}) {
     histograms_.emplace(name, std::make_unique<Histogram>());
   }
 }

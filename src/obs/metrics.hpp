@@ -270,6 +270,16 @@ SMPMINE_OBS_WELL_KNOWN_COUNTER(flatkernel_tiles, "flatkernel.tiles")
 /// CSR-row software prefetches issued by the flat counting kernel.
 SMPMINE_OBS_WELL_KNOWN_COUNTER(flatkernel_prefetches,
                                "flatkernel.prefetches")
+/// Vertical tid-bitmap index builds (one per vertical-kernel iteration per
+/// arena bundle).
+SMPMINE_OBS_WELL_KNOWN_COUNTER(vertkernel_builds, "vertkernel.builds")
+/// Bitmap rows allocated across vertical index builds (one per tracked
+/// frequent item).
+SMPMINE_OBS_WELL_KNOWN_COUNTER(vertkernel_rows, "vertkernel.rows")
+/// u64 words allocated across vertical index builds (rows x words).
+SMPMINE_OBS_WELL_KNOWN_COUNTER(vertkernel_row_words, "vertkernel.row_words")
+/// Candidate slots counted by the vertical AND+popcount kernel.
+SMPMINE_OBS_WELL_KNOWN_COUNTER(vertkernel_slots, "vertkernel.slots")
 /// Trace events discarded because a thread buffer filled up.
 SMPMINE_OBS_WELL_KNOWN_COUNTER(trace_dropped_events, "trace.dropped_events")
 
@@ -292,6 +302,9 @@ SMPMINE_OBS_WELL_KNOWN_HISTOGRAM(spinlock_spin_rounds,
                                  "spinlock.spin_rounds")
 /// Wall nanoseconds per flat-kernel transaction tile.
 SMPMINE_OBS_WELL_KNOWN_HISTOGRAM(flatkernel_tile_ns, "flatkernel.tile_ns")
+/// Wall nanoseconds per vertical-kernel candidate slot (AND+popcount over
+/// the slot's k rows).
+SMPMINE_OBS_WELL_KNOWN_HISTOGRAM(vertkernel_slot_ns, "vertkernel.slot_ns")
 
 #undef SMPMINE_OBS_WELL_KNOWN_HISTOGRAM
 

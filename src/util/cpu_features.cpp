@@ -1,0 +1,101 @@
+#include "util/cpu_features.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace smpmine {
+
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+#if defined(__aarch64__)
+  // NEON (Advanced SIMD) is mandatory in AArch64; no runtime probe needed.
+  f.neon = true;
+#endif
+  return f;
+}
+
+/// Best backend this binary both compiled in and this CPU supports.
+SimdBackend best_supported() {
+  const CpuFeatures& f = cpu_features();
+#if defined(__x86_64__)
+  if (f.avx2) return SimdBackend::Avx2;
+#endif
+#if defined(__aarch64__)
+  if (f.neon) return SimdBackend::Neon;
+#endif
+  return SimdBackend::Scalar;
+}
+
+/// Clamp a request to what can actually execute here.
+SimdBackend clamp(SimdBackend requested) {
+  switch (requested) {
+    case SimdBackend::Scalar:
+      return SimdBackend::Scalar;
+    case SimdBackend::Avx2:
+      return best_supported() == SimdBackend::Avx2 ? SimdBackend::Avx2
+                                                   : SimdBackend::Scalar;
+    case SimdBackend::Neon:
+      return best_supported() == SimdBackend::Neon ? SimdBackend::Neon
+                                                   : SimdBackend::Scalar;
+  }
+  return SimdBackend::Scalar;
+}
+
+SimdBackend resolve_from_env() {
+  const char* env = std::getenv("SMPMINE_SIMD");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
+    return best_supported();
+  }
+  if (std::strcmp(env, "scalar") == 0) return SimdBackend::Scalar;
+  if (std::strcmp(env, "avx2") == 0) return clamp(SimdBackend::Avx2);
+  if (std::strcmp(env, "neon") == 0) return clamp(SimdBackend::Neon);
+  // Unknown value: fail safe, loudly visible in manifests as "scalar".
+  return SimdBackend::Scalar;
+}
+
+// Resolved backend, published once. -1 = unresolved; re-resolution after
+// reset_simd_backend_for_test() is benign (the answer is deterministic).
+std::atomic<int> g_backend{-1};
+
+}  // namespace
+
+const char* to_string(SimdBackend b) {
+  switch (b) {
+    case SimdBackend::Scalar: return "scalar";
+    case SimdBackend::Avx2: return "avx2";
+    case SimdBackend::Neon: return "neon";
+  }
+  return "?";
+}
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = detect();
+  return features;
+}
+
+SimdBackend simd_backend() {
+  int cur = g_backend.load(std::memory_order_acquire);
+  if (cur < 0) {
+    cur = static_cast<int>(resolve_from_env());
+    g_backend.store(cur, std::memory_order_release);
+  }
+  return static_cast<SimdBackend>(cur);
+}
+
+SimdBackend set_simd_backend(SimdBackend requested) {
+  const SimdBackend actual = clamp(requested);
+  g_backend.store(static_cast<int>(actual), std::memory_order_release);
+  return actual;
+}
+
+void reset_simd_backend_for_test() {
+  g_backend.store(-1, std::memory_order_release);
+}
+
+}  // namespace smpmine

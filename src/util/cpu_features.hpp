@@ -1,0 +1,55 @@
+// CPU-feature detection and SIMD backend dispatch.
+//
+// The counting kernels carry three implementations of their hot inner
+// loops — scalar, AVX2 and NEON — and pick one at runtime. Dispatch is
+// two-layered:
+//   compile time: a backend is only *built* on an architecture that can
+//     express it (AVX2 functions are x86-64-only target("avx2") code,
+//     NEON is compiled on AArch64 where it is baseline);
+//   run time: a built backend only *runs* when the executing CPU reports
+//     the feature (cpuid via __builtin_cpu_supports), so one x86-64 binary
+//     is safe on pre-AVX2 silicon.
+// The scalar path is always available and always produces bit-identical
+// results; CI's simd-matrix job pins that equivalence byte-for-byte.
+//
+// `SMPMINE_SIMD=scalar|avx2|neon|auto` overrides the choice from the
+// environment (downgrades always work; an upgrade the CPU lacks is
+// ignored). set_simd_backend() does the same programmatically for benches
+// that measure scalar-vs-SIMD on one binary.
+#pragma once
+
+namespace smpmine {
+
+enum class SimdBackend {
+  Scalar,  ///< portable fallback, reference semantics
+  Avx2,    ///< x86-64 AVX2 (256-bit, 8 x u32 lanes)
+  Neon,    ///< AArch64 Advanced SIMD (128-bit, 4 x u32 lanes)
+};
+
+const char* to_string(SimdBackend b);
+
+/// Immutable facts about the executing CPU (detected once per process).
+struct CpuFeatures {
+  bool avx2 = false;  ///< x86-64 with AVX2 (runtime cpuid)
+  bool neon = false;  ///< AArch64 (NEON is architecturally baseline there)
+};
+
+/// The executing CPU's features (cached after the first call).
+const CpuFeatures& cpu_features();
+
+/// The backend the counting kernels should use right now: the best
+/// compiled-in backend the CPU supports, lowered by SMPMINE_SIMD or a
+/// set_simd_backend() override. Never returns a backend that cannot run.
+SimdBackend simd_backend();
+
+/// Programmatic override (benches, tests, CI byte-for-byte checks).
+/// Requests the CPU cannot honor are clamped to Scalar; returns the
+/// backend actually in effect. Not thread-safe against concurrent
+/// counting — switch between runs, not during one.
+SimdBackend set_simd_backend(SimdBackend requested);
+
+/// Drops any override (environment or programmatic) and re-reads
+/// SMPMINE_SIMD on the next simd_backend() call. Test hook.
+void reset_simd_backend_for_test();
+
+}  // namespace smpmine

@@ -1,0 +1,272 @@
+// TSan-targeted vertical counting kernel: concurrent tid-bitmap builds
+// over disjoint word partitions, multiple threads AND+popcount-counting
+// into one FrozenTree's shared counters (atomic / locked / privatized +
+// reduce), and the end-to-end CCPD race with the vertical kernel forced.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/brute_force.hpp"
+#include "core/miner.hpp"
+#include "data/quest_gen.hpp"
+#include "hashtree/frozen_tree.hpp"
+#include "hashtree/hash_tree.hpp"
+#include "hashtree/vertical_index.hpp"
+#include "itemset/itemset.hpp"
+
+namespace smpmine {
+namespace {
+
+constexpr int kThreads = 4;
+
+/// Tiny database where every transaction hits many candidates, maximizing
+/// counter contention per unit of work.
+Database dense_db() {
+  Database db;
+  for (int t = 0; t < 40; ++t) {
+    std::vector<item_t> txn;
+    for (item_t i = 0; i < 6; ++i) {
+      txn.push_back(static_cast<item_t>((t + i) % 10));
+    }
+    db.add_transaction(txn);
+  }
+  return db;
+}
+
+std::vector<item_t> universe_items() {
+  std::vector<item_t> items(10);
+  for (item_t i = 0; i < 10; ++i) items[i] = i;
+  return items;
+}
+
+/// Builds a k=2 tree over all pairs of the db's universe, then freezes it.
+/// Build and freeze are sequential — the concurrent counting is under test.
+struct FrozenFixture {
+  explicit FrozenFixture(CounterMode mode)
+      : arenas(PlacementPolicy::SPP),
+        policy(HashScheme::Interleaved, 2),
+        tree({.k = 2, .fanout = 2, .leaf_threshold = 2, .counter_mode = mode},
+             policy, arenas),
+        frozen([this] {
+          for (const auto& pair : k_subsets(universe_items(), 2)) {
+            tree.insert(pair);
+          }
+          return FrozenTree(tree, arenas);
+        }()) {}
+  PlacementArenas arenas;
+  HashPolicy policy;
+  HashTree tree;
+  FrozenTree frozen;
+};
+
+/// Sequentially built index over the whole universe: one partition covers
+/// every bitmap word.
+struct IndexFixture {
+  IndexFixture(const Database& db, PlacementArenas& arenas)
+      : tracked(universe_items()), vidx(db, tracked, arenas) {
+    vidx.build_partition(db, 0, 1);
+  }
+  std::vector<item_t> tracked;
+  VerticalIndex vidx;
+};
+
+/// Every thread counts the whole slot range, so each slot's final support
+/// must be exactly kThreads * (single-threaded support).
+void stress_vertical_counters(CounterMode mode) {
+  const Database db = dense_db();
+
+  FrozenFixture reference(mode);
+  IndexFixture ref_index(db, reference.arenas);
+  {
+    FlatCountContext ctx;
+    reference.frozen.prepare_context(ctx);
+    reference.frozen.count_slots_vertical(
+        ref_index.vidx, 0, reference.frozen.num_candidates(), ctx);
+    if (mode == CounterMode::PerThread) {
+      reference.frozen.reduce_into_shared(
+          ctx, 0, reference.frozen.num_candidates());
+    }
+  }
+
+  FrozenFixture shared(mode);
+  IndexFixture shared_index(db, shared.arenas);
+  std::vector<FlatCountContext> contexts(kThreads);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      FlatCountContext& ctx = contexts[w];
+      shared.frozen.prepare_context(ctx);
+      shared.frozen.count_slots_vertical(
+          shared_index.vidx, 0, shared.frozen.num_candidates(), ctx);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  if (mode == CounterMode::PerThread) {
+    // LCA reduction: threads take disjoint slot ranges, each summing every
+    // context's privatized counts into the shared slot counter.
+    const std::uint32_t n = shared.frozen.num_candidates();
+    const std::uint32_t per = (n + kThreads - 1) / kThreads;
+    std::vector<std::thread> reducers;
+    for (int w = 0; w < kThreads; ++w) {
+      reducers.emplace_back([&, w] {
+        const std::uint32_t begin =
+            std::min(n, static_cast<std::uint32_t>(w) * per);
+        const std::uint32_t end = std::min(n, begin + per);
+        for (const FlatCountContext& ctx : contexts) {
+          shared.frozen.reduce_into_shared(ctx, begin, end);
+        }
+      });
+    }
+    for (auto& r : reducers) r.join();
+  }
+
+  const std::uint32_t n = shared.frozen.num_candidates();
+  ASSERT_EQ(n, reference.frozen.num_candidates());
+  for (std::uint32_t slot = 0; slot < n; ++slot) {
+    ASSERT_EQ(shared.frozen.slot_count(slot),
+              reference.frozen.slot_count(slot) * kThreads)
+        << "slot " << slot;
+  }
+}
+
+TEST(RaceVerticalKernel, AtomicIncrementsAreExact) {
+  stress_vertical_counters(CounterMode::Atomic);
+}
+
+TEST(RaceVerticalKernel, LockedIncrementsAreExact) {
+  stress_vertical_counters(CounterMode::Locked);
+}
+
+TEST(RaceVerticalKernel, PerThreadReductionIsExact) {
+  stress_vertical_counters(CounterMode::PerThread);
+}
+
+/// The production pattern: threads own disjoint slot ranges, each writing
+/// a slot's full support exactly once. Final counters must equal the
+/// single-threaded reference exactly (no multiplication).
+TEST(RaceVerticalKernel, DisjointSlotRangesMatchReference) {
+  const Database db = dense_db();
+
+  FrozenFixture reference(CounterMode::Atomic);
+  IndexFixture ref_index(db, reference.arenas);
+  {
+    FlatCountContext ctx;
+    reference.frozen.prepare_context(ctx);
+    reference.frozen.count_slots_vertical(
+        ref_index.vidx, 0, reference.frozen.num_candidates(), ctx);
+  }
+
+  FrozenFixture shared(CounterMode::Atomic);
+  IndexFixture shared_index(db, shared.arenas);
+  const std::uint32_t n = shared.frozen.num_candidates();
+  const std::uint32_t per = (n + kThreads - 1) / kThreads;
+  std::vector<FlatCountContext> contexts(kThreads);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      const std::uint32_t begin =
+          std::min(n, static_cast<std::uint32_t>(w) * per);
+      const std::uint32_t end = std::min(n, begin + per);
+      FlatCountContext& ctx = contexts[w];
+      shared.frozen.prepare_context(ctx);
+      shared.frozen.count_slots_vertical(shared_index.vidx, begin, end, ctx);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  for (std::uint32_t slot = 0; slot < n; ++slot) {
+    ASSERT_EQ(shared.frozen.slot_count(slot),
+              reference.frozen.slot_count(slot))
+        << "slot " << slot;
+  }
+}
+
+/// Word-partitioned concurrent bitmap build: kThreads builders each own a
+/// disjoint word range of every row. The resulting counts must match an
+/// index built by one thread.
+TEST(RaceVerticalKernel, ParallelBuildMatchesSequentialBuild) {
+  const Database db = dense_db();
+
+  FrozenFixture reference(CounterMode::Atomic);
+  IndexFixture ref_index(db, reference.arenas);
+  {
+    FlatCountContext ctx;
+    reference.frozen.prepare_context(ctx);
+    reference.frozen.count_slots_vertical(
+        ref_index.vidx, 0, reference.frozen.num_candidates(), ctx);
+  }
+
+  FrozenFixture shared(CounterMode::Atomic);
+  const std::vector<item_t> tracked = universe_items();
+  VerticalIndex vidx(db, tracked, shared.arenas);
+  {
+    std::vector<std::thread> builders;
+    for (int w = 0; w < kThreads; ++w) {
+      builders.emplace_back([&, w] {
+        vidx.build_partition(db, static_cast<std::uint32_t>(w), kThreads);
+      });
+    }
+    for (auto& b : builders) b.join();
+  }
+
+  {
+    FlatCountContext ctx;
+    shared.frozen.prepare_context(ctx);
+    shared.frozen.count_slots_vertical(vidx, 0,
+                                       shared.frozen.num_candidates(), ctx);
+  }
+
+  const std::uint32_t n = shared.frozen.num_candidates();
+  ASSERT_EQ(n, reference.frozen.num_candidates());
+  for (std::uint32_t slot = 0; slot < n; ++slot) {
+    ASSERT_EQ(shared.frozen.slot_count(slot),
+              reference.frozen.slot_count(slot))
+        << "slot " << slot;
+  }
+}
+
+class VerticalKernelEndToEndRace
+    : public ::testing::TestWithParam<CounterMode> {};
+
+TEST_P(VerticalKernelEndToEndRace, ParallelVerticalMatchesSequential) {
+  QuestParams p;
+  p.num_transactions = 150;
+  p.avg_transaction_len = 8.0;
+  p.avg_pattern_len = 3.0;
+  p.num_patterns = 15;
+  p.num_items = 30;
+  p.seed = 11;
+  const Database db = generate_quest(p);
+
+  MinerOptions seq;
+  seq.min_support = 0.05;
+  seq.counter_mode = GetParam();
+  seq.count_kernel = CountKernel::Vertical;
+  const MiningResult expect = mine_ccpd(db, seq);
+
+  MinerOptions par = seq;
+  par.threads = kThreads;
+  par.parallel_candgen_threshold = 1;  // force the parallel build too
+  const MiningResult got = mine_ccpd(db, par);
+
+  std::string diag;
+  EXPECT_TRUE(levels_equal(got.levels, expect.levels, &diag)) << diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(CounterModes, VerticalKernelEndToEndRace,
+                         ::testing::Values(CounterMode::Atomic,
+                                           CounterMode::Locked,
+                                           CounterMode::PerThread),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           std::erase_if(name,
+                                         [](char c) { return c == '-'; });
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace smpmine

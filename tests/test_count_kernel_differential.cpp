@@ -1,9 +1,12 @@
-// Count-kernel differential tests: the frozen flat kernel must produce
-// bit-identical frequent sets (itemsets AND support counts) to the pointer
-// walk across the full SubsetCheck x CounterMode matrix, for both miners
-// and for single- and multi-threaded runs. The flat kernel ignores the
-// subset-check knob (it always dedups frame-locally), so sweeping it here
-// proves the choice really is count-neutral.
+// Count-kernel differential tests: every frozen-layout kernel (flat,
+// vertical, and the Auto chooser) must produce bit-identical frequent sets
+// (itemsets AND support counts) to the pointer walk across the full
+// SubsetCheck x CounterMode matrix, for both miners and for single- and
+// multi-threaded runs. The frozen kernels ignore the subset-check knob
+// (flat always dedups frame-locally; vertical never traverses), so
+// sweeping it here proves the choice really is count-neutral. A second
+// dimension sweeps the SIMD leaf-scan backend: every supported backend
+// must match the scalar reference bit for bit.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -11,6 +14,8 @@
 #include "core/brute_force.hpp"
 #include "core/miner.hpp"
 #include "data/quest_gen.hpp"
+#include "hashtree/count_kernel.hpp"
+#include "util/cpu_features.hpp"
 
 namespace smpmine {
 namespace {
@@ -90,6 +95,63 @@ TEST_P(CountKernelDifferentialTest, PccdFlatMatchesPointer) {
   EXPECT_TRUE(levels_equal(pointer.levels, flat.levels, &diag)) << diag;
 }
 
+TEST_P(CountKernelDifferentialTest, CcpdVerticalMatchesPointer) {
+  const Database db = small_quest_db();
+  MinerOptions opts = case_options(GetParam());
+
+  opts.count_kernel = CountKernel::Pointer;
+  const MiningResult pointer = mine_ccpd(db, opts);
+  opts.count_kernel = CountKernel::Vertical;
+  const MiningResult vertical = mine_ccpd(db, opts);
+  SCOPED_TRACE(opts.summary());
+
+  std::string diag;
+  EXPECT_TRUE(levels_equal(pointer.levels, vertical.levels, &diag)) << diag;
+  for (const IterationStats& it : vertical.iterations) {
+    if (it.candidates == 0) continue;
+    EXPECT_EQ(it.count_kernel_used, "vertical") << "k=" << it.k;
+    EXPECT_GT(it.vert_rows, 0u) << "k=" << it.k;
+    EXPECT_GT(it.vert_words, 0u) << "k=" << it.k;
+  }
+}
+
+TEST_P(CountKernelDifferentialTest, PccdVerticalMatchesPointer) {
+  const Database db = small_quest_db();
+  MinerOptions opts = case_options(GetParam());
+
+  opts.count_kernel = CountKernel::Pointer;
+  const MiningResult pointer = mine_pccd(db, opts);
+  opts.count_kernel = CountKernel::Vertical;
+  const MiningResult vertical = mine_pccd(db, opts);
+  SCOPED_TRACE(opts.summary());
+
+  std::string diag;
+  EXPECT_TRUE(levels_equal(pointer.levels, vertical.levels, &diag)) << diag;
+}
+
+TEST_P(CountKernelDifferentialTest, CcpdAutoMatchesPointer) {
+  const Database db = small_quest_db();
+  MinerOptions opts = case_options(GetParam());
+
+  opts.count_kernel = CountKernel::Pointer;
+  const MiningResult pointer = mine_ccpd(db, opts);
+  opts.count_kernel = CountKernel::Auto;
+  const MiningResult automatic = mine_ccpd(db, opts);
+  SCOPED_TRACE(opts.summary());
+
+  std::string diag;
+  EXPECT_TRUE(levels_equal(pointer.levels, automatic.levels, &diag)) << diag;
+  // Auto must resolve to a concrete kernel every iteration and record it.
+  for (const IterationStats& it : automatic.iterations) {
+    if (it.candidates == 0) continue;
+    EXPECT_TRUE(it.count_kernel_used == "flat" ||
+                it.count_kernel_used == "vertical" ||
+                it.count_kernel_used == "pointer")
+        << "k=" << it.k << " used=" << it.count_kernel_used;
+    EXPECT_NE(it.count_kernel_used, "auto") << "k=" << it.k;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Matrix, CountKernelDifferentialTest,
     ::testing::ValuesIn([] {
@@ -137,7 +199,112 @@ TEST(CountKernelStats, PointerRunReportsNoTiles) {
   for (const IterationStats& it : r.iterations) {
     EXPECT_EQ(it.count_tiles, 0u) << "k=" << it.k;
     EXPECT_EQ(it.freeze_seconds, 0.0) << "k=" << it.k;
+    EXPECT_EQ(it.count_kernel_used, "pointer") << "k=" << it.k;
+    EXPECT_EQ(it.vertbuild_seconds, 0.0) << "k=" << it.k;
   }
+}
+
+// Each iteration's manifest line must name the kernel that actually ran —
+// the fixed kernels report themselves, and vertical runs charge a
+// vertbuild and no tiles.
+TEST(CountKernelStats, KernelUsedIsRecorded) {
+  const Database db = small_quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.02;
+
+  opts.count_kernel = CountKernel::Flat;
+  const MiningResult flat = mine_ccpd(db, opts);
+  for (const IterationStats& it : flat.iterations) {
+    if (it.candidates == 0) continue;
+    EXPECT_EQ(it.count_kernel_used, "flat") << "k=" << it.k;
+    EXPECT_EQ(it.vertbuild_seconds, 0.0) << "k=" << it.k;
+  }
+
+  opts.count_kernel = CountKernel::Vertical;
+  const MiningResult vertical = mine_ccpd(db, opts);
+  for (const IterationStats& it : vertical.iterations) {
+    if (it.candidates == 0) continue;
+    EXPECT_EQ(it.count_kernel_used, "vertical") << "k=" << it.k;
+    EXPECT_EQ(it.count_tiles, 0u) << "k=" << it.k;
+    EXPECT_EQ(it.count_tile_size, 0u) << "k=" << it.k;
+    EXPECT_GE(it.vertbuild_seconds, 0.0) << "k=" << it.k;
+  }
+}
+
+// The SIMD leaf-scan backends must match the scalar reference bit for bit:
+// same frequent sets, same counts, same traversal work counters. Runs the
+// whole miner under each supported backend (the override is clamped to
+// what the host supports, so this test passes trivially-scalar on machines
+// without AVX2/NEON).
+TEST(SimdBackendDifferential, AllSupportedBackendsMatchScalar) {
+  const Database db = small_quest_db();
+  MinerOptions opts;
+  opts.min_support = 0.02;
+  opts.threads = 2;
+  opts.count_kernel = CountKernel::Flat;
+
+  const SimdBackend restore = simd_backend();
+  set_simd_backend(SimdBackend::Scalar);
+  const MiningResult scalar = mine_ccpd(db, opts);
+
+  for (const SimdBackend backend : {SimdBackend::Avx2, SimdBackend::Neon}) {
+    const SimdBackend actual = set_simd_backend(backend);
+    if (actual != backend) continue;  // host cannot run this backend
+    const MiningResult vec = mine_ccpd(db, opts);
+    std::string diag;
+    EXPECT_TRUE(levels_equal(scalar.levels, vec.levels, &diag))
+        << to_string(backend) << ": " << diag;
+    ASSERT_EQ(scalar.iterations.size(), vec.iterations.size());
+    for (std::size_t i = 0; i < scalar.iterations.size(); ++i) {
+      EXPECT_EQ(scalar.iterations[i].containment_checks,
+                vec.iterations[i].containment_checks)
+          << to_string(backend) << " k=" << scalar.iterations[i].k;
+      EXPECT_EQ(scalar.iterations[i].hits, vec.iterations[i].hits)
+          << to_string(backend) << " k=" << scalar.iterations[i].k;
+    }
+  }
+  set_simd_backend(restore);
+}
+
+// Cost-model unit coverage: the chooser prefers vertical exactly when few
+// deep candidates face a large database, degrades past kMaxK, and passes
+// fixed kernels through.
+TEST(CountKernelChooser, ResolvesRequestsAndCostModel) {
+  KernelCostInputs in;
+  in.k = 6;
+  in.candidates = 10;
+  in.distinct_items = 40;
+  in.transactions = 100000;
+  in.avg_transaction_len = 10.0;
+  in.max_flat_k = 64;
+  // 10 deep candidates against 100K transactions: vertical's word traffic
+  // is orders of magnitude below a full horizontal scan.
+  EXPECT_TRUE(vertical_wins(in));
+  EXPECT_EQ(resolve_count_kernel(CountKernel::Auto, in),
+            CountKernel::Vertical);
+
+  // Early-iteration shape: many shallow candidates, vertical loses.
+  in.k = 2;
+  in.candidates = 200000;
+  in.distinct_items = 800;
+  EXPECT_FALSE(vertical_wins(in));
+  EXPECT_EQ(resolve_count_kernel(CountKernel::Auto, in), CountKernel::Flat);
+
+  // Fixed kernels pass through untouched.
+  EXPECT_EQ(resolve_count_kernel(CountKernel::Pointer, in),
+            CountKernel::Pointer);
+  EXPECT_EQ(resolve_count_kernel(CountKernel::Flat, in), CountKernel::Flat);
+  EXPECT_EQ(resolve_count_kernel(CountKernel::Vertical, in),
+            CountKernel::Vertical);
+
+  // Past the flat layout's bound everything degrades to the pointer walk.
+  in.k = 65;
+  EXPECT_EQ(resolve_count_kernel(CountKernel::Flat, in),
+            CountKernel::Pointer);
+  EXPECT_EQ(resolve_count_kernel(CountKernel::Vertical, in),
+            CountKernel::Pointer);
+  EXPECT_EQ(resolve_count_kernel(CountKernel::Auto, in),
+            CountKernel::Pointer);
 }
 
 }  // namespace

@@ -165,8 +165,8 @@ PHASE_EFFECT_SCOPE = ("src/core", "src/hashtree", "src/parallel", "src/alloc")
 
 # Canonical phase order from the paper's per-iteration pipeline; phases the
 # analyzer discovers beyond these sort after, in first-seen order.
-PHASE_ORDER = ("f1", "candgen", "remap", "freeze", "count", "reduce",
-               "select")
+PHASE_ORDER = ("f1", "candgen", "remap", "freeze", "vertbuild", "count",
+               "reduce", "select")
 
 # Instrumented scopes that are not phases: the per-iteration wrapper span.
 NON_PHASE_NAMES = frozenset({"iteration"})

@@ -108,6 +108,8 @@ R3_ALLOWLIST = (
     "src/hashtree/tree_build.cpp",
     "src/hashtree/tree_count.cpp",
     "src/hashtree/tree_count_flat.cpp",
+    "src/hashtree/tile_simd.cpp",
+    "src/hashtree/tree_count_vertical.cpp",
     "src/hashtree/tree_remap.cpp",
 )
 

@@ -1,0 +1,169 @@
+// Standalone SIMD backend equivalence smoke: synthetic leaf runs through
+// every compiled-in tile backend, asserting byte-for-byte identical
+// counters and identical check/hit totals against the scalar reference.
+//
+// Deliberately self-contained (only tile_simd.cpp and cpu_features.cpp as
+// linked TUs) so CI can also cross-compile it for AArch64 and run it under
+// qemu-user as the NEON smoke:
+//
+//   aarch64-linux-gnu-g++ -O2 -std=c++20 -Isrc tools/simd_smoke.cpp
+//     src/hashtree/tile_simd.cpp src/util/cpu_features.cpp
+//     src/obs/metrics.cpp -o neon_smoke   (one line)
+//   qemu-aarch64 -L /usr/aarch64-linux-gnu ./neon_smoke
+//
+// Exit 0: all available backends matched scalar. Exit 1: divergence.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "hashtree/tile_simd.hpp"
+#include "util/cpu_features.hpp"
+
+using namespace smpmine;
+
+namespace {
+
+/// Deterministic LCG — the smoke must behave identically on every host.
+std::uint64_t g_state = 0x9e3779b97f4a7c15ull;
+std::uint32_t next_u32(std::uint32_t bound) {
+  g_state = g_state * 6364136223846793005ull + 1442695040888963407ull;
+  return static_cast<std::uint32_t>((g_state >> 33) % bound);
+}
+
+/// Sorted, unique random transaction over items [0, universe). Length
+/// varies 1..max_len so vector tails of every remainder get exercised.
+std::vector<item_t> random_txn(std::uint32_t universe,
+                               std::uint32_t max_len) {
+  const std::uint32_t len = 1 + next_u32(max_len);
+  std::vector<bool> present(universe, false);
+  for (std::uint32_t i = 0; i < len; ++i) present[next_u32(universe)] = true;
+  std::vector<item_t> txn;
+  for (std::uint32_t v = 0; v < universe; ++v) {
+    if (present[v]) txn.push_back(static_cast<item_t>(v));
+  }
+  return txn;
+}
+
+struct Outcome {
+  tilesimd::LeafRunResult result;
+  std::vector<count_t> counts;
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kUniverse = 40;
+  constexpr std::uint32_t kMaxLen = 24;
+  constexpr std::uint32_t kTxns = 64;
+  constexpr std::uint32_t kCands = 32;
+  constexpr std::uint32_t kRounds = 50;
+
+  int failures = 0;
+  for (std::uint32_t round = 0; round < kRounds; ++round) {
+    const std::uint32_t k = 1 + round % 6;
+
+    // Transactions (tile) and frontier entries, one per transaction.
+    std::vector<std::vector<item_t>> txns;
+    std::vector<const item_t*> tile_ptr;
+    std::vector<std::uint32_t> tile_len;
+    std::vector<FlatEntry> fr;
+    for (std::uint32_t t = 0; t < kTxns; ++t) {
+      txns.push_back(random_txn(kUniverse, kMaxLen));
+      tile_ptr.push_back(txns.back().data());
+      tile_len.push_back(static_cast<std::uint32_t>(txns.back().size()));
+      fr.push_back(FlatEntry{0, t, 0});
+    }
+
+    // Candidate SoA: k strictly-increasing items per slot. Item id 0 is
+    // included on purpose — the AVX2 masked tail must not fake a match
+    // against zeroed lanes.
+    std::vector<item_t> items(static_cast<std::size_t>(k) * kCands);
+    for (std::uint32_t s = 0; s < kCands; ++s) {
+      std::uint32_t v = next_u32(kUniverse - 2 * k);
+      for (std::uint32_t q = 0; q < k; ++q) {
+        items[static_cast<std::size_t>(q) * kCands + s] =
+            static_cast<item_t>(v);
+        v += 1 + next_u32(2);
+      }
+    }
+
+    auto run_backend = [&](SimdBackend backend) -> Outcome {
+      Outcome out;
+      out.counts.assign(kCands, 0);
+      tilesimd::LeafRun run{};
+      run.items = items.data();
+      run.num_cands = kCands;
+      run.k = k;
+      run.cb = 0;
+      run.ce = kCands;
+      run.fr = fr.data();
+      run.i = 0;
+      run.j = kTxns;
+      run.tile_ptr = tile_ptr.data();
+      run.tile_len = tile_len.data();
+      run.mode = CounterMode::PerThread;
+      run.counts = nullptr;
+      run.locks = nullptr;
+      run.local = out.counts.data();
+      switch (backend) {
+#if defined(__x86_64__)
+        case SimdBackend::Avx2:
+          out.result = tilesimd::leaf_run_avx2(run);
+          break;
+#endif
+#if defined(__aarch64__)
+        case SimdBackend::Neon:
+          out.result = tilesimd::leaf_run_neon(run);
+          break;
+#endif
+        default:
+          out.result = tilesimd::leaf_run_scalar(run);
+          break;
+      }
+      return out;
+    };
+
+    const Outcome scalar = run_backend(SimdBackend::Scalar);
+    std::vector<SimdBackend> vec_backends;
+#if defined(__x86_64__)
+    if (cpu_features().avx2) vec_backends.push_back(SimdBackend::Avx2);
+#endif
+#if defined(__aarch64__)
+    if (cpu_features().neon) vec_backends.push_back(SimdBackend::Neon);
+#endif
+    if (round == 0 && vec_backends.empty()) {
+      std::printf("simd_smoke: no vector backend available on this CPU; "
+                  "scalar self-check only\n");
+    }
+    for (const SimdBackend backend : vec_backends) {
+      const Outcome vec = run_backend(backend);
+      const bool same =
+          vec.result.checks == scalar.result.checks &&
+          vec.result.hits == scalar.result.hits &&
+          std::memcmp(vec.counts.data(), scalar.counts.data(),
+                      kCands * sizeof(count_t)) == 0;
+      if (!same) {
+        ++failures;
+        std::fprintf(stderr,
+                     "simd_smoke: round %u k=%u: %s diverges from scalar "
+                     "(checks %llu vs %llu, hits %llu vs %llu)\n",
+                     round, k, to_string(backend),
+                     static_cast<unsigned long long>(vec.result.checks),
+                     static_cast<unsigned long long>(scalar.result.checks),
+                     static_cast<unsigned long long>(vec.result.hits),
+                     static_cast<unsigned long long>(scalar.result.hits));
+      }
+    }
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "simd_smoke: FAIL (%d divergent rounds)\n",
+                 failures);
+    return 1;
+  }
+  std::printf("simd_smoke: OK (%u rounds; cpu: avx2=%d neon=%d)\n",
+              kRounds, cpu_features().avx2 ? 1 : 0,
+              cpu_features().neon ? 1 : 0);
+  return 0;
+}

@@ -93,8 +93,13 @@ bool parse_options(const CliParser& cli, MinerOptions& opts) {
     opts.count_kernel = CountKernel::Pointer;
   } else if (kernel == "flat") {
     opts.count_kernel = CountKernel::Flat;
+  } else if (kernel == "vertical") {
+    opts.count_kernel = CountKernel::Vertical;
+  } else if (kernel == "auto") {
+    opts.count_kernel = CountKernel::Auto;
   } else {
-    return fail("unknown --count-kernel '" + kernel + "' (pointer|flat)");
+    return fail("unknown --count-kernel '" + kernel +
+                "' (pointer|flat|vertical|auto)");
   }
 
   const std::string dbpart = cli.get("db-partition", "block");
@@ -127,7 +132,10 @@ int main(int argc, char** argv) {
   cli.add_flag("hash", "interleaved | bitonic | indirection", "indirection");
   cli.add_flag("balance", "block | interleaved | bitonic", "bitonic");
   cli.add_flag("subset-check", "leaf | flags | frame", "frame");
-  cli.add_flag("count-kernel", "pointer | flat (frozen CSR tree)", "flat");
+  cli.add_flag("count-kernel",
+               "pointer | flat (frozen CSR) | vertical (tid-bitmaps) | auto "
+               "(per-iteration cost model)",
+               "flat");
   cli.add_flag("db-partition", "block | balanced | adaptive", "block");
   cli.add_flag("leaf-threshold", "max itemsets per hash-tree leaf", "8");
   cli.add_flag("max-rules", "rules to print (0 = all)", "25");
