@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "core/results_io.hpp"
+#include "obs/ledger/telemetry.hpp"
 #include "obs/perf/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
@@ -114,6 +115,10 @@ void add_common_flags(CliParser& cli) {
   cli.add_flag("flight-watchdog-ms",
                "dump a flight report when no event lands for this many "
                "milliseconds (0 = no watchdog)", "0");
+  cli.add_flag("telemetry-ms",
+               "stream smpmine.telemetry.v1 JSONL samples every N "
+               "milliseconds (0 = off; needs --telemetry-out)", "0");
+  cli.add_flag("telemetry-out", "telemetry JSONL output path");
 }
 
 namespace {
@@ -176,6 +181,27 @@ BenchEnv parse_env(const CliParser& cli,
       obs::flight::start_watchdog(static_cast<std::uint64_t>(watchdog_ms));
     }
     obs::flight::sync_metrics_for_dump();
+  }
+  {
+    const int telemetry_ms = cli.get_int("telemetry-ms", 0);
+    const std::string telemetry_out = cli.get("telemetry-out", "");
+    if (telemetry_ms > 0) {
+      if (telemetry_out.empty()) {
+        throw std::invalid_argument("--telemetry-ms needs --telemetry-out");
+      }
+      obs::ledger::TelemetryOptions topts;
+      topts.period_ms = static_cast<std::uint32_t>(telemetry_ms);
+      topts.path = telemetry_out;
+      if (!obs::ledger::start(topts)) {
+        throw std::invalid_argument("cannot start telemetry to: " +
+                                    telemetry_out);
+      }
+      // Benches exit from main() with no common tail; stop (final record +
+      // join) at exit like the artifact flush.
+      static const int telemetry_stop =
+          std::atexit([] { obs::ledger::stop(); });
+      (void)telemetry_stop;
+    }
   }
   env.trace_path = cli.get("trace", "");
   env.metrics_path = cli.get("metrics", "");

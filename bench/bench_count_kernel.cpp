@@ -31,6 +31,7 @@
 #include "bench_common.hpp"
 #include "obs/flight/flight_recorder.hpp"
 #include "obs/json_writer.hpp"
+#include "obs/ledger/telemetry.hpp"
 #include "util/cpu_features.hpp"
 
 using namespace smpmine;
@@ -279,6 +280,44 @@ int main(int argc, char** argv) {
         flight_overhead_pct, on_s, off_s);
   }
   w.kv("flight_overhead_pct", flight_overhead_pct);
+
+  // Telemetry-sampler overhead check (acceptance budget: < 2% wall time on
+  // this bench) — same interleaved on/off, min-of-repeat method as the
+  // flight block above, with the sampler streaming at a 10ms period (an
+  // order of magnitude hotter than the documented 100ms default, so the
+  // budget holds with margin).
+  double telemetry_overhead_pct = 0.0;
+  if (!workloads.empty() && !env.thread_counts.empty()) {
+    const Workload& wl = workloads.front();
+    const std::uint32_t threads = env.thread_counts.back();
+    const std::string telemetry_path = out_path + ".telemetry.jsonl";
+    double off_s = 0.0;
+    double on_s = 0.0;
+    for (std::uint32_t r = 0; r < env.repeat; ++r) {
+      for (const bool telemetry_on : {false, true}) {
+        if (telemetry_on) {
+          obs::ledger::TelemetryOptions topts;
+          topts.period_ms = 10;
+          topts.path = telemetry_path;
+          obs::ledger::start(topts);
+        }
+        const KernelRun run = measure(wl, env, CountKernel::Flat, threads);
+        if (telemetry_on) obs::ledger::stop();
+        double& best = telemetry_on ? on_s : off_s;
+        if (r == 0 || run.median_counting_seconds < best) {
+          best = run.median_counting_seconds;
+        }
+      }
+    }
+    telemetry_overhead_pct =
+        off_s > 0.0 ? (on_s - off_s) / off_s * 100.0 : 0.0;
+    std::printf(
+        "telemetry sampler overhead: %.2f%% counting wall time "
+        "(on %.4fs vs off %.4fs at 10ms period, budget < 2%%; "
+        "stream: %s)\n",
+        telemetry_overhead_pct, on_s, off_s, telemetry_path.c_str());
+  }
+  w.kv("telemetry_overhead_pct", telemetry_overhead_pct);
 
   w.end_object();
   os << '\n';

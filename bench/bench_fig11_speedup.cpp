@@ -9,9 +9,19 @@
 //     time + serial phases) — the machine-independent balance result, and
 //   - counting-phase balance (per-thread CPU sum / max), the upper bound
 //     on counting speedup that load imbalance allows.
+//
+// PR 10 adds the speedup autopsy: each (dataset, P) row carries the
+// efficiency ledger's loss decomposition (serial fraction, imbalance,
+// contention, residual overhead — see obs/ledger/efficiency.hpp), and the
+// whole sweep goes to --out as a smpmine.bench.v1 artifact so
+// scripts/bench_compare.py can gate imbalance_pct / serial_fraction in CI
+// and scripts/efficiency_report.py can line the losses up against the
+// measured curve.
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.hpp"
+#include "obs/json_writer.hpp"
 
 using namespace smpmine;
 using namespace smpmine::bench;
@@ -20,19 +30,38 @@ int main(int argc, char** argv) {
   CliParser cli;
   add_common_flags(cli);
   cli.add_flag("support", "minimum support (fraction)", "0.005");
+  cli.add_flag("out", "smpmine.bench.v1 JSON artifact path (empty = none)",
+               "");
   if (!cli.parse(argc, argv)) return 1;
   const BenchEnv env = parse_env(
       cli,
       {"T5.I2.D100K", "T10.I4.D100K", "T10.I6.D400K", "T10.I6.D800K"},
       {1, 2, 4, 8, 12});
   const double support = cli.get_double("support", 0.005);
+  const std::string out_path = cli.get("out", "");
 
   print_header("Figure 11: CCPD parallel speed-up",
                "Fig. 11 (speedup vs P, 0.5% support, all optimizations)",
                env);
 
-  TextTable table({"Database", "P", "wall_s", "modeled_s",
-                   "work-model speedup", "count balance (sum/max)"});
+  std::ofstream os;
+  obs::JsonWriter w(os);
+  if (!out_path.empty()) {
+    os.open(out_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    w.begin_object();
+    w.kv("schema", "smpmine.bench.v1");
+    w.kv("bench", "fig11_speedup");
+    w.kv("scale", env.scale);
+    w.kv("support", support);
+    w.key("runs").begin_array();
+  }
+
+  TextTable table({"Database", "P", "wall_s", "modeled_s", "speedup",
+                   "balance", "serial%", "imbal%", "cont%", "ovhd%"});
   for (const std::string& name : env.datasets) {
     const Database db = make_dataset(name, env);
     double modeled_p1 = 0.0;
@@ -43,18 +72,52 @@ int main(int argc, char** argv) {
       const MiningResult r = run_miner(db, opts, env);
       const double modeled = r.modeled_total_seconds();
       if (threads == env.thread_counts.front()) modeled_p1 = modeled;
+      const double speedup = modeled > 0 ? modeled_p1 / modeled : 1.0;
+      const auto& eff = r.run_efficiency;
       table.add_row({scaled_name(name, env), std::to_string(threads),
                      TextTable::num(r.total_seconds, 2),
                      TextTable::num(modeled, 3),
-                     TextTable::num(modeled > 0 ? modeled_p1 / modeled : 1.0, 2),
-                     TextTable::num(r.work_speedup(), 2)});
+                     TextTable::num(speedup, 2),
+                     TextTable::num(r.work_speedup(), 2),
+                     TextTable::num(eff.serial_loss * 100.0, 1),
+                     TextTable::num(eff.imbalance_loss * 100.0, 1),
+                     TextTable::num(eff.contention_loss * 100.0, 1),
+                     TextTable::num(eff.overhead_loss * 100.0, 1)});
+      if (!out_path.empty()) {
+        w.begin_object();
+        w.kv("dataset", scaled_name(name, env));
+        w.kv("threads", threads);
+        w.kv("wall_seconds", r.total_seconds);
+        w.kv("modeled_seconds", modeled);
+        w.kv("speedup", speedup);
+        w.kv("efficiency_pct",
+             threads > 0 ? speedup / threads * 100.0 : 100.0);
+        w.kv("work_speedup", r.work_speedup());
+        // Loss decomposition over the run's thread-seconds budget; the
+        // five fractions sum to 1 by construction.
+        w.kv("serial_fraction", eff.serial_fraction);
+        w.kv("work_pct", eff.work_fraction * 100.0);
+        w.kv("serial_pct", eff.serial_loss * 100.0);
+        w.kv("imbalance_pct", eff.imbalance_loss * 100.0);
+        w.kv("contention_pct", eff.contention_loss * 100.0);
+        w.kv("overhead_pct", eff.overhead_loss * 100.0);
+        w.end_object();
+      }
     }
+  }
+  if (!out_path.empty()) {
+    w.end_array();
+    w.end_object();
+    os << '\n';
+    std::printf("wrote %s\n", out_path.c_str());
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts("\nShape to check against the paper: speedup grows with P and "
             "with dataset size (more counting work to amortize the serial "
             "phases); the largest dataset gets closest to ideal. Paper "
             "reference points: ~2 on 4 procs for T5.I2, ~8 on 12 procs for "
-            "T10.I6.D1600K (I/O-bound ceilings included there).");
+            "T10.I6.D1600K (I/O-bound ceilings included there). The loss "
+            "columns are the autopsy: on an oversubscribed host the "
+            "shortfall shows up as ovhd%, on a real SMP as imbal%/serial%.");
   return 0;
 }

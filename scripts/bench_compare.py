@@ -13,7 +13,9 @@ and (optionally) fails when a gated metric regresses. Two gating modes:
   horizontal-friendly workload is *expected* to be slower than pointer,
   so an unfiltered speedup gate would misfire). CI uses this for each
   bench smoke artifact without this script needing to know the bench's
-  fields.
+  fields. ``--max-spec`` is the ceiling twin (``run[metric] <=
+  threshold``) for loss metrics — e.g. gating ``imbalance_pct`` or
+  ``serial_fraction`` on fig11_speedup artifacts.
 * count_kernel: artifacts from bench_count_kernel additionally get the
   kernel pairing check (every (dataset, threads) cell must have exactly
   one pointer/flat/vertical/auto run with identical hit totals — the
@@ -135,7 +137,10 @@ def summarize_count_kernel(cells: dict) -> float:
 
 
 def apply_spec(doc: dict, runs: list, metric: str, threshold: float,
-               filters: dict) -> None:
+               filters: dict, ceiling: bool = False) -> None:
+    """Gate ``run[metric] >= threshold`` (floor) or ``<= threshold``
+    (``ceiling=True`` — the ``--max-spec`` form used for loss metrics like
+    imbalance_pct / serial_fraction, where *high* is the regression)."""
     worst = None
     matched = 0
     for i, run in enumerate(runs):
@@ -148,14 +153,16 @@ def apply_spec(doc: dict, runs: list, metric: str, threshold: float,
         value = run[metric]
         if not isinstance(value, (int, float)):
             fail(f"runs[{i}].{metric} is not numeric")
-        if worst is None or value < worst:
+        if worst is None or (value > worst if ceiling else value < worst):
             worst = value
     if matched == 0:
         fail(f"{doc['bench']}: --spec filter {filters!r} matched no runs")
-    if worst < threshold:
-        fail(f"{doc['bench']}: worst {metric} {worst:.3g} below gate "
+    if (worst > threshold) if ceiling else (worst < threshold):
+        side = "above" if ceiling else "below"
+        fail(f"{doc['bench']}: worst {metric} {worst:.3g} {side} gate "
              f"{threshold:.3g} ({matched} runs matched {filters!r})")
-    print(f"bench_compare: {doc['bench']}: worst {metric} {worst:.3g} >= "
+    cmp = "<=" if ceiling else ">="
+    print(f"bench_compare: {doc['bench']}: worst {metric} {worst:.3g} {cmp} "
           f"{threshold:.3g} ({matched} runs)")
 
 
@@ -173,6 +180,12 @@ def main() -> None:
                          "optional field filters) must have METRIC >= "
                          "THRESHOLD (repeatable; specs naming other "
                          "benches are ignored)")
+    ap.add_argument("--max-spec", action="append", default=[],
+                    metavar="NAME:METRIC:THRESHOLD[:FIELD=VALUE,...]",
+                    help="ceiling gate: METRIC <= THRESHOLD (same syntax "
+                         "as --spec; for loss metrics such as "
+                         "imbalance_pct or serial_fraction from "
+                         "fig11_speedup artifacts)")
     args = ap.parse_args()
 
     with open(args.artifact) as f:
@@ -189,12 +202,13 @@ def main() -> None:
         fail(f"--min-speedup only applies to count_kernel artifacts, "
              f"this is {doc['bench']!r}")
 
-    specs = [parse_spec(s) for s in args.spec]
-    matched = [s for s in specs if s[0] == doc["bench"]]
+    specs = [(parse_spec(s), False) for s in args.spec]
+    specs += [(parse_spec(s), True) for s in args.max_spec]
+    matched = [s for s in specs if s[0][0] == doc["bench"]]
     if specs and not matched:
         fail(f"no --spec matches bench {doc['bench']!r}")
-    for _, metric, threshold, filters in matched:
-        apply_spec(doc, runs, metric, threshold, filters)
+    for (_, metric, threshold, filters), ceiling in matched:
+        apply_spec(doc, runs, metric, threshold, filters, ceiling=ceiling)
 
     print(f"bench_compare: OK ({doc['bench']}, {len(runs)} runs)")
 

@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Speedup autopsy over smpmine run manifests (schema v3).
+
+Reads one or more ``smpmine.run.v3`` / ``smpmine.runs.v3`` manifests and
+renders the parallel-efficiency ledger they carry:
+
+* the run-level loss decomposition (work / serial / imbalance /
+  contention / overhead fractions of the ``P x wall`` thread-seconds
+  budget), with the exhaustiveness identity (fractions sum to 1) checked
+  to ``--identity-tolerance`` on every run;
+* a per-phase imbalance table (wall max vs CPU sum/max, 1 - mean/max
+  imbalance, measured barrier and lock waits, work units);
+* a critical-path summary (which phases the run's wall time is made of,
+  split serial vs parallel);
+* per-iteration loss rows; and
+* when the manifests span several thread counts of the same dataset
+  (a fig11-style sweep), the Fig-11 speedup decomposition: measured
+  efficiency per P next to the losses that explain the gap to ideal.
+
+With ``--diff BASELINE`` the first run is gated against a golden
+manifest and the script exits nonzero when a loss bin grew by more than
+its threshold:
+
+* ``--max-serial-increase``      absolute serial_loss increase (0.05)
+* ``--max-imbalance-increase``   absolute imbalance_loss increase (0.05)
+* ``--max-contention-increase``  absolute contention_loss increase (0.05)
+* ``--min-wall-seconds``         runs faster than this are never gated
+                                 (0.005 — sub-5ms runs are noise)
+
+Overhead is deliberately not gated: on an oversubscribed CI host the
+residual (scheduling) bin absorbs the noise the other bins must not.
+
+Usage:
+    scripts/efficiency_report.py run.json
+    scripts/efficiency_report.py sweep.json          # fig11-style file
+    scripts/efficiency_report.py run.json --diff golden.json
+"""
+
+import argparse
+import json
+import sys
+
+PHASES = ("f1", "candgen", "remap", "freeze", "vertbuild", "count",
+          "reduce", "select")
+LOSS_BINS = ("serial_loss", "imbalance_loss", "contention_loss",
+             "overhead_loss")
+
+
+def fail(msg: str) -> None:
+    print(f"efficiency_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_runs(path: str) -> list:
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema", "")
+    if schema == "smpmine.run.v3":
+        return [doc["run"]]
+    if schema == "smpmine.runs.v3":
+        runs = doc.get("runs", [])
+        if not runs:
+            fail(f"{path}: empty runs[]")
+        return runs
+    fail(f"{path}: schema {schema!r} has no efficiency ledger "
+         "(need smpmine.run(s).v3)")
+
+
+def efficiency(run: dict) -> dict:
+    eff = run.get("efficiency")
+    if not isinstance(eff, dict):
+        fail(f"run has no efficiency object (tool {run.get('tool')!r})")
+    return eff
+
+
+def check_identity(eff: dict, tolerance: float, context: str) -> None:
+    """The decomposition bins are exhaustive and exclusive by
+    construction; a sum off by more than the tolerance means the ledger
+    and the decomposition disagree about the budget — a producer bug."""
+    total = eff.get("work_fraction", 0.0) + sum(
+        eff.get(b, 0.0) for b in LOSS_BINS)
+    if eff.get("budget_seconds", 0.0) > 0 and abs(total - 1.0) > tolerance:
+        fail(f"{context}: decomposition fractions sum to {total:.4f}, "
+             f"want 1 +- {tolerance}")
+
+
+def pct(x: float) -> str:
+    return f"{x * 100.0:6.1f}%"
+
+
+def render_decomposition(eff: dict) -> None:
+    print(f"  budget: {eff['threads']} threads x {eff['wall_seconds']:.4f}s "
+          f"wall = {eff['budget_seconds']:.4f} thread-seconds "
+          f"(serial fraction of wall: {eff['serial_fraction']:.3f})")
+    print(f"  {'work':>10} {'serial':>8} {'imbalance':>10} "
+          f"{'contention':>11} {'overhead':>9}")
+    print(f"  {pct(eff['work_fraction']):>10} {pct(eff['serial_loss']):>8} "
+          f"{pct(eff['imbalance_loss']):>10} "
+          f"{pct(eff['contention_loss']):>11} "
+          f"{pct(eff['overhead_loss']):>9}")
+
+
+def render_phase_table(run: dict) -> None:
+    ledger = run.get("ledger", {})
+    phases = ledger.get("phases", {})
+    if not phases:
+        print("  (empty ledger)")
+        return
+    print(f"  {'phase':<10} {'thr':>3} {'wall_max s':>10} {'cpu_sum s':>10} "
+          f"{'cpu_max s':>10} {'imbal':>6} {'barrier s':>10} "
+          f"{'lock s':>8} {'work units':>12}")
+    ordered = [p for p in PHASES if p in phases] + sorted(
+        p for p in phases if p not in PHASES)
+    for name in ordered:
+        p = phases[name]
+        active = p.get("threads_active", 0)
+        cpu_sum = p.get("cpu_sum_ns", 0) / 1e9
+        cpu_max = p.get("cpu_max_ns", 0) / 1e9
+        # 1 - mean/max of per-thread CPU: 0 = perfectly balanced, ->1 =
+        # one thread did everything while the rest waited at the barrier.
+        imbal = (1.0 - (cpu_sum / active) / cpu_max
+                 if active > 1 and cpu_max > 0 else 0.0)
+        print(f"  {name:<10} {active:>3} "
+              f"{p.get('wall_max_ns', 0) / 1e9:>10.4f} {cpu_sum:>10.4f} "
+              f"{cpu_max:>10.4f} {imbal:>6.3f} "
+              f"{p.get('barrier_wait_ns', 0) / 1e9:>10.4f} "
+              f"{p.get('lock_wait_ns', 0) / 1e9:>8.4f} "
+              f"{p.get('work_units', 0):>12}")
+
+
+def render_critical_path(run: dict) -> None:
+    """Where the run's wall time comes from: each phase's wall_max is a
+    barrier-to-barrier segment of the critical path."""
+    phases = run.get("ledger", {}).get("phases", {})
+    total = sum(p.get("wall_max_ns", 0) for p in phases.values())
+    if total == 0:
+        return
+    serial = sum(p.get("wall_max_ns", 0) for p in phases.values()
+                 if p.get("threads_active", 0) <= 1)
+    rows = sorted(phases.items(), key=lambda kv: -kv[1].get("wall_max_ns", 0))
+    top = ", ".join(
+        f"{name} {p.get('wall_max_ns', 0) / total * 100:.0f}%"
+        for name, p in rows[:3])
+    print(f"  critical path: {total / 1e9:.4f}s "
+          f"({serial / total * 100:.1f}% in serial phases); top: {top}")
+
+
+def render_iterations(run: dict) -> None:
+    its = [it for it in run.get("iterations", [])
+           if it.get("efficiency", {}).get("budget_seconds", 0) > 0]
+    if not its:
+        return
+    print(f"  {'k':>3} {'wall s':>9} {'work':>7} {'serial':>7} "
+          f"{'imbal':>7} {'cont':>7} {'ovhd':>7}")
+    for it in its:
+        eff = it["efficiency"]
+        print(f"  {it.get('k', '?'):>3} {eff['wall_seconds']:>9.4f} "
+              f"{pct(eff['work_fraction']):>7} {pct(eff['serial_loss']):>7} "
+              f"{pct(eff['imbalance_loss']):>7} "
+              f"{pct(eff['contention_loss']):>7} "
+              f"{pct(eff['overhead_loss']):>7}")
+
+
+def render_run(run: dict, index: int, tolerance: float) -> None:
+    label = run.get("dataset", {}).get("label", "?")
+    opts = run.get("options", {})
+    print(f"run[{index}]: {run.get('tool', '?')} on {label} "
+          f"({opts.get('algorithm', '?')}, {opts.get('threads', '?')} "
+          f"threads)")
+    eff = efficiency(run)
+    check_identity(eff, tolerance, f"run[{index}]")
+    for i, it in enumerate(run.get("iterations", [])):
+        if "efficiency" in it:
+            check_identity(it["efficiency"], tolerance,
+                           f"run[{index}] iteration {i}")
+    render_decomposition(eff)
+    render_phase_table(run)
+    render_critical_path(run)
+    render_iterations(run)
+    print()
+
+
+def render_speedup_sweep(runs: list) -> None:
+    """Fig-11 decomposition: for datasets mined at several thread counts,
+    measured efficiency (T1 / (P x TP), modeled wall) against the loss
+    bins that explain the shortfall from ideal."""
+    by_dataset = {}
+    for run in runs:
+        label = run.get("dataset", {}).get("label", "?")
+        threads = run.get("options", {}).get("threads", 0)
+        by_dataset.setdefault(label, {})[threads] = run
+    printed_header = False
+    for label, by_p in sorted(by_dataset.items()):
+        if len(by_p) < 2:
+            continue
+        base_p = min(by_p)
+        base_wall = efficiency(by_p[base_p]).get("wall_seconds", 0.0)
+        if base_wall <= 0:
+            continue
+        if not printed_header:
+            print("speedup decomposition (wall from the ledger; "
+                  "losses are fractions of the P x wall budget):")
+            printed_header = True
+        print(f"  {label} (baseline P={base_p}):")
+        print(f"  {'P':>4} {'wall s':>9} {'speedup':>8} {'eff':>7} "
+              f"{'serial':>7} {'imbal':>7} {'cont':>7} {'ovhd':>7}")
+        for p in sorted(by_p):
+            eff = efficiency(by_p[p])
+            wall = eff.get("wall_seconds", 0.0)
+            speedup = base_wall * base_p / wall if wall > 0 else 0.0
+            measured_eff = speedup / p if p else 0.0
+            print(f"  {p:>4} {wall:>9.4f} {speedup:>8.2f} "
+                  f"{pct(measured_eff):>7} {pct(eff['serial_loss']):>7} "
+                  f"{pct(eff['imbalance_loss']):>7} "
+                  f"{pct(eff['contention_loss']):>7} "
+                  f"{pct(eff['overhead_loss']):>7}")
+        print()
+
+
+def diff_runs(current: dict, base: dict, args) -> int:
+    cur, old = efficiency(current), efficiency(base)
+    if cur.get("wall_seconds", 0.0) < args.min_wall_seconds:
+        print(f"diff: current wall {cur.get('wall_seconds', 0.0):.4f}s "
+              f"below --min-wall-seconds, not gated")
+        return 0
+    gates = {
+        "serial_loss": args.max_serial_increase,
+        "imbalance_loss": args.max_imbalance_increase,
+        "contention_loss": args.max_contention_increase,
+    }
+    regressions = 0
+    print(f"{'bin':<16} {'base':>8} {'cur':>8} {'delta':>8}  verdict")
+    for name in ("work_fraction",) + LOSS_BINS:
+        b, c = old.get(name, 0.0), cur.get(name, 0.0)
+        delta = c - b
+        problem = name in gates and delta > gates[name]
+        verdict = (f"REGRESSION: +{delta:.3f} > {gates[name]}" if problem
+                   else "ok" if name in gates else "(not gated)")
+        print(f"{name:<16} {pct(b):>8} {pct(c):>8} {delta:>+8.3f}  {verdict}")
+        regressions += problem
+    return regressions
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("manifests", nargs="+",
+                    help="run-manifest JSON file(s) (smpmine.run(s).v3)")
+    ap.add_argument("--diff", metavar="BASELINE",
+                    help="gate manifests[0]'s first run against this "
+                         "golden manifest, exit nonzero on regression")
+    ap.add_argument("--max-serial-increase", type=float, default=0.05)
+    ap.add_argument("--max-imbalance-increase", type=float, default=0.05)
+    ap.add_argument("--max-contention-increase", type=float, default=0.05)
+    ap.add_argument("--min-wall-seconds", type=float, default=0.005)
+    ap.add_argument("--identity-tolerance", type=float, default=0.02,
+                    help="allowed |sum(fractions) - 1| per run (0.02)")
+    args = ap.parse_args()
+
+    index = 0
+    all_runs = []
+    for path in args.manifests:
+        runs = load_runs(path)
+        all_runs += runs
+        for run in runs:
+            render_run(run, index, args.identity_tolerance)
+            index += 1
+    render_speedup_sweep(all_runs)
+
+    if args.diff:
+        current = load_runs(args.manifests[0])[0]
+        base = load_runs(args.diff)[0]
+        regressions = diff_runs(current, base, args)
+        if regressions:
+            fail(f"{regressions} loss regression(s) vs {args.diff}")
+        print(f"efficiency_report: OK (no regressions vs {args.diff})")
+
+
+if __name__ == "__main__":
+    main()

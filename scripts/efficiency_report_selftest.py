@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Self-test for efficiency_report.py: the gates must actually gate.
+
+Builds synthetic smpmine.run.v3 manifests — a balanced baseline, a copy
+with injected candgen imbalance (one thread doing most of the CPU work,
+the loss moved from the work bin into imbalance_loss), and one whose
+decomposition fractions do not sum to 1 — and checks that
+
+1. rendering a well-formed manifest succeeds and shows the phase table,
+   the critical-path line and the speedup sweep;
+2. ``--diff`` passes when current == baseline;
+3. the injected imbalance regression exits nonzero and names the bin;
+4. the broken-identity manifest is rejected (fractions must sum to 1
+   within --identity-tolerance);
+5. runs under --min-wall-seconds are never gated.
+
+Usage: scripts/efficiency_report_selftest.py
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPORT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "efficiency_report.py")
+
+
+def phase_agg(threads_active, wall_s, cpu_sum_s, cpu_max_s, work_units=0,
+              barrier_ns=0, lock_ns=0):
+    return {
+        "wall_max_ns": int(wall_s * 1e9),
+        "wall_sum_ns": int(wall_s * 1e9) * threads_active,
+        "cpu_sum_ns": int(cpu_sum_s * 1e9),
+        "cpu_max_ns": int(cpu_max_s * 1e9),
+        "work_units": work_units,
+        "barrier_wait_ns": barrier_ns,
+        "lock_wait_ns": lock_ns,
+        "entries": threads_active,
+        "threads_active": threads_active,
+    }
+
+
+def efficiency(threads, wall_s, work, serial, imbalance, contention,
+               overhead):
+    return {
+        "threads": threads,
+        "wall_seconds": wall_s,
+        "budget_seconds": threads * wall_s,
+        "serial_fraction": 0.1,
+        "work_fraction": work,
+        "serial_loss": serial,
+        "imbalance_loss": imbalance,
+        "contention_loss": contention,
+        "overhead_loss": overhead,
+        "phases": {},
+    }
+
+
+def manifest(threads, wall_s, imbalance_loss):
+    """A run whose losses move between the work and imbalance bins as
+    `imbalance_loss` grows (total held constant so identity stays 1)."""
+    work = 0.7 - imbalance_loss
+    eff = efficiency(threads, wall_s, work, serial=0.1,
+                     imbalance=imbalance_loss, contention=0.05,
+                     overhead=0.15)
+    count_cpu_sum = wall_s * threads * work
+    ledger = {
+        "threads": threads,
+        "phases": {
+            "f1": phase_agg(1, wall_s * 0.1, wall_s * 0.1, wall_s * 0.1,
+                            work_units=1000),
+            "candgen": phase_agg(threads, wall_s * 0.2, wall_s * 0.4,
+                                 wall_s * 0.3, work_units=500),
+            "count": phase_agg(threads, wall_s * 0.7, count_cpu_sum,
+                               wall_s * 0.65, work_units=4000,
+                               barrier_ns=int(wall_s * 0.05 * 1e9)),
+        },
+        "per_thread": [],
+    }
+    return {
+        "schema": "smpmine.run.v3",
+        "run": {
+            "tool": "selftest",
+            "dataset": {"label": "synthetic", "digest": "0" * 16,
+                        "transactions": 1000, "avg_transaction_size": 10.0},
+            "options": {"summary": "", "algorithm": "ccpd",
+                        "threads": threads, "min_support": 0.01},
+            "totals": {"f1_seconds": 0.02, "total_seconds": wall_s,
+                       "frequent": 100, "candidates": 500},
+            "perf": {"backend": "off", "phases": {}},
+            "ledger": ledger,
+            "efficiency": eff,
+            "iterations": [{
+                "k": 2, "candidates": 500, "pruned": 10, "frequent": 100,
+                "ledger": ledger,
+                "efficiency": copy.deepcopy(eff),
+            }],
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        },
+    }
+
+
+def sweep(datasets=("synthetic",), thread_counts=(1, 2, 4)):
+    runs = []
+    for label in datasets:
+        for p in thread_counts:
+            # Imperfect scaling: wall shrinks by p^0.9, the shortfall
+            # parked in the overhead bin.
+            doc = manifest(p, 1.0 / (p ** 0.9), imbalance_loss=0.05)
+            doc["run"]["dataset"]["label"] = label
+            runs.append(doc["run"])
+    return {"schema": "smpmine.runs.v3", "runs": runs}
+
+
+def run_report(args):
+    return subprocess.run([sys.executable, REPORT, *args],
+                          capture_output=True, text=True)
+
+
+def check(name, ok, detail=""):
+    if not ok:
+        print(f"efficiency_report_selftest: FAIL: {name}\n{detail}",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"efficiency_report_selftest: ok: {name}")
+
+
+def main():
+    base = manifest(threads=4, wall_s=0.5, imbalance_loss=0.02)
+    same = copy.deepcopy(base)
+    imbalanced = manifest(threads=4, wall_s=0.5, imbalance_loss=0.25)
+    broken = copy.deepcopy(base)
+    broken["run"]["efficiency"]["overhead_loss"] += 0.2  # sum = 1.2
+    fast = manifest(threads=4, wall_s=0.001, imbalance_loss=0.25)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = {}
+        docs = {"base": base, "same": same, "imbalanced": imbalanced,
+                "broken": broken, "fast": fast, "sweep": sweep()}
+        for name, doc in docs.items():
+            paths[name] = os.path.join(tmp, f"{name}.json")
+            with open(paths[name], "w") as f:
+                json.dump(doc, f)
+
+        r = run_report([paths["base"]])
+        check("render succeeds", r.returncode == 0, r.stdout + r.stderr)
+        check("render shows the phase imbalance table",
+              "candgen" in r.stdout and "work units" in r.stdout, r.stdout)
+        check("render shows the critical path",
+              "critical path:" in r.stdout, r.stdout)
+
+        r = run_report([paths["sweep"]])
+        check("thread sweep renders the speedup decomposition",
+              r.returncode == 0 and "speedup decomposition" in r.stdout,
+              r.stdout + r.stderr)
+
+        r = run_report([paths["same"], "--diff", paths["base"]])
+        check("identical manifests pass the gate", r.returncode == 0,
+              r.stdout + r.stderr)
+
+        r = run_report([paths["imbalanced"], "--diff", paths["base"]])
+        check("injected imbalance regression is flagged", r.returncode != 0,
+              r.stdout + r.stderr)
+        check("regression names the imbalance bin",
+              "imbalance_loss" in r.stdout and "REGRESSION" in r.stdout,
+              r.stdout)
+
+        r = run_report([paths["broken"]])
+        check("broken fraction identity is rejected", r.returncode != 0,
+              r.stdout + r.stderr)
+        check("identity failure names the sum",
+              "sum to" in r.stderr, r.stderr)
+
+        r = run_report([paths["fast"], "--diff", paths["base"]])
+        check("runs under --min-wall-seconds are not gated",
+              r.returncode == 0, r.stdout + r.stderr)
+
+    print("efficiency_report_selftest: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

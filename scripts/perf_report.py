@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Render and regression-gate smpmine run manifests (schema v2).
+"""Render and regression-gate smpmine run manifests (schema v2/v3).
 
-Aggregates one or more run-manifest JSON files (``smpmine.run.v2`` or the
-multi-run ``smpmine.runs.v2`` bench shape; v1 renders with wall times only)
+Aggregates one or more run-manifest JSON files (``smpmine.run.v2``/``.v3``
+or the multi-run ``smpmine.runs.*`` bench shape; v1 renders wall times only)
 into a per-phase attribution table: wall time, task-clock, IPC, LLC miss
 rate, stall fraction, page faults — plus the contention histogram
 percentiles (spinlock spin rounds, flat-kernel tile latency).
@@ -24,7 +24,8 @@ import argparse
 import json
 import sys
 
-PHASES = ("f1", "candgen", "remap", "freeze", "count", "reduce", "select")
+PHASES = ("f1", "candgen", "remap", "freeze", "vertbuild", "count",
+          "reduce", "select")
 
 
 def fail(msg: str) -> None:
@@ -37,9 +38,9 @@ def load_runs(path: str) -> list:
     with open(path) as f:
         doc = json.load(f)
     schema = doc.get("schema", "")
-    if schema in ("smpmine.run.v2", "smpmine.run.v1"):
+    if schema in ("smpmine.run.v3", "smpmine.run.v2", "smpmine.run.v1"):
         return [doc["run"]]
-    if schema in ("smpmine.runs.v2", "smpmine.runs.v1"):
+    if schema in ("smpmine.runs.v3", "smpmine.runs.v2", "smpmine.runs.v1"):
         runs = doc.get("runs", [])
         if not runs:
             fail(f"{path}: empty runs[]")

@@ -20,6 +20,8 @@
 #include "hashtree/frozen_tree.hpp"
 #include "hashtree/vertical_index.hpp"
 #include "obs/flight/flight_recorder.hpp"
+#include "obs/ledger/efficiency.hpp"
+#include "obs/ledger/ledger.hpp"
 #include "obs/perf/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
@@ -37,11 +39,17 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
   MiningResult result;
   const count_t min_count = absolute_support(opts.min_support, db.size());
 
+  // Parallel-efficiency ledger: snapshot-delta bracketing (never reset —
+  // concurrent runs and benches compose through deltas).
+  const obs::ledger::LedgerSnapshot ledger_run_before =
+      obs::ledger::Ledger::instance().snapshot();
+
   {
     SMPMINE_TRACE_SPAN("f1");
     SMPMINE_PERF_PHASE("f1");
     SMPMINE_FLIGHT_PHASE("f1", 1);
     WallTimer f1_timer;
+    SMPMINE_LEDGER_WORK("f1", db.size());
     result.levels.push_back(compute_f1(db, min_count, pool));
     result.f1_seconds = f1_timer.seconds();
   }
@@ -81,6 +89,8 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     // it.perf.
     const obs::perf::PhasePerfSnapshot perf_before =
         obs::perf::PhasePerfRegistry::instance().snapshot();
+    const obs::ledger::LedgerSnapshot ledger_before =
+        obs::ledger::Ledger::instance().snapshot();
 
     // ---- candidate generation -------------------------------------------
     WallTimer candgen_timer;
@@ -129,6 +139,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
         ThreadCpuTimer cpu;
         per_thread[tid] = generate_candidates(prev, classes, batches[tid],
                                               tree, opts.candidate_veto);
+        SMPMINE_LEDGER_WORK("candgen", per_thread[tid].generated);
         gen_busy[tid] = cpu.seconds();
       });
       for (const auto& c : per_thread) gen += c;
@@ -141,6 +152,7 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
       ThreadCpuTimer cpu;
       gen = generate_candidates(prev, classes, units, tree,
                                 opts.candidate_veto);
+      SMPMINE_LEDGER_WORK("candgen", gen.generated);
       it.candgen_busy_sum = it.candgen_busy_max = cpu.seconds();
     }
     it.candgen_seconds = candgen_timer.seconds();
@@ -151,6 +163,9 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     it.pruned = gen.pruned;
     if (it.candidates == 0) {
       it.perf = obs::perf::delta_since(perf_before);
+      it.ledger = obs::ledger::Ledger::instance().snapshot().delta_since(
+          ledger_before);
+      it.efficiency = obs::ledger::decompose(it.ledger, threads);
       result.iterations.push_back(it);
       break;
     }
@@ -252,6 +267,8 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
       WallTimer freeze_timer;
       frozen.emplace(tree, arenas);
       it.freeze_seconds = freeze_timer.seconds();
+      // Master-serial freeze: the busy max *is* the wall (see stats.hpp).
+      it.freeze_busy_sum = it.freeze_busy_max = it.freeze_seconds;
       it.count_tile_size = use_vertical ? 0 : frozen->tile_size();
     }
 
@@ -274,6 +291,9 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
         SMPMINE_PERF_PHASE("vertbuild");
         SMPMINE_FLIGHT_PHASE("vertbuild", k);
         vidx->build_partition(db, tid, threads);
+        // This thread's share of the bitmap plane (rows × its word range).
+        SMPMINE_LEDGER_WORK("vertbuild",
+                            vidx->rows() * (vidx->words() / threads + 1));
       });
       it.vertbuild_seconds = vertbuild_timer.seconds();
       it.vert_rows = vidx->rows();
@@ -320,6 +340,9 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
         for (std::uint64_t t = ranges.begin(tid); t < ranges.end(tid); ++t) {
           tree.count_transaction(db.transaction(t), ctx);
         }
+        // Pointer kernel has no batch entry point inside hashtree/, so the
+        // range loop is the batch: transactions scanned by this thread.
+        SMPMINE_LEDGER_WORK("count", ranges.end(tid) - ranges.begin(tid));
       }
       busy[tid] = busy_timer.seconds();
     });
@@ -390,12 +413,18 @@ MiningResult mine_ccpd(const Database& db, const MinerOptions& options) {
     it.select_seconds = select_timer.seconds();
     it.frequent = fk.size();
     it.perf = obs::perf::delta_since(perf_before);
+    it.ledger = obs::ledger::Ledger::instance().snapshot().delta_since(
+        ledger_before);
+    it.efficiency = obs::ledger::decompose(it.ledger, threads);
     const bool done = fk.empty();
     if (!done) result.levels.push_back(std::move(fk));
     result.iterations.push_back(it);
     if (done) break;
   }
 
+  result.run_ledger = obs::ledger::Ledger::instance().snapshot().delta_since(
+      ledger_run_before);
+  result.run_efficiency = obs::ledger::decompose(result.run_ledger, threads);
   result.total_seconds = total_timer.seconds();
   return result;
 }

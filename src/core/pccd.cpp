@@ -17,6 +17,8 @@
 #include "hashtree/frozen_tree.hpp"
 #include "hashtree/vertical_index.hpp"
 #include "obs/flight/flight_recorder.hpp"
+#include "obs/ledger/efficiency.hpp"
+#include "obs/ledger/ledger.hpp"
 #include "obs/perf/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
@@ -39,11 +41,16 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
   MiningResult result;
   const count_t min_count = absolute_support(opts.min_support, db.size());
 
+  // Ledger bracketing by snapshot deltas, as in ccpd.cpp.
+  const obs::ledger::LedgerSnapshot ledger_run_before =
+      obs::ledger::Ledger::instance().snapshot();
+
   {
     SMPMINE_TRACE_SPAN("f1");
     SMPMINE_PERF_PHASE("f1");
     SMPMINE_FLIGHT_PHASE("f1", 1);
     WallTimer f1_timer;
+    SMPMINE_LEDGER_WORK("f1", db.size());
     result.levels.push_back(compute_f1(db, min_count, pool));
     result.f1_seconds = f1_timer.seconds();
   }
@@ -74,6 +81,8 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     // delta lands in it.perf (see ccpd.cpp).
     const obs::perf::PhasePerfSnapshot perf_before =
         obs::perf::PhasePerfRegistry::instance().snapshot();
+    const obs::ledger::LedgerSnapshot ledger_before =
+        obs::ledger::Ledger::instance().snapshot();
 
     // ---- candidate generation (sequential; the split is the point) -------
     // PCCD's candgen phase covers the sequential join *and* the parallel
@@ -102,11 +111,15 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     }
     gen.generated -= vetoed;
     gen.pruned += vetoed;
+    SMPMINE_LEDGER_WORK("candgen", gen.generated);
     const double gen_cpu_seconds = gen_cpu.seconds();
     it.pruned = gen.pruned;
     it.candidates = gen.generated;
     if (it.candidates == 0) {
       it.perf = obs::perf::delta_since(perf_before);
+      it.ledger = obs::ledger::Ledger::instance().snapshot().delta_since(
+          ledger_before);
+      it.efficiency = obs::ledger::decompose(it.ledger, threads);
       result.iterations.push_back(it);
       break;
     }
@@ -135,10 +148,13 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
       arenas[tid]->reset();
       trees[tid] =
           std::make_unique<HashTree>(tree_config, policy, *arenas[tid]);
+      std::uint64_t inserted = 0;
       for (std::size_t c = tid; c < num_candidates; c += threads) {
         trees[tid]->insert(
             std::span<const item_t>(flat.data() + c * k, k));
+        ++inserted;
       }
+      SMPMINE_LEDGER_WORK("candgen", inserted);
       if (policy_remaps(opts.placement)) trees[tid]->remap_depth_first();
       build_busy[tid] = cpu.seconds();
     });
@@ -190,14 +206,24 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     if (use_frozen) {
       WallTimer freeze_timer;
       SMPMINE_TRACE_PHASE(freeze_span, "freeze", "k", k);
+      // Unlike CCPD's master-serial freeze, this is an SPMD phase: track
+      // per-thread CPU so the work model charges its critical path (busy
+      // max), not the barrier-synchronized wall (see stats.hpp).
+      std::vector<double> freeze_busy(threads, 0.0);
       pool.run_spmd([&](std::uint32_t tid) {
         SMPMINE_PERF_PHASE("freeze");
         SMPMINE_FLIGHT_PHASE("freeze", k);
+        ThreadCpuTimer cpu;
         frozen[tid] =
             std::make_unique<FrozenTree>(*trees[tid], *arenas[tid]);
+        freeze_busy[tid] = cpu.seconds();
       });
       SMPMINE_TRACE_PHASE_END(freeze_span);
       it.freeze_seconds = freeze_timer.seconds();
+      it.freeze_busy_sum =
+          std::accumulate(freeze_busy.begin(), freeze_busy.end(), 0.0);
+      it.freeze_busy_max =
+          *std::max_element(freeze_busy.begin(), freeze_busy.end());
       it.count_tile_size = use_vertical ? 0 : frozen.front()->tile_size();
     }
 
@@ -219,6 +245,9 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
         SMPMINE_PERF_PHASE("vertbuild");
         SMPMINE_FLIGHT_PHASE("vertbuild", k);
         vidx->build_partition(db, tid, threads);
+        // This thread's share of the bitmap plane (rows × its word range).
+        SMPMINE_LEDGER_WORK("vertbuild",
+                            vidx->rows() * (vidx->words() / threads + 1));
       });
       it.vertbuild_seconds = vertbuild_timer.seconds();
       it.vert_rows = vidx->rows();
@@ -257,6 +286,8 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
         for (std::uint64_t t = 0; t < db.size(); ++t) {
           trees[tid]->count_transaction(db.transaction(t), ctx);
         }
+        // Pointer kernel: the whole-database scan is the batch.
+        SMPMINE_LEDGER_WORK("count", db.size());
       }
       busy[tid] = busy_timer.seconds();
     });
@@ -313,12 +344,18 @@ MiningResult mine_pccd(const Database& db, const MinerOptions& options) {
     it.select_seconds = select_timer.seconds();
     it.frequent = fk.size();
     it.perf = obs::perf::delta_since(perf_before);
+    it.ledger = obs::ledger::Ledger::instance().snapshot().delta_since(
+        ledger_before);
+    it.efficiency = obs::ledger::decompose(it.ledger, threads);
     const bool done = fk.size() == 0;
     if (!done) result.levels.push_back(std::move(fk));
     result.iterations.push_back(it);
     if (done) break;
   }
 
+  result.run_ledger = obs::ledger::Ledger::instance().snapshot().delta_since(
+      ledger_run_before);
+  result.run_efficiency = obs::ledger::decompose(result.run_ledger, threads);
   result.total_seconds = total_timer.seconds();
   return result;
 }

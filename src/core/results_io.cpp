@@ -182,6 +182,94 @@ void write_histogram(obs::JsonWriter& w, const obs::HistogramSummary& h) {
   w.end_object();
 }
 
+void write_phase_counts(obs::JsonWriter& w,
+                        const obs::ledger::PhaseCounts& c) {
+  w.begin_object();
+  w.kv("wall_ns", c.wall_ns);
+  w.kv("cpu_ns", c.cpu_ns);
+  w.kv("work_units", c.work_units);
+  w.kv("barrier_wait_ns", c.barrier_wait_ns);
+  w.kv("lock_wait_ns", c.lock_wait_ns);
+  w.kv("entries", c.entries);
+  w.end_object();
+}
+
+/// Per-phase aggregates (the wall_max vs cpu_sum views kept distinct) plus
+/// the full per-thread phase table. Only phases/cells with activity are
+/// emitted; readers treat absence as all-zero.
+void write_ledger(obs::JsonWriter& w, const obs::ledger::LedgerSnapshot& s) {
+  using obs::ledger::PhaseId;
+  w.begin_object();
+  w.kv("threads", static_cast<std::uint64_t>(s.threads.size()));
+  w.key("phases").begin_object();
+  for (std::size_t p = 0; p < obs::ledger::kNumPhases; ++p) {
+    const auto id = static_cast<PhaseId>(p);
+    const obs::ledger::PhaseAgg a = s.agg(id);
+    if (a.entries == 0 && a.work_units == 0 && a.barrier_wait_ns == 0 &&
+        a.lock_wait_ns == 0) {
+      continue;
+    }
+    w.key(obs::ledger::phase_name(id)).begin_object();
+    w.kv("wall_max_ns", a.wall_max_ns);
+    w.kv("wall_sum_ns", a.wall_sum_ns);
+    w.kv("cpu_sum_ns", a.cpu_sum_ns);
+    w.kv("cpu_max_ns", a.cpu_max_ns);
+    w.kv("work_units", a.work_units);
+    w.kv("barrier_wait_ns", a.barrier_wait_ns);
+    w.kv("lock_wait_ns", a.lock_wait_ns);
+    w.kv("entries", a.entries);
+    w.kv("threads_active", a.threads_active);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("per_thread").begin_array();
+  for (const obs::ledger::ThreadLedger& t : s.threads) {
+    w.begin_object();
+    w.kv("thread", t.thread);
+    w.key("phases").begin_object();
+    for (std::size_t p = 0; p < obs::ledger::kNumPhases; ++p) {
+      const obs::ledger::PhaseCounts& c = t.phases[p];
+      if (!c.any()) continue;
+      w.key(obs::ledger::phase_name(static_cast<PhaseId>(p)));
+      write_phase_counts(w, c);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_efficiency(obs::JsonWriter& w,
+                      const obs::ledger::EfficiencyDecomposition& e) {
+  w.begin_object();
+  w.kv("threads", e.threads);
+  w.kv("wall_seconds", e.wall_seconds);
+  w.kv("budget_seconds", e.budget_seconds);
+  w.kv("serial_fraction", e.serial_fraction);
+  w.kv("work_fraction", e.work_fraction);
+  w.kv("serial_loss", e.serial_loss);
+  w.kv("imbalance_loss", e.imbalance_loss);
+  w.kv("contention_loss", e.contention_loss);
+  w.kv("overhead_loss", e.overhead_loss);
+  w.key("phases").begin_object();
+  for (const obs::ledger::PhaseEfficiency& pe : e.phases) {
+    w.key(obs::ledger::phase_name(pe.phase)).begin_object();
+    w.kv("parallel", pe.parallel);
+    w.kv("threads_active", pe.threads_active);
+    w.kv("wall_seconds", pe.wall_seconds);
+    w.kv("cpu_sum_seconds", pe.cpu_sum_seconds);
+    w.kv("cpu_max_seconds", pe.cpu_max_seconds);
+    w.kv("imbalance", pe.imbalance);
+    w.kv("barrier_wait_seconds", pe.barrier_wait_seconds);
+    w.kv("lock_wait_seconds", pe.lock_wait_seconds);
+    w.kv("work_units", pe.work_units);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
 void write_iteration(obs::JsonWriter& w, const IterationStats& it) {
   w.begin_object();
   w.kv("k", it.k);
@@ -215,8 +303,14 @@ void write_iteration(obs::JsonWriter& w, const IterationStats& it) {
   w.kv("hits", it.hits);
   w.kv("count_tiles", it.count_tiles);
   w.kv("count_tile_size", it.count_tile_size);
+  w.kv("freeze_busy_sum", it.freeze_busy_sum);
+  w.kv("freeze_busy_max", it.freeze_busy_max);
   w.key("perf");
   write_phase_perf(w, it.perf);
+  w.key("ledger");
+  write_ledger(w, it.ledger);
+  w.key("efficiency");
+  write_efficiency(w, it.efficiency);
   w.end_object();
 }
 
@@ -246,6 +340,10 @@ void write_manifest_body(obs::JsonWriter& w, const RunManifest& m) {
   w.key("phases");
   write_phase_perf(w, m.phase_perf);
   w.end_object();
+  w.key("ledger");
+  write_ledger(w, m.run_ledger);
+  w.key("efficiency");
+  write_efficiency(w, m.run_efficiency);
   w.key("cpu").begin_object();
   w.kv("avx2", m.cpu_avx2);
   w.kv("neon", m.cpu_neon);
@@ -291,6 +389,8 @@ RunManifest make_run_manifest(std::string tool, std::string dataset_label,
   m.total_frequent = result.total_frequent();
   m.total_candidates = result.total_candidates();
   m.iterations = result.iterations;
+  m.run_ledger = result.run_ledger;
+  m.run_efficiency = result.run_efficiency;
   m.metrics = obs::MetricsRegistry::instance().snapshot();
   m.perf_backend = obs::perf::to_string(obs::perf::active_backend());
   m.phase_perf = obs::perf::PhasePerfRegistry::instance().snapshot();
@@ -303,7 +403,7 @@ RunManifest make_run_manifest(std::string tool, std::string dataset_label,
 void write_run_manifest(const RunManifest& manifest, std::ostream& os) {
   obs::JsonWriter w(os);
   w.begin_object();
-  w.kv("schema", "smpmine.run.v2");
+  w.kv("schema", "smpmine.run.v3");
   w.key("run");
   write_manifest_body(w, manifest);
   w.end_object();
@@ -323,7 +423,7 @@ void save_run_manifests(const std::vector<RunManifest>& runs,
   if (!os) fail("save_run_manifests: cannot open " + path);
   obs::JsonWriter w(os);
   w.begin_object();
-  w.kv("schema", "smpmine.runs.v2");
+  w.kv("schema", "smpmine.runs.v3");
   w.key("runs").begin_array();
   for (const RunManifest& m : runs) write_manifest_body(w, m);
   w.end_array();

@@ -40,13 +40,16 @@ void save_rules_csv(const std::vector<Rule>& rules, const std::string& path);
 /// ran, on what data (label + content digest), with which options, what
 /// came out (totals + the full per-iteration stats series), and what the
 /// observability counters saw. Serialized as JSON (schema
-/// "smpmine.run.v2") through obs::JsonWriter.
+/// "smpmine.run.v3") through obs::JsonWriter.
 ///
 /// Schema history: v2 extends v1 with a top-level "perf" block (backend
 /// marker + per-phase hardware/software counter attribution), a "perf"
-/// object per iteration, and "histograms" under "metrics". v2 is a strict
-/// superset — a v1 reader that ignores unknown keys parses v2 documents
-/// unchanged.
+/// object per iteration, and "histograms" under "metrics". v3 extends v2
+/// with the parallel-efficiency ledger: a "ledger" object (per-phase
+/// aggregates + full per-thread phase table) and an "efficiency" object
+/// (speedup-loss decomposition) per iteration and at run level. Each
+/// version is a strict superset — a reader of any older version that
+/// ignores unknown keys parses newer documents unchanged.
 struct RunManifest {
   std::string tool;     ///< emitting binary, e.g. "smpmine_cli"
   std::string dataset;  ///< input path or generator name
@@ -74,6 +77,12 @@ struct RunManifest {
   /// run-total per-phase counter attribution (empty when off).
   std::string perf_backend = "off";
   obs::perf::PhasePerfSnapshot phase_perf;
+
+  /// Whole-run parallel-efficiency ledger delta and its loss decomposition
+  /// (MiningResult::run_ledger / run_efficiency; empty when the ledger is
+  /// disabled). Serialized as the run-level "ledger"/"efficiency" objects.
+  obs::ledger::LedgerSnapshot run_ledger;
+  obs::ledger::EfficiencyDecomposition run_efficiency;
 
   /// CPU feature/dispatch record: which SIMD features the host reports and
   /// which leaf-scan backend the run dispatched to (util/cpu_features.hpp),

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "itemset/frequent_set.hpp"
+#include "obs/ledger/efficiency.hpp"
+#include "obs/ledger/ledger.hpp"
 #include "obs/perf/perf_counters.hpp"
 #include "util/timer.hpp"
 
@@ -56,11 +58,20 @@ struct IterationStats {
   // with fewer cores than threads, wall time measures scheduling rather
   // than work; CPU-time sum/max still measures balance, and the modeled
   // parallel time (max over threads per phase) is what the paper's
-  // computation-balance improvements are about.
+  // computation-balance improvements are about. The two views are kept
+  // strictly apart: `*_busy_sum` is total thread-seconds (never a phase
+  // duration), `*_busy_max` is the per-phase critical path — summing
+  // per-thread seconds into a `*_seconds` field is the conflation the
+  // ledger audit (PR 10) removed.
   double count_busy_sum = 0.0;
   double count_busy_max = 0.0;
   double candgen_busy_sum = 0.0;
   double candgen_busy_max = 0.0;
+  // Freeze is master-serial under CCPD (sum == max == wall) but an SPMD
+  // phase under PCCD, where charging its wall as serial time would
+  // misclassify parallel work; the model below uses the max.
+  double freeze_busy_sum = 0.0;
+  double freeze_busy_max = 0.0;
 
   /// Imbalance of the candidate-generation partition (max/mean weight).
   double candgen_imbalance = 1.0;
@@ -92,6 +103,15 @@ struct IterationStats {
   /// the *_seconds fields above.
   obs::perf::PhasePerfSnapshot perf;
 
+  /// Parallel-efficiency ledger delta for this iteration: the per-thread ×
+  /// per-phase wall/CPU/work/barrier-wait/lock-wait table recorded by the
+  /// SMPMINE_PERF_PHASE scopes and the synchronization wrappers (empty
+  /// when the ledger is disabled).
+  obs::ledger::LedgerSnapshot ledger;
+  /// Loss decomposition of `ledger` (serial / imbalance / contention /
+  /// overhead fractions; see obs/ledger/efficiency.hpp).
+  obs::ledger::EfficiencyDecomposition efficiency;
+
   double total_seconds() const {
     return candgen_seconds + remap_seconds + freeze_seconds +
            vertbuild_seconds + count_seconds + reduce_seconds +
@@ -99,10 +119,14 @@ struct IterationStats {
   }
 
   /// Modeled parallel computation time of this iteration: critical path of
-  /// the parallel phases (max per-thread CPU time) plus the serial phases
-  /// (the freeze, like the remap, runs on the master).
+  /// the parallel phases (max per-thread CPU time) plus the serial phases.
+  /// The freeze uses its busy max — master-serial under CCPD (where the
+  /// max *is* the wall) but SPMD under PCCD, whose wall would overstate
+  /// the critical path; the pre-busy-tracking wall is the fallback.
   double modeled_parallel_seconds() const {
-    return candgen_busy_max + remap_seconds + freeze_seconds +
+    const double freeze = freeze_busy_max > 0.0 ? freeze_busy_max
+                                                : freeze_seconds;
+    return candgen_busy_max + remap_seconds + freeze +
            vertbuild_seconds + count_busy_max + reduce_seconds +
            select_seconds;
   }
@@ -114,6 +138,12 @@ struct MiningResult {
   std::vector<IterationStats> iterations;
   double f1_seconds = 0.0;
   double total_seconds = 0.0;
+
+  /// Whole-run ledger delta (f1 through the last iteration) and its
+  /// efficiency decomposition — what the speedup-autopsy tooling and the
+  /// fig11 bench read; empty when the ledger is disabled.
+  obs::ledger::LedgerSnapshot run_ledger;
+  obs::ledger::EfficiencyDecomposition run_efficiency;
 
   std::uint64_t total_frequent() const {
     std::uint64_t n = 0;

@@ -22,6 +22,7 @@
 
 #include "hashtree/frozen_tree.hpp"
 #include "hashtree/tile_simd.hpp"
+#include "obs/ledger/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/attributes.hpp"
@@ -295,6 +296,9 @@ void FrozenTree::count_range(const Database& db, std::uint64_t begin,
   obs::metric::flatkernel_tiles().inc(ctx.tiles - tiles_before);
   obs::metric::flatkernel_prefetches().inc(ctx.prefetches -
                                            prefetches_before);
+  // Efficiency-ledger work units: tiles actually counted by this call, at
+  // call (batch) granularity per the ledger's overhead policy.
+  SMPMINE_LEDGER_WORK("count", ctx.tiles - tiles_before);
 }
 
 }  // namespace smpmine

@@ -16,6 +16,7 @@
 
 #include "hashtree/frozen_tree.hpp"
 #include "hashtree/vertical_index.hpp"
+#include "obs/ledger/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/attributes.hpp"
@@ -102,6 +103,9 @@ void FrozenTree::count_slots_vertical(const VerticalIndex& vidx,
     obs::metric::vertkernel_slot_ns().record(obs::now_ns() - slot_start_ns);
   }
   obs::metric::vertkernel_slots().inc(end_slot - begin_slot);
+  // Efficiency-ledger work units: candidate slots intersected by this call
+  // (each slot covers the whole database — the vertical kernel's unit).
+  SMPMINE_LEDGER_WORK("count", end_slot - begin_slot);
 }
 
 }  // namespace smpmine

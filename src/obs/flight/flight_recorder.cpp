@@ -735,6 +735,72 @@ void maybe_inject_fault(const char* phase) noexcept {
   *null_page = 1;  // SIGSEGV inside the named phase, by request
 }
 
+namespace {
+
+// Bounded name -> running-max table behind high_water(). The ring events
+// give the crash-time view; this table keeps the maxima readable for the
+// telemetry sampler. Same publication discipline as g_metrics: cells are
+// append-only, the count is released after the cell is filled.
+struct HwmCell {
+  const char* name = nullptr;
+  std::atomic<std::uint64_t> value{0};
+};
+constexpr std::uint32_t kMaxHwm = 64;
+HwmCell g_hwm[kMaxHwm];
+std::atomic<std::uint32_t> g_hwm_count{0};
+std::atomic<std::uint32_t> g_hwm_claimed{0};
+
+void note_high_water(const char* name, std::uint64_t value) noexcept {
+  const std::uint32_t count = g_hwm_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (g_hwm[i].name == nullptr) continue;  // racing append, not ours
+    if (g_hwm[i].name == name || std::strcmp(g_hwm[i].name, name) == 0) {
+      // relaxed-ok: monotonic max; a lost race only re-runs the CAS.
+      std::uint64_t cur = g_hwm[i].value.load(std::memory_order_relaxed);
+      while (value > cur &&
+             // relaxed-ok: see above.
+             !g_hwm[i].value.compare_exchange_weak(
+                 cur, value, std::memory_order_relaxed)) {
+      }
+      return;
+    }
+  }
+  const std::uint32_t slot =
+      g_hwm_claimed.fetch_add(1, std::memory_order_acq_rel);
+  if (slot >= kMaxHwm) return;  // table full: the event still landed
+  g_hwm[slot].name = name;
+  // relaxed-ok: the release CAS on g_hwm_count publishes the cell.
+  g_hwm[slot].value.store(value, std::memory_order_relaxed);
+  // Max-CAS: a racing later slot must never shrink the published count.
+  std::uint32_t cur = g_hwm_count.load(std::memory_order_acquire);
+  while (slot + 1 > cur &&
+         !g_hwm_count.compare_exchange_weak(cur, slot + 1,
+                                            std::memory_order_release,
+                                            std::memory_order_acquire)) {
+  }
+}
+
+}  // namespace
+
+void high_water(const char* name, std::uint64_t value) noexcept {
+  if (name == nullptr) return;
+  emit(EventKind::HighWater, name, nullptr, value);
+  note_high_water(name, value);
+}
+
+std::vector<std::pair<const char*, std::uint64_t>> high_water_snapshot() {
+  std::vector<std::pair<const char*, std::uint64_t>> out;
+  const std::uint32_t count = g_hwm_count.load(std::memory_order_acquire);
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (g_hwm[i].name == nullptr) continue;  // racing append, cell not ready
+    // relaxed-ok: sampler-side read of a monotonic max.
+    out.emplace_back(g_hwm[i].name,
+                     g_hwm[i].value.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
 void register_metric(const char* name, const void* obj,
                      std::uint64_t (*read)(const void*)) noexcept {
   if (name == nullptr || read == nullptr) return;

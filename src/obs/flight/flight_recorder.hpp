@@ -44,6 +44,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace smpmine::obs::flight {
 
@@ -100,10 +102,16 @@ std::uint64_t now_ns() noexcept;
 void emit(EventKind kind, const char* name, const char* detail = nullptr,
           std::uint64_t arg = 0) noexcept;
 
-/// Convenience: a high-water-mark event ("hwm.candidates", value).
-inline void high_water(const char* name, std::uint64_t value) noexcept {
-  emit(EventKind::HighWater, name, nullptr, value);
-}
+/// Convenience: a high-water-mark event ("hwm.candidates", value). Besides
+/// the ring event, keeps a process-wide running max per name, readable via
+/// high_water_snapshot() — the telemetry sampler streams those maxima.
+/// `name` must be static storage (it is compared by pointer first).
+void high_water(const char* name, std::uint64_t value) noexcept;
+
+/// Name -> running-max pairs recorded by high_water(), in first-seen
+/// order. Safe to call while emitters run (relaxed reads of a bounded
+/// lock-free table).
+std::vector<std::pair<const char*, std::uint64_t>> high_water_snapshot();
 
 // --- thread identity -------------------------------------------------------
 

@@ -1,0 +1,85 @@
+#include "obs/ledger/efficiency.hpp"
+
+#include <algorithm>
+
+namespace smpmine::obs::ledger {
+
+namespace {
+constexpr double kNsPerSec = 1e9;
+}  // namespace
+
+EfficiencyDecomposition decompose(const LedgerSnapshot& snapshot,
+                                  std::uint32_t threads) {
+  EfficiencyDecomposition d;
+  d.threads = std::max<std::uint32_t>(threads, 1);
+  const double p = static_cast<double>(d.threads);
+
+  double work_s = 0.0, serial_s = 0.0, imbalance_s = 0.0;
+  double contention_s = 0.0, overhead_s = 0.0, serial_wall_s = 0.0;
+
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const PhaseId phase = static_cast<PhaseId>(i);
+    const PhaseAgg a = snapshot.agg(phase);
+    if (a.threads_active == 0) continue;
+
+    const double wall = static_cast<double>(a.wall_max_ns) / kNsPerSec;
+    // Clamp CPU readings to the wall bound: CLOCK_THREAD_CPUTIME_ID can
+    // nose ahead of CLOCK_MONOTONIC by a few microseconds, and the binning
+    // identity (see header) needs cpu_max <= wall.
+    const double cpu_max = std::min(
+        static_cast<double>(a.cpu_max_ns) / kNsPerSec, wall);
+    const double cpu_sum = std::min(
+        static_cast<double>(a.cpu_sum_ns) / kNsPerSec,
+        cpu_max * static_cast<double>(a.threads_active));
+    const double lock = std::min(
+        static_cast<double>(a.lock_wait_ns) / kNsPerSec, cpu_sum);
+
+    PhaseEfficiency pe;
+    pe.phase = phase;
+    pe.parallel = a.threads_active > 1;
+    pe.threads_active = a.threads_active;
+    pe.wall_seconds = wall;
+    pe.cpu_sum_seconds = cpu_sum;
+    pe.cpu_max_seconds = cpu_max;
+    pe.barrier_wait_seconds =
+        static_cast<double>(a.barrier_wait_ns) / kNsPerSec;
+    pe.lock_wait_seconds = lock;
+    pe.work_units = a.work_units;
+    if (pe.parallel && cpu_max > 0.0) {
+      const double mean = cpu_sum / static_cast<double>(a.threads_active);
+      pe.imbalance = 1.0 - mean / cpu_max;
+    }
+    d.phases.push_back(pe);
+
+    d.wall_seconds += wall;
+    if (pe.parallel) {
+      work_s += cpu_sum - lock;
+      contention_s += lock;
+      imbalance_s += p * cpu_max - cpu_sum;
+      overhead_s += p * (wall - cpu_max);
+    } else {
+      const double work = std::min(cpu_sum, wall);
+      work_s += work;
+      serial_s += p * wall - work;
+      serial_wall_s += wall;
+    }
+  }
+
+  d.budget_seconds = p * d.wall_seconds;
+  if (d.budget_seconds > 0.0) {
+    work_s = std::max(work_s, 0.0);
+    d.work_fraction = work_s / d.budget_seconds;
+    d.serial_loss = serial_s / d.budget_seconds;
+    d.imbalance_loss = imbalance_s / d.budget_seconds;
+    d.contention_loss = contention_s / d.budget_seconds;
+    // Residual closes the identity exactly even after clamping.
+    d.overhead_loss = 1.0 - d.work_fraction - d.serial_loss -
+                      d.imbalance_loss - d.contention_loss;
+  }
+  if (d.wall_seconds > 0.0) {
+    d.serial_fraction = serial_wall_s / d.wall_seconds;
+  }
+  return d;
+}
+
+}  // namespace smpmine::obs::ledger

@@ -1,0 +1,72 @@
+// Efficiency decomposition over a ledger snapshot (the speedup autopsy).
+//
+// The paper's Fig 11 speedups flatten against an Amdahl ceiling; this file
+// names the losses. Over one iteration (or one run) with P configured
+// threads, the thread-seconds budget is `P × Σ_phase wall_max(phase)`.
+// Every nanosecond of that budget lands in exactly one bin:
+//
+//   work        — thread CPU time net of lock waits (useful mining)
+//   contention  — measured SpinLock/Mutex wait (spin burns CPU, so it is
+//                 carved out of the CPU total, not added on top)
+//   imbalance   — P·cpu_max − cpu_sum per parallel phase: budget idled by
+//                 threads that finished early while the slowest thread of
+//                 the phase was still working (the barrier-wait story)
+//   serial      — (P−1 threads idle + master stall) during phases only one
+//                 thread entered
+//   overhead    — P·(wall_max − cpu_max) per parallel phase: the slowest
+//                 thread itself was off-CPU (scheduling, page faults,
+//                 oversubscription) — the residual
+//
+// The bins are exhaustive and exclusive by construction, so the emitted
+// fractions always satisfy work + serial + imbalance + contention +
+// overhead = 1; scripts/efficiency_report.py checks that identity and
+// lines the losses up against measured speedup across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/ledger/ledger.hpp"
+
+namespace smpmine::obs::ledger {
+
+/// One phase's row of the decomposition.
+struct PhaseEfficiency {
+  PhaseId phase = PhaseId::kNone;
+  bool parallel = false;        ///< >1 threads entered the phase
+  std::uint32_t threads_active = 0;
+  double wall_seconds = 0.0;    ///< max over threads (phase duration)
+  double cpu_sum_seconds = 0.0; ///< busy thread-seconds inside the phase
+  double cpu_max_seconds = 0.0; ///< slowest thread's busy time
+  double imbalance = 0.0;       ///< 1 − mean/max of per-thread CPU (0: serial)
+  double barrier_wait_seconds = 0.0;
+  double lock_wait_seconds = 0.0;
+  std::uint64_t work_units = 0;
+};
+
+/// Whole-snapshot decomposition. All `*_loss` fields plus `work_fraction`
+/// are fractions of the `P × wall` thread-seconds budget and sum to 1.
+struct EfficiencyDecomposition {
+  std::uint32_t threads = 1;      ///< configured P (budget multiplier)
+  double wall_seconds = 0.0;      ///< Σ phase wall_max
+  double budget_seconds = 0.0;    ///< threads × wall_seconds
+  double serial_fraction = 0.0;   ///< serial-phase wall / total wall
+  double work_fraction = 0.0;
+  double serial_loss = 0.0;
+  double imbalance_loss = 0.0;
+  double contention_loss = 0.0;
+  double overhead_loss = 0.0;
+  std::vector<PhaseEfficiency> phases;  ///< only phases with activity
+
+  double loss_total() const noexcept {
+    return serial_loss + imbalance_loss + contention_loss + overhead_loss;
+  }
+};
+
+/// Decomposes a (delta) snapshot for a run configured with `threads`
+/// threads. Tolerates clock skew by clamping CPU totals to the wall bound
+/// before binning, so the identity holds exactly even on noisy clocks.
+EfficiencyDecomposition decompose(const LedgerSnapshot& snapshot,
+                                  std::uint32_t threads);
+
+}  // namespace smpmine::obs::ledger

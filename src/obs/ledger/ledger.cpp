@@ -1,0 +1,304 @@
+#include "obs/ledger/ledger.hpp"
+
+#include <ctime>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace smpmine::obs::ledger {
+
+namespace {
+
+const char* const kPhaseNames[kNumPhases] = {
+    "f1",        "candgen", "remap",  "freeze",
+    "vertbuild", "count",   "reduce", "select",
+};
+
+std::atomic<bool> g_enabled{true};
+
+// Current / most-recently-closed phase of the calling thread. The "last"
+// slot is what lets the run_spmd end-of-body barrier wait (which happens
+// after the body's scopes closed) still attribute to the phase that just
+// ran instead of vanishing into "other".
+thread_local PhaseId tls_current = PhaseId::kNone;
+thread_local PhaseId tls_last = PhaseId::kNone;
+thread_local LedgerShard* tls_shard = nullptr;
+
+std::uint64_t clock_ns(clockid_t id) noexcept {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// The calling thread's shard, registering on first use. Returns nullptr
+/// only while the very registration is in flight (re-entrancy from the
+/// Mutex wait hook) — callers treat that as "drop the sample".
+LedgerShard* shard() {
+  if (tls_shard == nullptr) tls_shard = &Ledger::instance().local_shard();
+  return tls_shard;
+}
+
+/// Per-phase barrier-wait histograms ("barrier.wait_ns.<phase>", plus
+/// ".other" for waits outside any phase — pool spin-up, shutdown). Dotted
+/// names are subsystem events, so R5's phase-vocabulary check skips them.
+HistogramShard& barrier_hist_shard(std::size_t idx) {
+  static std::array<Histogram*, kNumPhases + 1>& hists = *[] {
+    auto* a = new std::array<Histogram*, kNumPhases + 1>{};
+    auto& reg = MetricsRegistry::instance();
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      (*a)[i] = &reg.histogram(std::string("barrier.wait_ns.") +
+                               kPhaseNames[i]);
+    }
+    (*a)[kNumPhases] = &reg.histogram("barrier.wait_ns.other");
+    return a;
+  }();
+  thread_local std::array<HistogramShard*, kNumPhases + 1> shards{};
+  if (shards[idx] == nullptr) shards[idx] = &hists[idx]->local_shard();
+  return *shards[idx];
+}
+
+}  // namespace
+
+const char* phase_name(PhaseId p) noexcept {
+  return p < PhaseId::kNone ? kPhaseNames[static_cast<std::size_t>(p)] : "?";
+}
+
+PhaseId phase_from_name(const char* name) noexcept {
+  if (name == nullptr) return PhaseId::kNone;
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    if (std::strcmp(name, kPhaseNames[i]) == 0) {
+      return static_cast<PhaseId>(i);
+    }
+  }
+  return PhaseId::kNone;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot types.
+// ---------------------------------------------------------------------------
+
+PhaseCounts& PhaseCounts::operator+=(const PhaseCounts& o) noexcept {
+  wall_ns += o.wall_ns;
+  cpu_ns += o.cpu_ns;
+  work_units += o.work_units;
+  barrier_wait_ns += o.barrier_wait_ns;
+  lock_wait_ns += o.lock_wait_ns;
+  entries += o.entries;
+  return *this;
+}
+
+namespace {
+std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > b ? a - b : 0;
+}
+}  // namespace
+
+PhaseCounts PhaseCounts::delta_since(const PhaseCounts& before) const noexcept {
+  PhaseCounts d;
+  d.wall_ns = sat_sub(wall_ns, before.wall_ns);
+  d.cpu_ns = sat_sub(cpu_ns, before.cpu_ns);
+  d.work_units = sat_sub(work_units, before.work_units);
+  d.barrier_wait_ns = sat_sub(barrier_wait_ns, before.barrier_wait_ns);
+  d.lock_wait_ns = sat_sub(lock_wait_ns, before.lock_wait_ns);
+  d.entries = sat_sub(entries, before.entries);
+  return d;
+}
+
+LedgerSnapshot LedgerSnapshot::delta_since(const LedgerSnapshot& before) const {
+  LedgerSnapshot d;
+  d.threads.reserve(threads.size());
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    ThreadLedger row;
+    row.thread = threads[t].thread;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      row.phases[p] = t < before.threads.size()
+                          ? threads[t].phases[p].delta_since(
+                                before.threads[t].phases[p])
+                          : threads[t].phases[p];
+    }
+    d.threads.push_back(row);
+  }
+  return d;
+}
+
+PhaseAgg LedgerSnapshot::agg(PhaseId p) const noexcept {
+  PhaseAgg a;
+  const std::size_t i = static_cast<std::size_t>(p);
+  for (const ThreadLedger& row : threads) {
+    const PhaseCounts& c = row.phases[i];
+    if (!c.any()) continue;
+    ++a.threads_active;
+    a.wall_sum_ns += c.wall_ns;
+    a.wall_max_ns = std::max(a.wall_max_ns, c.wall_ns);
+    a.cpu_sum_ns += c.cpu_ns;
+    a.cpu_max_ns = std::max(a.cpu_max_ns, c.cpu_ns);
+    a.work_units += c.work_units;
+    a.barrier_wait_ns += c.barrier_wait_ns;
+    a.lock_wait_ns += c.lock_wait_ns;
+    a.entries += c.entries;
+  }
+  return a;
+}
+
+bool LedgerSnapshot::empty() const noexcept {
+  for (const ThreadLedger& row : threads) {
+    for (const PhaseCounts& c : row.phases) {
+      if (c.any()) return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Shard / registry.
+// ---------------------------------------------------------------------------
+
+PhaseCounts LedgerShard::read(PhaseId p) const noexcept {
+  const Cell& c = cell(p);
+  PhaseCounts out;
+  // relaxed-ok: sampler-side read of single-writer totals; a momentarily
+  // stale or cross-field-torn view only shifts one sample.
+  out.wall_ns = c.wall_ns.load(std::memory_order_relaxed);
+  // relaxed-ok: see above.
+  out.cpu_ns = c.cpu_ns.load(std::memory_order_relaxed);
+  // relaxed-ok: see above.
+  out.work_units = c.work_units.load(std::memory_order_relaxed);
+  // relaxed-ok: see above.
+  out.barrier_wait_ns = c.barrier_wait_ns.load(std::memory_order_relaxed);
+  // relaxed-ok: see above.
+  out.lock_wait_ns = c.lock_wait_ns.load(std::memory_order_relaxed);
+  // relaxed-ok: see above.
+  out.entries = c.entries.load(std::memory_order_relaxed);
+  return out;
+}
+
+Ledger& Ledger::instance() {
+  static Ledger* g = new Ledger();  // leaked: shards outlive static dtors
+  return *g;
+}
+
+LedgerShard& Ledger::local_shard() {
+  MutexLock lock(mu_);
+  shards_.push_back(std::make_unique<LedgerShard>());
+  shards_.back()->thread_index_ =
+      static_cast<std::uint32_t>(shards_.size() - 1);
+  return *shards_.back();
+}
+
+LedgerSnapshot Ledger::snapshot() const {
+  LedgerSnapshot s;
+  MutexLock lock(mu_);
+  s.threads.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    ThreadLedger row;
+    row.thread = sh->thread_index_;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      row.phases[p] = sh->read(static_cast<PhaseId>(p));
+    }
+    s.threads.push_back(row);
+  }
+  return s;
+}
+
+void Ledger::reset() {
+  MutexLock lock(mu_);
+  for (auto& sh : shards_) {
+    for (auto& c : sh->cells_) {
+      // relaxed-ok: reset happens between runs, no concurrent writers.
+      c.wall_ns.store(0, std::memory_order_relaxed);
+      // relaxed-ok: see above.
+      c.cpu_ns.store(0, std::memory_order_relaxed);
+      // relaxed-ok: see above.
+      c.work_units.store(0, std::memory_order_relaxed);
+      // relaxed-ok: see above.
+      c.barrier_wait_ns.store(0, std::memory_order_relaxed);
+      // relaxed-ok: see above.
+      c.lock_wait_ns.store(0, std::memory_order_relaxed);
+      // relaxed-ok: see above.
+      c.entries.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool enabled() noexcept {
+  // relaxed-ok: a stale gate read only delays enable/disable by one sample.
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  // relaxed-ok: see enabled().
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Recording.
+// ---------------------------------------------------------------------------
+
+LedgerScope::LedgerScope(const char* name) noexcept {
+  if (!enabled()) return;
+  const PhaseId p = phase_from_name(name);
+  if (p == PhaseId::kNone) return;
+  phase_ = p;
+  prev_ = tls_current;
+  tls_current = p;
+  wall_start_ns_ = clock_ns(CLOCK_MONOTONIC);
+  cpu_start_ns_ = clock_ns(CLOCK_THREAD_CPUTIME_ID);
+}
+
+LedgerScope::~LedgerScope() noexcept {
+  if (phase_ == PhaseId::kNone) return;
+  const std::uint64_t cpu = sat_sub(clock_ns(CLOCK_THREAD_CPUTIME_ID),
+                                    cpu_start_ns_);
+  const std::uint64_t wall = sat_sub(clock_ns(CLOCK_MONOTONIC),
+                                     wall_start_ns_);
+  if (LedgerShard* sh = shard()) sh->add_span(phase_, wall, cpu);
+  tls_current = prev_;
+  tls_last = phase_;
+}
+
+PhaseId attribution_phase() noexcept {
+  return tls_current != PhaseId::kNone ? tls_current : tls_last;
+}
+
+void add_work(std::uint64_t units) noexcept {
+  if (!enabled() || units == 0) return;
+  const PhaseId p = tls_current;
+  if (p == PhaseId::kNone) return;
+  if (LedgerShard* sh = shard()) sh->add_work(p, units);
+}
+
+void add_work(const char* phase, std::uint64_t units) noexcept {
+  if (!enabled() || units == 0) return;
+  const PhaseId p = phase_from_name(phase);
+  if (p == PhaseId::kNone) return;
+  if (LedgerShard* sh = shard()) sh->add_work(p, units);
+}
+
+void add_barrier_wait(std::uint64_t ns) noexcept {
+  if (!enabled()) return;
+  const PhaseId p = attribution_phase();
+  const std::size_t idx = static_cast<std::size_t>(p);  // kNone -> "other"
+  barrier_hist_shard(idx).record(ns);
+  if (p == PhaseId::kNone) return;
+  if (LedgerShard* sh = shard()) sh->add_barrier_wait(p, ns);
+}
+
+void add_lock_wait(std::uint64_t ns) noexcept {
+  if (!enabled()) return;
+  const PhaseId p = attribution_phase();
+  if (p == PhaseId::kNone) return;
+  // Dropped (not registered) while this very thread's shard registration
+  // holds Ledger::mu_ — see shard().
+  if (tls_shard != nullptr) tls_shard->add_lock_wait(p, ns);
+}
+
+const char* current_phase_name() noexcept {
+  const PhaseId p = attribution_phase();
+  return p == PhaseId::kNone ? nullptr : phase_name(p);
+}
+
+std::uint64_t wait_clock_ns() noexcept { return clock_ns(CLOCK_MONOTONIC); }
+
+}  // namespace smpmine::obs::ledger

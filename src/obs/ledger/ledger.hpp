@@ -1,0 +1,256 @@
+// Parallel-efficiency ledger: per-thread × per-phase × per-iteration work
+// accounting.
+//
+// Spans say when a phase ran, perf counters say what the hardware did, the
+// flight recorder says what just happened — but none of them can decompose
+// a measured speedup into the paper's Fig 11 losses (serial fraction,
+// barrier imbalance, lock contention, residual overhead). The ledger
+// closes that gap. Every `SMPMINE_PERF_PHASE` scope (see perf_counters.hpp
+// — PerfScope opens a LedgerScope regardless of the perf backend) records
+// wall time and thread CPU time into the calling thread's cache-line-
+// padded shard; the synchronization wrappers (Barrier, SpinLock, Mutex)
+// add their measured wait nanoseconds to the thread's *current* phase via
+// ledger_hooks.hpp; and the counting kernels / miners add work units
+// (tiles counted, transactions scanned, candidates generated, vertical
+// slots). Miners snapshot the ledger per iteration (delta_since), store
+// the delta in IterationStats, and efficiency.hpp turns it into the loss
+// decomposition emitted in manifest schema v3.
+//
+// Overhead policy: recording is a handful of relaxed fetch_adds on
+// thread-private cache lines plus two clock reads per phase scope — per
+// iteration per thread, never per transaction. Cells are atomics (not
+// plain fields) only because the telemetry sampler (telemetry.hpp) reads
+// the live shards concurrently; each cell has exactly one writer.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/ledger/ledger_hooks.hpp"
+#include "parallel/mutex.hpp"
+#include "util/thread_annotations.hpp"
+#include "util/types.hpp"
+
+namespace smpmine::obs::ledger {
+
+// ---------------------------------------------------------------------------
+// Phase vocabulary. Fixed at the level-synchronous SPMD phases both miners
+// share (the same names as the `<phase>_seconds` fields in core/stats.hpp,
+// which lint rule R5 keeps in agreement with every trace/perf macro site).
+// ---------------------------------------------------------------------------
+
+enum class PhaseId : std::uint8_t {
+  F1 = 0,
+  Candgen,
+  Remap,
+  Freeze,
+  Vertbuild,
+  Count,
+  Reduce,
+  Select,
+  kNone,  ///< sentinel: not a phase; unattributed / unknown name
+};
+
+inline constexpr std::size_t kNumPhases = 8;
+
+/// Static-storage lowercase name ("candgen", ...); "?" for kNone.
+const char* phase_name(PhaseId p) noexcept;
+
+/// Inverse of phase_name; returns kNone for names outside the vocabulary
+/// (tests and future phases degrade to "unattributed", never UB).
+PhaseId phase_from_name(const char* name) noexcept;
+
+// ---------------------------------------------------------------------------
+// Snapshot types (plain values, copyable; what IterationStats stores).
+// ---------------------------------------------------------------------------
+
+/// One thread's totals for one phase.
+struct PhaseCounts {
+  std::uint64_t wall_ns = 0;          ///< time inside the phase scope
+  std::uint64_t cpu_ns = 0;           ///< CLOCK_THREAD_CPUTIME_ID delta
+  std::uint64_t work_units = 0;       ///< tiles / transactions / slots / cands
+  std::uint64_t barrier_wait_ns = 0;  ///< measured Barrier wait
+  std::uint64_t lock_wait_ns = 0;     ///< measured SpinLock/Mutex wait
+  std::uint64_t entries = 0;          ///< scope activations
+
+  PhaseCounts& operator+=(const PhaseCounts& o) noexcept;
+  /// Saturating field-wise `*this - before` (for per-iteration deltas).
+  PhaseCounts delta_since(const PhaseCounts& before) const noexcept;
+  bool any() const noexcept { return entries != 0 || barrier_wait_ns != 0 ||
+                                     lock_wait_ns != 0 || work_units != 0; }
+};
+
+/// One thread's row of the per-thread phase table.
+struct ThreadLedger {
+  std::uint32_t thread = 0;  ///< shard registration index, not a TID
+  std::array<PhaseCounts, kNumPhases> phases{};
+};
+
+/// Cross-thread aggregation of one phase — the two views satellite work
+/// keeps distinct: `wall_max_ns` (phase duration as a barrier-synchronized
+/// region) vs `cpu_sum_ns` (total busy thread-seconds spent inside it).
+struct PhaseAgg {
+  std::uint64_t wall_max_ns = 0;
+  std::uint64_t wall_sum_ns = 0;
+  std::uint64_t cpu_sum_ns = 0;
+  std::uint64_t cpu_max_ns = 0;
+  std::uint64_t work_units = 0;
+  std::uint64_t barrier_wait_ns = 0;
+  std::uint64_t lock_wait_ns = 0;
+  std::uint64_t entries = 0;
+  std::uint32_t threads_active = 0;  ///< threads with any activity
+};
+
+/// Point-in-time copy of every shard (full per-thread phase table).
+struct LedgerSnapshot {
+  std::vector<ThreadLedger> threads;
+
+  /// Field-wise saturating delta; `before` may have fewer threads (new
+  /// shards registered in between count from zero).
+  LedgerSnapshot delta_since(const LedgerSnapshot& before) const;
+  PhaseAgg agg(PhaseId p) const noexcept;
+  bool empty() const noexcept;
+};
+
+// ---------------------------------------------------------------------------
+// Recording side.
+// ---------------------------------------------------------------------------
+
+/// One thread's private slice of the ledger. Only the owning thread
+/// records; the telemetry sampler reads the same atomics relaxed from its
+/// own thread and tolerates a momentarily stale (or torn across fields)
+/// view. Cache-line aligned so two threads' shards never false-share.
+class alignas(kCacheLine) LedgerShard {
+ public:
+  void add_span(PhaseId p, std::uint64_t wall_ns,
+                std::uint64_t cpu_ns) noexcept {
+    Cell& c = cell(p);
+    // relaxed-ok: shard cells are single-writer totals; the sampler reads
+    // a snapshot and tolerates missing the most recent additions.
+    c.wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
+    // relaxed-ok: see above.
+    c.cpu_ns.fetch_add(cpu_ns, std::memory_order_relaxed);
+    // relaxed-ok: see above.
+    c.entries.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_work(PhaseId p, std::uint64_t units) noexcept {
+    // relaxed-ok: single-writer total, see add_span.
+    cell(p).work_units.fetch_add(units, std::memory_order_relaxed);
+  }
+  void add_barrier_wait(PhaseId p, std::uint64_t ns) noexcept {
+    // relaxed-ok: single-writer total, see add_span.
+    cell(p).barrier_wait_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void add_lock_wait(PhaseId p, std::uint64_t ns) noexcept {
+    // relaxed-ok: single-writer total, see add_span.
+    cell(p).lock_wait_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  /// Relaxed read of one phase's totals (sampler / snapshot path).
+  PhaseCounts read(PhaseId p) const noexcept;
+
+  std::uint32_t thread_index() const noexcept { return thread_index_; }
+
+ private:
+  friend class Ledger;
+
+  struct Cell {
+    std::atomic<std::uint64_t> wall_ns{0};
+    std::atomic<std::uint64_t> cpu_ns{0};
+    std::atomic<std::uint64_t> work_units{0};
+    std::atomic<std::uint64_t> barrier_wait_ns{0};
+    std::atomic<std::uint64_t> lock_wait_ns{0};
+    std::atomic<std::uint64_t> entries{0};
+  };
+
+  Cell& cell(PhaseId p) noexcept {
+    return cells_[static_cast<std::size_t>(p)];
+  }
+  const Cell& cell(PhaseId p) const noexcept {
+    return cells_[static_cast<std::size_t>(p)];
+  }
+
+  std::array<Cell, kNumPhases> cells_{};
+  std::uint32_t thread_index_ = 0;
+};
+
+/// Process-wide shard registry. Shards are never freed (pool threads
+/// outlive any reset), only zeroed; addresses (and the thread_local caches
+/// holding them) stay valid for the process lifetime.
+class Ledger {
+ public:
+  static Ledger& instance();
+
+  /// Registers (once) and returns the calling thread's shard. The result
+  /// is cached thread_local by the recording helpers, so the registry
+  /// mutex is paid once per thread.
+  LedgerShard& local_shard() EXCLUDES(mu_);
+
+  /// Merged per-thread table (relaxed reads; safe while recording).
+  LedgerSnapshot snapshot() const EXCLUDES(mu_);
+
+  /// Zeroes every cell; shard addresses survive. Tests only — production
+  /// callers take snapshot deltas instead, so concurrent runs compose.
+  void reset() EXCLUDES(mu_);
+
+ private:
+  Ledger() { SMPMINE_LOCK_NAME(&mu_, "Ledger::mu_"); }
+
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<LedgerShard>> shards_ GUARDED_BY(mu_);
+};
+
+/// Runtime gate (default on). Off turns scopes and hooks into cheap no-ops;
+/// the overhead budget is measured with the gate *on* (bench_count_kernel's
+/// telemetry block), so there is rarely a reason to turn it off.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// RAII phase scope: stamps wall + thread-CPU clocks, maintains the calling
+/// thread's current-phase attribution (restoring the previous phase on
+/// exit, and remembering this phase as "last closed" so the run_spmd
+/// end-of-body barrier wait still attributes here). Opened by PerfScope at
+/// every SMPMINE_PERF_PHASE site; `name` must be static storage. Unknown
+/// names record nothing but still cost the clock reads, so keep phase
+/// names inside the R5 vocabulary.
+class LedgerScope {
+ public:
+  explicit LedgerScope(const char* name) noexcept;
+  ~LedgerScope() noexcept;
+  LedgerScope(const LedgerScope&) = delete;
+  LedgerScope& operator=(const LedgerScope&) = delete;
+
+ private:
+  PhaseId phase_ = PhaseId::kNone;  ///< kNone: inactive (disabled/unknown)
+  PhaseId prev_ = PhaseId::kNone;
+  std::uint64_t wall_start_ns_ = 0;
+  std::uint64_t cpu_start_ns_ = 0;
+};
+
+/// Adds work units to the calling thread's *current* phase (no-op outside
+/// any phase scope or when disabled).
+void add_work(std::uint64_t units) noexcept;
+
+/// Adds work units to an explicitly named phase — the form the counting
+/// kernels use (their batch loops run inside the miners' count scopes, but
+/// naming the phase keeps the attribution correct even from helpers called
+/// outside a scope). Prefer the macro below: lint rule R5 checks the name
+/// against the stats.hpp vocabulary.
+void add_work(const char* phase, std::uint64_t units) noexcept;
+
+/// The phase waits/work currently attribute to (current scope, else the
+/// thread's most recently closed scope, else kNone).
+PhaseId attribution_phase() noexcept;
+
+}  // namespace smpmine::obs::ledger
+
+/// Work-unit recording with an R5-checked phase name:
+///   SMPMINE_LEDGER_WORK("count", tiles);
+/// Always compiled (one relaxed fetch_add when the ledger is enabled);
+/// call at batch granularity, never per element.
+#define SMPMINE_LEDGER_WORK(name, units) \
+  ::smpmine::obs::ledger::add_work((name), (units))

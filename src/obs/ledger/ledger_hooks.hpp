@@ -1,0 +1,33 @@
+// Declaration-only hooks for the synchronization wrappers.
+//
+// barrier.hpp / spinlock.hpp / mutex.hpp feed measured wait nanoseconds
+// into the parallel-efficiency ledger (ledger.hpp), but the ledger's own
+// registry is built on those same wrappers — including ledger.hpp from
+// them would be circular. This header breaks the cycle: declarations only,
+// no includes back into obs. Definitions live in obs/ledger/ledger.cpp.
+#pragma once
+
+#include <cstdint>
+
+namespace smpmine::obs::ledger {
+
+/// Adds `ns` of barrier-wait time to the calling thread's current (or, if
+/// none is open, most recently closed) phase, and records it into the
+/// per-phase `barrier.wait_ns.<phase>` histogram. No-op before the thread's
+/// first phase scope. Never blocks, never allocates after first use.
+void add_barrier_wait(std::uint64_t ns) noexcept;
+
+/// Same, for lock acquisition waits (SpinLock spin time, Mutex blocking).
+void add_lock_wait(std::uint64_t ns) noexcept;
+
+/// Static-storage name of the phase waits are currently attributed to
+/// ("count", ...), or nullptr when the thread has not entered a phase yet.
+/// Safe to pass as a flight-recorder `detail`.
+const char* current_phase_name() noexcept;
+
+/// CLOCK_MONOTONIC nanoseconds, for the wrappers to time their own waits.
+/// mutex.hpp cannot include obs/trace.hpp for obs::now_ns() (trace.hpp
+/// includes mutex.hpp), so the clock is exposed through this hook header.
+std::uint64_t wait_clock_ns() noexcept;
+
+}  // namespace smpmine::obs::ledger

@@ -1,0 +1,44 @@
+// Continuous telemetry: a background sampler streaming JSONL records.
+//
+// Run manifests are post-mortem (written after the run) and flight dumps
+// are crash-time; a long-lived mining run (ROADMAP's daemon) needs a live
+// signal. `start()` spawns one sampler thread that every `period_ms`
+// appends a single-line `smpmine.telemetry.v1` JSON record to `path`:
+// metric counter/histogram deltas since the previous sample, the ledger's
+// per-phase progress, resident-set size, and the flight recorder's
+// high-water marks. Records are line-delimited so a consumer can `tail -f`
+// the file; every line is a complete JSON document (the tests check each
+// against obs::json_valid).
+//
+// Overhead: the sampler reads the same relaxed shard atomics the mining
+// threads write, so the mining side pays nothing it was not already
+// paying; the sampler's own work (two registry snapshots and one write)
+// happens off the mining threads. The budget — under 2% on
+// bench_count_kernel — is measured by that bench's interleaved on/off
+// telemetry block, the same method as the flight recorder's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace smpmine::obs::ledger {
+
+struct TelemetryOptions {
+  std::uint32_t period_ms = 100;  ///< sampling period (clamped to >= 1)
+  std::string path;               ///< JSONL output, appended; "" disables
+};
+
+/// Starts the sampler thread (writing record 0 immediately). Returns false
+/// — with the sampler not running — when `path` is empty or cannot be
+/// opened, or when a sampler is already running.
+bool start(const TelemetryOptions& options);
+
+/// Writes one final record, stops and joins the sampler. Idempotent.
+void stop();
+
+bool running() noexcept;
+
+/// Records written since start() (tests; also the final count after stop).
+std::uint64_t records_written() noexcept;
+
+}  // namespace smpmine::obs::ledger

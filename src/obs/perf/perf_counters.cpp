@@ -368,7 +368,9 @@ PhasePerfSnapshot delta_since(const PhasePerfSnapshot& before) {
   return out;
 }
 
-PerfScope::PerfScope(const char* phase) noexcept {
+PerfScope::PerfScope(const char* phase) noexcept : ledger_scope_(phase) {
+  // The ledger member above records wall/CPU regardless of the perf
+  // backend; everything below is counter-session-only.
   if (active_backend() == PerfBackend::Off) return;
   if (!sample_current_thread(start_)) return;
   phase_ = phase;

@@ -39,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/ledger/ledger.hpp"
 #include "obs/trace.hpp"
 #include "parallel/mutex.hpp"
 #include "util/thread_annotations.hpp"
@@ -143,6 +144,11 @@ PhasePerfSnapshot delta_since(const PhasePerfSnapshot& before);
 /// when the tracer is live — emits an instant event carrying the derived
 /// IPC / LLC-miss-rate / stall-fraction so the attribution lands in the
 /// Chrome trace next to the phase span it describes.
+///
+/// Every scope also opens a ledger::LedgerScope — the parallel-efficiency
+/// ledger gets its wall/CPU attribution from the same SMPMINE_PERF_PHASE
+/// sites, *independently* of the perf backend (the ledger member is
+/// declared first so it is live even when the counter session is off).
 class PerfScope {
  public:
   explicit PerfScope(const char* phase) noexcept;
@@ -152,6 +158,7 @@ class PerfScope {
   PerfScope& operator=(const PerfScope&) = delete;
 
  private:
+  ledger::LedgerScope ledger_scope_;
   const char* phase_ = nullptr;  ///< nullptr: backend off / session failed
   PerfCounterSet start_;
 };

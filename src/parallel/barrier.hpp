@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/ledger/ledger_hooks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -29,6 +30,12 @@ class Barrier {
   /// oversubscribed run is visible in the run manifest.
   static constexpr std::uint32_t kSpinsBeforeYield = 1024;
 
+  /// Wait episodes longer than this land a "barrier.late" flight event on
+  /// the *last arriver's* ring (trace builds), so a stall dump names who
+  /// was late, not only who waited. 1 ms: an order of magnitude above a
+  /// healthy phase-end wait, well under the watchdog window.
+  static constexpr std::uint64_t kLateArrivalNs = 1'000'000;
+
   explicit Barrier(std::uint32_t parties) : parties_(parties) {}
 
   Barrier(const Barrier&) = delete;
@@ -42,6 +49,27 @@ class Barrier {
     // has arrived; the acq_rel fetch_add below orders the episode.
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+#if SMPMINE_TRACING_ENABLED
+      // Close the wait episode the first waiter opened — before the sense
+      // flip, while every on-time party is still parked, so the exchange
+      // cannot clobber the next episode's start. (A straggler between its
+      // fetch_add and its CAS below can still re-plant this episode's
+      // timestamp; that only overstates one later diagnostic, tolerated.)
+      // relaxed-ok: diagnostic timestamp; the sense_ release below orders
+      // the episode.
+      const std::uint64_t episode =
+          episode_start_.exchange(0, std::memory_order_relaxed);
+      if (episode != 0) {
+        const std::uint64_t episode_ns = obs::now_ns() - episode;
+        if (episode_ns >= kLateArrivalNs) {
+          // Emitted by the LAST arriver on its own ring: the thread that
+          // made everyone else wait is the one the dump points at.
+          obs::flight::emit(obs::flight::EventKind::BarrierWait,
+                            "barrier.late",
+                            obs::ledger::current_phase_name(), episode_ns);
+        }
+      }
+#endif
       // relaxed-ok: the release store of sense_ next line publishes the
       // reset before any party can re-enter the barrier.
       arrived_.store(0, std::memory_order_relaxed);
@@ -49,6 +77,11 @@ class Barrier {
     } else {
 #if SMPMINE_TRACING_ENABLED
       const std::uint64_t wait_start = obs::now_ns();
+      // First waiter opens the episode; later waiters lose the CAS.
+      std::uint64_t expected = 0;
+      // relaxed-ok: diagnostic timestamp, ordered by the barrier protocol.
+      episode_start_.compare_exchange_strong(expected, wait_start,
+                                             std::memory_order_relaxed);
 #endif
       std::uint64_t yields = 0;
       std::uint32_t spins = 0;
@@ -69,8 +102,12 @@ class Barrier {
         }
       }
 #if SMPMINE_TRACING_ENABLED
+      const std::uint64_t wait_ns = obs::now_ns() - wait_start;
       obs::metric::barrier_waits().inc();
-      obs::metric::barrier_wait_ns().inc(obs::now_ns() - wait_start);
+      obs::metric::barrier_wait_ns().inc(wait_ns);
+      // Per-phase attribution: the ledger cell of the waiter's current (or
+      // just-closed) phase plus the barrier.wait_ns.<phase> histogram.
+      obs::ledger::add_barrier_wait(wait_ns);
 #endif
       // The yield path already paid a syscall; one relaxed add is noise.
       // Counted in all builds so oversubscription stays observable even
@@ -87,6 +124,9 @@ class Barrier {
   const std::uint32_t parties_;
   std::atomic<std::uint32_t> arrived_{0};
   std::atomic<bool> sense_{false};
+  /// now_ns() when the current wait episode's first waiter parked; 0 when
+  /// no episode is open. Written only in trace builds.
+  std::atomic<std::uint64_t> episode_start_{0};
 };
 
 }  // namespace smpmine

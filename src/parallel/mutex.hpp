@@ -9,10 +9,19 @@
 // paths use SpinLock (spinlock.hpp).
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 
+#include "obs/ledger/ledger_hooks.hpp"
 #include "parallel/lock_order.hpp"
 #include "util/thread_annotations.hpp"
+
+// obs/trace.hpp includes this header, so its SMPMINE_TRACING_ENABLED
+// default is not visible here; replicate it (builds with SMPMINE_TRACING=OFF
+// define the macro globally).
+#ifndef SMPMINE_TRACING_ENABLED
+#define SMPMINE_TRACING_ENABLED 1
+#endif
 
 namespace smpmine {
 
@@ -24,7 +33,19 @@ class CAPABILITY("mutex") Mutex {
   Mutex& operator=(const Mutex&) = delete;
 
   void lock() ACQUIRE() {
+#if SMPMINE_TRACING_ENABLED
+    // Contended path only: time the blocking acquire and charge it to the
+    // waiter's current phase in the efficiency ledger. add_lock_wait never
+    // registers state (it reads an already-registered thread shard), so the
+    // ledger's own Mutex contending here cannot recurse.
+    if (!mu_.try_lock()) {
+      const std::uint64_t t0 = obs::ledger::wait_clock_ns();
+      mu_.lock();
+      obs::ledger::add_lock_wait(obs::ledger::wait_clock_ns() - t0);
+    }
+#else
     mu_.lock();
+#endif
     SMPMINE_LOCK_ACQUIRED(this, "Mutex");
   }
   bool try_lock() TRY_ACQUIRE(true) {

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/ledger/ledger_hooks.hpp"
 #include "obs/trace.hpp"
 #include "parallel/lock_order.hpp"
 #include "util/thread_annotations.hpp"
@@ -43,6 +44,7 @@ class CAPABILITY("spinlock") SpinLock {
     std::uint32_t backoff = 1;
 #if SMPMINE_TRACING_ENABLED
     std::uint64_t spin_rounds = 0;
+    std::uint64_t wait_start_ns = 0;
 #endif
     for (;;) {
       if (!flag_.exchange(true, std::memory_order_acquire)) {
@@ -54,11 +56,21 @@ class CAPABILITY("spinlock") SpinLock {
           // that the sum-counter above averages away; the counter stays for
           // manifest compatibility.
           obs::metric::spinlock_spin_rounds().record(spin_rounds);
+          // Contention loss in *time*, attributed to the waiter's current
+          // phase — what the efficiency decomposition charges as
+          // contention_loss. Contended path only; the uncontended acquire
+          // stays clock-free. (wait_clock_ns, not obs::now_ns: keeps this
+          // header off the Tracer so link-minimal tools stay minimal.)
+          obs::ledger::add_lock_wait(obs::ledger::wait_clock_ns() -
+                                     wait_start_ns);
         }
 #endif
         SMPMINE_LOCK_ACQUIRED(this, "SpinLock");
         return;
       }
+#if SMPMINE_TRACING_ENABLED
+      if (wait_start_ns == 0) wait_start_ns = obs::ledger::wait_clock_ns();
+#endif
       // relaxed-ok: test loop — spin on a plain load so the cache line stays
       // shared until free; the acquire exchange above provides the ordering.
       while (flag_.load(std::memory_order_relaxed)) {

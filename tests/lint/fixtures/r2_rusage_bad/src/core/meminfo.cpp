@@ -1,0 +1,15 @@
+// R2 violating fixture: an ad-hoc /proc/self probe outside src/obs/perf
+// and src/obs/ledger — its numbers can disagree with what the telemetry
+// sampler reports for the same instant. The path only exists inside the
+// string literal, so this also pins the strings-kept scanning.
+
+namespace fixture {
+
+long resident_pages() {
+  std::ifstream statm("/proc/self/statm");
+  long pages = 0;
+  statm >> pages >> pages;
+  return pages;
+}
+
+}  // namespace fixture

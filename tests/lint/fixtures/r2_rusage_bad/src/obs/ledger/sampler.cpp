@@ -1,0 +1,13 @@
+// Companion file proving the exemption: the same probe inside
+// src/obs/ledger must not add a second finding to this fixture.
+
+namespace fixture {
+
+long rss_kb() {
+  std::ifstream statm("/proc/self/statm");
+  long pages = 0;
+  statm >> pages >> pages;
+  return pages * 4;
+}
+
+}  // namespace fixture

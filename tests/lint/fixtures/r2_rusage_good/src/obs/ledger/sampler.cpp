@@ -1,0 +1,13 @@
+// R2 passing fixture: resource probes (getrusage, /proc/self) are fine
+// inside src/obs/ledger — the telemetry sampler is an audited reader.
+
+namespace fixture {
+
+long rss_kb() {
+  std::ifstream statm("/proc/self/statm");
+  long pages = 0;
+  statm >> pages >> pages;
+  return pages * 4;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// R2 passing fixture: getrusage inside src/obs/perf — the rusage perf
+// backend is the other audited reader of the resource surface.
+
+namespace fixture {
+
+double thread_cpu_seconds() {
+  rusage ru{};
+  if (getrusage(RUSAGE_THREAD, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_utime.tv_sec);
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// R5 violating fixture: "warmup" is a ledger work phase with no matching
+// warmup_seconds field — the ledger would silently record nothing and
+// the work-unit column read 0.
+#include "core/stats.hpp"
+
+namespace fixture {
+
+void mine(int n) {
+  SMPMINE_LEDGER_WORK("warmup", n);
+}
+
+}  // namespace fixture

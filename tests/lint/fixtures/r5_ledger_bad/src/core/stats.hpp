@@ -1,0 +1,12 @@
+// R5 fixture stats header: defines the phase vocabulary ledger work
+// attributions must use.
+#pragma once
+
+namespace fixture {
+
+struct IterationStats {
+  double candgen_seconds = 0.0;
+  double count_seconds = 0.0;
+};
+
+}  // namespace fixture

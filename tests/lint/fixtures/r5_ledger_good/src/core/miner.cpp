@@ -1,0 +1,15 @@
+// R5 passing fixture: SMPMINE_LEDGER_WORK names match *_seconds fields,
+// so the work-unit columns and the stats tables agree on phase naming.
+#include "core/stats.hpp"
+
+namespace fixture {
+
+void mine(int n) {
+  SMPMINE_LEDGER_WORK("candgen", n);
+  {
+    SMPMINE_PERF_PHASE("count");
+    SMPMINE_LEDGER_WORK("count", n * 2);
+  }
+}
+
+}  // namespace fixture

@@ -148,7 +148,7 @@ TEST(Histogram, ManifestJsonCarriesHistograms) {
   std::ostringstream os;
   write_run_manifest(m, os);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\":\"smpmine.run.v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"smpmine.run.v3\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"spinlock.spin_rounds\""), std::string::npos);
   EXPECT_NE(json.find("\"flatkernel.tile_ns\""), std::string::npos);

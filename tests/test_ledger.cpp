@@ -1,0 +1,317 @@
+// Parallel-efficiency ledger: recording, snapshots, decomposition, and the
+// v3 manifest / telemetry carriage.
+//
+// The ledger is global and accumulates across tests (shards are never
+// freed), so every assertion works on snapshot deltas — the same protocol
+// the miners use — never on absolute totals.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/miner.hpp"
+#include "core/results_io.hpp"
+#include "data/quest_gen.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/ledger/efficiency.hpp"
+#include "obs/ledger/ledger.hpp"
+#include "obs/ledger/telemetry.hpp"
+
+namespace smpmine::obs::ledger {
+namespace {
+
+LedgerSnapshot snap() { return Ledger::instance().snapshot(); }
+
+/// Burns thread CPU time so CLOCK_THREAD_CPUTIME_ID visibly advances.
+void burn_cpu() {
+  volatile std::uint64_t x = 1;
+  for (int i = 0; i < 2'000'000; ++i) x = x * 2654435761u + 1;
+}
+
+TEST(LedgerPhases, NameRoundTrip) {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const PhaseId p = static_cast<PhaseId>(i);
+    EXPECT_EQ(phase_from_name(phase_name(p)), p) << phase_name(p);
+  }
+  EXPECT_EQ(phase_from_name("bogus"), PhaseId::kNone);
+  EXPECT_EQ(phase_from_name(nullptr), PhaseId::kNone);
+  EXPECT_STREQ(phase_name(PhaseId::kNone), "?");
+}
+
+TEST(LedgerScopeTest, RecordsWallCpuAndEntries) {
+  const LedgerSnapshot before = snap();
+  {
+    LedgerScope scope("count");
+    burn_cpu();
+  }
+  const PhaseAgg agg = snap().delta_since(before).agg(PhaseId::Count);
+  EXPECT_EQ(agg.entries, 1u);
+  EXPECT_GT(agg.wall_max_ns, 0u);
+  EXPECT_GT(agg.cpu_sum_ns, 0u);
+  // A busy loop's CPU time cannot exceed its wall time (same thread).
+  EXPECT_LE(agg.cpu_sum_ns, agg.wall_max_ns * 2);  // 2x: clock granularity
+}
+
+TEST(LedgerScopeTest, UnknownPhaseRecordsNothing) {
+  const LedgerSnapshot before = snap();
+  {
+    LedgerScope scope("no-such-phase");
+    add_work(42);  // current phase is kNone: dropped
+  }
+  EXPECT_TRUE(snap().delta_since(before).empty());
+}
+
+TEST(LedgerScopeTest, NestedScopeRestoresOuterPhase) {
+  const LedgerSnapshot before = snap();
+  {
+    LedgerScope outer("candgen");
+    {
+      LedgerScope inner("count");
+      add_work(7);  // -> count
+    }
+    add_work(5);  // -> candgen again (restored, not kNone)
+  }
+  const LedgerSnapshot d = snap().delta_since(before);
+  EXPECT_EQ(d.agg(PhaseId::Count).work_units, 7u);
+  EXPECT_EQ(d.agg(PhaseId::Candgen).work_units, 5u);
+}
+
+TEST(LedgerScopeTest, NamedWorkNeedsNoScope) {
+  const LedgerSnapshot before = snap();
+  SMPMINE_LEDGER_WORK("vertbuild", 11);
+  EXPECT_EQ(snap().delta_since(before).agg(PhaseId::Vertbuild).work_units,
+            11u);
+}
+
+TEST(LedgerScopeTest, DisabledGateDropsEverything) {
+  set_enabled(false);
+  const LedgerSnapshot before = snap();
+  {
+    LedgerScope scope("count");
+    add_work(100);
+  }
+  set_enabled(true);
+  EXPECT_TRUE(snap().delta_since(before).empty());
+}
+
+TEST(LedgerSnapshotTest, DeltaSaturatesAndHandlesNewThreads) {
+  // delta is field-wise saturating: a "before" larger than "after" (clock
+  // weirdness, reset in between) yields 0, never underflow.
+  LedgerSnapshot before, after;
+  before.threads.resize(1);
+  after.threads.resize(2);  // one shard registered in between
+  before.threads[0].phases[0].work_units = 100;
+  after.threads[0].phases[0].work_units = 40;
+  after.threads[1].phases[0].work_units = 7;
+  const LedgerSnapshot d = after.delta_since(before);
+  EXPECT_EQ(d.threads[0].phases[0].work_units, 0u);
+  EXPECT_EQ(d.threads[1].phases[0].work_units, 7u);  // counts from zero
+}
+
+TEST(LedgerSnapshotTest, AggKeepsSumAndMaxApart) {
+  LedgerSnapshot s;
+  s.threads.resize(3);
+  for (std::size_t t = 0; t < 3; ++t) {
+    PhaseCounts& c = s.threads[t].phases[
+        static_cast<std::size_t>(PhaseId::Count)];
+    c.wall_ns = 100 * (t + 1);
+    c.cpu_ns = 50 * (t + 1);
+    c.work_units = 10;
+    c.entries = 1;
+  }
+  const PhaseAgg a = s.agg(PhaseId::Count);
+  EXPECT_EQ(a.threads_active, 3u);
+  EXPECT_EQ(a.wall_sum_ns, 600u);
+  EXPECT_EQ(a.wall_max_ns, 300u);
+  EXPECT_EQ(a.cpu_sum_ns, 300u);
+  EXPECT_EQ(a.cpu_max_ns, 150u);
+  EXPECT_EQ(a.work_units, 30u);
+  // The third thread row is idle in every other phase.
+  EXPECT_EQ(s.agg(PhaseId::Remap).threads_active, 0u);
+}
+
+TEST(LedgerSnapshotTest, MultiThreadShardsMerge) {
+  const LedgerSnapshot before = snap();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([] {
+      LedgerScope scope("count");
+      add_work(10);
+      burn_cpu();
+    });
+  }
+  for (auto& w : workers) w.join();
+  const PhaseAgg agg = snap().delta_since(before).agg(PhaseId::Count);
+  EXPECT_EQ(agg.threads_active, 3u);
+  EXPECT_EQ(agg.work_units, 30u);
+  EXPECT_EQ(agg.entries, 3u);
+  EXPECT_LT(agg.wall_max_ns, agg.wall_sum_ns);  // three distinct rows
+}
+
+// ---------------------------------------------------------------------------
+// Decomposition.
+// ---------------------------------------------------------------------------
+
+TEST(EfficiencyTest, SyntheticIdentityAndBins) {
+  // 4 threads, one parallel phase: wall 100ms, cpu per thread
+  // {100, 60, 60, 60}ms with 10ms of lock wait on the slow thread; plus a
+  // serial 20ms remap on thread 0.
+  LedgerSnapshot s;
+  s.threads.resize(4);
+  const auto count_i = static_cast<std::size_t>(PhaseId::Count);
+  for (std::size_t t = 0; t < 4; ++t) {
+    PhaseCounts& c = s.threads[t].phases[count_i];
+    c.wall_ns = 100'000'000;
+    c.cpu_ns = t == 0 ? 100'000'000 : 60'000'000;
+    c.entries = 1;
+  }
+  s.threads[0].phases[count_i].lock_wait_ns = 10'000'000;
+  PhaseCounts& remap = s.threads[0].phases[
+      static_cast<std::size_t>(PhaseId::Remap)];
+  remap.wall_ns = 20'000'000;
+  remap.cpu_ns = 20'000'000;
+  remap.entries = 1;
+
+  const EfficiencyDecomposition e = decompose(s, 4);
+  EXPECT_EQ(e.threads, 4u);
+  EXPECT_NEAR(e.wall_seconds, 0.12, 1e-9);
+  EXPECT_NEAR(e.budget_seconds, 0.48, 1e-9);
+  // Serial fraction of wall: 20ms of 120ms.
+  EXPECT_NEAR(e.serial_fraction, 20.0 / 120.0, 1e-9);
+  // The bins are exhaustive: work + losses == 1 exactly.
+  EXPECT_NEAR(e.work_fraction + e.loss_total(), 1.0, 1e-12);
+  EXPECT_GT(e.imbalance_loss, 0.0);   // 60ms threads idle behind the 100ms one
+  EXPECT_GT(e.contention_loss, 0.0);  // the lock wait
+  EXPECT_GT(e.serial_loss, 0.0);      // 3 threads idle through remap
+  const auto count_row = std::find_if(
+      e.phases.begin(), e.phases.end(),
+      [](const PhaseEfficiency& p) { return p.phase == PhaseId::Count; });
+  ASSERT_NE(count_row, e.phases.end());
+  EXPECT_TRUE(count_row->parallel);
+  EXPECT_EQ(count_row->threads_active, 4u);
+  EXPECT_GT(count_row->imbalance, 0.0);
+}
+
+TEST(EfficiencyTest, EmptySnapshotIsAllZero) {
+  const EfficiencyDecomposition e = decompose(LedgerSnapshot{}, 4);
+  EXPECT_EQ(e.budget_seconds, 0.0);
+  EXPECT_EQ(e.work_fraction + e.loss_total(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through the miners and the v3 manifest.
+// ---------------------------------------------------------------------------
+
+Database tiny_db() {
+  QuestParams p;
+  p.num_transactions = 4000;
+  p.avg_transaction_len = 8.0;
+  p.num_items = 200;
+  p.seed = 42;
+  return generate_quest(p);
+}
+
+TEST(LedgerEndToEnd, MinerPopulatesLedgerAndIdentityHolds) {
+  const Database db = tiny_db();
+  for (const Algorithm algo : {Algorithm::CCPD, Algorithm::PCCD}) {
+    MinerOptions opts;
+    opts.min_support = 0.01;
+    opts.threads = 2;
+    opts.algorithm = algo;
+    const MiningResult r = mine(db, opts);
+    ASSERT_FALSE(r.run_ledger.empty());
+    const EfficiencyDecomposition& e = r.run_efficiency;
+    EXPECT_GT(e.budget_seconds, 0.0);
+    // Acceptance: the bins sum to the budget — way inside the +-2pt gate.
+    EXPECT_NEAR(e.work_fraction + e.loss_total(), 1.0, 1e-6);
+    // Counting work units were recorded by whichever kernel ran.
+    EXPECT_GT(r.run_ledger.agg(PhaseId::Count).work_units, 0u);
+    EXPECT_GT(r.run_ledger.agg(PhaseId::F1).work_units, 0u);
+    for (const IterationStats& it : r.iterations) {
+      if (it.efficiency.budget_seconds == 0.0) continue;
+      EXPECT_NEAR(it.efficiency.work_fraction + it.efficiency.loss_total(),
+                  1.0, 1e-6);
+    }
+  }
+}
+
+TEST(LedgerEndToEnd, ManifestV3CarriesLedgerAndEfficiency) {
+  const Database db = tiny_db();
+  MinerOptions opts;
+  opts.min_support = 0.01;
+  opts.threads = 2;
+  const MiningResult r = mine(db, opts);
+  const RunManifest m = make_run_manifest("test", "tiny", db, opts, r);
+  std::ostringstream os;
+  write_run_manifest(m, os);
+  const std::string doc = os.str();
+  EXPECT_TRUE(obs::json_valid(doc)) << doc.substr(0, 400);
+  EXPECT_NE(doc.find("\"schema\":\"smpmine.run.v3\""), std::string::npos);
+  // v3 additions present at run level and per iteration...
+  EXPECT_NE(doc.find("\"ledger\""), std::string::npos);
+  EXPECT_NE(doc.find("\"efficiency\""), std::string::npos);
+  EXPECT_NE(doc.find("\"per_thread\""), std::string::npos);
+  EXPECT_NE(doc.find("\"imbalance_loss\""), std::string::npos);
+  // ...and the v2 surface intact (strict superset).
+  for (const char* key : {"\"totals\"", "\"perf\"", "\"iterations\"",
+                          "\"metrics\"", "\"histograms\"", "\"cpu\""}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry sampler.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryTest, StreamsValidJsonlAndStops) {
+  const std::string path =
+      ::testing::TempDir() + "/smpmine_telemetry_test.jsonl";
+  std::remove(path.c_str());
+  TelemetryOptions topts;
+  topts.period_ms = 5;
+  topts.path = path;
+  ASSERT_TRUE(start(topts));
+  EXPECT_TRUE(running());
+  EXPECT_FALSE(start(topts));  // only one sampler
+  {
+    LedgerScope scope("count");
+    add_work(123);
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+  stop();
+  EXPECT_FALSE(running());
+  stop();  // idempotent
+
+  std::ifstream is(path);
+  ASSERT_TRUE(is.is_open());
+  std::string line;
+  std::uint64_t lines = 0;
+  bool saw_ledger = false;
+  while (std::getline(is, line)) {
+    ++lines;
+    EXPECT_TRUE(obs::json_valid(line)) << "line " << lines << ": " << line;
+    EXPECT_NE(line.find("smpmine.telemetry.v1"), std::string::npos);
+    if (line.find("\"work_units\"") != std::string::npos) saw_ledger = true;
+  }
+  // Record 0 at start, the final record at stop, and >=1 periodic sample
+  // over a 40ms window at 5ms.
+  EXPECT_GE(lines, 3u);
+  EXPECT_EQ(lines, records_written());
+  EXPECT_TRUE(saw_ledger);  // the count-phase progress made it out
+}
+
+TEST(TelemetryTest, EmptyPathRefusesToStart) {
+  TelemetryOptions topts;
+  topts.path = "";
+  EXPECT_FALSE(start(topts));
+  EXPECT_FALSE(running());
+}
+
+}  // namespace
+}  // namespace smpmine::obs::ledger

@@ -30,6 +30,8 @@ CASES = {
     "r2_perf_bad": (1, "R2", "src/core/probe.cpp"),
     "r2_signal_good": (0, None, None),
     "r2_signal_bad": (1, "R2", "src/core/trap.cpp"),
+    "r2_rusage_good": (0, None, None),
+    "r2_rusage_bad": (1, "R2", "src/core/meminfo.cpp"),
     "r3_good": (0, None, None),
     "r3_bad": (1, "R3", "src/parallel/spinlock.hpp"),
     "r4_good": (0, None, None),
@@ -41,6 +43,8 @@ CASES = {
     "r5_cross_good": (0, None, None),
     "r5_cross_bad": (1, "R5", "src/core/miner.cpp"),
     "r5_multiline_bad": (1, "R5", "src/core/miner.cpp"),
+    "r5_ledger_good": (0, None, None),
+    "r5_ledger_bad": (1, "R5", "src/core/miner.cpp"),
 }
 
 

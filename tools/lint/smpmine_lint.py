@@ -24,6 +24,12 @@ R2  threading primitives stay in src/parallel: std::thread, std::mutex
     Likewise the signal surface stays in src/obs/flight: sigaction/
     sigaltstack/std::set_terminate and friends outside that directory
     would fight the flight recorder's crash dumper for the same handlers.
+    Likewise the resource-probe surface (getrusage, /proc/self) stays in
+    src/obs/perf and src/obs/ledger: the rusage perf backend and the
+    telemetry sampler are the two audited readers, and ad-hoc probes
+    elsewhere produce numbers that disagree with the manifests. The
+    /proc/self token lives inside string literals, so this branch scans
+    comment-stripped text with strings kept, unlike the other three.
 R3  memory_order_relaxed is allowlisted: only files with an audited reason
     to use it may, and every site needs a `relaxed-ok:` comment on the
     line or just above stating why relaxed ordering is sufficient.
@@ -32,13 +38,18 @@ R4  no heap allocation in SMPMINE_HOT functions: functions annotated
     paths) must not call new/malloc or growing container members. The
     paper's Section 5 placement argument depends on those paths touching
     only pre-placed memory. `hot-ok:` marks a vetted exception.
-R5  TRACE_SPAN / PERF_PHASE names match IterationStats: a bare (dot-free)
-    span or perf-phase name must correspond to a `<name>_seconds` field in
-    src/core/stats.hpp (plus the per-k "iteration" wrapper), so traces,
-    counter attribution, and the stats tables never disagree about phase
-    naming. Dotted names ("pool.task", "hashtree.remap") are subsystem
+R5  TRACE_SPAN / PERF_PHASE / LEDGER_WORK names match IterationStats: a
+    bare (dot-free) span, perf-phase, or ledger work-unit name must
+    correspond to a `<name>_seconds` field in src/core/stats.hpp (plus
+    the per-k "iteration" wrapper), so traces, counter attribution, the
+    work ledger, and the stats tables never disagree about phase naming.
+    Dotted names ("pool.task", "hashtree.remap") are subsystem
     events, exempt. Sites are matched over the joined file text, so an
     invocation whose name string wraps to the next line is still checked.
+    SMPMINE_LEDGER_WORK gets its own pattern rather than joining
+    PHASE_MACRO: smpmine-analyze consumes the phase-macro sites for its
+    scope pairing, and ledger work attributions are point events with no
+    RAII variable or family to pair.
     Additionally, when macros from different families (trace / perf /
     flight) name a phase within a couple of lines of each other — the
     idiomatic triple at the top of a phase body — their names must agree:
@@ -94,6 +105,12 @@ R2_PERF_EXEMPT = ("src/obs/perf",)
 # elsewhere would silently replace (or be replaced by) its handlers.
 R2_SIGNAL_EXEMPT = ("src/obs/flight",)
 
+# Directories allowed to probe process resources (getrusage, /proc/self):
+# the rusage perf backend and the telemetry sampler. Ad-hoc probes
+# elsewhere produce numbers that can disagree with what the manifests and
+# the telemetry stream report for the same run.
+R2_RESOURCE_EXEMPT = ("src/obs/perf", "src/obs/ledger")
+
 # Files audited for relaxed atomics. A site in any other file is a finding
 # even if it carries a relaxed-ok comment — extend this list only with an
 # audit, not to silence the tool.
@@ -103,6 +120,8 @@ R3_ALLOWLIST = (
     "src/obs/trace.hpp",
     "src/obs/metrics.hpp",
     "src/obs/flight/flight_recorder.cpp",
+    "src/obs/ledger/ledger.hpp",
+    "src/obs/ledger/ledger.cpp",
     "src/distmem/channel.hpp",
     "src/util/logging.cpp",
     "src/hashtree/tree_build.cpp",
@@ -148,6 +167,12 @@ R2_SIGNAL_TOKENS = re.compile(
     r"sigprocmask|std::signal|std::set_terminate)\b"
 )
 
+# Matched against comment-stripped text with string literals KEPT —
+# "/proc/self/statm" is a string, invisible in the regular code_lines.
+R2_RESOURCE_TOKENS = re.compile(
+    r"(\bgetrusage\s*\(|/proc/self)"
+)
+
 R4_ALLOC = re.compile(
     r"(\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|\bstrdup\s*\(|"
     r"\bmake_unique\b|\bmake_shared\b|\bto_string\s*\(|"
@@ -179,6 +204,12 @@ PHASE_MACRO_FAMILY = {
     "SMPMINE_FLIGHT_PHASE_NAMED": "flight",
 }
 
+# Ledger work attribution: SMPMINE_LEDGER_WORK("phase", units). A point
+# event, not a scope — kept out of PHASE_MACRO so smpmine-analyze's scope
+# pairing never sees it — but its phase name obeys the same R5 vocabulary.
+LEDGER_WORK_MACRO = re.compile(
+    r"\bSMPMINE_LEDGER_WORK\s*\(\s*\"([^\"]+)\"")
+
 # Two phase macros within this many lines of each other are "the same
 # source site" for the cross-family agreement check.
 R5_CROSS_WINDOW = 2
@@ -206,9 +237,14 @@ class SourceFile:
     rel: str
     raw_lines: list[str]
     code_lines: list[str] = field(default_factory=list)
+    # Comments stripped, string literal contents kept: the R2 resource
+    # check looks for "/proc/self", which only exists inside strings.
+    text_lines: list[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.code_lines = strip_comments_and_strings(self.raw_lines)
+        self.text_lines = strip_comments_and_strings(self.raw_lines,
+                                                     keep_strings=True)
 
     def has_marker(self, line_no: int, pattern: re.Pattern[str],
                    window: int = MARKER_WINDOW) -> bool:
@@ -252,10 +288,13 @@ MARKER_RELAXED = re.compile(r"relaxed-ok:")
 MARKER_HOT = re.compile(r"hot-ok:")
 
 
-def strip_comments_and_strings(lines: list[str]) -> list[str]:
+def strip_comments_and_strings(lines: list[str],
+                               keep_strings: bool = False) -> list[str]:
     """Blanks out comments and string/char literal contents, preserving the
     line structure so line numbers survive. Good enough for token scanning;
-    raw lines remain available for marker lookup."""
+    raw lines remain available for marker lookup. With ``keep_strings`` the
+    literal contents survive too (comments still go) — for tokens that live
+    inside strings, like procfs paths."""
     out: list[str] = []
     in_block = False
     for line in lines:
@@ -284,12 +323,16 @@ def strip_comments_and_strings(lines: list[str]) -> list[str]:
                 i += 1
                 while i < n:
                     if line[i] == "\\":
+                        if keep_strings:
+                            res.append(line[i:i + 2])
                         i += 2
                         continue
                     if line[i] == quote:
                         res.append(quote)
                         i += 1
                         break
+                    if keep_strings:
+                        res.append(line[i])
                     i += 1
                 continue
             res.append(ch)
@@ -558,6 +601,7 @@ def check_r2(src: SourceFile) -> list[Finding]:
     in_parallel = in_scope(src.rel, R2_EXEMPT)
     in_perf = in_scope(src.rel, R2_PERF_EXEMPT)
     in_signal = in_scope(src.rel, R2_SIGNAL_EXEMPT)
+    in_resource = in_scope(src.rel, R2_RESOURCE_EXEMPT)
     for idx, line in enumerate(src.code_lines):
         if line.lstrip().startswith("#"):
             continue  # includes are fine; usage is what leaks primitives
@@ -586,6 +630,19 @@ def check_r2(src: SourceFile) -> list[Finding]:
                 f"— the flight recorder owns the crash handlers; a second "
                 f"sigaction would silently replace them (or justify with "
                 f"'lint-ok: R2')"))
+            continue
+        # Resource probes hide in string literals ("/proc/self/statm"), so
+        # this branch scans the strings-kept text, not the code line.
+        t = (None if in_resource
+             else R2_RESOURCE_TOKENS.search(src.text_lines[idx]))
+        if t is not None and not src.has_marker(idx + 1, MARKER_OK["R2"]):
+            findings.append(Finding(
+                src.rel, idx + 1, "R2",
+                f"resource probe '{t.group(1).strip()}' outside "
+                f"src/obs/perf and src/obs/ledger — rusage/procfs sampling "
+                f"goes through the perf rusage backend or the telemetry "
+                f"sampler so ad-hoc numbers cannot disagree with the "
+                f"manifests (or justify with 'lint-ok: R2')"))
     return findings
 
 
@@ -688,6 +745,22 @@ def check_r5(src: SourceFile, phases: set[str] | None) -> list[Finding]:
             f"trace/perf phase '{s.name}' matches no <phase>_seconds "
             f"field in {STATS_HEADER} — phase names must agree between "
             f"traces, perf attribution, and IterationStats"))
+    # Ledger work attributions share the vocabulary: a misspelled name is
+    # worse than a missing one, because the ledger silently records
+    # nothing for unknown phases and the work-unit column reads as zero.
+    text = "\n".join(src.raw_lines)
+    for m in LEDGER_WORK_MACRO.finditer(text):
+        name = m.group(1)
+        if "." in name or name in phases:
+            continue
+        line = text.count("\n", 0, m.start()) + 1
+        if src.has_marker(line, MARKER_OK["R5"]):
+            continue
+        findings.append(Finding(
+            src.rel, line, "R5",
+            f"ledger work phase '{name}' matches no <phase>_seconds field "
+            f"in {STATS_HEADER} — SMPMINE_LEDGER_WORK on an unknown phase "
+            f"records nothing and the work-unit column silently reads 0"))
     # Cross-family agreement: the trace/perf/flight macros opening one
     # phase body sit on adjacent lines; different families within the
     # window must name the same phase or counters/trace/flight dumps

@@ -18,6 +18,7 @@
 #include "data/db_io.hpp"
 #include "data/quest_gen.hpp"
 #include "itemset/itemset.hpp"
+#include "obs/ledger/telemetry.hpp"
 #include "obs/perf/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
@@ -161,6 +162,12 @@ int main(int argc, char** argv) {
   cli.add_flag("flight-watchdog-ms",
                "dump a flight report when no event lands for this many "
                "milliseconds (0 = no watchdog)", "0");
+  cli.add_flag("telemetry-ms",
+               "stream smpmine.telemetry.v1 JSONL samples every N "
+               "milliseconds (0 = off; needs --telemetry-out)", "0");
+  cli.add_flag("telemetry-out",
+               "telemetry JSONL output path (tail -f friendly; one "
+               "complete JSON record per line)");
   if (!cli.parse(argc, argv)) return 1;
 
   // Name the master thread unconditionally: the flight recorder (and the
@@ -266,6 +273,29 @@ int main(int argc, char** argv) {
   }
   std::printf("mining: %s\n\n", opts.summary().c_str());
 
+  // Telemetry spans the whole mining run (started here, stopped after rule
+  // generation) so the JSONL stream covers every phase a consumer could
+  // watch live.
+  const int telemetry_ms = cli.get_int("telemetry-ms", 0);
+  const std::string telemetry_out = cli.get("telemetry-out", "");
+  if (telemetry_ms > 0) {
+    if (telemetry_out.empty()) {
+      std::fputs("error: --telemetry-ms needs --telemetry-out\n", stderr);
+      return 1;
+    }
+    obs::ledger::TelemetryOptions topts;
+    topts.period_ms = static_cast<std::uint32_t>(telemetry_ms);
+    topts.path = telemetry_out;
+    if (!obs::ledger::start(topts)) {
+      std::fprintf(stderr, "error: cannot start telemetry to '%s'\n",
+                   telemetry_out.c_str());
+      return 1;
+    }
+  } else if (!telemetry_out.empty()) {
+    std::fputs("error: --telemetry-out needs --telemetry-ms > 0\n", stderr);
+    return 1;
+  }
+
   MiningResult result;
   try {
     result = mine(db, opts);
@@ -309,6 +339,16 @@ int main(int argc, char** argv) {
          ++i) {
       std::printf("  %s\n", rules[i].to_string().c_str());
     }
+  }
+
+  // Stop telemetry (final record) before the post-mortem artifacts so the
+  // stream's last sample and the manifest agree on the totals.
+  if (obs::ledger::running()) {
+    obs::ledger::stop();
+    std::printf("telemetry written to %s (%llu records)\n",
+                telemetry_out.c_str(),
+                static_cast<unsigned long long>(
+                    obs::ledger::records_written()));
   }
 
   // Artifacts last, so the trace also covers rule generation and the
